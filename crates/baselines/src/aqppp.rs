@@ -1,0 +1,381 @@
+//! AQP++ [Peng et al. 2018] and its multi-dimensional variant KD-US
+//! (Section 5.4).
+//!
+//! AQP++ precomputes a set of aggregate queries — here partition aggregates
+//! over hill-climbing boundaries (1-D) or a breadth-first k-d tree (d > 1)
+//! — and answers a new query as *closest precomputed aggregate + uniform
+//! sample estimate of the gap*. The crucial difference from PASS: the gap
+//! is estimated from one **global uniform sample**, not per-partition
+//! stratified samples, and the partitioning is not variance-optimized.
+
+use pass_common::rng::{derive_seed, rng_from_seed};
+use pass_common::{AggKind, Estimate, PassError, Query, Rect, Result, Synopsis, LAMBDA_99};
+use pass_core::{mcf::mcf, PartitionTree};
+use pass_partition::{build_kd, HillClimb, KdExpansion, Partitioner1D};
+use pass_sampling::Sample;
+use pass_table::{SortedTable, Table};
+
+/// Which tree the precomputed aggregates live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AqpVariant {
+    /// 1-D hill-climbing boundaries (the paper's AQP++ baseline).
+    HillClimb,
+    /// Breadth-first k-d tree (the paper's KD-US baseline for d > 1).
+    KdUniform,
+}
+
+/// Precomputed aggregates + one uniform sample for the gap.
+#[derive(Debug, Clone)]
+pub struct AqpPlusPlus {
+    tree: PartitionTree,
+    sample: Sample,
+    lambda: f64,
+    name: &'static str,
+    /// Workload-shift mapping (Section 5.4.1): tree dimension j indexes
+    /// query dimension `tree_dims[j]`; `None` = identity.
+    tree_dims: Option<Vec<usize>>,
+    /// Query arity (= sample arity).
+    query_dims: usize,
+}
+
+impl AqpPlusPlus {
+    /// Build with `partitions` precomputed aggregates and a uniform sample
+    /// of `k` rows. 1-D tables use hill climbing, higher dimensions the
+    /// breadth-first k-d expansion.
+    pub fn build(table: &Table, partitions: usize, k: usize, seed: u64) -> Result<Self> {
+        if table.n_rows() == 0 {
+            return Err(PassError::EmptyInput("AQP++ over empty table"));
+        }
+        let (tree, name) = if table.dims() == 1 {
+            let sorted = SortedTable::from_table(table, 0);
+            let partitioning =
+                HillClimb::new(AggKind::Sum).partition(&sorted, partitions)?;
+            (
+                PartitionTree::from_partitioning(&sorted, &partitioning)?,
+                "AQP++",
+            )
+        } else {
+            let kd = build_kd(
+                table,
+                partitions,
+                KdExpansion::BreadthFirst,
+                derive_seed(seed, 1),
+            )?;
+            (PartitionTree::from_kd(table, &kd)?, "KD-US")
+        };
+        let mut rng = rng_from_seed(derive_seed(seed, 2));
+        let sample = Sample::uniform(table, k, &mut rng)?;
+        Ok(Self {
+            tree,
+            sample,
+            lambda: LAMBDA_99,
+            name,
+            tree_dims: None,
+            query_dims: table.dims(),
+        })
+    }
+
+    /// Workload-shift build (Section 5.4.1): precompute aggregates over a
+    /// breadth-first k-d tree on the projected dimensions, keep the uniform
+    /// sample in full arity.
+    pub fn build_shifted(
+        table: &Table,
+        tree_dims: &[usize],
+        partitions: usize,
+        k: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if table.n_rows() == 0 {
+            return Err(PassError::EmptyInput("AQP++ over empty table"));
+        }
+        let projected = table.project(tree_dims)?;
+        let kd = build_kd(
+            &projected,
+            partitions,
+            KdExpansion::BreadthFirst,
+            derive_seed(seed, 3),
+        )?;
+        let tree = PartitionTree::from_kd(&projected, &kd)?;
+        let mut rng = rng_from_seed(derive_seed(seed, 4));
+        let sample = Sample::uniform(table, k, &mut rng)?;
+        Ok(Self {
+            tree,
+            sample,
+            lambda: LAMBDA_99,
+            name: "KD-US",
+            tree_dims: Some(tree_dims.to_vec()),
+            query_dims: table.dims(),
+        })
+    }
+
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Estimate `Σ φ` over the gap region: sampled rows matching the query
+    /// but not lying in any covered partition. Returns `(estimate,
+    /// estimator variance, matching sample count)`.
+    fn gap_estimate(
+        &self,
+        agg: AggKind,
+        rect: &Rect,
+        covered: &[usize],
+    ) -> (f64, f64, u64) {
+        let rows = self.sample.rows();
+        let k = self.sample.k();
+        if k == 0 {
+            return (0.0, 0.0, 0);
+        }
+        let n = self.sample.population() as f64;
+        let in_gap = |i: usize| -> bool {
+            if !rows.matches(rect, i) {
+                return false;
+            }
+            // Covered-node rectangles live in the tree's (possibly
+            // projected) dimension space.
+            let point: Vec<f64> = match &self.tree_dims {
+                None => (0..rows.dims()).map(|d| rows.predicate(d, i)).collect(),
+                Some(dims) => dims.iter().map(|&d| rows.predicate(d, i)).collect(),
+            };
+            !covered
+                .iter()
+                .any(|&id| self.tree.node(id).rect.contains_point(&point))
+        };
+        let mut phi = Vec::with_capacity(k);
+        let mut k_pred = 0u64;
+        for i in 0..k {
+            if in_gap(i) {
+                k_pred += 1;
+                phi.push(match agg {
+                    AggKind::Count => n,
+                    _ => n * rows.value(i),
+                });
+            } else {
+                phi.push(0.0);
+            }
+        }
+        let mean = phi.iter().sum::<f64>() / k as f64;
+        let variance = pass_common::stats::population_variance(&phi) / k as f64
+            * pass_common::stats::fpc(self.sample.population(), k as u64);
+        (mean, variance, k_pred)
+    }
+}
+
+impl Synopsis for AqpPlusPlus {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn estimate(&self, query: &Query) -> Result<Estimate> {
+        if query.dims() != self.query_dims {
+            return Err(PassError::DimensionMismatch {
+                expected: self.query_dims,
+                got: query.dims(),
+            });
+        }
+        let frontier = match &self.tree_dims {
+            None => mcf(&self.tree, query, false),
+            Some(dims) => pass_core::mcf_shifted(&self.tree, query, dims, false),
+        };
+        let covered = &frontier.covered;
+
+        match query.agg {
+            AggKind::Sum | AggKind::Count => {
+                let exact: f64 = covered
+                    .iter()
+                    .map(|&id| {
+                        let a = &self.tree.node(id).agg;
+                        match query.agg {
+                            AggKind::Sum => a.sum,
+                            _ => a.count as f64,
+                        }
+                    })
+                    .sum();
+                let (gap, var, _) = self.gap_estimate(query.agg, &query.rect, covered);
+                let est = if frontier.partial.is_empty() {
+                    Estimate::exact(exact)
+                } else {
+                    Estimate::approximate(exact + gap, self.lambda * var.sqrt())
+                };
+                Ok(est.with_accounting(
+                    self.sample.k() as u64,
+                    self.tree.total_rows().saturating_sub(self.sample.k() as u64),
+                ))
+            }
+            AggKind::Avg => {
+                // AVG via the SUM/COUNT pair with first-order error
+                // propagation (AQP++ itself treats AVG as SUM/COUNT).
+                let exact_sum: f64 = covered.iter().map(|&id| self.tree.node(id).agg.sum).sum();
+                let exact_count: f64 = covered
+                    .iter()
+                    .map(|&id| self.tree.node(id).agg.count as f64)
+                    .sum();
+                let (gap_sum, var_sum, _) =
+                    self.gap_estimate(AggKind::Sum, &query.rect, covered);
+                let (gap_count, var_count, k_pred) =
+                    self.gap_estimate(AggKind::Count, &query.rect, covered);
+                let total_sum = exact_sum + gap_sum;
+                let total_count = exact_count + gap_count;
+                if total_count <= 0.0 {
+                    if exact_count > 0.0 {
+                        return Ok(Estimate::exact(exact_sum / exact_count));
+                    }
+                    return Err(PassError::EmptyInput(
+                        "no sampled tuple matches the predicate",
+                    ));
+                }
+                let value = total_sum / total_count;
+                // Var(S/C) ≈ var_S/C² + S²·var_C/C⁴ (independence
+                // approximation; AQP++ reports the same first-order CI).
+                let variance = var_sum / (total_count * total_count)
+                    + total_sum * total_sum * var_count / total_count.powi(4);
+                let est = if frontier.partial.is_empty() && k_pred == 0 {
+                    Estimate::exact(value)
+                } else {
+                    Estimate::approximate(value, self.lambda * variance.sqrt())
+                };
+                Ok(est.with_accounting(
+                    self.sample.k() as u64,
+                    self.tree.total_rows().saturating_sub(self.sample.k() as u64),
+                ))
+            }
+            AggKind::Min | AggKind::Max => {
+                // Precomputed extrema of covered partitions + sample scan.
+                let mut best: Option<f64> = None;
+                let mut fold = |v: f64| {
+                    best = Some(match (best, query.agg) {
+                        (None, _) => v,
+                        (Some(b), AggKind::Min) => b.min(v),
+                        (Some(b), _) => b.max(v),
+                    });
+                };
+                for &id in covered {
+                    let a = &self.tree.node(id).agg;
+                    if !a.is_empty() {
+                        fold(if query.agg == AggKind::Min { a.min } else { a.max });
+                    }
+                }
+                if let Some(pv) =
+                    pass_sampling::estimate_minmax(query.agg, &self.sample, &query.rect)
+                {
+                    fold(pv.value);
+                }
+                best.map(|v| Estimate::approximate(v, 0.0)).ok_or(
+                    PassError::EmptyInput("no sampled tuple matches the predicate"),
+                )
+            }
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.tree.storage_bytes() + self.sample.storage_bytes()
+    }
+
+    fn dims(&self) -> usize {
+        self.query_dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_table::datasets::{taxi, uniform};
+
+    #[test]
+    fn one_dim_estimates_track_truth() {
+        let t = uniform(20_000, 1);
+        let a = AqpPlusPlus::build(&t, 32, 1_000, 2).unwrap();
+        assert_eq!(a.name(), "AQP++");
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = Query::interval(agg, 0.15, 0.85);
+            let est = a.estimate(&q).unwrap();
+            let truth = t.ground_truth(&q).unwrap();
+            let rel = (est.value - truth).abs() / truth;
+            assert!(rel < 0.1, "{agg}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn aligned_queries_are_exact() {
+        // A query covering the whole key space aligns with the root.
+        let t = uniform(5_000, 3);
+        let a = AqpPlusPlus::build(&t, 16, 200, 4).unwrap();
+        let q = Query::interval(AggKind::Sum, -1.0, 2.0);
+        let est = a.estimate(&q).unwrap();
+        let truth = t.ground_truth(&q).unwrap();
+        assert!(est.exact);
+        assert!((est.value - truth).abs() < 1e-6);
+    }
+
+    #[test]
+    fn covered_regions_reduce_variance() {
+        // The same query answered with and without precomputation: the
+        // AQP++ CI should be no wider than pure uniform sampling's,
+        // because the covered part is deterministic.
+        let t = uniform(30_000, 5);
+        let q = Query::interval(AggKind::Sum, 0.01, 0.93);
+        let mut aqp_wins = 0;
+        for seed in 0..10 {
+            let a = AqpPlusPlus::build(&t, 64, 600, seed).unwrap();
+            let us = crate::us::UniformSynopsis::build(&t, 600, seed).unwrap();
+            let aw = a.estimate(&q).unwrap().ci_half;
+            let uw = us.estimate(&q).unwrap().ci_half;
+            if aw <= uw {
+                aqp_wins += 1;
+            }
+        }
+        assert!(aqp_wins >= 8, "AQP++ narrower CI in {aqp_wins}/10 runs");
+    }
+
+    #[test]
+    fn multi_dim_becomes_kd_us() {
+        let t = taxi(10_000, 6).project(&[1, 2]).unwrap();
+        let a = AqpPlusPlus::build(&t, 64, 500, 7).unwrap();
+        assert_eq!(a.name(), "KD-US");
+        let rect = t.bounding_rect().unwrap();
+        let mid = (rect.lo(0) + rect.hi(0)) / 2.0;
+        let q = Query::new(AggKind::Sum, rect.narrowed(0, rect.lo(0), mid));
+        let est = a.estimate(&q).unwrap();
+        let truth = t.ground_truth(&q).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.25, "rel {rel}");
+    }
+
+    #[test]
+    fn duplicate_keys_do_not_bias_the_gap_estimator() {
+        // Regression: heavy key duplication (Instacart-style categorical
+        // predicate) used to let covered-partition rectangles overlap
+        // partial ones, silently dropping boundary rows from the gap
+        // estimate. With a 100% sample the estimate must be exact.
+        let t = pass_table::datasets::instacart(30_000, 3);
+        let a = AqpPlusPlus::build(&t, 32, t.n_rows(), 4).unwrap();
+        let (lo, hi) = t.predicate_range(0).unwrap();
+        let span = hi - lo;
+        for (qlo, qhi) in [
+            (lo + 0.13 * span, lo + 0.77 * span),
+            (lo + 0.4 * span, lo + 0.45 * span),
+            (lo, hi),
+        ] {
+            let q = Query::interval(AggKind::Sum, qlo, qhi);
+            let est = a.estimate(&q).unwrap();
+            let truth = t.ground_truth(&q).unwrap();
+            assert!(
+                (est.value - truth).abs() <= 1e-6 * truth.abs().max(1.0),
+                "[{qlo},{qhi}]: {} vs truth {truth}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn empty_predicate_errors_for_avg() {
+        let t = uniform(1_000, 8);
+        let a = AqpPlusPlus::build(&t, 8, 100, 9).unwrap();
+        assert!(a.estimate(&Query::interval(AggKind::Avg, 7.0, 8.0)).is_err());
+        // SUM of an empty region estimates 0 (nothing matches; region is
+        // disjoint from every partition so it is also exactly covered).
+        let est = a.estimate(&Query::interval(AggKind::Sum, 7.0, 8.0)).unwrap();
+        assert_eq!(est.value, 0.0);
+    }
+}

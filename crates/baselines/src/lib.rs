@@ -1,0 +1,32 @@
+//! The comparator AQP engines of Section 5.
+//!
+//! Every engine implements [`pass_common::Synopsis`], so the workload
+//! runner treats them interchangeably with PASS:
+//!
+//! * [`UniformSynopsis`] (**US**) — one uniform sample + φ-estimators
+//!   (Section 2.1);
+//! * [`StratifiedSynopsis`] (**ST**) — equal-depth strata, per-stratum
+//!   samples, weighted combination (Section 2.2);
+//! * [`AqpPlusPlus`] (**AQP++** / **KD-US**) — precomputed partition
+//!   aggregates (hill-climbing boundaries in 1-D, breadth-first k-d in
+//!   d > 1) combined with a *uniform* sample for the uncovered gap
+//!   [Peng et al. 2018];
+//! * [`VerdictSynopsis`] — a VerdictDB-style scramble with variational
+//!   subsampling CIs [Park et al. 2018];
+//! * [`SpnSynopsis`] — a DeepDB-style sum-product network learned from the
+//!   data [Hilprecht et al. 2019].
+//!
+//! The latter two stand in for the closed-source systems compared in
+//! Table 2; DESIGN.md documents the substitutions.
+
+pub mod aqppp;
+pub mod spn;
+pub mod st;
+pub mod us;
+pub mod verdict;
+
+pub use aqppp::AqpPlusPlus;
+pub use spn::SpnSynopsis;
+pub use st::StratifiedSynopsis;
+pub use us::UniformSynopsis;
+pub use verdict::VerdictSynopsis;

@@ -1,0 +1,149 @@
+//! US — plain uniform sampling (Section 2.1).
+
+use pass_common::rng::rng_from_seed;
+use pass_common::{AggKind, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
+use pass_sampling::{estimate as sample_estimate, Sample};
+use pass_table::Table;
+
+/// One uniform sample of `K` rows; every query is answered with the
+/// φ-transform estimators and a CLT confidence interval.
+#[derive(Debug, Clone)]
+pub struct UniformSynopsis {
+    sample: Sample,
+    lambda: f64,
+    dims: usize,
+    total_rows: u64,
+}
+
+impl UniformSynopsis {
+    /// Draw `k` rows from the table (λ defaults to the paper's 2.576).
+    pub fn build(table: &Table, k: usize, seed: u64) -> Result<Self> {
+        if table.n_rows() == 0 {
+            return Err(PassError::EmptyInput("US over empty table"));
+        }
+        let mut rng = rng_from_seed(seed);
+        let sample = Sample::uniform(table, k, &mut rng)?;
+        Ok(Self {
+            sample,
+            lambda: LAMBDA_99,
+            dims: table.dims(),
+            total_rows: table.n_rows() as u64,
+        })
+    }
+
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// The underlying sample.
+    pub fn sample(&self) -> &Sample {
+        &self.sample
+    }
+}
+
+impl Synopsis for UniformSynopsis {
+    fn name(&self) -> &str {
+        "US"
+    }
+
+    fn estimate(&self, query: &Query) -> Result<Estimate> {
+        if query.dims() != self.dims {
+            return Err(PassError::DimensionMismatch {
+                expected: self.dims,
+                got: query.dims(),
+            });
+        }
+        let point = sample_estimate(query.agg, &self.sample, &query.rect);
+        let est = match point {
+            Some(pv) => {
+                let ci_half = match query.agg {
+                    AggKind::Min | AggKind::Max => 0.0,
+                    _ => self.lambda * pv.variance.sqrt(),
+                };
+                Estimate::approximate(pv.value, ci_half)
+            }
+            None => {
+                return Err(PassError::EmptyInput(
+                    "no sampled tuple matches the predicate",
+                ))
+            }
+        };
+        // US scans its whole sample for every query; nothing is safely
+        // skipped (there is no index to prove irrelevance).
+        Ok(est.with_accounting(self.sample.k() as u64, self.total_rows - self.sample.k() as u64))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.sample.storage_bytes()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_table::datasets::uniform;
+
+    #[test]
+    fn estimates_track_truth() {
+        let t = uniform(20_000, 1);
+        let us = UniformSynopsis::build(&t, 2_000, 2).unwrap();
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = Query::interval(agg, 0.2, 0.8);
+            let est = us.estimate(&q).unwrap();
+            let truth = t.ground_truth(&q).unwrap();
+            let rel = (est.value - truth).abs() / truth;
+            assert!(rel < 0.1, "{agg}: rel {rel}");
+            assert!(est.ci_half > 0.0, "{agg} has sampling uncertainty");
+        }
+    }
+
+    #[test]
+    fn selective_queries_suffer() {
+        // The classic pitfall: a very selective predicate leaves few (or
+        // zero) matching sampled tuples.
+        let t = uniform(50_000, 3);
+        let us = UniformSynopsis::build(&t, 100, 4).unwrap();
+        let q = Query::interval(AggKind::Avg, 0.50000, 0.50002);
+        // Either errors (no matching sample) or has a CI; both are honest.
+        match us.estimate(&q) {
+            Err(_) => {}
+            Ok(est) => assert!(!est.exact),
+        }
+    }
+
+    #[test]
+    fn ci_covers_truth_usually() {
+        let t = uniform(10_000, 5);
+        let q = Query::interval(AggKind::Sum, 0.1, 0.6);
+        let truth = t.ground_truth(&q).unwrap();
+        let mut covered = 0;
+        for seed in 0..100 {
+            let us = UniformSynopsis::build(&t, 500, seed).unwrap();
+            let est = us.estimate(&q).unwrap();
+            if (est.value - truth).abs() <= est.ci_half {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 95, "coverage {covered}/100");
+    }
+
+    #[test]
+    fn no_skipping_in_accounting() {
+        let t = uniform(1_000, 6);
+        let us = UniformSynopsis::build(&t, 100, 7).unwrap();
+        let est = us.estimate(&Query::interval(AggKind::Sum, 0.0, 1.0)).unwrap();
+        assert_eq!(est.tuples_processed, 100);
+    }
+
+    #[test]
+    fn storage_is_sample_payload() {
+        let t = uniform(1_000, 8);
+        let us = UniformSynopsis::build(&t, 50, 9).unwrap();
+        assert_eq!(us.storage_bytes(), 50 * 2 * 8);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 3: median relative error of random SUM queries vs the number of
+//! partitions {4..128}, fixed 0.5% sample rate, on the three datasets.
+
+use pass_baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
+use pass_bench::{emit_json, pct, print_table, Scale};
+use pass_common::{AggKind, Synopsis};
+use pass_core::PassBuilder;
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+use pass_workload::{random_queries, run_workload, Truth, WorkloadSummary};
+
+const PARTITION_SWEEP: [usize; 6] = [4, 8, 16, 32, 64, 128];
+const SAMPLE_RATE: f64 = 0.005;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Figure 3 reproduction (scale={}, {} SUM queries, rate=0.5%)",
+        scale.label, scale.queries
+    );
+    let mut all = Vec::<WorkloadSummary>::new();
+
+    for id in DatasetId::ALL {
+        let table = scale.dataset(id);
+        let sorted = SortedTable::from_table(&table, 0);
+        let truth = Truth::new(&table);
+        let n = table.n_rows();
+        let base_k = ((n as f64) * SAMPLE_RATE).ceil() as usize;
+        let queries = random_queries(
+            &sorted,
+            scale.queries,
+            AggKind::Sum,
+            (n / 100).max(10),
+            scale.seed,
+        );
+        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
+
+        // US has no partitioning knob: one flat series value.
+        let us = UniformSynopsis::build(&table, base_k, scale.seed).unwrap();
+        let (us_summary, _) = run_workload(&us, &queries, &truth, Some(&truths));
+
+        let mut rows = Vec::new();
+        for parts in PARTITION_SWEEP {
+            let pass = PassBuilder::new()
+                .partitions(parts)
+                .sample_rate(SAMPLE_RATE)
+                .seed(scale.seed)
+                .build(&table)
+                .unwrap();
+            let st = StratifiedSynopsis::build(&table, parts, base_k, scale.seed).unwrap();
+            let aqp = AqpPlusPlus::build(&table, parts, base_k, scale.seed).unwrap();
+            let mut row = vec![parts.to_string()];
+            for engine in [&pass as &dyn Synopsis, &us, &st, &aqp] {
+                let (mut s, _) = run_workload(engine, &queries, &truth, Some(&truths));
+                row.push(pct(s.median_relative_error));
+                s.engine = format!("{}/{}/k={}", s.engine, id, parts);
+                all.push(s);
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Figure 3 — {id}: median relative error vs #partitions (US flat at {})",
+                pct(us_summary.median_relative_error)
+            ),
+            &["#partitions", "PASS", "US", "ST", "AQP++"],
+            &rows,
+        );
+    }
+    emit_json("fig3", &scale, &all);
+}

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for offline construction: the ADP optimizer
+//! against equal-depth partitioning, and the full PASS build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pass_common::AggKind;
+use pass_core::{PassBuilder, PartitionStrategy};
+use pass_partition::{Adp, EqualDepth, Partitioner1D};
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let table = DatasetId::NycTaxi.generate(200_000, 13);
+    let sorted = SortedTable::from_table(&table, 0);
+    let mut group = c.benchmark_group("partition_200k_k64");
+    group.sample_size(20);
+
+    for m in [1_024usize, 4_096, 16_384] {
+        let adp = Adp::new(AggKind::Sum).with_samples(m);
+        group.bench_with_input(BenchmarkId::new("ADP(sum)", m), &sorted, |b, s| {
+            b.iter(|| std::hint::black_box(adp.partition(s, 64).unwrap()));
+        });
+        let adp_avg = Adp::new(AggKind::Avg).with_samples(m);
+        group.bench_with_input(BenchmarkId::new("ADP(avg)", m), &sorted, |b, s| {
+            b.iter(|| std::hint::black_box(adp_avg.partition(s, 64).unwrap()));
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("EQ", 0), &sorted, |b, s| {
+        b.iter(|| std::hint::black_box(EqualDepth.partition(s, 64).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_full_build(c: &mut Criterion) {
+    let table = DatasetId::Intel.generate(120_000, 17);
+    let mut group = c.benchmark_group("pass_build_120k");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("ADP", PartitionStrategy::Adp(AggKind::Sum)),
+        ("EQ", PartitionStrategy::EqualDepth),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &table, |b, t| {
+            b.iter(|| {
+                std::hint::black_box(
+                    PassBuilder::new()
+                        .partitions(64)
+                        .sample_rate(0.005)
+                        .strategy(strategy)
+                        .seed(17)
+                        .build(t)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_full_build);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks: per-query latency of each engine and the
+//! MCF index lookup alone — the constant factors behind Table 3's latency
+//! columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pass_baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
+use pass_common::{AggKind, Synopsis};
+use pass_core::{mcf, PassBuilder};
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+use pass_workload::random_queries;
+
+fn bench_estimate(c: &mut Criterion) {
+    let table = DatasetId::NycTaxi.generate(200_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, 64, AggKind::Sum, 2_000, 11);
+    let k = 1_000;
+
+    let pass = PassBuilder::new()
+        .partitions(64)
+        .sample_rate(0.005)
+        .seed(7)
+        .build(&table)
+        .unwrap();
+    let us = UniformSynopsis::build(&table, k, 7).unwrap();
+    let st = StratifiedSynopsis::build(&table, 64, k, 7).unwrap();
+    let aqp = AqpPlusPlus::build(&table, 64, k, 7).unwrap();
+
+    let mut group = c.benchmark_group("estimate_sum_200k");
+    let engines: [(&str, &dyn Synopsis); 4] =
+        [("PASS", &pass), ("US", &us), ("ST", &st), ("AQP++", &aqp)];
+    for (name, engine) in engines {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                std::hint::black_box(engine.estimate(q).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcf(c: &mut Criterion) {
+    let table = DatasetId::Intel.generate(120_000, 3);
+    let mut group = c.benchmark_group("mcf_lookup");
+    for parts in [16usize, 64, 256] {
+        let pass = PassBuilder::new()
+            .partitions(parts)
+            .sample_rate(0.005)
+            .seed(3)
+            .build(&table)
+            .unwrap();
+        let sorted = SortedTable::from_table(&table, 0);
+        let queries = random_queries(&sorted, 64, AggKind::Sum, 1_000, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &queries, |b, qs| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                std::hint::black_box(mcf(pass.tree(), q, true));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate, bench_mcf);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Table 1: median relative error of US / ST / AQP++ / PASS-ESS /
+//! PASS-BSS2x / PASS-BSS10x for COUNT / SUM / AVG on the three datasets,
+//! plus mean construction cost.
+//!
+//! Setup per Section 5.1.3: 0.5% sampling rate, 64 partitions, λ = 2.576,
+//! random queries per aggregate.
+
+use pass_baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
+use pass_bench::{emit_json, pct, print_table, timed, Scale};
+use pass_common::{AggKind, Synopsis};
+use pass_core::PassBuilder;
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+use pass_workload::{random_queries, run_workload, Truth, WorkloadSummary};
+
+const PARTITIONS: usize = 64;
+const SAMPLE_RATE: f64 = 0.005;
+
+#[allow(clippy::needless_range_loop)] // 3×3 result grid is clearest indexed
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "Table 1 reproduction (scale={}, {} queries/agg, rate=0.5%, k={PARTITIONS})",
+        scale.label, scale.queries
+    );
+
+    let engines = [
+        "US",
+        "ST",
+        "AQP++",
+        "PASS-ESS",
+        "PASS-BSS2x",
+        "PASS-BSS10x",
+    ];
+    // errors[engine][agg][dataset]
+    let mut errors = vec![vec![vec![0.0f64; 3]; 3]; engines.len()];
+    let mut build_ms = vec![0.0f64; engines.len()];
+    let mut all_summaries: Vec<WorkloadSummary> = Vec::new();
+
+    for (d_idx, id) in DatasetId::ALL.into_iter().enumerate() {
+        let table = scale.dataset(id);
+        let sorted = SortedTable::from_table(&table, 0);
+        let truth = Truth::new(&table);
+        let n = table.n_rows();
+        let base_k = ((n as f64) * SAMPLE_RATE).ceil() as usize;
+        let min_rows = (n / 100).max(10);
+
+        // Build all six engines, timing construction.
+        let (us, t0) = timed(|| UniformSynopsis::build(&table, base_k, scale.seed).unwrap());
+        let (st, t1) = timed(|| {
+            StratifiedSynopsis::build(&table, PARTITIONS, base_k, scale.seed).unwrap()
+        });
+        let (aqp, t2) =
+            timed(|| AqpPlusPlus::build(&table, PARTITIONS, base_k, scale.seed).unwrap());
+        // ESS mode: control tuples *processed per query* rather than
+        // stored. A 1-D query partially overlaps ≤ 2 of the k leaves, so
+        // PASS can store ~k/2 times more samples than US while touching
+        // the same number per query (Section 5.1.4's point that "data
+        // skipping could allow one to include more samples into the
+        // synopsis").
+        let ess_rate = (SAMPLE_RATE * PARTITIONS as f64 / 2.0).min(0.5);
+        let (pass_ess, t3) = timed(|| {
+            PassBuilder::new()
+                .partitions(PARTITIONS)
+                .sample_rate(ess_rate)
+                .seed(scale.seed)
+                .build(&table)
+                .unwrap()
+                .with_name("PASS-ESS")
+        });
+        let (pass_2x, t4) = timed(|| {
+            PassBuilder::new()
+                .partitions(PARTITIONS)
+                .total_samples(2 * base_k)
+                .seed(scale.seed)
+                .build(&table)
+                .unwrap()
+                .with_name("PASS-BSS2x")
+        });
+        let (pass_10x, t5) = timed(|| {
+            PassBuilder::new()
+                .partitions(PARTITIONS)
+                .total_samples(10 * base_k)
+                .seed(scale.seed)
+                .build(&table)
+                .unwrap()
+                .with_name("PASS-BSS10x")
+        });
+        let built: Vec<&dyn Synopsis> = vec![&us, &st, &aqp, &pass_ess, &pass_2x, &pass_10x];
+        for (e, ms) in [t0, t1, t2, t3, t4, t5].into_iter().enumerate() {
+            build_ms[e] += ms / 3.0;
+        }
+
+        for (a_idx, agg) in [AggKind::Count, AggKind::Sum, AggKind::Avg]
+            .into_iter()
+            .enumerate()
+        {
+            let queries = random_queries(
+                &sorted,
+                scale.queries,
+                agg,
+                min_rows,
+                scale.seed + a_idx as u64,
+            );
+            let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
+            for (e_idx, engine) in built.iter().enumerate() {
+                let (mut summary, _) =
+                    run_workload(*engine, &queries, &truth, Some(&truths));
+                summary.build_ms = build_ms[e_idx];
+                summary.engine = format!("{}/{}/{}", engines[e_idx], agg, id);
+                errors[e_idx][a_idx][d_idx] = summary.median_relative_error;
+                all_summaries.push(summary);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (e_idx, name) in engines.iter().enumerate() {
+        let mut row = vec![name.to_string(), format!("{:.2}s", build_ms[e_idx] / 1e3)];
+        for a in 0..3 {
+            for d in 0..3 {
+                row.push(pct(errors[e_idx][a][d]));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 1: median relative error (COUNT | SUM | AVG × Intel, Insta, NYC)",
+        &[
+            "Approach", "MeanCost", "COUNT/Intel", "COUNT/Insta", "COUNT/NYC",
+            "SUM/Intel", "SUM/Insta", "SUM/NYC", "AVG/Intel", "AVG/Insta", "AVG/NYC",
+        ],
+        &rows,
+    );
+    emit_json("table1", &scale, &all_summaries);
+}

@@ -1,0 +1,60 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Unified error type for synopsis construction and querying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// The query references a dimension the synopsis was not built over.
+    DimensionMismatch { expected: usize, got: usize },
+    /// A parameter was outside its valid range (name, description).
+    InvalidParameter(&'static str, String),
+    /// The input table is empty or otherwise unusable.
+    EmptyInput(&'static str),
+    /// I/O-style failure while loading data (message only; keeps the error
+    /// type `Clone + Eq` which simplifies test assertions).
+    Load(String),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::DimensionMismatch { expected, got } => {
+                write!(f, "query has {got} dimensions but synopsis covers {expected}")
+            }
+            PassError::InvalidParameter(name, why) => {
+                write!(f, "invalid parameter `{name}`: {why}")
+            }
+            PassError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            PassError::Load(msg) => write!(f, "load error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, PassError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = PassError::DimensionMismatch { expected: 2, got: 5 };
+        assert_eq!(e.to_string(), "query has 5 dimensions but synopsis covers 2");
+        let e = PassError::InvalidParameter("k", "must be >= 1".into());
+        assert_eq!(e.to_string(), "invalid parameter `k`: must be >= 1");
+        let e = PassError::EmptyInput("table");
+        assert_eq!(e.to_string(), "empty input: table");
+        let e = PassError::Load("bad csv".into());
+        assert_eq!(e.to_string(), "load error: bad csv");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PassError::EmptyInput("x"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The result of an approximate query.
+
+/// An approximate query answer together with its uncertainty and the
+/// accounting the Section 5 metrics need (skip rate, effective sample size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// The point estimate of the aggregate.
+    pub value: f64,
+    /// Half-width of the λ-confidence interval (already multiplied by λ).
+    /// Zero for exactly-answered queries.
+    pub ci_half: f64,
+    /// Deterministic hard bounds `(lb, ub)` when the engine can provide them
+    /// (PASS can, via the partition extrema — Section 2.3; pure sampling
+    /// engines cannot).
+    pub hard_bounds: Option<(f64, f64)>,
+    /// Sample/aggregate tuples actually touched while answering — the paper's
+    /// "effective sample size" numerator (Section 5.1.4).
+    pub tuples_processed: u64,
+    /// Tuples safely skipped thanks to covered/irrelevant partitions — the
+    /// numerator of the skip rate metric.
+    pub tuples_skipped: u64,
+    /// True when the answer is exact (query aligned with the partitioning).
+    pub exact: bool,
+}
+
+impl Estimate {
+    /// An exact answer: no CI, degenerate hard bounds.
+    pub fn exact(value: f64) -> Self {
+        Self {
+            value,
+            ci_half: 0.0,
+            hard_bounds: Some((value, value)),
+            tuples_processed: 0,
+            tuples_skipped: 0,
+            exact: true,
+        }
+    }
+
+    /// A sampled answer with a CI half-width.
+    pub fn approximate(value: f64, ci_half: f64) -> Self {
+        Self {
+            value,
+            ci_half,
+            hard_bounds: None,
+            tuples_processed: 0,
+            tuples_skipped: 0,
+            exact: false,
+        }
+    }
+
+    /// Builder-style accounting attachment.
+    pub fn with_accounting(mut self, processed: u64, skipped: u64) -> Self {
+        self.tuples_processed = processed;
+        self.tuples_skipped = skipped;
+        self
+    }
+
+    /// Builder-style hard-bound attachment.
+    pub fn with_hard_bounds(mut self, lb: f64, ub: f64) -> Self {
+        debug_assert!(lb <= ub, "hard bounds inverted: {lb} > {ub}");
+        self.hard_bounds = Some((lb, ub));
+        self
+    }
+
+    /// The confidence interval as `(lo, hi)`.
+    pub fn ci(&self) -> (f64, f64) {
+        (self.value - self.ci_half, self.value + self.ci_half)
+    }
+
+    /// Relative error against a known ground truth; uses the paper's metric
+    /// |est − truth| / |truth|. When the truth is zero, returns 0 for an
+    /// exactly-zero estimate and the absolute error otherwise.
+    pub fn relative_error(&self, truth: f64) -> f64 {
+        if truth == 0.0 {
+            return self.value.abs();
+        }
+        (self.value - truth).abs() / truth.abs()
+    }
+
+    /// CI ratio against ground truth: half-CI / |truth| (Section 5.1.2).
+    pub fn ci_ratio(&self, truth: f64) -> f64 {
+        if truth == 0.0 {
+            return self.ci_half;
+        }
+        self.ci_half / truth.abs()
+    }
+
+    /// Skip rate: skipped / (skipped + processed); 0 when nothing was seen.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.tuples_processed + self.tuples_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.tuples_skipped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimates_have_zero_uncertainty() {
+        let e = Estimate::exact(42.0);
+        assert!(e.exact);
+        assert_eq!(e.ci_half, 0.0);
+        assert_eq!(e.hard_bounds, Some((42.0, 42.0)));
+        assert_eq!(e.ci(), (42.0, 42.0));
+        assert_eq!(e.relative_error(42.0), 0.0);
+    }
+
+    #[test]
+    fn ci_is_symmetric() {
+        let e = Estimate::approximate(10.0, 1.5);
+        assert_eq!(e.ci(), (8.5, 11.5));
+        assert!(!e.exact);
+    }
+
+    #[test]
+    fn relative_error_and_ci_ratio() {
+        let e = Estimate::approximate(11.0, 2.0);
+        assert!((e.relative_error(10.0) - 0.1).abs() < 1e-12);
+        assert!((e.ci_ratio(10.0) - 0.2).abs() < 1e-12);
+        // Negative truth uses |truth|.
+        assert!((e.relative_error(-10.0) - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_falls_back_to_absolute() {
+        let e = Estimate::approximate(0.25, 0.5);
+        assert_eq!(e.relative_error(0.0), 0.25);
+        assert_eq!(e.ci_ratio(0.0), 0.5);
+    }
+
+    #[test]
+    fn skip_rate_accounting() {
+        let e = Estimate::approximate(1.0, 0.1).with_accounting(25, 75);
+        assert_eq!(e.skip_rate(), 0.75);
+        assert_eq!(e.tuples_processed, 25);
+        let none = Estimate::exact(0.0);
+        assert_eq!(none.skip_rate(), 0.0);
+    }
+
+    #[test]
+    fn hard_bounds_builder() {
+        let e = Estimate::approximate(5.0, 1.0).with_hard_bounds(0.0, 20.0);
+        assert_eq!(e.hard_bounds, Some((0.0, 20.0)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Kahan–Babuška compensated summation.
+//!
+//! Partition aggregates and prefix sums accumulate millions of doubles; naive
+//! summation loses precision exactly where PASS needs it most (variance of a
+//! narrow range computed as the difference of two huge prefix values). All
+//! long-running accumulations in the workspace go through [`KahanSum`].
+
+/// A compensated accumulator (Neumaier's variant, which also handles the case
+/// where the addend is larger in magnitude than the running sum).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Fresh accumulator at zero.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one value.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    /// Sum an iterator of values with compensation.
+    pub fn sum_iter<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+        let mut acc = Self::new();
+        for v in iter {
+            acc.add(v);
+        }
+        acc.total()
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for v in iter {
+            acc.add(v);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_sum_on_benign_input() {
+        let vals: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let naive: f64 = vals.iter().sum();
+        assert_eq!(KahanSum::sum_iter(vals.iter().copied()), naive);
+    }
+
+    #[test]
+    fn recovers_catastrophic_cancellation() {
+        // 1.0 followed by 1e16 then -1e16: naive summation drops the 1.0.
+        let vals = [1.0f64, 1e16, -1e16];
+        let naive: f64 = vals.iter().sum();
+        assert_ne!(naive, 1.0, "test premise: naive summation loses the 1.0");
+        assert_eq!(KahanSum::sum_iter(vals.iter().copied()), 1.0);
+    }
+
+    #[test]
+    fn many_small_added_to_large() {
+        // 1e8 copies of 1e-8 added to 1.0 should give ~2.0.
+        let mut acc = KahanSum::new();
+        acc.add(1.0);
+        for _ in 0..100_000 {
+            acc.add(1e-5);
+        }
+        assert!((acc.total() - 2.0).abs() < 1e-9, "got {}", acc.total());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let acc: KahanSum = vec![1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(acc.total(), 6.0);
+    }
+}

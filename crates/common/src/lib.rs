@@ -1,0 +1,35 @@
+//! Shared foundation for the PASS approximate-query-processing workspace.
+//!
+//! This crate holds the vocabulary types every other crate speaks:
+//!
+//! * [`Query`] / [`Rect`] — rectangular aggregate queries over a predicate
+//!   space (Section 3.1 of the paper);
+//! * [`AggKind`] / [`Aggregates`] — the five supported aggregates and the
+//!   mergeable per-partition statistics (SUM, COUNT, MIN, MAX);
+//! * [`Estimate`] and the [`Synopsis`] trait — the engine-agnostic contract
+//!   every AQP engine (PASS and all baselines) implements;
+//! * numeric kernels: compensated summation ([`kahan`]), prefix sums
+//!   ([`prefix`]), and statistics helpers ([`stats`]);
+//! * deterministic RNG construction ([`rng`]).
+//!
+//! Nothing here depends on any particular storage layout or estimator; those
+//! live in `pass-table`, `pass-sampling`, `pass-partition`, and `pass-core`.
+
+pub mod agg;
+pub mod error;
+pub mod estimate;
+pub mod kahan;
+pub mod prefix;
+pub mod query;
+pub mod rng;
+pub mod stats;
+pub mod synopsis;
+
+pub use agg::{AggKind, Aggregates};
+pub use error::{PassError, Result};
+pub use estimate::Estimate;
+pub use kahan::KahanSum;
+pub use prefix::PrefixSums;
+pub use query::{Query, Rect, RectRelation};
+pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};
+pub use synopsis::Synopsis;

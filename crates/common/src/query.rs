@@ -1,0 +1,269 @@
+//! Rectangular queries over the predicate space.
+//!
+//! The paper restricts the query class `Q` to "rectangular region" predicates
+//! `x_i <= C_i <= y_i` for each predicate column `C_i` (Section 3.1/4.1).
+//! [`Rect`] models such a region with inclusive bounds; [`Query`] pairs a
+//! rectangle with an aggregate kind. The geometric relation between a query
+//! rectangle and a partition rectangle drives the MCF classification into
+//! covered / partial / none (Section 2.3).
+
+use crate::agg::AggKind;
+
+/// An axis-aligned rectangle with inclusive bounds, one interval per
+/// predicate dimension. A partition condition ψ and a query predicate are
+/// both rectangles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+/// How a partition rectangle relates to a query rectangle (Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RectRelation {
+    /// Every tuple in the partition satisfies the predicate
+    /// (partition ⊆ query).
+    Covered,
+    /// No tuple in the partition can satisfy the predicate.
+    Disjoint,
+    /// Some tuples may satisfy the predicate.
+    Partial,
+}
+
+impl Rect {
+    /// Build from per-dimension inclusive `(lo, hi)` pairs.
+    ///
+    /// # Panics
+    /// Panics when a dimension has `lo > hi` or a NaN bound — a malformed
+    /// rectangle is a programming error, not a data error.
+    pub fn new(bounds: &[(f64, f64)]) -> Self {
+        let mut lo = Vec::with_capacity(bounds.len());
+        let mut hi = Vec::with_capacity(bounds.len());
+        for &(l, h) in bounds {
+            assert!(!l.is_nan() && !h.is_nan(), "NaN rectangle bound");
+            assert!(l <= h, "rectangle bound lo {l} > hi {h}");
+            lo.push(l);
+            hi.push(h);
+        }
+        Self { lo, hi }
+    }
+
+    /// One-dimensional interval `[lo, hi]`.
+    pub fn interval(lo: f64, hi: f64) -> Self {
+        Self::new(&[(lo, hi)])
+    }
+
+    /// The degenerate "whole space" rectangle (ψ = True for the tree root).
+    pub fn whole(dims: usize) -> Self {
+        Self {
+            lo: vec![f64::NEG_INFINITY; dims],
+            hi: vec![f64::INFINITY; dims],
+        }
+    }
+
+    /// Number of predicate dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Inclusive lower bound of dimension `d`.
+    #[inline]
+    pub fn lo(&self, d: usize) -> f64 {
+        self.lo[d]
+    }
+
+    /// Inclusive upper bound of dimension `d`.
+    #[inline]
+    pub fn hi(&self, d: usize) -> f64 {
+        self.hi[d]
+    }
+
+    /// Does the rectangle contain the point (one coordinate per dimension)?
+    #[inline]
+    pub fn contains_point(&self, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(point)
+            .all(|((&l, &h), &p)| l <= p && p <= h)
+    }
+
+    /// Is `other` entirely inside `self`?
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(other.dims(), self.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((&sl, &sh), (&ol, &oh))| sl <= ol && oh <= sh)
+    }
+
+    /// Do the rectangles share at least one point?
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(other.dims(), self.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((&sl, &sh), (&ol, &oh))| sl <= oh && ol <= sh)
+    }
+
+    /// Classify `self` (a partition) against `query` for the MCF trichotomy.
+    pub fn relation_to(&self, query: &Rect) -> RectRelation {
+        if !self.intersects(query) {
+            RectRelation::Disjoint
+        } else if query.contains_rect(self) {
+            RectRelation::Covered
+        } else {
+            RectRelation::Partial
+        }
+    }
+
+    /// Restrict dimension `d` to `[lo, hi] ∩ [self.lo(d), self.hi(d)]`,
+    /// producing a child partition condition (conjunction with the parent ψ).
+    pub fn narrowed(&self, d: usize, lo: f64, hi: f64) -> Self {
+        let mut out = self.clone();
+        out.lo[d] = out.lo[d].max(lo);
+        out.hi[d] = out.hi[d].min(hi);
+        assert!(out.lo[d] <= out.hi[d], "narrowing produced empty interval");
+        out
+    }
+
+    /// Smallest rectangle containing both (disjunction of sibling ψ's, used
+    /// when deriving the parent from children).
+    pub fn union(&self, other: &Rect) -> Self {
+        debug_assert_eq!(other.dims(), self.dims());
+        Self {
+            lo: self
+                .lo
+                .iter()
+                .zip(&other.lo)
+                .map(|(&a, &b)| a.min(b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(&other.hi)
+                .map(|(&a, &b)| a.max(b))
+                .collect(),
+        }
+    }
+}
+
+/// An aggregate query: `SELECT agg(A) FROM P WHERE rect` (Section 3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub agg: AggKind,
+    pub rect: Rect,
+}
+
+impl Query {
+    pub fn new(agg: AggKind, rect: Rect) -> Self {
+        Self { agg, rect }
+    }
+
+    /// Convenience constructor for the common 1-D case.
+    pub fn interval(agg: AggKind, lo: f64, hi: f64) -> Self {
+        Self::new(agg, Rect::interval(lo, hi))
+    }
+
+    /// Number of predicate dimensions.
+    pub fn dims(&self) -> usize {
+        self.rect.dims()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_point() {
+        let r = Rect::interval(2.0, 5.0);
+        assert!(r.contains_point(&[2.0]));
+        assert!(r.contains_point(&[5.0]));
+        assert!(!r.contains_point(&[5.1]));
+        assert!(!r.contains_point(&[1.9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangle bound lo")]
+    fn inverted_bounds_panic() {
+        let _ = Rect::interval(5.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_bounds_panic() {
+        let _ = Rect::interval(f64::NAN, 2.0);
+    }
+
+    #[test]
+    fn relation_trichotomy_1d() {
+        let q = Rect::interval(10.0, 20.0);
+        assert_eq!(Rect::interval(12.0, 18.0).relation_to(&q), RectRelation::Covered);
+        assert_eq!(Rect::interval(10.0, 20.0).relation_to(&q), RectRelation::Covered);
+        assert_eq!(Rect::interval(21.0, 30.0).relation_to(&q), RectRelation::Disjoint);
+        assert_eq!(Rect::interval(5.0, 15.0).relation_to(&q), RectRelation::Partial);
+        assert_eq!(Rect::interval(5.0, 25.0).relation_to(&q), RectRelation::Partial);
+    }
+
+    #[test]
+    fn relation_trichotomy_2d() {
+        let q = Rect::new(&[(0.0, 10.0), (0.0, 10.0)]);
+        let inside = Rect::new(&[(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(inside.relation_to(&q), RectRelation::Covered);
+        let off_in_one_dim = Rect::new(&[(1.0, 2.0), (11.0, 12.0)]);
+        assert_eq!(off_in_one_dim.relation_to(&q), RectRelation::Disjoint);
+        let straddle = Rect::new(&[(5.0, 15.0), (5.0, 9.0)]);
+        assert_eq!(straddle.relation_to(&q), RectRelation::Partial);
+    }
+
+    #[test]
+    fn touching_boundaries_intersect() {
+        // Inclusive bounds: sharing a single point counts as intersection.
+        let a = Rect::interval(0.0, 5.0);
+        let b = Rect::interval(5.0, 9.0);
+        assert!(a.intersects(&b));
+        assert_eq!(b.relation_to(&a), RectRelation::Partial);
+    }
+
+    #[test]
+    fn whole_space_covers_everything() {
+        let root = Rect::whole(3);
+        let q = Rect::new(&[(0.0, 1.0), (-5.0, 5.0), (2.0, 2.0)]);
+        assert!(root.contains_rect(&q));
+        assert_eq!(q.relation_to(&root), RectRelation::Covered);
+        assert_eq!(root.relation_to(&q), RectRelation::Partial);
+    }
+
+    #[test]
+    fn narrowing_builds_children() {
+        let parent = Rect::whole(2);
+        let child = parent.narrowed(0, 0.0, 10.0).narrowed(1, -1.0, 1.0);
+        assert_eq!(child.lo(0), 0.0);
+        assert_eq!(child.hi(0), 10.0);
+        assert_eq!(child.lo(1), -1.0);
+        assert_eq!(child.hi(1), 1.0);
+    }
+
+    #[test]
+    fn union_is_bounding_box() {
+        let a = Rect::new(&[(0.0, 1.0), (0.0, 1.0)]);
+        let b = Rect::new(&[(2.0, 3.0), (-1.0, 0.5)]);
+        let u = a.union(&b);
+        assert_eq!(u.lo(0), 0.0);
+        assert_eq!(u.hi(0), 3.0);
+        assert_eq!(u.lo(1), -1.0);
+        assert_eq!(u.hi(1), 1.0);
+    }
+
+    #[test]
+    fn query_constructors() {
+        let q = Query::interval(AggKind::Avg, 1.0, 2.0);
+        assert_eq!(q.dims(), 1);
+        assert_eq!(q.agg, AggKind::Avg);
+    }
+}

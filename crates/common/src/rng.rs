@@ -1,0 +1,65 @@
+//! Deterministic RNG construction.
+//!
+//! Every randomized component in the workspace (samplers, generators, query
+//! workloads) takes an explicit `u64` seed so that tests and benchmark tables
+//! regenerate bit-identically. This module centralizes seeding and seed
+//! derivation so that independent components fed from one master seed do not
+//! accidentally share streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Construct the workspace-standard RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent child seed from a master seed and a stream label.
+///
+/// Uses the SplitMix64 finalizer, whose avalanche behaviour guarantees that
+/// (seed, label) pairs differing in one bit produce uncorrelated outputs.
+pub fn derive_seed(master: u64, label: u64) -> u64 {
+    let mut z = master ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u32> = (0..10).map(|_| 0).collect::<Vec<_>>();
+        let mut r1 = rng_from_seed(42);
+        let mut r2 = rng_from_seed(42);
+        let s1: Vec<u64> = (0..10).map(|_| r1.gen()).collect();
+        let s2: Vec<u64> = (0..10).map(|_| r2.gen()).collect();
+        assert_eq!(s1, s2);
+        let _ = a;
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut r1 = rng_from_seed(1);
+        let mut r2 = rng_from_seed(2);
+        let s1: Vec<u64> = (0..8).map(|_| r1.gen()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| r2.gen()).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn derived_seeds_distinct_per_label() {
+        let master = 7;
+        let a = derive_seed(master, 0);
+        let b = derive_seed(master, 1);
+        let c = derive_seed(master, 2);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, derive_seed(master, 0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the foundation types: rectangle geometry, mergeable
+//! aggregates, prefix sums, and compensated summation.
+
+use proptest::prelude::*;
+
+use pass_common::{Aggregates, KahanSum, PrefixSums, Rect, RectRelation};
+
+fn rect_1d() -> impl Strategy<Value = Rect> {
+    (-100.0f64..100.0, 0.0f64..50.0).prop_map(|(lo, w)| Rect::interval(lo, lo + w))
+}
+
+fn rect_2d() -> impl Strategy<Value = Rect> {
+    (
+        -100.0f64..100.0,
+        0.0f64..50.0,
+        -100.0f64..100.0,
+        0.0f64..50.0,
+    )
+        .prop_map(|(x, w, y, h)| Rect::new(&[(x, x + w), (y, y + h)]))
+}
+
+proptest! {
+    /// Containment implies intersection, and the relation classification is
+    /// consistent with the primitive predicates.
+    #[test]
+    fn rect_relation_consistency(a in rect_2d(), b in rect_2d()) {
+        if b.contains_rect(&a) {
+            prop_assert!(a.intersects(&b));
+            prop_assert_eq!(a.relation_to(&b), RectRelation::Covered);
+        }
+        if !a.intersects(&b) {
+            prop_assert_eq!(a.relation_to(&b), RectRelation::Disjoint);
+            prop_assert_eq!(b.relation_to(&a), RectRelation::Disjoint);
+        }
+        // Intersection is symmetric.
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    /// A rectangle always covers itself; the whole space covers everything.
+    #[test]
+    fn rect_self_and_whole(a in rect_2d()) {
+        prop_assert_eq!(a.relation_to(&a), RectRelation::Covered);
+        let whole = Rect::whole(2);
+        prop_assert_eq!(a.relation_to(&whole), RectRelation::Covered);
+        prop_assert!(whole.contains_rect(&a));
+    }
+
+    /// Union is the smallest box containing both operands.
+    #[test]
+    fn rect_union_contains_both(a in rect_1d(), b in rect_1d()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        // Minimality in 1-D: bounds touch one of the operands.
+        prop_assert!(u.lo(0) == a.lo(0) || u.lo(0) == b.lo(0));
+        prop_assert!(u.hi(0) == a.hi(0) || u.hi(0) == b.hi(0));
+    }
+
+    /// Aggregate merge is commutative and associative, and matches
+    /// concatenation.
+    #[test]
+    fn aggregates_merge_laws(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..40),
+        ys in prop::collection::vec(-1e3f64..1e3, 0..40),
+        zs in prop::collection::vec(-1e3f64..1e3, 0..40),
+    ) {
+        let (a, b, c) = (
+            Aggregates::from_values(&xs),
+            Aggregates::from_values(&ys),
+            Aggregates::from_values(&zs),
+        );
+        let ab = a.merge(&b);
+        let ba = b.merge(&a);
+        prop_assert!((ab.sum - ba.sum).abs() < 1e-9);
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert_eq!(ab.min, ba.min);
+        prop_assert_eq!(ab.max, ba.max);
+
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert!((left.sum - right.sum).abs() < 1e-9);
+        prop_assert_eq!(left.count, right.count);
+
+        let concat: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let direct = Aggregates::from_values(&concat);
+        prop_assert!((ab.sum - direct.sum).abs() < 1e-6);
+        prop_assert_eq!(ab.count, direct.count);
+        prop_assert_eq!(ab.min, direct.min);
+        prop_assert_eq!(ab.max, direct.max);
+    }
+
+    /// Insert/remove round-trips leave SUM/COUNT unchanged.
+    #[test]
+    fn aggregates_insert_remove_roundtrip(
+        base in prop::collection::vec(-1e3f64..1e3, 1..30),
+        v in -1e3f64..1e3,
+    ) {
+        let mut a = Aggregates::from_values(&base);
+        let before = a;
+        a.insert(v);
+        a.remove(v);
+        prop_assert!((a.sum - before.sum).abs() < 1e-9);
+        prop_assert_eq!(a.count, before.count);
+        // Extrema stay conservative (bracketing the true ones).
+        prop_assert!(a.min <= before.min);
+        prop_assert!(a.max >= before.max);
+    }
+
+    /// Prefix sums reproduce arbitrary range sums.
+    #[test]
+    fn prefix_sums_arbitrary_ranges(
+        values in prop::collection::vec(-1e4f64..1e4, 1..200),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let p = PrefixSums::build(&values);
+        let n = values.len();
+        let (mut lo, mut hi) = (((n as f64) * a) as usize, ((n as f64) * b) as usize);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let naive: f64 = values[lo..hi].iter().sum();
+        prop_assert!((p.range_sum(lo, hi) - naive).abs() < 1e-6 * naive.abs().max(1.0));
+        prop_assert!(p.scatter(lo, hi) >= 0.0, "scatter is clamped non-negative");
+    }
+
+    /// Kahan summation is at least as accurate as naive summation against
+    /// an exact reference (integers, exactly representable).
+    #[test]
+    fn kahan_matches_exact_on_integers(values in prop::collection::vec(-1_000_000i64..1_000_000, 0..500)) {
+        let exact: i64 = values.iter().sum();
+        let kahan = KahanSum::sum_iter(values.iter().map(|&v| v as f64));
+        prop_assert_eq!(kahan, exact as f64);
+    }
+}

@@ -1,0 +1,215 @@
+//! Time-budget planning (Section 3.1).
+//!
+//! "The user specifies the following parameters: (τ_c) a time limit for
+//! constructing the data structure, and (τ_q) a time limit for querying
+//! the data structure. Then, using a cost-model, our framework minimizes
+//! the maximum query error while satisfying those constraints."
+//!
+//! [`BudgetPlanner`] turns the two time limits into the internal knobs —
+//! the partition count `k` (construction-bound) and the per-query sample
+//! budget, hence the sampling rate (latency-bound) — by calibrating a
+//! small linear cost model on the actual machine and data:
+//!
+//! * construction ≈ `sort + optimizer(k) + k·(aggregate + sample)` — we
+//!   measure a probe build at small k and extrapolate the k-linear part;
+//! * query ≈ `mcf(log k) + scanned_samples · per_row` — we measure the
+//!   per-sampled-row scan cost and size the stratified samples so that
+//!   the ≤ 2 partially-overlapping leaves of a 1-D query stay under τ_q.
+
+use std::time::Instant;
+
+use pass_common::{PassError, Rect, Result, Synopsis};
+use pass_table::Table;
+
+use crate::synopsis::{Pass, PassBuilder};
+
+/// A calibrated plan: the chosen knobs plus the model's predictions.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetPlan {
+    pub partitions: usize,
+    pub sample_rate: f64,
+    /// Model-predicted construction time (ms).
+    pub predicted_build_ms: f64,
+    /// Model-predicted per-query latency (µs).
+    pub predicted_query_us: f64,
+}
+
+/// Plans PASS parameters under construction/query time limits.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetPlanner {
+    /// Construction limit τ_c in milliseconds.
+    pub construct_ms: f64,
+    /// Per-query limit τ_q in microseconds.
+    pub query_us: f64,
+    /// Probe size used for calibration (rows); clamped to the table.
+    pub probe_rows: usize,
+}
+
+impl BudgetPlanner {
+    pub fn new(construct_ms: f64, query_us: f64) -> Self {
+        Self {
+            construct_ms,
+            query_us,
+            probe_rows: 20_000,
+        }
+    }
+
+    /// Calibrate on (a prefix of) the table and derive the plan.
+    pub fn plan(&self, table: &Table) -> Result<BudgetPlan> {
+        if table.n_rows() == 0 {
+            return Err(PassError::EmptyInput("budget planning over empty table"));
+        }
+        if self.construct_ms <= 0.0 || self.query_us <= 0.0 {
+            return Err(PassError::InvalidParameter(
+                "budget",
+                "time limits must be positive".into(),
+            ));
+        }
+        let n = table.n_rows();
+        let probe_n = self.probe_rows.clamp(256, n);
+        let probe = probe_table(table, probe_n)?;
+
+        // --- calibrate construction: build at two k values, fit linear.
+        let (k_lo, k_hi) = (8usize, 32usize);
+        let t_lo = time_build(&probe, k_lo, 0.01)?;
+        let t_hi = time_build(&probe, k_hi, 0.01)?;
+        let per_k_ms = ((t_hi - t_lo) / (k_hi - k_lo) as f64).max(1e-6);
+        let base_ms = (t_lo - per_k_ms * k_lo as f64).max(0.0);
+        // Scale the row-dependent base cost up to the full table.
+        let scale = n as f64 / probe_n as f64;
+        let full_base_ms = base_ms * scale;
+
+        // Construction-bound partitions (cap at n/4 so leaves keep rows,
+        // floor at 4).
+        let k_budget = ((self.construct_ms - full_base_ms) / (per_k_ms * scale)).floor();
+        let partitions = (k_budget as isize).clamp(4, (n / 4).max(4) as isize) as usize;
+
+        // --- calibrate query: measure per-sampled-row scan cost.
+        let probe_pass = PassBuilder::new()
+            .partitions(k_lo)
+            .sample_rate(0.05)
+            .seed(0xB00)
+            .build(&probe)?;
+        let per_row_us = time_per_sample_row(&probe, &probe_pass)?;
+        // A 1-D query partially overlaps ≤ 2 leaves; each leaf holds
+        // rate·N/k samples. Solve 2·rate·N/k·per_row ≤ τ_q.
+        let mcf_overhead_us = 1.0; // measured lookups are sub-µs
+        let budget_rows =
+            ((self.query_us - mcf_overhead_us).max(0.1) / per_row_us).max(1.0);
+        let sample_rate =
+            (budget_rows * partitions as f64 / (2.0 * n as f64)).clamp(1e-5, 1.0);
+
+        Ok(BudgetPlan {
+            partitions,
+            sample_rate,
+            predicted_build_ms: full_base_ms + per_k_ms * scale * partitions as f64,
+            predicted_query_us: mcf_overhead_us
+                + 2.0 * sample_rate * n as f64 / partitions as f64 * per_row_us,
+        })
+    }
+
+    /// Plan and build in one step.
+    pub fn build(&self, table: &Table) -> Result<(Pass, BudgetPlan)> {
+        let plan = self.plan(table)?;
+        let pass = PassBuilder::new()
+            .partitions(plan.partitions)
+            .sample_rate(plan.sample_rate)
+            .build(table)?;
+        Ok((pass, plan))
+    }
+}
+
+fn probe_table(table: &Table, rows: usize) -> Result<Table> {
+    let idx: Vec<usize> = (0..rows).map(|i| i * table.n_rows() / rows).collect();
+    let values: Vec<f64> = idx.iter().map(|&i| table.value(i)).collect();
+    let predicates: Vec<Vec<f64>> = (0..table.dims())
+        .map(|d| idx.iter().map(|&i| table.predicate(d, i)).collect())
+        .collect();
+    Table::new(values, predicates, table.names().to_vec())
+}
+
+fn time_build(probe: &Table, k: usize, rate: f64) -> Result<f64> {
+    let start = Instant::now();
+    let _ = PassBuilder::new()
+        .partitions(k)
+        .sample_rate(rate)
+        .seed(0xB00)
+        .build(probe)?;
+    Ok(start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Microseconds of query time per sampled row scanned, measured with a
+/// broad partially-overlapping query.
+fn time_per_sample_row(probe: &Table, pass: &Pass) -> Result<f64> {
+    let rect = probe.bounding_rect().expect("probe is non-empty");
+    // Nudge the bounds inward so the query partially overlaps leaves.
+    let lo = rect.lo(0);
+    let hi = rect.hi(0);
+    let q = pass_common::Query::new(
+        pass_common::AggKind::Sum,
+        Rect::interval(lo + (hi - lo) * 0.01, hi - (hi - lo) * 0.01),
+    );
+    let reps = 200;
+    let start = Instant::now();
+    let mut rows_scanned = 0u64;
+    for _ in 0..reps {
+        let est = pass.estimate(&q)?;
+        rows_scanned += est.tuples_processed.max(1);
+    }
+    let total_us = start.elapsed().as_secs_f64() * 1e6;
+    Ok((total_us / rows_scanned as f64).max(1e-4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_table::datasets::uniform;
+
+    #[test]
+    fn tighter_construction_budget_means_fewer_partitions() {
+        let t = uniform(60_000, 1);
+        let tight = BudgetPlanner::new(1.0, 100.0).plan(&t).unwrap();
+        let loose = BudgetPlanner::new(5_000.0, 100.0).plan(&t).unwrap();
+        assert!(
+            tight.partitions <= loose.partitions,
+            "tight {} vs loose {}",
+            tight.partitions,
+            loose.partitions
+        );
+        assert!(tight.partitions >= 4);
+    }
+
+    #[test]
+    fn tighter_query_budget_means_smaller_samples() {
+        let t = uniform(60_000, 2);
+        let fast = BudgetPlanner::new(500.0, 5.0).plan(&t).unwrap();
+        let slow = BudgetPlanner::new(500.0, 5_000.0).plan(&t).unwrap();
+        assert!(
+            fast.sample_rate <= slow.sample_rate,
+            "fast {} vs slow {}",
+            fast.sample_rate,
+            slow.sample_rate
+        );
+    }
+
+    #[test]
+    fn build_returns_consistent_synopsis() {
+        let t = uniform(30_000, 3);
+        let (pass, plan) = BudgetPlanner::new(1_000.0, 200.0).build(&t).unwrap();
+        assert_eq!(pass.tree().n_leaves(), plan.partitions.min(30_000));
+        assert!(plan.predicted_build_ms > 0.0);
+        assert!(plan.predicted_query_us > 0.0);
+        // The synopsis answers queries.
+        let q = pass_common::Query::interval(pass_common::AggKind::Sum, 0.1, 0.9);
+        assert!(pass.estimate(&q).is_ok());
+    }
+
+    #[test]
+    fn invalid_budgets_rejected() {
+        let t = uniform(1_000, 4);
+        assert!(BudgetPlanner::new(0.0, 10.0).plan(&t).is_err());
+        assert!(BudgetPlanner::new(10.0, -1.0).plan(&t).is_err());
+        let empty = Table::one_dim(vec![], vec![]).unwrap();
+        assert!(BudgetPlanner::new(10.0, 10.0).plan(&empty).is_err());
+    }
+}

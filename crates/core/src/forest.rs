@@ -1,0 +1,190 @@
+//! Multi-template forests (Section 4.5 extensions).
+//!
+//! "To handle multiple predicate column sets, we construct different trees
+//! based on statistics from the workload." A [`PassForest`] holds several
+//! PASS synopses over the same table — typically one per anticipated query
+//! template, each indexing a different predicate-dimension subset via
+//! [`PassBuilder::tree_dims`] — and routes each incoming query to the
+//! member whose indexed dimensions best cover the query's constrained
+//! dimensions (falling back on the workload-shift machinery for the rest).
+
+use pass_common::{Estimate, PassError, Query, Result, Synopsis};
+
+use crate::synopsis::Pass;
+
+/// A collection of PASS synopses with per-query routing.
+#[derive(Debug, Clone)]
+pub struct PassForest {
+    members: Vec<Pass>,
+    query_dims: usize,
+}
+
+impl PassForest {
+    /// Assemble a forest. All members must accept the same query arity.
+    pub fn new(members: Vec<Pass>) -> Result<Self> {
+        let mut dims = None;
+        for m in &members {
+            match dims {
+                None => dims = Some(m.dims()),
+                Some(d) if d == m.dims() => {}
+                Some(d) => {
+                    return Err(PassError::DimensionMismatch {
+                        expected: d,
+                        got: m.dims(),
+                    })
+                }
+            }
+        }
+        let query_dims = dims.ok_or(PassError::EmptyInput("forest with no members"))?;
+        Ok(Self {
+            members,
+            query_dims,
+        })
+    }
+
+    /// The member synopses.
+    pub fn members(&self) -> &[Pass] {
+        &self.members
+    }
+
+    /// Dimensions a query actually constrains (finite bounds).
+    fn constrained_dims(query: &Query) -> Vec<usize> {
+        (0..query.dims())
+            .filter(|&d| {
+                query.rect.lo(d) != f64::NEG_INFINITY || query.rect.hi(d) != f64::INFINITY
+            })
+            .collect()
+    }
+
+    /// Pick the member whose indexed dimensions cover the most constrained
+    /// query dimensions; ties break toward the member indexing *fewer*
+    /// irrelevant dimensions (finer partitions on the dimensions that
+    /// matter).
+    pub fn route(&self, query: &Query) -> &Pass {
+        let constrained = Self::constrained_dims(query);
+        self.members
+            .iter()
+            .max_by_key(|m| {
+                let indexed = m.indexed_dims();
+                let covered = constrained.iter().filter(|d| indexed.contains(d)).count();
+                let wasted = indexed.len().saturating_sub(covered);
+                // Lexicographic (covered, -wasted).
+                (covered as isize, -(wasted as isize))
+            })
+            .expect("forest is non-empty")
+    }
+}
+
+impl Synopsis for PassForest {
+    fn name(&self) -> &str {
+        "PASS-Forest"
+    }
+
+    fn estimate(&self, query: &Query) -> Result<Estimate> {
+        if query.dims() != self.query_dims {
+            return Err(PassError::DimensionMismatch {
+                expected: self.query_dims,
+                got: query.dims(),
+            });
+        }
+        self.route(query).estimate(query)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.members.iter().map(|m| m.storage_bytes()).sum()
+    }
+
+    fn dims(&self) -> usize {
+        self.query_dims
+    }
+}
+
+impl Pass {
+    /// The query dimensions this synopsis' tree indexes (identity unless
+    /// built with [`crate::PassBuilder::tree_dims`]).
+    pub fn indexed_dims(&self) -> Vec<usize> {
+        match &self.tree_dims {
+            Some(d) => d.clone(),
+            None => (0..self.query_dims).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synopsis::PassBuilder;
+    use pass_common::{AggKind, Rect};
+    use pass_table::datasets::taxi;
+
+    fn forest() -> (pass_table::Table, PassForest) {
+        let table = taxi(20_000, 5).project(&[1, 2, 3]).unwrap();
+        let build = |dims: &[usize]| {
+            PassBuilder::new()
+                .partitions(64)
+                .sample_rate(0.02)
+                .tree_dims(dims)
+                .seed(6)
+                .build(&table)
+                .unwrap()
+        };
+        let forest = PassForest::new(vec![build(&[0]), build(&[0, 1]), build(&[2])]).unwrap();
+        (table, forest)
+    }
+
+    fn query_on(table: &pass_table::Table, dims: &[usize]) -> Query {
+        let full = table.bounding_rect().unwrap();
+        let bounds: Vec<(f64, f64)> = (0..table.dims())
+            .map(|d| {
+                if dims.contains(&d) {
+                    let mid = (full.lo(d) + full.hi(d)) / 2.0;
+                    (full.lo(d), mid)
+                } else {
+                    (f64::NEG_INFINITY, f64::INFINITY)
+                }
+            })
+            .collect();
+        Query::new(AggKind::Sum, Rect::new(&bounds))
+    }
+
+    #[test]
+    fn routes_to_best_matching_template() {
+        let (table, forest) = forest();
+        // Query constraining dims {0,1}: the [0,1] member wins.
+        let q = query_on(&table, &[0, 1]);
+        assert_eq!(forest.route(&q).indexed_dims(), vec![0, 1]);
+        // Query constraining only dim 2: the [2] member wins.
+        let q = query_on(&table, &[2]);
+        assert_eq!(forest.route(&q).indexed_dims(), vec![2]);
+        // Query constraining only dim 0: prefer the [0] member (no wasted
+        // indexed dimension) over [0,1].
+        let q = query_on(&table, &[0]);
+        assert_eq!(forest.route(&q).indexed_dims(), vec![0]);
+    }
+
+    #[test]
+    fn forest_estimates_are_accurate() {
+        let (table, forest) = forest();
+        for dims in [&[0usize][..], &[0, 1], &[2], &[0, 2]] {
+            let q = query_on(&table, dims);
+            let est = forest.estimate(&q).unwrap();
+            let truth = table.ground_truth(&q).unwrap();
+            let rel = (est.value - truth).abs() / truth;
+            assert!(rel < 0.3, "{dims:?}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn empty_forest_rejected() {
+        assert!(PassForest::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn synopsis_contract() {
+        let (_, forest) = forest();
+        assert_eq!(forest.name(), "PASS-Forest");
+        assert_eq!(forest.dims(), 3);
+        assert!(forest.storage_bytes() > 0);
+        assert_eq!(forest.members().len(), 3);
+    }
+}

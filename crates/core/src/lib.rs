@@ -1,0 +1,48 @@
+//! PASS — Precomputation-Assisted Stratified Sampling (the paper's core
+//! contribution, Sections 3–4).
+//!
+//! A [`Pass`] synopsis is a partition tree annotated with exact
+//! SUM/COUNT/MIN/MAX aggregates per node and stratified samples at the
+//! leaves. Queries are processed by the Minimal Coverage Frontier search
+//! ([`mcf::mcf`]): partitions fully covered by the predicate are answered
+//! exactly from the aggregates, partially covered leaves are estimated from
+//! their stratified samples, and the two parts combine into a point
+//! estimate, a CLT confidence interval, and deterministic hard bounds.
+//!
+//! Build one with [`PassBuilder`]:
+//!
+//! ```
+//! use pass_core::PassBuilder;
+//! use pass_common::{AggKind, Query, Synopsis};
+//! use pass_table::datasets::uniform;
+//!
+//! let table = uniform(10_000, 42);
+//! let pass = PassBuilder::new()
+//!     .partitions(32)
+//!     .sample_rate(0.01)
+//!     .build(&table)
+//!     .unwrap();
+//! let q = Query::interval(AggKind::Sum, 0.2, 0.7);
+//! let est = pass.estimate(&q).unwrap();
+//! let truth = table.ground_truth(&q).unwrap();
+//! assert!((est.value - truth).abs() / truth < 0.2);
+//! ```
+
+pub mod bounds;
+pub mod budget;
+pub mod forest;
+pub mod groupby;
+pub mod maintain;
+pub mod mcf;
+pub mod query;
+pub mod synopsis;
+pub mod tree;
+pub mod update;
+
+pub use budget::{BudgetPlan, BudgetPlanner};
+pub use forest::PassForest;
+pub use groupby::GroupResult;
+pub use maintain::MaintenanceReport;
+pub use mcf::{constrains_outside, mcf, mcf_shifted, project_rect, McfResult, NodeClass};
+pub use synopsis::{Pass, PassBuilder, PartitionStrategy};
+pub use tree::{NodeId, PartitionTree, TreeNode};

@@ -1,0 +1,317 @@
+//! The Minimal Coverage Frontier algorithm (Algorithm 1, Section 3.2).
+//!
+//! A depth-first search over the partition tree classifying nodes against
+//! the query rectangle:
+//!
+//! * a node fully inside the query → **covered** (answered exactly from its
+//!   aggregates; none of its descendants are visited);
+//! * a node disjoint from the query → skipped entirely;
+//! * a partially overlapping internal node → recurse into its children;
+//! * a partially overlapping **leaf** → estimated from its stratified
+//!   sample.
+//!
+//! The 0-variance rule (Section 3.4) adds one base case for AVG queries:
+//! a partially overlapping node whose values are all identical
+//! (min == max) contributes its exact value, so it is returned as covered
+//! without touching any samples.
+
+use pass_common::{AggKind, Query, Rect, RectRelation};
+
+use crate::tree::{NodeId, PartitionTree};
+
+/// Classification of one returned node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Fully covered: use the node's exact aggregates.
+    Covered,
+    /// Partially covered leaf: estimate from its stratified sample.
+    Partial,
+}
+
+/// The coverage frontier of a query.
+#[derive(Debug, Clone, Default)]
+pub struct McfResult {
+    /// Nodes fully covered by the predicate (`R_cover`).
+    pub covered: Vec<NodeId>,
+    /// Partially covered leaves (`R_partial`).
+    pub partial: Vec<NodeId>,
+    /// Partially covered nodes admitted by the 0-variance rule: their
+    /// constant value makes the AVG *estimate* exact, but — unlike truly
+    /// covered nodes — their matching count is unknown, so hard bounds
+    /// must treat them like partial nodes (extrema only).
+    pub zero_var: Vec<NodeId>,
+    /// Nodes visited during the search (the O(γ log B) cost driver).
+    pub visited: usize,
+}
+
+impl McfResult {
+    /// Total population of all returned partitions (`N_q` for AVG weights —
+    /// Section 3.3: "the total size in all relevant partitions").
+    pub fn relevant_population(&self, tree: &PartitionTree) -> u64 {
+        self.covered
+            .iter()
+            .chain(&self.partial)
+            .chain(&self.zero_var)
+            .map(|&id| tree.node(id).agg.count)
+            .sum()
+    }
+}
+
+/// MCF for the workload-shift scenario (Section 5.4.1): the tree was built
+/// over predicate dimensions `tree_dims` of a wider predicate space, and
+/// `query` constrains the full space.
+///
+/// The query rectangle is projected onto the tree's dimensions for
+/// classification. Disjointness in the shared dimensions is still a sound
+/// reason to skip a partition. Coverage, however, is only decidable when
+/// the query leaves every *non-tree* dimension unconstrained; otherwise
+/// all intersecting leaves are returned as partial and answered from their
+/// (full-dimensional) samples — "the pre-computed aggregates that are not
+/// perfectly aligned with the target query can still be used for
+/// aggressive and reliable data skipping".
+pub fn mcf_shifted(
+    tree: &PartitionTree,
+    query: &Query,
+    tree_dims: &[usize],
+    zero_variance_rule: bool,
+) -> McfResult {
+    debug_assert_eq!(tree.dims(), tree_dims.len());
+    let projected = Query::new(
+        query.agg,
+        project_rect(&query.rect, tree_dims),
+    );
+    if !constrains_outside(&query.rect, tree_dims) {
+        return mcf(tree, &projected, zero_variance_rule);
+    }
+    // Outside constraints exist: coverage is undecidable from the tree, so
+    // descend every partially/fully intersecting branch to its leaves.
+    let mut result = McfResult::default();
+    let apply_zero_var = zero_variance_rule && query.agg == AggKind::Avg;
+    let mut stack = vec![tree.root()];
+    while let Some(id) = stack.pop() {
+        result.visited += 1;
+        let node = tree.node(id);
+        if node.agg.is_empty() {
+            continue;
+        }
+        match node.rect.relation_to(&projected.rect) {
+            RectRelation::Disjoint => {}
+            _ if apply_zero_var && node.agg.is_zero_variance() => {
+                // Constant values: AVG is exact whichever rows match.
+                result.zero_var.push(id);
+            }
+            _ if node.is_leaf() => result.partial.push(id),
+            _ => stack.extend_from_slice(&node.children),
+        }
+    }
+    result
+}
+
+/// Project a rectangle onto a subset of its dimensions.
+pub fn project_rect(rect: &Rect, dims: &[usize]) -> Rect {
+    let bounds: Vec<(f64, f64)> = dims.iter().map(|&d| (rect.lo(d), rect.hi(d))).collect();
+    Rect::new(&bounds)
+}
+
+/// Does the rectangle constrain any dimension outside `dims`?
+pub fn constrains_outside(rect: &Rect, dims: &[usize]) -> bool {
+    (0..rect.dims())
+        .filter(|d| !dims.contains(d))
+        .any(|d| rect.lo(d) != f64::NEG_INFINITY || rect.hi(d) != f64::INFINITY)
+}
+
+/// Run MCF for `query` over `tree`. `zero_variance_rule` enables the AVG
+/// base case (it is ignored for other aggregates).
+pub fn mcf(tree: &PartitionTree, query: &Query, zero_variance_rule: bool) -> McfResult {
+    let mut result = McfResult::default();
+    let apply_zero_var = zero_variance_rule && query.agg == AggKind::Avg;
+    let mut stack = vec![tree.root()];
+    while let Some(id) = stack.pop() {
+        result.visited += 1;
+        let node = tree.node(id);
+        if node.agg.is_empty() {
+            continue;
+        }
+        match node.rect.relation_to(&query.rect) {
+            RectRelation::Disjoint => {}
+            RectRelation::Covered => result.covered.push(id),
+            RectRelation::Partial => {
+                // 0-variance rule: constant values make AVG exact even
+                // under partial overlap.
+                if apply_zero_var && node.agg.is_zero_variance() {
+                    result.zero_var.push(id);
+                } else if node.is_leaf() {
+                    result.partial.push(id);
+                } else {
+                    stack.extend_from_slice(&node.children);
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::{AggKind, Query};
+    use pass_partition::Partitioning1D;
+    use pass_table::SortedTable;
+
+    /// 100 rows, keys 0..100, values = key; 4 leaves of 25.
+    fn tree() -> PartitionTree {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values = keys.clone();
+        let s = SortedTable::from_sorted(keys, values);
+        let p = Partitioning1D::new(100, vec![25, 50, 75]).unwrap();
+        PartitionTree::from_partitioning(&s, &p).unwrap()
+    }
+
+    #[test]
+    fn aligned_query_is_fully_covered() {
+        let t = tree();
+        // Exactly leaves 1 and 2: keys 25..=74.
+        let q = Query::interval(AggKind::Sum, 25.0, 74.0);
+        let r = mcf(&t, &q, false);
+        assert!(r.partial.is_empty(), "aligned query needs no samples");
+        let covered_rows: u64 = r.covered.iter().map(|&id| t.node(id).agg.count).sum();
+        assert_eq!(covered_rows, 50);
+    }
+
+    #[test]
+    fn whole_space_query_returns_root_only() {
+        let t = tree();
+        let q = Query::interval(AggKind::Sum, -10.0, 1000.0);
+        let r = mcf(&t, &q, false);
+        assert_eq!(r.covered, vec![t.root()]);
+        assert!(r.partial.is_empty());
+        assert_eq!(r.visited, 1, "root covered: nothing else visited");
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let t = tree();
+        let q = Query::interval(AggKind::Sum, 500.0, 600.0);
+        let r = mcf(&t, &q, false);
+        assert!(r.covered.is_empty());
+        assert!(r.partial.is_empty());
+    }
+
+    #[test]
+    fn straddling_query_mixes_covered_and_partial() {
+        let t = tree();
+        // 10..=60: partially hits leaf 0 (0..=24), covers leaf 1 (25..=49),
+        // partially hits leaf 2 (50..=74).
+        let q = Query::interval(AggKind::Sum, 10.0, 60.0);
+        let r = mcf(&t, &q, false);
+        assert_eq!(r.partial.len(), 2);
+        let covered_rows: u64 = r.covered.iter().map(|&id| t.node(id).agg.count).sum();
+        assert_eq!(covered_rows, 25);
+        assert_eq!(r.relevant_population(&t), 75);
+    }
+
+    #[test]
+    fn partial_nodes_are_always_leaves() {
+        let t = tree();
+        for (lo, hi) in [(10.0, 60.0), (0.0, 37.0), (60.0, 99.0), (24.0, 26.0)] {
+            let q = Query::interval(AggKind::Sum, lo, hi);
+            let r = mcf(&t, &q, false);
+            for &id in &r.partial {
+                assert!(t.node(id).is_leaf(), "partial node {id} is internal");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_minimal_no_node_is_ancestor_of_another() {
+        let t = tree();
+        let q = Query::interval(AggKind::Sum, 5.0, 95.0);
+        let r = mcf(&t, &q, false);
+        let all: Vec<NodeId> = r.covered.iter().chain(&r.partial).copied().collect();
+        for &a in &all {
+            let mut p = t.node(a).parent;
+            while let Some(id) = p {
+                assert!(!all.contains(&id), "{id} is an ancestor of {a}");
+                p = t.node(id).parent;
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_partitions_the_relevant_rows() {
+        // Sum of covered counts + partial counts must equal the number of
+        // rows in partitions the query touches (computed by brute force).
+        let t = tree();
+        let q = Query::interval(AggKind::Sum, 13.0, 88.0);
+        let r = mcf(&t, &q, false);
+        // Touched leaves: all four.
+        assert_eq!(r.relevant_population(&t), 100);
+    }
+
+    #[test]
+    fn zero_variance_rule_short_circuits_avg() {
+        // Leaf 0 (keys 0..25) constant value; others varying.
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..100)
+            .map(|i| if i < 25 { 7.0 } else { i as f64 })
+            .collect();
+        let s = SortedTable::from_sorted(keys, values);
+        let p = Partitioning1D::new(100, vec![25, 50, 75]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        // Query partially overlaps leaf 0 only.
+        let q = Query::interval(AggKind::Avg, 5.0, 30.0);
+        let with_rule = mcf(&t, &q, true);
+        let without_rule = mcf(&t, &q, false);
+        assert!(without_rule.partial.len() > with_rule.partial.len());
+        // The rule must not fire for SUM: counts still unknown.
+        let q_sum = Query::interval(AggKind::Sum, 5.0, 30.0);
+        let sum_with_rule = mcf(&t, &q_sum, true);
+        assert_eq!(sum_with_rule.partial.len(), without_rule.partial.len());
+    }
+
+    #[test]
+    fn selective_queries_visit_few_nodes() {
+        // A query touching one leaf visits O(log B) nodes, far fewer than
+        // the total node count.
+        let keys: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+        let s = SortedTable::from_sorted(keys.clone(), keys);
+        let cuts: Vec<usize> = (1..64).map(|i| i * 16).collect();
+        let p = Partitioning1D::new(1024, cuts).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        let q = Query::interval(AggKind::Sum, 100.0, 105.0);
+        let r = mcf(&t, &q, false);
+        assert!(
+            r.visited < 20,
+            "visited {} of {} nodes",
+            r.visited,
+            t.n_nodes()
+        );
+    }
+
+    #[test]
+    fn multi_dim_classification() {
+        use pass_partition::{build_kd, KdExpansion};
+        let table = pass_table::datasets::taxi(500, 11).project(&[1, 2]).unwrap();
+        let kd = build_kd(&table, 16, KdExpansion::BreadthFirst, 0).unwrap();
+        let t = PartitionTree::from_kd(&table, &kd).unwrap();
+        let rect = table.bounding_rect().unwrap();
+        // Whole space: root covered.
+        let q = Query::new(AggKind::Sum, rect.clone());
+        let r = mcf(&t, &q, false);
+        assert_eq!(r.covered, vec![t.root()]);
+        // Left half in dim 0: a mix, but every returned covered node's rect
+        // must be inside the query and every partial must intersect it.
+        let mid = (rect.lo(0) + rect.hi(0)) / 2.0;
+        let q = Query::new(
+            AggKind::Sum,
+            rect.narrowed(0, rect.lo(0), mid),
+        );
+        let r = mcf(&t, &q, false);
+        for &id in &r.covered {
+            assert!(q.rect.contains_rect(&t.node(id).rect));
+        }
+        for &id in &r.partial {
+            assert!(q.rect.intersects(&t.node(id).rect));
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Query processing (Section 3.3): index lookup → partial aggregation →
+//! sample estimation → combined result with CI and hard bounds.
+
+use pass_common::{AggKind, Estimate, PassError, Query, Result};
+use pass_sampling::{combine_strata, estimate as sample_estimate, PointVariance, Sample, StratumEstimate};
+
+use crate::bounds::hard_bounds;
+use crate::mcf::{mcf, mcf_shifted, McfResult};
+use crate::tree::PartitionTree;
+
+/// Answer `query` over the annotated tree and its per-leaf stratified
+/// samples. `lambda` scales the confidence interval; `zero_variance_rule`
+/// enables the Section 3.4 AVG short-circuit.
+pub fn process(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    query: &Query,
+    lambda: f64,
+    zero_variance_rule: bool,
+) -> Result<Estimate> {
+    process_with_tree_dims(tree, leaf_samples, query, lambda, zero_variance_rule, None)
+}
+
+/// Like [`process`], but for the workload-shift scenario (Section 5.4.1):
+/// the tree indexes only `tree_dims` of the query's predicate space, while
+/// the leaf samples carry all predicate columns. Classification happens in
+/// the projected space; sample estimation uses the full predicate.
+pub fn process_with_tree_dims(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    query: &Query,
+    lambda: f64,
+    zero_variance_rule: bool,
+    tree_dims: Option<&[usize]>,
+) -> Result<Estimate> {
+    match tree_dims {
+        None => {
+            if query.dims() != tree.dims() {
+                return Err(PassError::DimensionMismatch {
+                    expected: tree.dims(),
+                    got: query.dims(),
+                });
+            }
+        }
+        Some(dims) => {
+            if dims.iter().any(|&d| d >= query.dims()) {
+                return Err(PassError::DimensionMismatch {
+                    expected: tree.dims(),
+                    got: query.dims(),
+                });
+            }
+        }
+    }
+    let frontier = match tree_dims {
+        None => mcf(tree, query, zero_variance_rule),
+        Some(dims) => mcf_shifted(tree, query, dims, zero_variance_rule),
+    };
+    let bounds = hard_bounds(tree, &frontier, query.agg);
+
+    // Sample accounting: every partial leaf's whole sample is scanned.
+    let processed: u64 = frontier
+        .partial
+        .iter()
+        .map(|&id| sample_of(tree, leaf_samples, id).k() as u64)
+        .sum();
+    let skipped = tree.total_rows().saturating_sub(processed);
+
+    let mut est = match query.agg {
+        AggKind::Sum | AggKind::Count => {
+            process_sum_count(tree, leaf_samples, query, lambda, &frontier)
+        }
+        AggKind::Avg => process_avg(tree, leaf_samples, query, lambda, &frontier, &bounds)?,
+        AggKind::Min | AggKind::Max => {
+            process_minmax(tree, leaf_samples, query, &frontier, &bounds)?
+        }
+    };
+    est = est.with_accounting(processed, skipped);
+    if let Some((lb, ub)) = bounds {
+        est = est.with_hard_bounds(lb, ub);
+    }
+    Ok(est)
+}
+
+fn sample_of<'a>(tree: &PartitionTree, leaf_samples: &'a [Sample], id: usize) -> &'a Sample {
+    let li = tree
+        .node(id)
+        .leaf_index
+        .expect("partial frontier nodes are leaves");
+    &leaf_samples[li]
+}
+
+fn process_sum_count(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    query: &Query,
+    lambda: f64,
+    frontier: &McfResult,
+) -> Estimate {
+    // Partial Aggregation: exact contribution of covered partitions.
+    let exact_part: f64 = frontier
+        .covered
+        .iter()
+        .map(|&id| {
+            let agg = &tree.node(id).agg;
+            match query.agg {
+                AggKind::Sum => agg.sum,
+                _ => agg.count as f64,
+            }
+        })
+        .sum();
+
+    // Sample Estimation over partial leaves (w_i = 1 for SUM/COUNT).
+    let strata: Vec<StratumEstimate> = frontier
+        .partial
+        .iter()
+        .filter_map(|&id| {
+            let sample = sample_of(tree, leaf_samples, id);
+            sample_estimate(query.agg, sample, &query.rect).map(|point| StratumEstimate {
+                point,
+                population: tree.node(id).agg.count,
+            })
+        })
+        .collect();
+    let combined = combine_strata(query.agg, &strata, 0);
+
+    let value = exact_part + combined.value;
+    let ci_half = lambda * combined.variance.sqrt();
+    if frontier.partial.is_empty() {
+        Estimate::exact(value)
+    } else {
+        Estimate::approximate(value, ci_half)
+    }
+}
+
+fn process_avg(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    query: &Query,
+    lambda: f64,
+    frontier: &McfResult,
+    bounds: &Option<(f64, f64)>,
+) -> Result<Estimate> {
+    // Relevant strata: covered partitions plus partial leaves with sample
+    // evidence. N_q is their total size (Section 3.3's weighting).
+    let mut strata: Vec<StratumEstimate> = Vec::new();
+    // Covered nodes contribute exactly; 0-variance nodes contribute their
+    // constant value exactly too (Section 3.4's rule), weighted by their
+    // full population per the paper's prescription.
+    for &id in frontier.covered.iter().chain(&frontier.zero_var) {
+        let agg = &tree.node(id).agg;
+        if let Some(avg) = agg.avg() {
+            strata.push(StratumEstimate {
+                point: PointVariance {
+                    value: avg,
+                    variance: 0.0,
+                    k_pred: agg.count,
+                },
+                population: agg.count,
+            });
+        }
+    }
+    let mut n_q: u64 = strata.iter().map(|s| s.population).sum();
+    for &id in &frontier.partial {
+        let sample = sample_of(tree, leaf_samples, id);
+        if let Some(point) = sample_estimate(AggKind::Avg, sample, &query.rect) {
+            // Weight partial strata by their *estimated relevant*
+            // population N_i · K_pred/K_i rather than the full N_i: only a
+            // fraction of a partially-covered stratum contributes to the
+            // average, and the sample selectivity is its unbiased
+            // estimate. (With full-N_i weights a barely-touched stratum
+            // would swamp fully-covered ones.)
+            let n_i = tree.node(id).agg.count as f64;
+            let selectivity = point.k_pred as f64 / sample.k().max(1) as f64;
+            let population = ((n_i * selectivity).round() as u64).max(1);
+            n_q += population;
+            strata.push(StratumEstimate { point, population });
+        }
+    }
+
+    if strata.is_empty() {
+        // No covered partition and no sampled evidence. Fall back to the
+        // deterministic bracket when one exists; otherwise the selection is
+        // provably empty.
+        return match bounds {
+            Some((lb, ub)) => Ok(
+                Estimate::approximate((lb + ub) / 2.0, (ub - lb) / 2.0)
+                    .with_hard_bounds(*lb, *ub),
+            ),
+            None => Err(PassError::EmptyInput("AVG over empty selection")),
+        };
+    }
+
+    let combined = combine_strata(AggKind::Avg, &strata, n_q);
+    let ci_half = lambda * combined.variance.sqrt();
+    // 0-variance contributions are exact in value but approximate in
+    // weight, so only a frontier with neither partial nor zero-var nodes
+    // is fully exact.
+    if frontier.partial.is_empty() && frontier.zero_var.is_empty() {
+        Ok(Estimate::exact(combined.value))
+    } else {
+        Ok(Estimate::approximate(combined.value, ci_half))
+    }
+}
+
+fn process_minmax(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    query: &Query,
+    frontier: &McfResult,
+    bounds: &Option<(f64, f64)>,
+) -> Result<Estimate> {
+    let mut best: Option<f64> = None;
+    let mut fold = |v: f64| {
+        best = Some(match (best, query.agg) {
+            (None, _) => v,
+            (Some(b), AggKind::Min) => b.min(v),
+            (Some(b), _) => b.max(v),
+        });
+    };
+    for &id in &frontier.covered {
+        let agg = &tree.node(id).agg;
+        if !agg.is_empty() {
+            fold(match query.agg {
+                AggKind::Min => agg.min,
+                _ => agg.max,
+            });
+        }
+    }
+    for &id in &frontier.partial {
+        let sample = sample_of(tree, leaf_samples, id);
+        if let Some(point) = sample_estimate(query.agg, sample, &query.rect) {
+            fold(point.value);
+        }
+    }
+    match best {
+        Some(value) => {
+            if frontier.partial.is_empty() {
+                Ok(Estimate::exact(value))
+            } else {
+                Ok(Estimate::approximate(value, 0.0))
+            }
+        }
+        None => match bounds {
+            Some((lb, ub)) => Ok(
+                Estimate::approximate((lb + ub) / 2.0, (ub - lb) / 2.0)
+                    .with_hard_bounds(*lb, *ub),
+            ),
+            None => Err(PassError::EmptyInput("MIN/MAX over empty selection")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::rng::rng_from_seed;
+    use pass_common::{Query, LAMBDA_99};
+    use pass_partition::Partitioning1D;
+    use pass_table::{SortedTable, Table};
+
+    /// Fixture: 400 rows, keys 0..400, values with per-leaf structure;
+    /// 8 leaves of 50; full per-leaf samples (so estimates are exact up to
+    /// FPC) or partial samples depending on `rate`.
+    fn fixture(rate: f64, seed: u64) -> (Table, PartitionTree, Vec<Sample>) {
+        let n = 400;
+        let keys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..n).map(|i| ((i * 7) % 50) as f64 + 1.0).collect();
+        let table = Table::one_dim(keys.clone(), values.clone()).unwrap();
+        let s = SortedTable::from_sorted(keys, values);
+        let cuts: Vec<usize> = (1..8).map(|i| i * 50).collect();
+        let p = Partitioning1D::new(n, cuts).unwrap();
+        let tree = PartitionTree::from_partitioning(&s, &p).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let samples: Vec<Sample> = p
+            .ranges()
+            .into_iter()
+            .map(|r| {
+                let k = ((r.len() as f64) * rate).ceil() as usize;
+                Sample::uniform_from_range(&table, r, k.max(1), &mut rng).unwrap()
+            })
+            .collect();
+        (table, tree, samples)
+    }
+
+    #[test]
+    fn aligned_queries_are_exact_for_all_aggregates() {
+        let (table, tree, samples) = fixture(0.1, 1);
+        for agg in AggKind::ALL {
+            // Keys 50..=149 align with leaves 1 and 2 exactly.
+            let q = Query::interval(agg, 50.0, 149.0);
+            let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+            let truth = table.ground_truth(&q).unwrap();
+            assert!(est.exact, "{agg} should be exact");
+            assert!((est.value - truth).abs() < 1e-9, "{agg}");
+            assert_eq!(est.ci_half, 0.0);
+        }
+    }
+
+    #[test]
+    fn partial_queries_estimate_within_ci_mostly() {
+        // 99% CI over many seeds: coverage must be high.
+        let mut covered = 0;
+        let trials = 100;
+        for seed in 0..trials {
+            let (table, tree, samples) = fixture(0.2, 100 + seed);
+            let q = Query::interval(AggKind::Sum, 30.0, 270.0);
+            let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+            let truth = table.ground_truth(&q).unwrap();
+            if (est.value - truth).abs() <= est.ci_half {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 90, "coverage {covered}/{trials}");
+    }
+
+    #[test]
+    fn hard_bounds_contain_truth_for_every_query_shape() {
+        let (table, tree, samples) = fixture(0.1, 3);
+        for agg in AggKind::ALL {
+            for (lo, hi) in [(0.0, 399.0), (13.0, 77.0), (49.0, 51.0), (350.0, 360.0)] {
+                let q = Query::new(agg, pass_common::Rect::interval(lo, hi));
+                let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+                let truth = table.ground_truth(&q).unwrap();
+                let (lb, ub) = est.hard_bounds.expect("bounds exist for nonempty query");
+                assert!(
+                    lb - 1e-9 <= truth && truth <= ub + 1e-9,
+                    "{agg} [{lo},{hi}]: truth {truth} outside [{lb},{ub}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_reflects_skipping() {
+        let (_, tree, samples) = fixture(0.1, 4);
+        // Aligned query: no samples processed, everything skipped.
+        let q = Query::interval(AggKind::Sum, 50.0, 149.0);
+        let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+        assert_eq!(est.tuples_processed, 0);
+        assert_eq!(est.tuples_skipped, 400);
+        assert_eq!(est.skip_rate(), 1.0);
+        // Straddling query: two partial leaves' samples processed.
+        let q = Query::interval(AggKind::Sum, 30.0, 270.0);
+        let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+        let expected: u64 = samples[0].k() as u64 + samples[5].k() as u64;
+        assert_eq!(est.tuples_processed, expected);
+        assert!(est.skip_rate() > 0.9);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (_, tree, samples) = fixture(0.1, 5);
+        let q = Query::new(
+            AggKind::Sum,
+            pass_common::Rect::new(&[(0.0, 1.0), (0.0, 1.0)]),
+        );
+        assert!(matches!(
+            process(&tree, &samples, &q, LAMBDA_99, true),
+            Err(PassError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_selection_semantics() {
+        let (_, tree, samples) = fixture(0.1, 6);
+        let q = Query::interval(AggKind::Sum, 1000.0, 2000.0);
+        let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+        assert_eq!(est.value, 0.0);
+        assert!(est.exact);
+        let q = Query::interval(AggKind::Avg, 1000.0, 2000.0);
+        assert!(process(&tree, &samples, &q, LAMBDA_99, true).is_err());
+    }
+
+    #[test]
+    fn zero_variance_rule_makes_constant_region_avg_exact() {
+        // Leaf 0 constant: an AVG query inside it is answered exactly even
+        // though the overlap is partial.
+        let n = 100;
+        let keys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| if i < 25 { 4.0 } else { (i % 13) as f64 })
+            .collect();
+        let table = Table::one_dim(keys.clone(), values.clone()).unwrap();
+        let s = SortedTable::from_sorted(keys, values);
+        let p = Partitioning1D::new(n, vec![25, 50, 75]).unwrap();
+        let tree = PartitionTree::from_partitioning(&s, &p).unwrap();
+        let mut rng = rng_from_seed(7);
+        let samples: Vec<Sample> = p
+            .ranges()
+            .into_iter()
+            .map(|r| Sample::uniform_from_range(&table, r, 3, &mut rng).unwrap())
+            .collect();
+        let q = Query::interval(AggKind::Avg, 5.0, 20.0);
+        let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+        // The value is exactly the constant, no samples were touched, and
+        // the CI collapses — but the estimate is not flagged `exact`
+        // because the matching count (hence AVG weighting against other
+        // strata) is unknown under partial overlap.
+        assert_eq!(est.value, 4.0);
+        assert_eq!(est.ci_half, 0.0);
+        assert_eq!(est.tuples_processed, 0);
+        // Hard bounds degrade gracefully to the node's (constant) extrema.
+        assert_eq!(est.hard_bounds, Some((4.0, 4.0)));
+        // Without the rule the same query scans the leaf's sample.
+        let est = process(&tree, &samples, &q, LAMBDA_99, false).unwrap();
+        assert!(est.tuples_processed > 0);
+    }
+
+    #[test]
+    fn estimates_are_reasonably_accurate() {
+        let (table, tree, samples) = fixture(0.3, 8);
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = Query::interval(agg, 20.0, 333.0);
+            let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+            let truth = table.ground_truth(&q).unwrap();
+            let rel = (est.value - truth).abs() / truth;
+            assert!(rel < 0.15, "{agg}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn minmax_point_estimates_bounded_by_hard_bounds() {
+        let (_, tree, samples) = fixture(0.2, 9);
+        for agg in [AggKind::Min, AggKind::Max] {
+            let q = Query::interval(agg, 33.0, 222.0);
+            let est = process(&tree, &samples, &q, LAMBDA_99, true).unwrap();
+            let (lb, ub) = est.hard_bounds.unwrap();
+            assert!(lb <= est.value && est.value <= ub);
+        }
+    }
+}

@@ -1,0 +1,645 @@
+//! The [`Pass`] synopsis and its builder (the user-facing API of
+//! Section 3.1).
+//!
+//! The user picks an aggregation column and predicate columns (by shaping
+//! the input [`Table`]), a partition budget `k` (standing in for the
+//! construction-time limit τ_c) and a sampling budget (standing in for the
+//! query-time limit τ_q); the builder optimizes the partitioning, erects
+//! the aggregate tree, and draws the per-leaf stratified samples.
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+use pass_common::rng::{derive_seed, rng_from_seed};
+use pass_common::{AggKind, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
+use pass_partition::{
+    build_kd, Adp, EqualDepth, EqualWidth, HillClimb, KdExpansion, Partitioner1D,
+};
+use pass_sampling::delta::DeltaEncoded;
+use pass_sampling::Sample;
+use pass_table::{SortedTable, Table};
+
+use crate::tree::PartitionTree;
+
+/// Which partitioning optimizer drives leaf selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// The paper's ADP (sampled + discretized DP) tuned for an aggregate
+    /// kind; in d > 1 this becomes the KD-PASS max-variance expansion.
+    Adp(AggKind),
+    /// Equal-depth strata (EQ); in d > 1 the KD-US breadth-first expansion.
+    EqualDepth,
+    /// The AQP++ hill-climbing comparator (1-D only; d > 1 falls back to
+    /// breadth-first).
+    HillClimb,
+    /// Equal key-width buckets (1-D only; d > 1 falls back to
+    /// breadth-first).
+    EqualWidth,
+}
+
+/// Builder for [`Pass`].
+#[derive(Debug, Clone)]
+pub struct PassBuilder {
+    partitions: usize,
+    sample_rate: f64,
+    total_samples: Option<usize>,
+    strategy: PartitionStrategy,
+    lambda: f64,
+    delta_encode: bool,
+    zero_variance_rule: bool,
+    opt_samples: usize,
+    adp_delta: f64,
+    kd_balance: usize,
+    seed: u64,
+    shift_dims: Option<Vec<usize>>,
+}
+
+impl Default for PassBuilder {
+    fn default() -> Self {
+        Self {
+            partitions: 64,
+            sample_rate: 0.005,
+            total_samples: None,
+            strategy: PartitionStrategy::Adp(AggKind::Sum),
+            lambda: LAMBDA_99,
+            delta_encode: false,
+            zero_variance_rule: true,
+            opt_samples: 4096,
+            adp_delta: 0.01,
+            kd_balance: 2,
+            seed: 0x9A55,
+            shift_dims: None,
+        }
+    }
+}
+
+impl PassBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of leaf partitions `k` (the precomputation budget).
+    pub fn partitions(mut self, k: usize) -> Self {
+        self.partitions = k;
+        self
+    }
+
+    /// Per-stratum sampling rate (fraction of each leaf's rows).
+    pub fn sample_rate(mut self, rate: f64) -> Self {
+        self.sample_rate = rate;
+        self
+    }
+
+    /// Hard cap on total stored samples (the BSS storage-bounded mode);
+    /// overrides [`sample_rate`](Self::sample_rate) allocation proportions
+    /// but keeps them proportional to leaf sizes.
+    pub fn total_samples(mut self, k: usize) -> Self {
+        self.total_samples = Some(k);
+        self
+    }
+
+    pub fn strategy(mut self, s: PartitionStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// CI scale λ (default 2.576 → 99%).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Store sample values as f32 deltas from the partition mean
+    /// (Section 3.4 compression).
+    pub fn delta_encode(mut self, on: bool) -> Self {
+        self.delta_encode = on;
+        self
+    }
+
+    /// Enable/disable the AVG 0-variance rule (default on).
+    pub fn zero_variance_rule(mut self, on: bool) -> Self {
+        self.zero_variance_rule = on;
+        self
+    }
+
+    /// ADP optimization sample size `m`.
+    pub fn opt_samples(mut self, m: usize) -> Self {
+        self.opt_samples = m;
+        self
+    }
+
+    /// ADP meaningful-overlap fraction δ.
+    pub fn adp_delta(mut self, delta: f64) -> Self {
+        self.adp_delta = delta;
+        self
+    }
+
+    /// KD-PASS leaf-depth balance limit (default 2, per Section 5.4).
+    pub fn kd_balance(mut self, balance: usize) -> Self {
+        self.kd_balance = balance;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Workload-shift mode (Section 5.4.1): index only these predicate
+    /// dimensions in the partition tree while samples keep every predicate
+    /// column. Queries still arrive in the table's full arity; dimensions
+    /// outside the tree are handled by sampling after tree-based skipping.
+    pub fn tree_dims(mut self, dims: &[usize]) -> Self {
+        self.shift_dims = Some(dims.to_vec());
+        self
+    }
+
+    /// Build over the table: 1-D tables take the sorted-DP path, higher
+    /// dimensional tables the k-d expansion path.
+    pub fn build(&self, table: &Table) -> Result<Pass> {
+        if table.n_rows() == 0 {
+            return Err(PassError::EmptyInput("PASS over empty table"));
+        }
+        if self.partitions == 0 {
+            return Err(PassError::InvalidParameter(
+                "partitions",
+                "must be at least 1".into(),
+            ));
+        }
+        if let Some(dims) = self.shift_dims.clone() {
+            return self.build_shifted(table, &dims);
+        }
+        if table.dims() == 1 {
+            self.build_1d(table)
+        } else {
+            self.build_kd(table)
+        }
+    }
+
+    fn partitioner_1d(&self) -> Box<dyn Partitioner1D> {
+        match self.strategy {
+            PartitionStrategy::Adp(kind) => Box::new(
+                Adp::new(kind)
+                    .with_samples(self.opt_samples)
+                    .with_delta(self.adp_delta)
+                    .with_seed(derive_seed(self.seed, 1)),
+            ),
+            PartitionStrategy::EqualDepth => Box::new(EqualDepth),
+            PartitionStrategy::HillClimb => Box::new(HillClimb::new(AggKind::Sum)),
+            PartitionStrategy::EqualWidth => Box::new(EqualWidth),
+        }
+    }
+
+    fn build_1d(&self, table: &Table) -> Result<Pass> {
+        let sorted = SortedTable::from_table(table, 0);
+        let partitioning = self.partitioner_1d().partition(&sorted, self.partitions)?;
+        let tree = PartitionTree::from_partitioning(&sorted, &partitioning)?;
+        // Re-materialize the sorted view as a table so per-range sampling
+        // sees rows in partition order.
+        let sorted_table = Table::one_dim(sorted.keys().to_vec(), sorted.values().to_vec())?;
+        let mut rng = rng_from_seed(derive_seed(self.seed, 2));
+        let leaf_sizes: Vec<usize> = partitioning.ranges().iter().map(|r| r.len()).collect();
+        let allocations = self.allocate_samples(&leaf_sizes);
+        let mut samples = Vec::with_capacity(leaf_sizes.len());
+        for (range, k) in partitioning.ranges().into_iter().zip(allocations) {
+            samples.push(Sample::uniform_from_range(&sorted_table, range, k, &mut rng)?);
+        }
+        self.finish(tree, samples)
+    }
+
+    fn build_kd(&self, table: &Table) -> Result<Pass> {
+        let expansion = match self.strategy {
+            PartitionStrategy::Adp(kind) => KdExpansion::MaxVariance {
+                kind,
+                balance: self.kd_balance,
+            },
+            _ => KdExpansion::BreadthFirst,
+        };
+        let kd = build_kd(table, self.partitions, expansion, derive_seed(self.seed, 3))?;
+        let tree = PartitionTree::from_kd(table, &kd)?;
+        let leaves = kd.leaf_ids();
+        let leaf_sizes: Vec<usize> = leaves.iter().map(|&l| kd.nodes[l].len()).collect();
+        let allocations = self.allocate_samples(&leaf_sizes);
+        let mut rng = rng_from_seed(derive_seed(self.seed, 4));
+        let mut samples = Vec::with_capacity(leaves.len());
+        for (&leaf, k) in leaves.iter().zip(allocations) {
+            let rows = kd.rows_of(leaf);
+            let chosen: Vec<usize> = if k >= rows.len() {
+                rows.iter().map(|&r| r as usize).collect()
+            } else {
+                index_sample(&mut rng, rows.len(), k)
+                    .into_iter()
+                    .map(|i| rows[i] as usize)
+                    .collect()
+            };
+            samples.push(Sample::from_indices(table, &chosen, rows.len() as u64)?);
+        }
+        self.finish(tree, samples)
+    }
+
+    /// Workload-shift build: the tree indexes a projection of the
+    /// predicate space, samples keep all predicate columns.
+    fn build_shifted(&self, table: &Table, dims: &[usize]) -> Result<Pass> {
+        let projected = table.project(dims)?;
+        let expansion = match self.strategy {
+            PartitionStrategy::Adp(kind) => KdExpansion::MaxVariance {
+                kind,
+                balance: self.kd_balance,
+            },
+            _ => KdExpansion::BreadthFirst,
+        };
+        let kd = build_kd(
+            &projected,
+            self.partitions,
+            expansion,
+            derive_seed(self.seed, 5),
+        )?;
+        let tree = PartitionTree::from_kd(&projected, &kd)?;
+        let leaves = kd.leaf_ids();
+        let leaf_sizes: Vec<usize> = leaves.iter().map(|&l| kd.nodes[l].len()).collect();
+        let allocations = self.allocate_samples(&leaf_sizes);
+        let mut rng = rng_from_seed(derive_seed(self.seed, 6));
+        let mut samples = Vec::with_capacity(leaves.len());
+        for (&leaf, k) in leaves.iter().zip(allocations) {
+            let rows = kd.rows_of(leaf);
+            let chosen: Vec<usize> = if k >= rows.len() {
+                rows.iter().map(|&r| r as usize).collect()
+            } else {
+                index_sample(&mut rng, rows.len(), k)
+                    .into_iter()
+                    .map(|i| rows[i] as usize)
+                    .collect()
+            };
+            // Samples come from the FULL table: all predicate columns.
+            samples.push(Sample::from_indices(table, &chosen, rows.len() as u64)?);
+        }
+        let mut pass = self.finish(tree, samples)?;
+        pass.tree_dims = Some(dims.to_vec());
+        pass.query_dims = table.dims();
+        Ok(pass)
+    }
+
+    /// Per-leaf sample sizes: proportional to leaf populations, at least 1
+    /// per non-empty leaf, matching either the rate or the BSS cap.
+    fn allocate_samples(&self, leaf_sizes: &[usize]) -> Vec<usize> {
+        match self.total_samples {
+            None => leaf_sizes
+                .iter()
+                .map(|&n| ((n as f64 * self.sample_rate).round() as usize).clamp(1, n.max(1)))
+                .collect(),
+            Some(total) => {
+                let n_total: usize = leaf_sizes.iter().sum();
+                if n_total == 0 {
+                    return vec![0; leaf_sizes.len()];
+                }
+                leaf_sizes
+                    .iter()
+                    .map(|&n| {
+                        let share =
+                            (total as f64 * n as f64 / n_total as f64).round() as usize;
+                        share.clamp(usize::from(n > 0), n.max(1))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn finish(&self, tree: PartitionTree, mut samples: Vec<Sample>) -> Result<Pass> {
+        let leaves = tree.leaves();
+        if self.delta_encode {
+            // Round-trip the sample values through the f32 delta codec so
+            // estimates genuinely reflect the compressed representation.
+            for (li, sample) in samples.iter_mut().enumerate() {
+                let mean = tree.node(leaves[li]).agg.avg().unwrap_or(0.0);
+                let values: Vec<f64> =
+                    (0..sample.k()).map(|i| sample.rows().value(i)).collect();
+                let decoded = DeltaEncoded::encode(&values, mean).decode();
+                for (i, v) in decoded.into_iter().enumerate() {
+                    let preds: Vec<f64> = (0..sample.rows().dims())
+                        .map(|d| sample.rows().predicate(d, i))
+                        .collect();
+                    sample.replace_row(i, v, &preds);
+                }
+            }
+        }
+        let query_dims = tree.dims();
+        Ok(Pass {
+            tree,
+            samples,
+            lambda: self.lambda,
+            zero_variance_rule: self.zero_variance_rule,
+            delta_encoded: self.delta_encode,
+            seed: self.seed,
+            name: "PASS".to_owned(),
+            tree_dims: None,
+            query_dims,
+        })
+    }
+}
+
+/// A built PASS synopsis: aggregate tree + per-leaf stratified samples.
+#[derive(Debug, Clone)]
+pub struct Pass {
+    pub(crate) tree: PartitionTree,
+    pub(crate) samples: Vec<Sample>,
+    pub(crate) lambda: f64,
+    pub(crate) zero_variance_rule: bool,
+    pub(crate) delta_encoded: bool,
+    pub(crate) seed: u64,
+    pub(crate) name: String,
+    /// Workload-shift mapping: tree dimension j indexes query dimension
+    /// `tree_dims[j]` (`None` = identity).
+    pub(crate) tree_dims: Option<Vec<usize>>,
+    /// Arity queries must arrive in (the sample/table arity).
+    pub(crate) query_dims: usize,
+}
+
+impl Pass {
+    /// The annotated partition tree.
+    pub fn tree(&self) -> &PartitionTree {
+        &self.tree
+    }
+
+    /// Per-leaf stratified samples (leaf-index order).
+    pub fn leaf_samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Total stored sample rows.
+    pub fn total_samples(&self) -> usize {
+        self.samples.iter().map(|s| s.k()).sum()
+    }
+
+    /// Override the printed engine name (benchmark variants like
+    /// `PASS-BSS2x`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The CI scale λ in use.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw a deterministic RNG for update operations.
+    pub(crate) fn update_rng(&self, salt: u64) -> impl Rng {
+        rng_from_seed(derive_seed(self.seed, 0xD11 ^ salt))
+    }
+}
+
+impl Synopsis for Pass {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate(&self, query: &Query) -> Result<Estimate> {
+        if query.dims() != self.query_dims {
+            return Err(PassError::DimensionMismatch {
+                expected: self.query_dims,
+                got: query.dims(),
+            });
+        }
+        crate::query::process_with_tree_dims(
+            &self.tree,
+            &self.samples,
+            query,
+            self.lambda,
+            self.zero_variance_rule,
+            self.tree_dims.as_deref(),
+        )
+    }
+
+    fn storage_bytes(&self) -> usize {
+        let sample_bytes: usize = self
+            .samples
+            .iter()
+            .map(|s| {
+                if self.delta_encoded {
+                    // f32 per value + f64 per predicate coordinate + mean.
+                    8 + s.k() * (4 + 8 * s.rows().dims())
+                } else {
+                    s.storage_bytes()
+                }
+            })
+            .sum();
+        self.tree.storage_bytes() + sample_bytes
+    }
+
+    fn dims(&self) -> usize {
+        self.query_dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_table::datasets::{adversarial, taxi, uniform};
+
+    #[test]
+    fn builds_and_answers_on_uniform_data() {
+        let t = uniform(20_000, 1);
+        let pass = PassBuilder::new()
+            .partitions(32)
+            .sample_rate(0.02)
+            .seed(2)
+            .build(&t)
+            .unwrap();
+        assert_eq!(pass.tree().n_leaves(), 32);
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = Query::interval(agg, 0.1, 0.8);
+            let est = pass.estimate(&q).unwrap();
+            let truth = t.ground_truth(&q).unwrap();
+            let rel = (est.value - truth).abs() / truth.abs();
+            assert!(rel < 0.1, "{agg}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn sample_budget_respected_in_bss_mode() {
+        let t = uniform(10_000, 3);
+        let pass = PassBuilder::new()
+            .partitions(16)
+            .total_samples(200)
+            .build(&t)
+            .unwrap();
+        let total = pass.total_samples();
+        assert!(
+            (184..=216).contains(&total),
+            "rounding keeps totals near the cap: {total}"
+        );
+    }
+
+    #[test]
+    fn equal_depth_strategy_builds() {
+        let t = uniform(5_000, 4);
+        let pass = PassBuilder::new()
+            .partitions(8)
+            .strategy(PartitionStrategy::EqualDepth)
+            .build(&t)
+            .unwrap();
+        let sizes: Vec<u64> = pass
+            .tree()
+            .leaves()
+            .into_iter()
+            .map(|id| pass.tree().node(id).agg.count)
+            .collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn adp_beats_equal_depth_on_adversarial_data() {
+        let t = adversarial(50_000, 5);
+        let q = Query::interval(AggKind::Sum, 44_000.0, 48_123.0);
+        let truth = t.ground_truth(&q).unwrap();
+        let mut errors = [0.0f64; 2];
+        for (slot, strategy) in [
+            (0, PartitionStrategy::Adp(AggKind::Sum)),
+            (1, PartitionStrategy::EqualDepth),
+        ] {
+            // Median error over several seeds for stability.
+            let mut errs: Vec<f64> = (0..7)
+                .map(|seed| {
+                    let pass = PassBuilder::new()
+                        .partitions(16)
+                        .sample_rate(0.002)
+                        .strategy(strategy)
+                        .seed(100 + seed)
+                        .build(&t)
+                        .unwrap();
+                    let est = pass.estimate(&q).unwrap();
+                    (est.value - truth).abs() / truth
+                })
+                .collect();
+            errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            errors[slot] = errs[errs.len() / 2];
+        }
+        assert!(
+            errors[0] <= errors[1] * 1.5,
+            "ADP {} should not lose badly to EQ {}",
+            errors[0],
+            errors[1]
+        );
+    }
+
+    #[test]
+    fn multi_dim_build_and_query() {
+        let t = taxi(20_000, 6).project(&[1, 2]).unwrap();
+        let pass = PassBuilder::new()
+            .partitions(64)
+            .sample_rate(0.02)
+            .seed(7)
+            .build(&t)
+            .unwrap();
+        assert_eq!(pass.dims(), 2);
+        let rect = t.bounding_rect().unwrap();
+        let mid0 = (rect.lo(0) + rect.hi(0)) / 2.0;
+        let q = Query::new(
+            AggKind::Sum,
+            rect.narrowed(0, rect.lo(0), mid0),
+        );
+        let est = pass.estimate(&q).unwrap();
+        let truth = t.ground_truth(&q).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.2, "rel {rel}");
+        // Hard bounds must hold in multi-d too.
+        let (lb, ub) = est.hard_bounds.unwrap();
+        assert!(lb - 1e-9 <= truth && truth <= ub + 1e-9);
+    }
+
+    #[test]
+    fn delta_encoding_shrinks_storage_with_small_accuracy_cost() {
+        let t = uniform(20_000, 8);
+        let plain = PassBuilder::new()
+            .partitions(32)
+            .sample_rate(0.02)
+            .seed(9)
+            .build(&t)
+            .unwrap();
+        let compressed = PassBuilder::new()
+            .partitions(32)
+            .sample_rate(0.02)
+            .seed(9)
+            .delta_encode(true)
+            .build(&t)
+            .unwrap();
+        assert!(compressed.storage_bytes() < plain.storage_bytes());
+        let q = Query::interval(AggKind::Sum, 0.2, 0.9);
+        let a = plain.estimate(&q).unwrap().value;
+        let b = compressed.estimate(&q).unwrap().value;
+        assert!((a - b).abs() / a.abs() < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn invalid_builds_rejected() {
+        let t = uniform(100, 10);
+        assert!(PassBuilder::new().partitions(0).build(&t).is_err());
+        let empty = Table::one_dim(vec![], vec![]).unwrap();
+        assert!(PassBuilder::new().build(&empty).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = uniform(5_000, 11);
+        let a = PassBuilder::new().partitions(16).seed(5).build(&t).unwrap();
+        let b = PassBuilder::new().partitions(16).seed(5).build(&t).unwrap();
+        let q = Query::interval(AggKind::Sum, 0.3, 0.6);
+        assert_eq!(a.estimate(&q).unwrap().value, b.estimate(&q).unwrap().value);
+    }
+
+    #[test]
+    fn workload_shift_answers_wider_arity_queries() {
+        use pass_common::Rect;
+        // 3-predicate table; tree indexes only dims [0, 1].
+        let t = taxi(10_000, 20).project(&[1, 2, 3]).unwrap();
+        let pass = PassBuilder::new()
+            .partitions(32)
+            .sample_rate(0.05)
+            .tree_dims(&[0, 1])
+            .seed(21)
+            .build(&t)
+            .unwrap();
+        assert_eq!(pass.dims(), 3);
+        let full = t.bounding_rect().unwrap();
+        // Q3-style query: constrains all three dims.
+        let rect = Rect::new(&[
+            (full.lo(0), (full.lo(0) + full.hi(0)) / 2.0),
+            (full.lo(1), full.hi(1)),
+            (full.lo(2), (full.lo(2) + full.hi(2)) / 2.0),
+        ]);
+        let q = Query::new(AggKind::Sum, rect);
+        let est = pass.estimate(&q).unwrap();
+        let truth = t.ground_truth(&q).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.3, "rel {rel}");
+        // Hard bounds stay sound under shift.
+        let (lb, ub) = est.hard_bounds.unwrap();
+        assert!(lb - 1e-9 <= truth && truth <= ub + 1e-9);
+
+        // Q1-style query: only dim 0 constrained, so coverage is decidable
+        // and most tuples should be answered exactly from aggregates.
+        let rect = Rect::new(&[
+            (full.lo(0), (full.lo(0) + full.hi(0)) / 2.0),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::INFINITY),
+        ]);
+        let q1 = Query::new(AggKind::Sum, rect);
+        let est1 = pass.estimate(&q1).unwrap();
+        let truth1 = t.ground_truth(&q1).unwrap();
+        assert!((est1.value - truth1).abs() / truth1 < 0.2);
+        assert!(est1.skip_rate() > 0.5, "skipping still engages");
+    }
+
+    #[test]
+    fn name_override_for_benchmark_variants() {
+        let t = uniform(1_000, 12);
+        let pass = PassBuilder::new()
+            .partitions(4)
+            .build(&t)
+            .unwrap()
+            .with_name("PASS-BSS2x");
+        assert_eq!(pass.name(), "PASS-BSS2x");
+    }
+}

@@ -1,0 +1,379 @@
+//! The partition tree: nodes annotated with exact aggregates (Section 3.2).
+//!
+//! Invariants (Definition 3.1): every child's row set is contained in its
+//! parent's, siblings are disjoint, and siblings union to their parent.
+//! Each node stores the exact SUM/COUNT/MIN/MAX ([`Aggregates`]) of its
+//! partition plus a rectangle ψ — here the *tight bounding box* of the
+//! partition's predicate points, which keeps MCF classification sound and
+//! as sharp as possible.
+//!
+//! Trees come from two constructors:
+//! * [`PartitionTree::from_partitioning`] — 1-D: optimizer leaves paired
+//!   bottom-up into a balanced binary tree (Section 5.3's construction);
+//! * [`PartitionTree::from_kd`] — multi-d: a 1:1 copy of the k-d expansion
+//!   (Section 4.4).
+
+use pass_common::{Aggregates, PassError, Rect, Result};
+use pass_partition::{KdBuild, Partitioning1D};
+use pass_table::{SortedTable, Table};
+
+/// Index of a node in the tree arena.
+pub type NodeId = usize;
+
+/// One node of the partition tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Tight bounding rectangle of the partition's predicate points.
+    pub rect: Rect,
+    /// Exact aggregates of the partition.
+    pub agg: Aggregates,
+    /// Child node ids (empty for leaves).
+    pub children: Vec<NodeId>,
+    /// Parent id (`None` for the root) — needed by dynamic updates.
+    pub parent: Option<NodeId>,
+    /// For leaves: index into the synopsis' per-leaf sample array.
+    pub leaf_index: Option<usize>,
+}
+
+impl TreeNode {
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// An arena-allocated partition tree.
+#[derive(Debug, Clone)]
+pub struct PartitionTree {
+    nodes: Vec<TreeNode>,
+    root: NodeId,
+    n_leaves: usize,
+    dims: usize,
+}
+
+impl PartitionTree {
+    /// Build a balanced binary tree bottom-up over 1-D optimizer leaves.
+    pub fn from_partitioning(sorted: &SortedTable, partitioning: &Partitioning1D) -> Result<Self> {
+        if sorted.is_empty() {
+            return Err(PassError::EmptyInput("partition tree over empty table"));
+        }
+        debug_assert_eq!(sorted.len(), partitioning.n_rows());
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        // Current level: leaves in key order.
+        let mut level: Vec<NodeId> = Vec::new();
+        for (leaf_index, range) in partitioning.ranges().into_iter().enumerate() {
+            let agg = range_aggregates(sorted, range.clone());
+            let rect = Rect::interval(sorted.key(range.start), sorted.key(range.end - 1));
+            nodes.push(TreeNode {
+                rect,
+                agg,
+                children: Vec::new(),
+                parent: None,
+                leaf_index: Some(leaf_index),
+            });
+            level.push(nodes.len() - 1);
+        }
+        // Pair adjacent nodes until one root remains.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let (a, b) = (pair[0], pair[1]);
+                let agg = nodes[a].agg.merge(&nodes[b].agg);
+                let rect = nodes[a].rect.union(&nodes[b].rect);
+                nodes.push(TreeNode {
+                    rect,
+                    agg,
+                    children: vec![a, b],
+                    parent: None,
+                    leaf_index: None,
+                });
+                let id = nodes.len() - 1;
+                nodes[a].parent = Some(id);
+                nodes[b].parent = Some(id);
+                next.push(id);
+            }
+            level = next;
+        }
+        let root = level[0];
+        let n_leaves = partitioning.len();
+        Ok(Self {
+            nodes,
+            root,
+            n_leaves,
+            dims: 1,
+        })
+    }
+
+    /// Build from a k-d expansion: one tree node per k-d node, aggregates
+    /// computed over the node's rows. Leaf indices are assigned in
+    /// [`KdBuild::leaf_ids`] order.
+    #[allow(clippy::needless_range_loop)] // parent wiring mutates while indexing
+    pub fn from_kd(table: &Table, kd: &KdBuild) -> Result<Self> {
+        if table.n_rows() == 0 {
+            return Err(PassError::EmptyInput("partition tree over empty table"));
+        }
+        let mut nodes: Vec<TreeNode> = Vec::with_capacity(kd.nodes.len());
+        for info in &kd.nodes {
+            let values: Vec<f64> = kd.perm[info.start..info.end]
+                .iter()
+                .map(|&r| table.value(r as usize))
+                .collect();
+            nodes.push(TreeNode {
+                rect: info.rect.clone(),
+                agg: Aggregates::from_values(&values),
+                children: info.children.clone(),
+                parent: None,
+                leaf_index: None,
+            });
+        }
+        // Wire parents.
+        for id in 0..nodes.len() {
+            for c in nodes[id].children.clone() {
+                nodes[c].parent = Some(id);
+            }
+        }
+        // Assign leaf indices in kd leaf order.
+        let mut n_leaves = 0;
+        for id in 0..nodes.len() {
+            if nodes[id].is_leaf() {
+                nodes[id].leaf_index = Some(n_leaves);
+                n_leaves += 1;
+            }
+        }
+        Ok(Self {
+            nodes,
+            root: kd.root,
+            n_leaves,
+            dims: table.dims(),
+        })
+    }
+
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut TreeNode {
+        &mut self.nodes[id]
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total rows in the tree (root count).
+    pub fn total_rows(&self) -> u64 {
+        self.nodes[self.root].agg.count
+    }
+
+    /// Leaf ids in leaf-index order. Leaf indices may be sparse after
+    /// split/merge maintenance, so this collects and orders rather than
+    /// assuming density.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        let mut out: Vec<(usize, NodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, n)| n.leaf_index.map(|li| (li, id)))
+            .collect();
+        out.sort_unstable();
+        out.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Recompute the leaf count after structural maintenance.
+    pub(crate) fn recount_leaves(&mut self) {
+        self.n_leaves = self.nodes.iter().filter(|n| n.leaf_index.is_some()).count();
+    }
+
+    /// Turn `parent` (a leaf) into an internal node with two fresh leaf
+    /// children. Each child supplies its rectangle, exact aggregates, and
+    /// the sample-array slot it owns. Returns the new node ids.
+    pub(crate) fn add_children(
+        &mut self,
+        parent: NodeId,
+        left: (Rect, Aggregates, Option<usize>),
+        right: (Rect, Aggregates, Option<usize>),
+    ) -> (NodeId, NodeId) {
+        debug_assert!(self.nodes[parent].is_leaf(), "can only split leaves");
+        let mut push = |(rect, agg, leaf_index): (Rect, Aggregates, Option<usize>)| {
+            self.nodes.push(TreeNode {
+                rect,
+                agg,
+                children: Vec::new(),
+                parent: Some(parent),
+                leaf_index,
+            });
+            self.nodes.len() - 1
+        };
+        let l = push(left);
+        let r = push(right);
+        let p = &mut self.nodes[parent];
+        p.leaf_index = None;
+        p.children = vec![l, r];
+        self.recount_leaves();
+        (l, r)
+    }
+
+    /// Logical storage of the aggregate hierarchy: 4 statistics + 2·d
+    /// rectangle bounds per node, 8 bytes each (Table 2 accounting).
+    pub fn storage_bytes(&self) -> usize {
+        self.nodes.len() * (4 + 2 * self.dims) * std::mem::size_of::<f64>()
+    }
+}
+
+fn range_aggregates(sorted: &SortedTable, range: std::ops::Range<usize>) -> Aggregates {
+    let values = &sorted.values()[range];
+    Aggregates::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::AggKind;
+    use pass_partition::{build_kd, KdExpansion};
+    use pass_table::datasets::{taxi, uniform};
+
+    fn sorted(n: usize, seed: u64) -> SortedTable {
+        SortedTable::from_table(&uniform(n, seed), 0)
+    }
+
+    #[test]
+    fn one_dim_tree_structure() {
+        let s = sorted(100, 1);
+        let p = Partitioning1D::new(100, vec![25, 50, 75]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        assert_eq!(t.n_leaves(), 4);
+        // 4 leaves + 2 internal + root = 7 nodes.
+        assert_eq!(t.n_nodes(), 7);
+        assert_eq!(t.total_rows(), 100);
+        assert!(t.node(t.root()).parent.is_none());
+    }
+
+    #[test]
+    fn parent_aggregates_are_merges_of_children() {
+        let s = sorted(200, 2);
+        let p = Partitioning1D::new(200, vec![30, 80, 120, 170]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        for id in 0..t.n_nodes() {
+            let node = t.node(id);
+            if node.is_leaf() {
+                continue;
+            }
+            let merged = node
+                .children
+                .iter()
+                .fold(Aggregates::empty(), |acc, &c| acc.merge(&t.node(c).agg));
+            assert!((node.agg.sum - merged.sum).abs() < 1e-9);
+            assert_eq!(node.agg.count, merged.count);
+            assert_eq!(node.agg.min, merged.min);
+            assert_eq!(node.agg.max, merged.max);
+        }
+    }
+
+    #[test]
+    fn parent_pointers_consistent() {
+        let s = sorted(64, 3);
+        let p = Partitioning1D::new(64, (1..8).map(|i| i * 8).collect()).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        for id in 0..t.n_nodes() {
+            for &c in &t.node(id).children {
+                assert_eq!(t.node(c).parent, Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_leaf_count_builds_valid_tree() {
+        let s = sorted(90, 4);
+        let p = Partitioning1D::new(90, vec![30, 60]).unwrap(); // 3 leaves
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.total_rows(), 90);
+        // Root still aggregates everything.
+        let whole = Aggregates::from_values(s.values());
+        assert!((t.node(t.root()).agg.sum - whole.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_leaf_tree_is_just_root() {
+        let s = sorted(10, 5);
+        let p = Partitioning1D::single(10);
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.leaves(), vec![t.root()]);
+    }
+
+    #[test]
+    fn leaf_rects_bound_their_keys() {
+        let s = sorted(150, 6);
+        let p = Partitioning1D::new(150, vec![50, 100]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        let key_bounds = p.key_bounds(&s);
+        for (li, id) in t.leaves().into_iter().enumerate() {
+            let rect = &t.node(id).rect;
+            assert_eq!(rect.lo(0), key_bounds[li].0);
+            assert_eq!(rect.hi(0), key_bounds[li].1);
+        }
+    }
+
+    #[test]
+    fn kd_tree_mirrors_expansion() {
+        let table = taxi(800, 7).project(&[1, 2]).unwrap();
+        let kd = build_kd(
+            &table,
+            10,
+            KdExpansion::MaxVariance {
+                kind: AggKind::Sum,
+                balance: 2,
+            },
+            0,
+        )
+        .unwrap();
+        let t = PartitionTree::from_kd(&table, &kd).unwrap();
+        assert_eq!(t.n_nodes(), kd.nodes.len());
+        assert_eq!(t.n_leaves(), kd.n_leaves());
+        assert_eq!(t.total_rows(), 800);
+        assert_eq!(t.dims(), 2);
+        // Parent merge invariant in the kd case too.
+        for id in 0..t.n_nodes() {
+            let node = t.node(id);
+            if node.is_leaf() {
+                continue;
+            }
+            let merged_count: u64 = node.children.iter().map(|&c| t.node(c).agg.count).sum();
+            assert_eq!(node.agg.count, merged_count);
+        }
+    }
+
+    #[test]
+    fn leaves_enumerate_in_leaf_index_order() {
+        let s = sorted(40, 8);
+        let p = Partitioning1D::new(40, vec![10, 20, 30]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        for (expect, id) in t.leaves().into_iter().enumerate() {
+            assert_eq!(t.node(id).leaf_index, Some(expect));
+        }
+    }
+
+    #[test]
+    fn storage_accounting_scales_with_nodes() {
+        let s = sorted(64, 9);
+        let p = Partitioning1D::new(64, vec![16, 32, 48]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        assert_eq!(t.storage_bytes(), t.n_nodes() * 6 * 8);
+    }
+}

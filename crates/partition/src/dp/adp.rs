@@ -1,0 +1,353 @@
+//! ADP — the approximate dynamic-programming partitioner (Section 4.3.1).
+//!
+//! This is the `**` algorithm the paper uses in every experiment. It makes
+//! the exact DP practical with two approximations:
+//!
+//! 1. **Sampling**: optimize over `m` uniformly sampled tuples instead of
+//!    all `N` (the sampled cut keys transfer back to full-data boundaries);
+//! 2. **Discretization**: inside a candidate partition, score only O(1)
+//!    candidate queries — the Lemma A.3 median halves for SUM/COUNT, or the
+//!    best pre-scored δm-window for AVG (Appendix A.4).
+//!
+//! Combined with the monotonicity binary search the total cost is
+//! O(k·m·log m), and the result is a 2√2-approximation for SUM/COUNT and a
+//! 2-approximation for AVG of the optimal max-variance partitioning
+//! (Appendix A.5). COUNT short-circuits to the provably optimal equal-size
+//! partitioning (Lemma A.1).
+
+use rand::seq::index::sample as index_sample;
+
+use pass_common::rng::rng_from_seed;
+use pass_common::{AggKind, PrefixSums, Result};
+use pass_table::SortedTable;
+
+use crate::equal::equal_count_cuts;
+use crate::maxvar::{MedianSplit, WindowIndex};
+use crate::spec::{Partitioner1D, Partitioning1D};
+use crate::variance::VarianceOracle;
+
+use super::engine::{dp_cuts, SearchStrategy};
+
+/// The practical sampled + discretized DP partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct Adp {
+    /// Which aggregate's worst-case variance to minimize.
+    pub kind: AggKind,
+    /// Optimization sample size `m`.
+    pub opt_samples: usize,
+    /// Meaningful-overlap fraction δ: queries are assumed to cover at least
+    /// `δ·m` sampled tuples of any partition they partially intersect.
+    pub delta: f64,
+    /// RNG seed for the optimization sample.
+    pub seed: u64,
+}
+
+impl Adp {
+    /// Defaults matching the experimental setup: m = 4096, δ = 1%.
+    pub fn new(kind: AggKind) -> Self {
+        Self {
+            kind,
+            opt_samples: 4096,
+            delta: 0.01,
+            seed: 0x5EED,
+        }
+    }
+
+    pub fn with_samples(mut self, m: usize) -> Self {
+        self.opt_samples = m;
+        self
+    }
+
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// δm: the window length / minimum meaningful query size in sample
+    /// space. The effective δ shrinks with the partition budget so that
+    /// `k` partitions of at least `2δm` samples each can actually exist —
+    /// otherwise the Lemma A.4 small-partition convention (variance 0
+    /// below `2δm` samples) lets the DP "win" with degenerate all-tiny
+    /// partitionings (the Appendix A.1 largeness assumption, enforced).
+    fn delta_m(&self, m: usize, k: usize) -> usize {
+        let delta = self.delta.min(1.0 / (4.0 * k.max(1) as f64));
+        ((delta * m as f64).round() as usize).clamp(2, m.max(2))
+    }
+}
+
+impl Partitioner1D for Adp {
+    fn name(&self) -> &'static str {
+        "ADP"
+    }
+
+    fn partition(&self, sorted: &SortedTable, k: usize) -> Result<Partitioning1D> {
+        let n = sorted.len();
+        if n == 0 {
+            return Partitioning1D::new(0, Vec::new()); // propagates EmptyInput
+        }
+        // Lemma A.1: the COUNT optimum is the equal-size partitioning.
+        if self.kind == AggKind::Count {
+            return Partitioning1D::new(n, equal_count_cuts(n, k));
+        }
+
+        let m = self.opt_samples.clamp(1, n);
+        // Sorted sample positions (uniform without replacement).
+        let positions: Vec<usize> = if m == n {
+            (0..n).collect()
+        } else {
+            let mut rng = rng_from_seed(self.seed);
+            let mut p: Vec<usize> = index_sample(&mut rng, n, m).into_iter().collect();
+            p.sort_unstable();
+            p
+        };
+        let sample_values: Vec<f64> = positions.iter().map(|&i| sorted.value(i)).collect();
+        let prefix = PrefixSums::build(&sample_values);
+
+        let (sample_cuts, _) = match self.kind {
+            AggKind::Sum => {
+                let oracle = MedianSplit::new(VarianceOracle::new(&prefix, AggKind::Sum));
+                dp_cuts(m, k, 1, &oracle, SearchStrategy::Binary)
+            }
+            AggKind::Avg => {
+                let delta_m = self.delta_m(m, k);
+                let oracle = WindowIndex::build(&prefix, delta_m);
+                // Partitions must hold at least 2δm samples for the window
+                // oracle's scores to be meaningful (Lemma A.4's premise).
+                dp_cuts(m, k, 2 * delta_m, &oracle, SearchStrategy::Binary)
+            }
+            _ => unreachable!("COUNT handled above; MIN/MAX have no DP"),
+        };
+
+        // Map sample cuts to full-data boundaries: the cut before sample
+        // item c lands before the first full row sharing that item's key,
+        // so equal keys never straddle a boundary.
+        let keys = sorted.keys();
+        let mut full_cuts: Vec<usize> = sample_cuts
+            .into_iter()
+            .map(|c| {
+                let key = keys[positions[c]];
+                keys.partition_point(|&kk| kk < key)
+            })
+            .filter(|&c| c > 0 && c < n)
+            .collect();
+        full_cuts.sort_unstable();
+        full_cuts.dedup();
+        refine_to_budget(keys, &mut full_cuts, k);
+        Partitioning1D::new(n, full_cuts)
+    }
+}
+
+/// Spend any unused partition budget by repeatedly splitting the largest
+/// bucket at its median key boundary. DP ties (regions that do not affect
+/// the worst-case objective) and duplicate-key snapping can leave fewer
+/// than `k` distinct buckets; by the Section 4.3 monotonicity lemma,
+/// splitting a bucket never increases any query's variance, so this
+/// refinement is Pareto-improving on the DP's objective while tightening
+/// typical-case error.
+fn refine_to_budget(keys: &[f64], cuts: &mut Vec<usize>, k: usize) {
+    let n = keys.len();
+    // Buckets proven unsplittable (single key run), by start position.
+    let mut unsplittable: std::collections::HashSet<usize> = Default::default();
+    while cuts.len() + 1 < k {
+        // Largest splittable bucket.
+        let mut best: Option<(usize, usize, usize)> = None; // (len, start, end)
+        let mut start = 0;
+        for &c in cuts.iter().chain(std::iter::once(&n)) {
+            if !unsplittable.contains(&start)
+                && best.is_none_or(|(len, _, _)| c - start > len)
+            {
+                best = Some((c - start, start, c));
+            }
+            start = c;
+        }
+        let Some((_, lo, hi)) = best else { break };
+        // Median split snapped to a key boundary inside (lo, hi).
+        let mid = lo + (hi - lo) / 2;
+        let key = keys[mid];
+        let mut cut = keys[..hi].partition_point(|&kk| kk < key);
+        if cut <= lo || cut >= hi {
+            // The median key run touches a bucket edge; try its other end.
+            cut = keys[..hi].partition_point(|&kk| kk <= key);
+            if cut <= lo || cut >= hi {
+                // Single-key bucket: genuinely unsplittable.
+                unsplittable.insert(lo);
+                continue;
+            }
+        }
+        match cuts.binary_search(&cut) {
+            Ok(_) => {
+                unsplittable.insert(lo); // defensive: avoid spinning
+            }
+            Err(pos) => cuts.insert(pos, cut),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxvar::{Exhaustive, MaxVarOracle};
+    use pass_common::rng::rng_from_seed;
+    use rand::Rng;
+
+    fn sorted_from(values: Vec<f64>) -> SortedTable {
+        let keys: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        SortedTable::from_sorted(keys, values)
+    }
+
+    fn objective(sorted: &SortedTable, p: &Partitioning1D, kind: AggKind) -> f64 {
+        let oracle = Exhaustive::new(VarianceOracle::new(sorted.prefix(), kind), 1);
+        p.ranges()
+            .into_iter()
+            .map(|r| oracle.max_variance(r.start, r.end))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn count_short_circuits_to_equal_sizes() {
+        let s = sorted_from((0..100).map(|i| i as f64).collect());
+        let p = Adp::new(AggKind::Count).partition(&s, 4).unwrap();
+        assert_eq!(p.cuts(), &[25, 50, 75]);
+    }
+
+    #[test]
+    fn full_sample_sum_is_near_optimal() {
+        // With m = n the only approximation left is the median-split
+        // discretization: Appendix A.5 bounds the result by 2√2 × optimum in
+        // error, i.e. 8 × optimum in variance. Check that bound.
+        let mut rng = rng_from_seed(31);
+        for trial in 0..5 {
+            let values: Vec<f64> = (0..48)
+                .map(|i| {
+                    if i % 11 == 0 {
+                        rng.gen::<f64>() * 200.0
+                    } else {
+                        rng.gen::<f64>()
+                    }
+                })
+                .collect();
+            let s = sorted_from(values);
+            let adp = Adp::new(AggKind::Sum).with_samples(48).partition(&s, 4).unwrap();
+            let opt = crate::dp::NaiveDp::new(AggKind::Sum).partition(&s, 4).unwrap();
+            let (a, o) = (
+                objective(&s, &adp, AggKind::Sum),
+                objective(&s, &opt, AggKind::Sum),
+            );
+            assert!(
+                a <= 8.0 * o + 1e-9,
+                "trial {trial}: adp {a} vs 8×opt {}",
+                8.0 * o
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_data_beats_equal_partitioning() {
+        // First 87.5% zeros, rest volatile — the Figure 6 setup in miniature.
+        let mut rng = rng_from_seed(32);
+        let n = 400;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                if i < 350 {
+                    0.0
+                } else {
+                    100.0 + rng.gen::<f64>() * 40.0 - 20.0
+                }
+            })
+            .collect();
+        let s = sorted_from(values);
+        let k = 8;
+        let adp = Adp::new(AggKind::Sum)
+            .with_samples(n)
+            .partition(&s, k)
+            .unwrap();
+        let eq = Partitioning1D::new(n, equal_count_cuts(n, k)).unwrap();
+        let (a, e) = (
+            objective(&s, &adp, AggKind::Sum),
+            objective(&s, &eq, AggKind::Sum),
+        );
+        assert!(a < e, "ADP {a} should beat EQ {e} on adversarial data");
+        // ADP should place most cuts inside the volatile tail.
+        assert!(
+            adp.cuts().iter().filter(|&&c| c >= 340).count() >= k / 2,
+            "cuts {:?}",
+            adp.cuts()
+        );
+    }
+
+    #[test]
+    fn sampled_optimization_still_beats_equal() {
+        let mut rng = rng_from_seed(33);
+        let n = 2000;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                if i < 1750 {
+                    0.0
+                } else {
+                    100.0 + rng.gen::<f64>() * 40.0
+                }
+            })
+            .collect();
+        let s = sorted_from(values);
+        let adp = Adp::new(AggKind::Sum)
+            .with_samples(300)
+            .with_seed(5)
+            .partition(&s, 8)
+            .unwrap();
+        let eq = Partitioning1D::new(n, equal_count_cuts(n, 8)).unwrap();
+        assert!(
+            objective(&s, &adp, AggKind::Sum) <= objective(&s, &eq, AggKind::Sum)
+        );
+    }
+
+    #[test]
+    fn avg_objective_runs_and_improves_over_single_bucket() {
+        let mut rng = rng_from_seed(34);
+        let values: Vec<f64> = (0..600)
+            .map(|i| if i < 300 { 1.0 } else { rng.gen::<f64>() * 100.0 })
+            .collect();
+        let s = sorted_from(values);
+        let adp = Adp::new(AggKind::Avg)
+            .with_samples(600)
+            .with_delta(0.02)
+            .partition(&s, 6)
+            .unwrap();
+        let single = Partitioning1D::single(600);
+        assert!(adp.len() > 1);
+        assert!(
+            objective(&s, &adp, AggKind::Avg) <= objective(&s, &single, AggKind::Avg)
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_never_straddle_boundaries() {
+        // Keys with heavy duplication.
+        let keys: Vec<f64> = (0..200).map(|i| (i / 20) as f64).collect();
+        let values: Vec<f64> = (0..200).map(|i| (i % 7) as f64 * 10.0).collect();
+        let s = SortedTable::from_sorted(keys.clone(), values);
+        let p = Adp::new(AggKind::Sum)
+            .with_samples(100)
+            .partition(&s, 5)
+            .unwrap();
+        for &c in p.cuts() {
+            assert_ne!(
+                keys[c - 1], keys[c],
+                "cut at {c} splits duplicate key {}",
+                keys[c]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = sorted_from((0..500).map(|i| ((i * 17) % 97) as f64).collect());
+        let a = Adp::new(AggKind::Sum).with_samples(128).partition(&s, 8).unwrap();
+        let b = Adp::new(AggKind::Sum).with_samples(128).partition(&s, 8).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! The shared DP engine behind all three partitioners.
+
+use crate::maxvar::MaxVarOracle;
+
+/// How the inner minimization over the split point `h` is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Try every feasible `h` — exact for any oracle.
+    Linear,
+    /// Binary search exploiting the Section 4.3 monotonicity
+    /// (`A[h, j-1]` non-decreasing and `M([h, i))` non-increasing in `h`),
+    /// probing a small neighbourhood around the crossing to absorb
+    /// approximate oracles (Appendix A.5).
+    Binary,
+}
+
+/// Run the DP over `n` items with at most `k` buckets, minimum bucket size
+/// `min_size`, and the given max-variance oracle. Returns the interior cut
+/// positions (possibly fewer than `k-1` when `n` is small) and the achieved
+/// objective `A[n, k]`.
+// Index loops mirror the paper's DP recurrence over `A[i, j]`; iterator
+// adaptors would obscure the crossing-search structure.
+#[allow(clippy::needless_range_loop)]
+pub fn dp_cuts<O: MaxVarOracle>(
+    n: usize,
+    k: usize,
+    min_size: usize,
+    oracle: &O,
+    strategy: SearchStrategy,
+) -> (Vec<usize>, f64) {
+    assert!(n > 0, "dp over empty input");
+    let min_size = min_size.max(1);
+    let k = k.clamp(1, n / min_size.max(1)).max(1);
+
+    // Base layer: one bucket over the first i items.
+    let mut prev: Vec<f64> = vec![f64::INFINITY; n + 1];
+    for i in min_size..=n {
+        prev[i] = oracle.max_variance(0, i);
+    }
+    prev[0] = 0.0;
+
+    if k == 1 {
+        return (Vec::new(), prev[n]);
+    }
+
+    // choice[j-2][i] = chosen h for A[i, j] (layers j = 2..=k).
+    let mut choices: Vec<Vec<u32>> = Vec::with_capacity(k - 1);
+    let mut cur: Vec<f64> = vec![f64::INFINITY; n + 1];
+
+    for j in 2..=k {
+        let mut choice_row = vec![u32::MAX; n + 1];
+        let h_min_base = (j - 1) * min_size;
+        for i in (j * min_size)..=n {
+            let h_lo = h_min_base;
+            let h_hi = i - min_size;
+            let (best_h, best_v) = match strategy {
+                SearchStrategy::Linear => {
+                    let mut best = (h_lo, f64::INFINITY);
+                    for h in h_lo..=h_hi {
+                        let v = prev[h].max(oracle.max_variance(h, i));
+                        if v < best.1 {
+                            best = (h, v);
+                        }
+                    }
+                    best
+                }
+                SearchStrategy::Binary => {
+                    // Find the crossing of the monotone curves, then probe
+                    // its neighbourhood (approximate oracles can perturb
+                    // strict monotonicity locally).
+                    let (mut lo, mut hi) = (h_lo, h_hi);
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        if prev[mid] < oracle.max_variance(mid, i) {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    let probe_lo = lo.saturating_sub(2).max(h_lo);
+                    let probe_hi = (lo + 2).min(h_hi);
+                    let mut best = (probe_lo, f64::INFINITY);
+                    for h in probe_lo..=probe_hi {
+                        let v = prev[h].max(oracle.max_variance(h, i));
+                        if v < best.1 {
+                            best = (h, v);
+                        }
+                    }
+                    best
+                }
+            };
+            cur[i] = best_v;
+            choice_row[i] = best_h as u32;
+        }
+        choices.push(choice_row);
+        std::mem::swap(&mut prev, &mut cur);
+        for v in cur.iter_mut() {
+            *v = f64::INFINITY;
+        }
+        cur[0] = 0.0;
+    }
+
+    // Backtrack from A[n, k].
+    let objective = prev[n];
+    let mut cuts = Vec::with_capacity(k - 1);
+    let mut i = n;
+    for j in (2..=k).rev() {
+        let h = choices[j - 2][i] as usize;
+        if h == u32::MAX as usize || h == 0 {
+            break;
+        }
+        cuts.push(h);
+        i = h;
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    (cuts, objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxvar::{Exhaustive, MaxVarOracle};
+    use crate::variance::VarianceOracle;
+    use pass_common::{AggKind, PrefixSums};
+
+    /// Oracle whose "variance" is the range length — forces equal splits.
+    struct LengthOracle;
+    impl MaxVarOracle for LengthOracle {
+        fn max_variance(&self, lo: usize, hi: usize) -> f64 {
+            (hi - lo) as f64
+        }
+    }
+
+    #[test]
+    fn equalizes_under_length_objective() {
+        for strategy in [SearchStrategy::Linear, SearchStrategy::Binary] {
+            let (cuts, obj) = dp_cuts(12, 3, 1, &LengthOracle, strategy);
+            assert_eq!(cuts.len(), 2, "{strategy:?}");
+            assert_eq!(obj, 4.0, "{strategy:?}: objective = max bucket size");
+            // Buckets of size 4 each.
+            assert_eq!(cuts, vec![4, 8]);
+        }
+    }
+
+    #[test]
+    fn k1_returns_no_cuts() {
+        let (cuts, obj) = dp_cuts(10, 1, 1, &LengthOracle, SearchStrategy::Linear);
+        assert!(cuts.is_empty());
+        assert_eq!(obj, 10.0);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let (cuts, _) = dp_cuts(3, 10, 1, &LengthOracle, SearchStrategy::Linear);
+        assert!(cuts.len() <= 2);
+    }
+
+    #[test]
+    fn min_size_respected() {
+        let (cuts, _) = dp_cuts(12, 3, 3, &LengthOracle, SearchStrategy::Linear);
+        let mut prev = 0;
+        for &c in &cuts {
+            assert!(c - prev >= 3);
+            prev = c;
+        }
+        assert!(12 - prev >= 3);
+    }
+
+    #[test]
+    fn binary_matches_linear_on_exact_oracle() {
+        // With a genuinely monotone oracle the binary search must find the
+        // same objective as the linear scan.
+        let v: Vec<f64> = (0..40)
+            .map(|i| if i < 30 { 0.0 } else { (i * 13 % 17) as f64 })
+            .collect();
+        let p = PrefixSums::build(&v);
+        let oracle = Exhaustive::new(VarianceOracle::new(&p, AggKind::Sum), 1);
+        for k in [2, 3, 4, 6] {
+            let (_, lin) = dp_cuts(40, k, 1, &oracle, SearchStrategy::Linear);
+            let (_, bin) = dp_cuts(40, k, 1, &oracle, SearchStrategy::Binary);
+            assert!(
+                (lin - bin).abs() < 1e-9,
+                "k={k}: linear {lin} vs binary {bin}"
+            );
+        }
+    }
+
+    #[test]
+    fn concentrates_cuts_on_the_volatile_region() {
+        // 30 zeros then 10 wild values: with k=4 most cuts should land in
+        // or around the wild suffix, not the constant prefix.
+        let v: Vec<f64> = (0..40)
+            .map(|i| if i < 30 { 0.0 } else { ((i * 37) % 101) as f64 })
+            .collect();
+        let p = PrefixSums::build(&v);
+        let oracle = Exhaustive::new(VarianceOracle::new(&p, AggKind::Sum), 1);
+        let (cuts, _) = dp_cuts(40, 4, 1, &oracle, SearchStrategy::Linear);
+        assert!(
+            cuts.iter().filter(|&&c| c >= 28).count() >= 2,
+            "cuts {cuts:?} should cluster near the volatile suffix"
+        );
+    }
+
+    #[test]
+    fn objective_weakly_decreases_with_more_buckets() {
+        let v: Vec<f64> = (0..30).map(|i| ((i * 7) % 23) as f64).collect();
+        let p = PrefixSums::build(&v);
+        let oracle = Exhaustive::new(VarianceOracle::new(&p, AggKind::Avg), 2);
+        let mut last = f64::INFINITY;
+        for k in 1..=6 {
+            let (_, obj) = dp_cuts(30, k, 1, &oracle, SearchStrategy::Linear);
+            assert!(obj <= last + 1e-9, "k={k}: {obj} > {last}");
+            last = obj;
+        }
+    }
+}

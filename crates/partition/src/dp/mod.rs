@@ -1,0 +1,29 @@
+//! The dynamic programs of Section 4.3.
+//!
+//! All three share one recurrence over items sorted by predicate key:
+//!
+//! ```text
+//! A[i, j] = min_{h < i} max( A[h, j-1], M([h, i)) )
+//! ```
+//!
+//! where `M` is a maximum-variance oracle. They differ in which `M` they
+//! use and how they search `h`:
+//!
+//! | Partitioner  | `M`                      | `h` search       | Complexity        |
+//! |--------------|--------------------------|------------------|-------------------|
+//! | [`NaiveDp`]  | exhaustive               | linear scan      | O(kN⁴)            |
+//! | [`MonotoneDp`]| exhaustive              | binary search    | O(kN³ log N)      |
+//! | [`Adp`]      | discretized, on a sample | binary search    | O(k·m·log m)      |
+//!
+//! `Adp` is the `**` algorithm the paper uses in all experiments
+//! (Section 4.3.1): it optimizes over `m` sampled items with the Lemma A.3
+//! median-split oracle (SUM/COUNT) or the Appendix A.4 window index (AVG),
+//! then maps the sampled cut positions back to full-data boundaries.
+
+mod adp;
+mod engine;
+mod exact;
+
+pub use adp::Adp;
+pub use engine::{dp_cuts, SearchStrategy};
+pub use exact::{MonotoneDp, NaiveDp};

@@ -1,0 +1,603 @@
+//! Balanced k-d trees for multi-dimensional PASS (Section 4.4 / 5.4).
+//!
+//! The higher-dimensional optimizer parameterizes the search space by
+//! balanced k-d trees with fanout `2^d`: every expansion splits a leaf at
+//! the median of *each* predicate attribute simultaneously. Two expansion
+//! policies reproduce the Section 5.4 systems:
+//!
+//! * **KD-PASS** ([`KdExpansion::MaxVariance`]): greedily expand the leaf
+//!   containing the (approximate) maximum-variance query, subject to the
+//!   "leaf depths differ by at most 2" balance rule;
+//! * **KD-US** ([`KdExpansion::BreadthFirst`]): always expand the
+//!   shallowest leaf, ties broken randomly — the baseline's uniform
+//!   refinement.
+//!
+//! Node rectangles are the *tight bounding boxes* of the node's points.
+//! This is sound for MCF classification (a node covered by the query rect
+//! has all of its rows matching; a node disjoint from it has none) and
+//! strictly tighter than splitting-plane boxes.
+
+use rand::Rng;
+
+use pass_common::rng::rng_from_seed;
+use pass_common::{AggKind, PassError, Rect, Result};
+use pass_table::Table;
+
+/// One node of the expansion tree.
+#[derive(Debug, Clone)]
+pub struct KdNodeInfo {
+    /// Tight bounding rectangle of the node's points.
+    pub rect: Rect,
+    /// Half-open range into [`KdBuild::perm`].
+    pub start: usize,
+    pub end: usize,
+    /// Child node ids (empty for leaves). Up to `2^d` children.
+    pub children: Vec<usize>,
+    pub depth: usize,
+}
+
+impl KdNodeInfo {
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A built k-d expansion: an arena of nodes over a permutation of row ids,
+/// where every node owns a contiguous `perm` range.
+#[derive(Debug, Clone)]
+pub struct KdBuild {
+    pub perm: Vec<u32>,
+    pub nodes: Vec<KdNodeInfo>,
+    pub root: usize,
+}
+
+impl KdBuild {
+    /// Ids of all current leaves, in arena order.
+    pub fn leaf_ids(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_leaf())
+            .collect()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Row ids (into the original table) owned by a node.
+    pub fn rows_of(&self, node: usize) -> &[u32] {
+        let n = &self.nodes[node];
+        &self.perm[n.start..n.end]
+    }
+}
+
+/// Which leaf to expand next.
+#[derive(Debug, Clone, Copy)]
+pub enum KdExpansion {
+    /// KD-PASS: leaf with the maximum approximate query variance, with leaf
+    /// depths constrained to differ by at most `balance` (the paper uses 2).
+    MaxVariance { kind: AggKind, balance: usize },
+    /// KD-US: shallowest leaf first, random tie-break.
+    BreadthFirst,
+}
+
+/// Grow a k-d expansion over the table's predicate space until (at most)
+/// `max_leaves` leaves exist or no leaf is expandable.
+pub fn build_kd(
+    table: &Table,
+    max_leaves: usize,
+    expansion: KdExpansion,
+    seed: u64,
+) -> Result<KdBuild> {
+    let n = table.n_rows();
+    if n == 0 {
+        return Err(PassError::EmptyInput("kd build over empty table"));
+    }
+    if max_leaves == 0 {
+        return Err(PassError::InvalidParameter(
+            "max_leaves",
+            "must be at least 1".into(),
+        ));
+    }
+    let mut build = KdBuild {
+        perm: (0..n as u32).collect(),
+        nodes: Vec::new(),
+        root: 0,
+    };
+    let root_rect = bounding_rect(table, &build.perm);
+    build.nodes.push(KdNodeInfo {
+        rect: root_rect,
+        start: 0,
+        end: n,
+        children: Vec::new(),
+        depth: 0,
+    });
+
+    // Cached per-leaf expansion scores (MaxVariance policy only).
+    let mut scores: Vec<f64> = vec![f64::NAN; 1];
+    let mut rng = rng_from_seed(seed);
+
+    while build.n_leaves() < max_leaves {
+        let leaf = match expansion {
+            KdExpansion::MaxVariance { kind, balance } => {
+                pick_max_variance_leaf(table, &mut build, &mut scores, kind, balance)
+            }
+            KdExpansion::BreadthFirst => pick_shallowest_leaf(&build, &mut rng),
+        };
+        let Some(leaf) = leaf else { break };
+        let made = expand_leaf(table, &mut build, leaf);
+        if made == 0 {
+            // Indivisible leaf: mark it permanently unexpandable by giving
+            // it a -inf score / treat via children still empty. Use score.
+            if scores.len() < build.nodes.len() {
+                scores.resize(build.nodes.len(), f64::NAN);
+            }
+            scores[leaf] = f64::NEG_INFINITY;
+            // For BreadthFirst, avoid an infinite loop on indivisible
+            // leaves: if every leaf is indivisible we are done.
+            if build
+                .leaf_ids()
+                .iter()
+                .all(|&l| scores.get(l).copied() == Some(f64::NEG_INFINITY))
+            {
+                break;
+            }
+            continue;
+        }
+        scores.resize(build.nodes.len(), f64::NAN);
+    }
+    Ok(build)
+}
+
+/// Tight bounding rectangle of a set of rows.
+fn bounding_rect(table: &Table, rows: &[u32]) -> Rect {
+    let d = table.dims();
+    let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); d];
+    for &r in rows {
+        for (dim, b) in bounds.iter_mut().enumerate() {
+            let v = table.predicate(dim, r as usize);
+            if v < b.0 {
+                b.0 = v;
+            }
+            if v > b.1 {
+                b.1 = v;
+            }
+        }
+    }
+    Rect::new(&bounds)
+}
+
+/// Split a leaf at the median of every dimension (fanout 2^d). Returns the
+/// number of children created (0 when the leaf is indivisible).
+fn expand_leaf(table: &Table, build: &mut KdBuild, leaf: usize) -> usize {
+    let (start, end, depth) = {
+        let node = &build.nodes[leaf];
+        (node.start, node.end, node.depth)
+    };
+    if end - start < 2 {
+        return 0;
+    }
+    let d = table.dims();
+    // A leaf whose bounding box is a single point is indivisible: every
+    // split would create identical overlapping children.
+    {
+        let rect = &build.nodes[leaf].rect;
+        if (0..d).all(|dim| rect.lo(dim) == rect.hi(dim)) {
+            return 0;
+        }
+    }
+    // Recursively median-split the range across dims 0..d. Splits are
+    // *value-based*: rows sharing the boundary value never straddle a
+    // split, so sibling bounding boxes are disjoint in the split dimension
+    // (a geometric invariant AQP++'s covered-region test relies on).
+    let mut ranges = vec![(start, end)];
+    for dim in 0..d {
+        let mut next = Vec::with_capacity(ranges.len() * 2);
+        for (s, e) in ranges {
+            if e - s < 2 {
+                next.push((s, e));
+                continue;
+            }
+            let slice = &mut build.perm[s..e];
+            let target = (e - s) / 2;
+            slice.select_nth_unstable_by(target, |&a, &b| {
+                table
+                    .predicate(dim, a as usize)
+                    .partial_cmp(&table.predicate(dim, b as usize))
+                    .expect("NaN predicate")
+            });
+            let pivot = table.predicate(dim, slice[target] as usize);
+            // Choose the tie-safe boundary (all `< pivot` left, or all
+            // `<= pivot` left) closest to the median.
+            let less = slice
+                .iter()
+                .filter(|&&r| table.predicate(dim, r as usize) < pivot)
+                .count();
+            let less_eq = slice
+                .iter()
+                .filter(|&&r| table.predicate(dim, r as usize) <= pivot)
+                .count();
+            let candidates = [less, less_eq];
+            let mid_local = candidates
+                .into_iter()
+                .filter(|&c| c > 0 && c < e - s)
+                .min_by_key(|&c| c.abs_diff(target));
+            let Some(mid_local) = mid_local else {
+                // Every row shares this dimension's value: no split here.
+                next.push((s, e));
+                continue;
+            };
+            // Stable two-way partition by the chosen threshold.
+            let threshold_is_less = mid_local == less;
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &r in slice.iter() {
+                let v = table.predicate(dim, r as usize);
+                let goes_left = if threshold_is_less { v < pivot } else { v <= pivot };
+                if goes_left {
+                    left.push(r);
+                } else {
+                    right.push(r);
+                }
+            }
+            let mid = s + left.len();
+            slice[..left.len()].copy_from_slice(&left);
+            slice[left.len()..].copy_from_slice(&right);
+            next.push((s, mid));
+            next.push((mid, e));
+        }
+        ranges = next;
+    }
+    // Degenerate check: if splitting achieved nothing (all coordinates
+    // equal), every range but one is empty.
+    let nonempty: Vec<(usize, usize)> = ranges.into_iter().filter(|(s, e)| e > s).collect();
+    if nonempty.len() < 2 {
+        return 0;
+    }
+    let mut created = 0;
+    for (s, e) in nonempty {
+        let rect = bounding_rect(table, &build.perm[s..e]);
+        build.nodes.push(KdNodeInfo {
+            rect,
+            start: s,
+            end: e,
+            children: Vec::new(),
+            depth: depth + 1,
+        });
+        let id = build.nodes.len() - 1;
+        build.nodes[leaf].children.push(id);
+        created += 1;
+    }
+    created
+}
+
+/// KD-PASS leaf choice: maximum cached approximate variance among leaves
+/// whose expansion keeps the depth spread within `balance`.
+fn pick_max_variance_leaf(
+    table: &Table,
+    build: &mut KdBuild,
+    scores: &mut Vec<f64>,
+    kind: AggKind,
+    balance: usize,
+) -> Option<usize> {
+    let leaves = build.leaf_ids();
+    let min_depth = leaves.iter().map(|&l| build.nodes[l].depth).min()?;
+    scores.resize(build.nodes.len(), f64::NAN);
+    let mut best: Option<(usize, f64)> = None;
+    for &l in &leaves {
+        let node = &build.nodes[l];
+        if node.len() < 2 {
+            continue;
+        }
+        // Expanding creates depth+1 leaves; keep max−min ≤ balance.
+        if node.depth + 1 > min_depth + balance {
+            continue;
+        }
+        if scores[l].is_nan() {
+            scores[l] = leaf_score(table, build, l, kind);
+        }
+        if scores[l] == f64::NEG_INFINITY {
+            continue;
+        }
+        if best.is_none_or(|(_, b)| scores[l] > b) {
+            best = Some((l, scores[l]));
+        }
+    }
+    best.map(|(l, _)| l)
+}
+
+/// KD-US leaf choice: shallowest leaf, random tie-break.
+fn pick_shallowest_leaf<R: Rng>(build: &KdBuild, rng: &mut R) -> Option<usize> {
+    let leaves: Vec<usize> = build
+        .leaf_ids()
+        .into_iter()
+        .filter(|&l| build.nodes[l].len() >= 2)
+        .collect();
+    let min_depth = leaves.iter().map(|&l| build.nodes[l].depth).min()?;
+    let shallowest: Vec<usize> = leaves
+        .into_iter()
+        .filter(|&l| build.nodes[l].depth == min_depth)
+        .collect();
+    shallowest
+        .get(rng.gen_range(0..shallowest.len()))
+        .copied()
+}
+
+/// Approximate max query variance inside a leaf — the multi-dimensional
+/// median-split discretization (Lemma A.3 generalizes to any equal-count
+/// split): split the leaf's rows at the median of its widest dimension and
+/// score both halves with the Section 4.2.1 formulas.
+fn leaf_score(table: &Table, build: &KdBuild, leaf: usize, kind: AggKind) -> f64 {
+    let node = &build.nodes[leaf];
+    let rows = &build.perm[node.start..node.end];
+    let n_i = rows.len();
+    if n_i < 2 {
+        return f64::NEG_INFINITY;
+    }
+    // AVG: use Appendix A.4's second algorithm (δm-leaf k-d scoring),
+    // with δm scaled to the leaf so every leaf remains scoreable.
+    if kind == AggKind::Avg {
+        let delta_m = (n_i / 16).clamp(2, 256);
+        if let Some(result) = crate::maxvar::max_avg_variance_kd(table, rows, delta_m) {
+            return result.variance;
+        }
+        // Leaf too small for the k-d routine: fall through to the
+        // median-split score below.
+    }
+    // Widest dimension of the bounding box.
+    let dim = (0..table.dims())
+        .max_by(|&a, &b| {
+            let wa = node.rect.hi(a) - node.rect.lo(a);
+            let wb = node.rect.hi(b) - node.rect.lo(b);
+            wa.partial_cmp(&wb).expect("finite widths")
+        })
+        .unwrap_or(0);
+    // Median split by that dimension (copy; scoring must not reorder perm).
+    let mut order: Vec<u32> = rows.to_vec();
+    let mid = n_i / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        table
+            .predicate(dim, a as usize)
+            .partial_cmp(&table.predicate(dim, b as usize))
+            .expect("NaN predicate")
+    });
+    let score_half = |half: &[u32]| -> f64 {
+        let n_q = half.len() as f64;
+        if n_q == 0.0 {
+            return 0.0;
+        }
+        let (mut s, mut s2) = (0.0, 0.0);
+        for &r in half {
+            let v = table.value(r as usize);
+            s += v;
+            s2 += v * v;
+        }
+        let scatter = (n_i as f64 * s2 - s * s).max(0.0);
+        match kind {
+            AggKind::Sum => scatter / n_i as f64,
+            AggKind::Avg => scatter / (n_i as f64 * n_q * n_q),
+            AggKind::Count => n_q * (1.0 - n_q / n_i as f64),
+            _ => 0.0,
+        }
+    };
+    score_half(&order[..mid]).max(score_half(&order[mid..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_table::datasets::{taxi, uniform};
+
+    fn two_dim_table(n: usize, seed: u64) -> Table {
+        taxi(n, seed).project(&[1, 2]).unwrap()
+    }
+
+    #[test]
+    fn root_only_when_max_leaves_is_one() {
+        let t = uniform(100, 1);
+        let b = build_kd(&t, 1, KdExpansion::BreadthFirst, 0).unwrap();
+        assert_eq!(b.n_leaves(), 1);
+        assert_eq!(b.nodes.len(), 1);
+    }
+
+    #[test]
+    fn children_partition_parent_rows() {
+        let t = two_dim_table(500, 2);
+        let b = build_kd(
+            &t,
+            16,
+            KdExpansion::MaxVariance {
+                kind: AggKind::Sum,
+                balance: 2,
+            },
+            0,
+        )
+        .unwrap();
+        for (id, node) in b.nodes.iter().enumerate() {
+            if node.is_leaf() {
+                continue;
+            }
+            let child_total: usize = node
+                .children
+                .iter()
+                .map(|&c| b.nodes[c].len())
+                .sum();
+            assert_eq!(child_total, node.len(), "node {id}");
+            // Children ranges are contiguous and inside the parent.
+            for &c in &node.children {
+                assert!(b.nodes[c].start >= node.start);
+                assert!(b.nodes[c].end <= node.end);
+                assert_eq!(b.nodes[c].depth, node.depth + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_cover_all_rows_exactly_once() {
+        let t = two_dim_table(300, 3);
+        let b = build_kd(&t, 12, KdExpansion::BreadthFirst, 7).unwrap();
+        let mut seen = vec![false; t.n_rows()];
+        for l in b.leaf_ids() {
+            for &r in b.rows_of(l) {
+                assert!(!seen[r as usize], "row {r} in two leaves");
+                seen[r as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn rects_bound_their_rows() {
+        let t = two_dim_table(400, 4);
+        let b = build_kd(
+            &t,
+            20,
+            KdExpansion::MaxVariance {
+                kind: AggKind::Avg,
+                balance: 2,
+            },
+            0,
+        )
+        .unwrap();
+        for (id, node) in b.nodes.iter().enumerate() {
+            for &r in &b.perm[node.start..node.end] {
+                let point = t.point(r as usize);
+                assert!(node.rect.contains_point(&point), "node {id} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_is_2_pow_d() {
+        let t = two_dim_table(1000, 5);
+        let b = build_kd(&t, 5, KdExpansion::BreadthFirst, 1).unwrap();
+        let root = &b.nodes[b.root];
+        assert_eq!(root.children.len(), 4, "2 dims → fanout 4");
+    }
+
+    #[test]
+    fn balance_constraint_limits_depth_spread() {
+        let t = two_dim_table(2000, 6);
+        let b = build_kd(
+            &t,
+            64,
+            KdExpansion::MaxVariance {
+                kind: AggKind::Sum,
+                balance: 2,
+            },
+            0,
+        )
+        .unwrap();
+        let depths: Vec<usize> = b.leaf_ids().iter().map(|&l| b.nodes[l].depth).collect();
+        let min = *depths.iter().min().unwrap();
+        let max = *depths.iter().max().unwrap();
+        assert!(max - min <= 2, "depth spread {min}..{max}");
+    }
+
+    #[test]
+    fn breadth_first_is_near_perfectly_balanced() {
+        let t = two_dim_table(2000, 7);
+        let b = build_kd(&t, 16, KdExpansion::BreadthFirst, 3).unwrap();
+        let depths: Vec<usize> = b.leaf_ids().iter().map(|&l| b.nodes[l].depth).collect();
+        let min = *depths.iter().min().unwrap();
+        let max = *depths.iter().max().unwrap();
+        assert!(max - min <= 1, "breadth-first spread {min}..{max}");
+    }
+
+    #[test]
+    fn max_variance_targets_volatile_region() {
+        // 1-D table: calm first half, wild second half. The max-variance
+        // expansion should refine the wild side more.
+        let n = 1024;
+        let keys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| if i < n / 2 { 1.0 } else { ((i * 37) % 100) as f64 })
+            .collect();
+        let t = Table::one_dim(keys, values).unwrap();
+        let b = build_kd(
+            &t,
+            8,
+            KdExpansion::MaxVariance {
+                kind: AggKind::Sum,
+                balance: 8,
+            },
+            0,
+        )
+        .unwrap();
+        let volatile_leaves = b
+            .leaf_ids()
+            .iter()
+            .filter(|&&l| b.nodes[l].rect.lo(0) >= (n / 2) as f64 - 1.0)
+            .count();
+        let calm_leaves = b.n_leaves() - volatile_leaves;
+        assert!(
+            volatile_leaves > calm_leaves,
+            "volatile {volatile_leaves} vs calm {calm_leaves}"
+        );
+    }
+
+    #[test]
+    fn sibling_boxes_are_value_disjoint_under_heavy_ties() {
+        // Categorical-style dimension with few distinct values: sibling
+        // bounding boxes must never overlap (ties cannot straddle splits).
+        let n = 2_000;
+        let keys: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64).collect();
+        let other: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+        let t = Table::new(
+            values,
+            vec![keys, other],
+            vec!["v".into(), "cat".into(), "x".into()],
+        )
+        .unwrap();
+        let b = build_kd(&t, 32, KdExpansion::BreadthFirst, 1).unwrap();
+        // Check all leaf pairs: their point sets are disjoint by
+        // construction; their rects must not properly overlap (sharing at
+        // most nothing, since splits are value-based).
+        let leaves = b.leaf_ids();
+        for (i, &a) in leaves.iter().enumerate() {
+            for &c in &leaves[i + 1..] {
+                let ra = &b.nodes[a].rect;
+                let rc = &b.nodes[c].rect;
+                // Disjoint in at least one dimension, strictly.
+                let separated = (0..2).any(|d| ra.hi(d) < rc.lo(d) || rc.hi(d) < ra.lo(d));
+                assert!(
+                    separated,
+                    "leaves {a} and {c} overlap: {ra:?} vs {rc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indivisible_data_terminates() {
+        // All rows at the same point: nothing to split.
+        let t = Table::one_dim(vec![5.0; 50], vec![1.0; 50]).unwrap();
+        let b = build_kd(&t, 8, KdExpansion::BreadthFirst, 0).unwrap();
+        assert_eq!(b.n_leaves(), 1);
+        let b = build_kd(
+            &t,
+            8,
+            KdExpansion::MaxVariance {
+                kind: AggKind::Sum,
+                balance: 2,
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(b.n_leaves(), 1);
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let t = Table::one_dim(vec![], vec![]).unwrap();
+        assert!(build_kd(&t, 4, KdExpansion::BreadthFirst, 0).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Multi-dimensional range tree over sampled points (Appendix A.3):
+//! "In higher dimensions we construct a range tree in O(m log^{d-1} m)
+//! time ... Given a query rectangle q the range tree can return Σ t² and
+//! Σ t in O(log^{d-1} m) time."
+//!
+//! A classic layered range tree without fractional cascading: each level
+//! is a balanced hierarchy over one predicate dimension whose every
+//! canonical node owns a next-level tree over the remaining dimensions;
+//! the last level stores sorted coordinates with prefix Σt / Σt². Space is
+//! O(m·log^{d-1} m), which is exactly why the paper (and we) deploy it
+//! over the *optimization sample*, never the full dataset.
+
+use pass_common::Rect;
+use pass_table::Table;
+
+/// Aggregate answer of a rectangle query.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RangeAggregates {
+    pub count: u64,
+    pub sum: f64,
+    pub sum_sq: f64,
+}
+
+impl RangeAggregates {
+    fn add(&mut self, other: RangeAggregates) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+/// One level of the tree: a hierarchy over `dim`, or the terminal
+/// prefix-sum layer for the last dimension.
+#[derive(Debug, Clone)]
+enum Level {
+    /// Interior level over dimension `dim`: points sorted by that
+    /// dimension, recursively halved; each node carries the next-level
+    /// tree over its span.
+    Inner {
+        /// Sorted coordinates of this node's span (for boundary search).
+        lo_coord: f64,
+        hi_coord: f64,
+        len: usize,
+        next: Box<Level>,
+        children: Option<Box<(Level, Level)>>,
+    },
+    /// Terminal level: coordinates of the last dimension, sorted, with
+    /// prefix sums of the aggregate values.
+    Terminal {
+        coords: Vec<f64>,
+        prefix_sum: Vec<f64>,
+        prefix_sq: Vec<f64>,
+    },
+}
+
+/// A d-dimensional aggregate range tree over a set of table rows.
+#[derive(Debug, Clone)]
+pub struct RangeTree {
+    dims: usize,
+    root: Level,
+    len: usize,
+}
+
+impl RangeTree {
+    /// Build over the given rows of `table` (all rows when `rows` is
+    /// `None`). O(m log^{d-1} m) time and space.
+    pub fn build(table: &Table, rows: Option<&[u32]>) -> Self {
+        let rows: Vec<u32> = match rows {
+            Some(r) => r.to_vec(),
+            None => (0..table.n_rows() as u32).collect(),
+        };
+        let dims = table.dims();
+        let root = build_level(table, rows.clone(), 0, dims);
+        Self {
+            dims,
+            root,
+            len: rows.len(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Σ1, Σt, Σt² over points inside `rect` (inclusive bounds).
+    pub fn query(&self, rect: &Rect) -> RangeAggregates {
+        debug_assert_eq!(rect.dims(), self.dims);
+        let mut out = RangeAggregates::default();
+        query_level(&self.root, rect, 0, &mut out);
+        out
+    }
+}
+
+fn build_level(table: &Table, mut rows: Vec<u32>, dim: usize, dims: usize) -> Level {
+    if dim + 1 == dims {
+        // Terminal: sort by the last dimension, prefix sums over values.
+        rows.sort_by(|&a, &b| {
+            table
+                .predicate(dim, a as usize)
+                .partial_cmp(&table.predicate(dim, b as usize))
+                .expect("NaN predicate")
+        });
+        let coords: Vec<f64> = rows
+            .iter()
+            .map(|&r| table.predicate(dim, r as usize))
+            .collect();
+        let mut prefix_sum = Vec::with_capacity(rows.len() + 1);
+        let mut prefix_sq = Vec::with_capacity(rows.len() + 1);
+        prefix_sum.push(0.0);
+        prefix_sq.push(0.0);
+        let (mut s, mut s2) = (0.0, 0.0);
+        for &r in &rows {
+            let v = table.value(r as usize);
+            s += v;
+            s2 += v * v;
+            prefix_sum.push(s);
+            prefix_sq.push(s2);
+        }
+        return Level::Terminal {
+            coords,
+            prefix_sum,
+            prefix_sq,
+        };
+    }
+    rows.sort_by(|&a, &b| {
+        table
+            .predicate(dim, a as usize)
+            .partial_cmp(&table.predicate(dim, b as usize))
+            .expect("NaN predicate")
+    });
+    build_inner(table, &rows, dim, dims)
+}
+
+fn build_inner(table: &Table, rows: &[u32], dim: usize, dims: usize) -> Level {
+    let lo_coord = rows
+        .first()
+        .map(|&r| table.predicate(dim, r as usize))
+        .unwrap_or(f64::INFINITY);
+    let hi_coord = rows
+        .last()
+        .map(|&r| table.predicate(dim, r as usize))
+        .unwrap_or(f64::NEG_INFINITY);
+    let next = Box::new(build_level(table, rows.to_vec(), dim + 1, dims));
+    let children = if rows.len() >= 2 {
+        let mid = rows.len() / 2;
+        Some(Box::new((
+            build_inner(table, &rows[..mid], dim, dims),
+            build_inner(table, &rows[mid..], dim, dims),
+        )))
+    } else {
+        None
+    };
+    Level::Inner {
+        lo_coord,
+        hi_coord,
+        len: rows.len(),
+        next,
+        children,
+    }
+}
+
+fn query_level(level: &Level, rect: &Rect, dim: usize, out: &mut RangeAggregates) {
+    match level {
+        Level::Terminal {
+            coords,
+            prefix_sum,
+            prefix_sq,
+        } => {
+            let lo = coords.partition_point(|&c| c < rect.lo(dim));
+            let hi = coords.partition_point(|&c| c <= rect.hi(dim));
+            if hi > lo {
+                out.add(RangeAggregates {
+                    count: (hi - lo) as u64,
+                    sum: prefix_sum[hi] - prefix_sum[lo],
+                    sum_sq: prefix_sq[hi] - prefix_sq[lo],
+                });
+            }
+        }
+        Level::Inner {
+            lo_coord,
+            hi_coord,
+            len,
+            next,
+            children,
+        } => {
+            if *len == 0 || *lo_coord > rect.hi(dim) || *hi_coord < rect.lo(dim) {
+                return; // disjoint span
+            }
+            if rect.lo(dim) <= *lo_coord && *hi_coord <= rect.hi(dim) {
+                // Canonical node: descend into the next dimension.
+                query_level(next, rect, dim + 1, out);
+                return;
+            }
+            match children {
+                Some(c) => {
+                    query_level(&c.0, rect, dim, out);
+                    query_level(&c.1, rect, dim, out);
+                }
+                None => {
+                    // Single point not fully inside in this dimension ⇒ it
+                    // would have matched the canonical case; nothing to do.
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::rng::rng_from_seed;
+    use pass_table::datasets::taxi;
+    use pass_table::Table;
+    use rand::Rng;
+
+    fn naive(table: &Table, rect: &Rect) -> RangeAggregates {
+        let mut out = RangeAggregates::default();
+        for i in 0..table.n_rows() {
+            if table.matches(rect, i) {
+                let v = table.value(i);
+                out.count += 1;
+                out.sum += v;
+                out.sum_sq += v * v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_in_two_dims() {
+        let t = taxi(800, 1).project(&[1, 2]).unwrap();
+        let tree = RangeTree::build(&t, None);
+        assert_eq!(tree.len(), 800);
+        let full = t.bounding_rect().unwrap();
+        let mut rng = rng_from_seed(2);
+        for _ in 0..50 {
+            let bounds: Vec<(f64, f64)> = (0..2)
+                .map(|d| {
+                    let a = full.lo(d) + rng.gen::<f64>() * (full.hi(d) - full.lo(d));
+                    let b = full.lo(d) + rng.gen::<f64>() * (full.hi(d) - full.lo(d));
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            let rect = Rect::new(&bounds);
+            let got = tree.query(&rect);
+            let want = naive(&t, &rect);
+            assert_eq!(got.count, want.count);
+            assert!((got.sum - want.sum).abs() < 1e-6 * want.sum.abs().max(1.0));
+            assert!((got.sum_sq - want.sum_sq).abs() < 1e-6 * want.sum_sq.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn matches_naive_in_three_dims() {
+        let t = taxi(400, 3).project(&[1, 2, 3]).unwrap();
+        let tree = RangeTree::build(&t, None);
+        let full = t.bounding_rect().unwrap();
+        let mut rng = rng_from_seed(4);
+        for _ in 0..25 {
+            let bounds: Vec<(f64, f64)> = (0..3)
+                .map(|d| {
+                    let a = full.lo(d) + rng.gen::<f64>() * (full.hi(d) - full.lo(d));
+                    let b = full.lo(d) + rng.gen::<f64>() * (full.hi(d) - full.lo(d));
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            let rect = Rect::new(&bounds);
+            assert_eq!(tree.query(&rect).count, naive(&t, &rect).count);
+        }
+    }
+
+    #[test]
+    fn one_dim_reduces_to_prefix_sums() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..100).map(|i| (i % 9) as f64).collect();
+        let t = Table::one_dim(keys, values).unwrap();
+        let tree = RangeTree::build(&t, None);
+        let rect = Rect::interval(10.0, 60.0);
+        let got = tree.query(&rect);
+        let want = naive(&t, &rect);
+        assert_eq!(got.count, want.count);
+        assert_eq!(got.sum, want.sum);
+    }
+
+    #[test]
+    fn subset_of_rows_and_duplicates() {
+        // Duplicated coordinates; build over a row subset.
+        let x: Vec<f64> = (0..60).map(|i| (i % 5) as f64).collect();
+        let y: Vec<f64> = (0..60).map(|i| (i % 3) as f64).collect();
+        let v: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let t = Table::new(v, vec![x, y], vec!["v".into(), "x".into(), "y".into()]).unwrap();
+        let rows: Vec<u32> = (0..30).collect();
+        let tree = RangeTree::build(&t, Some(&rows));
+        assert_eq!(tree.len(), 30);
+        let rect = Rect::new(&[(1.0, 3.0), (0.0, 1.0)]);
+        let want: f64 = rows
+            .iter()
+            .filter(|&&r| t.matches(&rect, r as usize))
+            .map(|&r| t.value(r as usize))
+            .sum();
+        assert!((tree.query(&rect).sum - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let t = Table::one_dim(vec![5.0], vec![9.0]).unwrap();
+        let tree = RangeTree::build(&t, Some(&[]));
+        assert!(tree.is_empty());
+        assert_eq!(tree.query(&Rect::interval(0.0, 10.0)).count, 0);
+        let tree = RangeTree::build(&t, None);
+        assert_eq!(tree.query(&Rect::interval(5.0, 5.0)).count, 1);
+        assert_eq!(tree.query(&Rect::interval(6.0, 7.0)).count, 0);
+    }
+}

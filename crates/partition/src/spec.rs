@@ -1,0 +1,149 @@
+//! Partitioning representation and the 1-D partitioner contract.
+
+use pass_common::{PassError, Result};
+use pass_table::SortedTable;
+
+/// A 1-D partitioning of a sorted table into contiguous buckets, stored as
+/// interior cut positions: `cuts = [c_1, ..., c_{B-1}]` (strictly increasing,
+/// each in `1..n`) yields buckets `[0,c_1), [c_1,c_2), ..., [c_{B-1}, n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning1D {
+    n: usize,
+    cuts: Vec<usize>,
+}
+
+impl Partitioning1D {
+    /// Validate and wrap interior cut positions over `n` rows.
+    pub fn new(n: usize, mut cuts: Vec<usize>) -> Result<Self> {
+        if n == 0 {
+            return Err(PassError::EmptyInput("partitioning over empty table"));
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        if cuts.iter().any(|&c| c == 0 || c >= n) {
+            return Err(PassError::InvalidParameter(
+                "cuts",
+                format!("interior cuts must lie in 1..{n}"),
+            ));
+        }
+        Ok(Self { n, cuts })
+    }
+
+    /// The trivial single-bucket partitioning.
+    pub fn single(n: usize) -> Self {
+        Self { n, cuts: Vec::new() }
+    }
+
+    /// Number of buckets `B`.
+    pub fn len(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Never empty (at least one bucket).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Interior cut positions.
+    pub fn cuts(&self) -> &[usize] {
+        &self.cuts
+    }
+
+    /// Half-open row ranges of all buckets, in order.
+    pub fn ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut start = 0;
+        for &c in &self.cuts {
+            out.push(start..c);
+            start = c;
+        }
+        out.push(start..self.n);
+        out
+    }
+
+    /// The bucket index containing sorted row `row`.
+    pub fn bucket_of(&self, row: usize) -> usize {
+        debug_assert!(row < self.n);
+        self.cuts.partition_point(|&c| c <= row)
+    }
+
+    /// Per-bucket inclusive key intervals read off the sorted table.
+    /// Buckets inherit the keys of their first and last row.
+    pub fn key_bounds(&self, sorted: &SortedTable) -> Vec<(f64, f64)> {
+        debug_assert_eq!(sorted.len(), self.n);
+        self.ranges()
+            .into_iter()
+            .map(|r| (sorted.key(r.start), sorted.key(r.end - 1)))
+            .collect()
+    }
+}
+
+/// A 1-D partitioning algorithm: given a sorted table and a bucket budget
+/// `k`, produce at most `k` buckets.
+pub trait Partitioner1D {
+    /// Name printed in benchmark tables (e.g. `"ADP"`, `"EQ"`).
+    fn name(&self) -> &'static str;
+
+    /// Compute the partitioning.
+    fn partition(&self, sorted: &SortedTable, k: usize) -> Result<Partitioning1D>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_table::SortedTable;
+
+    #[test]
+    fn ranges_cover_all_rows_without_overlap() {
+        let p = Partitioning1D::new(10, vec![3, 7]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.ranges(), vec![0..3, 3..7, 7..10]);
+    }
+
+    #[test]
+    fn cuts_are_sorted_and_deduped() {
+        let p = Partitioning1D::new(10, vec![7, 3, 7]).unwrap();
+        assert_eq!(p.cuts(), &[3, 7]);
+    }
+
+    #[test]
+    fn invalid_cuts_rejected() {
+        assert!(Partitioning1D::new(10, vec![0]).is_err());
+        assert!(Partitioning1D::new(10, vec![10]).is_err());
+        assert!(Partitioning1D::new(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn single_bucket() {
+        let p = Partitioning1D::single(5);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.ranges(), vec![0..5]);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn bucket_of_maps_rows() {
+        let p = Partitioning1D::new(10, vec![3, 7]).unwrap();
+        assert_eq!(p.bucket_of(0), 0);
+        assert_eq!(p.bucket_of(2), 0);
+        assert_eq!(p.bucket_of(3), 1);
+        assert_eq!(p.bucket_of(6), 1);
+        assert_eq!(p.bucket_of(7), 2);
+        assert_eq!(p.bucket_of(9), 2);
+    }
+
+    #[test]
+    fn key_bounds_from_sorted_table() {
+        let s = SortedTable::from_sorted(
+            vec![1.0, 2.0, 5.0, 6.0, 9.0],
+            vec![0.0; 5],
+        );
+        let p = Partitioning1D::new(5, vec![2]).unwrap();
+        assert_eq!(p.key_bounds(&s), vec![(1.0, 2.0), (5.0, 9.0)]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling and sample-based estimation (Sections 2.1, 2.2, 3.4, 4.5).
+//!
+//! * [`Sample`] — a uniform without-replacement sample of a table region,
+//!   stored as a mini-table plus the population size it represents;
+//! * [`estimator`] — the φ-transform point estimators and their variances
+//!   for SUM / COUNT / AVG (Equations 1–4), with finite-population
+//!   correction;
+//! * [`stratified`] — the weighted combination of per-stratum estimates and
+//!   the Section 2.2 confidence-interval formula;
+//! * [`reservoir`] — Vitter's reservoir sampling, the maintenance mechanism
+//!   behind dynamic inserts (Section 4.5);
+//! * [`delta`] — delta encoding of stratified samples against the partition
+//!   mean (the Section 3.4 compression optimization).
+
+pub mod delta;
+pub mod estimator;
+pub mod reservoir;
+pub mod sample;
+pub mod stratified;
+
+pub use estimator::{estimate, estimate_minmax, PointVariance};
+pub use reservoir::Reservoir;
+pub use sample::Sample;
+pub use stratified::{combine_strata, StratumEstimate};

@@ -1,0 +1,208 @@
+//! Reservoir sampling (Vitter, Algorithm R).
+//!
+//! Section 4.5 maintains PASS's stratified samples under inserts with
+//! reservoir sampling: "Each time that a new item t_i is inserted, Reservoir
+//! sampling might choose to replace a sample t_j with t_i." [`Reservoir`]
+//! implements the classic algorithm plus deletion support so PASS can also
+//! handle removals of sampled tuples.
+
+use rand::Rng;
+
+/// A fixed-capacity uniform reservoir over a stream of items.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+/// What happened when an item was offered to the reservoir.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Offer<T> {
+    /// The item was admitted into spare capacity.
+    Admitted,
+    /// The item replaced an existing sample (returned).
+    Replaced(T),
+    /// The item was not sampled.
+    Rejected,
+}
+
+impl<T> Reservoir<T> {
+    /// Create an empty reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Seed the reservoir with an existing uniform sample of `seen` stream
+    /// items (e.g. the offline stratified sample at build time).
+    pub fn from_sample(items: Vec<T>, capacity: usize, seen: u64) -> Self {
+        debug_assert!(items.len() <= capacity);
+        debug_assert!(items.len() as u64 <= seen);
+        Self {
+            capacity,
+            seen,
+            items,
+        }
+    }
+
+    /// Offer one stream item; classic Algorithm R acceptance.
+    pub fn offer<R: Rng>(&mut self, item: T, rng: &mut R) -> Offer<T> {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return Offer::Admitted;
+        }
+        if self.capacity == 0 {
+            return Offer::Rejected;
+        }
+        let j = rng.gen_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            let old = std::mem::replace(&mut self.items[j as usize], item);
+            Offer::Replaced(old)
+        } else {
+            Offer::Rejected
+        }
+    }
+
+    /// Remove the sample at `index` after its underlying tuple was deleted,
+    /// and record that the stream shrank by one. The remaining items are
+    /// still a uniform sample of the remaining stream.
+    pub fn remove_at(&mut self, index: usize) -> T {
+        self.seen = self.seen.saturating_sub(1);
+        self.items.swap_remove(index)
+    }
+
+    /// Record the deletion of a stream item that was *not* in the reservoir.
+    pub fn note_unsampled_deletion(&mut self) {
+        self.seen = self.seen.saturating_sub(1);
+    }
+
+    /// Current sample contents.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items sampled so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Stream length observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum sample size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::rng::rng_from_seed;
+
+    #[test]
+    fn fills_capacity_first() {
+        let mut rng = rng_from_seed(1);
+        let mut r = Reservoir::new(3);
+        for i in 0..3 {
+            assert_eq!(r.offer(i, &mut rng), Offer::Admitted);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.seen(), 3);
+    }
+
+    #[test]
+    fn maintains_fixed_size_after_fill() {
+        let mut rng = rng_from_seed(2);
+        let mut r = Reservoir::new(10);
+        for i in 0..10_000 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        // Each of 100 items should land in a size-10 reservoir ~10% of the
+        // time across many independent runs.
+        let trials = 3_000;
+        let mut hits = vec![0u32; 100];
+        for t in 0..trials {
+            let mut rng = rng_from_seed(100 + t);
+            let mut r = Reservoir::new(10);
+            for i in 0..100usize {
+                r.offer(i, &mut rng);
+            }
+            for &it in r.items() {
+                hits[it] += 1;
+            }
+        }
+        let expected = trials as f64 * 0.1;
+        for (i, &h) in hits.iter().enumerate() {
+            let dev = (h as f64 - expected).abs() / expected;
+            assert!(dev < 0.25, "item {i} hit {h} times (expected ~{expected})");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut rng = rng_from_seed(3);
+        let mut r = Reservoir::new(0);
+        assert_eq!(r.offer(42, &mut rng), Offer::Rejected);
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 1);
+    }
+
+    #[test]
+    fn replacement_returns_evicted_item() {
+        let mut rng = rng_from_seed(4);
+        let mut r = Reservoir::new(1);
+        r.offer(7, &mut rng);
+        let mut evicted = None;
+        for i in 0..100 {
+            if let Offer::Replaced(old) = r.offer(i, &mut rng) {
+                evicted = Some(old);
+                break;
+            }
+        }
+        assert!(evicted.is_some(), "with 100 offers a replacement is near-certain");
+    }
+
+    #[test]
+    fn deletions_shrink_seen() {
+        let mut rng = rng_from_seed(5);
+        let mut r = Reservoir::new(4);
+        for i in 0..4 {
+            r.offer(i, &mut rng);
+        }
+        let removed = r.remove_at(1);
+        assert_eq!(removed, 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.seen(), 3);
+        r.note_unsampled_deletion();
+        assert_eq!(r.seen(), 2);
+    }
+
+    #[test]
+    fn from_sample_resumes_stream() {
+        let mut rng = rng_from_seed(6);
+        let mut r = Reservoir::from_sample(vec![10, 20], 2, 50);
+        assert_eq!(r.seen(), 50);
+        r.offer(99, &mut rng);
+        assert_eq!(r.seen(), 51);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Uniform without-replacement samples of table regions.
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+use pass_common::{PassError, Rect, Result};
+use pass_table::Table;
+
+/// A uniform sample of some population of rows, stored as a mini-table (same
+/// predicate dimensions as the parent) plus the population size `N` it was
+/// drawn from. All φ-estimators scale by this `N`.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    rows: Table,
+    population: u64,
+}
+
+impl Sample {
+    /// Wrap pre-selected rows as a sample of a population of size
+    /// `population`.
+    pub fn from_rows(rows: Table, population: u64) -> Result<Self> {
+        if (rows.n_rows() as u64) > population {
+            return Err(PassError::InvalidParameter(
+                "population",
+                format!(
+                    "sample of {} rows cannot come from population of {population}",
+                    rows.n_rows()
+                ),
+            ));
+        }
+        Ok(Self { rows, population })
+    }
+
+    /// Draw `k` rows uniformly without replacement from the whole table.
+    pub fn uniform<R: Rng>(table: &Table, k: usize, rng: &mut R) -> Result<Self> {
+        let n = table.n_rows();
+        let k = k.min(n);
+        let chosen = index_sample(rng, n, k);
+        let mut idx: Vec<usize> = chosen.into_iter().collect();
+        idx.sort_unstable(); // stable layout; helps locality and testability
+        Self::from_indices(table, &idx, n as u64)
+    }
+
+    /// Draw `k` rows uniformly without replacement from the subset of rows
+    /// whose sorted positions fall in `row_range` (used to stratify over
+    /// contiguous 1-D partitions without materializing them).
+    pub fn uniform_from_range<R: Rng>(
+        table: &Table,
+        row_range: std::ops::Range<usize>,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let n = row_range.len();
+        let k = k.min(n);
+        let chosen = index_sample(rng, n, k);
+        let mut idx: Vec<usize> = chosen.into_iter().map(|i| row_range.start + i).collect();
+        idx.sort_unstable();
+        Self::from_indices(table, &idx, n as u64)
+    }
+
+    /// Materialize specific row indices as a sample of a population of size
+    /// `population`.
+    pub fn from_indices(table: &Table, indices: &[usize], population: u64) -> Result<Self> {
+        let values: Vec<f64> = indices.iter().map(|&i| table.value(i)).collect();
+        let predicates: Vec<Vec<f64>> = (0..table.dims())
+            .map(|d| indices.iter().map(|&i| table.predicate(d, i)).collect())
+            .collect();
+        let rows = Table::new(values, predicates, table.names().to_vec())?;
+        Self::from_rows(rows, population)
+    }
+
+    /// The sampled rows.
+    #[inline]
+    pub fn rows(&self) -> &Table {
+        &self.rows
+    }
+
+    /// Sample size `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.rows.n_rows()
+    }
+
+    /// Population size `N` the sample represents.
+    #[inline]
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Number of sampled rows matching a rectangular predicate (`K_pred`).
+    pub fn k_pred(&self, rect: &Rect) -> usize {
+        (0..self.k()).filter(|&i| self.rows.matches(rect, i)).count()
+    }
+
+    /// Logical storage footprint: one f64 per value plus one per predicate
+    /// coordinate (Table 2's storage accounting).
+    pub fn storage_bytes(&self) -> usize {
+        self.k() * (1 + self.rows.dims()) * std::mem::size_of::<f64>()
+    }
+
+    // --- dynamic-update mutators (Section 4.5 reservoir maintenance) ---
+
+    /// Record population growth (a tuple was inserted into the stratum).
+    pub fn grow_population(&mut self) {
+        self.population += 1;
+    }
+
+    /// Record population shrinkage (a tuple left the stratum).
+    pub fn shrink_population(&mut self) {
+        self.population = self.population.saturating_sub(1);
+    }
+
+    /// Append a sampled row.
+    pub fn push_row(&mut self, value: f64, preds: &[f64]) {
+        self.rows.push_row(value, preds);
+    }
+
+    /// Overwrite sampled row `i` (reservoir replacement).
+    pub fn replace_row(&mut self, i: usize, value: f64, preds: &[f64]) {
+        self.rows.replace_row(i, value, preds);
+    }
+
+    /// Remove sampled row `i` (its underlying tuple was deleted).
+    pub fn swap_remove_row(&mut self, i: usize) -> (f64, Vec<f64>) {
+        self.rows.swap_remove_row(i)
+    }
+
+    /// Position of a sampled row equal to `(value, preds)`, if any.
+    pub fn find_row(&self, value: f64, preds: &[f64]) -> Option<usize> {
+        (0..self.k()).find(|&i| {
+            self.rows.value(i) == value
+                && (0..self.rows.dims()).all(|d| self.rows.predicate(d, i) == preds[d])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::rng::rng_from_seed;
+    use pass_table::datasets::uniform;
+
+    #[test]
+    fn uniform_sample_size_and_population() {
+        let t = uniform(1_000, 1);
+        let mut rng = rng_from_seed(2);
+        let s = Sample::uniform(&t, 100, &mut rng).unwrap();
+        assert_eq!(s.k(), 100);
+        assert_eq!(s.population(), 1_000);
+        assert_eq!(s.rows().dims(), 1);
+    }
+
+    #[test]
+    fn oversized_request_clamps_to_population() {
+        let t = uniform(50, 1);
+        let mut rng = rng_from_seed(3);
+        let s = Sample::uniform(&t, 500, &mut rng).unwrap();
+        assert_eq!(s.k(), 50);
+    }
+
+    #[test]
+    fn sample_rows_exist_in_parent() {
+        let t = uniform(200, 4);
+        let mut rng = rng_from_seed(5);
+        let s = Sample::uniform(&t, 40, &mut rng).unwrap();
+        for i in 0..s.k() {
+            let key = s.rows().predicate(0, i);
+            let val = s.rows().value(i);
+            let found = (0..t.n_rows())
+                .any(|j| t.predicate(0, j) == key && t.value(j) == val);
+            assert!(found, "sampled row not in parent table");
+        }
+    }
+
+    #[test]
+    fn no_replacement() {
+        let t = uniform(100, 6);
+        let mut rng = rng_from_seed(7);
+        let s = Sample::uniform(&t, 100, &mut rng).unwrap();
+        // Sampling all rows must produce each exactly once.
+        let mut keys: Vec<f64> = (0..s.k()).map(|i| s.rows().predicate(0, i)).collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut parent: Vec<f64> = t.predicate_column(0).to_vec();
+        parent.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(keys, parent);
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let t = uniform(100, 8);
+        let mut rng = rng_from_seed(9);
+        let s = Sample::uniform_from_range(&t, 20..40, 10, &mut rng).unwrap();
+        assert_eq!(s.population(), 20);
+        let lo = t.predicate(0, 20);
+        let hi = t.predicate(0, 39);
+        for i in 0..s.k() {
+            let k = s.rows().predicate(0, i);
+            assert!(k >= lo && k <= hi);
+        }
+    }
+
+    #[test]
+    fn k_pred_counts_matches() {
+        let t = uniform(500, 10);
+        let mut rng = rng_from_seed(11);
+        let s = Sample::uniform(&t, 500, &mut rng).unwrap(); // full sample
+        let rect = Rect::interval(0.0, 0.5);
+        let truth = (0..t.n_rows()).filter(|&i| t.matches(&rect, i)).count();
+        assert_eq!(s.k_pred(&rect), truth);
+    }
+
+    #[test]
+    fn population_smaller_than_sample_rejected() {
+        let t = uniform(10, 12);
+        let rows = t.clone();
+        assert!(Sample::from_rows(rows, 5).is_err());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = uniform(100, 13);
+        let mut rng = rng_from_seed(14);
+        let s = Sample::uniform(&t, 25, &mut rng).unwrap();
+        // 25 rows × (1 value + 1 predicate) × 8 bytes
+        assert_eq!(s.storage_bytes(), 25 * 2 * 8);
+    }
+}

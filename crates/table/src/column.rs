@@ -1,0 +1,99 @@
+//! Dictionary encoding for categorical predicate columns.
+//!
+//! Section 4.5: "by applying any dictionary encoding we can handle queries
+//! over categorical variables". [`Dictionary`] assigns each distinct string a
+//! dense integer code (stored as `f64` so categorical columns slot straight
+//! into the rectangular predicate machinery); a group-by over a categorical
+//! column becomes one equality rectangle per code.
+
+use std::collections::HashMap;
+
+/// A string-to-code dictionary with stable, dense codes in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    codes: HashMap<String, u32>,
+    labels: Vec<String>,
+}
+
+impl Dictionary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Code for `label`, inserting it if unseen.
+    pub fn encode(&mut self, label: &str) -> u32 {
+        if let Some(&c) = self.codes.get(label) {
+            return c;
+        }
+        let c = self.labels.len() as u32;
+        self.codes.insert(label.to_owned(), c);
+        self.labels.push(label.to_owned());
+        c
+    }
+
+    /// Code for `label` if already present.
+    pub fn lookup(&self, label: &str) -> Option<u32> {
+        self.codes.get(label).copied()
+    }
+
+    /// Label for a code.
+    pub fn decode(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no labels have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Encode a whole column of labels into predicate-ready `f64` codes.
+    pub fn encode_column<'a, I: IntoIterator<Item = &'a str>>(&mut self, labels: I) -> Vec<f64> {
+        labels
+            .into_iter()
+            .map(|l| self.encode(l) as f64)
+            .collect()
+    }
+
+    /// The equality "rectangle bounds" `(code, code)` for a label — the
+    /// rewrite of a group-by condition into a rectangular predicate.
+    pub fn equality_bounds(&self, label: &str) -> Option<(f64, f64)> {
+        self.lookup(label).map(|c| (c as f64, c as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_dense_and_stable() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode("banana"), 0);
+        assert_eq!(d.encode("apple"), 1);
+        assert_eq!(d.encode("banana"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.decode(1), Some("apple"));
+        assert_eq!(d.decode(5), None);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let d = Dictionary::new();
+        assert_eq!(d.lookup("missing"), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn column_encoding_roundtrip() {
+        let mut d = Dictionary::new();
+        let col = d.encode_column(["a", "b", "a", "c"]);
+        assert_eq!(col, vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(d.equality_bounds("b"), Some((1.0, 1.0)));
+        assert_eq!(d.equality_bounds("zzz"), None);
+    }
+}

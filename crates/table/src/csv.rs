@@ -1,0 +1,212 @@
+//! Minimal CSV ingestion.
+//!
+//! The paper evaluates on three public CSV datasets. We normally synthesize
+//! equivalents (see [`crate::datasets`]), but when the real files are
+//! available this loader turns them into a [`Table`]: pick one numeric
+//! aggregation column and a list of predicate columns; non-numeric predicate
+//! columns are dictionary-encoded on the fly.
+//!
+//! Supports the common subset of RFC 4180: header row, comma separation,
+//! double-quoted fields with embedded commas and doubled quotes. That covers
+//! all three paper datasets; it is deliberately not a general CSV library.
+
+use std::io::BufRead;
+
+use pass_common::{PassError, Result};
+
+use crate::column::Dictionary;
+use crate::table::Table;
+
+/// Split one CSV record into fields, honouring double quotes.
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Load a table from CSV text.
+///
+/// * `agg_column` — name of the numeric aggregation column;
+/// * `predicate_columns` — names of the predicate columns, in dimension
+///   order; non-numeric values are dictionary-encoded.
+///
+/// Rows whose aggregation value does not parse as a number are skipped
+/// (matching how the paper's datasets drop malformed sensor readings).
+pub fn load_csv<R: BufRead>(
+    reader: R,
+    agg_column: &str,
+    predicate_columns: &[&str],
+) -> Result<Table> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or(PassError::EmptyInput("csv: no header row"))?
+        .map_err(|e| PassError::Load(e.to_string()))?;
+    let header_fields = split_record(&header);
+
+    let find = |name: &str| -> Result<usize> {
+        header_fields
+            .iter()
+            .position(|h| h.trim() == name)
+            .ok_or_else(|| PassError::Load(format!("column `{name}` not found in header")))
+    };
+
+    let agg_idx = find(agg_column)?;
+    let pred_idx: Vec<usize> = predicate_columns
+        .iter()
+        .map(|n| find(n))
+        .collect::<Result<_>>()?;
+
+    let mut values = Vec::new();
+    let mut predicates: Vec<Vec<f64>> = vec![Vec::new(); pred_idx.len()];
+    let mut dicts: Vec<Option<Dictionary>> = vec![None; pred_idx.len()];
+
+    for line in lines {
+        let line = line.map_err(|e| PassError::Load(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_record(&line);
+        if fields.len() <= agg_idx || pred_idx.iter().any(|&i| fields.len() <= i) {
+            continue; // ragged row: skip
+        }
+        let Ok(value) = fields[agg_idx].trim().parse::<f64>() else {
+            continue; // malformed measurement: skip the row
+        };
+        // Parse predicates first so a bad predicate doesn't leave columns
+        // ragged.
+        let mut row_preds = Vec::with_capacity(pred_idx.len());
+        for (d, &ci) in pred_idx.iter().enumerate() {
+            let raw = fields[ci].trim();
+            let parsed = match raw.parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    let dict = dicts[d].get_or_insert_with(Dictionary::new);
+                    dict.encode(raw) as f64
+                }
+            };
+            row_preds.push(parsed);
+        }
+        values.push(value);
+        for (d, p) in row_preds.into_iter().enumerate() {
+            predicates[d].push(p);
+        }
+    }
+
+    if values.is_empty() {
+        return Err(PassError::EmptyInput("csv: no parseable rows"));
+    }
+
+    let mut names = vec![agg_column.to_owned()];
+    names.extend(predicate_columns.iter().map(|s| s.to_string()));
+    Table::new(values, predicates, names)
+}
+
+/// Load from a filesystem path.
+pub fn load_csv_path(
+    path: &std::path::Path,
+    agg_column: &str,
+    predicate_columns: &[&str],
+) -> Result<Table> {
+    let file = std::fs::File::open(path).map_err(|e| PassError::Load(e.to_string()))?;
+    load_csv(std::io::BufReader::new(file), agg_column, predicate_columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(text: &str, agg: &str, preds: &[&str]) -> Result<Table> {
+        load_csv(std::io::Cursor::new(text.as_bytes()), agg, preds)
+    }
+
+    #[test]
+    fn basic_numeric_csv() {
+        let t = load(
+            "time,light,voltage\n1,100.5,2.1\n2,90.0,2.2\n3,80.5,2.0\n",
+            "light",
+            &["time"],
+        )
+        .unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.value(1), 90.0);
+        assert_eq!(t.predicate(0, 2), 3.0);
+        assert_eq!(t.names(), &["light".to_string(), "time".to_string()]);
+    }
+
+    #[test]
+    fn quoted_fields_and_embedded_commas() {
+        let t = load(
+            "name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n",
+            "v",
+            &["name"],
+        )
+        .unwrap();
+        assert_eq!(t.n_rows(), 2);
+        // Dictionary-encoded strings become codes 0.0 and 1.0.
+        assert_eq!(t.predicate(0, 0), 0.0);
+        assert_eq!(t.predicate(0, 1), 1.0);
+    }
+
+    #[test]
+    fn malformed_value_rows_are_skipped() {
+        let t = load("p,v\n1,10\n2,oops\n3,30\n\n", "v", &["p"]).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value(1), 30.0);
+    }
+
+    #[test]
+    fn categorical_predicates_get_dictionary_codes() {
+        let t = load(
+            "store,sales\neast,10\nwest,20\neast,30\n",
+            "sales",
+            &["store"],
+        )
+        .unwrap();
+        assert_eq!(t.predicate_column(0), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_predicate_columns() {
+        let t = load(
+            "a,b,v\n1,10,100\n2,20,200\n",
+            "v",
+            &["b", "a"],
+        )
+        .unwrap();
+        assert_eq!(t.dims(), 2);
+        assert_eq!(t.predicate(0, 0), 10.0);
+        assert_eq!(t.predicate(1, 0), 1.0);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let err = load("a,v\n1,2\n", "v", &["zzz"]).unwrap_err();
+        assert!(err.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(load("", "v", &["p"]).is_err());
+        assert!(load("p,v\n", "v", &["p"]).is_err());
+        assert!(load("p,v\nx,notnum\n", "v", &["p"]).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Random-variate samplers used by the dataset generators.
+//!
+//! Implemented on top of plain `rand` (no `rand_distr`) to keep the
+//! dependency footprint at the workspace's allowed set:
+//!
+//! * [`Normal`] — Box–Muller transform (both variates used);
+//! * [`LogNormal`] — exp of a Normal;
+//! * [`Zipf`] — bounded Zipf(s) via the rejection method of Devroye
+//!   (non-uniform random variate generation, ch. X.6), O(1) expected time;
+//! * [`Exponential`] — inverse-CDF.
+
+use rand::Rng;
+
+/// Normal(μ, σ) sampler via Box–Muller, caching the second variate.
+#[derive(Debug, Clone)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    cached: Option<f64>,
+}
+
+impl Normal {
+    /// # Panics
+    /// Panics on a negative or non-finite standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
+            "invalid Normal({mean}, {std_dev})"
+        );
+        Self {
+            mean,
+            std_dev,
+            cached: None,
+        }
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return self.mean + self.std_dev * z;
+        }
+        // Box–Muller: u1 in (0,1] to avoid ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+/// LogNormal(μ, σ) of the underlying Normal.
+#[derive(Debug, Clone)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self {
+            normal: Normal::new(mu, sigma),
+        }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// Bounded Zipf distribution over `{1, ..., n}` with exponent `s > 0`:
+/// P(k) ∝ k^-s. Rejection sampler with O(1) expected draws.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Precomputed `H(x) = (x^(1-s) - 1) / (1-s)` integral pieces.
+    h_x1: f64,
+    h_n: f64,
+    one_minus_s: f64,
+}
+
+impl Zipf {
+    /// # Panics
+    /// Panics when `n == 0` or `s <= 0` or `s == 1` is not handled —
+    /// `s = 1` is supported via the continuous-limit branch.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs n >= 1");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let one_minus_s = 1.0 - s;
+        let h = |x: f64| -> f64 {
+            if one_minus_s.abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(one_minus_s) - 1.0) / one_minus_s
+            }
+        };
+        Self {
+            n,
+            s,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(n as f64 + 0.5),
+            one_minus_s,
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if self.one_minus_s.abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(self.one_minus_s) - 1.0) / self.one_minus_s
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        if self.one_minus_s.abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + self.one_minus_s * x).powf(1.0 / self.one_minus_s)
+        }
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            let u: f64 = rng.gen();
+            let x = self.h_inv(self.h_x1 + u * (self.h_n - self.h_x1));
+            let k = x.round().clamp(1.0, self.n as f64);
+            // Accept with probability proportional to the true mass.
+            let ratio = (self.h(k + 0.5) - self.h(x)).exp();
+            if ratio >= rng.gen::<f64>() * k.powf(-self.s) / x.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// Exponential(rate) via inverse CDF.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// # Panics
+    /// Panics on a non-positive rate.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "invalid Exponential rate");
+        Self { rate }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::rng::rng_from_seed;
+    use pass_common::stats::{mean, sample_variance};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rng_from_seed(11);
+        let mut d = Normal::new(5.0, 2.0);
+        let xs: Vec<f64> = (0..60_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((mean(&xs) - 5.0).abs() < 0.05, "mean {}", mean(&xs));
+        let var = sample_variance(&xs);
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn normal_zero_stddev_is_constant() {
+        let mut rng = rng_from_seed(1);
+        let mut d = Normal::new(3.0, 0.0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = rng_from_seed(12);
+        let mut d = LogNormal::new(0.0, 1.0);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        // E[lognormal(0,1)] = exp(0.5) ≈ 1.6487.
+        assert!((mean(&xs) - 1.6487).abs() < 0.07, "mean {}", mean(&xs));
+        // Median should be ~1 (well below mean: right-skew).
+        let mut s = xs.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = s[s.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decay() {
+        let mut rng = rng_from_seed(13);
+        let d = Zipf::new(100, 1.1);
+        let mut counts = vec![0u64; 101];
+        for _ in 0..200_000 {
+            let k = d.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+            counts[k as usize] += 1;
+        }
+        // Rank 1 clearly beats rank 2 beats rank 10 beats rank 100.
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[10] > counts[100]);
+        // Ratio of rank1/rank2 ≈ 2^1.1 ≈ 2.14; allow generous tolerance.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((1.7..2.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_degenerate_n1() {
+        let mut rng = rng_from_seed(14);
+        let d = Zipf::new(1, 2.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_s_equal_one_supported() {
+        let mut rng = rng_from_seed(15);
+        let d = Zipf::new(50, 1.0);
+        let mut counts = vec![0u64; 51];
+        for _ in 0..50_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[5]);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = rng_from_seed(16);
+        let d = Exponential::new(0.5);
+        let xs: Vec<f64> = (0..60_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert!((mean(&xs) - 2.0).abs() < 0.05, "mean {}", mean(&xs));
+    }
+}

@@ -1,0 +1,86 @@
+//! The Section 5.1.2 metrics: median relative error, CI ratio, skip rate,
+//! and effective sample size.
+
+use serde::Serialize;
+
+/// Median of a slice (NaNs excluded); 0.0 when nothing remains.
+pub fn median(values: &[f64]) -> f64 {
+    let mut clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if clean.is_empty() {
+        return 0.0;
+    }
+    clean.sort_by(|a, b| a.partial_cmp(b).expect("filtered NaNs"));
+    let n = clean.len();
+    if n % 2 == 1 {
+        clean[n / 2]
+    } else {
+        (clean[n / 2 - 1] + clean[n / 2]) / 2.0
+    }
+}
+
+/// Aggregated workload metrics for one engine (one row of a benchmark
+/// table).
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadSummary {
+    /// Engine name.
+    pub engine: String,
+    /// Median |est − truth| / |truth| — the paper's headline metric.
+    pub median_relative_error: f64,
+    /// Median (CI half-width) / |truth| (Section 5.1.2's CI ratio).
+    pub median_ci_ratio: f64,
+    /// Mean fraction of tuples safely skipped.
+    pub mean_skip_rate: f64,
+    /// Mean tuples processed per query (the ESS numerator).
+    pub mean_tuples_processed: f64,
+    /// Mean per-query latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Max per-query latency in microseconds.
+    pub max_latency_us: f64,
+    /// Queries the engine could not answer (e.g. AVG with no matching
+    /// sample) — these count as relative error 1.0 in the medians.
+    pub failures: usize,
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Synopsis storage in bytes.
+    pub storage_bytes: usize,
+    /// Offline construction time in milliseconds (filled by the harness).
+    pub build_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_and_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_ignores_nan_and_inf() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, f64::INFINITY, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let s = WorkloadSummary {
+            engine: "PASS".into(),
+            median_relative_error: 0.001,
+            median_ci_ratio: 0.002,
+            mean_skip_rate: 0.99,
+            mean_tuples_processed: 12.0,
+            mean_latency_us: 3.5,
+            max_latency_us: 11.0,
+            failures: 0,
+            queries: 2000,
+            storage_bytes: 1024,
+            build_ms: 42.0,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"engine\":\"PASS\""));
+    }
+}

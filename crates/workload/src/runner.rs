@@ -1,0 +1,175 @@
+//! Engine-agnostic workload evaluation.
+
+use std::time::Instant;
+
+use pass_common::{Query, Synopsis};
+
+use crate::metrics::{median, WorkloadSummary};
+use crate::truth::Truth;
+
+/// Per-query outcome (kept for debugging / plotting; the benchmark tables
+/// use the summary).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub truth: Option<f64>,
+    pub estimate: Option<f64>,
+    pub relative_error: f64,
+    pub ci_ratio: f64,
+    pub skip_rate: f64,
+    pub tuples_processed: u64,
+    pub latency_us: f64,
+}
+
+/// Evaluate `synopsis` over the workload. Pre-computed truths may be
+/// supplied (one per query) to amortize ground-truth evaluation across
+/// engines; pass `None` to compute them here.
+pub fn run_workload<S: Synopsis + ?Sized>(
+    synopsis: &S,
+    queries: &[Query],
+    truth: &Truth,
+    precomputed_truths: Option<&[Option<f64>]>,
+) -> (WorkloadSummary, Vec<QueryOutcome>) {
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut failures = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let t = match precomputed_truths {
+            Some(ts) => ts[i],
+            None => truth.eval(q),
+        };
+        let start = Instant::now();
+        let est = synopsis.estimate(q);
+        let latency_us = start.elapsed().as_secs_f64() * 1e6;
+        match (est, t) {
+            (Ok(e), Some(tv)) => {
+                outcomes.push(QueryOutcome {
+                    truth: Some(tv),
+                    estimate: Some(e.value),
+                    relative_error: e.relative_error(tv),
+                    ci_ratio: e.ci_ratio(tv),
+                    skip_rate: e.skip_rate(),
+                    tuples_processed: e.tuples_processed,
+                    latency_us,
+                });
+            }
+            (Err(_), Some(tv)) => {
+                failures += 1;
+                outcomes.push(QueryOutcome {
+                    truth: Some(tv),
+                    estimate: None,
+                    // An unanswerable query counts as 100% error — the
+                    // penalty the paper's selective-query discussion
+                    // motivates.
+                    relative_error: 1.0,
+                    ci_ratio: 1.0,
+                    skip_rate: 0.0,
+                    tuples_processed: 0,
+                    latency_us,
+                });
+            }
+            // Queries whose true answer is undefined (empty selection for
+            // AVG/MIN/MAX) are excluded from error statistics entirely.
+            (_, None) => {}
+        }
+    }
+
+    let rel: Vec<f64> = outcomes.iter().map(|o| o.relative_error).collect();
+    let ci: Vec<f64> = outcomes.iter().map(|o| o.ci_ratio).collect();
+    let n = outcomes.len().max(1) as f64;
+    let summary = WorkloadSummary {
+        engine: synopsis.name().to_owned(),
+        median_relative_error: median(&rel),
+        median_ci_ratio: median(&ci),
+        mean_skip_rate: outcomes.iter().map(|o| o.skip_rate).sum::<f64>() / n,
+        mean_tuples_processed: outcomes
+            .iter()
+            .map(|o| o.tuples_processed as f64)
+            .sum::<f64>()
+            / n,
+        mean_latency_us: outcomes.iter().map(|o| o.latency_us).sum::<f64>() / n,
+        max_latency_us: outcomes
+            .iter()
+            .map(|o| o.latency_us)
+            .fold(0.0, f64::max),
+        failures,
+        queries: outcomes.len(),
+        storage_bytes: synopsis.storage_bytes(),
+        build_ms: 0.0,
+    };
+    (summary, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_gen::random_queries;
+    use pass_baselines::UniformSynopsis;
+    use pass_common::AggKind;
+    use pass_core::PassBuilder;
+    use pass_table::datasets::uniform;
+    use pass_table::SortedTable;
+
+    #[test]
+    fn pass_beats_uniform_on_median_error() {
+        let t = uniform(20_000, 1);
+        let s = SortedTable::from_table(&t, 0);
+        let truth = Truth::new(&t);
+        let queries = random_queries(&s, 150, AggKind::Sum, 400, 2);
+
+        let pass = PassBuilder::new()
+            .partitions(32)
+            .sample_rate(0.01)
+            .seed(3)
+            .build(&t)
+            .unwrap();
+        let us = UniformSynopsis::build(&t, pass.total_samples(), 3).unwrap();
+
+        let (pass_sum, _) = run_workload(&pass, &queries, &truth, None);
+        let (us_sum, _) = run_workload(&us, &queries, &truth, None);
+        assert!(
+            pass_sum.median_relative_error <= us_sum.median_relative_error,
+            "PASS {} vs US {}",
+            pass_sum.median_relative_error,
+            us_sum.median_relative_error
+        );
+        assert!(pass_sum.mean_skip_rate > 0.9);
+        assert_eq!(pass_sum.queries, 150);
+    }
+
+    #[test]
+    fn precomputed_truths_match_inline_evaluation() {
+        let t = uniform(5_000, 4);
+        let s = SortedTable::from_table(&t, 0);
+        let truth = Truth::new(&t);
+        let queries = random_queries(&s, 30, AggKind::Avg, 100, 5);
+        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
+        let pass = PassBuilder::new().partitions(8).seed(6).build(&t).unwrap();
+        let (a, _) = run_workload(&pass, &queries, &truth, None);
+        let (b, _) = run_workload(&pass, &queries, &truth, Some(&truths));
+        assert_eq!(a.median_relative_error, b.median_relative_error);
+    }
+
+    #[test]
+    fn failures_counted_and_penalized() {
+        // A tiny uniform sample will fail AVG on very selective queries.
+        let t = uniform(10_000, 7);
+        let us = UniformSynopsis::build(&t, 5, 8).unwrap();
+        let truth = Truth::new(&t);
+        // Very narrow queries.
+        let queries: Vec<_> = (0..20)
+            .map(|i| {
+                let lo = 0.05 * i as f64 / 20.0;
+                pass_common::Query::interval(AggKind::Avg, lo, lo + 1e-4)
+            })
+            .collect();
+        let (summary, outcomes) = run_workload(&us, &queries, &truth, None);
+        // Queries with empty truth are dropped; the rest either answer or
+        // fail with penalty 1.0.
+        for o in &outcomes {
+            assert!(o.truth.is_some());
+            if o.estimate.is_none() {
+                assert_eq!(o.relative_error, 1.0);
+            }
+        }
+        assert_eq!(summary.failures, outcomes.iter().filter(|o| o.estimate.is_none()).count());
+    }
+}

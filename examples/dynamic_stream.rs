@@ -1,0 +1,73 @@
+//! Dynamic updates (Section 4.5): a PASS synopsis absorbing a live insert
+//! stream via reservoir sampling while staying statistically consistent
+//! for COUNT/SUM/AVG.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_stream
+//! ```
+
+use pass::common::{AggKind, Query, Synopsis};
+use pass::core::PassBuilder;
+use pass::table::datasets::uniform;
+
+fn main() {
+    // Bootstrap the synopsis from historical data...
+    let history = uniform(200_000, 21);
+    let mut pass = PassBuilder::new()
+        .partitions(64)
+        .sample_rate(0.01)
+        .seed(4)
+        .build(&history)
+        .unwrap();
+
+    // ...and keep a mirror table only to verify against (a real system
+    // would not).
+    let mut mirror = history.clone();
+
+    println!("streaming 50k inserts through the synopsis...");
+    for i in 0..50_000u64 {
+        // New readings drift upward over time and cluster near key 0.9.
+        let key = 0.9 + ((i % 997) as f64) * 1e-4;
+        let value = 80.0 + (i % 41) as f64;
+        pass.insert(&[key], value).unwrap();
+        mirror.push_row(value, &[key]);
+    }
+
+    for agg in [AggKind::Count, AggKind::Sum, AggKind::Avg] {
+        // Whole-space query: answered exactly from the (updated) root.
+        let whole = Query::interval(agg, -1.0, 2.0);
+        let est = pass.estimate(&whole).unwrap();
+        let truth = mirror.ground_truth(&whole).unwrap();
+        println!(
+            "{agg:>5} over everything: est {:14.2}  truth {:14.2}  exact={}",
+            est.value, truth, est.exact
+        );
+        assert!((est.value - truth).abs() < 1e-6 * truth.abs().max(1.0));
+
+        // Hot-region query: estimated from updated reservoirs.
+        let hot = Query::interval(agg, 0.9, 1.0);
+        let est = pass.estimate(&hot).unwrap();
+        let truth = mirror.ground_truth(&hot).unwrap();
+        println!(
+            "{agg:>5} over hot region:  est {:14.2}  truth {:14.2}  rel.err {:.4}",
+            est.value,
+            truth,
+            est.relative_error(truth)
+        );
+    }
+
+    // Deletions reverse cleanly for the moment aggregates.
+    println!("\ndeleting a batch back out...");
+    for i in 0..10_000u64 {
+        let key = 0.9 + ((i % 997) as f64) * 1e-4;
+        let value = 80.0 + (i % 41) as f64;
+        pass.delete(&[key], value).unwrap();
+    }
+    let whole = Query::interval(AggKind::Count, -1.0, 2.0);
+    let est = pass.estimate(&whole).unwrap();
+    println!(
+        "COUNT after deletions: {} (expected {})",
+        est.value,
+        200_000 + 50_000 - 10_000
+    );
+}

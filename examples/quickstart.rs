@@ -1,0 +1,70 @@
+//! Quickstart: build a PASS synopsis over a table and run approximate
+//! aggregates with confidence intervals and deterministic hard bounds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pass::common::{AggKind, Query, Synopsis};
+use pass::core::PassBuilder;
+use pass::table::datasets::uniform;
+
+fn main() {
+    // 100k rows of (key, value) data. In a real deployment this is your
+    // fact table: one aggregation column, d predicate columns.
+    let table = uniform(100_000, 42);
+
+    // Build the synopsis: 64 variance-optimized partitions, 1% stratified
+    // sample. This is the expensive offline step.
+    let pass = PassBuilder::new()
+        .partitions(64)
+        .sample_rate(0.01)
+        .seed(7)
+        .build(&table)
+        .expect("build succeeds on non-empty tables");
+
+    println!(
+        "built PASS: {} tree nodes, {} leaves, {} stored samples, {} bytes",
+        pass.tree().n_nodes(),
+        pass.tree().n_leaves(),
+        pass.total_samples(),
+        pass.storage_bytes(),
+    );
+
+    // Ask approximate questions. Estimates come back with a 99% CI and
+    // hard (100% confidence) bounds derived from the partition extrema.
+    for agg in [
+        AggKind::Count,
+        AggKind::Sum,
+        AggKind::Avg,
+        AggKind::Min,
+        AggKind::Max,
+    ] {
+        let query = Query::interval(agg, 0.2, 0.7);
+        let est = pass.estimate(&query).expect("query within synopsis dims");
+        let truth = table.ground_truth(&query).unwrap();
+        let (lb, ub) = est.hard_bounds.unwrap();
+        println!(
+            "{agg:>5}(value) WHERE 0.2 <= key <= 0.7  ->  {:>12.2} ± {:>8.2}   truth {:>12.2}   hard bounds [{:.2}, {:.2}]{}",
+            est.value,
+            est.ci_half,
+            truth,
+            lb,
+            ub,
+            if est.exact { "  (exact)" } else { "" },
+        );
+        assert!(lb - 1e-9 <= truth && truth <= ub + 1e-9, "bounds are sound");
+    }
+
+    // Queries aligned with the partitioning are answered exactly — zero
+    // error, zero samples touched.
+    let leaves = pass.tree().leaves();
+    let first_leaf = pass.tree().node(leaves[0]);
+    let aligned = Query::interval(AggKind::Sum, first_leaf.rect.lo(0), first_leaf.rect.hi(0));
+    let est = pass.estimate(&aligned).unwrap();
+    println!(
+        "\naligned query over leaf 0: exact={} skip_rate={:.3}",
+        est.exact,
+        est.skip_rate()
+    );
+}

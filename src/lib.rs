@@ -1,0 +1,12 @@
+//! # PASS — Precomputation-Assisted Stratified Sampling
+//!
+//! Facade crate re-exporting the full public API of the PASS workspace.
+//! See the README for a tour; start with [`pass_core`]'s `Pass` type.
+
+pub use pass_baselines as baselines;
+pub use pass_common as common;
+pub use pass_core as core;
+pub use pass_partition as partition;
+pub use pass_sampling as sampling;
+pub use pass_table as table;
+pub use pass_workload as workload;

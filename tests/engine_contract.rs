@@ -1,0 +1,108 @@
+//! Contract tests: every `Synopsis` implementation honours the shared
+//! behavioural contract the workload runner relies on.
+
+use pass::baselines::{
+    AqpPlusPlus, SpnSynopsis, StratifiedSynopsis, UniformSynopsis, VerdictSynopsis,
+};
+use pass::common::{AggKind, PassError, Query, Rect, Synopsis};
+use pass::core::PassBuilder;
+use pass::table::datasets::uniform;
+use pass::table::Table;
+
+fn engines(table: &Table) -> Vec<Box<dyn Synopsis>> {
+    vec![
+        Box::new(
+            PassBuilder::new()
+                .partitions(16)
+                .sample_rate(0.05)
+                .seed(1)
+                .build(table)
+                .unwrap(),
+        ),
+        Box::new(UniformSynopsis::build(table, 500, 1).unwrap()),
+        Box::new(StratifiedSynopsis::build(table, 16, 500, 1).unwrap()),
+        Box::new(AqpPlusPlus::build(table, 16, 500, 1).unwrap()),
+        Box::new(VerdictSynopsis::build(table, 0.1, 1).unwrap()),
+        Box::new(SpnSynopsis::build(table, 0.5, 1).unwrap()),
+    ]
+}
+
+#[test]
+fn names_are_nonempty_and_distinct() {
+    let t = uniform(5_000, 2);
+    let engines = engines(&t);
+    let names: Vec<String> = engines.iter().map(|e| e.name().to_string()).collect();
+    for n in &names {
+        assert!(!n.is_empty());
+    }
+    let mut dedup = names.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate names: {names:?}");
+}
+
+#[test]
+fn dims_and_storage_reported() {
+    let t = uniform(5_000, 3);
+    for e in engines(&t) {
+        assert_eq!(e.dims(), 1, "{}", e.name());
+        assert!(e.storage_bytes() > 0, "{}", e.name());
+    }
+}
+
+#[test]
+fn dimension_mismatch_is_an_error_not_a_panic() {
+    let t = uniform(5_000, 4);
+    let q = Query::new(AggKind::Sum, Rect::new(&[(0.0, 1.0), (0.0, 1.0)]));
+    for e in engines(&t) {
+        match e.estimate(&q) {
+            Err(PassError::DimensionMismatch { .. }) => {}
+            other => panic!("{}: expected DimensionMismatch, got {other:?}", e.name()),
+        }
+    }
+}
+
+#[test]
+fn broad_queries_are_reasonably_accurate_everywhere() {
+    let t = uniform(50_000, 5);
+    let q = Query::interval(AggKind::Sum, 0.1, 0.9);
+    let truth = t.ground_truth(&q).unwrap();
+    for e in engines(&t) {
+        let est = e.estimate(&q).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.15, "{}: rel {rel}", e.name());
+    }
+}
+
+#[test]
+fn count_estimates_are_never_negative() {
+    let t = uniform(10_000, 6);
+    for e in engines(&t) {
+        for (lo, hi) in [(0.0, 1.0), (0.4999, 0.5001), (0.0, 0.001)] {
+            let q = Query::interval(AggKind::Count, lo, hi);
+            if let Ok(est) = e.estimate(&q) {
+                assert!(est.value >= -1e-9, "{}: COUNT {}", e.name(), est.value);
+            }
+        }
+    }
+}
+
+#[test]
+fn sum_count_of_disjoint_region_is_zero_when_answerable() {
+    let t = uniform(10_000, 7);
+    for e in engines(&t) {
+        for agg in [AggKind::Sum, AggKind::Count] {
+            let q = Query::interval(agg, 5.0, 6.0); // outside [0, 1)
+            // Model-based engines may legitimately refuse (Err); those that
+            // answer must answer zero.
+            if let Ok(est) = e.estimate(&q) {
+                assert!(
+                    est.value.abs() < 1e-9,
+                    "{}: {agg} of empty region = {}",
+                    e.name(),
+                    est.value
+                );
+            }
+        }
+    }
+}

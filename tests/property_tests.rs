@@ -1,0 +1,162 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * hard bounds always contain the ground truth, for every aggregate and
+//!   any data/partitioning/query;
+//! * MCF frontiers partition the relevant rows exactly;
+//! * the DP objective never loses to equal-depth partitioning;
+//! * prefix-sum range statistics match naive recomputation.
+
+use proptest::prelude::*;
+
+use pass::common::{AggKind, PrefixSums, Query, Rect, Synopsis};
+use pass::core::{mcf, PassBuilder, PartitionStrategy};
+use pass::partition::maxvar::{Exhaustive, MaxVarOracle};
+use pass::partition::{Adp, EqualDepth, Partitioner1D, VarianceOracle};
+use pass::table::{SortedTable, Table};
+
+/// Strategy: a small table with clustered values (mix of constant runs and
+/// noise) plus a query interval grounded near data keys.
+fn table_and_query() -> impl Strategy<Value = (Vec<f64>, f64, f64)> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                Just(0.0),
+                (1.0f64..100.0),
+                (-50.0f64..-1.0),
+                Just(42.0),
+            ],
+            8..200,
+        ),
+        0.0f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(values, a, b)| {
+            let n = values.len() as f64;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            (values, lo * n, hi * n)
+        })
+}
+
+fn build_table(values: &[f64]) -> Table {
+    let keys: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+    Table::one_dim(keys, values.to_vec()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hard bounds are 100%-confidence intervals: they must contain the
+    /// exact answer for every aggregate, partitioning, and query.
+    #[test]
+    fn hard_bounds_always_contain_truth((values, lo, hi) in table_and_query(), k in 2usize..12) {
+        let table = build_table(&values);
+        let pass = PassBuilder::new()
+            .partitions(k)
+            .sample_rate(0.2)
+            .seed(1)
+            .build(&table)
+            .unwrap();
+        for agg in AggKind::ALL {
+            let q = Query::new(agg, Rect::interval(lo, hi));
+            let truth = table.ground_truth(&q);
+            let est = pass.estimate(&q);
+            match (est, truth) {
+                (Ok(e), Some(t)) => {
+                    if let Some((lb, ub)) = e.hard_bounds {
+                        prop_assert!(
+                            lb - 1e-6 <= t && t <= ub + 1e-6,
+                            "{agg}: truth {t} outside [{lb}, {ub}]"
+                        );
+                    }
+                }
+                // AVG/MIN/MAX over an empty selection may error; SUM/COUNT
+                // must not.
+                (Err(_), Some(_)) => {
+                    prop_assert!(matches!(agg, AggKind::Avg | AggKind::Min | AggKind::Max));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The MCF frontier covers exactly the rows of intersecting partitions:
+    /// covered + partial populations equal the total population of leaves
+    /// whose key range intersects the query.
+    #[test]
+    fn mcf_frontier_partitions_relevant_rows((values, lo, hi) in table_and_query(), k in 2usize..10) {
+        let table = build_table(&values);
+        let pass = PassBuilder::new()
+            .partitions(k)
+            .sample_rate(0.5)
+            .strategy(PartitionStrategy::EqualDepth)
+            .seed(2)
+            .build(&table)
+            .unwrap();
+        let tree = pass.tree();
+        let q = Query::interval(AggKind::Sum, lo, hi);
+        let frontier = mcf(tree, &q, false);
+        let frontier_pop = frontier.relevant_population(tree);
+        let expected: u64 = tree
+            .leaves()
+            .into_iter()
+            .map(|id| tree.node(id))
+            .filter(|n| n.rect.lo(0) <= hi && n.rect.hi(0) >= lo)
+            .map(|n| n.agg.count)
+            .sum();
+        prop_assert_eq!(frontier_pop, expected);
+    }
+
+    /// ADP's worst-partition variance objective never loses to equal-depth
+    /// partitioning when both optimize over the full data.
+    #[test]
+    fn adp_objective_never_worse_than_equal_depth(values in prop::collection::vec(-100.0f64..100.0, 16..120), k in 2usize..8) {
+        let keys: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let sorted = SortedTable::from_sorted(keys, values);
+        let adp = Adp::new(AggKind::Sum)
+            .with_samples(sorted.len())
+            .partition(&sorted, k)
+            .unwrap();
+        let eq = EqualDepth.partition(&sorted, k).unwrap();
+        let oracle = Exhaustive::new(VarianceOracle::new(sorted.prefix(), AggKind::Sum), 1);
+        let objective = |p: &pass::partition::Partitioning1D| {
+            p.ranges()
+                .into_iter()
+                .map(|r| oracle.max_variance(r.start, r.end))
+                .fold(0.0f64, f64::max)
+        };
+        // The DP uses the ¼-approximate median-split oracle, so allow the
+        // Lemma A.3/A.5 slack of 4× in the exhaustive objective.
+        prop_assert!(objective(&adp) <= 4.0 * objective(&eq) + 1e-9);
+    }
+
+    /// Prefix sums agree with naive recomputation on random ranges.
+    #[test]
+    fn prefix_sums_match_naive(values in prop::collection::vec(-1e6f64..1e6, 1..300), split in 0.0f64..1.0) {
+        let p = PrefixSums::build(&values);
+        let n = values.len();
+        let mid = ((n as f64) * split) as usize;
+        let naive_sum: f64 = values[..mid].iter().sum();
+        let naive_sq: f64 = values[..mid].iter().map(|v| v * v).sum();
+        prop_assert!((p.range_sum(0, mid) - naive_sum).abs() <= 1e-6 * naive_sum.abs().max(1.0));
+        prop_assert!((p.range_sum_sq(0, mid) - naive_sq).abs() <= 1e-6 * naive_sq.abs().max(1.0));
+    }
+
+    /// Estimates and CI half-widths are always finite; CI is non-negative.
+    #[test]
+    fn estimates_are_finite((values, lo, hi) in table_and_query()) {
+        let table = build_table(&values);
+        let pass = PassBuilder::new()
+            .partitions(8)
+            .sample_rate(0.3)
+            .seed(3)
+            .build(&table)
+            .unwrap();
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = Query::new(agg, Rect::interval(lo, hi));
+            if let Ok(e) = pass.estimate(&q) {
+                prop_assert!(e.value.is_finite(), "{agg}");
+                prop_assert!(e.ci_half.is_finite() && e.ci_half >= 0.0, "{agg}");
+            }
+        }
+    }
+}

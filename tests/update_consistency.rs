@@ -1,0 +1,107 @@
+//! Property tests for dynamic updates (Section 4.5): arbitrary interleaved
+//! insert/delete sequences keep the synopsis statistically consistent —
+//! node aggregates stay exact for SUM/COUNT/AVG, MIN/MAX bounds stay
+//! conservative, and whole-space queries stay exact.
+
+use proptest::prelude::*;
+
+use pass::common::{AggKind, Query, Synopsis};
+use pass::core::PassBuilder;
+use pass::table::Table;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: f64, value: f64 },
+    DeleteEarlierInsert(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => ((0.0f64..1.0), (0.0f64..100.0))
+                .prop_map(|(key, value)| Op::Insert { key, value }),
+            1 => (0usize..64).prop_map(Op::DeleteEarlierInsert),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn update_sequences_keep_synopsis_consistent(ops in ops(), seed in 0u64..1000) {
+        // Base data.
+        let n = 500;
+        let keys: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let values: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64).collect();
+        let table = Table::one_dim(keys.clone(), values.clone()).unwrap();
+        let mut pass = PassBuilder::new()
+            .partitions(8)
+            .sample_rate(0.1)
+            .seed(seed)
+            .build(&table)
+            .unwrap();
+
+        // Mirror of live tuples for ground truth.
+        let mut mirror: Vec<(f64, f64)> = keys.into_iter().zip(values).collect();
+        let mut inserted: Vec<(f64, f64)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert { key, value } => {
+                    pass.insert(&[*key], *value).unwrap();
+                    mirror.push((*key, *value));
+                    inserted.push((*key, *value));
+                }
+                Op::DeleteEarlierInsert(idx) => {
+                    if inserted.is_empty() {
+                        continue;
+                    }
+                    let (key, value) = inserted.swap_remove(idx % inserted.len());
+                    pass.delete(&[key], value).unwrap();
+                    let pos = mirror
+                        .iter()
+                        .position(|&(k, v)| k == key && v == value)
+                        .expect("mirror has the tuple");
+                    mirror.swap_remove(pos);
+                }
+            }
+        }
+
+        // Whole-space queries are answered exactly from the root.
+        let truth_count = mirror.len() as f64;
+        let truth_sum: f64 = mirror.iter().map(|&(_, v)| v).sum();
+        let whole = |agg| Query::interval(agg, -1.0, 2.0);
+        let count = pass.estimate(&whole(AggKind::Count)).unwrap();
+        prop_assert!(count.exact);
+        prop_assert!((count.value - truth_count).abs() < 1e-9);
+        let sum = pass.estimate(&whole(AggKind::Sum)).unwrap();
+        prop_assert!((sum.value - truth_sum).abs() < 1e-6 * truth_sum.abs().max(1.0));
+
+        // Root MIN/MAX stay conservative: they bracket the live extrema.
+        let root = pass.tree().node(pass.tree().root());
+        if !mirror.is_empty() {
+            let live_min = mirror.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+            let live_max = mirror.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(root.agg.min <= live_min + 1e-12);
+            prop_assert!(root.agg.max >= live_max - 1e-12);
+        }
+
+        // Leaf counts still sum to the root count, and sample populations
+        // track leaf counts.
+        let leaf_total: u64 = pass
+            .tree()
+            .leaves()
+            .into_iter()
+            .map(|id| pass.tree().node(id).agg.count)
+            .sum();
+        prop_assert_eq!(leaf_total, root.agg.count);
+        for (li, id) in pass.tree().leaves().into_iter().enumerate() {
+            prop_assert_eq!(
+                pass.leaf_samples()[li].population(),
+                pass.tree().node(id).agg.count
+            );
+        }
+    }
+}

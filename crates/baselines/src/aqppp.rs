@@ -9,7 +9,9 @@
 //! stratified samples, and the partitioning is not variance-optimized.
 
 use pass_common::rng::{derive_seed, rng_from_seed};
-use pass_common::{AggKind, Estimate, PassError, Query, Rect, Result, Synopsis, LAMBDA_99};
+use pass_common::{
+    AggKind, EngineSpec, Estimate, PassError, Query, Rect, Result, Synopsis, LAMBDA_99,
+};
 use pass_core::{mcf::mcf, PartitionTree};
 use pass_partition::{build_kd, HillClimb, KdExpansion, Partitioner1D};
 use pass_sampling::Sample;
@@ -36,6 +38,9 @@ pub struct AqpPlusPlus {
     tree_dims: Option<Vec<usize>>,
     /// Query arity (= sample arity).
     query_dims: usize,
+    /// Requested (partitions, sample size, seed), kept for
+    /// [`Synopsis::spec`].
+    requested: (usize, usize, u64),
 }
 
 impl AqpPlusPlus {
@@ -48,8 +53,7 @@ impl AqpPlusPlus {
         }
         let (tree, name) = if table.dims() == 1 {
             let sorted = SortedTable::from_table(table, 0);
-            let partitioning =
-                HillClimb::new(AggKind::Sum).partition(&sorted, partitions)?;
+            let partitioning = HillClimb::new(AggKind::Sum).partition(&sorted, partitions)?;
             (
                 PartitionTree::from_partitioning(&sorted, &partitioning)?,
                 "AQP++",
@@ -72,6 +76,7 @@ impl AqpPlusPlus {
             name,
             tree_dims: None,
             query_dims: table.dims(),
+            requested: (partitions, k, seed),
         })
     }
 
@@ -105,6 +110,7 @@ impl AqpPlusPlus {
             name: "KD-US",
             tree_dims: Some(tree_dims.to_vec()),
             query_dims: table.dims(),
+            requested: (partitions, k, seed),
         })
     }
 
@@ -116,12 +122,7 @@ impl AqpPlusPlus {
     /// Estimate `Σ φ` over the gap region: sampled rows matching the query
     /// but not lying in any covered partition. Returns `(estimate,
     /// estimator variance, matching sample count)`.
-    fn gap_estimate(
-        &self,
-        agg: AggKind,
-        rect: &Rect,
-        covered: &[usize],
-    ) -> (f64, f64, u64) {
+    fn gap_estimate(&self, agg: AggKind, rect: &Rect, covered: &[usize]) -> (f64, f64, u64) {
         let rows = self.sample.rows();
         let k = self.sample.k();
         if k == 0 {
@@ -167,6 +168,16 @@ impl Synopsis for AqpPlusPlus {
         self.name
     }
 
+    fn spec(&self) -> EngineSpec {
+        let (partitions, k, seed) = self.requested;
+        EngineSpec::AqpPlusPlus {
+            partitions,
+            k,
+            seed,
+            tree_dims: self.tree_dims.clone(),
+        }
+    }
+
     fn estimate(&self, query: &Query) -> Result<Estimate> {
         if query.dims() != self.query_dims {
             return Err(PassError::DimensionMismatch {
@@ -200,7 +211,9 @@ impl Synopsis for AqpPlusPlus {
                 };
                 Ok(est.with_accounting(
                     self.sample.k() as u64,
-                    self.tree.total_rows().saturating_sub(self.sample.k() as u64),
+                    self.tree
+                        .total_rows()
+                        .saturating_sub(self.sample.k() as u64),
                 ))
             }
             AggKind::Avg => {
@@ -211,8 +224,7 @@ impl Synopsis for AqpPlusPlus {
                     .iter()
                     .map(|&id| self.tree.node(id).agg.count as f64)
                     .sum();
-                let (gap_sum, var_sum, _) =
-                    self.gap_estimate(AggKind::Sum, &query.rect, covered);
+                let (gap_sum, var_sum, _) = self.gap_estimate(AggKind::Sum, &query.rect, covered);
                 let (gap_count, var_count, k_pred) =
                     self.gap_estimate(AggKind::Count, &query.rect, covered);
                 let total_sum = exact_sum + gap_sum;
@@ -237,7 +249,9 @@ impl Synopsis for AqpPlusPlus {
                 };
                 Ok(est.with_accounting(
                     self.sample.k() as u64,
-                    self.tree.total_rows().saturating_sub(self.sample.k() as u64),
+                    self.tree
+                        .total_rows()
+                        .saturating_sub(self.sample.k() as u64),
                 ))
             }
             AggKind::Min | AggKind::Max => {
@@ -253,7 +267,11 @@ impl Synopsis for AqpPlusPlus {
                 for &id in covered {
                     let a = &self.tree.node(id).agg;
                     if !a.is_empty() {
-                        fold(if query.agg == AggKind::Min { a.min } else { a.max });
+                        fold(if query.agg == AggKind::Min {
+                            a.min
+                        } else {
+                            a.max
+                        });
                     }
                 }
                 if let Some(pv) =
@@ -261,9 +279,10 @@ impl Synopsis for AqpPlusPlus {
                 {
                     fold(pv.value);
                 }
-                best.map(|v| Estimate::approximate(v, 0.0)).ok_or(
-                    PassError::EmptyInput("no sampled tuple matches the predicate"),
-                )
+                best.map(|v| Estimate::approximate(v, 0.0))
+                    .ok_or(PassError::EmptyInput(
+                        "no sampled tuple matches the predicate",
+                    ))
             }
         }
     }
@@ -372,10 +391,14 @@ mod tests {
     fn empty_predicate_errors_for_avg() {
         let t = uniform(1_000, 8);
         let a = AqpPlusPlus::build(&t, 8, 100, 9).unwrap();
-        assert!(a.estimate(&Query::interval(AggKind::Avg, 7.0, 8.0)).is_err());
+        assert!(a
+            .estimate(&Query::interval(AggKind::Avg, 7.0, 8.0))
+            .is_err());
         // SUM of an empty region estimates 0 (nothing matches; region is
         // disjoint from every partition so it is also exactly covered).
-        let est = a.estimate(&Query::interval(AggKind::Sum, 7.0, 8.0)).unwrap();
+        let est = a
+            .estimate(&Query::interval(AggKind::Sum, 7.0, 8.0))
+            .unwrap();
         assert_eq!(est.value, 0.0);
     }
 }

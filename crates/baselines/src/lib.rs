@@ -18,14 +18,20 @@
 //!
 //! The latter two stand in for the closed-source systems compared in
 //! Table 2; DESIGN.md documents the substitutions.
+//!
+//! Engines (including PASS itself) are constructed through the
+//! spec-driven registry [`Engine`]: call sites describe the engine with a
+//! [`pass_common::EngineSpec`] and receive a `Box<dyn Synopsis>`.
 
 pub mod aqppp;
+pub mod engine;
 pub mod spn;
 pub mod st;
 pub mod us;
 pub mod verdict;
 
 pub use aqppp::AqpPlusPlus;
+pub use engine::Engine;
 pub use spn::SpnSynopsis;
 pub use st::StratifiedSynopsis;
 pub use us::UniformSynopsis;

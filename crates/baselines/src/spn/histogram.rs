@@ -130,7 +130,10 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let values: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>()).collect();
         let h = Histogram::build(&values, 64);
-        let truth = values.iter().filter(|&&v| (0.25..=0.6).contains(&v)).count() as f64
+        let truth = values
+            .iter()
+            .filter(|&&v| (0.25..=0.6).contains(&v))
+            .count() as f64
             / values.len() as f64;
         assert!((h.prob(0.25, 0.6) - truth).abs() < 0.01);
     }

@@ -423,7 +423,13 @@ mod tests {
     fn two_means_separates_bimodal_rows() {
         // Two blobs along the key axis.
         let keys: Vec<f64> = (0..1_000)
-            .map(|i| if i < 500 { i as f64 } else { 10_000.0 + i as f64 })
+            .map(|i| {
+                if i < 500 {
+                    i as f64
+                } else {
+                    10_000.0 + i as f64
+                }
+            })
             .collect();
         let vals = vec![1.0; 1_000];
         let t = Table::one_dim(keys, vals).unwrap();

@@ -20,7 +20,7 @@ mod learn;
 
 pub use histogram::Histogram;
 
-use pass_common::{AggKind, Estimate, PassError, Query, Result, Synopsis};
+use pass_common::{AggKind, EngineSpec, Estimate, PassError, Query, Result, Synopsis};
 use pass_table::Table;
 
 use learn::{learn, LearnParams, Node};
@@ -35,6 +35,8 @@ pub struct SpnSynopsis {
     dims: usize,
     population: u64,
     name: String,
+    /// Requested (training ratio, seed), kept for [`Synopsis::spec`].
+    requested: (f64, u64),
 }
 
 impl SpnSynopsis {
@@ -45,12 +47,7 @@ impl SpnSynopsis {
     }
 
     /// Train with explicit structure-learning parameters.
-    pub fn build_with(
-        table: &Table,
-        ratio: f64,
-        seed: u64,
-        params: LearnParams,
-    ) -> Result<Self> {
+    pub fn build_with(table: &Table, ratio: f64, seed: u64, params: LearnParams) -> Result<Self> {
         if table.n_rows() == 0 {
             return Err(PassError::EmptyInput("SPN over empty table"));
         }
@@ -67,6 +64,7 @@ impl SpnSynopsis {
             dims: table.dims(),
             population: table.n_rows() as u64,
             name: format!("DeepDB-{}%", (ratio * 100.0).round()),
+            requested: (ratio, seed),
         })
     }
 
@@ -135,6 +133,13 @@ impl SpnSynopsis {
 impl Synopsis for SpnSynopsis {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> EngineSpec {
+        EngineSpec::Spn {
+            ratio: self.requested.0,
+            seed: self.requested.1,
+        }
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {
@@ -260,7 +265,9 @@ mod tests {
     fn minmax_unsupported() {
         let t = uniform(1_000, 11);
         let spn = SpnSynopsis::build(&t, 1.0, 12).unwrap();
-        assert!(spn.estimate(&Query::interval(AggKind::Min, 0.0, 1.0)).is_err());
+        assert!(spn
+            .estimate(&Query::interval(AggKind::Min, 0.0, 1.0))
+            .is_err());
     }
 
     #[test]

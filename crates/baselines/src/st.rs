@@ -6,7 +6,7 @@
 //! estimated from its sample, even when fully covered.
 
 use pass_common::rng::rng_from_seed;
-use pass_common::{AggKind, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
+use pass_common::{AggKind, EngineSpec, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
 use pass_partition::{EqualDepth, Partitioner1D};
 use pass_sampling::{combine_strata, estimate as sample_estimate, Sample, StratumEstimate};
 use pass_table::{SortedTable, Table};
@@ -25,6 +25,8 @@ pub struct StratifiedSynopsis {
     strata: Vec<Stratum>,
     lambda: f64,
     total_rows: u64,
+    /// Requested (strata, budget, seed), kept for [`Synopsis::spec`].
+    requested: (usize, usize, u64),
 }
 
 impl StratifiedSynopsis {
@@ -47,8 +49,7 @@ impl StratifiedSynopsis {
         let bounds = partitioning.key_bounds(&sorted);
         let mut strata = Vec::with_capacity(partitioning.len());
         for (range, (key_lo, key_hi)) in partitioning.ranges().into_iter().zip(bounds) {
-            let sample =
-                Sample::uniform_from_range(&sorted_table, range, per_stratum, &mut rng)?;
+            let sample = Sample::uniform_from_range(&sorted_table, range, per_stratum, &mut rng)?;
             strata.push(Stratum {
                 key_lo,
                 key_hi,
@@ -59,6 +60,7 @@ impl StratifiedSynopsis {
             strata,
             lambda: LAMBDA_99,
             total_rows: table.n_rows() as u64,
+            requested: (b, k, seed),
         })
     }
 
@@ -76,6 +78,11 @@ impl StratifiedSynopsis {
 impl Synopsis for StratifiedSynopsis {
     fn name(&self) -> &str {
         "ST"
+    }
+
+    fn spec(&self) -> EngineSpec {
+        let (strata, k, seed) = self.requested;
+        EngineSpec::Stratified { strata, k, seed }
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {
@@ -210,7 +217,9 @@ mod tests {
         let st = StratifiedSynopsis::build(&t, 8, 100, 7).unwrap();
         let q = Query::interval(AggKind::Sum, 5.0, 6.0);
         assert_eq!(st.estimate(&q).unwrap().value, 0.0);
-        assert!(st.estimate(&Query::interval(AggKind::Avg, 5.0, 6.0)).is_err());
+        assert!(st
+            .estimate(&Query::interval(AggKind::Avg, 5.0, 6.0))
+            .is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! US — plain uniform sampling (Section 2.1).
 
 use pass_common::rng::rng_from_seed;
-use pass_common::{AggKind, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
+use pass_common::{AggKind, EngineSpec, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
 use pass_sampling::{estimate as sample_estimate, Sample};
 use pass_table::Table;
 
@@ -13,6 +13,9 @@ pub struct UniformSynopsis {
     lambda: f64,
     dims: usize,
     total_rows: u64,
+    /// Requested sample size and seed, kept for [`Synopsis::spec`].
+    requested_k: usize,
+    seed: u64,
 }
 
 impl UniformSynopsis {
@@ -28,6 +31,8 @@ impl UniformSynopsis {
             lambda: LAMBDA_99,
             dims: table.dims(),
             total_rows: table.n_rows() as u64,
+            requested_k: k,
+            seed,
         })
     }
 
@@ -45,6 +50,13 @@ impl UniformSynopsis {
 impl Synopsis for UniformSynopsis {
     fn name(&self) -> &str {
         "US"
+    }
+
+    fn spec(&self) -> EngineSpec {
+        EngineSpec::Uniform {
+            k: self.requested_k,
+            seed: self.seed,
+        }
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {
@@ -71,7 +83,10 @@ impl Synopsis for UniformSynopsis {
         };
         // US scans its whole sample for every query; nothing is safely
         // skipped (there is no index to prove irrelevance).
-        Ok(est.with_accounting(self.sample.k() as u64, self.total_rows - self.sample.k() as u64))
+        Ok(est.with_accounting(
+            self.sample.k() as u64,
+            self.total_rows - self.sample.k() as u64,
+        ))
     }
 
     fn storage_bytes(&self) -> usize {
@@ -136,7 +151,9 @@ mod tests {
     fn no_skipping_in_accounting() {
         let t = uniform(1_000, 6);
         let us = UniformSynopsis::build(&t, 100, 7).unwrap();
-        let est = us.estimate(&Query::interval(AggKind::Sum, 0.0, 1.0)).unwrap();
+        let est = us
+            .estimate(&Query::interval(AggKind::Sum, 0.0, 1.0))
+            .unwrap();
         assert_eq!(est.tuples_processed, 100);
     }
 

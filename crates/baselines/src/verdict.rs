@@ -11,7 +11,7 @@
 use rand::Rng;
 
 use pass_common::rng::rng_from_seed;
-use pass_common::{AggKind, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
+use pass_common::{AggKind, EngineSpec, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
 use pass_table::Table;
 
 /// A scramble: sampled rows with subsample-group assignments.
@@ -25,6 +25,8 @@ pub struct VerdictSynopsis {
     population: u64,
     lambda: f64,
     name: String,
+    /// Requested (ratio, seed), kept for [`Synopsis::spec`].
+    requested: (f64, u64),
 }
 
 impl VerdictSynopsis {
@@ -64,6 +66,7 @@ impl VerdictSynopsis {
             population: n as u64,
             lambda: LAMBDA_99,
             name: format!("VerdictDB-{}%", (ratio * 100.0).round()),
+            requested: (ratio, seed),
         })
     }
 
@@ -86,6 +89,13 @@ impl VerdictSynopsis {
 impl Synopsis for VerdictSynopsis {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn spec(&self) -> EngineSpec {
+        EngineSpec::Verdict {
+            ratio: self.requested.0,
+            seed: self.requested.1,
+        }
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {
@@ -243,7 +253,10 @@ mod tests {
     #[test]
     fn names_follow_ratio() {
         let t = uniform(1_000, 6);
-        assert_eq!(VerdictSynopsis::build(&t, 0.1, 7).unwrap().name(), "VerdictDB-10%");
+        assert_eq!(
+            VerdictSynopsis::build(&t, 0.1, 7).unwrap().name(),
+            "VerdictDB-10%"
+        );
         assert_eq!(
             VerdictSynopsis::build(&t, 1.0, 7).unwrap().name(),
             "VerdictDB-100%"

@@ -6,13 +6,16 @@
 //! * delta-encoded samples on/off — storage vs. accuracy;
 //! * partitioning strategy — ADP vs hill-climbing vs equal-depth vs
 //!   equal-width under one fixed budget.
+//!
+//! Every variant is one [`PassSpec`] knob flipped; each panel is a
+//! [`Session`] of named variants evaluated by one `run_workload_all`.
 
+use pass::{EngineSpec, Session};
 use pass_bench::{emit_json, mb, pct, print_table, Scale};
-use pass_common::AggKind;
-use pass_core::{PassBuilder, PartitionStrategy};
+use pass_common::{AggKind, PartitionStrategy, PassSpec};
 use pass_table::datasets::DatasetId;
 use pass_table::SortedTable;
-use pass_workload::{random_queries, run_workload, Truth, WorkloadSummary};
+use pass_workload::{random_queries, WorkloadSummary};
 
 const PARTITIONS: usize = 64;
 const SAMPLE_RATE: f64 = 0.005;
@@ -30,7 +33,6 @@ fn main() {
     // runs must exceed leaf spans for the rule to bind at all).
     let adv = scale.adversarial();
     let sorted = SortedTable::from_table(&adv, 0);
-    let truth = Truth::new(&adv);
     let queries = random_queries(
         &sorted,
         scale.queries,
@@ -38,22 +40,31 @@ fn main() {
         (adv.n_rows() / 200).max(10),
         scale.seed,
     );
-    let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
-    let mut rows = Vec::new();
     // Equal-depth partitioning: its leaves sit fully inside the constant
     // region, so the rule has constant partitions to fire on. (ADP's
     // sampled boundary drags a few tail rows into the zero leaf, which
     // already suppresses the rule — an interaction worth knowing.)
-    for (label, rule) in [("0-variance rule ON", true), ("0-variance rule OFF", false)] {
-        let pass = PassBuilder::new()
-            .partitions(PARTITIONS)
-            .sample_rate(SAMPLE_RATE)
-            .strategy(PartitionStrategy::EqualDepth)
-            .zero_variance_rule(rule)
-            .seed(scale.seed)
-            .build(&adv)
-            .unwrap();
-        let (mut s, _) = run_workload(&pass, &queries, &truth, Some(&truths));
+    let zero_var_spec = |rule: bool| {
+        EngineSpec::Pass(PassSpec {
+            partitions: PARTITIONS,
+            sample_rate: SAMPLE_RATE,
+            strategy: PartitionStrategy::EqualDepth,
+            zero_variance_rule: rule,
+            seed: scale.seed,
+            ..PassSpec::default()
+        })
+    };
+    let labels = ["0-variance rule ON", "0-variance rule OFF"];
+    let session = Session::with_engines(
+        adv,
+        &[
+            (labels[0], zero_var_spec(true)),
+            (labels[1], zero_var_spec(false)),
+        ],
+    )
+    .expect("variants build");
+    let mut rows = Vec::new();
+    for (label, mut s) in labels.iter().zip(session.run_workload_all(&queries)) {
         rows.push(vec![
             label.to_string(),
             pct(s.median_relative_error),
@@ -66,14 +77,19 @@ fn main() {
     }
     print_table(
         "Ablation A — 0-variance rule (AVG on adversarial data)",
-        &["variant", "median RE", "median CI", "mean tuples/query", "skip rate"],
+        &[
+            "variant",
+            "median RE",
+            "median CI",
+            "mean tuples/query",
+            "skip rate",
+        ],
         &rows,
     );
 
     // --- Delta encoding: storage vs accuracy on NYC.
     let nyc = scale.dataset(DatasetId::NycTaxi);
     let sorted = SortedTable::from_table(&nyc, 0);
-    let truth = Truth::new(&nyc);
     let queries = random_queries(
         &sorted,
         scale.queries,
@@ -81,17 +97,26 @@ fn main() {
         (nyc.n_rows() / 100).max(10),
         scale.seed,
     );
-    let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
+    let delta_spec = |delta: bool| {
+        EngineSpec::Pass(PassSpec {
+            partitions: PARTITIONS,
+            sample_rate: 0.02,
+            delta_encode: delta,
+            seed: scale.seed,
+            ..PassSpec::default()
+        })
+    };
+    let labels = ["plain f64 samples", "delta-encoded (f32)"];
+    let session = Session::with_engines(
+        nyc,
+        &[
+            (labels[0], delta_spec(false)),
+            (labels[1], delta_spec(true)),
+        ],
+    )
+    .expect("variants build");
     let mut rows = Vec::new();
-    for (label, delta) in [("plain f64 samples", false), ("delta-encoded (f32)", true)] {
-        let pass = PassBuilder::new()
-            .partitions(PARTITIONS)
-            .sample_rate(0.02)
-            .delta_encode(delta)
-            .seed(scale.seed)
-            .build(&nyc)
-            .unwrap();
-        let (mut s, _) = run_workload(&pass, &queries, &truth, Some(&truths));
+    for (label, mut s) in labels.iter().zip(session.run_workload_all(&queries)) {
         rows.push(vec![
             label.to_string(),
             mb(s.storage_bytes),
@@ -109,7 +134,6 @@ fn main() {
     // --- Partitioning strategies under one budget (SUM on Instacart).
     let insta = scale.dataset(DatasetId::Instacart);
     let sorted = SortedTable::from_table(&insta, 0);
-    let truth = Truth::new(&insta);
     let queries = random_queries(
         &sorted,
         scale.queries,
@@ -117,22 +141,30 @@ fn main() {
         (insta.n_rows() / 100).max(10),
         scale.seed,
     );
-    let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
-    let mut rows = Vec::new();
-    for (label, strategy) in [
+    let variants = [
         ("ADP (paper)", PartitionStrategy::Adp(AggKind::Sum)),
         ("hill climbing", PartitionStrategy::HillClimb),
         ("equal depth", PartitionStrategy::EqualDepth),
         ("equal width", PartitionStrategy::EqualWidth),
-    ] {
-        let pass = PassBuilder::new()
-            .partitions(PARTITIONS)
-            .sample_rate(SAMPLE_RATE)
-            .strategy(strategy)
-            .seed(scale.seed)
-            .build(&insta)
-            .unwrap();
-        let (mut s, _) = run_workload(&pass, &queries, &truth, Some(&truths));
+    ];
+    let engines: Vec<(&str, EngineSpec)> = variants
+        .iter()
+        .map(|&(label, strategy)| {
+            (
+                label,
+                EngineSpec::Pass(PassSpec {
+                    partitions: PARTITIONS,
+                    sample_rate: SAMPLE_RATE,
+                    strategy,
+                    seed: scale.seed,
+                    ..PassSpec::default()
+                }),
+            )
+        })
+        .collect();
+    let session = Session::with_engines(insta, &engines).expect("variants build");
+    let mut rows = Vec::new();
+    for ((label, _), mut s) in variants.iter().zip(session.run_workload_all(&queries)) {
         rows.push(vec![
             label.to_string(),
             pct(s.median_relative_error),

@@ -1,13 +1,15 @@
 //! Figure 3: median relative error of random SUM queries vs the number of
 //! partitions {4..128}, fixed 0.5% sample rate, on the three datasets.
+//!
+//! One [`Session`] per dataset; the sweep re-declares the partitioned
+//! engines per point (replace-by-name) while US stays fixed.
 
-use pass_baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
+use pass::{EngineSpec, Session};
 use pass_bench::{emit_json, pct, print_table, Scale};
-use pass_common::{AggKind, Synopsis};
-use pass_core::PassBuilder;
+use pass_common::{AggKind, PassSpec};
 use pass_table::datasets::DatasetId;
 use pass_table::SortedTable;
-use pass_workload::{random_queries, run_workload, Truth, WorkloadSummary};
+use pass_workload::{random_queries, WorkloadSummary};
 
 const PARTITION_SWEEP: [usize; 6] = [4, 8, 16, 32, 64, 128];
 const SAMPLE_RATE: f64 = 0.005;
@@ -23,7 +25,6 @@ fn main() {
     for id in DatasetId::ALL {
         let table = scale.dataset(id);
         let sorted = SortedTable::from_table(&table, 0);
-        let truth = Truth::new(&table);
         let n = table.n_rows();
         let base_k = ((n as f64) * SAMPLE_RATE).ceil() as usize;
         let queries = random_queries(
@@ -33,25 +34,47 @@ fn main() {
             (n / 100).max(10),
             scale.seed,
         );
-        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
 
         // US has no partitioning knob: one flat series value.
-        let us = UniformSynopsis::build(&table, base_k, scale.seed).unwrap();
-        let (us_summary, _) = run_workload(&us, &queries, &truth, Some(&truths));
+        let mut session = Session::new(table);
+        session
+            .add_engine("US", &EngineSpec::uniform(base_k).with_seed(scale.seed))
+            .unwrap();
+        let (us_summary, _) = session.run_workload("US", &queries).unwrap();
+        {
+            let mut s = us_summary.clone();
+            s.engine = format!("US/{id}");
+            all.push(s);
+        }
 
         let mut rows = Vec::new();
         for parts in PARTITION_SWEEP {
-            let pass = PassBuilder::new()
-                .partitions(parts)
-                .sample_rate(SAMPLE_RATE)
-                .seed(scale.seed)
-                .build(&table)
+            session
+                .add_engine(
+                    "PASS",
+                    &EngineSpec::Pass(PassSpec {
+                        partitions: parts,
+                        sample_rate: SAMPLE_RATE,
+                        seed: scale.seed,
+                        ..PassSpec::default()
+                    }),
+                )
                 .unwrap();
-            let st = StratifiedSynopsis::build(&table, parts, base_k, scale.seed).unwrap();
-            let aqp = AqpPlusPlus::build(&table, parts, base_k, scale.seed).unwrap();
+            session
+                .add_engine(
+                    "ST",
+                    &EngineSpec::stratified(parts, base_k).with_seed(scale.seed),
+                )
+                .unwrap();
+            session
+                .add_engine(
+                    "AQP++",
+                    &EngineSpec::aqppp(parts, base_k).with_seed(scale.seed),
+                )
+                .unwrap();
             let mut row = vec![parts.to_string()];
-            for engine in [&pass as &dyn Synopsis, &us, &st, &aqp] {
-                let (mut s, _) = run_workload(engine, &queries, &truth, Some(&truths));
+            for name in ["PASS", "US", "ST", "AQP++"] {
+                let (mut s, _) = session.run_workload(name, &queries).unwrap();
                 row.push(pct(s.median_relative_error));
                 s.engine = format!("{}/{}/k={}", s.engine, id, parts);
                 all.push(s);

@@ -1,13 +1,15 @@
 //! Figure 5: median confidence-interval ratio of random SUM queries vs
 //! sample rate {10%..100%}, fixed 64 partitions, on the three datasets.
+//!
+//! One [`Session`] per dataset; engines are re-declared per rate
+//! (replace-by-name) and evaluated with a shared truth oracle.
 
-use pass_baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
+use pass::{EngineSpec, Session};
 use pass_bench::{emit_json, pct, print_table, Scale};
-use pass_common::{AggKind, Synopsis};
-use pass_core::PassBuilder;
+use pass_common::{AggKind, PassSpec};
 use pass_table::datasets::DatasetId;
 use pass_table::SortedTable;
-use pass_workload::{random_queries, run_workload, Truth, WorkloadSummary};
+use pass_workload::{random_queries, WorkloadSummary};
 
 const PARTITIONS: usize = 64;
 const RATES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
@@ -23,7 +25,6 @@ fn main() {
     for id in DatasetId::ALL {
         let table = scale.dataset(id);
         let sorted = SortedTable::from_table(&table, 0);
-        let truth = Truth::new(&table);
         let n = table.n_rows();
         let queries = random_queries(
             &sorted,
@@ -32,23 +33,39 @@ fn main() {
             (n / 100).max(10),
             scale.seed,
         );
-        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
+        let mut session = Session::new(table);
 
         let mut rows = Vec::new();
         for rate in RATES {
             let k = ((n as f64) * rate).ceil() as usize;
-            let pass = PassBuilder::new()
-                .partitions(PARTITIONS)
-                .sample_rate(rate)
-                .seed(scale.seed)
-                .build(&table)
+            session
+                .add_engine(
+                    "PASS",
+                    &EngineSpec::Pass(PassSpec {
+                        partitions: PARTITIONS,
+                        sample_rate: rate,
+                        seed: scale.seed,
+                        ..PassSpec::default()
+                    }),
+                )
                 .unwrap();
-            let us = UniformSynopsis::build(&table, k, scale.seed).unwrap();
-            let st = StratifiedSynopsis::build(&table, PARTITIONS, k, scale.seed).unwrap();
-            let aqp = AqpPlusPlus::build(&table, PARTITIONS, k, scale.seed).unwrap();
+            session
+                .add_engine("US", &EngineSpec::uniform(k).with_seed(scale.seed))
+                .unwrap();
+            session
+                .add_engine(
+                    "ST",
+                    &EngineSpec::stratified(PARTITIONS, k).with_seed(scale.seed),
+                )
+                .unwrap();
+            session
+                .add_engine(
+                    "AQP++",
+                    &EngineSpec::aqppp(PARTITIONS, k).with_seed(scale.seed),
+                )
+                .unwrap();
             let mut row = vec![format!("{:.0}%", rate * 100.0)];
-            for engine in [&pass as &dyn Synopsis, &us, &st, &aqp] {
-                let (mut s, _) = run_workload(engine, &queries, &truth, Some(&truths));
+            for mut s in session.run_workload_all(&queries) {
                 row.push(pct(s.median_ci_ratio));
                 s.engine = format!("{}/{}/rate={rate}", s.engine, id);
                 all.push(s);

@@ -4,13 +4,13 @@
 //!
 //! Template Q_i predicates on the first i of {pickup_time, pickup_date,
 //! PULocationID, dropoff_date, dropoff_time}; the aggregate is
-//! trip_distance (Section 5.4). 1024 leaves at paper scale.
+//! trip_distance (Section 5.4). 1024 leaves at paper scale. One
+//! [`Session`] per template holds both engines.
 
-use pass_baselines::AqpPlusPlus;
+use pass::{EngineSpec, Session};
 use pass_bench::{emit_json, pct, print_table, Scale};
-use pass_common::AggKind;
-use pass_core::PassBuilder;
-use pass_workload::{run_workload, template_queries, Truth, WorkloadSummary};
+use pass_common::{AggKind, PassSpec};
+use pass_workload::{template_queries, WorkloadSummary};
 
 const SAMPLE_RATE: f64 = 0.005;
 
@@ -32,23 +32,34 @@ fn main() {
         // Template Q_i: predicate columns 1..=i of the full taxi table.
         let template_dims: Vec<usize> = (1..=dims).collect();
         let table = taxi.project(&template_dims).unwrap();
-        let truth = Truth::new(&table);
         let queries = template_queries(&table, scale.md_queries(), AggKind::Avg, scale.seed);
-        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
         let base_k = ((table.n_rows() as f64) * SAMPLE_RATE).ceil() as usize;
 
-        let kd_pass = PassBuilder::new()
-            .partitions(leaves)
-            .sample_rate(SAMPLE_RATE)
-            .kd_balance(2)
-            .seed(scale.seed)
-            .build(&table)
-            .unwrap()
-            .with_name("KD-PASS");
-        let kd_us = AqpPlusPlus::build(&table, leaves, base_k, scale.seed).unwrap();
+        let session = Session::with_engines(
+            table,
+            &[
+                (
+                    "KD-PASS",
+                    EngineSpec::Pass(PassSpec {
+                        partitions: leaves,
+                        sample_rate: SAMPLE_RATE,
+                        kd_balance: 2,
+                        seed: scale.seed,
+                        name: Some("KD-PASS".to_owned()),
+                        ..PassSpec::default()
+                    }),
+                ),
+                (
+                    "KD-US",
+                    EngineSpec::aqppp(leaves, base_k).with_seed(scale.seed),
+                ),
+            ],
+        )
+        .expect("both engines build");
 
-        let (mut s_pass, _) = run_workload(&kd_pass, &queries, &truth, Some(&truths));
-        let (mut s_us, _) = run_workload(&kd_us, &queries, &truth, Some(&truths));
+        let mut summaries = session.run_workload_all(&queries).into_iter();
+        let mut s_pass = summaries.next().unwrap();
+        let mut s_us = summaries.next().unwrap();
         ci_rows.push(vec![
             format!("{dims}D"),
             pct(s_pass.median_ci_ratio),

@@ -3,13 +3,13 @@
 //! via the shared attributes; KD-US's precomputed aggregates degrade.
 //!
 //! Left panel: median CI ratio of KD-PASS vs KD-US; right panel: KD-PASS
-//! skip rate (Section 5.4.1).
+//! skip rate (Section 5.4.1). Both shifted builds are declared via
+//! `tree_dims` in their [`EngineSpec`]s and run through one [`Session`].
 
-use pass_baselines::AqpPlusPlus;
+use pass::{EngineSpec, Session};
 use pass_bench::{emit_json, pct, print_table, Scale};
-use pass_common::AggKind;
-use pass_core::PassBuilder;
-use pass_workload::{run_workload, template_queries_partial, Truth, WorkloadSummary};
+use pass_common::{AggKind, PassSpec};
+use pass_workload::{template_queries_partial, WorkloadSummary};
 
 const SAMPLE_RATE: f64 = 0.005;
 
@@ -24,31 +24,51 @@ fn main() {
         table.n_rows(),
         scale.md_queries()
     );
-    let truth = Truth::new(&table);
     let base_k = ((table.n_rows() as f64) * SAMPLE_RATE).ceil() as usize;
 
     // Both synopses index only the Q2 attributes (dims 0 and 1 of this
     // table) but sample in full 5-predicate arity.
-    let kd_pass = PassBuilder::new()
-        .partitions(leaves)
-        .sample_rate(SAMPLE_RATE)
-        .tree_dims(&[0, 1])
-        .seed(scale.seed)
-        .build(&table)
-        .unwrap()
-        .with_name("KD-PASS");
-    let kd_us =
-        AqpPlusPlus::build_shifted(&table, &[0, 1], leaves, base_k, scale.seed).unwrap();
+    let session = Session::with_engines(
+        table,
+        &[
+            (
+                "KD-PASS",
+                EngineSpec::Pass(PassSpec {
+                    partitions: leaves,
+                    sample_rate: SAMPLE_RATE,
+                    tree_dims: Some(vec![0, 1]),
+                    seed: scale.seed,
+                    name: Some("KD-PASS".to_owned()),
+                    ..PassSpec::default()
+                }),
+            ),
+            (
+                "KD-US",
+                EngineSpec::AqpPlusPlus {
+                    partitions: leaves,
+                    k: base_k,
+                    seed: scale.seed,
+                    tree_dims: Some(vec![0, 1]),
+                },
+            ),
+        ],
+    )
+    .expect("shifted engines build");
 
     let mut all = Vec::<WorkloadSummary>::new();
     let mut ci_rows = Vec::new();
     let mut skip_rows = Vec::new();
     for dims in 1..=5usize {
-        let queries =
-            template_queries_partial(&table, dims, scale.md_queries(), AggKind::Avg, scale.seed);
-        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
-        let (mut s_pass, _) = run_workload(&kd_pass, &queries, &truth, Some(&truths));
-        let (mut s_us, _) = run_workload(&kd_us, &queries, &truth, Some(&truths));
+        let queries = template_queries_partial(
+            session.table(),
+            dims,
+            scale.md_queries(),
+            AggKind::Avg,
+            scale.seed,
+        );
+        let mut summaries = session.run_workload_all(&queries).into_iter();
+        let mut s_pass = summaries.next().unwrap();
+        let mut s_us = summaries.next().unwrap();
         ci_rows.push(vec![
             format!("{dims}D"),
             pct(s_pass.median_ci_ratio),

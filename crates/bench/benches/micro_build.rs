@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use pass_common::AggKind;
-use pass_core::{PassBuilder, PartitionStrategy};
+use pass_common::{AggKind, PartitionStrategy, PassSpec};
+use pass_core::Pass;
 use pass_partition::{Adp, EqualDepth, Partitioner1D};
 use pass_table::datasets::DatasetId;
 use pass_table::SortedTable;
@@ -39,18 +39,15 @@ fn bench_full_build(c: &mut Criterion) {
         ("ADP", PartitionStrategy::Adp(AggKind::Sum)),
         ("EQ", PartitionStrategy::EqualDepth),
     ] {
+        let spec = PassSpec {
+            partitions: 64,
+            sample_rate: 0.005,
+            strategy,
+            seed: 17,
+            ..PassSpec::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &table, |b, t| {
-            b.iter(|| {
-                std::hint::black_box(
-                    PassBuilder::new()
-                        .partitions(64)
-                        .sample_rate(0.005)
-                        .strategy(strategy)
-                        .seed(17)
-                        .build(t)
-                        .unwrap(),
-                )
-            });
+            b.iter(|| std::hint::black_box(Pass::from_spec(t, &spec).unwrap()));
         });
     }
     group.finish();

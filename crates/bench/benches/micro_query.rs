@@ -1,15 +1,26 @@
-//! Criterion micro-benchmarks: per-query latency of each engine and the
-//! MCF index lookup alone — the constant factors behind Table 3's latency
-//! columns.
+//! Criterion micro-benchmarks: per-query latency of each engine, the MCF
+//! index lookup alone, and the batched `estimate_many` path against N
+//! repeated single estimates — the constant factors behind Table 3's
+//! latency columns and the batching win behind the `Session` facade.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use pass_baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
-use pass_common::{AggKind, Synopsis};
-use pass_core::{mcf, PassBuilder};
+use pass::EngineSpec;
+use pass_baselines::Engine;
+use pass_common::{AggKind, PassSpec, Query, Synopsis};
+use pass_core::{mcf, mcf_batch, Pass};
 use pass_table::datasets::DatasetId;
 use pass_table::SortedTable;
 use pass_workload::random_queries;
+
+fn pass_spec(partitions: usize, seed: u64) -> PassSpec {
+    PassSpec {
+        partitions,
+        sample_rate: 0.005,
+        seed,
+        ..PassSpec::default()
+    }
+}
 
 fn bench_estimate(c: &mut Criterion) {
     let table = DatasetId::NycTaxi.generate(200_000, 7);
@@ -17,55 +28,84 @@ fn bench_estimate(c: &mut Criterion) {
     let queries = random_queries(&sorted, 64, AggKind::Sum, 2_000, 11);
     let k = 1_000;
 
-    let pass = PassBuilder::new()
-        .partitions(64)
-        .sample_rate(0.005)
-        .seed(7)
-        .build(&table)
-        .unwrap();
-    let us = UniformSynopsis::build(&table, k, 7).unwrap();
-    let st = StratifiedSynopsis::build(&table, 64, k, 7).unwrap();
-    let aqp = AqpPlusPlus::build(&table, 64, k, 7).unwrap();
+    let engines: Vec<(&str, Box<dyn Synopsis>)> = [
+        ("PASS", EngineSpec::Pass(pass_spec(64, 7))),
+        ("US", EngineSpec::uniform(k).with_seed(7)),
+        ("ST", EngineSpec::stratified(64, k).with_seed(7)),
+        ("AQP++", EngineSpec::aqppp(64, k).with_seed(7)),
+    ]
+    .into_iter()
+    .map(|(name, spec)| (name, Engine::build(&table, &spec).unwrap()))
+    .collect();
 
     let mut group = c.benchmark_group("estimate_sum_200k");
-    let engines: [(&str, &dyn Synopsis); 4] =
-        [("PASS", &pass), ("US", &us), ("ST", &st), ("AQP++", &aqp)];
-    for (name, engine) in engines {
+    for (name, engine) in &engines {
         group.bench_with_input(BenchmarkId::from_parameter(name), &queries, |b, qs| {
             let mut i = 0;
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i += 1;
-                std::hint::black_box(engine.estimate(q).unwrap());
+                black_box(engine.estimate(q).unwrap());
             });
         });
     }
     group.finish();
+}
+
+/// The acceptance micro-bench: PASS answering a 64-query batch through
+/// `estimate_many` (shared MCF traversal state) must beat 64 repeated
+/// `estimate` calls.
+fn bench_estimate_many(c: &mut Criterion) {
+    let table = DatasetId::NycTaxi.generate(200_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let pass = Pass::from_spec(&table, &pass_spec(256, 7)).unwrap();
+
+    for batch in [16usize, 64, 256] {
+        let queries: Vec<Query> = random_queries(&sorted, batch, AggKind::Sum, 2_000, 11);
+        let mut group = c.benchmark_group(format!("pass_batch_{batch}q"));
+        group.bench_with_input(
+            BenchmarkId::from_parameter("estimate_many"),
+            &queries,
+            |b, qs| {
+                b.iter(|| black_box(pass.estimate_many(qs)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter("repeated_estimate"),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        black_box(pass.estimate(q).ok());
+                    }
+                });
+            },
+        );
+        group.finish();
+    }
 }
 
 fn bench_mcf(c: &mut Criterion) {
     let table = DatasetId::Intel.generate(120_000, 3);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, 64, AggKind::Sum, 1_000, 5);
     let mut group = c.benchmark_group("mcf_lookup");
     for parts in [16usize, 64, 256] {
-        let pass = PassBuilder::new()
-            .partitions(parts)
-            .sample_rate(0.005)
-            .seed(3)
-            .build(&table)
-            .unwrap();
-        let sorted = SortedTable::from_table(&table, 0);
-        let queries = random_queries(&sorted, 64, AggKind::Sum, 1_000, 5);
-        group.bench_with_input(BenchmarkId::from_parameter(parts), &queries, |b, qs| {
+        let pass = Pass::from_spec(&table, &pass_spec(parts, 3)).unwrap();
+        group.bench_with_input(BenchmarkId::new("single", parts), &queries, |b, qs| {
             let mut i = 0;
             b.iter(|| {
                 let q = &qs[i % qs.len()];
                 i += 1;
-                std::hint::black_box(mcf(pass.tree(), q, true));
+                black_box(mcf(pass.tree(), q, true));
             });
+        });
+        group.bench_with_input(BenchmarkId::new("batch64", parts), &queries, |b, qs| {
+            b.iter(|| black_box(mcf_batch(pass.tree(), qs, true)));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_estimate, bench_mcf);
+criterion_group!(benches, bench_estimate, bench_estimate_many, bench_mcf);
 criterion_main!(benches);

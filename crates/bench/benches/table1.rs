@@ -3,15 +3,15 @@
 //! plus mean construction cost.
 //!
 //! Setup per Section 5.1.3: 0.5% sampling rate, 64 partitions, λ = 2.576,
-//! random queries per aggregate.
+//! random queries per aggregate. All engines are declared as
+//! [`EngineSpec`]s and run through one [`Session`].
 
-use pass_baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
-use pass_bench::{emit_json, pct, print_table, timed, Scale};
-use pass_common::{AggKind, Synopsis};
-use pass_core::PassBuilder;
+use pass::{EngineSpec, Session};
+use pass_bench::{emit_json, pct, print_table, Scale};
+use pass_common::{AggKind, PassSpec};
 use pass_table::datasets::DatasetId;
 use pass_table::SortedTable;
-use pass_workload::{random_queries, run_workload, Truth, WorkloadSummary};
+use pass_workload::{random_queries, WorkloadSummary};
 
 const PARTITIONS: usize = 64;
 const SAMPLE_RATE: f64 = 0.005;
@@ -24,14 +24,7 @@ fn main() {
         scale.label, scale.queries
     );
 
-    let engines = [
-        "US",
-        "ST",
-        "AQP++",
-        "PASS-ESS",
-        "PASS-BSS2x",
-        "PASS-BSS10x",
-    ];
+    let engines = ["US", "ST", "AQP++", "PASS-ESS", "PASS-BSS2x", "PASS-BSS10x"];
     // errors[engine][agg][dataset]
     let mut errors = vec![vec![vec![0.0f64; 3]; 3]; engines.len()];
     let mut build_ms = vec![0.0f64; engines.len()];
@@ -40,18 +33,10 @@ fn main() {
     for (d_idx, id) in DatasetId::ALL.into_iter().enumerate() {
         let table = scale.dataset(id);
         let sorted = SortedTable::from_table(&table, 0);
-        let truth = Truth::new(&table);
         let n = table.n_rows();
         let base_k = ((n as f64) * SAMPLE_RATE).ceil() as usize;
         let min_rows = (n / 100).max(10);
 
-        // Build all six engines, timing construction.
-        let (us, t0) = timed(|| UniformSynopsis::build(&table, base_k, scale.seed).unwrap());
-        let (st, t1) = timed(|| {
-            StratifiedSynopsis::build(&table, PARTITIONS, base_k, scale.seed).unwrap()
-        });
-        let (aqp, t2) =
-            timed(|| AqpPlusPlus::build(&table, PARTITIONS, base_k, scale.seed).unwrap());
         // ESS mode: control tuples *processed per query* rather than
         // stored. A 1-D query partially overlaps ≤ 2 of the k leaves, so
         // PASS can store ~k/2 times more samples than US while touching
@@ -59,36 +44,42 @@ fn main() {
         // skipping could allow one to include more samples into the
         // synopsis").
         let ess_rate = (SAMPLE_RATE * PARTITIONS as f64 / 2.0).min(0.5);
-        let (pass_ess, t3) = timed(|| {
-            PassBuilder::new()
-                .partitions(PARTITIONS)
-                .sample_rate(ess_rate)
-                .seed(scale.seed)
-                .build(&table)
-                .unwrap()
-                .with_name("PASS-ESS")
-        });
-        let (pass_2x, t4) = timed(|| {
-            PassBuilder::new()
-                .partitions(PARTITIONS)
-                .total_samples(2 * base_k)
-                .seed(scale.seed)
-                .build(&table)
-                .unwrap()
-                .with_name("PASS-BSS2x")
-        });
-        let (pass_10x, t5) = timed(|| {
-            PassBuilder::new()
-                .partitions(PARTITIONS)
-                .total_samples(10 * base_k)
-                .seed(scale.seed)
-                .build(&table)
-                .unwrap()
-                .with_name("PASS-BSS10x")
-        });
-        let built: Vec<&dyn Synopsis> = vec![&us, &st, &aqp, &pass_ess, &pass_2x, &pass_10x];
-        for (e, ms) in [t0, t1, t2, t3, t4, t5].into_iter().enumerate() {
-            build_ms[e] += ms / 3.0;
+        let pass_spec = |name: &str, rate: f64, total: Option<usize>| {
+            EngineSpec::Pass(PassSpec {
+                partitions: PARTITIONS,
+                sample_rate: rate,
+                total_samples: total,
+                seed: scale.seed,
+                name: Some(name.to_owned()),
+                ..PassSpec::default()
+            })
+        };
+        let session = Session::with_engines(
+            table,
+            &[
+                ("US", EngineSpec::uniform(base_k).with_seed(scale.seed)),
+                (
+                    "ST",
+                    EngineSpec::stratified(PARTITIONS, base_k).with_seed(scale.seed),
+                ),
+                (
+                    "AQP++",
+                    EngineSpec::aqppp(PARTITIONS, base_k).with_seed(scale.seed),
+                ),
+                ("PASS-ESS", pass_spec("PASS-ESS", ess_rate, None)),
+                (
+                    "PASS-BSS2x",
+                    pass_spec("PASS-BSS2x", SAMPLE_RATE, Some(2 * base_k)),
+                ),
+                (
+                    "PASS-BSS10x",
+                    pass_spec("PASS-BSS10x", SAMPLE_RATE, Some(10 * base_k)),
+                ),
+            ],
+        )
+        .expect("all engines build");
+        for (e_idx, name) in engines.iter().enumerate() {
+            build_ms[e_idx] += session.build_ms(name).unwrap() / 3.0;
         }
 
         for (a_idx, agg) in [AggKind::Count, AggKind::Sum, AggKind::Avg]
@@ -102,11 +93,8 @@ fn main() {
                 min_rows,
                 scale.seed + a_idx as u64,
             );
-            let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
-            for (e_idx, engine) in built.iter().enumerate() {
-                let (mut summary, _) =
-                    run_workload(*engine, &queries, &truth, Some(&truths));
-                summary.build_ms = build_ms[e_idx];
+            // One call evaluates every engine with a shared truth pass.
+            for (e_idx, mut summary) in session.run_workload_all(&queries).into_iter().enumerate() {
                 summary.engine = format!("{}/{}/{}", engines[e_idx], agg, id);
                 errors[e_idx][a_idx][d_idx] = summary.median_relative_error;
                 all_summaries.push(summary);
@@ -127,8 +115,17 @@ fn main() {
     print_table(
         "Table 1: median relative error (COUNT | SUM | AVG × Intel, Insta, NYC)",
         &[
-            "Approach", "MeanCost", "COUNT/Intel", "COUNT/Insta", "COUNT/NYC",
-            "SUM/Intel", "SUM/Insta", "SUM/NYC", "AVG/Intel", "AVG/Insta", "AVG/NYC",
+            "Approach",
+            "MeanCost",
+            "COUNT/Intel",
+            "COUNT/Insta",
+            "COUNT/NYC",
+            "SUM/Intel",
+            "SUM/Insta",
+            "SUM/NYC",
+            "AVG/Intel",
+            "AVG/Insta",
+            "AVG/NYC",
         ],
         &rows,
     );

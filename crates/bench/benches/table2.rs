@@ -2,16 +2,16 @@
 //! VerdictDB-style (10% / 100% scrambles) and DeepDB-style (10% / 100%
 //! training) engines: mean latency, storage, construction time, and median
 //! relative error across the 1-D workloads and the NYC 2D–5D templates.
+//!
+//! All seven engines are declared as [`EngineSpec`]s and run through one
+//! [`Session`] per workload.
 
-use pass_baselines::{SpnSynopsis, VerdictSynopsis};
-use pass_bench::{emit_json, mb, pct, print_table, timed, Scale};
-use pass_common::{AggKind, Synopsis};
-use pass_core::PassBuilder;
+use pass::{EngineSpec, Session};
+use pass_bench::{emit_json, mb, pct, print_table, Scale};
+use pass_common::{AggKind, PassSpec};
 use pass_table::datasets::DatasetId;
 use pass_table::{SortedTable, Table};
-use pass_workload::{
-    random_queries, run_workload, template_queries, Truth, WorkloadSummary,
-};
+use pass_workload::{random_queries, template_queries, WorkloadSummary};
 
 const SAMPLE_RATE: f64 = 0.005;
 const PARTITIONS: usize = 64;
@@ -50,7 +50,9 @@ fn main() {
         "DeepDB-10%",
         "DeepDB-100%",
     ];
-    let mut stats: Vec<EngineStats> = (0..engine_names.len()).map(|_| EngineStats::new()).collect();
+    let mut stats: Vec<EngineStats> = (0..engine_names.len())
+        .map(|_| EngineStats::new())
+        .collect();
     let mut all = Vec::<WorkloadSummary>::new();
 
     // Workloads: three 1-D datasets + NYC 2D..5D templates.
@@ -65,47 +67,57 @@ fn main() {
     }
 
     for (wl_name, table) in &workloads {
-        let truth = Truth::new(table);
         let n = table.n_rows();
         let queries = if table.dims() == 1 {
             let sorted = SortedTable::from_table(table, 0);
-            random_queries(&sorted, scale.md_queries(), AggKind::Sum, (n / 100).max(10), scale.seed)
+            random_queries(
+                &sorted,
+                scale.md_queries(),
+                AggKind::Sum,
+                (n / 100).max(10),
+                scale.seed,
+            )
         } else {
             template_queries(table, scale.md_queries(), AggKind::Sum, scale.seed)
         };
-        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
         let base_k = ((n as f64) * SAMPLE_RATE).ceil() as usize;
 
-        let mut run = |idx: usize, engine: &dyn Synopsis, build_ms: f64| {
-            let (mut s, _) = run_workload(engine, &queries, &truth, Some(&truths));
-            s.build_ms = build_ms;
-            stats[idx].latency_us.push(s.mean_latency_us);
-            stats[idx].storage.push(s.storage_bytes);
-            stats[idx].build_ms.push(build_ms);
-            stats[idx].errors.push(s.median_relative_error);
-            s.engine = format!("{}/{}", engine_names[idx], wl_name);
-            all.push(s);
+        let pass_bss = |name: &str, mult: usize| {
+            EngineSpec::Pass(PassSpec {
+                partitions: PARTITIONS,
+                total_samples: Some(mult * base_k),
+                seed: scale.seed,
+                name: Some(name.to_owned()),
+                ..PassSpec::default()
+            })
         };
+        let session = Session::with_engines(
+            table.clone(),
+            &[
+                ("PASS-BSS1x", pass_bss("PASS-BSS1x", 1)),
+                ("PASS-BSS2x", pass_bss("PASS-BSS2x", 2)),
+                ("PASS-BSS10x", pass_bss("PASS-BSS10x", 10)),
+                (
+                    "VerdictDB-10%",
+                    EngineSpec::verdict(0.1).with_seed(scale.seed),
+                ),
+                (
+                    "VerdictDB-100%",
+                    EngineSpec::verdict(1.0).with_seed(scale.seed),
+                ),
+                ("DeepDB-10%", EngineSpec::spn(0.1).with_seed(scale.seed)),
+                ("DeepDB-100%", EngineSpec::spn(1.0).with_seed(scale.seed)),
+            ],
+        )
+        .expect("all engines build");
 
-        for (idx, mult) in [(0usize, 1usize), (1, 2), (2, 10)] {
-            let (pass, ms) = timed(|| {
-                PassBuilder::new()
-                    .partitions(PARTITIONS)
-                    .total_samples(mult * base_k)
-                    .seed(scale.seed)
-                    .build(table)
-                    .unwrap()
-                    .with_name(engine_names[idx])
-            });
-            run(idx, &pass, ms);
-        }
-        for (idx, ratio) in [(3usize, 0.1), (4, 1.0)] {
-            let (verdict, ms) = timed(|| VerdictSynopsis::build(table, ratio, scale.seed).unwrap());
-            run(idx, &verdict, ms);
-        }
-        for (idx, ratio) in [(5usize, 0.1), (6, 1.0)] {
-            let (spn, ms) = timed(|| SpnSynopsis::build(table, ratio, scale.seed).unwrap());
-            run(idx, &spn, ms);
+        for (idx, mut summary) in session.run_workload_all(&queries).into_iter().enumerate() {
+            stats[idx].latency_us.push(summary.mean_latency_us);
+            stats[idx].storage.push(summary.storage_bytes);
+            stats[idx].build_ms.push(summary.build_ms);
+            stats[idx].errors.push(summary.median_relative_error);
+            summary.engine = format!("{}/{}", engine_names[idx], wl_name);
+            all.push(summary);
         }
     }
 

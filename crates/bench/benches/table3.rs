@@ -1,13 +1,17 @@
 //! Table 3: preprocessing cost, mean/max query latency, and median
 //! relative error as a function of the partition count k on the NYC Taxi
 //! dataset (Section 5.4.2).
+//!
+//! One [`Session`] holds the whole k-sweep: each k is a named engine
+//! (`k=4` ... `k=128`) declared as an [`EngineSpec`], and one
+//! `run_workload_all` call evaluates the sweep with a shared truth pass.
 
-use pass_bench::{emit_json, pct, print_table, timed, Scale};
-use pass_common::AggKind;
-use pass_core::PassBuilder;
+use pass::{EngineSpec, Session};
+use pass_bench::{emit_json, pct, print_table, Scale};
+use pass_common::{AggKind, PassSpec};
 use pass_table::datasets::DatasetId;
 use pass_table::SortedTable;
-use pass_workload::{random_queries, run_workload, Truth, WorkloadSummary};
+use pass_workload::{random_queries, WorkloadSummary};
 
 const K_SWEEP: [usize; 6] = [4, 8, 16, 32, 64, 128];
 const SAMPLE_RATE: f64 = 0.005;
@@ -21,7 +25,6 @@ fn main() {
         scale.label, scale.queries
     );
     let sorted = SortedTable::from_table(&table, 0);
-    let truth = Truth::new(&table);
     let queries = random_queries(
         &sorted,
         scale.queries,
@@ -29,29 +32,38 @@ fn main() {
         (n / 100).max(10),
         scale.seed,
     );
-    let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
 
     // The paper uses an optimization sample rate of 0.0025% on 7.7M rows
     // (~192 samples); keep the absolute sample size comparable at ci scale.
     let opt_samples = ((n as f64) * 0.000025).round().max(192.0) as usize;
 
+    let engines: Vec<(String, EngineSpec)> = K_SWEEP
+        .into_iter()
+        .map(|k| {
+            (
+                format!("k={k}"),
+                EngineSpec::Pass(PassSpec {
+                    partitions: k,
+                    sample_rate: SAMPLE_RATE,
+                    opt_samples,
+                    seed: scale.seed,
+                    ..PassSpec::default()
+                }),
+            )
+        })
+        .collect();
+    let engine_refs: Vec<(&str, EngineSpec)> = engines
+        .iter()
+        .map(|(name, spec)| (name.as_str(), spec.clone()))
+        .collect();
+    let session = Session::with_engines(table, &engine_refs).expect("sweep builds");
+
     let mut all = Vec::<WorkloadSummary>::new();
     let mut rows = Vec::new();
-    for k in K_SWEEP {
-        let (pass, build_ms) = timed(|| {
-            PassBuilder::new()
-                .partitions(k)
-                .sample_rate(SAMPLE_RATE)
-                .opt_samples(opt_samples)
-                .seed(scale.seed)
-                .build(&table)
-                .unwrap()
-        });
-        let (mut s, _) = run_workload(&pass, &queries, &truth, Some(&truths));
-        s.build_ms = build_ms;
+    for (k, mut s) in K_SWEEP.into_iter().zip(session.run_workload_all(&queries)) {
         rows.push(vec![
             k.to_string(),
-            format!("{:.2}s", build_ms / 1e3),
+            format!("{:.2}s", s.build_ms / 1e3),
             format!("{:.3}ms", s.mean_latency_us / 1e3),
             format!("{:.3}ms", s.max_latency_us / 1e3),
             pct(s.median_relative_error),

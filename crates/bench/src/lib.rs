@@ -17,6 +17,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use pass_common::Json;
 use pass_table::datasets::DatasetId;
 use pass_table::Table;
 use pass_workload::WorkloadSummary;
@@ -55,7 +56,9 @@ impl Scale {
 
     /// Row count for one of the three paper datasets at this scale.
     pub fn rows_for(&self, id: DatasetId) -> usize {
-        ((id.paper_rows() as f64) * self.rows_factor).round().max(10_000.0) as usize
+        ((id.paper_rows() as f64) * self.rows_factor)
+            .round()
+            .max(10_000.0) as usize
     }
 
     /// Generate a 1-D paper dataset at this scale.
@@ -155,12 +158,15 @@ pub fn emit_json(bench: &str, scale: &Scale, summaries: &[WorkloadSummary]) {
     let Ok(mut file) = std::fs::File::create(&path) else {
         return;
     };
-    let payload = serde_json::json!({
-        "bench": bench,
-        "scale": scale.label,
-        "results": summaries,
-    });
-    let _ = writeln!(file, "{}", serde_json::to_string_pretty(&payload).unwrap());
+    let payload = Json::obj([
+        ("bench", Json::from(bench)),
+        ("scale", Json::from(scale.label)),
+        (
+            "results",
+            Json::Arr(summaries.iter().map(WorkloadSummary::to_json).collect()),
+        ),
+    ]);
+    let _ = writeln!(file, "{}", payload.pretty());
     println!("[results written to {}]", path.display());
 }
 

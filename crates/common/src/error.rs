@@ -20,7 +20,10 @@ impl fmt::Display for PassError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PassError::DimensionMismatch { expected, got } => {
-                write!(f, "query has {got} dimensions but synopsis covers {expected}")
+                write!(
+                    f,
+                    "query has {got} dimensions but synopsis covers {expected}"
+                )
             }
             PassError::InvalidParameter(name, why) => {
                 write!(f, "invalid parameter `{name}`: {why}")
@@ -42,8 +45,14 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        let e = PassError::DimensionMismatch { expected: 2, got: 5 };
-        assert_eq!(e.to_string(), "query has 5 dimensions but synopsis covers 2");
+        let e = PassError::DimensionMismatch {
+            expected: 2,
+            got: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "query has 5 dimensions but synopsis covers 2"
+        );
         let e = PassError::InvalidParameter("k", "must be >= 1".into());
         assert_eq!(e.to_string(), "invalid parameter `k`: must be >= 1");
         let e = PassError::EmptyInput("table");

@@ -7,7 +7,12 @@
 //! * [`AggKind`] / [`Aggregates`] — the five supported aggregates and the
 //!   mergeable per-partition statistics (SUM, COUNT, MIN, MAX);
 //! * [`Estimate`] and the [`Synopsis`] trait — the engine-agnostic contract
-//!   every AQP engine (PASS and all baselines) implements;
+//!   every AQP engine (PASS and all baselines) implements, with single
+//!   ([`Synopsis::estimate`]) and batched ([`Synopsis::estimate_many`])
+//!   entry points;
+//! * [`EngineSpec`] / [`PassSpec`] — declarative engine configuration, the
+//!   input to the engine registry (`pass_baselines::Engine`) and the
+//!   `pass::Session` facade, JSON round-trippable via [`json`];
 //! * numeric kernels: compensated summation ([`kahan`]), prefix sums
 //!   ([`prefix`]), and statistics helpers ([`stats`]);
 //! * deterministic RNG construction ([`rng`]).
@@ -18,18 +23,22 @@
 pub mod agg;
 pub mod error;
 pub mod estimate;
+pub mod json;
 pub mod kahan;
 pub mod prefix;
 pub mod query;
 pub mod rng;
+pub mod spec;
 pub mod stats;
 pub mod synopsis;
 
 pub use agg::{AggKind, Aggregates};
 pub use error::{PassError, Result};
 pub use estimate::Estimate;
+pub use json::Json;
 pub use kahan::KahanSum;
 pub use prefix::PrefixSums;
 pub use query::{Query, Rect, RectRelation};
+pub use spec::{EngineSpec, PartitionStrategy, PassSpec};
 pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};
 pub use synopsis::Synopsis;

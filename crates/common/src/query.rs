@@ -203,11 +203,26 @@ mod tests {
     #[test]
     fn relation_trichotomy_1d() {
         let q = Rect::interval(10.0, 20.0);
-        assert_eq!(Rect::interval(12.0, 18.0).relation_to(&q), RectRelation::Covered);
-        assert_eq!(Rect::interval(10.0, 20.0).relation_to(&q), RectRelation::Covered);
-        assert_eq!(Rect::interval(21.0, 30.0).relation_to(&q), RectRelation::Disjoint);
-        assert_eq!(Rect::interval(5.0, 15.0).relation_to(&q), RectRelation::Partial);
-        assert_eq!(Rect::interval(5.0, 25.0).relation_to(&q), RectRelation::Partial);
+        assert_eq!(
+            Rect::interval(12.0, 18.0).relation_to(&q),
+            RectRelation::Covered
+        );
+        assert_eq!(
+            Rect::interval(10.0, 20.0).relation_to(&q),
+            RectRelation::Covered
+        );
+        assert_eq!(
+            Rect::interval(21.0, 30.0).relation_to(&q),
+            RectRelation::Disjoint
+        );
+        assert_eq!(
+            Rect::interval(5.0, 15.0).relation_to(&q),
+            RectRelation::Partial
+        );
+        assert_eq!(
+            Rect::interval(5.0, 25.0).relation_to(&q),
+            RectRelation::Partial
+        );
     }
 
     #[test]

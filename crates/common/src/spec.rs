@@ -1,0 +1,484 @@
+//! Declarative engine specifications — the single way call sites describe
+//! an AQP engine.
+//!
+//! Every engine of the paper's Section 5 evaluation (PASS plus the six
+//! baselines) is described by one [`EngineSpec`] variant. A spec is plain
+//! data: it can be compared, cloned, serialized to JSON and parsed back,
+//! and handed to the engine registry (`pass_baselines::Engine::build`) or
+//! a `pass::Session` to construct the live synopsis. Built engines report
+//! the spec they were constructed from via
+//! [`Synopsis::spec`](crate::Synopsis::spec), so `build(table, spec).spec()
+//! == spec` round-trips.
+
+use crate::agg::AggKind;
+use crate::error::{PassError, Result};
+use crate::json::Json;
+use crate::stats::LAMBDA_99;
+
+/// Which partitioning optimizer drives PASS leaf selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// The paper's ADP (sampled + discretized DP) tuned for an aggregate
+    /// kind; in d > 1 this becomes the KD-PASS max-variance expansion.
+    Adp(AggKind),
+    /// Equal-depth strata (EQ); in d > 1 the KD-US breadth-first expansion.
+    EqualDepth,
+    /// The AQP++ hill-climbing comparator (1-D only; d > 1 falls back to
+    /// breadth-first).
+    HillClimb,
+    /// Equal key-width buckets (1-D only; d > 1 falls back to
+    /// breadth-first).
+    EqualWidth,
+}
+
+/// Full parameterization of a PASS synopsis (the `PassBuilder` knobs as
+/// plain data). `..PassSpec::default()` gives the paper's Section 5.1.3
+/// defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassSpec {
+    /// Number of leaf partitions `k` (the precomputation budget).
+    pub partitions: usize,
+    /// Per-stratum sampling rate (fraction of each leaf's rows).
+    pub sample_rate: f64,
+    /// Hard cap on total stored samples (the BSS storage-bounded mode).
+    pub total_samples: Option<usize>,
+    /// Partitioning optimizer.
+    pub strategy: PartitionStrategy,
+    /// CI scale λ (default 2.576 → 99%).
+    pub lambda: f64,
+    /// Store sample values as f32 deltas from the partition mean
+    /// (Section 3.4 compression).
+    pub delta_encode: bool,
+    /// The AVG 0-variance rule (default on).
+    pub zero_variance_rule: bool,
+    /// ADP optimization sample size `m`.
+    pub opt_samples: usize,
+    /// ADP meaningful-overlap fraction δ.
+    pub adp_delta: f64,
+    /// KD-PASS leaf-depth balance limit.
+    pub kd_balance: usize,
+    /// Master seed for all randomized build steps.
+    pub seed: u64,
+    /// Workload-shift mode: index only these predicate dimensions in the
+    /// partition tree while samples keep every predicate column.
+    pub tree_dims: Option<Vec<usize>>,
+    /// Display-name override for benchmark variants (`"PASS-BSS2x"`).
+    pub name: Option<String>,
+}
+
+impl Default for PassSpec {
+    fn default() -> Self {
+        PassSpec {
+            partitions: 64,
+            sample_rate: 0.005,
+            total_samples: None,
+            strategy: PartitionStrategy::Adp(AggKind::Sum),
+            lambda: LAMBDA_99,
+            delta_encode: false,
+            zero_variance_rule: true,
+            opt_samples: 4096,
+            adp_delta: 0.01,
+            kd_balance: 2,
+            seed: 0x9A55,
+            tree_dims: None,
+            name: None,
+        }
+    }
+}
+
+/// One engine of the Section 5 evaluation, as declarative configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineSpec {
+    /// PASS (the paper's contribution).
+    Pass(PassSpec),
+    /// US — one uniform sample of `k` rows.
+    Uniform { k: usize, seed: u64 },
+    /// ST — `strata` equal-depth strata sharing a budget of `k` samples.
+    Stratified { strata: usize, k: usize, seed: u64 },
+    /// AQP++ (1-D) / KD-US (d > 1): `partitions` precomputed aggregates +
+    /// a uniform sample of `k` rows; `tree_dims` selects the
+    /// workload-shift build.
+    AqpPlusPlus {
+        partitions: usize,
+        k: usize,
+        seed: u64,
+        tree_dims: Option<Vec<usize>>,
+    },
+    /// VerdictDB-style scramble of `ratio` of the table.
+    Verdict { ratio: f64, seed: u64 },
+    /// DeepDB-style SPN trained on a `ratio` row sample.
+    Spn { ratio: f64, seed: u64 },
+    /// Escape hatch for hand-built synopses that live outside the
+    /// registry; carries only the display name. Cannot be built.
+    Opaque { name: String },
+}
+
+impl EngineSpec {
+    /// PASS with the paper's defaults.
+    pub fn pass() -> Self {
+        EngineSpec::Pass(PassSpec::default())
+    }
+
+    /// US with `k` sampled rows.
+    pub fn uniform(k: usize) -> Self {
+        EngineSpec::Uniform { k, seed: 0 }
+    }
+
+    /// ST with `strata` strata and `k` total samples.
+    pub fn stratified(strata: usize, k: usize) -> Self {
+        EngineSpec::Stratified { strata, k, seed: 0 }
+    }
+
+    /// AQP++/KD-US with `partitions` aggregates and `k` sampled rows.
+    pub fn aqppp(partitions: usize, k: usize) -> Self {
+        EngineSpec::AqpPlusPlus {
+            partitions,
+            k,
+            seed: 0,
+            tree_dims: None,
+        }
+    }
+
+    /// VerdictDB-style scramble of `ratio` of the table.
+    pub fn verdict(ratio: f64) -> Self {
+        EngineSpec::Verdict { ratio, seed: 0 }
+    }
+
+    /// DeepDB-style SPN trained on `ratio` of the table.
+    pub fn spn(ratio: f64) -> Self {
+        EngineSpec::Spn { ratio, seed: 0 }
+    }
+
+    /// Return the spec with its seed replaced (whichever variant).
+    pub fn with_seed(mut self, new_seed: u64) -> Self {
+        match &mut self {
+            EngineSpec::Pass(p) => p.seed = new_seed,
+            EngineSpec::Uniform { seed, .. }
+            | EngineSpec::Stratified { seed, .. }
+            | EngineSpec::AqpPlusPlus { seed, .. }
+            | EngineSpec::Verdict { seed, .. }
+            | EngineSpec::Spn { seed, .. } => *seed = new_seed,
+            EngineSpec::Opaque { .. } => {}
+        }
+        self
+    }
+
+    /// Short kind label (`"pass"`, `"uniform"`, ...), also the JSON tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineSpec::Pass(_) => "pass",
+            EngineSpec::Uniform { .. } => "uniform",
+            EngineSpec::Stratified { .. } => "stratified",
+            EngineSpec::AqpPlusPlus { .. } => "aqppp",
+            EngineSpec::Verdict { .. } => "verdict",
+            EngineSpec::Spn { .. } => "spn",
+            EngineSpec::Opaque { .. } => "opaque",
+        }
+    }
+
+    /// Serialize to a canonical single-line JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    fn to_json_value(&self) -> Json {
+        // Seeds are full-range u64 but JSON numbers are f64 (53-bit
+        // integer precision), so large seeds are emitted as decimal
+        // strings; the parser accepts both forms.
+        let seed_json = |seed: u64| {
+            if seed <= (1u64 << 53) {
+                Json::from(seed)
+            } else {
+                Json::from(seed.to_string())
+            }
+        };
+        let mut fields: Vec<(&'static str, Json)> = vec![("engine", Json::from(self.kind()))];
+        match self {
+            EngineSpec::Pass(p) => {
+                fields.push(("partitions", Json::from(p.partitions)));
+                fields.push(("sample_rate", Json::from(p.sample_rate)));
+                if let Some(total) = p.total_samples {
+                    fields.push(("total_samples", Json::from(total)));
+                }
+                let (strategy, strategy_agg) = match p.strategy {
+                    PartitionStrategy::Adp(kind) => ("adp", Some(kind)),
+                    PartitionStrategy::EqualDepth => ("equal_depth", None),
+                    PartitionStrategy::HillClimb => ("hill_climb", None),
+                    PartitionStrategy::EqualWidth => ("equal_width", None),
+                };
+                fields.push(("strategy", Json::from(strategy)));
+                if let Some(kind) = strategy_agg {
+                    fields.push(("strategy_agg", Json::from(kind.to_string())));
+                }
+                fields.push(("lambda", Json::from(p.lambda)));
+                fields.push(("delta_encode", Json::from(p.delta_encode)));
+                fields.push(("zero_variance_rule", Json::from(p.zero_variance_rule)));
+                fields.push(("opt_samples", Json::from(p.opt_samples)));
+                fields.push(("adp_delta", Json::from(p.adp_delta)));
+                fields.push(("kd_balance", Json::from(p.kd_balance)));
+                fields.push(("seed", seed_json(p.seed)));
+                if let Some(dims) = &p.tree_dims {
+                    fields.push((
+                        "tree_dims",
+                        Json::Arr(dims.iter().map(|&d| Json::from(d)).collect()),
+                    ));
+                }
+                if let Some(name) = &p.name {
+                    fields.push(("name", Json::from(name.clone())));
+                }
+            }
+            EngineSpec::Uniform { k, seed } => {
+                fields.push(("k", Json::from(*k)));
+                fields.push(("seed", seed_json(*seed)));
+            }
+            EngineSpec::Stratified { strata, k, seed } => {
+                fields.push(("strata", Json::from(*strata)));
+                fields.push(("k", Json::from(*k)));
+                fields.push(("seed", seed_json(*seed)));
+            }
+            EngineSpec::AqpPlusPlus {
+                partitions,
+                k,
+                seed,
+                tree_dims,
+            } => {
+                fields.push(("partitions", Json::from(*partitions)));
+                fields.push(("k", Json::from(*k)));
+                fields.push(("seed", seed_json(*seed)));
+                if let Some(dims) = tree_dims {
+                    fields.push((
+                        "tree_dims",
+                        Json::Arr(dims.iter().map(|&d| Json::from(d)).collect()),
+                    ));
+                }
+            }
+            EngineSpec::Verdict { ratio, seed } | EngineSpec::Spn { ratio, seed } => {
+                fields.push(("ratio", Json::from(*ratio)));
+                fields.push(("seed", seed_json(*seed)));
+            }
+            EngineSpec::Opaque { name } => {
+                fields.push(("name", Json::from(name.clone())));
+            }
+        }
+        Json::obj(fields)
+    }
+
+    /// Parse a spec previously produced by [`to_json`](Self::to_json).
+    pub fn from_json(text: &str) -> Result<EngineSpec> {
+        let doc = Json::parse(text)?;
+        let field_err =
+            |name: &str| PassError::Load(format!("EngineSpec JSON: missing or invalid `{name}`"));
+        let usize_field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or(field_err(name))
+        };
+        // Seeds arrive as a JSON number or, above 2^53, a decimal string.
+        let u64_field = |name: &str| {
+            doc.get(name)
+                .and_then(|v| {
+                    v.as_u64()
+                        .or_else(|| v.as_str().and_then(|s| s.parse::<u64>().ok()))
+                })
+                .ok_or(field_err(name))
+        };
+        let f64_field = |name: &str| doc.get(name).and_then(Json::as_f64).ok_or(field_err(name));
+        let tree_dims = match doc.get("tree_dims") {
+            None => None,
+            Some(value) => Some(
+                value
+                    .as_arr()
+                    .ok_or(field_err("tree_dims"))?
+                    .iter()
+                    .map(|d| d.as_usize().ok_or(field_err("tree_dims")))
+                    .collect::<Result<Vec<usize>>>()?,
+            ),
+        };
+        match doc.get("engine").and_then(Json::as_str) {
+            Some("pass") => {
+                let strategy = match doc.get("strategy").and_then(Json::as_str) {
+                    Some("adp") => {
+                        let agg = doc
+                            .get("strategy_agg")
+                            .and_then(Json::as_str)
+                            .ok_or(field_err("strategy_agg"))?;
+                        PartitionStrategy::Adp(parse_agg(agg)?)
+                    }
+                    Some("equal_depth") => PartitionStrategy::EqualDepth,
+                    Some("hill_climb") => PartitionStrategy::HillClimb,
+                    Some("equal_width") => PartitionStrategy::EqualWidth,
+                    _ => return Err(field_err("strategy")),
+                };
+                Ok(EngineSpec::Pass(PassSpec {
+                    partitions: usize_field("partitions")?,
+                    sample_rate: f64_field("sample_rate")?,
+                    total_samples: match doc.get("total_samples") {
+                        None => None,
+                        Some(v) => Some(v.as_usize().ok_or(field_err("total_samples"))?),
+                    },
+                    strategy,
+                    lambda: f64_field("lambda")?,
+                    delta_encode: doc
+                        .get("delta_encode")
+                        .and_then(Json::as_bool)
+                        .ok_or(field_err("delta_encode"))?,
+                    zero_variance_rule: doc
+                        .get("zero_variance_rule")
+                        .and_then(Json::as_bool)
+                        .ok_or(field_err("zero_variance_rule"))?,
+                    opt_samples: usize_field("opt_samples")?,
+                    adp_delta: f64_field("adp_delta")?,
+                    kd_balance: usize_field("kd_balance")?,
+                    seed: u64_field("seed")?,
+                    tree_dims,
+                    name: doc.get("name").and_then(Json::as_str).map(str::to_owned),
+                }))
+            }
+            Some("uniform") => Ok(EngineSpec::Uniform {
+                k: usize_field("k")?,
+                seed: u64_field("seed")?,
+            }),
+            Some("stratified") => Ok(EngineSpec::Stratified {
+                strata: usize_field("strata")?,
+                k: usize_field("k")?,
+                seed: u64_field("seed")?,
+            }),
+            Some("aqppp") => Ok(EngineSpec::AqpPlusPlus {
+                partitions: usize_field("partitions")?,
+                k: usize_field("k")?,
+                seed: u64_field("seed")?,
+                tree_dims,
+            }),
+            Some("verdict") => Ok(EngineSpec::Verdict {
+                ratio: f64_field("ratio")?,
+                seed: u64_field("seed")?,
+            }),
+            Some("spn") => Ok(EngineSpec::Spn {
+                ratio: f64_field("ratio")?,
+                seed: u64_field("seed")?,
+            }),
+            Some("opaque") => Ok(EngineSpec::Opaque {
+                name: doc
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(field_err("name"))?
+                    .to_owned(),
+            }),
+            _ => Err(field_err("engine")),
+        }
+    }
+}
+
+fn parse_agg(text: &str) -> Result<AggKind> {
+    AggKind::ALL
+        .into_iter()
+        .find(|kind| kind.to_string() == text)
+        .ok_or_else(|| PassError::Load(format!("unknown aggregate kind `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specimens() -> Vec<EngineSpec> {
+        vec![
+            EngineSpec::pass(),
+            EngineSpec::Pass(PassSpec {
+                partitions: 16,
+                sample_rate: 0.05,
+                total_samples: Some(1_000),
+                strategy: PartitionStrategy::EqualDepth,
+                delta_encode: true,
+                tree_dims: Some(vec![0, 2]),
+                name: Some("PASS-BSS2x".into()),
+                seed: 7,
+                ..PassSpec::default()
+            }),
+            EngineSpec::uniform(500).with_seed(3),
+            EngineSpec::stratified(16, 500),
+            EngineSpec::aqppp(32, 400),
+            EngineSpec::AqpPlusPlus {
+                partitions: 64,
+                k: 256,
+                seed: 9,
+                tree_dims: Some(vec![1]),
+            },
+            EngineSpec::verdict(0.1).with_seed(5),
+            EngineSpec::spn(0.5),
+            EngineSpec::Opaque {
+                name: "CUSTOM".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        for spec in specimens() {
+            let text = spec.to_json();
+            let back = EngineSpec::from_json(&text).unwrap();
+            assert_eq!(back, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_full_range_seeds() {
+        // Seeds above 2^53 exceed f64 integer precision; they travel as
+        // decimal strings and must survive exactly.
+        for seed in [0u64, (1 << 53) - 1, 1 << 53, (1 << 53) + 1, u64::MAX] {
+            for spec in [
+                EngineSpec::uniform(10).with_seed(seed),
+                EngineSpec::pass().with_seed(seed),
+            ] {
+                let text = spec.to_json();
+                assert_eq!(
+                    EngineSpec::from_json(&text).unwrap(),
+                    spec,
+                    "seed {seed}: {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adp_strategy_keeps_its_aggregate() {
+        let spec = EngineSpec::Pass(PassSpec {
+            strategy: PartitionStrategy::Adp(AggKind::Avg),
+            ..PassSpec::default()
+        });
+        let back = EngineSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn with_seed_touches_every_variant() {
+        for spec in specimens() {
+            let seeded = spec.clone().with_seed(999);
+            match seeded {
+                EngineSpec::Pass(p) => assert_eq!(p.seed, 999),
+                EngineSpec::Uniform { seed, .. }
+                | EngineSpec::Stratified { seed, .. }
+                | EngineSpec::AqpPlusPlus { seed, .. }
+                | EngineSpec::Verdict { seed, .. }
+                | EngineSpec::Spn { seed, .. } => assert_eq!(seed, 999),
+                EngineSpec::Opaque { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(EngineSpec::from_json("{}").is_err());
+        assert!(EngineSpec::from_json(r#"{"engine": "warp"}"#).is_err());
+        assert!(EngineSpec::from_json(r#"{"engine": "uniform"}"#).is_err());
+        assert!(EngineSpec::from_json(r#"{"engine": "uniform", "k": -1, "seed": 0}"#).is_err());
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let spec = PassSpec::default();
+        assert_eq!(spec.partitions, 64);
+        assert_eq!(spec.sample_rate, 0.005);
+        assert_eq!(spec.lambda, LAMBDA_99);
+        assert!(spec.zero_variance_rule);
+    }
+}

@@ -19,11 +19,7 @@ use crate::tree::PartitionTree;
 /// Hard bounds `(lb, ub)` for a query given its coverage frontier.
 /// `None` when the query provably matches nothing relevant (AVG/MIN/MAX of
 /// an empty selection).
-pub fn hard_bounds(
-    tree: &PartitionTree,
-    frontier: &McfResult,
-    agg: AggKind,
-) -> Option<(f64, f64)> {
+pub fn hard_bounds(tree: &PartitionTree, frontier: &McfResult, agg: AggKind) -> Option<(f64, f64)> {
     let covered: Vec<&Aggregates> = frontier
         .covered
         .iter()
@@ -99,14 +95,17 @@ pub fn hard_bounds(
             // True MIN is at most the covered minimum, and at least the
             // smallest minimum over every partition that may contribute.
             let cov_min = covered.iter().map(|a| a.min).fold(f64::INFINITY, f64::min);
-            let all_min = partial
-                .iter()
-                .map(|a| a.min)
-                .fold(cov_min, f64::min);
+            let all_min = partial.iter().map(|a| a.min).fold(cov_min, f64::min);
             if covered.is_empty() {
                 // The query may match nothing; the lower envelope is still
                 // sound *if* it matches. Report the widest sound bracket.
-                Some((all_min, partial.iter().map(|a| a.max).fold(f64::NEG_INFINITY, f64::max)))
+                Some((
+                    all_min,
+                    partial
+                        .iter()
+                        .map(|a| a.max)
+                        .fold(f64::NEG_INFINITY, f64::max),
+                ))
             } else {
                 Some((all_min, cov_min))
             }
@@ -118,7 +117,10 @@ pub fn hard_bounds(
                 .fold(f64::NEG_INFINITY, f64::max);
             let all_max = partial.iter().map(|a| a.max).fold(cov_max, f64::max);
             if covered.is_empty() {
-                Some((partial.iter().map(|a| a.min).fold(f64::INFINITY, f64::min), all_max))
+                Some((
+                    partial.iter().map(|a| a.min).fold(f64::INFINITY, f64::min),
+                    all_max,
+                ))
             } else {
                 Some((cov_max, all_max))
             }
@@ -185,8 +187,14 @@ mod tests {
         let (_, tree) = fixture();
         let q = Query::interval(AggKind::Sum, 900.0, 950.0);
         let frontier = mcf(&tree, &q, false);
-        assert_eq!(hard_bounds(&tree, &frontier, AggKind::Sum), Some((0.0, 0.0)));
-        assert_eq!(hard_bounds(&tree, &frontier, AggKind::Count), Some((0.0, 0.0)));
+        assert_eq!(
+            hard_bounds(&tree, &frontier, AggKind::Sum),
+            Some((0.0, 0.0))
+        );
+        assert_eq!(
+            hard_bounds(&tree, &frontier, AggKind::Count),
+            Some((0.0, 0.0))
+        );
         assert_eq!(hard_bounds(&tree, &frontier, AggKind::Avg), None);
         assert_eq!(hard_bounds(&tree, &frontier, AggKind::Min), None);
     }

@@ -94,10 +94,8 @@ impl BudgetPlanner {
         // A 1-D query partially overlaps ≤ 2 leaves; each leaf holds
         // rate·N/k samples. Solve 2·rate·N/k·per_row ≤ τ_q.
         let mcf_overhead_us = 1.0; // measured lookups are sub-µs
-        let budget_rows =
-            ((self.query_us - mcf_overhead_us).max(0.1) / per_row_us).max(1.0);
-        let sample_rate =
-            (budget_rows * partitions as f64 / (2.0 * n as f64)).clamp(1e-5, 1.0);
+        let budget_rows = ((self.query_us - mcf_overhead_us).max(0.1) / per_row_us).max(1.0);
+        let sample_rate = (budget_rows * partitions as f64 / (2.0 * n as f64)).clamp(1e-5, 1.0);
 
         Ok(BudgetPlan {
             partitions,

@@ -50,9 +50,7 @@ impl PassForest {
     /// Dimensions a query actually constrains (finite bounds).
     fn constrained_dims(query: &Query) -> Vec<usize> {
         (0..query.dims())
-            .filter(|&d| {
-                query.rect.lo(d) != f64::NEG_INFINITY || query.rect.hi(d) != f64::INFINITY
-            })
+            .filter(|&d| query.rect.lo(d) != f64::NEG_INFINITY || query.rect.hi(d) != f64::INFINITY)
             .collect()
     }
 

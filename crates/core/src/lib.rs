@@ -9,23 +9,40 @@
 //! their stratified samples, and the two parts combine into a point
 //! estimate, a CLT confidence interval, and deterministic hard bounds.
 //!
-//! Build one with [`PassBuilder`]:
+//! Build one declaratively with a [`pass_common::PassSpec`] (the form the
+//! engine registry and `pass::Session` use); [`PassBuilder`] remains as
+//! the fluent equivalent. Batches go through `estimate_many`, which
+//! reuses the MCF traversal state (stack + frontier buffers,
+//! [`McfScratch`]) across the whole batch:
 //!
 //! ```
-//! use pass_core::PassBuilder;
-//! use pass_common::{AggKind, Query, Synopsis};
+//! use pass_core::Pass;
+//! use pass_common::{AggKind, PassSpec, Query, Synopsis};
 //! use pass_table::datasets::uniform;
 //!
 //! let table = uniform(10_000, 42);
-//! let pass = PassBuilder::new()
-//!     .partitions(32)
-//!     .sample_rate(0.01)
-//!     .build(&table)
-//!     .unwrap();
+//! let spec = PassSpec {
+//!     partitions: 32,
+//!     sample_rate: 0.01,
+//!     ..PassSpec::default()
+//! };
+//! let pass = Pass::from_spec(&table, &spec).unwrap();
+//! assert_eq!(pass.spec(), pass_common::EngineSpec::Pass(spec));
+//!
 //! let q = Query::interval(AggKind::Sum, 0.2, 0.7);
 //! let est = pass.estimate(&q).unwrap();
 //! let truth = table.ground_truth(&q).unwrap();
 //! assert!((est.value - truth).abs() / truth < 0.2);
+//!
+//! // Batched: shared traversal buffers for all three, identical results.
+//! let batch = vec![
+//!     Query::interval(AggKind::Sum, 0.1, 0.4),
+//!     Query::interval(AggKind::Count, 0.3, 0.9),
+//!     Query::interval(AggKind::Avg, 0.5, 0.6),
+//! ];
+//! for (q, res) in batch.iter().zip(pass.estimate_many(&batch)) {
+//!     assert_eq!(res.unwrap().value, pass.estimate(q).unwrap().value);
+//! }
 //! ```
 
 pub mod bounds;
@@ -43,6 +60,8 @@ pub use budget::{BudgetPlan, BudgetPlanner};
 pub use forest::PassForest;
 pub use groupby::GroupResult;
 pub use maintain::MaintenanceReport;
-pub use mcf::{constrains_outside, mcf, mcf_shifted, project_rect, McfResult, NodeClass};
-pub use synopsis::{Pass, PassBuilder, PartitionStrategy};
+pub use mcf::{
+    constrains_outside, mcf, mcf_batch, mcf_shifted, project_rect, McfResult, McfScratch, NodeClass,
+};
+pub use synopsis::{PartitionStrategy, Pass, PassBuilder};
 pub use tree::{NodeId, PartitionTree, TreeNode};

@@ -55,10 +55,7 @@ impl Pass {
                 let node = self.tree.node(id);
                 !node.is_leaf()
                     && node.agg.count <= threshold
-                    && node
-                        .children
-                        .iter()
-                        .all(|&c| self.tree.node(c).is_leaf())
+                    && node.children.iter().all(|&c| self.tree.node(c).is_leaf())
             });
             let Some(parent) = candidate else { break };
             self.collapse_into_leaf(parent);
@@ -167,34 +164,35 @@ impl Pass {
         let old_li = self.tree.node(leaf).leaf_index.expect("leaf has index");
         let rate = self.samples[old_li].k() as f64 / rows.len().max(1) as f64;
         let mut rng = rng_from_seed(0x5711 ^ leaf as u64);
-        let make_child = |idx: &Vec<usize>, rng: &mut dyn rand::RngCore| -> Result<(Aggregates, Rect, Sample)> {
-            let values: Vec<f64> = idx.iter().map(|&i| table.value(i)).collect();
-            let agg = Aggregates::from_values(&values);
-            let bounds: Vec<(f64, f64)> = (0..table.dims())
-                .map(|d| {
-                    let lo = idx
-                        .iter()
-                        .map(|&i| table.predicate(d, i))
-                        .fold(f64::INFINITY, f64::min);
-                    let hi = idx
-                        .iter()
-                        .map(|&i| table.predicate(d, i))
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    (lo, hi)
-                })
-                .collect();
-            let k = ((idx.len() as f64) * rate).round().max(1.0) as usize;
-            let chosen: Vec<usize> = if k >= idx.len() {
-                idx.clone()
-            } else {
-                index_sample(rng, idx.len(), k)
-                    .into_iter()
-                    .map(|j| idx[j])
-                    .collect()
+        let make_child =
+            |idx: &Vec<usize>, rng: &mut dyn rand::RngCore| -> Result<(Aggregates, Rect, Sample)> {
+                let values: Vec<f64> = idx.iter().map(|&i| table.value(i)).collect();
+                let agg = Aggregates::from_values(&values);
+                let bounds: Vec<(f64, f64)> = (0..table.dims())
+                    .map(|d| {
+                        let lo = idx
+                            .iter()
+                            .map(|&i| table.predicate(d, i))
+                            .fold(f64::INFINITY, f64::min);
+                        let hi = idx
+                            .iter()
+                            .map(|&i| table.predicate(d, i))
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        (lo, hi)
+                    })
+                    .collect();
+                let k = ((idx.len() as f64) * rate).round().max(1.0) as usize;
+                let chosen: Vec<usize> = if k >= idx.len() {
+                    idx.clone()
+                } else {
+                    index_sample(rng, idx.len(), k)
+                        .into_iter()
+                        .map(|j| idx[j])
+                        .collect()
+                };
+                let sample = Sample::from_indices(table, &chosen, idx.len() as u64)?;
+                Ok((agg, Rect::new(&bounds), sample))
             };
-            let sample = Sample::from_indices(table, &chosen, idx.len() as u64)?;
-            Ok((agg, Rect::new(&bounds), sample))
-        };
         let (l_agg, l_rect, l_sample) = make_child(&left, &mut rng)?;
         let (r_agg, r_rect, r_sample) = make_child(&right, &mut rng)?;
 

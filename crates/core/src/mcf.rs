@@ -76,10 +76,7 @@ pub fn mcf_shifted(
     zero_variance_rule: bool,
 ) -> McfResult {
     debug_assert_eq!(tree.dims(), tree_dims.len());
-    let projected = Query::new(
-        query.agg,
-        project_rect(&query.rect, tree_dims),
-    );
+    let projected = Query::new(query.agg, project_rect(&query.rect, tree_dims));
     if !constrains_outside(&query.rect, tree_dims) {
         return mcf(tree, &projected, zero_variance_rule);
     }
@@ -120,35 +117,139 @@ pub fn constrains_outside(rect: &Rect, dims: &[usize]) -> bool {
         .any(|d| rect.lo(d) != f64::NEG_INFINITY || rect.hi(d) != f64::INFINITY)
 }
 
-/// Run MCF for `query` over `tree`. `zero_variance_rule` enables the AVG
-/// base case (it is ignored for other aggregates).
-pub fn mcf(tree: &PartitionTree, query: &Query, zero_variance_rule: bool) -> McfResult {
-    let mut result = McfResult::default();
-    let apply_zero_var = zero_variance_rule && query.agg == AggKind::Avg;
-    let mut stack = vec![tree.root()];
-    while let Some(id) = stack.pop() {
-        result.visited += 1;
+/// Run MCF for a whole query batch in **one** tree traversal.
+///
+/// Instead of one full DFS per query, every node carries the set of
+/// queries still "active" on it (those whose classification requires
+/// descending). The node is fetched and its emptiness checked once; each
+/// active query classifies against its rectangle and either terminates
+/// (disjoint / covered / partial-leaf / 0-variance) or stays active for
+/// the children. Queries on disjoint subtrees drop out early, so shared
+/// prefixes of the tree are walked once for the whole batch.
+///
+/// The traversal pops nodes in the same LIFO order as [`mcf`] and a query
+/// only ever sees nodes its own DFS would have visited, so each returned
+/// [`McfResult`] — including `covered`/`partial` ordering and the
+/// `visited` count — is identical to running [`mcf`] per query. Estimates
+/// computed from batch frontiers are therefore bit-identical to the
+/// single-query path.
+///
+/// This is the analysis/benchmark variant; the production batch path
+/// (`Pass::estimate_many` → `process_batch`) uses per-query traversals
+/// over a reused [`McfScratch`], which measures faster because the
+/// per-(node, query) classification work dominates and scratch reuse
+/// avoids materializing every frontier at once.
+pub fn mcf_batch(
+    tree: &PartitionTree,
+    queries: &[Query],
+    zero_variance_rule: bool,
+) -> Vec<McfResult> {
+    let mut results: Vec<McfResult> = vec![McfResult::default(); queries.len()];
+    if queries.is_empty() {
+        return results;
+    }
+    let apply_zero_var: Vec<bool> = queries
+        .iter()
+        .map(|q| zero_variance_rule && q.agg == AggKind::Avg)
+        .collect();
+    // Active sets live in one append-only arena; a stack entry is
+    // (node, start, len) into it. Sibling nodes share their parent's
+    // recurse range, so the whole traversal performs no per-node
+    // allocation (the arena and stack grow amortized).
+    let mut arena: Vec<u32> = (0..queries.len() as u32).collect();
+    let mut stack: Vec<(NodeId, u32, u32)> = vec![(tree.root(), 0, queries.len() as u32)];
+    while let Some((id, start, len)) = stack.pop() {
+        let (start, end) = (start as usize, (start + len) as usize);
         let node = tree.node(id);
+        for i in start..end {
+            results[arena[i] as usize].visited += 1;
+        }
         if node.agg.is_empty() {
             continue;
         }
-        match node.rect.relation_to(&query.rect) {
-            RectRelation::Disjoint => {}
-            RectRelation::Covered => result.covered.push(id),
-            RectRelation::Partial => {
-                // 0-variance rule: constant values make AVG exact even
-                // under partial overlap.
-                if apply_zero_var && node.agg.is_zero_variance() {
-                    result.zero_var.push(id);
-                } else if node.is_leaf() {
-                    result.partial.push(id);
-                } else {
-                    stack.extend_from_slice(&node.children);
+        let recurse_start = arena.len();
+        for i in start..end {
+            let qi = arena[i];
+            let q = qi as usize;
+            match node.rect.relation_to(&queries[q].rect) {
+                RectRelation::Disjoint => {}
+                RectRelation::Covered => results[q].covered.push(id),
+                RectRelation::Partial => {
+                    if apply_zero_var[q] && node.agg.is_zero_variance() {
+                        results[q].zero_var.push(id);
+                    } else if node.is_leaf() {
+                        results[q].partial.push(id);
+                    } else {
+                        arena.push(qi);
+                    }
+                }
+            }
+        }
+        let recurse_len = (arena.len() - recurse_start) as u32;
+        if recurse_len > 0 {
+            for &child in &node.children {
+                stack.push((child, recurse_start as u32, recurse_len));
+            }
+        }
+    }
+    results
+}
+
+/// Run MCF for `query` over `tree`. `zero_variance_rule` enables the AVG
+/// base case (it is ignored for other aggregates).
+pub fn mcf(tree: &PartitionTree, query: &Query, zero_variance_rule: bool) -> McfResult {
+    let mut scratch = McfScratch::default();
+    scratch.run(tree, query, zero_variance_rule);
+    scratch.result
+}
+
+/// Reusable MCF working state: the DFS stack and the frontier buffers.
+///
+/// A single `estimate` allocates (and frees) four vectors per query; the
+/// batched path keeps one scratch alive across the whole batch so every
+/// query after the first runs allocation-free. `run` produces exactly the
+/// frontier [`mcf`] would.
+#[derive(Debug, Default)]
+pub struct McfScratch {
+    stack: Vec<NodeId>,
+    /// The most recent query's frontier (cleared, not freed, per run).
+    pub result: McfResult,
+}
+
+impl McfScratch {
+    /// Classify `query` over `tree` into `self.result`, reusing buffers.
+    pub fn run(&mut self, tree: &PartitionTree, query: &Query, zero_variance_rule: bool) {
+        let result = &mut self.result;
+        result.covered.clear();
+        result.partial.clear();
+        result.zero_var.clear();
+        result.visited = 0;
+        let apply_zero_var = zero_variance_rule && query.agg == AggKind::Avg;
+        self.stack.clear();
+        self.stack.push(tree.root());
+        while let Some(id) = self.stack.pop() {
+            result.visited += 1;
+            let node = tree.node(id);
+            if node.agg.is_empty() {
+                continue;
+            }
+            match node.rect.relation_to(&query.rect) {
+                RectRelation::Disjoint => {}
+                RectRelation::Covered => result.covered.push(id),
+                RectRelation::Partial => {
+                    // 0-variance rule: constant values make AVG exact even
+                    // under partial overlap.
+                    if apply_zero_var && node.agg.is_zero_variance() {
+                        result.zero_var.push(id);
+                    } else if node.is_leaf() {
+                        result.partial.push(id);
+                    } else {
+                        self.stack.extend_from_slice(&node.children);
+                    }
                 }
             }
         }
     }
-    result
 }
 
 #[cfg(test)]
@@ -289,9 +390,71 @@ mod tests {
     }
 
     #[test]
+    fn batch_frontiers_match_single_query_mcf() {
+        let t = tree();
+        let queries: Vec<Query> = [
+            (10.0, 60.0),
+            (25.0, 74.0),
+            (-10.0, 1000.0),
+            (500.0, 600.0),
+            (0.0, 37.0),
+            (24.0, 26.0),
+            (60.0, 99.0),
+        ]
+        .into_iter()
+        .flat_map(|(lo, hi)| {
+            [
+                Query::interval(AggKind::Sum, lo, hi),
+                Query::interval(AggKind::Avg, lo, hi),
+            ]
+        })
+        .collect();
+        for zero_var in [false, true] {
+            let batch = mcf_batch(&t, &queries, zero_var);
+            assert_eq!(batch.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batch) {
+                let single = mcf(&t, q, zero_var);
+                assert_eq!(b.covered, single.covered, "{q:?}");
+                assert_eq!(b.partial, single.partial, "{q:?}");
+                assert_eq!(b.zero_var, single.zero_var, "{q:?}");
+                assert_eq!(b.visited, single.visited, "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_zero_variance_rule_applies_per_query() {
+        // Mixed-aggregate batch over a tree with one constant leaf: the
+        // AVG query takes the 0-variance shortcut, the SUM query must not.
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let values: Vec<f64> = (0..100)
+            .map(|i| if i < 25 { 7.0 } else { i as f64 })
+            .collect();
+        let s = SortedTable::from_sorted(keys, values);
+        let p = Partitioning1D::new(100, vec![25, 50, 75]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        let queries = vec![
+            Query::interval(AggKind::Avg, 5.0, 30.0),
+            Query::interval(AggKind::Sum, 5.0, 30.0),
+        ];
+        let batch = mcf_batch(&t, &queries, true);
+        assert!(!batch[0].zero_var.is_empty());
+        assert!(batch[1].zero_var.is_empty());
+        assert!(batch[1].partial.len() > batch[0].partial.len());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let t = tree();
+        assert!(mcf_batch(&t, &[], true).is_empty());
+    }
+
+    #[test]
     fn multi_dim_classification() {
         use pass_partition::{build_kd, KdExpansion};
-        let table = pass_table::datasets::taxi(500, 11).project(&[1, 2]).unwrap();
+        let table = pass_table::datasets::taxi(500, 11)
+            .project(&[1, 2])
+            .unwrap();
         let kd = build_kd(&table, 16, KdExpansion::BreadthFirst, 0).unwrap();
         let t = PartitionTree::from_kd(&table, &kd).unwrap();
         let rect = table.bounding_rect().unwrap();
@@ -302,10 +465,7 @@ mod tests {
         // Left half in dim 0: a mix, but every returned covered node's rect
         // must be inside the query and every partial must intersect it.
         let mid = (rect.lo(0) + rect.hi(0)) / 2.0;
-        let q = Query::new(
-            AggKind::Sum,
-            rect.narrowed(0, rect.lo(0), mid),
-        );
+        let q = Query::new(AggKind::Sum, rect.narrowed(0, rect.lo(0), mid));
         let r = mcf(&t, &q, false);
         for &id in &r.covered {
             assert!(q.rect.contains_rect(&t.node(id).rect));

@@ -2,10 +2,12 @@
 //! sample estimation → combined result with CI and hard bounds.
 
 use pass_common::{AggKind, Estimate, PassError, Query, Result};
-use pass_sampling::{combine_strata, estimate as sample_estimate, PointVariance, Sample, StratumEstimate};
+use pass_sampling::{
+    combine_strata, estimate as sample_estimate, PointVariance, Sample, StratumEstimate,
+};
 
 use crate::bounds::hard_bounds;
-use crate::mcf::{mcf, mcf_shifted, McfResult};
+use crate::mcf::{mcf, mcf_shifted, McfResult, McfScratch};
 use crate::tree::PartitionTree;
 
 /// Answer `query` over the annotated tree and its per-leaf stratified
@@ -55,7 +57,44 @@ pub fn process_with_tree_dims(
         None => mcf(tree, query, zero_variance_rule),
         Some(dims) => mcf_shifted(tree, query, dims, zero_variance_rule),
     };
-    let bounds = hard_bounds(tree, &frontier, query.agg);
+    process_frontier(tree, leaf_samples, query, lambda, &frontier)
+}
+
+/// Batched query processing: one [`McfScratch`] carries the traversal
+/// state (DFS stack + frontier buffers) across the whole batch, so every
+/// query after the first classifies allocation-free, and each query
+/// finishes its estimation straight from the scratch frontier.
+/// Element-wise identical to repeated [`process`].
+///
+/// Callers must have checked query arity (this is the identity-dimension
+/// path; workload-shift trees take the per-query route).
+pub fn process_batch(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    queries: &[Query],
+    lambda: f64,
+    zero_variance_rule: bool,
+) -> Vec<Result<Estimate>> {
+    let mut scratch = McfScratch::default();
+    queries
+        .iter()
+        .map(|query| {
+            scratch.run(tree, query, zero_variance_rule);
+            process_frontier(tree, leaf_samples, query, lambda, &scratch.result)
+        })
+        .collect()
+}
+
+/// Finish one query from its (pre-computed) coverage frontier: partial
+/// aggregation, sample estimation, hard bounds, accounting.
+fn process_frontier(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    query: &Query,
+    lambda: f64,
+    frontier: &McfResult,
+) -> Result<Estimate> {
+    let bounds = hard_bounds(tree, frontier, query.agg);
 
     // Sample accounting: every partial leaf's whole sample is scanned.
     let processed: u64 = frontier
@@ -67,11 +106,11 @@ pub fn process_with_tree_dims(
 
     let mut est = match query.agg {
         AggKind::Sum | AggKind::Count => {
-            process_sum_count(tree, leaf_samples, query, lambda, &frontier)
+            process_sum_count(tree, leaf_samples, query, lambda, frontier)
         }
-        AggKind::Avg => process_avg(tree, leaf_samples, query, lambda, &frontier, &bounds)?,
+        AggKind::Avg => process_avg(tree, leaf_samples, query, lambda, frontier, &bounds)?,
         AggKind::Min | AggKind::Max => {
-            process_minmax(tree, leaf_samples, query, &frontier, &bounds)?
+            process_minmax(tree, leaf_samples, query, frontier, &bounds)?
         }
     };
     est = est.with_accounting(processed, skipped);
@@ -182,10 +221,10 @@ fn process_avg(
         // deterministic bracket when one exists; otherwise the selection is
         // provably empty.
         return match bounds {
-            Some((lb, ub)) => Ok(
-                Estimate::approximate((lb + ub) / 2.0, (ub - lb) / 2.0)
-                    .with_hard_bounds(*lb, *ub),
-            ),
+            Some((lb, ub)) => {
+                Ok(Estimate::approximate((lb + ub) / 2.0, (ub - lb) / 2.0)
+                    .with_hard_bounds(*lb, *ub))
+            }
             None => Err(PassError::EmptyInput("AVG over empty selection")),
         };
     }
@@ -240,13 +279,13 @@ fn process_minmax(
                 Ok(Estimate::approximate(value, 0.0))
             }
         }
-        None => match bounds {
-            Some((lb, ub)) => Ok(
-                Estimate::approximate((lb + ub) / 2.0, (ub - lb) / 2.0)
-                    .with_hard_bounds(*lb, *ub),
-            ),
-            None => Err(PassError::EmptyInput("MIN/MAX over empty selection")),
-        },
+        None => {
+            match bounds {
+                Some((lb, ub)) => Ok(Estimate::approximate((lb + ub) / 2.0, (ub - lb) / 2.0)
+                    .with_hard_bounds(*lb, *ub)),
+                None => Err(PassError::EmptyInput("MIN/MAX over empty selection")),
+            }
+        }
     }
 }
 

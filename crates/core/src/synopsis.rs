@@ -11,7 +11,7 @@ use rand::seq::index::sample as index_sample;
 use rand::Rng;
 
 use pass_common::rng::{derive_seed, rng_from_seed};
-use pass_common::{AggKind, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
+use pass_common::{AggKind, EngineSpec, Estimate, PassError, PassSpec, Query, Result, Synopsis};
 use pass_partition::{
     build_kd, Adp, EqualDepth, EqualWidth, HillClimb, KdExpansion, Partitioner1D,
 };
@@ -21,56 +21,20 @@ use pass_table::{SortedTable, Table};
 
 use crate::tree::PartitionTree;
 
-/// Which partitioning optimizer drives leaf selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PartitionStrategy {
-    /// The paper's ADP (sampled + discretized DP) tuned for an aggregate
-    /// kind; in d > 1 this becomes the KD-PASS max-variance expansion.
-    Adp(AggKind),
-    /// Equal-depth strata (EQ); in d > 1 the KD-US breadth-first expansion.
-    EqualDepth,
-    /// The AQP++ hill-climbing comparator (1-D only; d > 1 falls back to
-    /// breadth-first).
-    HillClimb,
-    /// Equal key-width buckets (1-D only; d > 1 falls back to
-    /// breadth-first).
-    EqualWidth,
-}
+// The strategy enum is shared vocabulary (it appears inside `PassSpec`);
+// re-exported here so existing `pass_core::PartitionStrategy` paths keep
+// working.
+pub use pass_common::PartitionStrategy;
 
-/// Builder for [`Pass`].
-#[derive(Debug, Clone)]
+/// Builder for [`Pass`] — a fluent wrapper around [`PassSpec`].
+///
+/// `PassBuilder::new().partitions(32).build(&t)` and
+/// `Pass::from_spec(&t, &PassSpec { partitions: 32, ..Default::default() })`
+/// are equivalent; the spec is the declarative form used by the engine
+/// registry and `pass::Session`.
+#[derive(Debug, Clone, Default)]
 pub struct PassBuilder {
-    partitions: usize,
-    sample_rate: f64,
-    total_samples: Option<usize>,
-    strategy: PartitionStrategy,
-    lambda: f64,
-    delta_encode: bool,
-    zero_variance_rule: bool,
-    opt_samples: usize,
-    adp_delta: f64,
-    kd_balance: usize,
-    seed: u64,
-    shift_dims: Option<Vec<usize>>,
-}
-
-impl Default for PassBuilder {
-    fn default() -> Self {
-        Self {
-            partitions: 64,
-            sample_rate: 0.005,
-            total_samples: None,
-            strategy: PartitionStrategy::Adp(AggKind::Sum),
-            lambda: LAMBDA_99,
-            delta_encode: false,
-            zero_variance_rule: true,
-            opt_samples: 4096,
-            adp_delta: 0.01,
-            kd_balance: 2,
-            seed: 0x9A55,
-            shift_dims: None,
-        }
-    }
+    spec: PassSpec,
 }
 
 impl PassBuilder {
@@ -78,15 +42,25 @@ impl PassBuilder {
         Self::default()
     }
 
+    /// Builder preloaded with an existing spec.
+    pub fn from_spec(spec: &PassSpec) -> Self {
+        Self { spec: spec.clone() }
+    }
+
+    /// The declarative form of this builder's current configuration.
+    pub fn spec(&self) -> &PassSpec {
+        &self.spec
+    }
+
     /// Number of leaf partitions `k` (the precomputation budget).
     pub fn partitions(mut self, k: usize) -> Self {
-        self.partitions = k;
+        self.spec.partitions = k;
         self
     }
 
     /// Per-stratum sampling rate (fraction of each leaf's rows).
     pub fn sample_rate(mut self, rate: f64) -> Self {
-        self.sample_rate = rate;
+        self.spec.sample_rate = rate;
         self
     }
 
@@ -94,54 +68,54 @@ impl PassBuilder {
     /// overrides [`sample_rate`](Self::sample_rate) allocation proportions
     /// but keeps them proportional to leaf sizes.
     pub fn total_samples(mut self, k: usize) -> Self {
-        self.total_samples = Some(k);
+        self.spec.total_samples = Some(k);
         self
     }
 
     pub fn strategy(mut self, s: PartitionStrategy) -> Self {
-        self.strategy = s;
+        self.spec.strategy = s;
         self
     }
 
     /// CI scale λ (default 2.576 → 99%).
     pub fn lambda(mut self, lambda: f64) -> Self {
-        self.lambda = lambda;
+        self.spec.lambda = lambda;
         self
     }
 
     /// Store sample values as f32 deltas from the partition mean
     /// (Section 3.4 compression).
     pub fn delta_encode(mut self, on: bool) -> Self {
-        self.delta_encode = on;
+        self.spec.delta_encode = on;
         self
     }
 
     /// Enable/disable the AVG 0-variance rule (default on).
     pub fn zero_variance_rule(mut self, on: bool) -> Self {
-        self.zero_variance_rule = on;
+        self.spec.zero_variance_rule = on;
         self
     }
 
     /// ADP optimization sample size `m`.
     pub fn opt_samples(mut self, m: usize) -> Self {
-        self.opt_samples = m;
+        self.spec.opt_samples = m;
         self
     }
 
     /// ADP meaningful-overlap fraction δ.
     pub fn adp_delta(mut self, delta: f64) -> Self {
-        self.adp_delta = delta;
+        self.spec.adp_delta = delta;
         self
     }
 
     /// KD-PASS leaf-depth balance limit (default 2, per Section 5.4).
     pub fn kd_balance(mut self, balance: usize) -> Self {
-        self.kd_balance = balance;
+        self.spec.kd_balance = balance;
         self
     }
 
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.spec.seed = seed;
         self
     }
 
@@ -150,7 +124,7 @@ impl PassBuilder {
     /// column. Queries still arrive in the table's full arity; dimensions
     /// outside the tree are handled by sampling after tree-based skipping.
     pub fn tree_dims(mut self, dims: &[usize]) -> Self {
-        self.shift_dims = Some(dims.to_vec());
+        self.spec.tree_dims = Some(dims.to_vec());
         self
     }
 
@@ -160,13 +134,13 @@ impl PassBuilder {
         if table.n_rows() == 0 {
             return Err(PassError::EmptyInput("PASS over empty table"));
         }
-        if self.partitions == 0 {
+        if self.spec.partitions == 0 {
             return Err(PassError::InvalidParameter(
                 "partitions",
                 "must be at least 1".into(),
             ));
         }
-        if let Some(dims) = self.shift_dims.clone() {
+        if let Some(dims) = self.spec.tree_dims.clone() {
             return self.build_shifted(table, &dims);
         }
         if table.dims() == 1 {
@@ -177,12 +151,12 @@ impl PassBuilder {
     }
 
     fn partitioner_1d(&self) -> Box<dyn Partitioner1D> {
-        match self.strategy {
+        match self.spec.strategy {
             PartitionStrategy::Adp(kind) => Box::new(
                 Adp::new(kind)
-                    .with_samples(self.opt_samples)
-                    .with_delta(self.adp_delta)
-                    .with_seed(derive_seed(self.seed, 1)),
+                    .with_samples(self.spec.opt_samples)
+                    .with_delta(self.spec.adp_delta)
+                    .with_seed(derive_seed(self.spec.seed, 1)),
             ),
             PartitionStrategy::EqualDepth => Box::new(EqualDepth),
             PartitionStrategy::HillClimb => Box::new(HillClimb::new(AggKind::Sum)),
@@ -192,35 +166,47 @@ impl PassBuilder {
 
     fn build_1d(&self, table: &Table) -> Result<Pass> {
         let sorted = SortedTable::from_table(table, 0);
-        let partitioning = self.partitioner_1d().partition(&sorted, self.partitions)?;
+        let partitioning = self
+            .partitioner_1d()
+            .partition(&sorted, self.spec.partitions)?;
         let tree = PartitionTree::from_partitioning(&sorted, &partitioning)?;
         // Re-materialize the sorted view as a table so per-range sampling
         // sees rows in partition order.
         let sorted_table = Table::one_dim(sorted.keys().to_vec(), sorted.values().to_vec())?;
-        let mut rng = rng_from_seed(derive_seed(self.seed, 2));
+        let mut rng = rng_from_seed(derive_seed(self.spec.seed, 2));
         let leaf_sizes: Vec<usize> = partitioning.ranges().iter().map(|r| r.len()).collect();
         let allocations = self.allocate_samples(&leaf_sizes);
         let mut samples = Vec::with_capacity(leaf_sizes.len());
         for (range, k) in partitioning.ranges().into_iter().zip(allocations) {
-            samples.push(Sample::uniform_from_range(&sorted_table, range, k, &mut rng)?);
+            samples.push(Sample::uniform_from_range(
+                &sorted_table,
+                range,
+                k,
+                &mut rng,
+            )?);
         }
         self.finish(tree, samples)
     }
 
     fn build_kd(&self, table: &Table) -> Result<Pass> {
-        let expansion = match self.strategy {
+        let expansion = match self.spec.strategy {
             PartitionStrategy::Adp(kind) => KdExpansion::MaxVariance {
                 kind,
-                balance: self.kd_balance,
+                balance: self.spec.kd_balance,
             },
             _ => KdExpansion::BreadthFirst,
         };
-        let kd = build_kd(table, self.partitions, expansion, derive_seed(self.seed, 3))?;
+        let kd = build_kd(
+            table,
+            self.spec.partitions,
+            expansion,
+            derive_seed(self.spec.seed, 3),
+        )?;
         let tree = PartitionTree::from_kd(table, &kd)?;
         let leaves = kd.leaf_ids();
         let leaf_sizes: Vec<usize> = leaves.iter().map(|&l| kd.nodes[l].len()).collect();
         let allocations = self.allocate_samples(&leaf_sizes);
-        let mut rng = rng_from_seed(derive_seed(self.seed, 4));
+        let mut rng = rng_from_seed(derive_seed(self.spec.seed, 4));
         let mut samples = Vec::with_capacity(leaves.len());
         for (&leaf, k) in leaves.iter().zip(allocations) {
             let rows = kd.rows_of(leaf);
@@ -241,24 +227,24 @@ impl PassBuilder {
     /// predicate space, samples keep all predicate columns.
     fn build_shifted(&self, table: &Table, dims: &[usize]) -> Result<Pass> {
         let projected = table.project(dims)?;
-        let expansion = match self.strategy {
+        let expansion = match self.spec.strategy {
             PartitionStrategy::Adp(kind) => KdExpansion::MaxVariance {
                 kind,
-                balance: self.kd_balance,
+                balance: self.spec.kd_balance,
             },
             _ => KdExpansion::BreadthFirst,
         };
         let kd = build_kd(
             &projected,
-            self.partitions,
+            self.spec.partitions,
             expansion,
-            derive_seed(self.seed, 5),
+            derive_seed(self.spec.seed, 5),
         )?;
         let tree = PartitionTree::from_kd(&projected, &kd)?;
         let leaves = kd.leaf_ids();
         let leaf_sizes: Vec<usize> = leaves.iter().map(|&l| kd.nodes[l].len()).collect();
         let allocations = self.allocate_samples(&leaf_sizes);
-        let mut rng = rng_from_seed(derive_seed(self.seed, 6));
+        let mut rng = rng_from_seed(derive_seed(self.spec.seed, 6));
         let mut samples = Vec::with_capacity(leaves.len());
         for (&leaf, k) in leaves.iter().zip(allocations) {
             let rows = kd.rows_of(leaf);
@@ -282,10 +268,10 @@ impl PassBuilder {
     /// Per-leaf sample sizes: proportional to leaf populations, at least 1
     /// per non-empty leaf, matching either the rate or the BSS cap.
     fn allocate_samples(&self, leaf_sizes: &[usize]) -> Vec<usize> {
-        match self.total_samples {
+        match self.spec.total_samples {
             None => leaf_sizes
                 .iter()
-                .map(|&n| ((n as f64 * self.sample_rate).round() as usize).clamp(1, n.max(1)))
+                .map(|&n| ((n as f64 * self.spec.sample_rate).round() as usize).clamp(1, n.max(1)))
                 .collect(),
             Some(total) => {
                 let n_total: usize = leaf_sizes.iter().sum();
@@ -295,8 +281,7 @@ impl PassBuilder {
                 leaf_sizes
                     .iter()
                     .map(|&n| {
-                        let share =
-                            (total as f64 * n as f64 / n_total as f64).round() as usize;
+                        let share = (total as f64 * n as f64 / n_total as f64).round() as usize;
                         share.clamp(usize::from(n > 0), n.max(1))
                     })
                     .collect()
@@ -306,13 +291,12 @@ impl PassBuilder {
 
     fn finish(&self, tree: PartitionTree, mut samples: Vec<Sample>) -> Result<Pass> {
         let leaves = tree.leaves();
-        if self.delta_encode {
+        if self.spec.delta_encode {
             // Round-trip the sample values through the f32 delta codec so
             // estimates genuinely reflect the compressed representation.
             for (li, sample) in samples.iter_mut().enumerate() {
                 let mean = tree.node(leaves[li]).agg.avg().unwrap_or(0.0);
-                let values: Vec<f64> =
-                    (0..sample.k()).map(|i| sample.rows().value(i)).collect();
+                let values: Vec<f64> = (0..sample.k()).map(|i| sample.rows().value(i)).collect();
                 let decoded = DeltaEncoded::encode(&values, mean).decode();
                 for (i, v) in decoded.into_iter().enumerate() {
                     let preds: Vec<f64> = (0..sample.rows().dims())
@@ -326,13 +310,14 @@ impl PassBuilder {
         Ok(Pass {
             tree,
             samples,
-            lambda: self.lambda,
-            zero_variance_rule: self.zero_variance_rule,
-            delta_encoded: self.delta_encode,
-            seed: self.seed,
-            name: "PASS".to_owned(),
+            lambda: self.spec.lambda,
+            zero_variance_rule: self.spec.zero_variance_rule,
+            delta_encoded: self.spec.delta_encode,
+            seed: self.spec.seed,
+            name: self.spec.name.clone().unwrap_or_else(|| "PASS".to_owned()),
             tree_dims: None,
             query_dims,
+            spec: self.spec.clone(),
         })
     }
 }
@@ -352,9 +337,18 @@ pub struct Pass {
     pub(crate) tree_dims: Option<Vec<usize>>,
     /// Arity queries must arrive in (the sample/table arity).
     pub(crate) query_dims: usize,
+    /// The declarative configuration this synopsis was built from.
+    pub(crate) spec: PassSpec,
 }
 
 impl Pass {
+    /// Build directly from a declarative [`PassSpec`] — the registry /
+    /// `Session` construction path. Equivalent to
+    /// `PassBuilder::from_spec(spec).build(table)`.
+    pub fn from_spec(table: &Table, spec: &PassSpec) -> Result<Pass> {
+        PassBuilder::from_spec(spec).build(table)
+    }
+
     /// The annotated partition tree.
     pub fn tree(&self) -> &PartitionTree {
         &self.tree
@@ -371,9 +365,10 @@ impl Pass {
     }
 
     /// Override the printed engine name (benchmark variants like
-    /// `PASS-BSS2x`).
+    /// `PASS-BSS2x`). The stored spec keeps the override so it round-trips.
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self.spec.name = Some(self.name.clone());
         self
     }
 
@@ -408,6 +403,34 @@ impl Synopsis for Pass {
             self.zero_variance_rule,
             self.tree_dims.as_deref(),
         )
+    }
+
+    /// Batched estimation reusing MCF traversal state across the batch:
+    /// one [`crate::mcf::McfScratch`] (DFS stack + frontier buffers)
+    /// serves every query, so each query after the first classifies
+    /// allocation-free — measurably faster than N repeated
+    /// [`estimate`](Self::estimate) calls, with bit-identical results.
+    /// (A fully shared single-walk classifier exists as
+    /// [`crate::mcf::mcf_batch`] for analysis and benchmarking.)
+    fn estimate_many(&self, queries: &[Query]) -> Vec<Result<Estimate>> {
+        // The workload-shift path classifies in a projected space with
+        // per-query decidability; batch only the common (identity) case.
+        let batchable =
+            self.tree_dims.is_none() && queries.iter().all(|q| q.dims() == self.query_dims);
+        if !batchable {
+            return queries.iter().map(|q| self.estimate(q)).collect();
+        }
+        crate::query::process_batch(
+            &self.tree,
+            &self.samples,
+            queries,
+            self.lambda,
+            self.zero_variance_rule,
+        )
+    }
+
+    fn spec(&self) -> EngineSpec {
+        EngineSpec::Pass(self.spec.clone())
     }
 
     fn storage_bytes(&self) -> usize {
@@ -536,10 +559,7 @@ mod tests {
         assert_eq!(pass.dims(), 2);
         let rect = t.bounding_rect().unwrap();
         let mid0 = (rect.lo(0) + rect.hi(0)) / 2.0;
-        let q = Query::new(
-            AggKind::Sum,
-            rect.narrowed(0, rect.lo(0), mid0),
-        );
+        let q = Query::new(AggKind::Sum, rect.narrowed(0, rect.lo(0), mid0));
         let est = pass.estimate(&q).unwrap();
         let truth = t.ground_truth(&q).unwrap();
         let rel = (est.value - truth).abs() / truth;
@@ -630,6 +650,94 @@ mod tests {
         let truth1 = t.ground_truth(&q1).unwrap();
         assert!((est1.value - truth1).abs() / truth1 < 0.2);
         assert!(est1.skip_rate() > 0.5, "skipping still engages");
+    }
+
+    #[test]
+    fn estimate_many_is_bit_identical_to_single_estimates() {
+        let t = uniform(20_000, 30);
+        let pass = PassBuilder::new()
+            .partitions(32)
+            .sample_rate(0.02)
+            .seed(31)
+            .build(&t)
+            .unwrap();
+        let queries: Vec<Query> = (0..64)
+            .map(|i| {
+                let lo = (i as f64) / 80.0;
+                let agg = AggKind::ALL[i % AggKind::ALL.len()];
+                Query::interval(agg, lo, lo + 0.2)
+            })
+            .collect();
+        let batch = pass.estimate_many(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(batch) {
+            match (pass.estimate(q), b) {
+                (Ok(single), Ok(batched)) => {
+                    assert_eq!(single.value, batched.value, "{q:?}");
+                    assert_eq!(single.ci_half, batched.ci_half, "{q:?}");
+                    assert_eq!(single.exact, batched.exact, "{q:?}");
+                    assert_eq!(single.hard_bounds, batched.hard_bounds, "{q:?}");
+                    assert_eq!(single.tuples_processed, batched.tuples_processed, "{q:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{q:?}"),
+                (a, b) => panic!("{q:?}: single {a:?} vs batched {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_many_handles_mismatched_dims_and_shifted_trees() {
+        use pass_common::Rect;
+        let t = uniform(5_000, 32);
+        let pass = PassBuilder::new().partitions(8).seed(33).build(&t).unwrap();
+        let queries = vec![
+            Query::interval(AggKind::Sum, 0.1, 0.9),
+            Query::new(AggKind::Sum, Rect::new(&[(0.0, 1.0), (0.0, 1.0)])),
+        ];
+        let results = pass.estimate_many(&queries);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(PassError::DimensionMismatch { .. })
+        ));
+
+        // Workload-shift synopses fall back to the per-query path but stay
+        // element-wise consistent.
+        let t3 = taxi(5_000, 34).project(&[1, 2, 3]).unwrap();
+        let shifted = PassBuilder::new()
+            .partitions(16)
+            .sample_rate(0.05)
+            .tree_dims(&[0, 1])
+            .seed(35)
+            .build(&t3)
+            .unwrap();
+        let full = t3.bounding_rect().unwrap();
+        let q = Query::new(AggKind::Sum, full);
+        let batch = shifted.estimate_many(std::slice::from_ref(&q));
+        assert_eq!(
+            batch[0].as_ref().unwrap().value,
+            shifted.estimate(&q).unwrap().value
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_build() {
+        let spec = PassSpec {
+            partitions: 16,
+            sample_rate: 0.03,
+            seed: 40,
+            strategy: PartitionStrategy::EqualDepth,
+            ..PassSpec::default()
+        };
+        let t = uniform(2_000, 41);
+        let pass = Pass::from_spec(&t, &spec).unwrap();
+        assert_eq!(pass.spec(), EngineSpec::Pass(spec));
+        // The name override keeps the spec in sync.
+        let named = pass.with_name("PASS-X");
+        match named.spec() {
+            EngineSpec::Pass(s) => assert_eq!(s.name.as_deref(), Some("PASS-X")),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

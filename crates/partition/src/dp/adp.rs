@@ -158,9 +158,7 @@ fn refine_to_budget(keys: &[f64], cuts: &mut Vec<usize>, k: usize) {
         let mut best: Option<(usize, usize, usize)> = None; // (len, start, end)
         let mut start = 0;
         for &c in cuts.iter().chain(std::iter::once(&n)) {
-            if !unsplittable.contains(&start)
-                && best.is_none_or(|(len, _, _)| c - start > len)
-            {
+            if !unsplittable.contains(&start) && best.is_none_or(|(len, _, _)| c - start > len) {
                 best = Some((c - start, start, c));
             }
             start = c;
@@ -232,8 +230,13 @@ mod tests {
                 })
                 .collect();
             let s = sorted_from(values);
-            let adp = Adp::new(AggKind::Sum).with_samples(48).partition(&s, 4).unwrap();
-            let opt = crate::dp::NaiveDp::new(AggKind::Sum).partition(&s, 4).unwrap();
+            let adp = Adp::new(AggKind::Sum)
+                .with_samples(48)
+                .partition(&s, 4)
+                .unwrap();
+            let opt = crate::dp::NaiveDp::new(AggKind::Sum)
+                .partition(&s, 4)
+                .unwrap();
             let (a, o) = (
                 objective(&s, &adp, AggKind::Sum),
                 objective(&s, &opt, AggKind::Sum),
@@ -300,16 +303,20 @@ mod tests {
             .partition(&s, 8)
             .unwrap();
         let eq = Partitioning1D::new(n, equal_count_cuts(n, 8)).unwrap();
-        assert!(
-            objective(&s, &adp, AggKind::Sum) <= objective(&s, &eq, AggKind::Sum)
-        );
+        assert!(objective(&s, &adp, AggKind::Sum) <= objective(&s, &eq, AggKind::Sum));
     }
 
     #[test]
     fn avg_objective_runs_and_improves_over_single_bucket() {
         let mut rng = rng_from_seed(34);
         let values: Vec<f64> = (0..600)
-            .map(|i| if i < 300 { 1.0 } else { rng.gen::<f64>() * 100.0 })
+            .map(|i| {
+                if i < 300 {
+                    1.0
+                } else {
+                    rng.gen::<f64>() * 100.0
+                }
+            })
             .collect();
         let s = sorted_from(values);
         let adp = Adp::new(AggKind::Avg)
@@ -319,9 +326,7 @@ mod tests {
             .unwrap();
         let single = Partitioning1D::single(600);
         assert!(adp.len() > 1);
-        assert!(
-            objective(&s, &adp, AggKind::Avg) <= objective(&s, &single, AggKind::Avg)
-        );
+        assert!(objective(&s, &adp, AggKind::Avg) <= objective(&s, &single, AggKind::Avg));
     }
 
     #[test]
@@ -336,7 +341,8 @@ mod tests {
             .unwrap();
         for &c in p.cuts() {
             assert_ne!(
-                keys[c - 1], keys[c],
+                keys[c - 1],
+                keys[c],
                 "cut at {c} splits duplicate key {}",
                 keys[c]
             );
@@ -346,8 +352,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let s = sorted_from((0..500).map(|i| ((i * 17) % 97) as f64).collect());
-        let a = Adp::new(AggKind::Sum).with_samples(128).partition(&s, 8).unwrap();
-        let b = Adp::new(AggKind::Sum).with_samples(128).partition(&s, 8).unwrap();
+        let a = Adp::new(AggKind::Sum)
+            .with_samples(128)
+            .partition(&s, 8)
+            .unwrap();
+        let b = Adp::new(AggKind::Sum)
+            .with_samples(128)
+            .partition(&s, 8)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

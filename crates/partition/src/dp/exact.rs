@@ -99,14 +99,18 @@ mod tests {
     fn naive_beats_or_ties_equal_partitioning() {
         let mut rng = rng_from_seed(21);
         let values: Vec<f64> = (0..24)
-            .map(|i| if i < 18 { 0.0 } else { rng.gen::<f64>() * 100.0 })
+            .map(|i| {
+                if i < 18 {
+                    0.0
+                } else {
+                    rng.gen::<f64>() * 100.0
+                }
+            })
             .collect();
         let s = sorted_from(values);
         let dp = NaiveDp::new(AggKind::Sum).partition(&s, 4).unwrap();
         let eq = Partitioning1D::new(24, vec![6, 12, 18]).unwrap();
-        assert!(
-            objective(&s, &dp, AggKind::Sum) <= objective(&s, &eq, AggKind::Sum) + 1e-9
-        );
+        assert!(objective(&s, &dp, AggKind::Sum) <= objective(&s, &eq, AggKind::Sum) + 1e-9);
     }
 
     #[test]

@@ -10,7 +10,10 @@ use crate::spec::{Partitioner1D, Partitioning1D};
 /// Interior cuts splitting `n` rows into `k` near-equal buckets.
 pub(crate) fn equal_count_cuts(n: usize, k: usize) -> Vec<usize> {
     let k = k.clamp(1, n);
-    (1..k).map(|j| j * n / k).filter(|&c| c > 0 && c < n).collect()
+    (1..k)
+        .map(|j| j * n / k)
+        .filter(|&c| c > 0 && c < n)
+        .collect()
 }
 
 /// Equal-depth (equal-frequency) partitioning — the paper's EQ baseline and
@@ -84,10 +87,7 @@ mod tests {
     use super::*;
 
     fn sorted_uniform_keys(n: usize) -> SortedTable {
-        SortedTable::from_sorted(
-            (0..n).map(|i| i as f64).collect(),
-            vec![1.0; n],
-        )
+        SortedTable::from_sorted((0..n).map(|i| i as f64).collect(), vec![1.0; n])
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl Partitioner1D for HillClimb {
             let mut improved = false;
             for i in 0..cuts.len() {
                 let lo_limit = if i == 0 { 1 } else { cuts[i - 1] + 1 };
-                let hi_limit = if i + 1 == cuts.len() { n - 1 } else { cuts[i + 1] - 1 };
+                let hi_limit = if i + 1 == cuts.len() {
+                    n - 1
+                } else {
+                    cuts[i + 1] - 1
+                };
                 for candidate in [cuts[i].saturating_sub(step), cuts[i] + step] {
                     let candidate = candidate.clamp(lo_limit, hi_limit);
                     if candidate == cuts[i] {
@@ -123,10 +127,7 @@ mod tests {
     use rand::Rng;
 
     fn sorted_from(values: Vec<f64>) -> SortedTable {
-        SortedTable::from_sorted(
-            (0..values.len()).map(|i| i as f64).collect(),
-            values,
-        )
+        SortedTable::from_sorted((0..values.len()).map(|i| i as f64).collect(), values)
     }
 
     fn exhaustive_objective(s: &SortedTable, p: &Partitioning1D, kind: AggKind) -> f64 {
@@ -141,7 +142,13 @@ mod tests {
     fn never_worse_than_its_equal_depth_start() {
         let mut rng = rng_from_seed(41);
         let values: Vec<f64> = (0..200)
-            .map(|i| if i < 150 { 0.0 } else { rng.gen::<f64>() * 100.0 })
+            .map(|i| {
+                if i < 150 {
+                    0.0
+                } else {
+                    rng.gen::<f64>() * 100.0
+                }
+            })
             .collect();
         let s = sorted_from(values);
         let hc = HillClimb::new(AggKind::Sum).partition(&s, 8).unwrap();

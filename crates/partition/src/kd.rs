@@ -240,7 +240,11 @@ fn expand_leaf(table: &Table, build: &mut KdBuild, leaf: usize) -> usize {
             let (mut left, mut right) = (Vec::new(), Vec::new());
             for &r in slice.iter() {
                 let v = table.predicate(dim, r as usize);
-                let goes_left = if threshold_is_less { v < pivot } else { v <= pivot };
+                let goes_left = if threshold_is_less {
+                    v < pivot
+                } else {
+                    v <= pivot
+                };
                 if goes_left {
                     left.push(r);
                 } else {
@@ -325,9 +329,7 @@ fn pick_shallowest_leaf<R: Rng>(build: &KdBuild, rng: &mut R) -> Option<usize> {
         .into_iter()
         .filter(|&l| build.nodes[l].depth == min_depth)
         .collect();
-    shallowest
-        .get(rng.gen_range(0..shallowest.len()))
-        .copied()
+    shallowest.get(rng.gen_range(0..shallowest.len())).copied()
 }
 
 /// Approximate max query variance inside a leaf — the multi-dimensional
@@ -424,11 +426,7 @@ mod tests {
             if node.is_leaf() {
                 continue;
             }
-            let child_total: usize = node
-                .children
-                .iter()
-                .map(|&c| b.nodes[c].len())
-                .sum();
+            let child_total: usize = node.children.iter().map(|&c| b.nodes[c].len()).sum();
             assert_eq!(child_total, node.len(), "node {id}");
             // Children ranges are contiguous and inside the parent.
             for &c in &node.children {
@@ -518,7 +516,13 @@ mod tests {
         let n = 1024;
         let keys: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let values: Vec<f64> = (0..n)
-            .map(|i| if i < n / 2 { 1.0 } else { ((i * 37) % 100) as f64 })
+            .map(|i| {
+                if i < n / 2 {
+                    1.0
+                } else {
+                    ((i * 37) % 100) as f64
+                }
+            })
             .collect();
         let t = Table::one_dim(keys, values).unwrap();
         let b = build_kd(
@@ -568,10 +572,7 @@ mod tests {
                 let rc = &b.nodes[c].rect;
                 // Disjoint in at least one dimension, strictly.
                 let separated = (0..2).any(|d| ra.hi(d) < rc.lo(d) || rc.hi(d) < ra.lo(d));
-                assert!(
-                    separated,
-                    "leaves {a} and {c} overlap: {ra:?} vs {rc:?}"
-                );
+                assert!(separated, "leaves {a} and {c} overlap: {ra:?} vs {rc:?}");
             }
         }
     }

@@ -3,7 +3,6 @@
 //! small inputs and as the ground truth for the approximation-factor tests
 //! of the discretized oracles.
 
-
 use crate::variance::VarianceOracle;
 
 use super::MaxVarOracle;

@@ -25,11 +25,7 @@ pub struct KdAvgResult {
 /// (one candidate partition), with minimum meaningful query size
 /// `delta_m` points. Returns `None` when the partition holds fewer than
 /// `2·delta_m` points (the Lemma A.4 smallness convention).
-pub fn max_avg_variance_kd(
-    table: &Table,
-    rows: &[u32],
-    delta_m: usize,
-) -> Option<KdAvgResult> {
+pub fn max_avg_variance_kd(table: &Table, rows: &[u32], delta_m: usize) -> Option<KdAvgResult> {
     let delta_m = delta_m.max(1);
     let n_i = rows.len();
     if n_i < 2 * delta_m {
@@ -44,10 +40,13 @@ pub fn max_avg_variance_kd(
             // A leaf (δm <= len < 2δm guaranteed by the splitting rule,
             // except degenerate inputs where we still accept >= δm).
             if set.len() >= delta_m {
-                let score: f64 = set.iter().map(|&r| {
-                    let v = table.value(r as usize);
-                    v * v
-                }).sum();
+                let score: f64 = set
+                    .iter()
+                    .map(|&r| {
+                        let v = table.value(r as usize);
+                        v * v
+                    })
+                    .sum();
                 if best.as_ref().is_none_or(|(b, _)| score > *b) {
                     best = Some((score, set));
                 }
@@ -76,8 +75,7 @@ pub fn max_avg_variance_kd(
         s2 += v * v;
     }
     let q_len = leaf_rows.len() as f64;
-    let variance =
-        ((n_i as f64 * s2 - s * s) / (n_i as f64 * q_len * q_len)).max(0.0);
+    let variance = ((n_i as f64 * s2 - s * s) / (n_i as f64 * q_len * q_len)).max(0.0);
     Some(KdAvgResult {
         variance,
         rows: leaf_rows,
@@ -109,7 +107,12 @@ mod tests {
                 }
             })
             .collect();
-        let t = Table::new(values, vec![x.clone(), y.clone()], vec!["v".into(), "x".into(), "y".into()]).unwrap();
+        let t = Table::new(
+            values,
+            vec![x.clone(), y.clone()],
+            vec!["v".into(), "x".into(), "y".into()],
+        )
+        .unwrap();
         let result = max_avg_variance_kd(&t, &rows(n), 8).unwrap();
         assert!(result.variance > 0.0);
         // The winning leaf must be dominated by the hot corner.

@@ -50,7 +50,13 @@ mod tests {
         for trial in 0..50 {
             let n = rng.gen_range(8..60);
             let v: Vec<f64> = (0..n)
-                .map(|_| if rng.gen::<f64>() < 0.3 { 0.0 } else { rng.gen::<f64>() * 100.0 })
+                .map(|_| {
+                    if rng.gen::<f64>() < 0.3 {
+                        0.0
+                    } else {
+                        rng.gen::<f64>() * 100.0
+                    }
+                })
                 .collect();
             let p = PrefixSums::build(&v);
             for kind in [AggKind::Sum, AggKind::Count] {

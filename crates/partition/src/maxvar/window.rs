@@ -158,7 +158,9 @@ mod tests {
 
     #[test]
     fn argmax_respects_range() {
-        let v: Vec<f64> = (0..20).map(|i| if i >= 15 { 1000.0 } else { 1.0 }).collect();
+        let v: Vec<f64> = (0..20)
+            .map(|i| if i >= 15 { 1000.0 } else { 1.0 })
+            .collect();
         let prefix = pass_common::PrefixSums::build(&v);
         let idx = WindowIndex::build(&prefix, 3);
         // Searching only the calm prefix must not return the wild suffix.

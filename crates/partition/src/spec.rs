@@ -31,7 +31,10 @@ impl Partitioning1D {
 
     /// The trivial single-bucket partitioning.
     pub fn single(n: usize) -> Self {
-        Self { n, cuts: Vec::new() }
+        Self {
+            n,
+            cuts: Vec::new(),
+        }
     }
 
     /// Number of buckets `B`.
@@ -139,10 +142,7 @@ mod tests {
 
     #[test]
     fn key_bounds_from_sorted_table() {
-        let s = SortedTable::from_sorted(
-            vec![1.0, 2.0, 5.0, 6.0, 9.0],
-            vec![0.0; 5],
-        );
+        let s = SortedTable::from_sorted(vec![1.0, 2.0, 5.0, 6.0, 9.0], vec![0.0; 5]);
         let p = Partitioning1D::new(5, vec![2]).unwrap();
         assert_eq!(p.key_bounds(&s), vec![(1.0, 2.0), (5.0, 9.0)]);
     }

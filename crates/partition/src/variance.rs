@@ -41,13 +41,7 @@ impl<'a> VarianceOracle<'a> {
     /// `V_i(q)` for the query occupying rows `[q_lo, q_hi)` of a partition
     /// occupying rows `[p_lo, p_hi)`. The query must lie inside the
     /// partition.
-    pub fn query_variance(
-        &self,
-        p_lo: usize,
-        p_hi: usize,
-        q_lo: usize,
-        q_hi: usize,
-    ) -> f64 {
+    pub fn query_variance(&self, p_lo: usize, p_hi: usize, q_lo: usize, q_hi: usize) -> f64 {
         debug_assert!(p_lo <= q_lo && q_hi <= p_hi && q_lo <= q_hi);
         let n_i = (p_hi - p_lo) as f64;
         let n_iq = (q_hi - q_lo) as f64;

@@ -12,15 +12,13 @@ use pass_partition::{
 use pass_table::SortedTable;
 
 fn sorted_table() -> impl Strategy<Value = SortedTable> {
-    prop::collection::vec(
-        prop_oneof![Just(0.0f64), (0.1f64..100.0), Just(7.0)],
-        8..300,
+    prop::collection::vec(prop_oneof![Just(0.0f64), 0.1f64..100.0, Just(7.0)], 8..300).prop_map(
+        |values| {
+            // Keys with occasional duplicates (every third key repeats).
+            let keys: Vec<f64> = (0..values.len()).map(|i| (i - i % 3) as f64).collect();
+            SortedTable::from_sorted(keys, values)
+        },
     )
-    .prop_map(|values| {
-        // Keys with occasional duplicates (every third key repeats).
-        let keys: Vec<f64> = (0..values.len()).map(|i| (i - i % 3) as f64).collect();
-        SortedTable::from_sorted(keys, values)
-    })
 }
 
 fn all_partitioners() -> Vec<Box<dyn Partitioner1D>> {

@@ -21,16 +21,16 @@ impl DeltaEncoded {
     pub fn encode(values: &[f64], partition_mean: f64) -> Self {
         Self {
             mean: partition_mean,
-            deltas: values.iter().map(|&v| (v - partition_mean) as f32).collect(),
+            deltas: values
+                .iter()
+                .map(|&v| (v - partition_mean) as f32)
+                .collect(),
         }
     }
 
     /// Decode all values.
     pub fn decode(&self) -> Vec<f64> {
-        self.deltas
-            .iter()
-            .map(|&d| self.mean + d as f64)
-            .collect()
+        self.deltas.iter().map(|&d| self.mean + d as f64).collect()
     }
 
     /// Decode a single value.

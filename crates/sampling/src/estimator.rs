@@ -98,8 +98,7 @@ pub fn estimate(agg: AggKind, sample: &Sample, rect: &Rect) -> Option<PointVaria
     }
 
     let value = phi.iter().sum::<f64>() / k as f64;
-    let variance =
-        population_variance(&phi) / k as f64 * fpc(sample.population(), k as u64);
+    let variance = population_variance(&phi) / k as f64 * fpc(sample.population(), k as u64);
     Some(PointVariance {
         value,
         variance,
@@ -138,7 +137,7 @@ pub fn estimate_minmax(agg: AggKind, sample: &Sample, rect: &Rect) -> Option<Poi
 mod tests {
     use super::*;
     use pass_common::rng::rng_from_seed;
-    use pass_common::{LAMBDA_99, Query};
+    use pass_common::{Query, LAMBDA_99};
     use pass_table::datasets::uniform;
     use pass_table::Table;
 
@@ -230,11 +229,7 @@ mod tests {
     #[test]
     fn count_scaling_matches_selectivity() {
         // Hand-built table: 10 rows, predicate 0..10. Sample half.
-        let t = Table::one_dim(
-            (0..10).map(|i| i as f64).collect(),
-            vec![1.0; 10],
-        )
-        .unwrap();
+        let t = Table::one_dim((0..10).map(|i| i as f64).collect(), vec![1.0; 10]).unwrap();
         let s = Sample::from_indices(&t, &[0, 2, 4, 6, 8], 10).unwrap();
         // Predicate matches keys < 5: sampled keys 0,2,4 → 3 of 5 → est 6.
         let pv = estimate(AggKind::Count, &s, &Rect::interval(0.0, 4.5)).unwrap();

@@ -178,7 +178,10 @@ mod tests {
                 break;
             }
         }
-        assert!(evicted.is_some(), "with 100 offers a replacement is near-certain");
+        assert!(
+            evicted.is_some(),
+            "with 100 offers a replacement is near-certain"
+        );
     }
 
     #[test]

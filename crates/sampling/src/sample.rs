@@ -89,7 +89,9 @@ impl Sample {
 
     /// Number of sampled rows matching a rectangular predicate (`K_pred`).
     pub fn k_pred(&self, rect: &Rect) -> usize {
-        (0..self.k()).filter(|&i| self.rows.matches(rect, i)).count()
+        (0..self.k())
+            .filter(|&i| self.rows.matches(rect, i))
+            .count()
     }
 
     /// Logical storage footprint: one f64 per value plus one per predicate
@@ -166,8 +168,7 @@ mod tests {
         for i in 0..s.k() {
             let key = s.rows().predicate(0, i);
             let val = s.rows().value(i);
-            let found = (0..t.n_rows())
-                .any(|j| t.predicate(0, j) == key && t.value(j) == val);
+            let found = (0..t.n_rows()).any(|j| t.predicate(0, j) == key && t.value(j) == val);
             assert!(found, "sampled row not in parent table");
         }
     }

@@ -96,8 +96,14 @@ mod tests {
     #[test]
     fn sum_adds_values_and_variances() {
         let strata = [
-            StratumEstimate { point: pv(10.0, 4.0, 3), population: 100 },
-            StratumEstimate { point: pv(20.0, 9.0, 5), population: 200 },
+            StratumEstimate {
+                point: pv(10.0, 4.0, 3),
+                population: 100,
+            },
+            StratumEstimate {
+                point: pv(20.0, 9.0, 5),
+                population: 200,
+            },
         ];
         let c = combine_strata(AggKind::Sum, &strata, 300);
         assert_eq!(c.value, 30.0);
@@ -107,8 +113,14 @@ mod tests {
     #[test]
     fn avg_weights_by_relative_population() {
         let strata = [
-            StratumEstimate { point: pv(10.0, 1.0, 2), population: 100 },
-            StratumEstimate { point: pv(40.0, 4.0, 2), population: 300 },
+            StratumEstimate {
+                point: pv(10.0, 1.0, 2),
+                population: 100,
+            },
+            StratumEstimate {
+                point: pv(40.0, 4.0, 2),
+                population: 300,
+            },
         ];
         let c = combine_strata(AggKind::Avg, &strata, 400);
         // 0.25·10 + 0.75·40 = 32.5; var 0.0625·1 + 0.5625·4 = 2.3125
@@ -119,8 +131,14 @@ mod tests {
     #[test]
     fn avg_skips_strata_without_relevant_tuples() {
         let strata = [
-            StratumEstimate { point: pv(10.0, 1.0, 5), population: 100 },
-            StratumEstimate { point: pv(999.0, 50.0, 0), population: 300 },
+            StratumEstimate {
+                point: pv(10.0, 1.0, 5),
+                population: 100,
+            },
+            StratumEstimate {
+                point: pv(999.0, 50.0, 0),
+                population: 300,
+            },
         ];
         let c = combine_strata(AggKind::Avg, &strata, 100);
         assert_eq!(c.value, 10.0);
@@ -139,9 +157,18 @@ mod tests {
     #[test]
     fn minmax_take_extrema_of_relevant_strata() {
         let strata = [
-            StratumEstimate { point: pv(5.0, 0.0, 1), population: 10 },
-            StratumEstimate { point: pv(2.0, 0.0, 1), population: 10 },
-            StratumEstimate { point: pv(-1.0, 0.0, 0), population: 10 },
+            StratumEstimate {
+                point: pv(5.0, 0.0, 1),
+                population: 10,
+            },
+            StratumEstimate {
+                point: pv(2.0, 0.0, 1),
+                population: 10,
+            },
+            StratumEstimate {
+                point: pv(-1.0, 0.0, 0),
+                population: 10,
+            },
         ];
         let mn = combine_strata(AggKind::Min, &strata, 30);
         assert_eq!(mn.value, 2.0);

@@ -53,10 +53,7 @@ impl Dictionary {
 
     /// Encode a whole column of labels into predicate-ready `f64` codes.
     pub fn encode_column<'a, I: IntoIterator<Item = &'a str>>(&mut self, labels: I) -> Vec<f64> {
-        labels
-            .into_iter()
-            .map(|l| self.encode(l) as f64)
-            .collect()
+        labels.into_iter().map(|l| self.encode(l) as f64).collect()
     }
 
     /// The equality "rectangle bounds" `(code, code)` for a label — the

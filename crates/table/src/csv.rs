@@ -154,12 +154,7 @@ mod tests {
 
     #[test]
     fn quoted_fields_and_embedded_commas() {
-        let t = load(
-            "name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n",
-            "v",
-            &["name"],
-        )
-        .unwrap();
+        let t = load("name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n", "v", &["name"]).unwrap();
         assert_eq!(t.n_rows(), 2);
         // Dictionary-encoded strings become codes 0.0 and 1.0.
         assert_eq!(t.predicate(0, 0), 0.0);
@@ -186,12 +181,7 @@ mod tests {
 
     #[test]
     fn multi_predicate_columns() {
-        let t = load(
-            "a,b,v\n1,10,100\n2,20,200\n",
-            "v",
-            &["b", "a"],
-        )
-        .unwrap();
+        let t = load("a,b,v\n1,10,100\n2,20,200\n", "v", &["b", "a"]).unwrap();
         assert_eq!(t.dims(), 2);
         assert_eq!(t.predicate(0, 0), 10.0);
         assert_eq!(t.predicate(1, 0), 1.0);

@@ -64,12 +64,8 @@ pub fn intel(n_rows: usize, seed: u64) -> Table {
         }
     }
 
-    Table::new(
-        values,
-        vec![predicate],
-        vec!["light".into(), "time".into()],
-    )
-    .expect("generator produces consistent columns")
+    Table::new(values, vec![predicate], vec!["light".into(), "time".into()])
+        .expect("generator produces consistent columns")
 }
 
 #[cfg(test)]

@@ -131,7 +131,9 @@ mod tests {
         let t = taxi(3_000, 2);
         let col = t.predicate_column(0);
         assert!(col.windows(2).all(|w| w[0] <= w[1]));
-        assert!(col.iter().all(|&v| (0.0..DAYS * SECONDS_PER_DAY).contains(&v)));
+        assert!(col
+            .iter()
+            .all(|&v| (0.0..DAYS * SECONDS_PER_DAY).contains(&v)));
     }
 
     #[test]

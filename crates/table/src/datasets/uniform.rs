@@ -15,12 +15,8 @@ pub fn uniform(n_rows: usize, seed: u64) -> Table {
     let mut predicate: Vec<f64> = (0..n_rows).map(|_| rng.gen::<f64>()).collect();
     predicate.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let values: Vec<f64> = (0..n_rows).map(|_| rng.gen::<f64>() * 100.0).collect();
-    Table::new(
-        values,
-        vec![predicate],
-        vec!["value".into(), "key".into()],
-    )
-    .expect("generator produces consistent columns")
+    Table::new(values, vec![predicate], vec!["value".into(), "key".into()])
+        .expect("generator produces consistent columns")
 }
 
 #[cfg(test)]
@@ -32,7 +28,10 @@ mod tests {
     fn shape_and_ranges() {
         let t = uniform(5_000, 1);
         assert_eq!(t.n_rows(), 5_000);
-        assert!(t.predicate_column(0).iter().all(|&p| (0.0..1.0).contains(&p)));
+        assert!(t
+            .predicate_column(0)
+            .iter()
+            .all(|&p| (0.0..1.0).contains(&p)));
         assert!(t.values().iter().all(|&v| (0.0..100.0).contains(&v)));
         assert!((mean(t.values()) - 50.0).abs() < 2.0);
     }

@@ -199,10 +199,8 @@ mod tests {
 
     #[test]
     fn index_range_with_duplicate_keys() {
-        let s = SortedTable::from_sorted(
-            vec![1.0, 2.0, 2.0, 2.0, 3.0],
-            vec![1.0, 2.0, 3.0, 4.0, 5.0],
-        );
+        let s =
+            SortedTable::from_sorted(vec![1.0, 2.0, 2.0, 2.0, 3.0], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(s.index_range(2.0, 2.0), (1, 4));
         assert_eq!(s.index_range(1.5, 2.5), (1, 4));
     }

@@ -20,11 +20,7 @@ impl Table {
     ///
     /// All columns must have identical length and there must be at least one
     /// predicate column.
-    pub fn new(
-        values: Vec<f64>,
-        predicates: Vec<Vec<f64>>,
-        names: Vec<String>,
-    ) -> Result<Self> {
+    pub fn new(values: Vec<f64>, predicates: Vec<Vec<f64>>, names: Vec<String>) -> Result<Self> {
         if predicates.is_empty() {
             return Err(PassError::InvalidParameter(
                 "predicates",

@@ -21,5 +21,5 @@ pub use query_gen::{
     challenging_queries, random_queries, random_queries_in, template_queries,
     template_queries_partial,
 };
-pub use runner::{run_workload, QueryOutcome};
+pub use runner::{run_workload, run_workload_batched, QueryOutcome};
 pub use truth::Truth;

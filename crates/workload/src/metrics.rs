@@ -1,7 +1,7 @@
 //! The Section 5.1.2 metrics: median relative error, CI ratio, skip rate,
 //! and effective sample size.
 
-use serde::Serialize;
+use pass_common::Json;
 
 /// Median of a slice (NaNs excluded); 0.0 when nothing remains.
 pub fn median(values: &[f64]) -> f64 {
@@ -20,7 +20,7 @@ pub fn median(values: &[f64]) -> f64 {
 
 /// Aggregated workload metrics for one engine (one row of a benchmark
 /// table).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSummary {
     /// Engine name.
     pub engine: String,
@@ -45,6 +45,31 @@ pub struct WorkloadSummary {
     pub storage_bytes: usize,
     /// Offline construction time in milliseconds (filled by the harness).
     pub build_ms: f64,
+}
+
+impl WorkloadSummary {
+    /// The summary as a JSON object (one row of an emitted results file).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("engine", Json::from(self.engine.clone())),
+            (
+                "median_relative_error",
+                Json::from(self.median_relative_error),
+            ),
+            ("median_ci_ratio", Json::from(self.median_ci_ratio)),
+            ("mean_skip_rate", Json::from(self.mean_skip_rate)),
+            (
+                "mean_tuples_processed",
+                Json::from(self.mean_tuples_processed),
+            ),
+            ("mean_latency_us", Json::from(self.mean_latency_us)),
+            ("max_latency_us", Json::from(self.max_latency_us)),
+            ("failures", Json::from(self.failures)),
+            ("queries", Json::from(self.queries)),
+            ("storage_bytes", Json::from(self.storage_bytes)),
+            ("build_ms", Json::from(self.build_ms)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -80,7 +105,8 @@ mod tests {
             storage_bytes: 1024,
             build_ms: 42.0,
         };
-        let json = serde_json::to_string(&s).unwrap();
-        assert!(json.contains("\"engine\":\"PASS\""));
+        let json = s.to_json().to_string();
+        assert!(json.contains("\"engine\":\"PASS\""), "{json}");
+        assert!(json.contains("\"queries\":2000"), "{json}");
     }
 }

@@ -68,9 +68,7 @@ pub fn challenging_queries(
     let prefix = PrefixSums::build(&values);
     let delta_m = ((delta * m as f64).round() as usize).clamp(2, m / 2);
     let index = WindowIndex::build(&prefix, delta_m);
-    let (g, _) = index
-        .argmax_window(0, m)
-        .unwrap_or((0, 0.0));
+    let (g, _) = index.argmax_window(0, m).unwrap_or((0, 0.0));
     // Map the winning sample window back to full rows, slightly widened so
     // queries vary around the hot region while staying dominated by it
     // (the paper draws its challenging queries "from the interval with the
@@ -201,10 +199,7 @@ mod tests {
         let s = SortedTable::from_table(&t, 0);
         let qs = challenging_queries(&s, 100, AggKind::Sum, 2_000, 0.01, 6);
         let tail_start_key = s.key((40_000_f64 * 0.8) as usize);
-        let in_tail = qs
-            .iter()
-            .filter(|q| q.rect.lo(0) >= tail_start_key)
-            .count();
+        let in_tail = qs.iter().filter(|q| q.rect.lo(0) >= tail_start_key).count();
         assert!(in_tail > 90, "{in_tail}/100 queries in the tail");
     }
 

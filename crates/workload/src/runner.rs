@@ -72,6 +72,63 @@ pub fn run_workload<S: Synopsis + ?Sized>(
         }
     }
 
+    summarize(synopsis, outcomes, failures)
+}
+
+/// Evaluate `synopsis` over the workload through its **batched** path
+/// ([`Synopsis::estimate_many`]): engines that share work across a batch
+/// (PASS reuses its traversal buffers) amortize it here. Per-query latency
+/// is reported as the batch wall-clock divided by the batch size; error
+/// metrics are element-wise identical to [`run_workload`].
+pub fn run_workload_batched<S: Synopsis + ?Sized>(
+    synopsis: &S,
+    queries: &[Query],
+    truth: &Truth,
+    precomputed_truths: Option<&[Option<f64>]>,
+) -> (WorkloadSummary, Vec<QueryOutcome>) {
+    let start = Instant::now();
+    let estimates = synopsis.estimate_many(queries);
+    let per_query_us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut failures = 0usize;
+    for (i, (q, est)) in queries.iter().zip(estimates).enumerate() {
+        let t = match precomputed_truths {
+            Some(ts) => ts[i],
+            None => truth.eval(q),
+        };
+        match (est, t) {
+            (Ok(e), Some(tv)) => outcomes.push(QueryOutcome {
+                truth: Some(tv),
+                estimate: Some(e.value),
+                relative_error: e.relative_error(tv),
+                ci_ratio: e.ci_ratio(tv),
+                skip_rate: e.skip_rate(),
+                tuples_processed: e.tuples_processed,
+                latency_us: per_query_us,
+            }),
+            (Err(_), Some(tv)) => {
+                failures += 1;
+                outcomes.push(QueryOutcome {
+                    truth: Some(tv),
+                    estimate: None,
+                    relative_error: 1.0,
+                    ci_ratio: 1.0,
+                    skip_rate: 0.0,
+                    tuples_processed: 0,
+                    latency_us: per_query_us,
+                });
+            }
+            (_, None) => {}
+        }
+    }
+    summarize(synopsis, outcomes, failures)
+}
+
+fn summarize<S: Synopsis + ?Sized>(
+    synopsis: &S,
+    outcomes: Vec<QueryOutcome>,
+    failures: usize,
+) -> (WorkloadSummary, Vec<QueryOutcome>) {
     let rel: Vec<f64> = outcomes.iter().map(|o| o.relative_error).collect();
     let ci: Vec<f64> = outcomes.iter().map(|o| o.ci_ratio).collect();
     let n = outcomes.len().max(1) as f64;
@@ -86,10 +143,7 @@ pub fn run_workload<S: Synopsis + ?Sized>(
             .sum::<f64>()
             / n,
         mean_latency_us: outcomes.iter().map(|o| o.latency_us).sum::<f64>() / n,
-        max_latency_us: outcomes
-            .iter()
-            .map(|o| o.latency_us)
-            .fold(0.0, f64::max),
+        max_latency_us: outcomes.iter().map(|o| o.latency_us).fold(0.0, f64::max),
         failures,
         queries: outcomes.len(),
         storage_bytes: synopsis.storage_bytes(),
@@ -102,11 +156,20 @@ pub fn run_workload<S: Synopsis + ?Sized>(
 mod tests {
     use super::*;
     use crate::query_gen::random_queries;
-    use pass_baselines::UniformSynopsis;
-    use pass_common::AggKind;
-    use pass_core::PassBuilder;
+    use pass_baselines::Engine;
+    use pass_common::{AggKind, EngineSpec, PassSpec};
+    use pass_core::Pass;
     use pass_table::datasets::uniform;
     use pass_table::SortedTable;
+
+    fn pass_spec(partitions: usize, sample_rate: f64, seed: u64) -> PassSpec {
+        PassSpec {
+            partitions,
+            sample_rate,
+            seed,
+            ..PassSpec::default()
+        }
+    }
 
     #[test]
     fn pass_beats_uniform_on_median_error() {
@@ -115,13 +178,9 @@ mod tests {
         let truth = Truth::new(&t);
         let queries = random_queries(&s, 150, AggKind::Sum, 400, 2);
 
-        let pass = PassBuilder::new()
-            .partitions(32)
-            .sample_rate(0.01)
-            .seed(3)
-            .build(&t)
-            .unwrap();
-        let us = UniformSynopsis::build(&t, pass.total_samples(), 3).unwrap();
+        let pass = Pass::from_spec(&t, &pass_spec(32, 0.01, 3)).unwrap();
+        let us =
+            Engine::build(&t, &EngineSpec::uniform(pass.total_samples()).with_seed(3)).unwrap();
 
         let (pass_sum, _) = run_workload(&pass, &queries, &truth, None);
         let (us_sum, _) = run_workload(&us, &queries, &truth, None);
@@ -142,17 +201,36 @@ mod tests {
         let truth = Truth::new(&t);
         let queries = random_queries(&s, 30, AggKind::Avg, 100, 5);
         let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
-        let pass = PassBuilder::new().partitions(8).seed(6).build(&t).unwrap();
+        let pass = Pass::from_spec(&t, &pass_spec(8, 0.005, 6)).unwrap();
         let (a, _) = run_workload(&pass, &queries, &truth, None);
         let (b, _) = run_workload(&pass, &queries, &truth, Some(&truths));
         assert_eq!(a.median_relative_error, b.median_relative_error);
     }
 
     #[test]
+    fn batched_runner_matches_per_query_error_metrics() {
+        let t = uniform(15_000, 9);
+        let s = SortedTable::from_table(&t, 0);
+        let truth = Truth::new(&t);
+        let queries = random_queries(&s, 80, AggKind::Sum, 300, 10);
+        let pass = Pass::from_spec(&t, &pass_spec(32, 0.01, 11)).unwrap();
+        let (single, single_outcomes) = run_workload(&pass, &queries, &truth, None);
+        let (batched, batched_outcomes) = run_workload_batched(&pass, &queries, &truth, None);
+        assert_eq!(single.median_relative_error, batched.median_relative_error);
+        assert_eq!(single.median_ci_ratio, batched.median_ci_ratio);
+        assert_eq!(single.failures, batched.failures);
+        assert_eq!(single_outcomes.len(), batched_outcomes.len());
+        for (a, b) in single_outcomes.iter().zip(&batched_outcomes) {
+            assert_eq!(a.estimate, b.estimate);
+            assert_eq!(a.relative_error, b.relative_error);
+        }
+    }
+
+    #[test]
     fn failures_counted_and_penalized() {
         // A tiny uniform sample will fail AVG on very selective queries.
         let t = uniform(10_000, 7);
-        let us = UniformSynopsis::build(&t, 5, 8).unwrap();
+        let us = Engine::build(&t, &EngineSpec::uniform(5).with_seed(8)).unwrap();
         let truth = Truth::new(&t);
         // Very narrow queries.
         let queries: Vec<_> = (0..20)
@@ -170,6 +248,9 @@ mod tests {
                 assert_eq!(o.relative_error, 1.0);
             }
         }
-        assert_eq!(summary.failures, outcomes.iter().filter(|o| o.estimate.is_none()).count());
+        assert_eq!(
+            summary.failures,
+            outcomes.iter().filter(|o| o.estimate.is_none()).count()
+        );
     }
 }

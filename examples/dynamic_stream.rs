@@ -6,19 +6,25 @@
 //! cargo run --release --example dynamic_stream
 //! ```
 
-use pass::common::{AggKind, Query, Synopsis};
-use pass::core::PassBuilder;
+use pass::common::{AggKind, PassSpec, Query, Synopsis};
+use pass::core::Pass;
 use pass::table::datasets::uniform;
 
 fn main() {
-    // Bootstrap the synopsis from historical data...
+    // Bootstrap the synopsis from historical data. Updates need the
+    // concrete `Pass` type, so build it from a declarative spec directly
+    // (a `Session` could adopt it later via `add_synopsis`).
     let history = uniform(200_000, 21);
-    let mut pass = PassBuilder::new()
-        .partitions(64)
-        .sample_rate(0.01)
-        .seed(4)
-        .build(&history)
-        .unwrap();
+    let mut pass = Pass::from_spec(
+        &history,
+        &PassSpec {
+            partitions: 64,
+            sample_rate: 0.01,
+            seed: 4,
+            ..PassSpec::default()
+        },
+    )
+    .unwrap();
 
     // ...and keep a mirror table only to verify against (a real system
     // would not).

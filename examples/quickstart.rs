@@ -1,34 +1,43 @@
-//! Quickstart: build a PASS synopsis over a table and run approximate
-//! aggregates with confidence intervals and deterministic hard bounds.
+//! Quickstart: declare engines with `EngineSpec`, drive them through a
+//! `Session`, and run approximate aggregates with confidence intervals and
+//! deterministic hard bounds — single queries and batches.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use pass::common::{AggKind, Query, Synopsis};
-use pass::core::PassBuilder;
+use pass::common::{AggKind, PassSpec, Query};
 use pass::table::datasets::uniform;
+use pass::{EngineSpec, Session};
 
 fn main() {
     // 100k rows of (key, value) data. In a real deployment this is your
     // fact table: one aggregation column, d predicate columns.
     let table = uniform(100_000, 42);
 
-    // Build the synopsis: 64 variance-optimized partitions, 1% stratified
-    // sample. This is the expensive offline step.
-    let pass = PassBuilder::new()
-        .partitions(64)
-        .sample_rate(0.01)
-        .seed(7)
-        .build(&table)
+    // Declare the synopsis: 64 variance-optimized partitions, 1%
+    // stratified sample. Building is the expensive offline step; the
+    // session owns the result under the name "pass".
+    let mut session = Session::new(table);
+    session
+        .add_engine(
+            "pass",
+            &EngineSpec::Pass(PassSpec {
+                partitions: 64,
+                sample_rate: 0.01,
+                seed: 7,
+                ..PassSpec::default()
+            }),
+        )
         .expect("build succeeds on non-empty tables");
 
+    let engine = session.engine("pass").unwrap();
     println!(
-        "built PASS: {} tree nodes, {} leaves, {} stored samples, {} bytes",
-        pass.tree().n_nodes(),
-        pass.tree().n_leaves(),
-        pass.total_samples(),
-        pass.storage_bytes(),
+        "built {} in {:.0} ms: {} bytes  (spec: {})",
+        engine.name(),
+        session.build_ms("pass").unwrap(),
+        engine.storage_bytes(),
+        engine.spec().to_json(),
     );
 
     // Ask approximate questions. Estimates come back with a 99% CI and
@@ -41,8 +50,8 @@ fn main() {
         AggKind::Max,
     ] {
         let query = Query::interval(agg, 0.2, 0.7);
-        let est = pass.estimate(&query).expect("query within synopsis dims");
-        let truth = table.ground_truth(&query).unwrap();
+        let est = session.estimate("pass", &query).expect("query within dims");
+        let truth = session.ground_truth(&query).unwrap();
         let (lb, ub) = est.hard_bounds.unwrap();
         println!(
             "{agg:>5}(value) WHERE 0.2 <= key <= 0.7  ->  {:>12.2} ± {:>8.2}   truth {:>12.2}   hard bounds [{:.2}, {:.2}]{}",
@@ -56,15 +65,25 @@ fn main() {
         assert!(lb - 1e-9 <= truth && truth <= ub + 1e-9, "bounds are sound");
     }
 
-    // Queries aligned with the partitioning are answered exactly — zero
-    // error, zero samples touched.
-    let leaves = pass.tree().leaves();
-    let first_leaf = pass.tree().node(leaves[0]);
-    let aligned = Query::interval(AggKind::Sum, first_leaf.rect.lo(0), first_leaf.rect.hi(0));
-    let est = pass.estimate(&aligned).unwrap();
-    println!(
-        "\naligned query over leaf 0: exact={} skip_rate={:.3}",
-        est.exact,
-        est.skip_rate()
-    );
+    // Batched queries go through `estimate_many`: PASS classifies the
+    // batch with shared traversal buffers.
+    let windows: Vec<Query> = (0..8)
+        .map(|w| {
+            let lo = w as f64 / 10.0;
+            Query::interval(AggKind::Sum, lo, lo + 0.15)
+        })
+        .collect();
+    let results = session.estimate_many("pass", &windows).unwrap();
+    println!("\nbatched SUM over 8 sliding windows:");
+    for (q, res) in windows.iter().zip(results) {
+        let est = res.unwrap();
+        println!(
+            "  [{:.2}, {:.2}] -> {:>12.2} ± {:>8.2}  (skip rate {:.3})",
+            q.rect.lo(0),
+            q.rect.hi(0),
+            est.value,
+            est.ci_half,
+            est.skip_rate()
+        );
+    }
 }

@@ -4,63 +4,77 @@
 //! Dashboards only need screen-resolution accuracy, so a PASS synopsis
 //! answers sliding-window light-level queries hundreds of times faster
 //! than a scan while a plain uniform sample of the same query-time cost
-//! is visibly noisier.
+//! is visibly noisier. The whole dashboard workload is one
+//! `estimate_many` batch through the `Session` facade.
 //!
 //! ```sh
 //! cargo run --release --example sensor_dashboard
 //! ```
 
-use std::time::Instant;
-
-use pass::baselines::UniformSynopsis;
-use pass::common::{AggKind, Query, Synopsis};
-use pass::core::PassBuilder;
+use pass::common::{AggKind, PassSpec, Query};
 use pass::table::datasets::intel;
+use pass::{EngineSpec, Session};
 
 fn main() {
     // A week of 30-second sensor readings.
     let table = intel(500_000, 11);
     let (key_lo, key_hi) = table.predicate_range(0).unwrap();
+    let n_rows = table.n_rows();
 
-    let build_start = Instant::now();
-    let pass = PassBuilder::new()
-        .partitions(128)
-        .sample_rate(0.02)
-        .seed(3)
-        .build(&table)
-        .unwrap();
+    // PASS plus a uniform sample whose size matches PASS's *per-query*
+    // cost (a query touches ≤ 2 of the 128 leaves ≈ 1/32 of the samples).
+    let pass = pass::core::Pass::from_spec(
+        &table,
+        &PassSpec {
+            partitions: 128,
+            sample_rate: 0.02,
+            seed: 3,
+            ..PassSpec::default()
+        },
+    )
+    .unwrap();
+    let us_budget = pass.total_samples() / 32;
+    let mut session = Session::new(table);
     println!(
-        "synopsis over {} rows built in {:.0} ms ({} bytes)",
-        table.n_rows(),
-        build_start.elapsed().as_secs_f64() * 1e3,
-        pass.storage_bytes()
+        "synopsis over {n_rows} rows ({} bytes)",
+        pass::Synopsis::storage_bytes(&pass)
     );
-
-    let us = UniformSynopsis::build(&table, pass.total_samples() / 32, 3).unwrap();
+    session.add_synopsis("pass", Box::new(pass));
+    session
+        .add_engine("us", &EngineSpec::uniform(us_budget).with_seed(3))
+        .unwrap();
 
     // Dashboard workload: 24 sliding windows across the time axis, AVG
-    // light level per window (what a brightness chart renders).
-    println!("\nwindow | truth    | PASS              | US (same per-query cost)");
+    // light level per window (what a brightness chart renders) — issued
+    // as one batch.
     let span = (key_hi - key_lo) / 24.0;
+    let windows: Vec<Query> = (0..24)
+        .map(|w| {
+            let lo = key_lo + w as f64 * span;
+            let hi = (lo + span * 1.5).min(key_hi); // overlapping windows
+            Query::interval(AggKind::Avg, lo, hi)
+        })
+        .collect();
+    let pass_results = session.estimate_many("pass", &windows).unwrap();
+    let us_results = session.estimate_many("us", &windows).unwrap();
+
+    println!("\nwindow | truth    | PASS              | US (same per-query cost)");
     let mut pass_err_sum = 0.0;
     let mut us_err_sum = 0.0;
-    for w in 0..24 {
-        let lo = key_lo + w as f64 * span;
-        let hi = lo + span * 1.5; // overlapping windows
-        let q = Query::interval(AggKind::Avg, lo, hi.min(key_hi));
-        let truth = table.ground_truth(&q).unwrap();
-        let p = pass.estimate(&q).unwrap();
-        let u = us.estimate(&q);
-        let u_txt = match &u {
+    for (w, ((q, p), u)) in windows
+        .iter()
+        .zip(&pass_results)
+        .zip(&us_results)
+        .enumerate()
+    {
+        let truth = session.ground_truth(q).unwrap();
+        let p = p.as_ref().expect("PASS answers every window");
+        let u_txt = match u {
             Ok(e) => format!("{:8.2} ± {:6.2}", e.value, e.ci_half),
             Err(_) => "no matching sample".to_string(),
         };
         pass_err_sum += p.relative_error(truth);
-        if let Ok(e) = &u {
-            us_err_sum += e.relative_error(truth);
-        } else {
-            us_err_sum += 1.0;
-        }
+        us_err_sum += u.as_ref().map_or(1.0, |e| e.relative_error(truth));
         println!(
             "{w:>6} | {truth:8.2} | {:8.2} ± {:6.2} | {u_txt}",
             p.value, p.ci_half
@@ -75,7 +89,7 @@ fn main() {
     // Night windows are constant zero: the 0-variance rule answers AVG
     // queries over them *exactly* even under partial overlap.
     let night = Query::interval(AggKind::Avg, key_lo + 10.0, key_lo + 9_000.0);
-    let est = pass.estimate(&night).unwrap();
+    let est = session.estimate("pass", &night).unwrap();
     println!(
         "night-window AVG: value={:.3} exact={} (0-variance rule)",
         est.value, est.exact

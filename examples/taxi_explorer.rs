@@ -3,14 +3,16 @@
 //! columns, plus the workload-shift trick — one synopsis built for a 2-D
 //! template keeps helping when analysts add more filter columns.
 //!
+//! All three engines (KD-PASS, KD-US, and the shifted KD-PASS) are
+//! declared as `EngineSpec`s inside one `Session`.
+//!
 //! ```sh
 //! cargo run --release --example taxi_explorer
 //! ```
 
-use pass::baselines::AqpPlusPlus;
-use pass::common::{AggKind, Query, Rect, Synopsis};
-use pass::core::PassBuilder;
+use pass::common::{AggKind, PassSpec, Query, Rect};
 use pass::table::datasets::taxi;
+use pass::{EngineSpec, Session};
 
 fn main() {
     // trip_distance aggregated over (pickup_time, pickup_date, PULocationID).
@@ -18,13 +20,32 @@ fn main() {
     let table = full.project(&[1, 2, 3]).unwrap();
     let bounds = table.bounding_rect().unwrap();
 
-    let kd_pass = PassBuilder::new()
-        .partitions(256)
-        .sample_rate(0.01)
-        .seed(9)
-        .build(&table)
+    let kd_pass_spec = PassSpec {
+        partitions: 256,
+        sample_rate: 0.01,
+        seed: 9,
+        ..PassSpec::default()
+    };
+    // Build KD-PASS concretely first so KD-US can match its stored sample
+    // budget, then hand it to the session alongside the spec-built engines.
+    let kd_pass = pass::core::Pass::from_spec(&table, &kd_pass_spec).unwrap();
+    let budget = kd_pass.total_samples();
+    let mut session = Session::new(table);
+    session.add_synopsis("kd-pass", Box::new(kd_pass));
+    session
+        .add_engine("kd-us", &EngineSpec::aqppp(256, budget).with_seed(9))
         .unwrap();
-    let kd_us = AqpPlusPlus::build(&table, 256, kd_pass.total_samples(), 9).unwrap();
+    // Workload shift: a synopsis whose *tree* only indexes (pickup_time,
+    // pickup_date) but whose samples keep all three predicate columns.
+    session
+        .add_engine(
+            "shifted",
+            &EngineSpec::Pass(PassSpec {
+                tree_dims: Some(vec![0, 1]),
+                ..kd_pass_spec
+            }),
+        )
+        .unwrap();
 
     println!("engine comparison on 3-D predicates (AVG trip_distance):");
     let scenarios: [(&str, Rect); 3] = [
@@ -47,9 +68,9 @@ fn main() {
     ];
     for (label, rect) in scenarios {
         let q = Query::new(AggKind::Avg, rect);
-        let truth = table.ground_truth(&q).unwrap();
-        let p = kd_pass.estimate(&q).unwrap();
-        let u = kd_us.estimate(&q).unwrap();
+        let truth = session.ground_truth(&q).unwrap();
+        let p = session.estimate("kd-pass", &q).unwrap();
+        let u = session.estimate("kd-us", &q).unwrap();
         println!(
             "  {label:<42} truth {truth:6.3}  KD-PASS {:6.3} (skip {:.2})  KD-US {:6.3}",
             p.value,
@@ -58,16 +79,8 @@ fn main() {
         );
     }
 
-    // Workload shift: a synopsis whose *tree* only indexes (pickup_time,
-    // pickup_date) but whose samples keep all three predicate columns can
-    // still answer 3-D queries — the shared attributes drive skipping.
-    let shifted = PassBuilder::new()
-        .partitions(256)
-        .sample_rate(0.01)
-        .tree_dims(&[0, 1])
-        .seed(9)
-        .build(&table)
-        .unwrap();
+    // The shifted synopsis still answers 3-D queries — the shared
+    // attributes drive skipping.
     println!("\nworkload shift (tree indexes 2 of 3 predicate columns):");
     for (label, rect) in [
         (
@@ -84,8 +97,8 @@ fn main() {
         ),
     ] {
         let q = Query::new(AggKind::Avg, rect);
-        let truth = table.ground_truth(&q).unwrap();
-        let est = shifted.estimate(&q).unwrap();
+        let truth = session.ground_truth(&q).unwrap();
+        let est = session.estimate("shifted", &q).unwrap();
         println!(
             "  {label:<42} truth {truth:6.3}  est {:6.3} ± {:5.3}  skip {:.2}",
             est.value,

@@ -1,7 +1,64 @@
 //! # PASS — Precomputation-Assisted Stratified Sampling
 //!
-//! Facade crate re-exporting the full public API of the PASS workspace.
-//! See the README for a tour; start with [`pass_core`]'s `Pass` type.
+//! Reproduction of "Combining Aggregation and Sampling (Nearly) Optimally
+//! for Approximate Query Processing" (SIGMOD 2021), grown into a unified
+//! multi-engine AQP workspace.
+//!
+//! The public API has three layers:
+//!
+//! 1. **[`EngineSpec`]** (from [`pass_common`]) — declarative, plain-data
+//!    configuration for every engine: PASS and the six Section 5 baselines
+//!    (US, ST, AQP++/KD-US, VerdictDB-style, DeepDB-style). Specs compare,
+//!    clone, and round-trip through JSON.
+//! 2. **The [`Synopsis`] contract** — every engine answers single queries
+//!    (`estimate`) and batches (`estimate_many`; PASS reuses its index-
+//!    traversal state across the whole batch) and reports the spec it was built
+//!    from (`spec`).
+//! 3. **[`Session`]** — owns a table plus named engines built from specs,
+//!    answers queries, and evaluates workloads with ground truth computed
+//!    once and shared across engines.
+//!
+//! ```
+//! use pass::{EngineSpec, Session};
+//! use pass::common::{AggKind, PassSpec, Query};
+//! use pass::table::datasets::uniform;
+//!
+//! // One session, two engines, declaratively configured.
+//! let mut session = Session::new(uniform(20_000, 42));
+//! session
+//!     .add_engine(
+//!         "pass",
+//!         &EngineSpec::Pass(PassSpec {
+//!             partitions: 32,
+//!             sample_rate: 0.01,
+//!             ..PassSpec::default()
+//!         }),
+//!     )
+//!     .unwrap();
+//! session.add_engine("us", &EngineSpec::uniform(1_000)).unwrap();
+//!
+//! // Single query with a confidence interval and hard bounds.
+//! let q = Query::interval(AggKind::Sum, 0.2, 0.7);
+//! let est = session.estimate("pass", &q).unwrap();
+//! let truth = session.ground_truth(&q).unwrap();
+//! assert!((est.value - truth).abs() / truth < 0.2);
+//!
+//! // Batched queries reuse PASS's tree traversal across the batch.
+//! let batch: Vec<Query> = (0..8)
+//!     .map(|i| Query::interval(AggKind::Count, i as f64 * 0.1, i as f64 * 0.1 + 0.2))
+//!     .collect();
+//! let results = session.estimate_many("pass", &batch).unwrap();
+//! assert_eq!(results.len(), 8);
+//!
+//! // Engines round-trip their specs.
+//! assert_eq!(session.spec("us"), Some(EngineSpec::uniform(1_000)));
+//! ```
+//!
+//! The sub-crates remain available for direct use: [`core`](pass_core)
+//! holds the PASS synopsis itself (`Pass::from_spec` for concrete-typed
+//! access, e.g. streaming updates), [`baselines`](pass_baselines) the
+//! comparator engines and the [`Engine`] registry, and
+//! [`workload`](pass_workload) the query generators and runner.
 
 pub use pass_baselines as baselines;
 pub use pass_common as common;
@@ -10,3 +67,9 @@ pub use pass_partition as partition;
 pub use pass_sampling as sampling;
 pub use pass_table as table;
 pub use pass_workload as workload;
+
+mod session;
+
+pub use pass_baselines::Engine;
+pub use pass_common::{EngineSpec, PassSpec, Synopsis};
+pub use session::Session;

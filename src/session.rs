@@ -1,0 +1,291 @@
+//! The top-level facade: one table, a set of named engines, single and
+//! batched queries, and workload evaluation — the single entry point the
+//! examples, integration tests, and benchmarks drive.
+
+use std::cell::OnceCell;
+use std::time::Instant;
+
+use pass_baselines::Engine;
+use pass_common::{EngineSpec, Estimate, PassError, Query, Result, Synopsis};
+use pass_table::Table;
+use pass_workload::{run_workload, QueryOutcome, Truth, WorkloadSummary};
+
+struct SessionEngine {
+    name: String,
+    synopsis: Box<dyn Synopsis>,
+    build_ms: f64,
+}
+
+/// A query session over one table and any number of named engines.
+///
+/// Engines are added declaratively via [`EngineSpec`]; the session owns
+/// the built synopses, answers single ([`estimate`](Session::estimate))
+/// and batched ([`estimate_many`](Session::estimate_many)) queries, and
+/// evaluates whole workloads with ground truth computed once and shared
+/// across engines.
+///
+/// ```
+/// use pass::{EngineSpec, Session};
+/// use pass::common::{AggKind, Query};
+/// use pass::table::datasets::uniform;
+///
+/// let mut session = Session::new(uniform(10_000, 42));
+/// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+/// session.add_engine("us", &EngineSpec::uniform(500)).unwrap();
+/// let q = Query::interval(AggKind::Sum, 0.2, 0.7);
+/// let est = session.estimate("pass", &q).unwrap();
+/// assert!(est.value > 0.0);
+/// ```
+pub struct Session {
+    table: Table,
+    truth: OnceCell<Truth>,
+    engines: Vec<SessionEngine>,
+}
+
+impl Session {
+    /// Start a session over a table with no engines yet.
+    pub fn new(table: Table) -> Self {
+        Session {
+            table,
+            truth: OnceCell::new(),
+            engines: Vec::new(),
+        }
+    }
+
+    /// Start a session and build a set of named engines in one step.
+    pub fn with_engines(table: Table, engines: &[(&str, EngineSpec)]) -> Result<Self> {
+        let mut session = Session::new(table);
+        for (name, spec) in engines {
+            session.add_engine(*name, spec)?;
+        }
+        Ok(session)
+    }
+
+    /// Build the engine `spec` describes and register it under `name`.
+    /// Re-using a name replaces the previous engine (rebuild-in-place).
+    pub fn add_engine(&mut self, name: impl Into<String>, spec: &EngineSpec) -> Result<&mut Self> {
+        let name = name.into();
+        let start = Instant::now();
+        let synopsis = Engine::build(&self.table, spec)?;
+        let build_ms = start.elapsed().as_secs_f64() * 1e3;
+        self.insert(SessionEngine {
+            name,
+            synopsis,
+            build_ms,
+        });
+        Ok(self)
+    }
+
+    /// Register an already-built synopsis (escape hatch for hand-built or
+    /// externally updated engines, e.g. a `Pass` absorbing a live stream).
+    pub fn add_synopsis(
+        &mut self,
+        name: impl Into<String>,
+        synopsis: Box<dyn Synopsis>,
+    ) -> &mut Self {
+        self.insert(SessionEngine {
+            name: name.into(),
+            synopsis,
+            build_ms: 0.0,
+        });
+        self
+    }
+
+    /// Insert-or-replace by name, preserving insertion order.
+    fn insert(&mut self, engine: SessionEngine) {
+        match self.engines.iter_mut().find(|e| e.name == engine.name) {
+            Some(slot) => *slot = engine,
+            None => self.engines.push(engine),
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Registered engine names, in insertion order.
+    pub fn engine_names(&self) -> Vec<&str> {
+        self.engines.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Look up an engine by name.
+    pub fn engine(&self, name: &str) -> Option<&dyn Synopsis> {
+        self.engines
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.synopsis.as_ref() as &dyn Synopsis)
+    }
+
+    /// The spec an engine was built from.
+    pub fn spec(&self, name: &str) -> Option<EngineSpec> {
+        self.engine(name).map(|e| e.spec())
+    }
+
+    /// Milliseconds spent building an engine.
+    pub fn build_ms(&self, name: &str) -> Option<f64> {
+        self.engines
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.build_ms)
+    }
+
+    fn engine_or_err(&self, name: &str) -> Result<&SessionEngine> {
+        self.engines.iter().find(|e| e.name == name).ok_or_else(|| {
+            PassError::InvalidParameter("engine", format!("no engine named `{name}`"))
+        })
+    }
+
+    /// Answer one query on a named engine.
+    pub fn estimate(&self, engine: &str, query: &Query) -> Result<Estimate> {
+        self.engine_or_err(engine)?.synopsis.estimate(query)
+    }
+
+    /// Answer a query batch on a named engine through its batched path
+    /// (PASS reuses its tree-traversal buffers across the whole batch).
+    pub fn estimate_many(&self, engine: &str, queries: &[Query]) -> Result<Vec<Result<Estimate>>> {
+        Ok(self.engine_or_err(engine)?.synopsis.estimate_many(queries))
+    }
+
+    /// Exact answer (`None` for AVG/MIN/MAX over empty selections),
+    /// computed by the session's shared ground-truth oracle.
+    pub fn ground_truth(&self, query: &Query) -> Option<f64> {
+        self.truth_oracle().eval(query)
+    }
+
+    /// Evaluate one engine over a workload. Ground truth is computed once
+    /// per session and shared across engines and calls.
+    pub fn run_workload(
+        &self,
+        engine: &str,
+        queries: &[Query],
+    ) -> Result<(WorkloadSummary, Vec<QueryOutcome>)> {
+        let entry = self.engine_or_err(engine)?;
+        let truth = self.truth_oracle();
+        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
+        let (mut summary, outcomes) = run_workload(&entry.synopsis, queries, truth, Some(&truths));
+        summary.engine = entry.name.clone();
+        summary.build_ms = entry.build_ms;
+        Ok((summary, outcomes))
+    }
+
+    /// Evaluate **every** registered engine over one workload, reusing a
+    /// single ground-truth pass — one row per engine, in insertion order.
+    pub fn run_workload_all(&self, queries: &[Query]) -> Vec<WorkloadSummary> {
+        let truth = self.truth_oracle();
+        let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
+        self.engines
+            .iter()
+            .map(|entry| {
+                let (mut summary, _) = run_workload(&entry.synopsis, queries, truth, Some(&truths));
+                summary.engine = entry.name.clone();
+                summary.build_ms = entry.build_ms;
+                summary
+            })
+            .collect()
+    }
+
+    fn truth_oracle(&self) -> &Truth {
+        self.truth.get_or_init(|| Truth::new(&self.table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::{AggKind, PassSpec};
+    use pass_table::datasets::uniform;
+    use pass_table::SortedTable;
+    use pass_workload::random_queries;
+
+    fn spec_pass(seed: u64) -> EngineSpec {
+        EngineSpec::Pass(PassSpec {
+            partitions: 16,
+            sample_rate: 0.02,
+            seed,
+            ..PassSpec::default()
+        })
+    }
+
+    #[test]
+    fn engines_are_named_and_replaceable() {
+        let mut s = Session::new(uniform(2_000, 1));
+        s.add_engine("pass", &spec_pass(2)).unwrap();
+        s.add_engine("us", &EngineSpec::uniform(200)).unwrap();
+        assert_eq!(s.engine_names(), vec!["pass", "us"]);
+        assert_eq!(s.spec("us"), Some(EngineSpec::uniform(200)));
+        // Replacing keeps the position and updates the spec.
+        s.add_engine("us", &EngineSpec::uniform(300)).unwrap();
+        assert_eq!(s.engine_names(), vec!["pass", "us"]);
+        assert_eq!(s.spec("us"), Some(EngineSpec::uniform(300)));
+        assert!(s.build_ms("pass").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn unknown_engine_is_an_error() {
+        let s = Session::new(uniform(1_000, 3));
+        let q = Query::interval(AggKind::Sum, 0.0, 1.0);
+        assert!(s.estimate("nope", &q).is_err());
+        assert!(s.estimate_many("nope", std::slice::from_ref(&q)).is_err());
+        assert!(s.run_workload("nope", &[q]).is_err());
+    }
+
+    #[test]
+    fn estimate_and_batch_agree_through_the_facade() {
+        let mut s = Session::new(uniform(10_000, 4));
+        s.add_engine("pass", &spec_pass(5)).unwrap();
+        let queries: Vec<Query> = (0..16)
+            .map(|i| Query::interval(AggKind::Sum, i as f64 / 20.0, i as f64 / 20.0 + 0.3))
+            .collect();
+        let batch = s.estimate_many("pass", &queries).unwrap();
+        for (q, b) in queries.iter().zip(batch) {
+            assert_eq!(s.estimate("pass", q).unwrap().value, b.unwrap().value);
+        }
+    }
+
+    #[test]
+    fn workloads_share_ground_truth_across_engines() {
+        let table = uniform(10_000, 6);
+        let sorted = SortedTable::from_table(&table, 0);
+        let queries = random_queries(&sorted, 40, AggKind::Sum, 300, 7);
+        let session = Session::with_engines(
+            table,
+            &[
+                ("pass", spec_pass(8)),
+                ("us", EngineSpec::uniform(400).with_seed(8)),
+            ],
+        )
+        .unwrap();
+        let rows = session.run_workload_all(&queries);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].engine, "pass");
+        assert_eq!(rows[1].engine, "us");
+        for row in &rows {
+            assert_eq!(row.queries, 40);
+            assert!(row.median_relative_error.is_finite());
+        }
+        // Single-engine evaluation matches the all-engines row.
+        let (solo, outcomes) = session.run_workload("pass", &queries).unwrap();
+        assert_eq!(solo.median_relative_error, rows[0].median_relative_error);
+        assert_eq!(outcomes.len(), 40);
+    }
+
+    #[test]
+    fn hand_built_synopses_can_join_the_session() {
+        use pass_core::Pass;
+        let table = uniform(2_000, 9);
+        let pass = Pass::from_spec(
+            &table,
+            &PassSpec {
+                partitions: 8,
+                seed: 10,
+                ..PassSpec::default()
+            },
+        )
+        .unwrap();
+        let mut s = Session::new(table);
+        s.add_synopsis("live", Box::new(pass));
+        let q = Query::interval(AggKind::Count, 0.0, 1.0);
+        assert!(s.estimate("live", &q).unwrap().value > 0.0);
+    }
+}

@@ -1,13 +1,13 @@
-//! End-to-end integration tests spanning every crate: datasets → builders
-//! → engines → workload runner, asserting the paper's headline claims at
+//! End-to-end integration tests spanning every crate: datasets → specs →
+//! `Session` → workload runner, asserting the paper's headline claims at
 //! test scale.
 
-use pass::baselines::{AqpPlusPlus, StratifiedSynopsis, UniformSynopsis};
-use pass::common::{AggKind, Query, Synopsis};
-use pass::core::{PassBuilder, PartitionStrategy};
+use pass::common::{AggKind, PartitionStrategy, PassSpec, Query, Synopsis};
+use pass::core::Pass;
 use pass::table::datasets::{adversarial, DatasetId};
 use pass::table::SortedTable;
-use pass::workload::{challenging_queries, random_queries, run_workload, Truth};
+use pass::workload::{challenging_queries, random_queries};
+use pass::{EngineSpec, Session};
 
 /// The Table 1 premise: controlling for sample budget, PASS is more
 /// accurate than uniform sampling on every dataset for every aggregate.
@@ -16,18 +16,28 @@ fn pass_beats_uniform_sampling_across_datasets_and_aggregates() {
     for id in DatasetId::ALL {
         let table = id.generate(60_000, 1);
         let sorted = SortedTable::from_table(&table, 0);
-        let truth = Truth::new(&table);
-        let pass = PassBuilder::new()
-            .partitions(32)
-            .sample_rate(0.01)
-            .seed(2)
-            .build(&table)
+        // Budget-matching US requires PASS's realized sample count, so
+        // build PASS concretely and adopt it into the session.
+        let pass = Pass::from_spec(
+            &table,
+            &PassSpec {
+                partitions: 32,
+                sample_rate: 0.01,
+                seed: 2,
+                ..PassSpec::default()
+            },
+        )
+        .unwrap();
+        let budget = pass.total_samples();
+        let mut session = Session::new(table);
+        session.add_synopsis("pass", Box::new(pass));
+        session
+            .add_engine("us", &EngineSpec::uniform(budget).with_seed(2))
             .unwrap();
-        let us = UniformSynopsis::build(&table, pass.total_samples(), 2).unwrap();
         for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
             let queries = random_queries(&sorted, 120, agg, 600, 3);
-            let (p, _) = run_workload(&pass, &queries, &truth, None);
-            let (u, _) = run_workload(&us, &queries, &truth, None);
+            let rows = session.run_workload_all(&queries);
+            let (p, u) = (&rows[0], &rows[1]);
             assert!(
                 p.median_relative_error <= u.median_relative_error * 1.05,
                 "{id}/{agg}: PASS {} vs US {}",
@@ -44,22 +54,27 @@ fn pass_beats_uniform_sampling_across_datasets_and_aggregates() {
 fn adp_beats_equal_depth_on_adversarial_challenging_queries() {
     let table = adversarial(120_000, 4);
     let sorted = SortedTable::from_table(&table, 0);
-    let truth = Truth::new(&table);
     let queries = challenging_queries(&sorted, 150, AggKind::Sum, 4_096, 0.01, 5);
 
-    let build = |strategy| {
-        PassBuilder::new()
-            .partitions(32)
-            .sample_rate(0.01)
-            .strategy(strategy)
-            .seed(6)
-            .build(&table)
-            .unwrap()
+    let spec = |strategy| {
+        EngineSpec::Pass(PassSpec {
+            partitions: 32,
+            sample_rate: 0.01,
+            strategy,
+            seed: 6,
+            ..PassSpec::default()
+        })
     };
-    let adp = build(PartitionStrategy::Adp(AggKind::Sum));
-    let eq = build(PartitionStrategy::EqualDepth);
-    let (a, _) = run_workload(&adp, &queries, &truth, None);
-    let (e, _) = run_workload(&eq, &queries, &truth, None);
+    let session = Session::with_engines(
+        table,
+        &[
+            ("adp", spec(PartitionStrategy::Adp(AggKind::Sum))),
+            ("eq", spec(PartitionStrategy::EqualDepth)),
+        ],
+    )
+    .unwrap();
+    let rows = session.run_workload_all(&queries);
+    let (a, e) = (&rows[0], &rows[1]);
     assert!(
         a.median_ci_ratio < e.median_ci_ratio,
         "ADP CI {} should beat EQ CI {}",
@@ -80,15 +95,21 @@ fn adp_beats_equal_depth_on_adversarial_challenging_queries() {
 fn skip_rate_is_high_for_selective_queries() {
     let table = DatasetId::NycTaxi.generate(80_000, 7);
     let sorted = SortedTable::from_table(&table, 0);
-    let truth = Truth::new(&table);
-    let pass = PassBuilder::new()
-        .partitions(64)
-        .sample_rate(0.02)
-        .seed(8)
-        .build(&table)
-        .unwrap();
     let queries = random_queries(&sorted, 100, AggKind::Sum, 800, 9);
-    let (summary, _) = run_workload(&pass, &queries, &truth, None);
+    let session = Session::with_engines(
+        table,
+        &[(
+            "pass",
+            EngineSpec::Pass(PassSpec {
+                partitions: 64,
+                sample_rate: 0.02,
+                seed: 8,
+                ..PassSpec::default()
+            }),
+        )],
+    )
+    .unwrap();
+    let (summary, _) = session.run_workload("pass", &queries).unwrap();
     assert!(
         summary.mean_skip_rate > 0.97,
         "skip rate {}",
@@ -102,81 +123,102 @@ fn skip_rate_is_high_for_selective_queries() {
 fn all_engines_run_one_workload() {
     let table = DatasetId::Intel.generate(40_000, 10);
     let sorted = SortedTable::from_table(&table, 0);
-    let truth = Truth::new(&table);
     let queries = random_queries(&sorted, 60, AggKind::Sum, 400, 11);
 
-    let pass = PassBuilder::new()
-        .partitions(16)
-        .sample_rate(0.01)
-        .seed(12)
-        .build(&table)
-        .unwrap();
-    let us = UniformSynopsis::build(&table, 400, 12).unwrap();
-    let st = StratifiedSynopsis::build(&table, 16, 400, 12).unwrap();
-    let aqp = AqpPlusPlus::build(&table, 16, 400, 12).unwrap();
-    let verdict = pass::baselines::VerdictSynopsis::build(&table, 0.05, 12).unwrap();
-    let spn = pass::baselines::SpnSynopsis::build(&table, 0.5, 12).unwrap();
+    let session = Session::with_engines(
+        table,
+        &[
+            (
+                "pass",
+                EngineSpec::Pass(PassSpec {
+                    partitions: 16,
+                    sample_rate: 0.01,
+                    seed: 12,
+                    ..PassSpec::default()
+                }),
+            ),
+            ("us", EngineSpec::uniform(400).with_seed(12)),
+            ("st", EngineSpec::stratified(16, 400).with_seed(12)),
+            ("aqp", EngineSpec::aqppp(16, 400).with_seed(12)),
+            ("verdict", EngineSpec::verdict(0.05).with_seed(12)),
+            ("spn", EngineSpec::spn(0.5).with_seed(12)),
+        ],
+    )
+    .unwrap();
 
-    for engine in [
-        &pass as &dyn Synopsis,
-        &us,
-        &st,
-        &aqp,
-        &verdict,
-        &spn,
-    ] {
-        let (summary, outcomes) = run_workload(engine, &queries, &truth, None);
-        assert_eq!(summary.queries, outcomes.len(), "{}", engine.name());
+    for name in session.engine_names() {
+        let (summary, outcomes) = session.run_workload(name, &queries).unwrap();
+        assert_eq!(summary.queries, outcomes.len(), "{name}");
         assert!(summary.median_relative_error.is_finite());
         assert!(summary.storage_bytes > 0);
-        assert!(summary.median_relative_error < 0.5, "{}", engine.name());
+        assert!(summary.median_relative_error < 0.5, "{name}");
+        assert!(summary.build_ms >= 0.0);
     }
 }
 
-/// Determinism across the whole pipeline: same seeds → identical tables.
+/// Determinism across the whole pipeline: same seeds → identical results.
 #[test]
 fn full_pipeline_is_deterministic() {
     let run = || {
         let table = DatasetId::Instacart.generate(30_000, 13);
         let sorted = SortedTable::from_table(&table, 0);
-        let truth = Truth::new(&table);
-        let pass = PassBuilder::new()
-            .partitions(16)
-            .sample_rate(0.01)
-            .seed(14)
-            .build(&table)
-            .unwrap();
         let queries = random_queries(&sorted, 50, AggKind::Avg, 300, 15);
-        let (summary, _) = run_workload(&pass, &queries, &truth, None);
+        let session = Session::with_engines(
+            table,
+            &[(
+                "pass",
+                EngineSpec::Pass(PassSpec {
+                    partitions: 16,
+                    sample_rate: 0.01,
+                    seed: 14,
+                    ..PassSpec::default()
+                }),
+            )],
+        )
+        .unwrap();
+        let (summary, _) = session.run_workload("pass", &queries).unwrap();
         summary.median_relative_error
     };
     assert_eq!(run(), run());
 }
 
 /// Exactness contract: queries aligned with leaf boundaries have zero
-/// error, zero CI, and matching hard bounds — across aggregates.
+/// error, zero CI, and matching hard bounds — across aggregates, whether
+/// asked one at a time or as a batch.
 #[test]
 fn aligned_queries_are_exact_end_to_end() {
     let table = DatasetId::NycTaxi.generate(50_000, 16);
-    let pass = PassBuilder::new()
-        .partitions(32)
-        .sample_rate(0.005)
-        .seed(17)
-        .build(&table)
-        .unwrap();
+    let pass = Pass::from_spec(
+        &table,
+        &PassSpec {
+            partitions: 32,
+            sample_rate: 0.005,
+            seed: 17,
+            ..PassSpec::default()
+        },
+    )
+    .unwrap();
     let leaves = pass.tree().leaves();
     // Union of leaves 3..=9 is a contiguous aligned range.
     let lo = pass.tree().node(leaves[3]).rect.lo(0);
     let hi = pass.tree().node(leaves[9]).rect.hi(0);
-    for agg in AggKind::ALL {
-        let q = Query::interval(agg, lo, hi);
-        let est = pass.estimate(&q).unwrap();
-        let truth = table.ground_truth(&q).unwrap();
-        assert!(est.exact, "{agg}");
+    let queries: Vec<Query> = AggKind::ALL
+        .into_iter()
+        .map(|agg| Query::interval(agg, lo, hi))
+        .collect();
+    let batch = pass.estimate_many(&queries);
+    for (q, batched) in queries.iter().zip(batch) {
+        let est = pass.estimate(q).unwrap();
+        let batched = batched.unwrap();
+        let truth = table.ground_truth(q).unwrap();
+        assert!(est.exact, "{}", q.agg);
         assert!(
             (est.value - truth).abs() <= 1e-9 * truth.abs().max(1.0),
-            "{agg}: {} vs {truth}",
+            "{}: {} vs {truth}",
+            q.agg,
             est.value
         );
+        assert_eq!(est.value, batched.value, "{}", q.agg);
+        assert_eq!(est.exact, batched.exact, "{}", q.agg);
     }
 }

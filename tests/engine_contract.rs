@@ -1,30 +1,33 @@
 //! Contract tests: every `Synopsis` implementation honours the shared
-//! behavioural contract the workload runner relies on.
+//! behavioural contract the workload runner and `Session` rely on.
+//!
+//! Engines are constructed exclusively through the spec-driven registry
+//! (`Engine::build`), so these tests also pin the registry's surface.
 
-use pass::baselines::{
-    AqpPlusPlus, SpnSynopsis, StratifiedSynopsis, UniformSynopsis, VerdictSynopsis,
-};
-use pass::common::{AggKind, PassError, Query, Rect, Synopsis};
-use pass::core::PassBuilder;
+use pass::common::{AggKind, EngineSpec, PassError, PassSpec, Query, Rect, Synopsis};
 use pass::table::datasets::uniform;
 use pass::table::Table;
+use pass::{Engine, Session};
+
+/// One spec per registered engine kind (PASS + five baselines).
+fn specs() -> Vec<EngineSpec> {
+    vec![
+        EngineSpec::Pass(PassSpec {
+            partitions: 16,
+            sample_rate: 0.05,
+            seed: 1,
+            ..PassSpec::default()
+        }),
+        EngineSpec::uniform(500).with_seed(1),
+        EngineSpec::stratified(16, 500).with_seed(1),
+        EngineSpec::aqppp(16, 500).with_seed(1),
+        EngineSpec::verdict(0.1).with_seed(1),
+        EngineSpec::spn(0.5).with_seed(1),
+    ]
+}
 
 fn engines(table: &Table) -> Vec<Box<dyn Synopsis>> {
-    vec![
-        Box::new(
-            PassBuilder::new()
-                .partitions(16)
-                .sample_rate(0.05)
-                .seed(1)
-                .build(table)
-                .unwrap(),
-        ),
-        Box::new(UniformSynopsis::build(table, 500, 1).unwrap()),
-        Box::new(StratifiedSynopsis::build(table, 16, 500, 1).unwrap()),
-        Box::new(AqpPlusPlus::build(table, 16, 500, 1).unwrap()),
-        Box::new(VerdictSynopsis::build(table, 0.1, 1).unwrap()),
-        Box::new(SpnSynopsis::build(table, 0.5, 1).unwrap()),
-    ]
+    Engine::build_all(table, &specs()).expect("every registered engine builds")
 }
 
 #[test]
@@ -93,8 +96,8 @@ fn sum_count_of_disjoint_region_is_zero_when_answerable() {
     for e in engines(&t) {
         for agg in [AggKind::Sum, AggKind::Count] {
             let q = Query::interval(agg, 5.0, 6.0); // outside [0, 1)
-            // Model-based engines may legitimately refuse (Err); those that
-            // answer must answer zero.
+                                                    // Model-based engines may legitimately refuse (Err); those that
+                                                    // answer must answer zero.
             if let Ok(est) = e.estimate(&q) {
                 assert!(
                     est.value.abs() < 1e-9,
@@ -104,5 +107,83 @@ fn sum_count_of_disjoint_region_is_zero_when_answerable() {
                 );
             }
         }
+    }
+}
+
+/// The batched contract: `estimate_many` agrees element-wise with repeated
+/// `estimate` for **every** engine — including PASS's shared-traversal
+/// override and everything forwarded through `Box<dyn Synopsis>`.
+#[test]
+fn estimate_many_agrees_with_repeated_estimate_for_every_engine() {
+    let t = uniform(20_000, 8);
+    let queries: Vec<Query> = (0..32)
+        .map(|i| {
+            let lo = i as f64 / 40.0;
+            let agg = [AggKind::Sum, AggKind::Count, AggKind::Avg][i % 3];
+            Query::interval(agg, lo, lo + 0.25)
+        })
+        .collect();
+    for e in engines(&t) {
+        let batch = e.estimate_many(&queries);
+        assert_eq!(batch.len(), queries.len(), "{}", e.name());
+        for (q, batched) in queries.iter().zip(batch) {
+            match (e.estimate(q), batched) {
+                (Ok(single), Ok(batched)) => {
+                    assert_eq!(single.value, batched.value, "{} on {q:?}", e.name());
+                    assert_eq!(single.ci_half, batched.ci_half, "{}", e.name());
+                    assert_eq!(single.exact, batched.exact, "{}", e.name());
+                    assert_eq!(single.hard_bounds, batched.hard_bounds, "{}", e.name());
+                }
+                (Err(single), Err(batched)) => {
+                    assert_eq!(single, batched, "{} on {q:?}", e.name())
+                }
+                (single, batched) => panic!(
+                    "{} on {q:?}: single {single:?} vs batched {batched:?}",
+                    e.name()
+                ),
+            }
+        }
+    }
+}
+
+/// The spec round-trip contract: every registry-built engine reports the
+/// spec it was built from, verbatim, and the spec survives JSON.
+#[test]
+fn specs_round_trip_through_build_and_json() {
+    let t = uniform(5_000, 9);
+    for spec in specs() {
+        let engine = Engine::build(&t, &spec).unwrap();
+        assert_eq!(engine.spec(), spec, "{}", engine.name());
+        let json = spec.to_json();
+        assert_eq!(
+            EngineSpec::from_json(&json).unwrap(),
+            spec,
+            "JSON round-trip: {json}"
+        );
+    }
+}
+
+/// The same engines behave identically when owned by a `Session`.
+#[test]
+fn session_preserves_the_contract() {
+    let t = uniform(10_000, 10);
+    let named: Vec<(String, EngineSpec)> = specs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (format!("e{i}"), s))
+        .collect();
+    let engines: Vec<(&str, EngineSpec)> =
+        named.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
+    let session = Session::with_engines(t, &engines).unwrap();
+    let q = Query::interval(AggKind::Sum, 0.2, 0.8);
+    for (name, spec) in &engines {
+        assert_eq!(session.spec(name), Some(spec.clone()));
+        let direct = session.engine(name).unwrap().estimate(&q).unwrap();
+        let via_session = session.estimate(name, &q).unwrap();
+        assert_eq!(direct.value, via_session.value);
+        let batch = session
+            .estimate_many(name, std::slice::from_ref(&q))
+            .unwrap();
+        assert_eq!(batch[0].as_ref().unwrap().value, direct.value);
     }
 }

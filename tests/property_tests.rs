@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 
-use pass::common::{AggKind, PrefixSums, Query, Rect, Synopsis};
-use pass::core::{mcf, PassBuilder, PartitionStrategy};
+use pass::common::{AggKind, PassSpec, PrefixSums, Query, Rect, Synopsis};
+use pass::core::{mcf, PartitionStrategy, Pass};
 use pass::partition::maxvar::{Exhaustive, MaxVarOracle};
 use pass::partition::{Adp, EqualDepth, Partitioner1D, VarianceOracle};
 use pass::table::{SortedTable, Table};
@@ -19,12 +19,7 @@ use pass::table::{SortedTable, Table};
 fn table_and_query() -> impl Strategy<Value = (Vec<f64>, f64, f64)> {
     (
         prop::collection::vec(
-            prop_oneof![
-                Just(0.0),
-                (1.0f64..100.0),
-                (-50.0f64..-1.0),
-                Just(42.0),
-            ],
+            prop_oneof![Just(0.0), 1.0f64..100.0, -50.0f64..-1.0, Just(42.0)],
             8..200,
         ),
         0.0f64..1.0,
@@ -50,12 +45,16 @@ proptest! {
     #[test]
     fn hard_bounds_always_contain_truth((values, lo, hi) in table_and_query(), k in 2usize..12) {
         let table = build_table(&values);
-        let pass = PassBuilder::new()
-            .partitions(k)
-            .sample_rate(0.2)
-            .seed(1)
-            .build(&table)
-            .unwrap();
+        let pass = Pass::from_spec(
+            &table,
+            &PassSpec {
+                partitions: k,
+                sample_rate: 0.2,
+                seed: 1,
+                ..PassSpec::default()
+            },
+        )
+        .unwrap();
         for agg in AggKind::ALL {
             let q = Query::new(agg, Rect::interval(lo, hi));
             let truth = table.ground_truth(&q);
@@ -85,13 +84,17 @@ proptest! {
     #[test]
     fn mcf_frontier_partitions_relevant_rows((values, lo, hi) in table_and_query(), k in 2usize..10) {
         let table = build_table(&values);
-        let pass = PassBuilder::new()
-            .partitions(k)
-            .sample_rate(0.5)
-            .strategy(PartitionStrategy::EqualDepth)
-            .seed(2)
-            .build(&table)
-            .unwrap();
+        let pass = Pass::from_spec(
+            &table,
+            &PassSpec {
+                partitions: k,
+                sample_rate: 0.5,
+                strategy: PartitionStrategy::EqualDepth,
+                seed: 2,
+                ..PassSpec::default()
+            },
+        )
+        .unwrap();
         let tree = pass.tree();
         let q = Query::interval(AggKind::Sum, lo, hi);
         let frontier = mcf(tree, &q, false);
@@ -145,12 +148,16 @@ proptest! {
     #[test]
     fn estimates_are_finite((values, lo, hi) in table_and_query()) {
         let table = build_table(&values);
-        let pass = PassBuilder::new()
-            .partitions(8)
-            .sample_rate(0.3)
-            .seed(3)
-            .build(&table)
-            .unwrap();
+        let pass = Pass::from_spec(
+            &table,
+            &PassSpec {
+                partitions: 8,
+                sample_rate: 0.3,
+                seed: 3,
+                ..PassSpec::default()
+            },
+        )
+        .unwrap();
         for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
             let q = Query::new(agg, Rect::interval(lo, hi));
             if let Ok(e) = pass.estimate(&q) {

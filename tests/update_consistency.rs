@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 
-use pass::common::{AggKind, Query, Synopsis};
-use pass::core::PassBuilder;
+use pass::common::{AggKind, PassSpec, Query, Synopsis};
+use pass::core::Pass;
 use pass::table::Table;
 
 #[derive(Debug, Clone)]
@@ -36,12 +36,16 @@ proptest! {
         let keys: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
         let values: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64).collect();
         let table = Table::one_dim(keys.clone(), values.clone()).unwrap();
-        let mut pass = PassBuilder::new()
-            .partitions(8)
-            .sample_rate(0.1)
-            .seed(seed)
-            .build(&table)
-            .unwrap();
+        let mut pass = Pass::from_spec(
+            &table,
+            &PassSpec {
+                partitions: 8,
+                sample_rate: 0.1,
+                seed,
+                ..PassSpec::default()
+            },
+        )
+        .unwrap();
 
         // Mirror of live tuples for ground truth.
         let mut mirror: Vec<(f64, f64)> = keys.into_iter().zip(values).collect();

@@ -1,0 +1,258 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of criterion its micro-benchmarks use:
+//! [`Criterion`], benchmark groups with `bench_with_input` /
+//! `bench_function`, [`BenchmarkId`], `Bencher::iter`, [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a simple adaptive wall-clock loop (warm-up, then enough
+//! iterations to fill a fixed measurement window) reporting the mean
+//! time per iteration — no statistics, plots, or baseline comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Runs one benchmark's measured closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`iter`](Self::iter).
+    ns_per_iter: f64,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up briefly, then run enough iterations to
+    /// fill the measurement window and record the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run until 10ms or 10 iterations.
+        let warmup = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_iters < 10 || warmup.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup.elapsed().as_secs_f64() / calib_iters as f64;
+        let target = (self.measure_for.as_secs_f64() / per_iter.max(1e-9)).ceil();
+        let iters = (target as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; the stub's adaptive
+    /// window ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measure_for = time;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+            measure_for: self.criterion.measure_for,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{:<40} time: [{}]  ({} iterations)",
+            self.name,
+            id.to_string(),
+            format_time(bencher.ns_per_iter),
+            bencher.iters
+        );
+    }
+
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short window: these stubs run in CI, not for publication.
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmarking group `{name}`");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from(name), |b| f(b));
+        self
+    }
+
+    /// Upstream parses CLI flags here; the stub accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

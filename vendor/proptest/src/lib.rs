@@ -1,0 +1,372 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest its test suites use: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / [`Just`] /
+//! weighted-union strategies, `prop::collection::vec`, the [`proptest!`]
+//! macro with `#![proptest_config(...)]` support, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed sequence (no persisted failure files) and failing
+//! cases are **not shrunk** — the panic message carries the case number so
+//! a failure is still reproducible by rerunning the test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Each case draws from an independent, deterministic stream.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            0x9E37_79B9u64 ^ (case.wrapping_mul(0x100_0193)),
+        ))
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values.
+///
+/// `generate` is object-safe so that [`prop_oneof!`] can mix strategy
+/// types behind `Box<dyn Strategy>`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated strategy, used by [`prop_oneof!`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+/// Weighted union over same-valued strategies (behind [`prop_oneof!`]).
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        let total_weight = variants.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union {
+            variants,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rand::Rng::gen_range(&mut rng.0, 0..self.total_weight);
+        for (w, s) in &self.variants {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights cover the sampled value")
+    }
+}
+
+pub mod strategy {
+    pub use crate::{BoxedStrategy, Just, Map, Strategy, Union};
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Acceptable size arguments for [`vec`].
+        pub trait SizeRange {
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+
+        impl SizeRange for RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rand::Rng::gen_range(&mut rng.0, self.clone())
+            }
+        }
+
+        /// Vector of values from `element`, with length drawn from `size`.
+        pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` or `prop_oneof![w1 => s1, w2 => s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// The proptest entry macro: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` that runs the body over `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::for_case(case);
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let _ = case;
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        let s = (0.0f64..1.0, 5usize..10).prop_map(|(x, n)| (x * 2.0, n));
+        for _ in 0..100 {
+            let (x, n) = s.generate(&mut rng);
+            assert!((0.0..2.0).contains(&x));
+            assert!((5..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let mut rng = TestRng::for_case(1);
+        let s = prop_oneof![9 => Just(1u64), 1 => Just(2u64)];
+        let mut ones = 0;
+        for _ in 0..1_000 {
+            if s.generate(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 800, "ones = {ones}");
+    }
+
+    #[test]
+    fn collection_vec_sizes() {
+        let mut rng = TestRng::for_case(2);
+        let s = prop::collection::vec(0u32..5, 3usize..7);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), c in 0usize..4) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(c < 4);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(c, 9);
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! assert_eq!(engine.spec(), EngineSpec::uniform(500));
 //! ```
 
+use std::sync::Arc;
+
 use pass_common::{EngineSpec, PassError, Result, Synopsis};
 use pass_core::Pass;
 use pass_table::Table;
@@ -28,16 +30,21 @@ use crate::{AqpPlusPlus, SpnSynopsis, StratifiedSynopsis, UniformSynopsis, Verdi
 pub struct Engine;
 
 impl Engine {
-    /// Build the engine a spec describes, as a trait object.
+    /// Build the engine a spec describes, as a shared trait object.
     ///
     /// The returned synopsis reports the input spec verbatim from
     /// [`Synopsis::spec`], so `Engine::build(t, &s)?.spec() == s`.
-    pub fn build(table: &Table, spec: &EngineSpec) -> Result<Box<dyn Synopsis>> {
+    ///
+    /// Built synopses are immutable at query time and [`Synopsis`] requires
+    /// `Send + Sync`, so the registry hands out `Arc`s: cloning one is a
+    /// reference-count bump, and any number of threads or `pass::Session`
+    /// handles can answer queries against the same synopsis concurrently.
+    pub fn build(table: &Table, spec: &EngineSpec) -> Result<Arc<dyn Synopsis>> {
         Ok(match spec {
-            EngineSpec::Pass(pass_spec) => Box::new(Pass::from_spec(table, pass_spec)?),
-            EngineSpec::Uniform { k, seed } => Box::new(UniformSynopsis::build(table, *k, *seed)?),
+            EngineSpec::Pass(pass_spec) => Arc::new(Pass::from_spec(table, pass_spec)?),
+            EngineSpec::Uniform { k, seed } => Arc::new(UniformSynopsis::build(table, *k, *seed)?),
             EngineSpec::Stratified { strata, k, seed } => {
-                Box::new(StratifiedSynopsis::build(table, *strata, *k, *seed)?)
+                Arc::new(StratifiedSynopsis::build(table, *strata, *k, *seed)?)
             }
             EngineSpec::AqpPlusPlus {
                 partitions,
@@ -45,8 +52,8 @@ impl Engine {
                 seed,
                 tree_dims,
             } => match tree_dims {
-                None => Box::new(AqpPlusPlus::build(table, *partitions, *k, *seed)?),
-                Some(dims) => Box::new(AqpPlusPlus::build_shifted(
+                None => Arc::new(AqpPlusPlus::build(table, *partitions, *k, *seed)?),
+                Some(dims) => Arc::new(AqpPlusPlus::build_shifted(
                     table,
                     dims,
                     *partitions,
@@ -55,9 +62,9 @@ impl Engine {
                 )?),
             },
             EngineSpec::Verdict { ratio, seed } => {
-                Box::new(VerdictSynopsis::build(table, *ratio, *seed)?)
+                Arc::new(VerdictSynopsis::build(table, *ratio, *seed)?)
             }
-            EngineSpec::Spn { ratio, seed } => Box::new(SpnSynopsis::build(table, *ratio, *seed)?),
+            EngineSpec::Spn { ratio, seed } => Arc::new(SpnSynopsis::build(table, *ratio, *seed)?),
             EngineSpec::Opaque { name } => {
                 return Err(PassError::InvalidParameter(
                     "spec",
@@ -68,7 +75,7 @@ impl Engine {
     }
 
     /// Build several engines over one table, preserving order.
-    pub fn build_all(table: &Table, specs: &[EngineSpec]) -> Result<Vec<Box<dyn Synopsis>>> {
+    pub fn build_all(table: &Table, specs: &[EngineSpec]) -> Result<Vec<Arc<dyn Synopsis>>> {
         specs.iter().map(|spec| Self::build(table, spec)).collect()
     }
 

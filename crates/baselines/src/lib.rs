@@ -21,7 +21,13 @@
 //!
 //! Engines (including PASS itself) are constructed through the
 //! spec-driven registry [`Engine`]: call sites describe the engine with a
-//! [`pass_common::EngineSpec`] and receive a `Box<dyn Synopsis>`.
+//! [`pass_common::EngineSpec`] and receive an `Arc<dyn Synopsis>` — an
+//! immutable, thread-safe synopsis that any number of sessions and worker
+//! threads can query concurrently ([`Synopsis`](pass_common::Synopsis)
+//! requires `Send + Sync`). [`Engine::standard_suite`] yields the paper's
+//! Section 5 comparison set in its canonical order (PASS, US, ST,
+//! AQP++/KD-US, VerdictDB-style, DeepDB-style SPN); the suite's ordering
+//! and display names are pinned by `tests/engine_contract.rs`.
 
 pub mod aqppp;
 pub mod engine;

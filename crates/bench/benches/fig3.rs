@@ -2,7 +2,11 @@
 //! partitions {4..128}, fixed 0.5% sample rate, on the three datasets.
 //!
 //! One [`Session`] per dataset; the sweep re-declares the partitioned
-//! engines per point (replace-by-name) while US stays fixed.
+//! engines per point (replace-by-name, which also replaces their caches)
+//! while US stays fixed. US's query cache is cleared each point instead:
+//! the workload repeats identically across the sweep, and without the
+//! reset the per-point US latency/throughput columns would measure cache
+//! lookups rather than the engine.
 
 use pass::{EngineSpec, Session};
 use pass_bench::{emit_json, pct, print_table, Scale};
@@ -49,6 +53,7 @@ fn main() {
 
         let mut rows = Vec::new();
         for parts in PARTITION_SWEEP {
+            session.clear_cache("US").unwrap();
             session
                 .add_engine(
                     "PASS",

@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks for the parallel serving layer: a 4k-query
+//! batch answered through `estimate_many_parallel` at 1/2/4/8 worker
+//! threads against the sequential `estimate_many` baseline, plus
+//! concurrent `SessionHandle` clones hammering one shared synopsis.
+//!
+//! The acceptance target (≥2× throughput at 4 threads over sequential on
+//! a 4k batch) is hardware-dependent: the parallel path shards perfectly
+//! over an immutable synopsis, so on a ≥4-core machine the sweep shows
+//! near-linear scaling; on a single-core container the 1-thread row
+//! (which takes the sequential path) is the floor and the sweep documents
+//! the scheduling overhead instead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pass::{EngineSpec, Session, ThreadPool};
+use pass_common::{AggKind, PassSpec, Query, Synopsis};
+use pass_core::Pass;
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+use pass_workload::random_queries;
+
+const BATCH: usize = 4_096;
+
+fn pass_spec(partitions: usize, seed: u64) -> PassSpec {
+    PassSpec {
+        partitions,
+        sample_rate: 0.005,
+        seed,
+        ..PassSpec::default()
+    }
+}
+
+fn fixture() -> (Pass, Vec<Query>) {
+    let table = DatasetId::NycTaxi.generate(200_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let pass = Pass::from_spec(&table, &pass_spec(256, 7)).unwrap();
+    let queries = random_queries(&sorted, BATCH, AggKind::Sum, 2_000, 11);
+    (pass, queries)
+}
+
+/// The headline sweep: one 4k-query batch, sequential vs. 1/2/4/8 workers.
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let (pass, queries) = fixture();
+    let mut group = c.benchmark_group(format!("pass_parallel_{BATCH}q"));
+    group.sample_size(10);
+
+    group.bench_function("estimate_many_sequential", |b| {
+        b.iter(|| black_box(pass.estimate_many(&queries)));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("estimate_many_parallel", threads),
+            &pool,
+            |b, pool| {
+                b.iter(|| black_box(pass.estimate_many_parallel(&queries, pool)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Concurrent sessions: N `SessionHandle` clones answering disjoint
+/// shards of the batch from their own threads, all against one shared
+/// immutable synopsis (the cache is sized below the batch so the bench
+/// measures engine work, not cache hits).
+fn bench_concurrent_handles(c: &mut Criterion) {
+    let table = DatasetId::NycTaxi.generate(200_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, BATCH, AggKind::Sum, 2_000, 11);
+    let mut session = Session::new(table).with_cache_capacity(1);
+    session
+        .add_engine("pass", &EngineSpec::Pass(pass_spec(256, 7)))
+        .unwrap();
+    let handle = session.handle("pass").unwrap();
+
+    let mut group = c.benchmark_group(format!("session_handles_{BATCH}q"));
+    group.sample_size(10);
+    for sessions in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_handles", sessions),
+            &sessions,
+            |b, &sessions| {
+                let shard = queries.len() / sessions;
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for chunk in queries.chunks(shard) {
+                            let worker = handle.clone();
+                            scope.spawn(move || black_box(worker.estimate_many(chunk)));
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sweep, bench_concurrent_handles);
+criterion_main!(benches);

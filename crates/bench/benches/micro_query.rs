@@ -28,7 +28,7 @@ fn bench_estimate(c: &mut Criterion) {
     let queries = random_queries(&sorted, 64, AggKind::Sum, 2_000, 11);
     let k = 1_000;
 
-    let engines: Vec<(&str, Box<dyn Synopsis>)> = [
+    let engines: Vec<(&str, std::sync::Arc<dyn Synopsis>)> = [
         ("PASS", EngineSpec::Pass(pass_spec(64, 7))),
         ("US", EngineSpec::uniform(k).with_seed(7)),
         ("ST", EngineSpec::stratified(64, k).with_seed(7)),

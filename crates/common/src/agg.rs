@@ -11,10 +11,15 @@ use crate::kahan::KahanSum;
 /// The aggregate functions PASS supports (Section 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggKind {
+    /// Sum of the aggregation column over matching rows.
     Sum,
+    /// Number of matching rows.
     Count,
+    /// Mean of the aggregation column over matching rows.
     Avg,
+    /// Minimum of the aggregation column over matching rows.
     Min,
+    /// Maximum of the aggregation column over matching rows.
     Max,
 }
 
@@ -52,10 +57,15 @@ impl std::fmt::Display for AggKind {
 /// Exact mergeable statistics of one partition of the aggregation column.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aggregates {
+    /// Exact sum of the column over the partition.
     pub sum: f64,
+    /// Exact sum of squares (variance bookkeeping for the ADP optimizer).
     pub sum_sq: f64,
+    /// Number of rows in the partition.
     pub count: u64,
+    /// Minimum value (`+∞` for an empty partition).
     pub min: f64,
+    /// Maximum value (`−∞` for an empty partition).
     pub max: f64,
 }
 

@@ -1,0 +1,479 @@
+//! A bounded per-engine query cache for the serving layer.
+//!
+//! AQP engines in this workspace are deterministic once built (sampling
+//! happens offline, seeded), so a repeated query returns a bit-identical
+//! [`Estimate`] — which makes query results safely cacheable. [`QueryCache`]
+//! maps a [`QueryKey`] (aggregate kind + exact predicate-interval bounds)
+//! to the engine's answer, holds at most a fixed number of entries
+//! (FIFO eviction), and counts hits and misses so the serving layer can
+//! report cache effectiveness per workload.
+//!
+//! [`CachedSynopsis`] layers the cache over any [`Synopsis`] as a
+//! decorator: single, batched, and parallel query paths all consult the
+//! cache first and only hand the *misses* to the inner engine (keeping the
+//! engine's batched traversal win on the miss subset). `pass::Session`
+//! wraps every registered engine this way, and its cheap `SessionHandle`
+//! clones share one cache per engine across threads.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::estimate::Estimate;
+use crate::pool::ThreadPool;
+use crate::query::Query;
+use crate::spec::EngineSpec;
+use crate::synopsis::Synopsis;
+use crate::{AggKind, Result};
+
+/// The cache identity of a query: its aggregate kind plus the exact bit
+/// pattern of every predicate-interval bound. Bit-exact keying means no
+/// false sharing between queries that differ by any representable amount,
+/// and `NaN`-free rectangles (enforced by [`crate::Rect::new`]) make the
+/// bit patterns canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    agg: AggKind,
+    bounds: Vec<(u64, u64)>,
+}
+
+impl QueryKey {
+    /// The cache key of `query`.
+    pub fn new(query: &Query) -> Self {
+        Self {
+            agg: query.agg,
+            bounds: (0..query.dims())
+                .map(|d| (query.rect.lo(d).to_bits(), query.rect.hi(d).to_bits()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub len: usize,
+    /// Maximum entries the cache will hold.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas between two snapshots (`self` taken after `earlier`),
+    /// e.g. the hits/misses attributable to one workload run.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            len: self.len,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A bounded, thread-safe query-result cache (FIFO eviction).
+///
+/// Errors are cached alongside successful estimates: a deterministic
+/// engine rejects a repeated malformed query identically, so there is no
+/// reason to re-run the engine to rediscover the error.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<QueryKey, Result<Estimate>>,
+    order: VecDeque<QueryKey>,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` entries (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look `query` up, counting a hit or a miss.
+    pub fn get(&self, query: &Query) -> Option<Result<Estimate>> {
+        self.get_keyed(&QueryKey::new(query))
+    }
+
+    /// [`get`](Self::get) with a precomputed key (batch paths key once).
+    pub fn get_keyed(&self, key: &QueryKey) -> Option<Result<Estimate>> {
+        self.get_many_keyed(std::slice::from_ref(key))
+            .pop()
+            .unwrap()
+    }
+
+    /// Look many keys up under **one** lock acquisition, counting hits and
+    /// misses in bulk — the batch serving path takes the shared mutex
+    /// twice per batch (lookups + inserts) instead of twice per query.
+    pub fn get_many_keyed(&self, keys: &[QueryKey]) -> Vec<Option<Result<Estimate>>> {
+        let found: Vec<Option<Result<Estimate>>> = {
+            let inner = self.inner.lock().expect("cache poisoned");
+            keys.iter().map(|k| inner.map.get(k).cloned()).collect()
+        };
+        let hits = found.iter().filter(|f| f.is_some()).count() as u64;
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
+        found
+    }
+
+    /// Store the engine's answer for `query`, evicting the oldest entry
+    /// when full. Does not touch the hit/miss counters.
+    pub fn insert(&self, query: &Query, result: Result<Estimate>) {
+        self.insert_keyed(QueryKey::new(query), result);
+    }
+
+    /// [`insert`](Self::insert) with a precomputed key.
+    pub fn insert_keyed(&self, key: QueryKey, result: Result<Estimate>) {
+        self.insert_many_keyed(std::iter::once((key, result)));
+    }
+
+    /// Store many answers under **one** lock acquisition (FIFO eviction
+    /// applies as each entry lands).
+    pub fn insert_many_keyed(
+        &self,
+        entries: impl IntoIterator<Item = (QueryKey, Result<Estimate>)>,
+    ) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        for (key, result) in entries {
+            if inner.map.insert(key.clone(), result).is_none() {
+                inner.order.push_back(key);
+                if inner.order.len() > self.capacity {
+                    if let Some(oldest) = inner.order.pop_front() {
+                        inner.map.remove(&oldest);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current effectiveness counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: self.inner.lock().expect("cache poisoned").map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every entry (counters are kept; they are cumulative).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+/// A [`Synopsis`] decorator that answers repeated queries from a shared
+/// [`QueryCache`] and forwards only cache misses to the inner engine.
+///
+/// The inner engine stays authoritative: batched misses go through the
+/// inner [`estimate_many`](Synopsis::estimate_many) (or the parallel
+/// variant), so engine-side batching optimizations still apply to the
+/// uncached remainder, and — engines being deterministic — cached and
+/// freshly computed answers are bit-identical.
+///
+/// [`storage_bytes`](Synopsis::storage_bytes) reports the *inner* synopsis
+/// only: the cache is serving-layer working state, not synopsis storage.
+#[derive(Debug)]
+pub struct CachedSynopsis<S> {
+    inner: S,
+    cache: Arc<QueryCache>,
+}
+
+impl<S: Clone> Clone for CachedSynopsis<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            cache: Arc::clone(&self.cache),
+        }
+    }
+}
+
+impl<S: Synopsis> CachedSynopsis<S> {
+    /// Wrap `inner` with a fresh cache of at most `capacity` entries.
+    pub fn new(inner: S, capacity: usize) -> Self {
+        Self::with_cache(inner, Arc::new(QueryCache::new(capacity)))
+    }
+
+    /// Wrap `inner` with an existing (possibly shared) cache.
+    pub fn with_cache(inner: S, cache: Arc<QueryCache>) -> Self {
+        Self { inner, cache }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The shared cache (hand out clones of the `Arc` to share it).
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Answer a batch, filling cache misses via `compute` (which receives
+    /// only the **distinct** missed queries, in first-occurrence order —
+    /// duplicates within one batch are computed once and fanned out).
+    fn answer_batch(
+        &self,
+        queries: &[Query],
+        compute: impl FnOnce(&[Query]) -> Vec<Result<Estimate>>,
+    ) -> Vec<Result<Estimate>> {
+        let keys: Vec<QueryKey> = queries.iter().map(QueryKey::new).collect();
+        let mut results = self.cache.get_many_keyed(&keys);
+        // Distinct misses in first-occurrence order; slots lists every
+        // batch position waiting on each distinct query.
+        let mut miss_of: HashMap<&QueryKey, usize> = HashMap::new();
+        let mut missed: Vec<Query> = Vec::new();
+        let mut slots: Vec<Vec<usize>> = Vec::new();
+        for i in (0..queries.len()).filter(|&i| results[i].is_none()) {
+            let m = *miss_of.entry(&keys[i]).or_insert_with(|| {
+                missed.push(queries[i].clone());
+                slots.push(Vec::new());
+                missed.len() - 1
+            });
+            slots[m].push(i);
+        }
+        if !missed.is_empty() {
+            let computed = compute(&missed);
+            debug_assert_eq!(computed.len(), missed.len());
+            self.cache.insert_many_keyed(
+                slots
+                    .iter()
+                    .zip(&computed)
+                    .map(|(waiting, result)| (keys[waiting[0]].clone(), result.clone())),
+            );
+            for (waiting, result) in slots.iter().zip(computed) {
+                for &i in waiting {
+                    results[i] = Some(result.clone());
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+}
+
+impl<S: Synopsis> Synopsis for CachedSynopsis<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn estimate(&self, query: &Query) -> Result<Estimate> {
+        let key = QueryKey::new(query);
+        if let Some(cached) = self.cache.get_keyed(&key) {
+            return cached;
+        }
+        let result = self.inner.estimate(query);
+        self.cache.insert_keyed(key, result.clone());
+        result
+    }
+
+    fn estimate_many(&self, queries: &[Query]) -> Vec<Result<Estimate>> {
+        self.answer_batch(queries, |missed| self.inner.estimate_many(missed))
+    }
+
+    fn estimate_many_parallel(
+        &self,
+        queries: &[Query],
+        pool: &ThreadPool,
+    ) -> Vec<Result<Estimate>> {
+        self.answer_batch(queries, |missed| {
+            self.inner.estimate_many_parallel(missed, pool)
+        })
+    }
+
+    fn spec(&self) -> EngineSpec {
+        self.inner.spec()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+
+    fn dims(&self) -> usize {
+        self.inner.dims()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PassError;
+
+    /// Counts how many queries actually reach the engine.
+    struct Counting {
+        calls: AtomicU64,
+    }
+
+    impl Counting {
+        fn new() -> Self {
+            Self {
+                calls: AtomicU64::new(0),
+            }
+        }
+        fn calls(&self) -> u64 {
+            self.calls.load(Ordering::Relaxed)
+        }
+    }
+
+    impl Synopsis for Counting {
+        fn name(&self) -> &str {
+            "COUNTING"
+        }
+        fn estimate(&self, q: &Query) -> Result<Estimate> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if q.rect.lo(0) < 0.0 {
+                return Err(PassError::EmptyInput("negative"));
+            }
+            Ok(Estimate::exact(q.rect.lo(0) + q.rect.hi(0)))
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn dims(&self) -> usize {
+            1
+        }
+    }
+
+    fn q(lo: f64, hi: f64) -> Query {
+        Query::interval(AggKind::Sum, lo, hi)
+    }
+
+    #[test]
+    fn repeated_queries_hit_without_reaching_the_engine() {
+        let cached = CachedSynopsis::new(Counting::new(), 16);
+        let a = cached.estimate(&q(0.0, 1.0)).unwrap();
+        let b = cached.estimate(&q(0.0, 1.0)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cached.inner().calls(), 1);
+        let stats = cached.cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn bitwise_keying_distinguishes_nearby_queries() {
+        let cached = CachedSynopsis::new(Counting::new(), 16);
+        cached.estimate(&q(0.0, 1.0)).unwrap();
+        cached.estimate(&q(0.0, 1.0 + f64::EPSILON)).unwrap();
+        assert_eq!(cached.inner().calls(), 2);
+        // Same bounds but different aggregate: also distinct.
+        cached
+            .estimate(&Query::interval(AggKind::Count, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(cached.inner().calls(), 3);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let cached = CachedSynopsis::new(Counting::new(), 16);
+        assert!(cached.estimate(&q(-1.0, 1.0)).is_err());
+        assert!(cached.estimate(&q(-1.0, 1.0)).is_err());
+        assert_eq!(cached.inner().calls(), 1);
+    }
+
+    #[test]
+    fn batch_path_computes_only_misses_in_order() {
+        let cached = CachedSynopsis::new(Counting::new(), 16);
+        cached.estimate(&q(0.0, 1.0)).unwrap();
+        let queries = vec![q(0.0, 1.0), q(2.0, 3.0), q(0.0, 1.0), q(4.0, 5.0)];
+        let results = cached.estimate_many(&queries);
+        // Only the two unseen queries reached the engine (1 from warmup).
+        assert_eq!(cached.inner().calls(), 3);
+        let values: Vec<f64> = results.iter().map(|r| r.as_ref().unwrap().value).collect();
+        assert_eq!(values, vec![1.0, 5.0, 1.0, 9.0]);
+        // A second pass is all hits.
+        let before = cached.cache().stats();
+        cached.estimate_many(&queries);
+        let delta = cached.cache().stats().since(&before);
+        assert_eq!((delta.hits, delta.misses), (4, 0));
+        assert_eq!(cached.inner().calls(), 3);
+    }
+
+    #[test]
+    fn duplicate_misses_within_one_batch_are_computed_once() {
+        let cached = CachedSynopsis::new(Counting::new(), 16);
+        let queries = vec![q(0.0, 1.0), q(2.0, 3.0), q(0.0, 1.0), q(0.0, 1.0)];
+        let results = cached.estimate_many(&queries);
+        assert_eq!(cached.inner().calls(), 2, "two distinct cold queries");
+        let values: Vec<f64> = results.iter().map(|r| r.as_ref().unwrap().value).collect();
+        assert_eq!(values, vec![1.0, 5.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn parallel_batch_path_uses_the_cache() {
+        let cached = CachedSynopsis::new(Counting::new(), 128);
+        let pool = ThreadPool::new(2);
+        let queries: Vec<Query> = (0..100).map(|i| q(i as f64, i as f64 + 1.0)).collect();
+        let first = cached.estimate_many_parallel(&queries, &pool);
+        assert_eq!(cached.inner().calls(), 100);
+        let second = cached.estimate_many_parallel(&queries, &pool);
+        assert_eq!(cached.inner().calls(), 100, "second pass fully cached");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap().value, b.as_ref().unwrap().value);
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache_fifo() {
+        let cached = CachedSynopsis::new(Counting::new(), 2);
+        cached.estimate(&q(0.0, 1.0)).unwrap();
+        cached.estimate(&q(1.0, 2.0)).unwrap();
+        cached.estimate(&q(2.0, 3.0)).unwrap(); // evicts (0,1)
+        assert_eq!(cached.cache().stats().len, 2);
+        cached.estimate(&q(0.0, 1.0)).unwrap(); // recomputed
+        assert_eq!(cached.inner().calls(), 4);
+        // (1,2) was evicted by the re-insert of (0,1)… FIFO order: (2,3) stays.
+        cached.estimate(&q(2.0, 3.0)).unwrap();
+        assert_eq!(cached.inner().calls(), 4, "still cached");
+    }
+
+    #[test]
+    fn reinserting_the_same_key_does_not_grow_the_order_queue() {
+        let cache = QueryCache::new(2);
+        for _ in 0..10 {
+            cache.insert(&q(0.0, 1.0), Ok(Estimate::exact(1.0)));
+        }
+        assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = QueryCache::new(4);
+        cache.insert(&q(0.0, 1.0), Ok(Estimate::exact(1.0)));
+        assert!(cache.get(&q(0.0, 1.0)).is_some());
+        cache.clear();
+        assert!(cache.get(&q(0.0, 1.0)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 0));
+    }
+}

@@ -6,7 +6,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PassError {
     /// The query references a dimension the synopsis was not built over.
-    DimensionMismatch { expected: usize, got: usize },
+    DimensionMismatch {
+        /// Predicate dimensions the synopsis covers.
+        expected: usize,
+        /// Predicate dimensions the query supplied.
+        got: usize,
+    },
     /// A parameter was outside its valid range (name, description).
     InvalidParameter(&'static str, String),
     /// The input table is empty or otherwise unusable.

@@ -15,11 +15,17 @@ use crate::error::{PassError, Result};
 /// which keeps emitted documents canonical and diffable.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// JSON `null`.
     Null,
+    /// JSON boolean.
     Bool(bool),
+    /// JSON number (always `f64`).
     Num(f64),
+    /// JSON string.
     Str(String),
+    /// JSON array.
     Arr(Vec<Json>),
+    /// JSON object (keys sorted).
     Obj(BTreeMap<String, Json>),
 }
 
@@ -29,6 +35,7 @@ impl Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
+    /// Object field lookup; `None` for non-objects and absent keys.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(map) => map.get(key),
@@ -36,6 +43,7 @@ impl Json {
         }
     }
 
+    /// The value as a number, when it is one.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
@@ -43,18 +51,21 @@ impl Json {
         }
     }
 
+    /// The value as a non-negative 53-bit-exact integer, when it is one.
     pub fn as_usize(&self) -> Option<usize> {
         self.as_f64()
             .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= (1u64 << 53) as f64)
             .map(|x| x as usize)
     }
 
+    /// The value as a non-negative 53-bit-exact integer, when it is one.
     pub fn as_u64(&self) -> Option<u64> {
         self.as_f64()
             .filter(|x| x.fract() == 0.0 && *x >= 0.0 && *x <= (1u64 << 53) as f64)
             .map(|x| x as u64)
     }
 
+    /// The value as a boolean, when it is one.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -62,6 +73,7 @@ impl Json {
         }
     }
 
+    /// The value as a string slice, when it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -69,6 +81,7 @@ impl Json {
         }
     }
 
+    /// The value as an array slice, when it is one.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),

@@ -1,18 +1,24 @@
 //! Shared foundation for the PASS approximate-query-processing workspace.
 //!
-//! This crate holds the vocabulary types every other crate speaks:
+//! PASS (SIGMOD 2021, "Combining Aggregation and Sampling (Nearly)
+//! Optimally for Approximate Query Processing") combines a precomputed
+//! aggregate tree with per-partition stratified samples. This crate holds
+//! the vocabulary types every other crate speaks:
 //!
 //! * [`Query`] / [`Rect`] — rectangular aggregate queries over a predicate
-//!   space (Section 3.1 of the paper);
+//!   space (paper Section 3.1);
 //! * [`AggKind`] / [`Aggregates`] — the five supported aggregates and the
-//!   mergeable per-partition statistics (SUM, COUNT, MIN, MAX);
+//!   mergeable per-partition statistics (SUM, COUNT, MIN, MAX — Section 2.3);
 //! * [`Estimate`] and the [`Synopsis`] trait — the engine-agnostic contract
-//!   every AQP engine (PASS and all baselines) implements, with single
-//!   ([`Synopsis::estimate`]) and batched ([`Synopsis::estimate_many`])
-//!   entry points;
+//!   every AQP engine (PASS and the Section 5 baselines) implements, with
+//!   single ([`Synopsis::estimate`]), batched ([`Synopsis::estimate_many`]),
+//!   and parallel ([`Synopsis::estimate_many_parallel`]) entry points;
 //! * [`EngineSpec`] / [`PassSpec`] — declarative engine configuration, the
 //!   input to the engine registry (`pass_baselines::Engine`) and the
 //!   `pass::Session` facade, JSON round-trippable via [`json`];
+//! * the serving-layer building blocks: a dependency-free chunk-stealing
+//!   worker pool ([`ThreadPool`]) and a bounded query-result cache
+//!   ([`QueryCache`] / [`CachedSynopsis`]);
 //! * numeric kernels: compensated summation ([`kahan`]), prefix sums
 //!   ([`prefix`]), and statistics helpers ([`stats`]);
 //! * deterministic RNG construction ([`rng`]).
@@ -20,11 +26,15 @@
 //! Nothing here depends on any particular storage layout or estimator; those
 //! live in `pass-table`, `pass-sampling`, `pass-partition`, and `pass-core`.
 
+#![warn(missing_docs)]
+
 pub mod agg;
+pub mod cache;
 pub mod error;
 pub mod estimate;
 pub mod json;
 pub mod kahan;
+pub mod pool;
 pub mod prefix;
 pub mod query;
 pub mod rng;
@@ -33,12 +43,14 @@ pub mod stats;
 pub mod synopsis;
 
 pub use agg::{AggKind, Aggregates};
+pub use cache::{CacheStats, CachedSynopsis, QueryCache, QueryKey};
 pub use error::{PassError, Result};
 pub use estimate::Estimate;
 pub use json::Json;
 pub use kahan::KahanSum;
+pub use pool::ThreadPool;
 pub use prefix::PrefixSums;
 pub use query::{Query, Rect, RectRelation};
 pub use spec::{EngineSpec, PartitionStrategy, PassSpec};
 pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};
-pub use synopsis::Synopsis;
+pub use synopsis::{Synopsis, PARALLEL_MIN_BATCH};

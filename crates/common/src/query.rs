@@ -155,11 +155,14 @@ impl Rect {
 /// An aggregate query: `SELECT agg(A) FROM P WHERE rect` (Section 3.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    /// Which aggregate to compute.
     pub agg: AggKind,
+    /// The rectangular predicate (one inclusive interval per dimension).
     pub rect: Rect,
 }
 
 impl Query {
+    /// An aggregate query over a rectangular predicate.
     pub fn new(agg: AggKind, rect: Rect) -> Self {
         Self { agg, rect }
     }

@@ -92,25 +92,54 @@ pub enum EngineSpec {
     /// PASS (the paper's contribution).
     Pass(PassSpec),
     /// US — one uniform sample of `k` rows.
-    Uniform { k: usize, seed: u64 },
+    Uniform {
+        /// Sample size in rows.
+        k: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
     /// ST — `strata` equal-depth strata sharing a budget of `k` samples.
-    Stratified { strata: usize, k: usize, seed: u64 },
+    Stratified {
+        /// Number of equal-depth strata.
+        strata: usize,
+        /// Total sample budget across strata.
+        k: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
     /// AQP++ (1-D) / KD-US (d > 1): `partitions` precomputed aggregates +
     /// a uniform sample of `k` rows; `tree_dims` selects the
     /// workload-shift build.
     AqpPlusPlus {
+        /// Number of precomputed partitions.
         partitions: usize,
+        /// Uniform sample size in rows.
         k: usize,
+        /// Sampling seed.
         seed: u64,
+        /// Workload-shift mode: predicate dimensions the tree indexes.
         tree_dims: Option<Vec<usize>>,
     },
     /// VerdictDB-style scramble of `ratio` of the table.
-    Verdict { ratio: f64, seed: u64 },
+    Verdict {
+        /// Fraction of the table kept in the scramble.
+        ratio: f64,
+        /// Scramble seed.
+        seed: u64,
+    },
     /// DeepDB-style SPN trained on a `ratio` row sample.
-    Spn { ratio: f64, seed: u64 },
+    Spn {
+        /// Fraction of the table the SPN is trained on.
+        ratio: f64,
+        /// Training-sample seed.
+        seed: u64,
+    },
     /// Escape hatch for hand-built synopses that live outside the
     /// registry; carries only the display name. Cannot be built.
-    Opaque { name: String },
+    Opaque {
+        /// Display name of the hand-built synopsis.
+        name: String,
+    },
 }
 
 impl EngineSpec {

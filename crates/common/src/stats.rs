@@ -66,10 +66,12 @@ pub struct Welford {
 }
 
 impl Welford {
+    /// An empty accumulator.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Absorb one observation.
     pub fn push(&mut self, v: f64) {
         self.count += 1;
         let delta = v - self.mean;
@@ -77,10 +79,12 @@ impl Welford {
         self.m2 += delta * (v - self.mean);
     }
 
+    /// Observations absorbed so far.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Mean of the observations so far (0 when empty).
     pub fn mean(&self) -> f64 {
         self.mean
     }

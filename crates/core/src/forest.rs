@@ -4,7 +4,7 @@
 //! based on statistics from the workload." A [`PassForest`] holds several
 //! PASS synopses over the same table — typically one per anticipated query
 //! template, each indexing a different predicate-dimension subset via
-//! [`PassBuilder::tree_dims`] — and routes each incoming query to the
+//! [`crate::PassBuilder::tree_dims`] — and routes each incoming query to the
 //! member whose indexed dimensions best cover the query's constrained
 //! dimensions (falling back on the workload-shift machinery for the rest).
 

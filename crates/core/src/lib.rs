@@ -13,7 +13,11 @@
 //! engine registry and `pass::Session` use); [`PassBuilder`] remains as
 //! the fluent equivalent. Batches go through `estimate_many`, which
 //! reuses the MCF traversal state (stack + frontier buffers,
-//! [`McfScratch`]) across the whole batch:
+//! [`McfScratch`]) across the whole batch; `estimate_many_parallel`
+//! shards a batch across a `pass_common::ThreadPool` with one scratch per
+//! worker, bit-identical to the sequential paths (the synopsis is
+//! immutable at query time — `Synopsis` requires `Send + Sync` — so
+//! traversals parallelize without locks):
 //!
 //! ```
 //! use pass_core::Pass;

@@ -75,7 +75,28 @@ pub fn process_batch(
     lambda: f64,
     zero_variance_rule: bool,
 ) -> Vec<Result<Estimate>> {
-    let mut scratch = McfScratch::default();
+    process_batch_with(
+        tree,
+        leaf_samples,
+        queries,
+        lambda,
+        zero_variance_rule,
+        &mut McfScratch::default(),
+    )
+}
+
+/// [`process_batch`] with a caller-supplied [`McfScratch`]: the parallel
+/// batch path (`Pass::estimate_many_parallel`) creates one scratch per
+/// worker thread and runs every chunk that worker steals through it, so
+/// scratch reuse — the batching win — survives parallelism.
+pub fn process_batch_with(
+    tree: &PartitionTree,
+    leaf_samples: &[Sample],
+    queries: &[Query],
+    lambda: f64,
+    zero_variance_rule: bool,
+    scratch: &mut McfScratch,
+) -> Vec<Result<Estimate>> {
     queries
         .iter()
         .map(|query| {

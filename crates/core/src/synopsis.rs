@@ -429,6 +429,49 @@ impl Synopsis for Pass {
         )
     }
 
+    /// Parallel batched estimation: the batch is sharded across the pool's
+    /// workers, and — unlike the trait default, which would build a fresh
+    /// [`crate::mcf::McfScratch`] per stolen chunk — each worker builds
+    /// **one** scratch and reuses it across every chunk it steals, so the
+    /// allocation-free traversal of [`estimate_many`](Self::estimate_many)
+    /// is preserved per worker. Results are element-wise bit-identical to
+    /// the sequential paths (the synopsis is immutable and estimation is
+    /// deterministic per query).
+    fn estimate_many_parallel(
+        &self,
+        queries: &[Query],
+        pool: &pass_common::ThreadPool,
+    ) -> Vec<Result<Estimate>> {
+        if pool.threads() <= 1 || queries.len() < pass_common::PARALLEL_MIN_BATCH {
+            return self.estimate_many(queries);
+        }
+        let batchable =
+            self.tree_dims.is_none() && queries.iter().all(|q| q.dims() == self.query_dims);
+        let chunk = pool.chunk_size_for(queries.len());
+        if !batchable {
+            // Workload-shift trees / mixed-arity batches: shard the
+            // per-query fallback path instead.
+            return pool.map_chunks(queries.len(), chunk, |range| {
+                self.estimate_many(&queries[range])
+            });
+        }
+        pool.map_chunks_with(
+            queries.len(),
+            chunk,
+            crate::mcf::McfScratch::default,
+            |scratch, range| {
+                crate::query::process_batch_with(
+                    &self.tree,
+                    &self.samples,
+                    &queries[range],
+                    self.lambda,
+                    self.zero_variance_rule,
+                    scratch,
+                )
+            },
+        )
+    }
+
     fn spec(&self) -> EngineSpec {
         EngineSpec::Pass(self.spec.clone())
     }
@@ -718,6 +761,89 @@ mod tests {
             batch[0].as_ref().unwrap().value,
             shifted.estimate(&q).unwrap().value
         );
+    }
+
+    #[test]
+    fn estimate_many_parallel_is_bit_identical_to_sequential() {
+        use pass_common::ThreadPool;
+        let t = uniform(20_000, 50);
+        let pass = PassBuilder::new()
+            .partitions(32)
+            .sample_rate(0.02)
+            .seed(51)
+            .build(&t)
+            .unwrap();
+        let queries: Vec<Query> = (0..256)
+            .map(|i| {
+                let lo = (i % 80) as f64 / 100.0;
+                let agg = AggKind::ALL[i % AggKind::ALL.len()];
+                Query::interval(agg, lo, lo + 0.15)
+            })
+            .collect();
+        let sequential = pass.estimate_many(&queries);
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let parallel = pass.estimate_many_parallel(&queries, &pool);
+            assert_eq!(parallel.len(), sequential.len());
+            for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+                match (s, p) {
+                    (Ok(s), Ok(p)) => {
+                        assert_eq!(s.value, p.value, "threads {threads} query {i}");
+                        assert_eq!(s.ci_half, p.ci_half, "threads {threads} query {i}");
+                        assert_eq!(s.hard_bounds, p.hard_bounds, "threads {threads} query {i}");
+                    }
+                    (Err(s), Err(p)) => assert_eq!(s, p),
+                    (s, p) => panic!("threads {threads} query {i}: {s:?} vs {p:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_handles_shifted_trees_and_mixed_arity() {
+        use pass_common::{Rect, ThreadPool};
+        let pool = ThreadPool::new(2);
+        // Mixed-arity batch: falls back to per-query semantics, sharded.
+        let t = uniform(5_000, 52);
+        let pass = PassBuilder::new().partitions(8).seed(53).build(&t).unwrap();
+        let mut queries: Vec<Query> = (0..64)
+            .map(|i| Query::interval(AggKind::Sum, i as f64 / 100.0, 0.9))
+            .collect();
+        queries.push(Query::new(
+            AggKind::Sum,
+            Rect::new(&[(0.0, 1.0), (0.0, 1.0)]),
+        ));
+        let seq = pass.estimate_many(&queries);
+        let par = pass.estimate_many_parallel(&queries, &pool);
+        for (s, p) in seq.iter().zip(&par) {
+            match (s, p) {
+                (Ok(s), Ok(p)) => assert_eq!(s.value, p.value),
+                (Err(s), Err(p)) => assert_eq!(s, p),
+                other => panic!("{other:?}"),
+            }
+        }
+
+        // Workload-shift synopsis: same fallback, still element-wise equal.
+        let t3 = taxi(6_000, 54).project(&[1, 2, 3]).unwrap();
+        let shifted = PassBuilder::new()
+            .partitions(16)
+            .sample_rate(0.05)
+            .tree_dims(&[0, 1])
+            .seed(55)
+            .build(&t3)
+            .unwrap();
+        let full = t3.bounding_rect().unwrap();
+        let queries: Vec<Query> = (0..48)
+            .map(|i| {
+                let hi = full.lo(0) + (full.hi(0) - full.lo(0)) * (i + 1) as f64 / 48.0;
+                Query::new(AggKind::Sum, full.narrowed(0, full.lo(0), hi))
+            })
+            .collect();
+        let seq = shifted.estimate_many(&queries);
+        let par = shifted.estimate_many_parallel(&queries, &pool);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.as_ref().unwrap().value, p.as_ref().unwrap().value);
+        }
     }
 
     #[test]

@@ -36,6 +36,16 @@ pub struct WorkloadSummary {
     pub mean_latency_us: f64,
     /// Max per-query latency in microseconds.
     pub max_latency_us: f64,
+    /// Queries answered per second of wall clock — the serving-layer
+    /// throughput metric. For batched/parallel runs this is batch size
+    /// over batch wall time, so it reflects cross-query sharing and
+    /// multi-core speedup that per-query latency cannot.
+    pub throughput_qps: f64,
+    /// Query-cache hits attributable to this run (0 when run outside a
+    /// caching session).
+    pub cache_hits: u64,
+    /// Query-cache misses attributable to this run.
+    pub cache_misses: u64,
     /// Queries the engine could not answer (e.g. AVG with no matching
     /// sample) — these count as relative error 1.0 in the medians.
     pub failures: usize,
@@ -64,6 +74,9 @@ impl WorkloadSummary {
             ),
             ("mean_latency_us", Json::from(self.mean_latency_us)),
             ("max_latency_us", Json::from(self.max_latency_us)),
+            ("throughput_qps", Json::from(self.throughput_qps)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
             ("failures", Json::from(self.failures)),
             ("queries", Json::from(self.queries)),
             ("storage_bytes", Json::from(self.storage_bytes)),
@@ -100,6 +113,9 @@ mod tests {
             mean_tuples_processed: 12.0,
             mean_latency_us: 3.5,
             max_latency_us: 11.0,
+            throughput_qps: 280_000.0,
+            cache_hits: 5,
+            cache_misses: 1995,
             failures: 0,
             queries: 2000,
             storage_bytes: 1024,

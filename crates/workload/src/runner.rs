@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use pass_common::{Query, Synopsis};
+use pass_common::{Estimate, Query, Result, Synopsis, ThreadPool};
 
 use crate::metrics::{median, WorkloadSummary};
 use crate::truth::Truth;
@@ -29,50 +29,16 @@ pub fn run_workload<S: Synopsis + ?Sized>(
     truth: &Truth,
     precomputed_truths: Option<&[Option<f64>]>,
 ) -> (WorkloadSummary, Vec<QueryOutcome>) {
-    let mut outcomes = Vec::with_capacity(queries.len());
-    let mut failures = 0usize;
-    for (i, q) in queries.iter().enumerate() {
-        let t = match precomputed_truths {
-            Some(ts) => ts[i],
-            None => truth.eval(q),
-        };
+    let run_start = Instant::now();
+    let mut timed: Vec<(Result<Estimate>, f64)> = Vec::with_capacity(queries.len());
+    for q in queries {
         let start = Instant::now();
         let est = synopsis.estimate(q);
-        let latency_us = start.elapsed().as_secs_f64() * 1e6;
-        match (est, t) {
-            (Ok(e), Some(tv)) => {
-                outcomes.push(QueryOutcome {
-                    truth: Some(tv),
-                    estimate: Some(e.value),
-                    relative_error: e.relative_error(tv),
-                    ci_ratio: e.ci_ratio(tv),
-                    skip_rate: e.skip_rate(),
-                    tuples_processed: e.tuples_processed,
-                    latency_us,
-                });
-            }
-            (Err(_), Some(tv)) => {
-                failures += 1;
-                outcomes.push(QueryOutcome {
-                    truth: Some(tv),
-                    estimate: None,
-                    // An unanswerable query counts as 100% error — the
-                    // penalty the paper's selective-query discussion
-                    // motivates.
-                    relative_error: 1.0,
-                    ci_ratio: 1.0,
-                    skip_rate: 0.0,
-                    tuples_processed: 0,
-                    latency_us,
-                });
-            }
-            // Queries whose true answer is undefined (empty selection for
-            // AVG/MIN/MAX) are excluded from error statistics entirely.
-            (_, None) => {}
-        }
+        timed.push((est, start.elapsed().as_secs_f64() * 1e6));
     }
-
-    summarize(synopsis, outcomes, failures)
+    let wall_secs = run_start.elapsed().as_secs_f64();
+    let (outcomes, failures) = collect_outcomes(queries, timed, truth, precomputed_truths);
+    summarize(synopsis, outcomes, failures, queries.len(), wall_secs)
 }
 
 /// Evaluate `synopsis` over the workload through its **batched** path
@@ -88,10 +54,72 @@ pub fn run_workload_batched<S: Synopsis + ?Sized>(
 ) -> (WorkloadSummary, Vec<QueryOutcome>) {
     let start = Instant::now();
     let estimates = synopsis.estimate_many(queries);
-    let per_query_us = start.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+    finish_batch(
+        synopsis,
+        queries,
+        estimates,
+        start,
+        truth,
+        precomputed_truths,
+    )
+}
+
+/// Evaluate `synopsis` over the workload through its **parallel** batched
+/// path ([`Synopsis::estimate_many_parallel`]): the batch is sharded
+/// across `pool`'s worker threads against the (immutable) synopsis. Error
+/// metrics are element-wise identical to [`run_workload`] /
+/// [`run_workload_batched`]; the latency and throughput columns reflect
+/// the parallel wall clock, so `throughput_qps` is where multi-core
+/// speedup shows up.
+pub fn run_workload_parallel<S: Synopsis + ?Sized>(
+    synopsis: &S,
+    queries: &[Query],
+    truth: &Truth,
+    precomputed_truths: Option<&[Option<f64>]>,
+    pool: &ThreadPool,
+) -> (WorkloadSummary, Vec<QueryOutcome>) {
+    let start = Instant::now();
+    let estimates = synopsis.estimate_many_parallel(queries, pool);
+    finish_batch(
+        synopsis,
+        queries,
+        estimates,
+        start,
+        truth,
+        precomputed_truths,
+    )
+}
+
+/// Shared tail of the batch runners: batch wall clock amortized into
+/// per-query latency, then outcomes and the summary.
+fn finish_batch<S: Synopsis + ?Sized>(
+    synopsis: &S,
+    queries: &[Query],
+    estimates: Vec<Result<Estimate>>,
+    start: Instant,
+    truth: &Truth,
+    precomputed_truths: Option<&[Option<f64>]>,
+) -> (WorkloadSummary, Vec<QueryOutcome>) {
+    let wall_secs = start.elapsed().as_secs_f64();
+    let per_query_us = wall_secs * 1e6 / queries.len().max(1) as f64;
+    let timed: Vec<(Result<Estimate>, f64)> =
+        estimates.into_iter().map(|e| (e, per_query_us)).collect();
+    let (outcomes, failures) = collect_outcomes(queries, timed, truth, precomputed_truths);
+    summarize(synopsis, outcomes, failures, queries.len(), wall_secs)
+}
+
+/// Pair each (estimate, latency) with its ground truth and classify:
+/// answered, failed (penalized at 100% error), or undefined truth
+/// (excluded from error statistics entirely).
+fn collect_outcomes(
+    queries: &[Query],
+    timed: Vec<(Result<Estimate>, f64)>,
+    truth: &Truth,
+    precomputed_truths: Option<&[Option<f64>]>,
+) -> (Vec<QueryOutcome>, usize) {
     let mut outcomes = Vec::with_capacity(queries.len());
     let mut failures = 0usize;
-    for (i, (q, est)) in queries.iter().zip(estimates).enumerate() {
+    for (i, (q, (est, latency_us))) in queries.iter().zip(timed).enumerate() {
         let t = match precomputed_truths {
             Some(ts) => ts[i],
             None => truth.eval(q),
@@ -104,30 +132,35 @@ pub fn run_workload_batched<S: Synopsis + ?Sized>(
                 ci_ratio: e.ci_ratio(tv),
                 skip_rate: e.skip_rate(),
                 tuples_processed: e.tuples_processed,
-                latency_us: per_query_us,
+                latency_us,
             }),
             (Err(_), Some(tv)) => {
                 failures += 1;
                 outcomes.push(QueryOutcome {
                     truth: Some(tv),
                     estimate: None,
+                    // An unanswerable query counts as 100% error — the
+                    // penalty the paper's selective-query discussion
+                    // motivates.
                     relative_error: 1.0,
                     ci_ratio: 1.0,
                     skip_rate: 0.0,
                     tuples_processed: 0,
-                    latency_us: per_query_us,
+                    latency_us,
                 });
             }
             (_, None) => {}
         }
     }
-    summarize(synopsis, outcomes, failures)
+    (outcomes, failures)
 }
 
 fn summarize<S: Synopsis + ?Sized>(
     synopsis: &S,
     outcomes: Vec<QueryOutcome>,
     failures: usize,
+    executed: usize,
+    wall_secs: f64,
 ) -> (WorkloadSummary, Vec<QueryOutcome>) {
     let rel: Vec<f64> = outcomes.iter().map(|o| o.relative_error).collect();
     let ci: Vec<f64> = outcomes.iter().map(|o| o.ci_ratio).collect();
@@ -144,6 +177,17 @@ fn summarize<S: Synopsis + ?Sized>(
             / n,
         mean_latency_us: outcomes.iter().map(|o| o.latency_us).sum::<f64>() / n,
         max_latency_us: outcomes.iter().map(|o| o.latency_us).fold(0.0, f64::max),
+        // Throughput counts every query the engine executed (including
+        // those later excluded from error statistics for lacking a
+        // defined ground truth) — it is a serving-rate metric, and the
+        // wall clock covers the whole batch.
+        throughput_qps: if wall_secs > 0.0 {
+            executed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        cache_hits: 0,
+        cache_misses: 0,
         failures,
         queries: outcomes.len(),
         storage_bytes: synopsis.storage_bytes(),
@@ -223,6 +267,28 @@ mod tests {
         for (a, b) in single_outcomes.iter().zip(&batched_outcomes) {
             assert_eq!(a.estimate, b.estimate);
             assert_eq!(a.relative_error, b.relative_error);
+        }
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential_error_metrics() {
+        let t = uniform(15_000, 12);
+        let s = SortedTable::from_table(&t, 0);
+        let truth = Truth::new(&t);
+        let queries = random_queries(&s, 80, AggKind::Sum, 300, 13);
+        let pass = Pass::from_spec(&t, &pass_spec(32, 0.01, 14)).unwrap();
+        let (batched, _) = run_workload_batched(&pass, &queries, &truth, None);
+        for threads in [1, 2, 4] {
+            let pool = pass_common::ThreadPool::new(threads);
+            let (parallel, outcomes) = run_workload_parallel(&pass, &queries, &truth, None, &pool);
+            assert_eq!(
+                parallel.median_relative_error, batched.median_relative_error,
+                "threads {threads}"
+            );
+            assert_eq!(parallel.median_ci_ratio, batched.median_ci_ratio);
+            assert_eq!(parallel.failures, batched.failures);
+            assert_eq!(outcomes.len(), batched.queries);
+            assert!(parallel.throughput_qps > 0.0);
         }
     }
 

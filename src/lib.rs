@@ -11,12 +11,16 @@
 //!    (US, ST, AQP++/KD-US, VerdictDB-style, DeepDB-style). Specs compare,
 //!    clone, and round-trip through JSON.
 //! 2. **The [`Synopsis`] contract** — every engine answers single queries
-//!    (`estimate`) and batches (`estimate_many`; PASS reuses its index-
-//!    traversal state across the whole batch) and reports the spec it was built
-//!    from (`spec`).
+//!    (`estimate`), batches (`estimate_many`; PASS reuses its index-
+//!    traversal state across the whole batch), and parallel batches
+//!    (`estimate_many_parallel`, sharded over a [`ThreadPool`]; PASS gives
+//!    each worker its own traversal scratch), and reports the spec it was
+//!    built from (`spec`). Synopses are immutable at query time and
+//!    `Send + Sync`; the registry hands them out as `Arc<dyn Synopsis>`.
 //! 3. **[`Session`]** — owns a table plus named engines built from specs,
-//!    answers queries, and evaluates workloads with ground truth computed
-//!    once and shared across engines.
+//!    answers queries through a bounded per-engine result cache, hands out
+//!    cheap [`SessionHandle`] clones for concurrent serving, and evaluates
+//!    workloads with ground truth computed once and shared across engines.
 //!
 //! ```
 //! use pass::{EngineSpec, Session};
@@ -54,11 +58,11 @@
 //! assert_eq!(session.spec("us"), Some(EngineSpec::uniform(1_000)));
 //! ```
 //!
-//! The sub-crates remain available for direct use: [`core`](pass_core)
-//! holds the PASS synopsis itself (`Pass::from_spec` for concrete-typed
-//! access, e.g. streaming updates), [`baselines`](pass_baselines) the
-//! comparator engines and the [`Engine`] registry, and
-//! [`workload`](pass_workload) the query generators and runner.
+//! The sub-crates remain available for direct use: [`core`] holds the
+//! PASS synopsis itself (`Pass::from_spec` for concrete-typed access,
+//! e.g. streaming updates), [`baselines`] the comparator engines and the
+//! [`Engine`] registry, and [`workload`] the query generators and the
+//! per-query/batched/parallel runners.
 
 pub use pass_baselines as baselines;
 pub use pass_common as common;
@@ -71,5 +75,5 @@ pub use pass_workload as workload;
 mod session;
 
 pub use pass_baselines::Engine;
-pub use pass_common::{EngineSpec, PassSpec, Synopsis};
-pub use session::Session;
+pub use pass_common::{CacheStats, EngineSpec, PassSpec, Synopsis, ThreadPool};
+pub use session::{Session, SessionHandle, DEFAULT_CACHE_CAPACITY};

@@ -1,28 +1,47 @@
-//! The top-level facade: one table, a set of named engines, single and
-//! batched queries, and workload evaluation — the single entry point the
-//! examples, integration tests, and benchmarks drive.
+//! The top-level facade: one table, a set of named engines, single,
+//! batched, and parallel queries, per-engine result caching, and workload
+//! evaluation — the single entry point the examples, integration tests,
+//! and benchmarks drive.
+//!
+//! Concurrency model: a built synopsis is immutable (`Synopsis: Send +
+//! Sync`), so the session holds every engine behind an `Arc` and wraps it
+//! in a [`CachedSynopsis`]. [`Session::handle`] hands out cheap
+//! [`SessionHandle`] clones — an `Arc` bump each — that answer queries
+//! concurrently from any thread against the same synopsis and share one
+//! bounded query cache per engine.
 
-use std::cell::OnceCell;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use pass_baselines::Engine;
-use pass_common::{EngineSpec, Estimate, PassError, Query, Result, Synopsis};
+use pass_common::{
+    CacheStats, CachedSynopsis, EngineSpec, Estimate, PassError, Query, Result, Synopsis,
+    ThreadPool,
+};
 use pass_table::Table;
-use pass_workload::{run_workload, QueryOutcome, Truth, WorkloadSummary};
+use pass_workload::{
+    run_workload, run_workload_batched, run_workload_parallel, QueryOutcome, Truth, WorkloadSummary,
+};
+
+/// Cache entries per engine unless overridden with
+/// [`Session::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 struct SessionEngine {
     name: String,
-    synopsis: Box<dyn Synopsis>,
+    engine: CachedSynopsis<Arc<dyn Synopsis>>,
     build_ms: f64,
 }
 
 /// A query session over one table and any number of named engines.
 ///
 /// Engines are added declaratively via [`EngineSpec`]; the session owns
-/// the built synopses, answers single ([`estimate`](Session::estimate))
-/// and batched ([`estimate_many`](Session::estimate_many)) queries, and
-/// evaluates whole workloads with ground truth computed once and shared
-/// across engines.
+/// the built synopses (shared, immutable, behind `Arc`), answers single
+/// ([`estimate`](Session::estimate)), batched
+/// ([`estimate_many`](Session::estimate_many)), and parallel
+/// ([`estimate_many_parallel`](Session::estimate_many_parallel)) queries,
+/// caches repeated query results per engine, and evaluates whole
+/// workloads with ground truth computed once and shared across engines.
 ///
 /// ```
 /// use pass::{EngineSpec, Session};
@@ -36,10 +55,45 @@ struct SessionEngine {
 /// let est = session.estimate("pass", &q).unwrap();
 /// assert!(est.value > 0.0);
 /// ```
+///
+/// Batched-parallel serving: shard a query batch across a worker pool,
+/// and fan [`SessionHandle`] clones out to threads — all against one
+/// immutable synopsis, with one shared cache per engine:
+///
+/// ```
+/// use pass::{EngineSpec, Session, ThreadPool};
+/// use pass::common::{AggKind, Query};
+/// use pass::table::datasets::uniform;
+///
+/// let mut session = Session::new(uniform(10_000, 7));
+/// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+/// let queries: Vec<Query> = (0..64)
+///     .map(|i| Query::interval(AggKind::Sum, i as f64 / 80.0, i as f64 / 80.0 + 0.2))
+///     .collect();
+///
+/// // Parallel batch: element-wise identical to the sequential path.
+/// let pool = ThreadPool::new(2);
+/// let parallel = session.estimate_many_parallel("pass", &queries, &pool).unwrap();
+/// let sequential = session.estimate_many("pass", &queries).unwrap();
+/// for (p, s) in parallel.iter().zip(&sequential) {
+///     assert_eq!(p.as_ref().unwrap().value, s.as_ref().unwrap().value);
+/// }
+///
+/// // Concurrent sessions: cheap handles answer from worker threads.
+/// let handle = session.handle("pass").unwrap();
+/// std::thread::scope(|scope| {
+///     for chunk in queries.chunks(16) {
+///         let worker = handle.clone();
+///         scope.spawn(move || worker.estimate_many(chunk));
+///     }
+/// });
+/// assert!(handle.cache_stats().hits > 0); // repeated queries were cached
+/// ```
 pub struct Session {
     table: Table,
-    truth: OnceCell<Truth>,
+    truth: OnceLock<Truth>,
     engines: Vec<SessionEngine>,
+    cache_capacity: usize,
 }
 
 impl Session {
@@ -47,9 +101,17 @@ impl Session {
     pub fn new(table: Table) -> Self {
         Session {
             table,
-            truth: OnceCell::new(),
+            truth: OnceLock::new(),
             engines: Vec::new(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
+    }
+
+    /// Set the per-engine query-cache capacity (entries) for engines added
+    /// *after* this call. `Session::new(t).with_cache_capacity(64)` style.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
     }
 
     /// Start a session and build a set of named engines in one step.
@@ -68,9 +130,10 @@ impl Session {
         let start = Instant::now();
         let synopsis = Engine::build(&self.table, spec)?;
         let build_ms = start.elapsed().as_secs_f64() * 1e3;
+        let capacity = self.cache_capacity;
         self.insert(SessionEngine {
             name,
-            synopsis,
+            engine: CachedSynopsis::new(synopsis, capacity),
             build_ms,
         });
         Ok(self)
@@ -81,11 +144,12 @@ impl Session {
     pub fn add_synopsis(
         &mut self,
         name: impl Into<String>,
-        synopsis: Box<dyn Synopsis>,
+        synopsis: impl Synopsis + 'static,
     ) -> &mut Self {
+        let capacity = self.cache_capacity;
         self.insert(SessionEngine {
             name: name.into(),
-            synopsis,
+            engine: CachedSynopsis::new(Arc::new(synopsis), capacity),
             build_ms: 0.0,
         });
         self
@@ -109,12 +173,12 @@ impl Session {
         self.engines.iter().map(|e| e.name.as_str()).collect()
     }
 
-    /// Look up an engine by name.
+    /// Look up an engine by name (the raw synopsis, bypassing the cache).
     pub fn engine(&self, name: &str) -> Option<&dyn Synopsis> {
         self.engines
             .iter()
             .find(|e| e.name == name)
-            .map(|e| e.synopsis.as_ref() as &dyn Synopsis)
+            .map(|e| e.engine.inner().as_ref())
     }
 
     /// The spec an engine was built from.
@@ -130,21 +194,67 @@ impl Session {
             .map(|e| e.build_ms)
     }
 
+    /// Cumulative query-cache counters for an engine.
+    pub fn cache_stats(&self, name: &str) -> Option<CacheStats> {
+        self.engines
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.engine.cache().stats())
+    }
+
+    /// Drop every cached answer for `engine` (counters are kept — they are
+    /// cumulative). The invalidation hook for engines whose state changes
+    /// between queries: call it after mutating a hand-registered synopsis
+    /// so stale answers are not served. Re-registering via
+    /// [`add_engine`](Self::add_engine) replaces the cache wholesale.
+    pub fn clear_cache(&self, engine: &str) -> Result<()> {
+        self.engine_or_err(engine)?.engine.cache().clear();
+        Ok(())
+    }
+
+    /// A cheap cloneable handle answering queries against `engine` from
+    /// any thread: it shares the session's immutable synopsis and query
+    /// cache via `Arc`, so clones cost a reference-count bump and hits
+    /// accumulate in one place. Handles stay valid (and keep the synopsis
+    /// alive) even after the session drops or replaces the engine.
+    pub fn handle(&self, engine: &str) -> Result<SessionHandle> {
+        let entry = self.engine_or_err(engine)?;
+        Ok(SessionHandle {
+            name: Arc::from(entry.name.as_str()),
+            engine: entry.engine.clone(),
+        })
+    }
+
     fn engine_or_err(&self, name: &str) -> Result<&SessionEngine> {
         self.engines.iter().find(|e| e.name == name).ok_or_else(|| {
             PassError::InvalidParameter("engine", format!("no engine named `{name}`"))
         })
     }
 
-    /// Answer one query on a named engine.
+    /// Answer one query on a named engine (cache-first).
     pub fn estimate(&self, engine: &str, query: &Query) -> Result<Estimate> {
-        self.engine_or_err(engine)?.synopsis.estimate(query)
+        self.engine_or_err(engine)?.engine.estimate(query)
     }
 
     /// Answer a query batch on a named engine through its batched path
-    /// (PASS reuses its tree-traversal buffers across the whole batch).
+    /// (PASS reuses its tree-traversal buffers across the whole batch);
+    /// cached results are reused and only misses reach the engine.
     pub fn estimate_many(&self, engine: &str, queries: &[Query]) -> Result<Vec<Result<Estimate>>> {
-        Ok(self.engine_or_err(engine)?.synopsis.estimate_many(queries))
+        Ok(self.engine_or_err(engine)?.engine.estimate_many(queries))
+    }
+
+    /// Answer a query batch sharded across `pool`'s worker threads;
+    /// element-wise identical to [`estimate_many`](Session::estimate_many).
+    pub fn estimate_many_parallel(
+        &self,
+        engine: &str,
+        queries: &[Query],
+        pool: &ThreadPool,
+    ) -> Result<Vec<Result<Estimate>>> {
+        Ok(self
+            .engine_or_err(engine)?
+            .engine
+            .estimate_many_parallel(queries, pool))
     }
 
     /// Exact answer (`None` for AVG/MIN/MAX over empty selections),
@@ -153,20 +263,75 @@ impl Session {
         self.truth_oracle().eval(query)
     }
 
-    /// Evaluate one engine over a workload. Ground truth is computed once
-    /// per session and shared across engines and calls.
+    /// Evaluate one engine over a workload, query by query. Ground truth
+    /// is computed once per session and shared across engines and calls;
+    /// the engine's cache serves repeats, and the summary reports the
+    /// hits/misses attributable to this run.
     pub fn run_workload(
         &self,
         engine: &str,
         queries: &[Query],
     ) -> Result<(WorkloadSummary, Vec<QueryOutcome>)> {
+        self.run_workload_with(engine, queries, |entry, truths, truth| {
+            run_workload(&entry.engine, queries, truth, Some(truths))
+        })
+    }
+
+    /// Evaluate one engine over a workload through the **batched** query
+    /// path ([`Synopsis::estimate_many`]).
+    pub fn run_workload_batched(
+        &self,
+        engine: &str,
+        queries: &[Query],
+    ) -> Result<(WorkloadSummary, Vec<QueryOutcome>)> {
+        self.run_workload_with(engine, queries, |entry, truths, truth| {
+            run_workload_batched(&entry.engine, queries, truth, Some(truths))
+        })
+    }
+
+    /// Evaluate one engine over a workload with the batch sharded across
+    /// `pool`'s workers ([`Synopsis::estimate_many_parallel`]). Error
+    /// metrics are element-wise identical to the sequential runners; the
+    /// summary's latency/throughput columns reflect the parallel wall
+    /// clock.
+    pub fn run_workload_parallel(
+        &self,
+        engine: &str,
+        queries: &[Query],
+        pool: &ThreadPool,
+    ) -> Result<(WorkloadSummary, Vec<QueryOutcome>)> {
+        self.run_workload_with(engine, queries, |entry, truths, truth| {
+            run_workload_parallel(&entry.engine, queries, truth, Some(truths), pool)
+        })
+    }
+
+    fn run_workload_with(
+        &self,
+        engine: &str,
+        queries: &[Query],
+        run: impl FnOnce(&SessionEngine, &[Option<f64>], &Truth) -> (WorkloadSummary, Vec<QueryOutcome>),
+    ) -> Result<(WorkloadSummary, Vec<QueryOutcome>)> {
         let entry = self.engine_or_err(engine)?;
         let truth = self.truth_oracle();
         let truths: Vec<Option<f64>> = queries.iter().map(|q| truth.eval(q)).collect();
-        let (mut summary, outcomes) = run_workload(&entry.synopsis, queries, truth, Some(&truths));
+        let (summary, outcomes) = Self::run_attributed(entry, |entry| run(entry, &truths, truth));
+        Ok((summary, outcomes))
+    }
+
+    /// Run a workload against one engine, attributing the run's cache
+    /// hits/misses and the engine's identity/build time to the summary.
+    fn run_attributed<T>(
+        entry: &SessionEngine,
+        run: impl FnOnce(&SessionEngine) -> (WorkloadSummary, T),
+    ) -> (WorkloadSummary, T) {
+        let before = entry.engine.cache().stats();
+        let (mut summary, extra) = run(entry);
+        let delta = entry.engine.cache().stats().since(&before);
         summary.engine = entry.name.clone();
         summary.build_ms = entry.build_ms;
-        Ok((summary, outcomes))
+        summary.cache_hits = delta.hits;
+        summary.cache_misses = delta.misses;
+        (summary, extra)
     }
 
     /// Evaluate **every** registered engine over one workload, reusing a
@@ -177,16 +342,71 @@ impl Session {
         self.engines
             .iter()
             .map(|entry| {
-                let (mut summary, _) = run_workload(&entry.synopsis, queries, truth, Some(&truths));
-                summary.engine = entry.name.clone();
-                summary.build_ms = entry.build_ms;
-                summary
+                Self::run_attributed(entry, |entry| {
+                    run_workload(&entry.engine, queries, truth, Some(&truths))
+                })
+                .0
             })
             .collect()
     }
 
     fn truth_oracle(&self) -> &Truth {
         self.truth.get_or_init(|| Truth::new(&self.table))
+    }
+}
+
+/// A cloneable, thread-safe view of one session engine: the shared
+/// immutable synopsis plus the engine's shared query cache.
+///
+/// Create one with [`Session::handle`]; clone it freely and move the
+/// clones into worker threads — every clone answers against the same
+/// synopsis and feeds the same hit/miss counters.
+#[derive(Clone)]
+pub struct SessionHandle {
+    name: Arc<str>,
+    engine: CachedSynopsis<Arc<dyn Synopsis>>,
+}
+
+impl SessionHandle {
+    /// The engine name this handle serves.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw synopsis (bypassing the cache).
+    pub fn synopsis(&self) -> &dyn Synopsis {
+        self.engine.inner().as_ref()
+    }
+
+    /// Answer one query (cache-first).
+    pub fn estimate(&self, query: &Query) -> Result<Estimate> {
+        self.engine.estimate(query)
+    }
+
+    /// Answer a batch through the engine's batched path; only cache
+    /// misses reach the engine.
+    pub fn estimate_many(&self, queries: &[Query]) -> Vec<Result<Estimate>> {
+        self.engine.estimate_many(queries)
+    }
+
+    /// Answer a batch sharded across `pool`'s workers.
+    pub fn estimate_many_parallel(
+        &self,
+        queries: &[Query],
+        pool: &ThreadPool,
+    ) -> Vec<Result<Estimate>> {
+        self.engine.estimate_many_parallel(queries, pool)
+    }
+
+    /// Cumulative counters of the cache shared by all clones.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache().stats()
+    }
+
+    /// Drop every cached answer (shared with the session and all clones;
+    /// counters are kept). See [`Session::clear_cache`].
+    pub fn clear_cache(&self) {
+        self.engine.cache().clear();
     }
 }
 
@@ -227,7 +447,12 @@ mod tests {
         let q = Query::interval(AggKind::Sum, 0.0, 1.0);
         assert!(s.estimate("nope", &q).is_err());
         assert!(s.estimate_many("nope", std::slice::from_ref(&q)).is_err());
-        assert!(s.run_workload("nope", &[q]).is_err());
+        assert!(s.run_workload("nope", std::slice::from_ref(&q)).is_err());
+        assert!(s.handle("nope").is_err());
+        let pool = ThreadPool::new(2);
+        assert!(s
+            .estimate_many_parallel("nope", std::slice::from_ref(&q), &pool)
+            .is_err());
     }
 
     #[test]
@@ -241,6 +466,94 @@ mod tests {
         for (q, b) in queries.iter().zip(batch) {
             assert_eq!(s.estimate("pass", q).unwrap().value, b.unwrap().value);
         }
+    }
+
+    #[test]
+    fn parallel_batch_agrees_with_sequential_through_the_facade() {
+        let mut s = Session::new(uniform(10_000, 14));
+        s.add_engine("pass", &spec_pass(15)).unwrap();
+        let queries: Vec<Query> = (0..128)
+            .map(|i| Query::interval(AggKind::Sum, (i % 50) as f64 / 100.0, 0.8))
+            .collect();
+        let seq = s.estimate_many("pass", &queries).unwrap();
+        let pool = ThreadPool::new(4);
+        let par = s.estimate_many_parallel("pass", &queries, &pool).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.as_ref().unwrap().value, b.as_ref().unwrap().value);
+        }
+    }
+
+    #[test]
+    fn handles_share_synopsis_and_cache_across_threads() {
+        let mut s = Session::new(uniform(10_000, 16));
+        s.add_engine("pass", &spec_pass(17)).unwrap();
+        let handle = s.handle("pass").unwrap();
+        let queries: Vec<Query> = (0..40)
+            .map(|i| Query::interval(AggKind::Sum, i as f64 / 50.0, i as f64 / 50.0 + 0.2))
+            .collect();
+        let expected: Vec<f64> = queries
+            .iter()
+            .map(|q| s.estimate("pass", q).unwrap().value)
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let worker = handle.clone();
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for (q, want) in queries.iter().zip(expected) {
+                        assert_eq!(worker.estimate(q).unwrap().value, *want);
+                    }
+                });
+            }
+        });
+        // 40 session queries (misses) warmed the cache; all 160 handle
+        // queries were hits on the shared cache.
+        let stats = handle.cache_stats();
+        assert_eq!(stats.hits, 160);
+        assert_eq!(stats.misses, 40);
+        // The session sees the same counters: one cache per engine.
+        assert_eq!(s.cache_stats("pass").unwrap(), stats);
+    }
+
+    #[test]
+    fn second_workload_pass_is_fully_cached() {
+        let table = uniform(10_000, 20);
+        let sorted = SortedTable::from_table(&table, 0);
+        let queries = random_queries(&sorted, 50, AggKind::Sum, 300, 21);
+        let mut s = Session::new(table);
+        s.add_engine("pass", &spec_pass(22)).unwrap();
+        let (first, _) = s.run_workload("pass", &queries).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.cache_misses as usize, queries.len());
+        let (second, _) = s.run_workload("pass", &queries).unwrap();
+        assert_eq!(second.cache_hits as usize, queries.len());
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(
+            first.median_relative_error, second.median_relative_error,
+            "cached answers are identical"
+        );
+    }
+
+    #[test]
+    fn clearing_the_cache_forces_recomputation() {
+        let mut s = Session::new(uniform(5_000, 23));
+        s.add_engine("pass", &spec_pass(24)).unwrap();
+        let q = Query::interval(AggKind::Sum, 0.2, 0.8);
+        let first = s.estimate("pass", &q).unwrap();
+        s.estimate("pass", &q).unwrap();
+        assert_eq!(s.cache_stats("pass").unwrap().hits, 1);
+        s.clear_cache("pass").unwrap();
+        assert_eq!(s.cache_stats("pass").unwrap().len, 0);
+        // Recomputed (a miss), deterministic engines answer identically.
+        let again = s.estimate("pass", &q).unwrap();
+        assert_eq!(first.value, again.value);
+        assert_eq!(s.cache_stats("pass").unwrap().hits, 1);
+        assert!(s.clear_cache("nope").is_err());
+        // The handle shares the same cache and can clear it too.
+        let h = s.handle("pass").unwrap();
+        h.clear_cache();
+        assert_eq!(s.cache_stats("pass").unwrap().len, 0);
     }
 
     #[test]
@@ -264,10 +577,43 @@ mod tests {
             assert_eq!(row.queries, 40);
             assert!(row.median_relative_error.is_finite());
         }
-        // Single-engine evaluation matches the all-engines row.
+        // Single-engine evaluation matches the all-engines row (answers
+        // come from the cache now, but cached answers are identical).
         let (solo, outcomes) = session.run_workload("pass", &queries).unwrap();
         assert_eq!(solo.median_relative_error, rows[0].median_relative_error);
         assert_eq!(outcomes.len(), 40);
+        assert_eq!(solo.cache_hits as usize, queries.len());
+    }
+
+    #[test]
+    fn batched_and_parallel_workload_runners_match_per_query() {
+        let table = uniform(10_000, 30);
+        let sorted = SortedTable::from_table(&table, 0);
+        let queries = random_queries(&sorted, 60, AggKind::Sum, 300, 31);
+        // Separate sessions so each runner starts from a cold cache.
+        let run = |mode: usize| {
+            let mut s = Session::new(uniform(10_000, 30));
+            s.add_engine("pass", &spec_pass(32)).unwrap();
+            let pool = ThreadPool::new(2);
+            match mode {
+                0 => s.run_workload("pass", &queries).unwrap().0,
+                1 => s.run_workload_batched("pass", &queries).unwrap().0,
+                _ => s.run_workload_parallel("pass", &queries, &pool).unwrap().0,
+            }
+        };
+        let per_query = run(0);
+        let batched = run(1);
+        let parallel = run(2);
+        assert_eq!(
+            per_query.median_relative_error,
+            batched.median_relative_error
+        );
+        assert_eq!(
+            per_query.median_relative_error,
+            parallel.median_relative_error
+        );
+        assert!(batched.throughput_qps > 0.0);
+        assert!(parallel.throughput_qps > 0.0);
     }
 
     #[test]
@@ -284,7 +630,7 @@ mod tests {
         )
         .unwrap();
         let mut s = Session::new(table);
-        s.add_synopsis("live", Box::new(pass));
+        s.add_synopsis("live", pass);
         let q = Query::interval(AggKind::Count, 0.0, 1.0);
         assert!(s.estimate("live", &q).unwrap().value > 0.0);
     }

@@ -4,6 +4,8 @@
 //! Engines are constructed exclusively through the spec-driven registry
 //! (`Engine::build`), so these tests also pin the registry's surface.
 
+use std::sync::Arc;
+
 use pass::common::{AggKind, EngineSpec, PassError, PassSpec, Query, Rect, Synopsis};
 use pass::table::datasets::uniform;
 use pass::table::Table;
@@ -26,8 +28,49 @@ fn specs() -> Vec<EngineSpec> {
     ]
 }
 
-fn engines(table: &Table) -> Vec<Box<dyn Synopsis>> {
+fn engines(table: &Table) -> Vec<Arc<dyn Synopsis>> {
     Engine::build_all(table, &specs()).expect("every registered engine builds")
+}
+
+/// The registry's standard suite is the paper's Section 5 comparison set:
+/// six engines, in this order, with these display names. Docs and bench
+/// tables cite the set by position and name, so drift here is a contract
+/// break, not a tweak.
+#[test]
+fn standard_suite_order_and_names_are_pinned() {
+    let specs = Engine::standard_suite(16, 400, 3);
+    assert_eq!(specs.len(), 6);
+    assert!(matches!(&specs[0], EngineSpec::Pass(p) if p.total_samples == Some(400)));
+    assert!(matches!(specs[1], EngineSpec::Uniform { k: 400, seed: 3 }));
+    assert!(matches!(
+        specs[2],
+        EngineSpec::Stratified {
+            strata: 16,
+            k: 400,
+            seed: 3
+        }
+    ));
+    assert!(matches!(
+        &specs[3],
+        EngineSpec::AqpPlusPlus {
+            partitions: 16,
+            k: 400,
+            seed: 3,
+            tree_dims: None
+        }
+    ));
+    assert!(matches!(specs[4], EngineSpec::Verdict { ratio, seed: 3 } if ratio == 0.1));
+    assert!(matches!(specs[5], EngineSpec::Spn { ratio, seed: 3 } if ratio == 0.5));
+
+    let t = uniform(3_000, 4);
+    let names: Vec<String> = specs
+        .iter()
+        .map(|s| Engine::build(&t, s).unwrap().name().to_owned())
+        .collect();
+    assert_eq!(
+        names,
+        ["PASS", "US", "ST", "AQP++", "VerdictDB-10%", "DeepDB-50%"]
+    );
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! The concurrency contract: parallel execution and the per-session query
+//! cache must be invisible in results — only in wall clock and counters.
+//!
+//! * `estimate_many_parallel` is element-wise **bit-identical** to the
+//!   sequential `estimate_many` for every engine in the registry's
+//!   standard suite, at every pool width;
+//! * a second identical workload pass through a `Session` is answered
+//!   entirely from the cache, with estimates identical to the first pass;
+//! * `SessionHandle` clones serving concurrently agree with the session.
+
+use pass::common::{AggKind, Estimate, Query, Result, ThreadPool};
+use pass::table::datasets::uniform;
+use pass::table::SortedTable;
+use pass::workload::random_queries;
+use pass::{Engine, Session};
+
+/// A mixed-aggregate workload exercising covered, partial, and disjoint
+/// frontiers.
+fn workload(n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            let lo = (i % 90) as f64 / 100.0;
+            let agg = AggKind::ALL[i % AggKind::ALL.len()];
+            Query::interval(agg, lo, lo + 0.05 + (i % 7) as f64 * 0.1)
+        })
+        .collect()
+}
+
+fn assert_identical(name: &str, threads: usize, a: &[Result<Estimate>], b: &[Result<Estimate>]) {
+    assert_eq!(a.len(), b.len(), "{name} at {threads} threads");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        match (x, y) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.value, y.value, "{name} t{threads} q{i}: value");
+                assert_eq!(x.ci_half, y.ci_half, "{name} t{threads} q{i}: ci");
+                assert_eq!(x.exact, y.exact, "{name} t{threads} q{i}: exact");
+                assert_eq!(
+                    x.hard_bounds, y.hard_bounds,
+                    "{name} t{threads} q{i}: bounds"
+                );
+                assert_eq!(
+                    x.tuples_processed, y.tuples_processed,
+                    "{name} t{threads} q{i}: accounting"
+                );
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y, "{name} t{threads} q{i}"),
+            (x, y) => panic!("{name} t{threads} q{i}: {x:?} vs {y:?}"),
+        }
+    }
+}
+
+/// Parallel determinism across the whole standard suite: sharding a batch
+/// over worker threads must not change a single bit of any answer, for
+/// any engine, at any pool width.
+#[test]
+fn parallel_is_bit_identical_to_sequential_for_the_standard_suite() {
+    let table = uniform(20_000, 40);
+    let queries = workload(256);
+    for spec in Engine::standard_suite(16, 800, 41) {
+        let engine = Engine::build(&table, &spec).unwrap();
+        let sequential = engine.estimate_many(&queries);
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let parallel = engine.estimate_many_parallel(&queries, &pool);
+            assert_identical(engine.name(), threads, &sequential, &parallel);
+        }
+    }
+}
+
+/// A second identical workload pass through the session reports 100%
+/// cache hits and byte-identical summary metrics.
+#[test]
+fn second_workload_pass_hits_the_cache_completely() {
+    let table = uniform(15_000, 42);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, 120, AggKind::Sum, 400, 43);
+    let mut session = Session::new(table);
+    for (i, spec) in Engine::standard_suite(16, 800, 44).into_iter().enumerate() {
+        session.add_engine(format!("e{i}"), &spec).unwrap();
+    }
+    for name in session
+        .engine_names()
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+    {
+        let (first, first_outcomes) = session.run_workload(&name, &queries).unwrap();
+        assert_eq!(first.cache_hits, 0, "{name}: cold cache");
+        assert_eq!(first.cache_misses as usize, queries.len(), "{name}");
+        let (second, second_outcomes) = session.run_workload(&name, &queries).unwrap();
+        assert_eq!(
+            second.cache_hits as usize,
+            queries.len(),
+            "{name}: 100% hits"
+        );
+        assert_eq!(second.cache_misses, 0, "{name}");
+        assert_eq!(
+            first.median_relative_error, second.median_relative_error,
+            "{name}: cached metrics identical"
+        );
+        assert_eq!(first.failures, second.failures, "{name}");
+        for (a, b) in first_outcomes.iter().zip(&second_outcomes) {
+            assert_eq!(a.estimate, b.estimate, "{name}: cached estimate identical");
+        }
+    }
+}
+
+/// The parallel workload runner agrees with the sequential one on every
+/// error metric through the session facade (cold caches on both sides).
+#[test]
+fn parallel_workload_runner_matches_sequential_metrics() {
+    let queries = workload(200);
+    let build = || {
+        let mut s = Session::new(uniform(15_000, 45));
+        s.add_engine("pass", &pass::EngineSpec::pass()).unwrap();
+        s
+    };
+    let (sequential, _) = build().run_workload_batched("pass", &queries).unwrap();
+    let pool = ThreadPool::new(4);
+    let (parallel, _) = build()
+        .run_workload_parallel("pass", &queries, &pool)
+        .unwrap();
+    assert_eq!(
+        sequential.median_relative_error,
+        parallel.median_relative_error
+    );
+    assert_eq!(sequential.median_ci_ratio, parallel.median_ci_ratio);
+    assert_eq!(sequential.failures, parallel.failures);
+    assert_eq!(sequential.queries, parallel.queries);
+}
+
+/// Handles cloned from one session answer concurrently and identically,
+/// sharing one cache.
+#[test]
+fn concurrent_handles_agree_and_share_the_cache() {
+    let mut session = Session::new(uniform(10_000, 46));
+    session
+        .add_engine("pass", &pass::EngineSpec::pass())
+        .unwrap();
+    let queries = workload(64);
+    let expected: Vec<Result<Estimate>> = session.estimate_many("pass", &queries).unwrap();
+    let handle = session.handle("pass").unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let worker = handle.clone();
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                let got = worker.estimate_many(queries);
+                assert_identical("handle", 4, expected, &got);
+            });
+        }
+    });
+    let stats = handle.cache_stats();
+    assert_eq!(stats.misses as usize, queries.len(), "one cold pass");
+    assert_eq!(
+        stats.hits as usize,
+        4 * queries.len(),
+        "all handle passes hit"
+    );
+}

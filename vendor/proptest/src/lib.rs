@@ -198,7 +198,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Acceptable size arguments for [`vec`].
+        /// Acceptable size arguments for [`vec()`].
         pub trait SizeRange {
             fn pick(&self, rng: &mut TestRng) -> usize;
         }

@@ -24,7 +24,9 @@ use pass_common::{EngineSpec, PassError, Result, Synopsis};
 use pass_core::Pass;
 use pass_table::Table;
 
-use crate::{AqpPlusPlus, SpnSynopsis, StratifiedSynopsis, UniformSynopsis, VerdictSynopsis};
+use crate::{
+    AqpPlusPlus, ShardedSynopsis, SpnSynopsis, StratifiedSynopsis, UniformSynopsis, VerdictSynopsis,
+};
 
 /// Spec-driven constructor for every registered engine.
 pub struct Engine;
@@ -65,6 +67,9 @@ impl Engine {
                 Arc::new(VerdictSynopsis::build(table, *ratio, *seed)?)
             }
             EngineSpec::Spn { ratio, seed } => Arc::new(SpnSynopsis::build(table, *ratio, *seed)?),
+            EngineSpec::Sharded { inner, plan } => {
+                Arc::new(ShardedSynopsis::build(table, inner, plan)?)
+            }
             EngineSpec::Opaque { name } => {
                 return Err(PassError::InvalidParameter(
                     "spec",

@@ -19,6 +19,13 @@
 //! The latter two stand in for the closed-source systems compared in
 //! Table 2; DESIGN.md documents the substitutions.
 //!
+//! Beyond the paper's comparison set, [`ShardedSynopsis`] scales any of
+//! the above horizontally: one logical table is cut into disjoint shards
+//! (`pass_common::ShardPlan`), one inner engine is built per shard
+//! (concurrently), and per-shard partial estimates merge behind the same
+//! [`Synopsis`](pass_common::Synopsis) contract
+//! (`EngineSpec::Sharded`).
+//!
 //! Engines (including PASS itself) are constructed through the
 //! spec-driven registry [`Engine`]: call sites describe the engine with a
 //! [`pass_common::EngineSpec`] and receive an `Arc<dyn Synopsis>` — an
@@ -31,6 +38,7 @@
 
 pub mod aqppp;
 pub mod engine;
+pub mod sharded;
 pub mod spn;
 pub mod st;
 pub mod us;
@@ -38,6 +46,7 @@ pub mod verdict;
 
 pub use aqppp::AqpPlusPlus;
 pub use engine::Engine;
+pub use sharded::ShardedSynopsis;
 pub use spn::SpnSynopsis;
 pub use st::StratifiedSynopsis;
 pub use us::UniformSynopsis;

@@ -1,0 +1,513 @@
+//! A synopsis over one logical table partitioned across per-shard engines.
+//!
+//! [`ShardedSynopsis`] interprets an [`EngineSpec::Sharded`] spec: the
+//! table is cut into disjoint shards by a
+//! [`ShardPlan`] (`Table::split`), one inner
+//! engine is built per shard — **concurrently**, on a
+//! [`pass_common::ThreadPool`] — and at query time every shard answers a
+//! mergeable [`PartialEstimate`] which
+//! [`PartialEstimate::merge`] reduces to a single [`Estimate`].
+//!
+//! The statistical contract (pinned by `tests/sharded_contract.rs`):
+//!
+//! * **1-shard identity** — a single-shard plan is bit-identical to the
+//!   unsharded engine for every aggregate (the merge of one partial is
+//!   the shard's own estimate, verbatim).
+//! * **COUNT/SUM additivity** — the merged point estimate is exactly the
+//!   sum of the per-shard estimates (disjoint strata compose linearly),
+//!   and the merged CI is the root-sum-square of the shard CIs
+//!   (variances of independently built shards add), so it is at least as
+//!   wide as every component.
+//! * **Availability** — a shard that cannot match any tuple
+//!   (`PassError::EmptyInput`) contributes zero to COUNT/SUM and is
+//!   skipped for AVG/MIN/MAX, like an empty stratum in a stratified
+//!   estimator; only if *no* shard can answer does the query fail. A
+//!   merge that skipped a silent shard drops its hard bounds and
+//!   exactness claim — the silent shard may hold unsampled matching
+//!   rows the surviving shards' bounds know nothing about.
+//!
+//! Batch scheduling is **shard-outer / query-inner**: each shard answers
+//! the whole (expanded) batch through its own `estimate_many`, keeping
+//! the inner engine's batched-traversal wins (PASS reuses one MCF
+//! scratch across the batch per shard). `estimate_many_parallel` fans
+//! the *shards* out across the pool's workers when there are enough
+//! shards to keep the pool busy, and otherwise runs each shard's own
+//! parallel batch path over the whole pool. Both are element-wise
+//! bit-identical to the sequential single-query path.
+
+use std::sync::Arc;
+
+use pass_common::rng::derive_seed;
+use pass_common::{
+    EngineSpec, Estimate, PartialEstimate, PassError, Query, Result, ShardPlan, Synopsis,
+    ThreadPool, PARALLEL_MIN_BATCH,
+};
+use pass_table::Table;
+
+use crate::Engine;
+
+/// K per-shard engines over disjoint partitions of one logical table,
+/// merged behind the ordinary [`Synopsis`] contract.
+pub struct ShardedSynopsis {
+    shards: Vec<Arc<dyn Synopsis>>,
+    plan: ShardPlan,
+    inner_spec: EngineSpec,
+    name: String,
+    dims: usize,
+}
+
+impl ShardedSynopsis {
+    /// Split `table` by `plan` and build one `inner` engine per shard,
+    /// concurrently on a machine-sized [`ThreadPool`].
+    pub fn build(table: &Table, inner: &EngineSpec, plan: &ShardPlan) -> Result<Self> {
+        Self::build_with_pool(table, inner, plan, &ThreadPool::with_default_parallelism())
+    }
+
+    /// [`build`](Self::build) with an explicit pool. Shard builds are
+    /// independent and deterministic per shard, so the pool width never
+    /// changes what gets built — only how fast.
+    pub fn build_with_pool(
+        table: &Table,
+        inner: &EngineSpec,
+        plan: &ShardPlan,
+        pool: &ThreadPool,
+    ) -> Result<Self> {
+        let shard_tables = table.split(plan)?;
+        let built: Vec<Result<Arc<dyn Synopsis>>> =
+            pool.map_chunks(shard_tables.len(), 1, |range| {
+                range
+                    .map(|i| Engine::build(&shard_tables[i], &Self::shard_spec(inner, i)))
+                    .collect()
+            });
+        let shards = built.into_iter().collect::<Result<Vec<_>>>()?;
+        let name = format!("Sharded[{}]-{}", shards.len(), shards[0].name());
+        Ok(Self {
+            shards,
+            plan: plan.clone(),
+            inner_spec: inner.clone(),
+            name,
+            dims: table.dims(),
+        })
+    }
+
+    /// The spec shard `index`'s engine is built from. Shard 0 keeps
+    /// `inner` verbatim — which is what makes a 1-shard plan bit-identical
+    /// to the unsharded engine — and every later shard gets an
+    /// independently derived seed, so per-shard sampling errors are
+    /// uncorrelated and the root-sum-square CI merge's independence
+    /// assumption actually holds (identical seeds on similarly laid-out
+    /// shards would correlate the errors and under-cover).
+    pub fn shard_spec(inner: &EngineSpec, index: usize) -> EngineSpec {
+        // Stream label separating shard reseeding from other derivations.
+        const SHARD_STREAM: u64 = 0x5AAD_5EED;
+        match (index, inner.seed()) {
+            (0, _) | (_, None) => inner.clone(),
+            (i, Some(seed)) => inner
+                .clone()
+                .with_seed(derive_seed(seed, SHARD_STREAM ^ i as u64)),
+        }
+    }
+
+    /// Number of (non-empty) shards actually built.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engines, in shard order.
+    pub fn shard_engines(&self) -> &[Arc<dyn Synopsis>] {
+        &self.shards
+    }
+
+    /// The plan the table was split by.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Collect one partial per shard for `query` via `partial_of`,
+    /// applying the availability rule (see module docs), then merge.
+    ///
+    /// A shard that cannot match any tuple (`PassError::EmptyInput`)
+    /// contributes a zero partial for additive aggregates — but only
+    /// when **some other shard answered**. If no shard can answer, the
+    /// first shard's error propagates, which keeps a 1-shard plan
+    /// identical to the unsharded engine on the error side too (and
+    /// avoids fabricating a confident `0 ± 0` out of pure refusals).
+    /// Zero partials carry no hard bounds and are not exact, so their
+    /// unsampled matching rows still poison the merged bounds/exactness.
+    fn merge_shards(
+        &self,
+        query: &Query,
+        mut partial_of: impl FnMut(usize) -> Result<PartialEstimate>,
+    ) -> Result<Estimate> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        let mut silent_shards = 0usize;
+        let mut first_err: Option<PassError> = None;
+        for i in 0..self.shards.len() {
+            match partial_of(i) {
+                Ok(part) => parts.push(part),
+                Err(err @ PassError::EmptyInput(_)) => {
+                    silent_shards += 1;
+                    first_err.get_or_insert(err);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        if parts.is_empty() {
+            return Err(
+                first_err.unwrap_or(PassError::EmptyInput("no shard could answer the query"))
+            );
+        }
+        if query.agg.is_additive() {
+            parts.extend((0..silent_shards).map(|_| PartialEstimate::empty(query.agg)));
+        }
+        let mut est = PartialEstimate::merge(&parts)?;
+        if silent_shards > 0 && !query.agg.is_additive() {
+            // A skipped silent shard may hold unsampled matching rows, so
+            // deterministic bounds and exactness claims from the answering
+            // shards alone no longer hold for the whole table. (Additive
+            // merges get this for free: their zero partials carry no
+            // bounds and no exactness, poisoning the merge.)
+            est.hard_bounds = None;
+            est.exact = false;
+        }
+        Ok(est)
+    }
+
+    /// Merge per-shard answers to the expanded batch back into one result
+    /// per original query (`shard_answers[i]` is shard i's answers to
+    /// [`expand`](Self::expand)'s concatenated sub-queries).
+    fn merge_expanded(
+        &self,
+        queries: &[Query],
+        shard_answers: &[Vec<Result<Estimate>>],
+    ) -> Vec<Result<Estimate>> {
+        let mut offsets = Vec::with_capacity(queries.len());
+        let mut cursor = 0usize;
+        for q in queries {
+            let width = self.partial_width(q.agg);
+            offsets.push((cursor, width));
+            cursor += width;
+        }
+        debug_assert!(shard_answers.iter().all(|a| a.len() == cursor));
+        queries
+            .iter()
+            .zip(&offsets)
+            .map(|(q, &(off, width))| {
+                self.merge_shards(q, |shard| {
+                    let mut answers = shard_answers[shard][off..off + width].iter().cloned();
+                    if self.multi_shard() {
+                        PartialEstimate::assemble_merge(q, answers)
+                    } else {
+                        answers
+                            .next()
+                            .expect("single-shard expansion has width 1")
+                            .map(|est| PartialEstimate::from_local(q.agg, est))
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Whether this synopsis merges across more than one shard — which
+    /// selects the decomposition: multi-shard merges use
+    /// [`PartialEstimate::merge_queries`] (AVG as COUNT + SUM; the
+    /// per-shard AVG answer would be discarded by a K-way merge, so it
+    /// is never issued), while a single-shard plan passes each query
+    /// through untouched (the merge of one partial returns the shard's
+    /// own estimate verbatim, so sub-queries would be pure waste).
+    /// Single-query and batched paths share this rule, keeping them
+    /// bit-identical.
+    fn multi_shard(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// Width of one query's expansion under the active decomposition.
+    fn partial_width(&self, agg: pass_common::AggKind) -> usize {
+        if self.multi_shard() {
+            PartialEstimate::merge_width(agg)
+        } else {
+            1
+        }
+    }
+
+    /// The batch each shard answers: every query expanded into its
+    /// partial sub-queries, concatenated in query order.
+    fn expand(&self, queries: &[Query]) -> Vec<Query> {
+        if self.multi_shard() {
+            queries
+                .iter()
+                .flat_map(PartialEstimate::merge_queries)
+                .collect()
+        } else {
+            queries.to_vec()
+        }
+    }
+}
+
+impl Synopsis for ShardedSynopsis {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate(&self, query: &Query) -> Result<Estimate> {
+        if query.dims() != self.dims {
+            return Err(PassError::DimensionMismatch {
+                expected: self.dims,
+                got: query.dims(),
+            });
+        }
+        self.merge_shards(query, |i| {
+            if self.multi_shard() {
+                PartialEstimate::assemble_merge(
+                    query,
+                    PartialEstimate::merge_queries(query)
+                        .iter()
+                        .map(|q| self.shards[i].estimate(q)),
+                )
+            } else {
+                // Merging one partial returns its local estimate
+                // verbatim, so the lone shard answers the query itself —
+                // no decomposition, and exact unsharded identity.
+                self.shards[i]
+                    .estimate(query)
+                    .map(|est| PartialEstimate::from_local(query.agg, est))
+            }
+        })
+    }
+
+    /// Shard-outer / query-inner: each shard answers the whole expanded
+    /// batch through its own batched path, then partials merge per query.
+    fn estimate_many(&self, queries: &[Query]) -> Vec<Result<Estimate>> {
+        if queries.iter().any(|q| q.dims() != self.dims) {
+            // Mixed-arity batches keep per-query error semantics.
+            return queries.iter().map(|q| self.estimate(q)).collect();
+        }
+        let expanded = self.expand(queries);
+        let shard_answers: Vec<Vec<Result<Estimate>>> = self
+            .shards
+            .iter()
+            .map(|s| s.estimate_many(&expanded))
+            .collect();
+        self.merge_expanded(queries, &shard_answers)
+    }
+
+    /// With enough shards to saturate the pool, the shards themselves
+    /// fan out across the workers (query-inner loops stay on each
+    /// shard's sequential batched path — one spawn round total).
+    /// With fewer shards than workers, each shard instead runs its own
+    /// parallel batch path over the whole pool, so a 2-shard engine on
+    /// an 8-thread pool still uses all 8 workers. Either way the result
+    /// is bit-identical to [`estimate_many`](Self::estimate_many) (the
+    /// `Synopsis` contract guarantees each shard's parallel path matches
+    /// its sequential one element-wise).
+    fn estimate_many_parallel(
+        &self,
+        queries: &[Query],
+        pool: &ThreadPool,
+    ) -> Vec<Result<Estimate>> {
+        if pool.threads() <= 1
+            || queries.len() < PARALLEL_MIN_BATCH
+            || queries.iter().any(|q| q.dims() != self.dims)
+        {
+            return self.estimate_many(queries);
+        }
+        let expanded = self.expand(queries);
+        let shard_answers: Vec<Vec<Result<Estimate>>> = if self.shards.len() >= pool.threads() {
+            pool.map_chunks(self.shards.len(), 1, |range| {
+                range
+                    .map(|i| self.shards[i].estimate_many(&expanded))
+                    .collect()
+            })
+        } else {
+            self.shards
+                .iter()
+                .map(|s| s.estimate_many_parallel(&expanded, pool))
+                .collect()
+        };
+        self.merge_expanded(queries, &shard_answers)
+    }
+
+    fn spec(&self) -> EngineSpec {
+        EngineSpec::Sharded {
+            inner: Box::new(self.inner_spec.clone()),
+            plan: self.plan.clone(),
+        }
+    }
+
+    /// Sum over the shards (the sharding layer itself stores nothing).
+    fn storage_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.storage_bytes()).sum()
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_common::AggKind;
+    use pass_table::datasets::uniform;
+
+    #[test]
+    fn builds_one_engine_per_shard_and_sums_storage() {
+        let t = uniform(8_000, 1);
+        let sharded =
+            ShardedSynopsis::build(&t, &EngineSpec::uniform(200), &ShardPlan::row_range(4))
+                .unwrap();
+        assert_eq!(sharded.n_shards(), 4);
+        assert_eq!(sharded.name(), "Sharded[4]-US");
+        assert_eq!(sharded.dims(), 1);
+        let per_shard: usize = sharded
+            .shard_engines()
+            .iter()
+            .map(|s| s.storage_bytes())
+            .sum();
+        assert_eq!(sharded.storage_bytes(), per_shard);
+        assert!(sharded.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn build_width_does_not_change_what_is_built() {
+        let t = uniform(4_000, 2);
+        let spec = EngineSpec::uniform(100).with_seed(3);
+        let plan = ShardPlan::row_range(3);
+        let serial =
+            ShardedSynopsis::build_with_pool(&t, &spec, &plan, &ThreadPool::new(1)).unwrap();
+        let parallel =
+            ShardedSynopsis::build_with_pool(&t, &spec, &plan, &ThreadPool::new(4)).unwrap();
+        let q = Query::interval(AggKind::Sum, 0.1, 0.9);
+        assert_eq!(
+            serial.estimate(&q).unwrap().value,
+            parallel.estimate(&q).unwrap().value
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_uniformly_rejected() {
+        let t = uniform(1_000, 3);
+        let sharded =
+            ShardedSynopsis::build(&t, &EngineSpec::uniform(100), &ShardPlan::row_range(2))
+                .unwrap();
+        let q = Query::new(
+            AggKind::Sum,
+            pass_common::Rect::new(&[(0.0, 1.0), (0.0, 1.0)]),
+        );
+        assert!(matches!(
+            sharded.estimate(&q),
+            Err(PassError::DimensionMismatch { .. })
+        ));
+        let batch = sharded.estimate_many(std::slice::from_ref(&q));
+        assert!(matches!(batch[0], Err(PassError::DimensionMismatch { .. })));
+    }
+
+    /// A mock shard: answers every query with a fixed estimate, or
+    /// refuses with `EmptyInput` — the deterministic way to pin the
+    /// availability rule (real sampling engines answer SUM/COUNT with
+    /// 0 ± 0 rather than erroring, so only model-based engines exercise
+    /// the additive `EmptyInput` path, and only data-dependently).
+    struct MockShard(Option<Estimate>);
+
+    impl Synopsis for MockShard {
+        fn name(&self) -> &str {
+            "MOCK"
+        }
+        fn estimate(&self, _q: &Query) -> Result<Estimate> {
+            self.0
+                .clone()
+                .ok_or(PassError::EmptyInput("no sampled tuple matches"))
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn dims(&self) -> usize {
+            1
+        }
+    }
+
+    fn mock_sharded(shards: Vec<Arc<dyn Synopsis>>) -> ShardedSynopsis {
+        ShardedSynopsis {
+            plan: ShardPlan::row_range(shards.len()),
+            inner_spec: EngineSpec::uniform(1),
+            name: format!("Sharded[{}]-MOCK", shards.len()),
+            dims: 1,
+            shards,
+        }
+    }
+
+    #[test]
+    fn empty_input_shards_follow_stratified_availability() {
+        let answering = || -> Arc<dyn Synopsis> {
+            Arc::new(MockShard(Some(
+                Estimate::approximate(10.0, 3.0).with_hard_bounds(4.0, 16.0),
+            )))
+        };
+        let silent = || -> Arc<dyn Synopsis> { Arc::new(MockShard(None)) };
+
+        // Mixed additive: the silent shard contributes zero — but with
+        // no hard bounds and no exactness claim, since it may hold
+        // unsampled matching rows; the CI is the answering shard's.
+        let mixed = mock_sharded(vec![answering(), silent()]);
+        for agg in [AggKind::Sum, AggKind::Count] {
+            let est = mixed.estimate(&Query::interval(agg, 0.0, 1.0)).unwrap();
+            assert_eq!(est.value, 10.0, "{agg}");
+            assert_eq!(est.ci_half, 3.0, "{agg}");
+            assert_eq!(est.hard_bounds, None, "{agg}");
+            assert!(!est.exact, "{agg}");
+        }
+        // Mixed non-additive: the silent shard is skipped, and because
+        // it may hold unsampled matching rows, the merged answer keeps
+        // no hard bounds and no exactness claim. (AVG is recomputed as
+        // SUM/COUNT of the answering shards: the mock answers 10 for
+        // both sub-queries, so the ratio is 1.)
+        for (agg, want) in [
+            (AggKind::Avg, 1.0),
+            (AggKind::Min, 10.0),
+            (AggKind::Max, 10.0),
+        ] {
+            let est = mixed.estimate(&Query::interval(agg, 0.0, 1.0)).unwrap();
+            assert_eq!(est.value, want, "{agg}");
+            assert_eq!(est.hard_bounds, None, "{agg}");
+            assert!(!est.exact, "{agg}");
+        }
+
+        // All-silent: the query fails with the shard's own error — no
+        // fabricated 0 ± 0 — matching the unsharded engine at K = 1.
+        let all_silent = mock_sharded(vec![silent(), silent()]);
+        let single_silent = mock_sharded(vec![silent()]);
+        for agg in AggKind::ALL {
+            let q = Query::interval(agg, 0.0, 1.0);
+            for sharded in [&all_silent, &single_silent] {
+                assert!(
+                    matches!(sharded.estimate(&q), Err(PassError::EmptyInput(_))),
+                    "{agg}"
+                );
+            }
+        }
+
+        // Real engines, end to end: MIN over a region nothing sampled —
+        // every shard refuses, so the query fails.
+        let t = uniform(10_000, 4);
+        let sharded =
+            ShardedSynopsis::build(&t, &EngineSpec::uniform(4), &ShardPlan::row_range(8)).unwrap();
+        let disjoint = Query::interval(AggKind::Min, 5.0, 6.0);
+        assert!(sharded.estimate(&disjoint).is_err());
+    }
+
+    #[test]
+    fn nested_sharding_composes() {
+        let t = uniform(4_000, 5);
+        let spec = EngineSpec::sharded(
+            EngineSpec::sharded(EngineSpec::uniform(100), ShardPlan::row_range(2)),
+            ShardPlan::row_range(2),
+        );
+        let engine = Engine::build(&t, &spec).unwrap();
+        assert_eq!(engine.spec(), spec);
+        let q = Query::interval(AggKind::Count, 0.0, 1.0);
+        let truth = t.ground_truth(&q).unwrap();
+        // COUNT of everything is exact for US shards (all sampled rows
+        // match), so the nested merge reproduces it exactly.
+        assert!((engine.estimate(&q).unwrap().value - truth).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the sharding layer: build time and
+//! 4k-query batch throughput of a K-shard `ShardedSynopsis` at
+//! K ∈ {1, 2, 4, 8} against the unsharded baseline.
+//!
+//! Two effects compete. Builds are embarrassingly parallel over shards,
+//! so on a ≥K-core machine sharded builds approach the single-shard
+//! wall clock; each shard still runs the full ADP optimization
+//! (`opt_samples` is per build), so on a single-core container the
+//! sweep instead documents the serialized ~K× build cost. Queries pay a
+//! merge overhead per shard (every shard answers every query), so batch
+//! throughput degrades gently with K when shards answer serially and
+//! recovers with `estimate_many_parallel`, which fans the shards out
+//! across workers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pass::common::{AggKind, EngineSpec, PassSpec, Query, ShardPlan, Synopsis};
+use pass::ThreadPool;
+use pass_baselines::ShardedSynopsis;
+use pass_table::datasets::DatasetId;
+use pass_table::{SortedTable, Table};
+use pass_workload::random_queries;
+
+const BATCH: usize = 4_096;
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn inner_spec() -> EngineSpec {
+    EngineSpec::Pass(PassSpec {
+        partitions: 128,
+        sample_rate: 0.005,
+        seed: 7,
+        ..PassSpec::default()
+    })
+}
+
+fn fixture() -> (Table, Vec<Query>) {
+    let table = DatasetId::NycTaxi.generate(200_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, BATCH, AggKind::Sum, 2_000, 11);
+    (table, queries)
+}
+
+/// Build-time sweep: the unsharded engine vs. K-shard builds (shards
+/// built concurrently on a machine-sized pool, as `Engine::build` does).
+fn bench_shard_build(c: &mut Criterion) {
+    let (table, _) = fixture();
+    let spec = inner_spec();
+    let mut group = c.benchmark_group("shard_build_200k");
+    group.sample_size(10);
+
+    group.bench_function("unsharded", |b| {
+        b.iter(|| black_box(pass::Engine::build(&table, &spec).unwrap()));
+    });
+    for k in SWEEP {
+        let plan = ShardPlan::row_range(k);
+        group.bench_with_input(BenchmarkId::new("sharded_build", k), &plan, |b, plan| {
+            b.iter(|| black_box(ShardedSynopsis::build(&table, &spec, plan).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// Query-throughput sweep: one 4k-query batch through the unsharded
+/// engine, then through K-shard engines — serially (`estimate_many`) and
+/// with shards fanned across 4 workers (`estimate_many_parallel`).
+fn bench_shard_query(c: &mut Criterion) {
+    let (table, queries) = fixture();
+    let spec = inner_spec();
+    let unsharded = pass::Engine::build(&table, &spec).unwrap();
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group(format!("shard_query_{BATCH}q"));
+    group.sample_size(10);
+
+    group.bench_function("unsharded", |b| {
+        b.iter(|| black_box(unsharded.estimate_many(&queries)));
+    });
+    for k in SWEEP {
+        let sharded = ShardedSynopsis::build(&table, &spec, &ShardPlan::row_range(k)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sharded_serial", k),
+            &sharded,
+            |b, sharded| {
+                b.iter(|| black_box(sharded.estimate_many(&queries)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded_parallel4", k),
+            &sharded,
+            |b, sharded| {
+                b.iter(|| black_box(sharded.estimate_many_parallel(&queries, &pool)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_build, bench_shard_query);
+criterion_main!(benches);

@@ -36,6 +36,14 @@ impl AggKind {
     /// The three "moment" aggregates with sampling-based estimators.
     pub const SAMPLED: [AggKind; 3] = [AggKind::Sum, AggKind::Count, AggKind::Avg];
 
+    /// True for the aggregates whose contributions from disjoint strata
+    /// simply add (SUM and COUNT) — equivalently, those with a
+    /// well-defined zero contribution from an empty stratum. The sharded
+    /// merge (`crate::PartialEstimate`) leans on this.
+    pub fn is_additive(self) -> bool {
+        matches!(self, AggKind::Sum | AggKind::Count)
+    }
+
     /// Short lowercase name used in printed benchmark tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -301,5 +309,14 @@ mod tests {
         assert_eq!(AggKind::Sum.to_string(), "SUM");
         assert_eq!(AggKind::ALL.len(), 5);
         assert_eq!(AggKind::SAMPLED.len(), 3);
+    }
+
+    #[test]
+    fn additivity_covers_exactly_sum_and_count() {
+        let additive: Vec<AggKind> = AggKind::ALL
+            .into_iter()
+            .filter(|k| k.is_additive())
+            .collect();
+        assert_eq!(additive, vec![AggKind::Sum, AggKind::Count]);
     }
 }

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::estimate::Estimate;
+use crate::partial::PartialEstimate;
 use crate::pool::ThreadPool;
 use crate::query::Query;
 use crate::spec::EngineSpec;
@@ -90,10 +91,22 @@ impl CacheStats {
 /// Errors are cached alongside successful estimates: a deterministic
 /// engine rejects a repeated malformed query identically, so there is no
 /// reason to re-run the engine to rediscover the error.
+///
+/// Entries belong to an **epoch** — the generation of the synopsis state
+/// they were computed against. [`bump_epoch`](Self::bump_epoch) (or
+/// [`sync_epoch`](Self::sync_epoch) observing a new
+/// [`Synopsis::update_epoch`]) advances the generation and drops every
+/// entry, which is how cached answers stay coherent with streaming
+/// updates without manual `clear_cache` calls.
 #[derive(Debug)]
 pub struct QueryCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
+    /// The synopsis generation the stored entries were computed against.
+    /// Kept outside the mutex so the hot lookup path can check it with
+    /// one atomic load; the entry map is only locked (and cleared) when
+    /// the epoch actually changes.
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -104,12 +117,22 @@ struct CacheInner {
     order: VecDeque<QueryKey>,
 }
 
+impl CacheInner {
+    fn drop_entries(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
 impl QueryCache {
-    /// A cache holding at most `capacity` entries (clamped to at least 1).
+    /// A cache holding at most `capacity` entries. `capacity == 0`
+    /// disables caching entirely: every lookup is a miss and inserts are
+    /// dropped (no storage, no locking on the lookup path).
     pub fn new(capacity: usize) -> Self {
         Self {
-            capacity: capacity.max(1),
+            capacity,
             inner: Mutex::new(CacheInner::default()),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -131,6 +154,10 @@ impl QueryCache {
     /// misses in bulk — the batch serving path takes the shared mutex
     /// twice per batch (lookups + inserts) instead of twice per query.
     pub fn get_many_keyed(&self, keys: &[QueryKey]) -> Vec<Option<Result<Estimate>>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(keys.len() as u64, Ordering::Relaxed);
+            return vec![None; keys.len()];
+        }
         let found: Vec<Option<Result<Estimate>>> = {
             let inner = self.inner.lock().expect("cache poisoned");
             keys.iter().map(|k| inner.map.get(k).cloned()).collect()
@@ -159,6 +186,9 @@ impl QueryCache {
         &self,
         entries: impl IntoIterator<Item = (QueryKey, Result<Estimate>)>,
     ) {
+        if self.capacity == 0 {
+            return;
+        }
         let mut inner = self.inner.lock().expect("cache poisoned");
         for (key, result) in entries {
             if inner.map.insert(key.clone(), result).is_none() {
@@ -184,9 +214,39 @@ impl QueryCache {
 
     /// Drop every entry (counters are kept; they are cumulative).
     pub fn clear(&self) {
+        self.inner.lock().expect("cache poisoned").drop_entries();
+    }
+
+    /// The epoch the stored entries belong to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance to the next epoch, dropping every entry — the
+    /// invalidation hook for code that mutates the synopsis directly
+    /// (counters are kept; they are cumulative).
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+        if self.capacity > 0 {
+            self.inner.lock().expect("cache poisoned").drop_entries();
+        }
+    }
+
+    /// Adopt the epoch `observed` on the underlying synopsis
+    /// ([`Synopsis::update_epoch`]), dropping every entry if it differs
+    /// from the entries' epoch. [`CachedSynopsis`] calls this on every
+    /// lookup, which is what makes streaming updates cache-coherent
+    /// automatically; the unchanged-epoch fast path (every immutable
+    /// engine, forever) is a single atomic load — no locking.
+    pub fn sync_epoch(&self, observed: u64) {
+        if self.capacity == 0 || self.epoch.load(Ordering::Acquire) == observed {
+            return;
+        }
+        // Re-check under the lock so a racing sync clears exactly once.
         let mut inner = self.inner.lock().expect("cache poisoned");
-        inner.map.clear();
-        inner.order.clear();
+        if self.epoch.swap(observed, Ordering::AcqRel) != observed {
+            inner.drop_entries();
+        }
     }
 }
 
@@ -232,6 +292,15 @@ impl<S: Synopsis> CachedSynopsis<S> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped engine — the streaming-update path
+    /// (`Pass::insert`/`delete` need `&mut`). Updates bump the engine's
+    /// [`Synopsis::update_epoch`], which this decorator observes on the
+    /// next lookup and drops stale entries automatically, so no manual
+    /// cache clearing is needed around mutations.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
     /// The shared cache (hand out clones of the `Arc` to share it).
     pub fn cache(&self) -> &Arc<QueryCache> {
         &self.cache
@@ -245,6 +314,7 @@ impl<S: Synopsis> CachedSynopsis<S> {
         queries: &[Query],
         compute: impl FnOnce(&[Query]) -> Vec<Result<Estimate>>,
     ) -> Vec<Result<Estimate>> {
+        self.cache.sync_epoch(self.inner.update_epoch());
         let keys: Vec<QueryKey> = queries.iter().map(QueryKey::new).collect();
         let mut results = self.cache.get_many_keyed(&keys);
         // Distinct misses in first-occurrence order; slots lists every
@@ -288,6 +358,7 @@ impl<S: Synopsis> Synopsis for CachedSynopsis<S> {
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {
+        self.cache.sync_epoch(self.inner.update_epoch());
         let key = QueryKey::new(query);
         if let Some(cached) = self.cache.get_keyed(&key) {
             return cached;
@@ -309,6 +380,17 @@ impl<S: Synopsis> Synopsis for CachedSynopsis<S> {
         self.answer_batch(queries, |missed| {
             self.inner.estimate_many_parallel(missed, pool)
         })
+    }
+
+    /// Partials forward straight to the engine: they are shard-internal
+    /// building blocks keyed differently from whole-query answers, so
+    /// caching happens (if at all) at the merged-estimate layer above.
+    fn estimate_partial(&self, query: &Query) -> Result<PartialEstimate> {
+        self.inner.estimate_partial(query)
+    }
+
+    fn update_epoch(&self) -> u64 {
+        self.inner.update_epoch()
     }
 
     fn spec(&self) -> EngineSpec {
@@ -464,6 +546,117 @@ mod tests {
             cache.insert(&q(0.0, 1.0), Ok(Estimate::exact(1.0)));
         }
         assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_follows_insertion_order_exactly() {
+        let cache = QueryCache::new(3);
+        for i in 0..3 {
+            cache.insert(&q(i as f64, i as f64 + 1.0), Ok(Estimate::exact(i as f64)));
+        }
+        // Inserting a 4th evicts the oldest (0), then a 5th evicts (1).
+        cache.insert(&q(3.0, 4.0), Ok(Estimate::exact(3.0)));
+        assert!(cache.get(&q(0.0, 1.0)).is_none(), "oldest evicted first");
+        assert!(cache.get(&q(1.0, 2.0)).is_some());
+        cache.insert(&q(4.0, 5.0), Ok(Estimate::exact(4.0)));
+        assert!(cache.get(&q(1.0, 2.0)).is_none(), "then the next-oldest");
+        assert!(cache.get(&q(2.0, 3.0)).is_some());
+        assert!(cache.get(&q(3.0, 4.0)).is_some());
+        assert!(cache.get(&q(4.0, 5.0)).is_some());
+        assert_eq!(cache.stats().len, 3);
+    }
+
+    #[test]
+    fn reinsert_after_eviction_counts_as_a_miss_and_recomputes() {
+        let cached = CachedSynopsis::new(Counting::new(), 1);
+        cached.estimate(&q(0.0, 1.0)).unwrap();
+        cached.estimate(&q(1.0, 2.0)).unwrap(); // evicts (0,1)
+        let before = cached.cache().stats();
+        cached.estimate(&q(0.0, 1.0)).unwrap(); // must be a miss again
+        let delta = cached.cache().stats().since(&before);
+        assert_eq!((delta.hits, delta.misses), (0, 1));
+        assert_eq!(cached.inner().calls(), 3);
+        // ...and the re-inserted entry is servable again.
+        cached.estimate(&q(0.0, 1.0)).unwrap();
+        assert_eq!(cached.inner().calls(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_without_panicking() {
+        let cached = CachedSynopsis::new(Counting::new(), 0);
+        let pool = ThreadPool::new(2);
+        let queries: Vec<Query> = (0..4).map(|i| q(i as f64, i as f64 + 1.0)).collect();
+        cached.estimate(&queries[0]).unwrap();
+        cached.estimate(&queries[0]).unwrap();
+        cached.estimate_many(&queries);
+        cached.estimate_many_parallel(&queries, &pool);
+        // Every lookup missed; every query reached the engine.
+        let stats = cached.cache().stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 10);
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(cached.inner().calls(), 10);
+        // Direct QueryCache use is equally inert.
+        let cache = QueryCache::new(0);
+        cache.insert(&q(0.0, 1.0), Ok(Estimate::exact(1.0)));
+        assert!(cache.get(&q(0.0, 1.0)).is_none());
+        cache.clear();
+        cache.bump_epoch();
+    }
+
+    #[test]
+    fn bumping_the_epoch_invalidates_entries() {
+        let cache = QueryCache::new(8);
+        assert_eq!(cache.epoch(), 0);
+        cache.insert(&q(0.0, 1.0), Ok(Estimate::exact(1.0)));
+        cache.bump_epoch();
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.get(&q(0.0, 1.0)).is_none());
+        // sync_epoch adopts the observed epoch and clears on change only.
+        cache.insert(&q(0.0, 1.0), Ok(Estimate::exact(1.0)));
+        cache.sync_epoch(1);
+        assert!(cache.get(&q(0.0, 1.0)).is_some(), "same epoch: kept");
+        cache.sync_epoch(5);
+        assert!(cache.get(&q(0.0, 1.0)).is_none(), "new epoch: dropped");
+        assert_eq!(cache.epoch(), 5);
+    }
+
+    #[test]
+    fn cached_synopsis_tracks_a_mutating_engine_automatically() {
+        /// An engine whose answers depend on a mutation counter.
+        struct Mutable {
+            state: u64,
+        }
+        impl Synopsis for Mutable {
+            fn name(&self) -> &str {
+                "MUTABLE"
+            }
+            fn estimate(&self, _q: &Query) -> Result<Estimate> {
+                Ok(Estimate::exact(self.state as f64))
+            }
+            fn update_epoch(&self) -> u64 {
+                self.state
+            }
+            fn storage_bytes(&self) -> usize {
+                0
+            }
+            fn dims(&self) -> usize {
+                1
+            }
+        }
+        let mut cached = CachedSynopsis::new(Mutable { state: 0 }, 16);
+        assert_eq!(cached.estimate(&q(0.0, 1.0)).unwrap().value, 0.0);
+        assert_eq!(cached.estimate(&q(0.0, 1.0)).unwrap().value, 0.0);
+        assert_eq!(cached.cache().stats().hits, 1);
+        // Mutate the engine through the decorator: the stale answer must
+        // NOT be served afterwards, with no manual clear.
+        cached.inner_mut().state = 3;
+        assert_eq!(cached.estimate(&q(0.0, 1.0)).unwrap().value, 3.0);
+        assert_eq!(cached.cache().epoch(), 3);
+        // The fresh answer is cached under the new epoch.
+        assert_eq!(cached.estimate(&q(0.0, 1.0)).unwrap().value, 3.0);
+        assert_eq!(cached.cache().stats().hits, 2);
     }
 
     #[test]

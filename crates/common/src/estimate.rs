@@ -68,19 +68,32 @@ impl Estimate {
     }
 
     /// Relative error against a known ground truth; uses the paper's metric
-    /// |est − truth| / |truth|. When the truth is zero, returns 0 for an
-    /// exactly-zero estimate and the absolute error otherwise.
+    /// |est − truth| / |truth|. A zero truth makes the ratio undefined, so
+    /// the result is pinned to a defined value instead of NaN: 0 when the
+    /// estimate matches exactly, `f64::INFINITY` otherwise (any nonzero
+    /// estimate of a zero truth is infinitely wrong in relative terms).
     pub fn relative_error(&self, truth: f64) -> f64 {
         if truth == 0.0 {
-            return self.value.abs();
+            return if self.value == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (self.value - truth).abs() / truth.abs()
     }
 
     /// CI ratio against ground truth: half-CI / |truth| (Section 5.1.2).
+    /// A zero truth pins the undefined ratio to 0 for a zero-width CI and
+    /// `f64::INFINITY` otherwise, mirroring
+    /// [`relative_error`](Self::relative_error).
     pub fn ci_ratio(&self, truth: f64) -> f64 {
         if truth == 0.0 {
-            return self.ci_half;
+            return if self.ci_half == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.ci_half / truth.abs()
     }
@@ -127,10 +140,25 @@ mod tests {
     }
 
     #[test]
-    fn zero_truth_falls_back_to_absolute() {
-        let e = Estimate::approximate(0.25, 0.5);
-        assert_eq!(e.relative_error(0.0), 0.25);
-        assert_eq!(e.ci_ratio(0.0), 0.5);
+    fn zero_truth_is_defined_never_nan() {
+        // Exact match of a zero truth: zero error, zero CI ratio.
+        let exact = Estimate::exact(0.0);
+        assert_eq!(exact.relative_error(0.0), 0.0);
+        assert_eq!(exact.ci_ratio(0.0), 0.0);
+        // A zero point estimate with residual CI: value matches, CI doesn't.
+        let zero_with_ci = Estimate::approximate(0.0, 0.5);
+        assert_eq!(zero_with_ci.relative_error(0.0), 0.0);
+        assert_eq!(zero_with_ci.ci_ratio(0.0), f64::INFINITY);
+        // Any nonzero estimate of a zero truth is infinitely wrong.
+        let off = Estimate::approximate(0.25, 0.5);
+        assert_eq!(off.relative_error(0.0), f64::INFINITY);
+        assert_eq!(off.ci_ratio(0.0), f64::INFINITY);
+        // Signs don't matter and nothing is ever NaN.
+        let neg = Estimate::approximate(-1e-300, 0.0);
+        assert_eq!(neg.relative_error(0.0), f64::INFINITY);
+        assert_eq!(neg.ci_ratio(0.0), 0.0);
+        assert!(!off.relative_error(0.0).is_nan());
+        assert!(!off.ci_ratio(0.0).is_nan());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`EngineSpec`] / [`PassSpec`] — declarative engine configuration, the
 //!   input to the engine registry (`pass_baselines::Engine`) and the
 //!   `pass::Session` facade, JSON round-trippable via [`json`];
+//! * the sharding vocabulary: [`ShardPlan`] (how one logical table is cut
+//!   into disjoint shards) and [`PartialEstimate`] (a shard's mergeable
+//!   contribution to a query, reduced by [`PartialEstimate::merge`]);
 //! * the serving-layer building blocks: a dependency-free chunk-stealing
 //!   worker pool ([`ThreadPool`]) and a bounded query-result cache
 //!   ([`QueryCache`] / [`CachedSynopsis`]);
@@ -34,6 +37,7 @@ pub mod error;
 pub mod estimate;
 pub mod json;
 pub mod kahan;
+pub mod partial;
 pub mod pool;
 pub mod prefix;
 pub mod query;
@@ -48,9 +52,10 @@ pub use error::{PassError, Result};
 pub use estimate::Estimate;
 pub use json::Json;
 pub use kahan::KahanSum;
+pub use partial::PartialEstimate;
 pub use pool::ThreadPool;
 pub use prefix::PrefixSums;
 pub use query::{Query, Rect, RectRelation};
-pub use spec::{EngineSpec, PartitionStrategy, PassSpec};
+pub use spec::{EngineSpec, PartitionStrategy, PassSpec, ShardPlan};
 pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};
 pub use synopsis::{Synopsis, PARALLEL_MIN_BATCH};

@@ -86,6 +86,117 @@ impl Default for PassSpec {
     }
 }
 
+/// How one logical table is cut into K disjoint shards, each served by
+/// its own synopsis (`pass_baselines::ShardedSynopsis`).
+///
+/// A plan is plain data, like [`EngineSpec`]: it travels inside
+/// [`EngineSpec::Sharded`], round-trips through JSON, and is interpreted
+/// against a concrete table by `pass_table::Table::split`. Both
+/// partitioners produce *disjoint, exhaustive* shards — every row lands
+/// in exactly one shard — which is what makes per-shard COUNT/SUM
+/// estimates add up exactly and their variances add as independent
+/// strata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlan {
+    /// `shards` contiguous row ranges of near-equal size (the parallel
+    /// bulk-build layout: shard i gets rows `[i·n/K, (i+1)·n/K)`).
+    RowRange {
+        /// Number of shards K (≥ 1).
+        shards: usize,
+    },
+    /// Rows are routed by a deterministic hash of predicate column
+    /// `dim`'s bit pattern — co-locating equal predicate keys, the layout
+    /// for hash-distributed storage.
+    HashDim {
+        /// Predicate dimension whose value is hashed.
+        dim: usize,
+        /// Number of shards K (≥ 1).
+        shards: usize,
+    },
+}
+
+impl ShardPlan {
+    /// A row-range plan with `shards` shards.
+    pub fn row_range(shards: usize) -> Self {
+        ShardPlan::RowRange { shards }
+    }
+
+    /// A hash plan over predicate dimension `dim` with `shards` shards.
+    pub fn hash_dim(dim: usize, shards: usize) -> Self {
+        ShardPlan::HashDim { dim, shards }
+    }
+
+    /// Number of shards the plan requests.
+    pub fn shards(&self) -> usize {
+        match *self {
+            ShardPlan::RowRange { shards } | ShardPlan::HashDim { shards, .. } => shards,
+        }
+    }
+
+    /// Reject degenerate plans (zero shards).
+    pub fn validate(&self) -> Result<()> {
+        if self.shards() == 0 {
+            return Err(PassError::InvalidParameter(
+                "shards",
+                "a shard plan needs at least one shard".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deterministic shard index of a predicate key under a `shards`-way
+    /// hash plan (the workspace's canonical SplitMix64 mixer,
+    /// [`crate::rng::derive_seed`], over the key's bit pattern under a
+    /// dedicated stream label; `-0.0` canonicalizes to `0.0` so
+    /// equal-comparing keys co-locate).
+    pub fn key_shard(key: f64, shards: usize) -> usize {
+        // Stream label separating key hashing from every seeded RNG.
+        const KEY_STREAM: u64 = 0x5AAD_C0DE;
+        let canonical = if key == 0.0 { 0.0f64 } else { key };
+        let mixed = crate::rng::derive_seed(canonical.to_bits(), KEY_STREAM);
+        (mixed % shards.max(1) as u64) as usize
+    }
+
+    /// Short kind label, also the JSON tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ShardPlan::RowRange { .. } => "row_range",
+            ShardPlan::HashDim { .. } => "hash_dim",
+        }
+    }
+
+    fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            ("kind", Json::from(self.kind())),
+            ("shards", Json::from(self.shards())),
+        ];
+        if let ShardPlan::HashDim { dim, .. } = self {
+            fields.push(("dim", Json::from(*dim)));
+        }
+        Json::obj(fields)
+    }
+
+    fn from_json_value(doc: &Json) -> Result<ShardPlan> {
+        let field_err =
+            |name: &str| PassError::Load(format!("ShardPlan JSON: missing or invalid `{name}`"));
+        let shards = doc
+            .get("shards")
+            .and_then(Json::as_usize)
+            .ok_or(field_err("shards"))?;
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("row_range") => Ok(ShardPlan::RowRange { shards }),
+            Some("hash_dim") => Ok(ShardPlan::HashDim {
+                dim: doc
+                    .get("dim")
+                    .and_then(Json::as_usize)
+                    .ok_or(field_err("dim"))?,
+                shards,
+            }),
+            _ => Err(field_err("kind")),
+        }
+    }
+}
+
 /// One engine of the Section 5 evaluation, as declarative configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineSpec {
@@ -134,6 +245,15 @@ pub enum EngineSpec {
         /// Training-sample seed.
         seed: u64,
     },
+    /// One logical table partitioned across K per-shard engines (each
+    /// built from `inner` over its shard) whose partial estimates are
+    /// merged at query time (`pass_baselines::ShardedSynopsis`).
+    Sharded {
+        /// The engine built over every shard.
+        inner: Box<EngineSpec>,
+        /// How the table is cut into shards.
+        plan: ShardPlan,
+    },
     /// Escape hatch for hand-built synopses that live outside the
     /// registry; carries only the display name. Cannot be built.
     Opaque {
@@ -178,7 +298,16 @@ impl EngineSpec {
         EngineSpec::Spn { ratio, seed: 0 }
     }
 
-    /// Return the spec with its seed replaced (whichever variant).
+    /// `inner` sharded across the table according to `plan`.
+    pub fn sharded(inner: EngineSpec, plan: ShardPlan) -> Self {
+        EngineSpec::Sharded {
+            inner: Box::new(inner),
+            plan,
+        }
+    }
+
+    /// Return the spec with its seed replaced (whichever variant; a
+    /// sharded spec reseeds its inner engine).
     pub fn with_seed(mut self, new_seed: u64) -> Self {
         match &mut self {
             EngineSpec::Pass(p) => p.seed = new_seed,
@@ -187,9 +316,28 @@ impl EngineSpec {
             | EngineSpec::AqpPlusPlus { seed, .. }
             | EngineSpec::Verdict { seed, .. }
             | EngineSpec::Spn { seed, .. } => *seed = new_seed,
+            EngineSpec::Sharded { inner, .. } => {
+                let reseeded = std::mem::replace(inner.as_mut(), EngineSpec::uniform(0));
+                **inner = reseeded.with_seed(new_seed);
+            }
             EngineSpec::Opaque { .. } => {}
         }
         self
+    }
+
+    /// The randomization seed the spec's builds draw from (the innermost
+    /// engine's seed for sharded specs); `None` for opaque specs.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            EngineSpec::Pass(p) => Some(p.seed),
+            EngineSpec::Uniform { seed, .. }
+            | EngineSpec::Stratified { seed, .. }
+            | EngineSpec::AqpPlusPlus { seed, .. }
+            | EngineSpec::Verdict { seed, .. }
+            | EngineSpec::Spn { seed, .. } => Some(*seed),
+            EngineSpec::Sharded { inner, .. } => inner.seed(),
+            EngineSpec::Opaque { .. } => None,
+        }
     }
 
     /// Short kind label (`"pass"`, `"uniform"`, ...), also the JSON tag.
@@ -201,6 +349,7 @@ impl EngineSpec {
             EngineSpec::AqpPlusPlus { .. } => "aqppp",
             EngineSpec::Verdict { .. } => "verdict",
             EngineSpec::Spn { .. } => "spn",
+            EngineSpec::Sharded { .. } => "sharded",
             EngineSpec::Opaque { .. } => "opaque",
         }
     }
@@ -285,6 +434,10 @@ impl EngineSpec {
                 fields.push(("ratio", Json::from(*ratio)));
                 fields.push(("seed", seed_json(*seed)));
             }
+            EngineSpec::Sharded { inner, plan } => {
+                fields.push(("plan", plan.to_json_value()));
+                fields.push(("inner", inner.to_json_value()));
+            }
             EngineSpec::Opaque { name } => {
                 fields.push(("name", Json::from(name.clone())));
             }
@@ -294,7 +447,12 @@ impl EngineSpec {
 
     /// Parse a spec previously produced by [`to_json`](Self::to_json).
     pub fn from_json(text: &str) -> Result<EngineSpec> {
-        let doc = Json::parse(text)?;
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Parse a spec from an already-parsed JSON value (recursion point
+    /// for the nested `inner` spec of [`EngineSpec::Sharded`]).
+    fn from_json_value(doc: &Json) -> Result<EngineSpec> {
         let field_err =
             |name: &str| PassError::Load(format!("EngineSpec JSON: missing or invalid `{name}`"));
         let usize_field = |name: &str| {
@@ -386,6 +544,12 @@ impl EngineSpec {
                 ratio: f64_field("ratio")?,
                 seed: u64_field("seed")?,
             }),
+            Some("sharded") => Ok(EngineSpec::Sharded {
+                plan: ShardPlan::from_json_value(doc.get("plan").ok_or(field_err("plan"))?)?,
+                inner: Box::new(Self::from_json_value(
+                    doc.get("inner").ok_or(field_err("inner"))?,
+                )?),
+            }),
             Some("opaque") => Ok(EngineSpec::Opaque {
                 name: doc
                     .get("name")
@@ -434,6 +598,11 @@ mod tests {
             },
             EngineSpec::verdict(0.1).with_seed(5),
             EngineSpec::spn(0.5),
+            EngineSpec::sharded(EngineSpec::uniform(256), ShardPlan::row_range(4)),
+            EngineSpec::sharded(
+                EngineSpec::sharded(EngineSpec::pass(), ShardPlan::row_range(2)),
+                ShardPlan::hash_dim(1, 8),
+            ),
             EngineSpec::Opaque {
                 name: "CUSTOM".into(),
             },
@@ -482,16 +651,58 @@ mod tests {
     fn with_seed_touches_every_variant() {
         for spec in specimens() {
             let seeded = spec.clone().with_seed(999);
-            match seeded {
-                EngineSpec::Pass(p) => assert_eq!(p.seed, 999),
-                EngineSpec::Uniform { seed, .. }
-                | EngineSpec::Stratified { seed, .. }
-                | EngineSpec::AqpPlusPlus { seed, .. }
-                | EngineSpec::Verdict { seed, .. }
-                | EngineSpec::Spn { seed, .. } => assert_eq!(seed, 999),
-                EngineSpec::Opaque { .. } => {}
+            // `seed()` reads the innermost seed `with_seed` wrote
+            // (None only for opaque specs, which have no seed).
+            if let Some(seed) = seeded.seed() {
+                assert_eq!(seed, 999, "{spec:?}");
+            } else {
+                assert!(matches!(seeded, EngineSpec::Opaque { .. }));
+            }
+            // Reseeding must not change the plan of a sharded spec.
+            if let (EngineSpec::Sharded { plan, .. }, EngineSpec::Sharded { plan: seeded, .. }) =
+                (&spec, &seeded)
+            {
+                assert_eq!(plan, seeded);
             }
         }
+    }
+
+    #[test]
+    fn shard_plans_validate_and_hash_deterministically() {
+        assert!(ShardPlan::row_range(0).validate().is_err());
+        assert!(ShardPlan::hash_dim(0, 0).validate().is_err());
+        assert!(ShardPlan::row_range(1).validate().is_ok());
+        assert_eq!(ShardPlan::hash_dim(2, 8).shards(), 8);
+        assert_eq!(ShardPlan::hash_dim(2, 8).kind(), "hash_dim");
+        // Deterministic, in range, and -0.0 co-locates with 0.0.
+        for key in [0.0, -0.0, 1.5, -1.5, 1e300, f64::MIN_POSITIVE] {
+            let s = ShardPlan::key_shard(key, 7);
+            assert!(s < 7);
+            assert_eq!(s, ShardPlan::key_shard(key, 7));
+        }
+        assert_eq!(
+            ShardPlan::key_shard(0.0, 16),
+            ShardPlan::key_shard(-0.0, 16)
+        );
+    }
+
+    #[test]
+    fn malformed_sharded_json_is_rejected() {
+        assert!(EngineSpec::from_json(r#"{"engine": "sharded"}"#).is_err());
+        assert!(EngineSpec::from_json(
+            r#"{"engine": "sharded", "plan": {"kind": "row_range", "shards": 2}}"#
+        )
+        .is_err());
+        assert!(EngineSpec::from_json(
+            r#"{"engine": "sharded", "plan": {"kind": "warp", "shards": 2},
+                "inner": {"engine": "uniform", "k": 5, "seed": 0}}"#
+        )
+        .is_err());
+        assert!(EngineSpec::from_json(
+            r#"{"engine": "sharded", "plan": {"kind": "hash_dim", "shards": 2},
+                "inner": {"engine": "uniform", "k": 5, "seed": 0}}"#
+        )
+        .is_err());
     }
 
     #[test]

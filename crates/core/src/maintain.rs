@@ -59,6 +59,7 @@ impl Pass {
             });
             let Some(parent) = candidate else { break };
             self.collapse_into_leaf(parent);
+            self.bump_mutation_epoch();
             merges += 1;
         }
         merges
@@ -207,6 +208,7 @@ impl Pass {
             (r_rect, r_agg, Some(right_li)),
         );
         debug_assert!(l_id != r_id);
+        self.bump_mutation_epoch();
         Ok(true)
     }
 

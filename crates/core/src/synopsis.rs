@@ -318,6 +318,7 @@ impl PassBuilder {
             tree_dims: None,
             query_dims,
             spec: self.spec.clone(),
+            mutation_epoch: 0,
         })
     }
 }
@@ -339,6 +340,10 @@ pub struct Pass {
     pub(crate) query_dims: usize,
     /// The declarative configuration this synopsis was built from.
     pub(crate) spec: PassSpec,
+    /// Mutations absorbed since the build (inserts, deletes, maintenance
+    /// restructurings) — the [`Synopsis::update_epoch`] counter that lets
+    /// `CachedSynopsis` drop stale answers automatically.
+    pub(crate) mutation_epoch: u64,
 }
 
 impl Pass {
@@ -375,6 +380,18 @@ impl Pass {
     /// The CI scale λ in use.
     pub fn lambda(&self) -> f64 {
         self.lambda
+    }
+
+    /// Mutations absorbed since the build (see [`Synopsis::update_epoch`]).
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
+    }
+
+    /// Record one absorbed mutation. Every path that changes query-visible
+    /// state (`insert`, `delete`, maintenance restructurings) must call
+    /// this so epoch-aware caches never serve stale answers.
+    pub(crate) fn bump_mutation_epoch(&mut self) {
+        self.mutation_epoch += 1;
     }
 
     /// Draw a deterministic RNG for update operations.
@@ -474,6 +491,13 @@ impl Synopsis for Pass {
 
     fn spec(&self) -> EngineSpec {
         EngineSpec::Pass(self.spec.clone())
+    }
+
+    /// Streaming updates make `Pass` the one mutable engine in the
+    /// workspace; exposing the mutation count lets `CachedSynopsis`
+    /// invalidate stale entries automatically (no manual `clear_cache`).
+    fn update_epoch(&self) -> u64 {
+        self.mutation_epoch
     }
 
     fn storage_bytes(&self) -> usize {

@@ -98,6 +98,7 @@ impl Pass {
                 sample.replace_row(j as usize, value, point);
             }
         }
+        self.bump_mutation_epoch();
         Ok(())
     }
 
@@ -115,11 +116,14 @@ impl Pass {
         let li = self.tree.node(leaf).leaf_index.expect("leaf has index");
         let sample = &mut self.samples[li];
         sample.shrink_population();
-        if let Some(pos) = sample.find_row(value, point) {
+        let evicted = if let Some(pos) = sample.find_row(value, point) {
             sample.swap_remove_row(pos);
-            return Ok(true);
-        }
-        Ok(false)
+            true
+        } else {
+            false
+        };
+        self.bump_mutation_epoch();
+        Ok(evicted)
     }
 }
 
@@ -243,5 +247,39 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let (_, mut pass) = build(100, 7);
         assert!(pass.insert(&[0.5, 0.5], 1.0).is_err());
+        // A rejected update must not bump the epoch: nothing changed.
+        assert_eq!(pass.update_epoch(), 0);
+    }
+
+    #[test]
+    fn updates_advance_the_epoch() {
+        let (_, mut pass) = build(500, 8);
+        assert_eq!(pass.update_epoch(), 0);
+        pass.insert(&[0.5], 1.0).unwrap();
+        assert_eq!(pass.update_epoch(), 1);
+        pass.delete(&[0.5], 1.0).unwrap();
+        assert_eq!(pass.update_epoch(), 2);
+        assert_eq!(pass.mutation_epoch(), 2);
+    }
+
+    #[test]
+    fn cached_answers_stay_coherent_across_streaming_updates() {
+        use pass_common::CachedSynopsis;
+        let (t, pass) = build(2_000, 9);
+        let mut cached = CachedSynopsis::new(pass, 64);
+        let q = Query::interval(AggKind::Sum, -1.0, 10.0);
+        let before = cached.estimate(&q).unwrap();
+        assert!((before.value - t.ground_truth(&q).unwrap()).abs() < 1e-6);
+        cached.estimate(&q).unwrap();
+        assert_eq!(cached.cache().stats().hits, 1, "repeat served from cache");
+        // Stream an insert through the decorator: the next answer must
+        // reflect it with NO manual clear_cache.
+        cached.inner_mut().insert(&[0.5], 500.0).unwrap();
+        let after = cached.estimate(&q).unwrap();
+        assert!((after.value - before.value - 500.0).abs() < 1e-6);
+        // ...and the fresh answer is cacheable under the new epoch.
+        cached.estimate(&q).unwrap();
+        assert_eq!(cached.cache().stats().hits, 2);
+        assert_eq!(cached.cache().epoch(), 1);
     }
 }

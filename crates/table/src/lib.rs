@@ -23,6 +23,7 @@ pub mod column;
 pub mod csv;
 pub mod datasets;
 pub mod dist;
+pub mod shard;
 pub mod sorted;
 pub mod table;
 

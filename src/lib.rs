@@ -75,5 +75,7 @@ pub use pass_workload as workload;
 mod session;
 
 pub use pass_baselines::Engine;
-pub use pass_common::{CacheStats, EngineSpec, PassSpec, Synopsis, ThreadPool};
+pub use pass_common::{
+    CacheStats, EngineSpec, PartialEstimate, PassSpec, ShardPlan, Synopsis, ThreadPool,
+};
 pub use session::{Session, SessionHandle, DEFAULT_CACHE_CAPACITY};

@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use pass_baselines::Engine;
 use pass_common::{
-    CacheStats, CachedSynopsis, EngineSpec, Estimate, PassError, Query, Result, Synopsis,
-    ThreadPool,
+    CacheStats, CachedSynopsis, EngineSpec, Estimate, PassError, Query, Result, ShardPlan,
+    Synopsis, ThreadPool,
 };
 use pass_table::Table;
 use pass_workload::{
@@ -139,6 +139,36 @@ impl Session {
         Ok(self)
     }
 
+    /// Build `inner` sharded across the table according to `plan` and
+    /// register it under `name` — shorthand for
+    /// [`add_engine`](Self::add_engine) with an [`EngineSpec::Sharded`]
+    /// spec. The sharded engine gets the same caching, [`SessionHandle`]s,
+    /// and workload plumbing as every other engine; shard builds run
+    /// concurrently on a machine-sized pool.
+    ///
+    /// ```
+    /// use pass::{EngineSpec, Session, ShardPlan};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    ///
+    /// let mut session = Session::new(uniform(20_000, 1));
+    /// session
+    ///     .add_sharded_engine("us4", &EngineSpec::uniform(400), &ShardPlan::row_range(4))
+    ///     .unwrap();
+    /// let est = session
+    ///     .estimate("us4", &Query::interval(AggKind::Sum, 0.2, 0.8))
+    ///     .unwrap();
+    /// assert!(est.value > 0.0);
+    /// ```
+    pub fn add_sharded_engine(
+        &mut self,
+        name: impl Into<String>,
+        inner: &EngineSpec,
+        plan: &ShardPlan,
+    ) -> Result<&mut Self> {
+        self.add_engine(name, &EngineSpec::sharded(inner.clone(), plan.clone()))
+    }
+
     /// Register an already-built synopsis (escape hatch for hand-built or
     /// externally updated engines, e.g. a `Pass` absorbing a live stream).
     pub fn add_synopsis(
@@ -203,10 +233,13 @@ impl Session {
     }
 
     /// Drop every cached answer for `engine` (counters are kept — they are
-    /// cumulative). The invalidation hook for engines whose state changes
-    /// between queries: call it after mutating a hand-registered synopsis
-    /// so stale answers are not served. Re-registering via
-    /// [`add_engine`](Self::add_engine) replaces the cache wholesale.
+    /// cumulative). Rarely needed: engines that mutate (a streaming
+    /// `Pass`) advance their [`Synopsis::update_epoch`] on every
+    /// insert/delete and the per-engine cache drops stale entries
+    /// automatically on the next lookup. This manual hook remains for
+    /// hand-registered synopses that mutate *without* reporting an epoch;
+    /// re-registering via [`add_engine`](Self::add_engine) replaces the
+    /// cache wholesale.
     pub fn clear_cache(&self, engine: &str) -> Result<()> {
         self.engine_or_err(engine)?.engine.cache().clear();
         Ok(())
@@ -614,6 +647,33 @@ mod tests {
         );
         assert!(batched.throughput_qps > 0.0);
         assert!(parallel.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn sharded_engines_get_full_session_plumbing() {
+        let table = uniform(10_000, 40);
+        let sorted = SortedTable::from_table(&table, 0);
+        let queries = random_queries(&sorted, 30, AggKind::Sum, 500, 41);
+        let mut s = Session::new(table);
+        s.add_sharded_engine("pass4", &spec_pass(42), &ShardPlan::row_range(4))
+            .unwrap();
+        // Spec round-trips through the session as a Sharded spec.
+        assert_eq!(
+            s.spec("pass4"),
+            Some(EngineSpec::sharded(spec_pass(42), ShardPlan::row_range(4)))
+        );
+        assert!(s.build_ms("pass4").unwrap() >= 0.0);
+        // Caching: a repeated query is a hit.
+        let q = &queries[0];
+        let first = s.estimate("pass4", q).unwrap();
+        assert_eq!(s.estimate("pass4", q).unwrap().value, first.value);
+        assert_eq!(s.cache_stats("pass4").unwrap().hits, 1);
+        // Handles and workloads work like any other engine.
+        let handle = s.handle("pass4").unwrap();
+        assert_eq!(handle.estimate(q).unwrap().value, first.value);
+        let (summary, outcomes) = s.run_workload("pass4", &queries).unwrap();
+        assert_eq!(outcomes.len(), queries.len());
+        assert!(summary.median_relative_error < 0.25);
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! AQP++/KD-US, VerdictDB-style, DeepDB-style SPN); the suite's ordering
 //! and display names are pinned by `tests/engine_contract.rs`.
 
+#![warn(missing_docs)]
+
 pub mod aqppp;
 pub mod engine;
 pub mod sharded;

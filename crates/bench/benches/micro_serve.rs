@@ -1,0 +1,195 @@
+//! Criterion micro-benchmarks for the async serving front-end
+//! (`pass::Serve`): sustained submit→wait round-trips at 1/2/4 workers,
+//! the coalescing win (many small queued requests executed as few
+//! engine batches), and a saturation sweep that drives a small queue
+//! past capacity to measure admission-control overhead and report the
+//! shed rate plus p50/p99 latency.
+//!
+//! Unlike `micro_parallel` (which measures raw batch execution), this
+//! bench measures the serving tier itself: queueing, ticket round-trips,
+//! and load shedding. On a single-core container the absolute numbers
+//! compress, but the *shape* — coalesced ≫ one-request-per-batch, and
+//! rejection costing far less than execution — holds everywhere.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pass::{EngineSpec, ServeConfig, Session, SubmitOptions, Ticket};
+use pass_common::{AggKind, PassSpec, Query, ServeOutcome};
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+use pass_workload::random_queries;
+
+const REQUESTS: usize = 512;
+
+fn fixture() -> (Session, Vec<Query>) {
+    let table = DatasetId::NycTaxi.generate(100_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, REQUESTS, AggKind::Sum, 2_000, 11);
+    // Cache capacity 1 so the bench measures serving + engine work, not
+    // repeated-query cache hits.
+    let mut session = Session::new(table).with_cache_capacity(1);
+    session
+        .add_engine(
+            "pass",
+            &EngineSpec::Pass(PassSpec {
+                partitions: 128,
+                sample_rate: 0.005,
+                seed: 7,
+                ..PassSpec::default()
+            }),
+        )
+        .unwrap();
+    (session, queries)
+}
+
+/// Submit-and-wait round trips: 512 single-query requests through the
+/// serving front-end at 1/2/4 workers (each iteration spins up a fresh
+/// server so queue state never leaks between samples).
+fn bench_serve_roundtrip(c: &mut Criterion) {
+    let (session, queries) = fixture();
+    let mut group = c.benchmark_group(format!("serve_roundtrip_{REQUESTS}q"));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("submit_wait", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let serve = session
+                        .serve(
+                            "pass",
+                            ServeConfig::new()
+                                .with_workers(workers)
+                                .with_queue_depth(REQUESTS),
+                        )
+                        .unwrap();
+                    let tickets: Vec<Ticket> = queries.iter().map(|q| serve.submit(q)).collect();
+                    for t in &tickets {
+                        black_box(t.wait());
+                    }
+                    serve.shutdown()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The coalescing win: queue 512 single-query requests behind a paused
+/// worker, then release it — the worker glues them into
+/// `coalesce_max`-sized `estimate_many` batches. Sweeping the cap shows
+/// the batched fast path engaging (cap 1 ≈ per-query serving; cap 256
+/// ≈ two engine batches for the whole queue).
+fn bench_serve_coalescing(c: &mut Criterion) {
+    let (session, queries) = fixture();
+    let mut group = c.benchmark_group(format!("serve_coalesce_{REQUESTS}q"));
+    group.sample_size(10);
+    for cap in [1usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("coalesce_max", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let serve = session
+                    .serve(
+                        "pass",
+                        ServeConfig::new()
+                            .with_workers(1)
+                            .with_queue_depth(REQUESTS)
+                            .with_coalesce_max(cap)
+                            .paused(),
+                    )
+                    .unwrap();
+                let tickets: Vec<Ticket> = queries.iter().map(|q| serve.submit(q)).collect();
+                serve.resume();
+                for t in &tickets {
+                    black_box(t.wait());
+                }
+                serve.shutdown()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Saturation: 8 client threads hammer a queue of depth 32 with mixed
+/// interactive/bulk traffic. Reports (via the final stats printed once)
+/// the shed rate and p50/p99 — the admission-control numbers a capacity
+/// planner actually reads.
+fn bench_serve_saturation(c: &mut Criterion) {
+    let (session, queries) = fixture();
+    let mut group = c.benchmark_group("serve_saturation");
+    group.sample_size(10);
+    group.bench_function("8_clients_depth_32", |b| {
+        b.iter(|| {
+            let serve = session
+                .serve(
+                    "pass",
+                    ServeConfig::new().with_workers(2).with_queue_depth(32),
+                )
+                .unwrap();
+            std::thread::scope(|s| {
+                for t in 0..8 {
+                    let serve = &serve;
+                    let queries = &queries;
+                    s.spawn(move || {
+                        for (i, q) in queries.iter().enumerate().take(64) {
+                            let opts = if (t + i) % 4 == 0 {
+                                SubmitOptions::interactive()
+                            } else {
+                                SubmitOptions::bulk()
+                            };
+                            let ticket = serve.submit_with(std::slice::from_ref(q), &opts);
+                            match ticket.wait() {
+                                ServeOutcome::Done(r) => {
+                                    black_box(r);
+                                }
+                                ServeOutcome::Rejected => {}
+                                other => panic!("unexpected {other:?}"),
+                            }
+                        }
+                    });
+                }
+            });
+            serve.shutdown()
+        });
+    });
+    group.finish();
+
+    // One representative saturated run, stats printed for the record.
+    let serve = session
+        .serve(
+            "pass",
+            ServeConfig::new().with_workers(2).with_queue_depth(32),
+        )
+        .unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let serve = &serve;
+            let queries = &queries;
+            s.spawn(move || {
+                for q in queries.iter().take(64) {
+                    let _ = serve.submit(q).wait();
+                }
+            });
+        }
+    });
+    let stats = serve.shutdown();
+    println!(
+        "serve_saturation: accepted {} rejected {} completed {} batches {} \
+         high-water {}/{} p50 {}us p99 {}us",
+        stats.accepted,
+        stats.rejected,
+        stats.completed,
+        stats.batches,
+        stats.queue_high_water,
+        stats.queue_capacity,
+        stats.p50_latency_us,
+        stats.p99_latency_us
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_serve_roundtrip,
+    bench_serve_coalescing,
+    bench_serve_saturation
+);
+criterion_main!(benches);

@@ -20,8 +20,12 @@
 //!   into disjoint shards) and [`PartialEstimate`] (a shard's mergeable
 //!   contribution to a query, reduced by [`PartialEstimate::merge`]);
 //! * the serving-layer building blocks: a dependency-free chunk-stealing
-//!   worker pool ([`ThreadPool`]) and a bounded query-result cache
-//!   ([`QueryCache`] / [`CachedSynopsis`]);
+//!   worker pool ([`ThreadPool`]), a bounded query-result cache
+//!   ([`QueryCache`] / [`CachedSynopsis`]), and the async-serving
+//!   primitives behind `pass::Serve` — a bounded two-priority request
+//!   queue ([`RequestQueue`]), completion tickets ([`Ticket`] /
+//!   [`ServeOutcome`]), and a fixed-bucket latency histogram
+//!   ([`LatencyHistogram`]);
 //! * numeric kernels: compensated summation ([`kahan`]), prefix sums
 //!   ([`prefix`]), and statistics helpers ([`stats`]);
 //! * deterministic RNG construction ([`rng`]).
@@ -35,27 +39,33 @@ pub mod agg;
 pub mod cache;
 pub mod error;
 pub mod estimate;
+pub mod histogram;
 pub mod json;
 pub mod kahan;
 pub mod partial;
 pub mod pool;
 pub mod prefix;
 pub mod query;
+pub mod queue;
 pub mod rng;
 pub mod spec;
 pub mod stats;
 pub mod synopsis;
+pub mod ticket;
 
 pub use agg::{AggKind, Aggregates};
 pub use cache::{CacheStats, CachedSynopsis, QueryCache, QueryKey};
 pub use error::{PassError, Result};
 pub use estimate::Estimate;
+pub use histogram::{LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use json::Json;
 pub use kahan::KahanSum;
 pub use partial::PartialEstimate;
 pub use pool::ThreadPool;
 pub use prefix::PrefixSums;
 pub use query::{Query, Rect, RectRelation};
+pub use queue::{Priority, PushError, RequestQueue};
 pub use spec::{EngineSpec, PartitionStrategy, PassSpec, ShardPlan};
 pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};
 pub use synopsis::{Synopsis, PARALLEL_MIN_BATCH};
+pub use ticket::{ServeOutcome, Ticket, TicketSlot};

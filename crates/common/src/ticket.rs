@@ -1,0 +1,266 @@
+//! Completion tickets for asynchronously served queries.
+//!
+//! The serving front-end (`pass::Serve`) decouples *submitting* a query
+//! from *executing* it: `submit` enqueues the request and immediately
+//! returns a [`Ticket`], which the client polls ([`Ticket::poll`]) or
+//! blocks on ([`Ticket::wait`]) for the [`ServeOutcome`]. This is the
+//! dependency-free equivalent of a oneshot-channel future — a shared
+//! `Mutex<Option<outcome>>` plus a `Condvar` — chosen over an async
+//! runtime because the workspace is offline (no tokio) and the waiting
+//! side of a query server needs nothing fancier.
+//!
+//! The producer half is [`TicketSlot`]: the serving worker that executes
+//! (or sheds) the request calls [`TicketSlot::fulfill`] exactly once. A
+//! slot dropped unfulfilled (worker panic, aborted shutdown) resolves
+//! its ticket to [`ServeOutcome::Cancelled`], so a client can never
+//! block forever on a request the server lost.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::estimate::Estimate;
+use crate::Result;
+
+/// The terminal state of one served request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeOutcome {
+    /// The request executed: one result per submitted query, in order.
+    Done(Vec<Result<Estimate>>),
+    /// Admission control refused the request — the queue was at
+    /// capacity when it was submitted. Nothing executed; retry later or
+    /// shed the work.
+    Rejected,
+    /// The request's deadline passed while it was still queued; it was
+    /// discarded **without executing** (deadlines fail fast rather than
+    /// occupying a worker with an answer nobody is waiting for).
+    Expired,
+    /// The server shut down (or lost its worker) before the request
+    /// executed.
+    Cancelled,
+}
+
+impl ServeOutcome {
+    /// The executed results, or `None` for any non-[`Done`](Self::Done)
+    /// outcome.
+    pub fn results(self) -> Option<Vec<Result<Estimate>>> {
+        match self {
+            ServeOutcome::Done(results) => Some(results),
+            _ => None,
+        }
+    }
+
+    /// Whether the request actually executed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, ServeOutcome::Done(_))
+    }
+}
+
+#[derive(Debug, Default)]
+struct TicketState {
+    outcome: Option<ServeOutcome>,
+    /// Global completion stamp (server-assigned, monotonically
+    /// increasing) — lets tests and clients observe *relative* completion
+    /// order, e.g. that interactive requests finished before co-queued
+    /// bulk ones. See `Ticket::completion_index` for the multi-worker
+    /// caveat.
+    seq: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+/// The client half of one served request: poll or block for its
+/// [`ServeOutcome`].
+///
+/// Tickets are cheap (`Arc` internally) and cloneable; every clone
+/// observes the same outcome.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    shared: Arc<Shared>,
+}
+
+impl Ticket {
+    /// A pending ticket plus the [`TicketSlot`] that will resolve it.
+    pub fn pending() -> (Ticket, TicketSlot) {
+        let shared = Arc::new(Shared::default());
+        (
+            Ticket {
+                shared: Arc::clone(&shared),
+            },
+            TicketSlot {
+                shared: Some(shared),
+            },
+        )
+    }
+
+    /// A ticket born resolved — how admission control returns
+    /// [`ServeOutcome::Rejected`] synchronously while keeping one
+    /// uniform submission API.
+    pub fn resolved(outcome: ServeOutcome) -> Ticket {
+        let (ticket, slot) = Ticket::pending();
+        slot.fulfill(outcome, None);
+        ticket
+    }
+
+    /// Non-blocking check: the outcome if resolved, else `None`.
+    pub fn poll(&self) -> Option<ServeOutcome> {
+        self.shared
+            .state
+            .lock()
+            .expect("ticket poisoned")
+            .outcome
+            .clone()
+    }
+
+    /// Whether the ticket has resolved.
+    pub fn is_resolved(&self) -> bool {
+        self.poll().is_some()
+    }
+
+    /// Block until the outcome arrives.
+    pub fn wait(&self) -> ServeOutcome {
+        let mut state = self.shared.state.lock().expect("ticket poisoned");
+        loop {
+            if let Some(outcome) = &state.outcome {
+                return outcome.clone();
+            }
+            state = self.shared.done.wait(state).expect("ticket poisoned");
+        }
+    }
+
+    /// Block for at most `timeout`; `None` if still pending afterwards.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeOutcome> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("ticket poisoned");
+        loop {
+            if let Some(outcome) = &state.outcome {
+                return Some(outcome.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _timed_out) = self
+                .shared
+                .done
+                .wait_timeout(state, deadline - now)
+                .expect("ticket poisoned");
+            state = next;
+        }
+    }
+
+    /// The server's completion stamp. With a **single** serving worker,
+    /// stamps totally order completions (smaller = finished earlier) —
+    /// which is how the contract tests observe priority ordering. With
+    /// multiple workers, stamps from *concurrently* completing requests
+    /// may interleave with the order a client happens to observe
+    /// resolutions in; only same-worker completions are strictly
+    /// ordered. `None` while pending or for outcomes that never reached
+    /// a worker (e.g. [`ServeOutcome::Rejected`]).
+    pub fn completion_index(&self) -> Option<u64> {
+        self.shared.state.lock().expect("ticket poisoned").seq
+    }
+}
+
+/// The producer half of a [`Ticket`]: resolves it exactly once.
+///
+/// Dropping an unfulfilled slot resolves the ticket to
+/// [`ServeOutcome::Cancelled`] — the safety net that keeps clients from
+/// blocking forever if the serving worker unwinds.
+#[derive(Debug)]
+pub struct TicketSlot {
+    shared: Option<Arc<Shared>>,
+}
+
+impl TicketSlot {
+    /// Resolve the ticket with `outcome` (and, for executed requests,
+    /// the server's completion stamp). Consumes the slot: an outcome is
+    /// final.
+    pub fn fulfill(mut self, outcome: ServeOutcome, seq: Option<u64>) {
+        self.fulfill_inner(outcome, seq);
+    }
+
+    fn fulfill_inner(&mut self, outcome: ServeOutcome, seq: Option<u64>) {
+        if let Some(shared) = self.shared.take() {
+            let mut state = shared.state.lock().expect("ticket poisoned");
+            state.outcome = Some(outcome);
+            state.seq = seq;
+            drop(state);
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl Drop for TicketSlot {
+    fn drop(&mut self) {
+        self.fulfill_inner(ServeOutcome::Cancelled, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_sees_pending_then_resolved() {
+        let (ticket, slot) = Ticket::pending();
+        assert_eq!(ticket.poll(), None);
+        assert!(!ticket.is_resolved());
+        slot.fulfill(ServeOutcome::Done(vec![Ok(Estimate::exact(7.0))]), Some(3));
+        let outcome = ticket.poll().unwrap();
+        assert!(outcome.is_done());
+        assert_eq!(outcome.results().unwrap()[0].as_ref().unwrap().value, 7.0);
+        assert_eq!(ticket.completion_index(), Some(3));
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled_across_threads() {
+        let (ticket, slot) = Ticket::pending();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| ticket.wait());
+            std::thread::sleep(Duration::from_millis(10));
+            slot.fulfill(ServeOutcome::Expired, None);
+            assert_eq!(waiter.join().unwrap(), ServeOutcome::Expired);
+        });
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_succeeds() {
+        let (ticket, slot) = Ticket::pending();
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), None);
+        slot.fulfill(ServeOutcome::Rejected, None);
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(5)),
+            Some(ServeOutcome::Rejected)
+        );
+    }
+
+    #[test]
+    fn born_resolved_tickets_never_block() {
+        let ticket = Ticket::resolved(ServeOutcome::Rejected);
+        assert_eq!(ticket.wait(), ServeOutcome::Rejected);
+        assert_eq!(ticket.completion_index(), None);
+        assert!(!ServeOutcome::Rejected.is_done());
+        assert_eq!(ServeOutcome::Rejected.results(), None);
+    }
+
+    #[test]
+    fn dropping_the_slot_cancels_instead_of_hanging() {
+        let (ticket, slot) = Ticket::pending();
+        drop(slot);
+        assert_eq!(ticket.wait(), ServeOutcome::Cancelled);
+    }
+
+    #[test]
+    fn clones_observe_the_same_outcome() {
+        let (ticket, slot) = Ticket::pending();
+        let twin = ticket.clone();
+        slot.fulfill(ServeOutcome::Done(vec![]), Some(1));
+        assert!(ticket.wait().is_done());
+        assert!(twin.wait().is_done());
+        assert_eq!(twin.completion_index(), Some(1));
+    }
+}

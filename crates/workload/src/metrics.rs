@@ -37,9 +37,16 @@ pub struct WorkloadSummary {
     /// Max per-query latency in microseconds.
     pub max_latency_us: f64,
     /// Queries answered per second of wall clock — the serving-layer
-    /// throughput metric. For batched/parallel runs this is batch size
-    /// over batch wall time, so it reflects cross-query sharing and
-    /// multi-core speedup that per-query latency cannot.
+    /// throughput metric. "Answered" counts **every** query the run
+    /// resolved, regardless of *how*: answers computed by the engine
+    /// and answers served from the session's per-engine cache both
+    /// count (a fully cached re-run therefore reports the same
+    /// [`queries`](Self::queries) over a much shorter wall clock, i.e.
+    /// a higher throughput). Use [`cache_hits`](Self::cache_hits) /
+    /// [`cache_misses`](Self::cache_misses) to attribute the rate to
+    /// cache wins vs engine work. For batched/parallel runs the wall
+    /// clock covers the whole batch, so this is also where cross-query
+    /// sharing and multi-core speedup show up.
     pub throughput_qps: f64,
     /// Query-cache hits attributable to this run (0 when run outside a
     /// caching session).

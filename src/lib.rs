@@ -21,6 +21,13 @@
 //!    answers queries through a bounded per-engine result cache, hands out
 //!    cheap [`SessionHandle`] clones for concurrent serving, and evaluates
 //!    workloads with ground truth computed once and shared across engines.
+//! 4. **[`Serve`]** — the async-style serving front-end over a session
+//!    handle: submissions return pollable [`Ticket`]s, a bounded
+//!    two-priority queue applies admission control (rejection at
+//!    capacity, per-request deadlines, interactive-over-bulk ordering),
+//!    queued requests coalesce into the engines' batched fast path, and
+//!    [`ServeStats`] reports counts, queue high-water, and p50/p99
+//!    latency.
 //!
 //! ```
 //! use pass::{EngineSpec, Session};
@@ -64,6 +71,8 @@
 //! [`Engine`] registry, and [`workload`] the query generators and the
 //! per-query/batched/parallel runners.
 
+#![warn(missing_docs)]
+
 pub use pass_baselines as baselines;
 pub use pass_common as common;
 pub use pass_core as core;
@@ -72,10 +81,13 @@ pub use pass_sampling as sampling;
 pub use pass_table as table;
 pub use pass_workload as workload;
 
+pub mod serve;
 mod session;
 
 pub use pass_baselines::Engine;
 pub use pass_common::{
-    CacheStats, EngineSpec, PartialEstimate, PassSpec, ShardPlan, Synopsis, ThreadPool,
+    CacheStats, EngineSpec, PartialEstimate, PassSpec, Priority, ServeOutcome, ShardPlan, Synopsis,
+    ThreadPool, Ticket,
 };
+pub use serve::{Serve, ServeConfig, ServeStats, SubmitOptions};
 pub use session::{Session, SessionHandle, DEFAULT_CACHE_CAPACITY};

@@ -1,0 +1,761 @@
+//! An async-style serving front-end with admission control over
+//! [`SessionHandle`]s.
+//!
+//! The layers below this one make a single caller fast: batched queries
+//! share PASS's tree traversal, parallel batches shard over a
+//! [`ThreadPool`], and [`SessionHandle`] clones let many threads query
+//! one immutable synopsis. What they do *not* answer is what happens
+//! when more requests arrive than the machine can execute — that is a
+//! serving-tier problem, and [`Serve`] is the serving tier:
+//!
+//! * **Submission is decoupled from execution.** [`Serve::submit`] (and
+//!   [`submit_batch`](Serve::submit_batch) /
+//!   [`submit_with`](Serve::submit_with)) enqueues the request on a
+//!   bounded two-priority [`RequestQueue`] and immediately returns a
+//!   [`Ticket`] the client polls or blocks on. Dedicated worker threads
+//!   drain the queue and execute against a shared [`SessionHandle`].
+//! * **Admission control sheds load instead of queueing it forever.** A
+//!   full queue resolves the ticket to [`ServeOutcome::Rejected`]
+//!   without blocking the submitter; a request whose deadline passes
+//!   while queued resolves to [`ServeOutcome::Expired`] **without
+//!   executing**, so a backlogged server stops burning workers on
+//!   answers nobody is waiting for.
+//! * **Two priority classes.** [`Priority::Interactive`] requests
+//!   always pop before queued [`Priority::Bulk`] requests, so a
+//!   latency-sensitive dashboard query overtakes a queued analytics
+//!   sweep.
+//! * **Queued requests coalesce into batches.** A worker that pops one
+//!   request greedily drains further same-class requests (up to
+//!   [`ServeConfig::coalesce_max`] queries) and executes them as **one**
+//!   `estimate_many` batch — under load, the engine's batched fast path
+//!   (PASS reuses its MCF traversal scratch across the batch) kicks in
+//!   automatically, so saturation *increases* per-query efficiency.
+//! * **Everything is observable.** [`Serve::stats`] reports
+//!   accepted/rejected/expired/completed counts, the queue-depth
+//!   high-water mark, and p50/p99 submit-to-completion latency from a
+//!   fixed-bucket [`LatencyHistogram`].
+//!
+//! Served answers are **bit-identical** to direct
+//! [`Session`](crate::Session) calls: the
+//! worker executes through the same cached, deterministic synopsis, and
+//! `tests/serve_contract.rs` pins this for the whole
+//! `Engine::standard_suite`.
+//!
+//! There is deliberately no async runtime here — the workspace builds
+//! offline and dependency-free, so "async-style" means pollable tickets
+//! over parked OS threads (the same idiom as the vendored stubs), not
+//! tokio.
+//!
+//! ```
+//! use pass::{EngineSpec, ServeConfig, Session};
+//! use pass::common::{AggKind, Query};
+//! use pass::table::datasets::uniform;
+//!
+//! let mut session = Session::new(uniform(10_000, 42));
+//! session.add_engine("pass", &EngineSpec::pass()).unwrap();
+//!
+//! // Spin up the serving front-end over the "pass" engine.
+//! let serve = session
+//!     .serve("pass", ServeConfig::new().with_workers(2))
+//!     .unwrap();
+//!
+//! // Submissions return immediately; tickets resolve when a worker
+//! // executes the request.
+//! let q = Query::interval(AggKind::Sum, 0.2, 0.7);
+//! let ticket = serve.submit(&q);
+//! let batch: Vec<Query> = (0..64)
+//!     .map(|i| Query::interval(AggKind::Count, i as f64 / 80.0, 0.9))
+//!     .collect();
+//! let batch_ticket = serve.submit_batch(&batch);
+//!
+//! // Served answers are bit-identical to direct session calls.
+//! let result = &ticket.wait().results().unwrap()[0];
+//! let direct = session.estimate("pass", &q).unwrap();
+//! assert_eq!(result.as_ref().unwrap().value, direct.value);
+//! assert_eq!(batch_ticket.wait().results().unwrap().len(), 64);
+//!
+//! let stats = serve.shutdown();
+//! assert_eq!(stats.accepted, 2);
+//! assert_eq!(stats.completed, 2);
+//! assert_eq!(stats.rejected, 0);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pass_common::{
+    LatencyHistogram, Priority, PushError, Query, RequestQueue, ServeOutcome, ThreadPool, Ticket,
+    TicketSlot,
+};
+
+use crate::session::SessionHandle;
+
+/// Configuration for a [`Serve`] front-end.
+///
+/// The defaults describe a reasonable single-machine server: one worker
+/// per core, a queue deep enough to absorb bursts (1024 requests), and
+/// batches coalesced up to 256 queries — large enough to engage the
+/// engines' batched fast paths, small enough to keep queueing delay per
+/// batch bounded.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Dedicated serving worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Maximum queued requests before admission control rejects
+    /// (clamped to ≥ 1).
+    pub queue_depth: usize,
+    /// Maximum queries one coalesced execution batch may hold. A single
+    /// submission larger than this still executes (as its own batch);
+    /// the cap only bounds how much *additional* queued work a worker
+    /// glues on.
+    pub coalesce_max: usize,
+    /// Default deadline applied to submissions that do not carry their
+    /// own; `None` means requests wait in the queue indefinitely.
+    pub default_deadline: Option<Duration>,
+    /// Start with workers parked until [`Serve::resume`] — used by tests
+    /// and staged startups to fill the queue deterministically.
+    pub start_paused: bool,
+    /// Pool for intra-batch parallelism: each worker executes its
+    /// coalesced batch through
+    /// [`estimate_many_parallel`](pass_common::Synopsis::estimate_many_parallel)
+    /// on this pool. The default single-thread pool makes that exactly
+    /// the sequential batched path; give a wider pool to split very
+    /// large batches across cores *within* one worker (results stay
+    /// bit-identical — the parallel path is pinned to the sequential
+    /// one by `tests/parallel_session.rs`).
+    pub batch_pool: ThreadPool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: ThreadPool::with_default_parallelism().threads(),
+            queue_depth: 1024,
+            coalesce_max: 256,
+            default_deadline: None,
+            start_paused: false,
+            batch_pool: ThreadPool::new(1),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration (see the field docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of dedicated worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the admission-control queue bound.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Set the per-batch coalescing cap (queries).
+    pub fn with_coalesce_max(mut self, max: usize) -> Self {
+        self.coalesce_max = max;
+        self
+    }
+
+    /// Apply `deadline` to every submission that does not set its own.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Start paused; call [`Serve::resume`] to begin draining.
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+
+    /// Execute coalesced batches through `pool`
+    /// (intra-batch parallelism; see [`ServeConfig::batch_pool`]).
+    pub fn with_batch_pool(mut self, pool: ThreadPool) -> Self {
+        self.batch_pool = pool;
+        self
+    }
+}
+
+/// Per-request submission options: priority class and optional deadline.
+///
+/// ```
+/// use pass::SubmitOptions;
+/// use std::time::Duration;
+///
+/// let opts = SubmitOptions::bulk().with_deadline(Duration::from_millis(50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Admission class; interactive requests overtake queued bulk ones.
+    pub priority: Priority,
+    /// How long the request may wait in the queue before it expires
+    /// (measured from submission). `None` falls back to the server's
+    /// [`ServeConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Interactive priority, no per-request deadline.
+    pub fn interactive() -> Self {
+        Self {
+            priority: Priority::Interactive,
+            deadline: None,
+        }
+    }
+
+    /// Bulk priority, no per-request deadline.
+    pub fn bulk() -> Self {
+        Self {
+            priority: Priority::Bulk,
+            deadline: None,
+        }
+    }
+
+    /// Expire the request if it is still queued `deadline` after
+    /// submission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl Default for SubmitOptions {
+    /// Interactive, no deadline.
+    fn default() -> Self {
+        Self::interactive()
+    }
+}
+
+/// A point-in-time snapshot of the serving front-end's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused because the queue was at capacity.
+    pub rejected: u64,
+    /// Requests whose deadline passed while queued (never executed).
+    pub expired: u64,
+    /// Requests executed to completion.
+    pub completed: u64,
+    /// Execution batches run (completed requests per batch > 1 means
+    /// coalescing engaged).
+    pub batches: u64,
+    /// Deepest the request queue ever got.
+    pub queue_high_water: usize,
+    /// The admission bound the high-water mark saturates at.
+    pub queue_capacity: usize,
+    /// Median submit-to-completion latency, microseconds (conservative
+    /// fixed-bucket estimate; 0 until something completes).
+    pub p50_latency_us: u64,
+    /// 99th-percentile submit-to-completion latency, microseconds.
+    pub p99_latency_us: u64,
+}
+
+/// One queued unit of work: the submitted queries plus the ticket slot
+/// that resolves them.
+struct Request {
+    queries: Vec<Query>,
+    slot: TicketSlot,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
+struct ServeShared {
+    handle: SessionHandle,
+    queue: RequestQueue<Request>,
+    coalesce_max: usize,
+    batch_pool: ThreadPool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    /// Completion-order stamp handed to tickets (smaller = finished
+    /// earlier).
+    completion_seq: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ServeShared {
+    /// One worker's life: pop the highest-priority request (the queue
+    /// itself parks the worker while paused — pause lives under the
+    /// queue lock, so no request can slip past it), coalesce compatible
+    /// queued requests into one batch, expire the stale, execute the
+    /// rest, resolve every ticket. Exits when the queue is closed and
+    /// drained.
+    fn worker_loop(&self) {
+        loop {
+            let Some((first, class)) = self.queue.pop_blocking() else {
+                return;
+            };
+            let mut requests = vec![first];
+            let mut total = requests[0].queries.len();
+            // Greedy same-class coalescing, atomically under one queue
+            // lock: glue on queued requests while they fit the batch
+            // budget. The queue refuses a bulk drain while interactive
+            // work is queued, so a glued-together bulk batch can never
+            // delay an interactive request.
+            if total < self.coalesce_max {
+                requests.extend(self.queue.drain_class_where(class, |r| {
+                    if total + r.queries.len() <= self.coalesce_max {
+                        total += r.queries.len();
+                        true
+                    } else {
+                        false
+                    }
+                }));
+            }
+            self.execute(requests);
+        }
+    }
+
+    /// Expire what is stale, run the rest as one engine batch, resolve
+    /// all tickets.
+    fn execute(&self, requests: Vec<Request>) {
+        let now = Instant::now();
+        let mut live: Vec<Request> = Vec::with_capacity(requests.len());
+        for req in requests {
+            match req.deadline {
+                // Fail fast: the deadline passed while queued, so the
+                // worker spends zero execution time on it.
+                Some(deadline) if deadline <= now => {
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                    req.slot.fulfill(ServeOutcome::Expired, None);
+                }
+                _ => live.push(req),
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let queries: Vec<Query> = live
+            .iter()
+            .flat_map(|r| r.queries.iter().cloned())
+            .collect();
+        let results = self
+            .handle
+            .estimate_many_parallel(&queries, &self.batch_pool);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(results.len(), queries.len());
+        let mut results = results.into_iter();
+        for req in live {
+            let slice: Vec<_> = results.by_ref().take(req.queries.len()).collect();
+            let seq = self.completion_seq.fetch_add(1, Ordering::Relaxed);
+            let waited_us = req.submitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.latency.record(waited_us);
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            req.slot.fulfill(ServeOutcome::Done(slice), Some(seq));
+        }
+    }
+}
+
+/// The serving front-end: a bounded request queue, admission control,
+/// and a fixed set of workers executing against one [`SessionHandle`].
+///
+/// Create one with [`Session::serve`](crate::Session::serve) (or
+/// [`Serve::new`] from any handle). Submissions never block; execution
+/// happens on the server's workers; results come back through
+/// [`Ticket`]s. Dropping the server closes the queue, drains every
+/// accepted request, and joins the workers — no accepted ticket is left
+/// unresolved.
+///
+/// See the [serve module docs](crate::serve) for the full request
+/// lifecycle.
+pub struct Serve {
+    shared: Arc<ServeShared>,
+    default_deadline: Option<Duration>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Serve {
+    /// Start a serving front-end over `handle` (workers spawn
+    /// immediately; parked first if [`ServeConfig::start_paused`]).
+    pub fn new(handle: SessionHandle, config: ServeConfig) -> Self {
+        let shared = Arc::new(ServeShared {
+            handle,
+            queue: RequestQueue::new(config.queue_depth),
+            coalesce_max: config.coalesce_max.max(1),
+            batch_pool: config.batch_pool,
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            completion_seq: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        });
+        shared.queue.set_paused(config.start_paused);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
+        Serve {
+            shared,
+            default_deadline: config.default_deadline,
+            workers,
+        }
+    }
+
+    /// The engine name this server executes against.
+    pub fn engine(&self) -> &str {
+        self.shared.handle.name()
+    }
+
+    /// Submit one interactive query with no per-request deadline.
+    pub fn submit(&self, query: &Query) -> Ticket {
+        self.submit_with(std::slice::from_ref(query), &SubmitOptions::default())
+    }
+
+    /// Submit a query batch (interactive, no per-request deadline). The
+    /// whole batch is one request: it is admitted, expired, and resolved
+    /// as a unit, and its ticket yields one result per query in order.
+    pub fn submit_batch(&self, queries: &[Query]) -> Ticket {
+        self.submit_with(queries, &SubmitOptions::default())
+    }
+
+    /// Submit with explicit [`SubmitOptions`]. Never blocks: the ticket
+    /// resolves to [`ServeOutcome::Rejected`] immediately when the queue
+    /// is at capacity (that is the backpressure signal) and to
+    /// [`ServeOutcome::Cancelled`] when the server is shutting down. An
+    /// empty batch resolves to an empty `Done` without queueing.
+    pub fn submit_with(&self, queries: &[Query], options: &SubmitOptions) -> Ticket {
+        if queries.is_empty() {
+            return Ticket::resolved(ServeOutcome::Done(Vec::new()));
+        }
+        let submitted = Instant::now();
+        let deadline = options
+            .deadline
+            .or(self.default_deadline)
+            .map(|d| submitted + d);
+        let (ticket, slot) = Ticket::pending();
+        let request = Request {
+            queries: queries.to_vec(),
+            slot,
+            submitted,
+            deadline,
+        };
+        // Count acceptance *before* the push: the instant the request is
+        // in the queue a worker may pop, execute, and bump `completed`,
+        // and a mid-run stats() observer must never see
+        // completed > accepted. Failed pushes undo the claim.
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        match self.shared.queue.try_push(request, options.priority) {
+            Ok(()) => ticket,
+            Err((PushError::Full, request)) => {
+                self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                request.slot.fulfill(ServeOutcome::Rejected, None);
+                ticket
+            }
+            Err((PushError::Closed, request)) => {
+                self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
+                request.slot.fulfill(ServeOutcome::Cancelled, None);
+                ticket
+            }
+        }
+    }
+
+    /// Park the workers after their in-flight batches finish; queued and
+    /// newly submitted requests wait (admission control still applies).
+    /// The pause flag lives under the queue's own lock, so even a worker
+    /// already parked inside a pop cannot slip a request past a pause.
+    pub fn pause(&self) {
+        self.shared.queue.set_paused(true);
+    }
+
+    /// Release paused workers.
+    pub fn resume(&self) {
+        self.shared.queue.set_paused(false);
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// A snapshot of the serving counters, queue high-water mark, and
+    /// latency percentiles.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            queue_high_water: self.shared.queue.high_water(),
+            queue_capacity: self.shared.queue.capacity(),
+            p50_latency_us: self.shared.latency.p50(),
+            p99_latency_us: self.shared.latency.p99(),
+        }
+    }
+
+    /// Stop accepting, drain every queued request (deadlines still
+    /// apply: stale requests expire rather than execute), join the
+    /// workers, and return the final stats. Dropping the server does
+    /// the same minus the stats.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Closing wakes paused workers too: a closed queue drains
+        // regardless of the pause flag.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Serve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Serve")
+            .field("engine", &self.engine())
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use pass_common::{AggKind, EngineSpec};
+    use pass_table::datasets::uniform;
+
+    fn served_session() -> Session {
+        let mut s = Session::new(uniform(5_000, 77));
+        s.add_engine("pass", &EngineSpec::pass()).unwrap();
+        s
+    }
+
+    fn q(lo: f64, hi: f64) -> Query {
+        Query::interval(AggKind::Sum, lo, hi)
+    }
+
+    #[test]
+    fn single_and_batch_submissions_resolve_with_engine_answers() {
+        let session = served_session();
+        let serve = session
+            .serve("pass", ServeConfig::new().with_workers(2))
+            .unwrap();
+        assert_eq!(serve.engine(), "pass");
+        let single = serve.submit(&q(0.1, 0.9));
+        let batch: Vec<Query> = (0..8).map(|i| q(i as f64 / 10.0, 0.95)).collect();
+        let many = serve.submit_batch(&batch);
+        let got = single.wait().results().unwrap();
+        assert_eq!(
+            got[0].as_ref().unwrap().value,
+            session.estimate("pass", &q(0.1, 0.9)).unwrap().value
+        );
+        let got = many.wait().results().unwrap();
+        assert_eq!(got.len(), 8);
+        for (query, result) in batch.iter().zip(&got) {
+            assert_eq!(
+                result.as_ref().unwrap().value,
+                session.estimate("pass", query).unwrap().value
+            );
+        }
+        let stats = serve.shutdown();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!((stats.rejected, stats.expired), (0, 0));
+        assert!(stats.batches >= 1);
+        assert!(stats.p50_latency_us <= stats.p99_latency_us);
+    }
+
+    #[test]
+    fn empty_batch_resolves_immediately() {
+        let session = served_session();
+        let serve = session.serve("pass", ServeConfig::new()).unwrap();
+        let ticket = serve.submit_batch(&[]);
+        assert_eq!(ticket.wait(), ServeOutcome::Done(Vec::new()));
+        assert_eq!(serve.stats().accepted, 0);
+    }
+
+    #[test]
+    fn queue_full_rejects_without_blocking() {
+        let session = served_session();
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new()
+                    .with_workers(1)
+                    .with_queue_depth(2)
+                    .paused(),
+            )
+            .unwrap();
+        let accepted: Vec<Ticket> = (0..2).map(|_| serve.submit(&q(0.0, 0.5))).collect();
+        let rejected = serve.submit(&q(0.0, 0.6));
+        assert_eq!(rejected.poll(), Some(ServeOutcome::Rejected));
+        assert_eq!(rejected.completion_index(), None);
+        let stats = serve.stats();
+        assert_eq!((stats.accepted, stats.rejected), (2, 1));
+        assert_eq!(stats.queue_high_water, 2);
+        serve.resume();
+        for t in accepted {
+            assert!(t.wait().is_done());
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let session = served_session();
+        let serve = session
+            .serve("pass", ServeConfig::new().with_workers(1).paused())
+            .unwrap();
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|i| serve.submit(&q(0.0, 0.5 + i as f64 / 100.0)))
+            .collect();
+        // Shutdown resumes, drains, joins: every accepted ticket resolves.
+        let stats = serve.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_done());
+        }
+        assert_eq!(stats.completed, 5);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_cancelled() {
+        let session = served_session();
+        let serve = session.serve("pass", ServeConfig::new()).unwrap();
+        // Close the queue out from under the facade, then submit.
+        serve.shared.queue.close();
+        let ticket = serve.submit(&q(0.0, 0.5));
+        assert_eq!(ticket.wait(), ServeOutcome::Cancelled);
+    }
+
+    #[test]
+    fn default_deadline_applies_to_queued_requests() {
+        let session = served_session();
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new()
+                    .with_workers(1)
+                    .with_default_deadline(Duration::ZERO)
+                    .paused(),
+            )
+            .unwrap();
+        let doomed = serve.submit(&q(0.0, 0.5));
+        serve.resume();
+        assert_eq!(doomed.wait(), ServeOutcome::Expired);
+        assert_eq!(serve.stats().expired, 1);
+        // An explicit generous deadline overrides the default.
+        let fine = serve.submit_with(
+            &[q(0.0, 0.5)],
+            &SubmitOptions::interactive().with_deadline(Duration::from_secs(60)),
+        );
+        assert!(fine.wait().is_done());
+    }
+
+    #[test]
+    fn coalescing_executes_queued_requests_in_fewer_batches() {
+        let session = served_session();
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new()
+                    .with_workers(1)
+                    .with_coalesce_max(64)
+                    .paused(),
+            )
+            .unwrap();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| serve.submit(&q(i as f64 / 20.0, 0.9)))
+            .collect();
+        serve.resume();
+        for (i, t) in tickets.iter().enumerate() {
+            let got = t.wait().results().unwrap();
+            assert_eq!(
+                got[0].as_ref().unwrap().value,
+                session
+                    .estimate("pass", &q(i as f64 / 20.0, 0.9))
+                    .unwrap()
+                    .value,
+                "request {i}"
+            );
+        }
+        let stats = serve.shutdown();
+        assert_eq!(stats.completed, 16);
+        assert!(
+            stats.batches < 16,
+            "16 queued requests ran in {} batches — coalescing never engaged",
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn pausing_a_running_server_parks_workers_already_waiting_in_the_pop() {
+        // Regression: pause() must hold back requests submitted *after*
+        // the pause even when a worker is already parked inside the
+        // queue's blocking pop (the flag lives under the queue lock).
+        let session = served_session();
+        let serve = session
+            .serve("pass", ServeConfig::new().with_workers(2))
+            .unwrap();
+        // Let the workers reach pop_blocking on the empty queue.
+        assert!(serve.submit(&q(0.0, 0.5)).wait().is_done());
+        serve.pause();
+        let parked = serve.submit(&q(0.1, 0.6));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(parked.poll(), None, "executed while paused");
+        assert_eq!(serve.queue_depth(), 1);
+        serve.resume();
+        assert!(parked.wait().is_done());
+    }
+
+    #[test]
+    fn oversized_single_submission_still_executes() {
+        let session = served_session();
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new().with_workers(1).with_coalesce_max(4),
+            )
+            .unwrap();
+        let big: Vec<Query> = (0..32).map(|i| q(i as f64 / 40.0, 0.9)).collect();
+        let ticket = serve.submit_batch(&big);
+        assert_eq!(ticket.wait().results().unwrap().len(), 32);
+    }
+
+    #[test]
+    fn wide_batch_pool_stays_bit_identical() {
+        let session = served_session();
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new()
+                    .with_workers(1)
+                    .with_batch_pool(ThreadPool::new(4)),
+            )
+            .unwrap();
+        let batch: Vec<Query> = (0..128).map(|i| q((i % 40) as f64 / 50.0, 0.9)).collect();
+        let got = serve.submit_batch(&batch).wait().results().unwrap();
+        for (query, result) in batch.iter().zip(&got) {
+            assert_eq!(
+                result.as_ref().unwrap().value,
+                session.estimate("pass", query).unwrap().value
+            );
+        }
+    }
+}

@@ -245,6 +245,30 @@ impl Session {
         Ok(())
     }
 
+    /// Start an async-style serving front-end ([`crate::Serve`]) over
+    /// `engine`: a bounded request queue with admission control
+    /// (rejection at capacity, per-request deadlines, interactive/bulk
+    /// priorities) feeding dedicated workers that execute against this
+    /// session's shared synopsis and cache. Served answers are
+    /// bit-identical to calling [`estimate`](Session::estimate) here
+    /// directly, and the server stays valid even if the session drops.
+    ///
+    /// ```
+    /// use pass::{EngineSpec, ServeConfig, Session};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    ///
+    /// let mut session = Session::new(uniform(5_000, 3));
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// let serve = session.serve("pass", ServeConfig::new()).unwrap();
+    /// let ticket = serve.submit(&Query::interval(AggKind::Count, 0.1, 0.8));
+    /// let results = ticket.wait().results().unwrap();
+    /// assert!(results[0].as_ref().unwrap().value > 0.0);
+    /// ```
+    pub fn serve(&self, engine: &str, config: crate::ServeConfig) -> Result<crate::Serve> {
+        Ok(crate::Serve::new(self.handle(engine)?, config))
+    }
+
     /// A cheap cloneable handle answering queries against `engine` from
     /// any thread: it shares the session's immutable synopsis and query
     /// cache via `Arc`, so clones cost a reference-count bump and hits
@@ -566,6 +590,11 @@ mod tests {
             first.median_relative_error, second.median_relative_error,
             "cached answers are identical"
         );
+        // throughput_qps counts every answered query, cache-served ones
+        // included: the fully cached pass still reports the full query
+        // count and a positive serving rate.
+        assert_eq!(second.queries, queries.len());
+        assert!(second.throughput_qps > 0.0);
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! The serving-layer contract (`pass::Serve`), pinned end to end:
+//!
+//! 1. **Fidelity** — served answers are bit-identical to direct
+//!    `Session::estimate` calls for every engine in
+//!    `Engine::standard_suite`, errors included. The serving tier adds
+//!    queueing, coalescing, and scheduling; it must never change an
+//!    answer.
+//! 2. **Admission control** — the bounded queue rejects *exactly* beyond
+//!    capacity, and rejected submissions never block or execute.
+//! 3. **Deadlines** — a request whose deadline passes while queued
+//!    resolves to `Expired` without the engine ever seeing it.
+//! 4. **Priorities** — co-queued interactive requests complete before
+//!    bulk requests, observable through ticket completion stamps.
+
+use std::time::Duration;
+
+use pass::common::{AggKind, Query};
+use pass::table::datasets::uniform;
+use pass::{Engine, EngineSpec, Serve, ServeConfig, ServeOutcome, Session, SubmitOptions, Ticket};
+
+fn suite_queries() -> Vec<Query> {
+    let aggs = [
+        AggKind::Sum,
+        AggKind::Count,
+        AggKind::Avg,
+        AggKind::Min,
+        AggKind::Max,
+    ];
+    let mut queries = Vec::new();
+    for (i, agg) in aggs.iter().enumerate() {
+        for j in 0..6 {
+            let lo = (i * 6 + j) as f64 / 40.0;
+            queries.push(Query::interval(*agg, lo, (lo + 0.3).min(1.0)));
+        }
+        // A degenerate sliver too: some engines answer these with errors,
+        // and served errors must match direct errors.
+        queries.push(Query::interval(*agg, 0.9999, 0.99995));
+    }
+    queries
+}
+
+/// Served results are bit-identical to direct `Session::estimate` for
+/// the whole standard suite. The served session and the direct session
+/// are **separate builds** from identical specs, so the comparison pins
+/// the serving path itself, not a shared cache.
+#[test]
+fn served_answers_are_bit_identical_to_direct_estimates_for_the_standard_suite() {
+    let queries = suite_queries();
+    for spec in Engine::standard_suite(16, 400, 3) {
+        let mut direct = Session::new(uniform(8_000, 11));
+        direct.add_engine("engine", &spec).unwrap();
+        let mut served = Session::new(uniform(8_000, 11));
+        served.add_engine("engine", &spec).unwrap();
+        let serve = served
+            .serve("engine", ServeConfig::new().with_workers(2))
+            .unwrap();
+
+        // Mixed single and batched submissions.
+        let singles: Vec<Ticket> = queries.iter().map(|q| serve.submit(q)).collect();
+        let batch = serve.submit_batch(&queries);
+
+        for (query, ticket) in queries.iter().zip(&singles) {
+            let got = ticket.wait().results().unwrap();
+            assert_eq!(
+                got[0],
+                direct.estimate("engine", query),
+                "single {query:?} on {spec:?}"
+            );
+        }
+        let got = batch.wait().results().unwrap();
+        assert_eq!(got.len(), queries.len());
+        for (query, result) in queries.iter().zip(&got) {
+            assert_eq!(
+                *result,
+                direct.estimate("engine", query),
+                "batched {query:?} on {spec:?}"
+            );
+        }
+        let stats = serve.shutdown();
+        assert_eq!(stats.accepted, queries.len() as u64 + 1);
+        assert_eq!(stats.completed, queries.len() as u64 + 1);
+        assert_eq!((stats.rejected, stats.expired), (0, 0));
+    }
+}
+
+fn paused_single_worker(session: &Session, depth: usize) -> Serve {
+    session
+        .serve(
+            "pass",
+            ServeConfig::new()
+                .with_workers(1)
+                .with_queue_depth(depth)
+                .paused(),
+        )
+        .unwrap()
+}
+
+fn pass_session() -> Session {
+    let mut s = Session::new(uniform(5_000, 21));
+    s.add_engine("pass", &EngineSpec::pass()).unwrap();
+    s
+}
+
+/// The queue admits exactly `queue_depth` requests; the next is rejected
+/// synchronously, and draining one slot re-admits exactly one.
+#[test]
+fn queue_rejects_exactly_beyond_capacity() {
+    let session = pass_session();
+    let depth = 4;
+    let serve = paused_single_worker(&session, depth);
+    let q = Query::interval(AggKind::Sum, 0.2, 0.8);
+
+    let accepted: Vec<Ticket> = (0..depth).map(|_| serve.submit(&q)).collect();
+    for t in &accepted {
+        assert_eq!(t.poll(), None, "accepted requests are pending, not shed");
+    }
+    // Requests depth+1 .. depth+3 are all rejected — immediately, in both
+    // priority classes.
+    for _ in 0..3 {
+        assert_eq!(serve.submit(&q).poll(), Some(ServeOutcome::Rejected));
+        assert_eq!(
+            serve
+                .submit_with(std::slice::from_ref(&q), &SubmitOptions::bulk())
+                .poll(),
+            Some(ServeOutcome::Rejected)
+        );
+    }
+    let stats = serve.stats();
+    assert_eq!(stats.accepted, depth as u64);
+    assert_eq!(stats.rejected, 6);
+    assert_eq!(stats.queue_high_water, depth);
+    assert_eq!(stats.queue_capacity, depth);
+
+    // Execution drains the queue and re-opens admission.
+    serve.resume();
+    for t in accepted {
+        assert!(t.wait().is_done());
+    }
+    assert!(serve.submit(&q).wait().is_done());
+    let stats = serve.stats();
+    assert_eq!((stats.accepted, stats.rejected), (depth as u64 + 1, 6));
+}
+
+/// An expired-deadline request resolves to `Expired` and the engine
+/// never executes it — observable through the session's per-engine
+/// cache counters, which every executed query must touch.
+#[test]
+fn expired_requests_resolve_without_executing() {
+    let session = pass_session();
+    let serve = paused_single_worker(&session, 16);
+    let q = Query::interval(AggKind::Sum, 0.3, 0.7);
+
+    let doomed = serve.submit_with(
+        std::slice::from_ref(&q),
+        &SubmitOptions::interactive().with_deadline(Duration::ZERO),
+    );
+    let alive = serve.submit_with(
+        std::slice::from_ref(&q),
+        &SubmitOptions::interactive().with_deadline(Duration::from_secs(300)),
+    );
+    let before = session.cache_stats("pass").unwrap();
+    serve.resume();
+
+    assert_eq!(doomed.wait(), ServeOutcome::Expired);
+    assert_eq!(doomed.completion_index(), None);
+    assert!(alive.wait().is_done(), "a live deadline executes normally");
+
+    let delta = session.cache_stats("pass").unwrap().since(&before);
+    assert_eq!(
+        delta.hits + delta.misses,
+        1,
+        "exactly one query (the live one) reached the engine path"
+    );
+    let stats = serve.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// Interactive requests overtake co-queued bulk requests: with both
+/// classes queued behind a paused worker, every interactive request
+/// carries a smaller completion stamp than every bulk request.
+#[test]
+fn interactive_requests_complete_before_co_queued_bulk() {
+    let session = pass_session();
+    let serve = paused_single_worker(&session, 64);
+
+    // Bulk first — FIFO alone would finish these first.
+    let bulk: Vec<Ticket> = (0..6)
+        .map(|i| {
+            serve.submit_with(
+                &[Query::interval(AggKind::Sum, i as f64 / 10.0, 0.9)],
+                &SubmitOptions::bulk(),
+            )
+        })
+        .collect();
+    let interactive: Vec<Ticket> = (0..6)
+        .map(|i| {
+            serve.submit_with(
+                &[Query::interval(AggKind::Count, i as f64 / 10.0, 0.9)],
+                &SubmitOptions::interactive(),
+            )
+        })
+        .collect();
+    serve.resume();
+
+    let interactive_seq: Vec<u64> = interactive
+        .iter()
+        .map(|t| {
+            assert!(t.wait().is_done());
+            t.completion_index().unwrap()
+        })
+        .collect();
+    let bulk_seq: Vec<u64> = bulk
+        .iter()
+        .map(|t| {
+            assert!(t.wait().is_done());
+            t.completion_index().unwrap()
+        })
+        .collect();
+    let max_interactive = interactive_seq.iter().max().unwrap();
+    let min_bulk = bulk_seq.iter().min().unwrap();
+    assert!(
+        max_interactive < min_bulk,
+        "interactive stamps {interactive_seq:?} must all precede bulk stamps {bulk_seq:?}"
+    );
+}
+
+/// Saturating a tiny queue from many client threads: every submission
+/// resolves (Done or Rejected — never hangs), accepted ones carry
+/// correct answers, and the books balance.
+#[test]
+fn concurrent_clients_against_a_saturated_queue_never_hang() {
+    let session = pass_session();
+    let serve = session
+        .serve(
+            "pass",
+            ServeConfig::new().with_workers(2).with_queue_depth(8),
+        )
+        .unwrap();
+    let expected = {
+        let q = Query::interval(AggKind::Sum, 0.25, 0.75);
+        session.estimate("pass", &q).unwrap().value
+    };
+    let done = std::sync::atomic::AtomicU64::new(0);
+    let shed = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let serve = &serve;
+            let done = &done;
+            let shed = &shed;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let ticket = serve.submit(&Query::interval(AggKind::Sum, 0.25, 0.75));
+                    match ticket.wait() {
+                        ServeOutcome::Done(results) => {
+                            assert_eq!(results[0].as_ref().unwrap().value, expected);
+                            done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        ServeOutcome::Rejected => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        other => panic!("unexpected outcome {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let stats = serve.shutdown();
+    let (done, shed) = (
+        done.load(std::sync::atomic::Ordering::Relaxed),
+        shed.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    assert_eq!(done + shed, 400);
+    assert_eq!(stats.completed, done);
+    assert_eq!(stats.rejected, shed);
+    assert_eq!(stats.accepted, done);
+    assert!(stats.queue_high_water <= 8);
+}

@@ -1,0 +1,188 @@
+//! Criterion micro-benchmarks for the routed serving front-end
+//! (`Session::serve_multi`): submit→wait round-trips alternating
+//! between two engines through one shared queue at 1/2/4 workers, the
+//! cross-request dedup win (duplicate-heavy traffic executed once per
+//! distinct request instead of once per submission), and the raw
+//! scheduling overhead of the earliest-deadline-first queue order
+//! against plain FIFO pushes.
+//!
+//! Unlike `micro_serve` (one engine, admission control under
+//! saturation), this bench measures what PR 5 added: routing, dedup,
+//! and deadline scheduling. The dedup group runs with the session query
+//! cache **disabled** so the numbers isolate the queue-layer dedup —
+//! with the cache on, duplicates would be cache hits either way and the
+//! dedup win would shrink to saved queue slots and lock traffic.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pass::{EngineSpec, ServeConfig, Session, Ticket};
+use pass_common::{AggKind, PassSpec, Priority, Query, RequestQueue};
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+use pass_workload::random_queries;
+
+const REQUESTS: usize = 512;
+
+fn fixture(cache_capacity: usize) -> (Session, Vec<Query>) {
+    let table = DatasetId::NycTaxi.generate(100_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, REQUESTS, AggKind::Sum, 2_000, 11);
+    let mut session = Session::new(table).with_cache_capacity(cache_capacity);
+    session
+        .add_engine(
+            "pass",
+            &EngineSpec::Pass(PassSpec {
+                partitions: 128,
+                sample_rate: 0.005,
+                seed: 7,
+                ..PassSpec::default()
+            }),
+        )
+        .unwrap();
+    session
+        .add_engine("us", &EngineSpec::uniform(2_000))
+        .unwrap();
+    (session, queries)
+}
+
+/// Routed round-trips: 512 single-query requests alternating between
+/// two engines through one `serve_multi` server at 1/2/4 workers (each
+/// iteration spins up a fresh server so queue state never leaks).
+fn bench_routed_roundtrip(c: &mut Criterion) {
+    let (session, queries) = fixture(1);
+    let mut group = c.benchmark_group(format!("route_roundtrip_{REQUESTS}q"));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("two_engines", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let serve = session
+                        .serve_multi(
+                            &["pass", "us"],
+                            ServeConfig::new()
+                                .with_workers(workers)
+                                .with_queue_depth(REQUESTS),
+                        )
+                        .unwrap();
+                    let tickets: Vec<Ticket> = queries
+                        .iter()
+                        .enumerate()
+                        .map(|(i, q)| {
+                            let engine = if i % 2 == 0 { "pass" } else { "us" };
+                            serve.submit_to(engine, q).unwrap()
+                        })
+                        .collect();
+                    for t in &tickets {
+                        black_box(t.wait());
+                    }
+                    serve.shutdown()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The dedup win on duplicate-heavy traffic: 64 distinct queries each
+/// submitted 8 times behind a paused worker, released as one drain.
+/// With dedup off every submission executes (the cache is disabled);
+/// with dedup on each distinct request executes once and fans out.
+fn bench_dedup(c: &mut Criterion) {
+    let (session, queries) = fixture(0);
+    let distinct = &queries[..64];
+    let mut group = c.benchmark_group("route_dedup_64q_x8");
+    group.sample_size(10);
+    for (label, dedup) in [("dedup_off", false), ("dedup_on", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut config = ServeConfig::new()
+                    .with_workers(1)
+                    .with_queue_depth(8 * distinct.len())
+                    .paused();
+                config.dedup = dedup;
+                let serve = session.serve("pass", config).unwrap();
+                let tickets: Vec<Ticket> = (0..8)
+                    .flat_map(|_| distinct.iter().map(|q| serve.submit(q)))
+                    .collect();
+                serve.resume();
+                for t in &tickets {
+                    black_box(t.wait());
+                }
+                serve.shutdown()
+            });
+        });
+    }
+    group.finish();
+
+    // One representative run, stats printed for the record.
+    let mut config = ServeConfig::new()
+        .with_workers(1)
+        .with_queue_depth(8 * distinct.len())
+        .paused();
+    config.dedup = true;
+    let serve = session.serve("pass", config).unwrap();
+    let tickets: Vec<Ticket> = (0..8)
+        .flat_map(|_| distinct.iter().map(|q| serve.submit(q)))
+        .collect();
+    serve.resume();
+    for t in &tickets {
+        let _ = t.wait();
+    }
+    let stats = serve.shutdown();
+    println!(
+        "route_dedup: accepted {} deduped {} completed {} batches {}",
+        stats.accepted, stats.deduped, stats.completed, stats.batches
+    );
+}
+
+/// Raw queue scheduling overhead: push/pop 4096 entries through the
+/// `RequestQueue` with plain FIFO pushes vs deadline-keyed (EDF)
+/// pushes — the price of the sorted insertion the scheduler pays on
+/// every dated submission.
+fn bench_edf_queue_overhead(c: &mut Criterion) {
+    const ITEMS: usize = 4096;
+    let mut group = c.benchmark_group(format!("route_queue_{ITEMS}"));
+    group.sample_size(10);
+    group.bench_function("fifo_push_pop", |b| {
+        b.iter(|| {
+            let queue = RequestQueue::new(ITEMS);
+            for i in 0..ITEMS {
+                queue.try_push(i, Priority::Bulk).unwrap();
+            }
+            for _ in 0..ITEMS {
+                black_box(queue.pop_blocking());
+            }
+        });
+    });
+    group.bench_function("edf_push_pop", |b| {
+        b.iter(|| {
+            let queue = RequestQueue::new(ITEMS);
+            let base = Instant::now() + Duration::from_secs(60);
+            for i in 0..ITEMS {
+                // Deadlines land out of order (reversed within blocks of
+                // 64) so insertion actually exercises the binary search.
+                let jitter = 64 - (i % 64);
+                let deadline = base + Duration::from_millis((i / 64 * 64 + jitter) as u64);
+                queue
+                    .try_push_scheduled(i, Priority::Bulk, Some(deadline))
+                    .unwrap();
+            }
+            for _ in 0..ITEMS {
+                black_box(queue.pop_blocking());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routed_roundtrip,
+    bench_dedup,
+    bench_edf_queue_overhead
+);
+criterion_main!(benches);

@@ -33,6 +33,22 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 /// (upper bucket bound, ≤ 2× the true value) and never understate, with
 /// one caveat: samples at or beyond the top bucket (≥ 2³¹ µs ≈ 36 min)
 /// saturate and report the top-bucket bound instead of their true value.
+///
+/// # Examples
+///
+/// ```
+/// use pass_common::LatencyHistogram;
+///
+/// let latency = LatencyHistogram::new();
+/// for us in [90, 110, 120, 130, 9_000] {
+///     latency.record(us); // lock-free, callable from any thread
+/// }
+/// assert_eq!(latency.count(), 5);
+/// // Conservative fixed-bucket percentiles: never understated, within
+/// // 2× of exact — the straggler shows in p99, not p50.
+/// assert!(latency.p50() >= 110 && latency.p50() <= 2 * 110);
+/// assert!(latency.p99() >= 9_000);
+/// ```
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],

@@ -6,18 +6,32 @@
 //! the two is where load shedding happens. [`RequestQueue`] is bounded
 //! (a full queue **rejects** the push instead of blocking the client —
 //! that is the backpressure signal), has two strict priority classes
-//! ([`Priority::Interactive`] always pops before [`Priority::Bulk`],
-//! FIFO within each class), and tracks the queue-depth high-water mark
-//! so saturation is observable after the fact.
+//! ([`Priority::Interactive`] always pops before [`Priority::Bulk`]),
+//! and tracks the queue-depth high-water mark so saturation is
+//! observable after the fact.
+//!
+//! **Within** a class the pop policy is earliest-deadline-first:
+//! [`try_push_scheduled`](RequestQueue::try_push_scheduled) attaches an
+//! optional deadline to the item and the queue keeps each class sorted
+//! so the most urgent entry is always at the head. Undated entries keep
+//! FIFO order *after* every dated one, and two equal deadlines preserve
+//! FIFO too, so the plain [`try_push`](RequestQueue::try_push) (no
+//! deadline) degrades to exactly the old FIFO-within-class behavior.
+//! [`try_push_or_merge`](RequestQueue::try_push_or_merge) is the
+//! cross-request dedup hook on top: it folds a submission into an
+//! identical queued entry instead of consuming another capacity slot.
 //!
 //! Like the [`crate::ThreadPool`], this is deliberately dependency-free:
 //! one `Mutex` around two `VecDeque`s plus a `Condvar` for blocking
 //! consumers. The serving layer's queues hold hundreds of requests, not
 //! millions — correctness and observability beat lock-free cleverness
-//! here.
+//! here, and that includes the scheduling structure: a sorted `VecDeque`
+//! with binary-search insertion beats a heap because the coalescing
+//! drain walks entries in schedule order and FIFO ties are free.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// The admission class of a serving request.
 ///
@@ -45,10 +59,41 @@ pub enum PushError {
     Closed,
 }
 
+/// One queued entry plus its earliest-deadline-first key. `key == None`
+/// means undated: the entry sorts after every dated one and keeps FIFO
+/// order among other undated entries.
+#[derive(Debug)]
+struct Scheduled<T> {
+    item: T,
+    key: Option<Instant>,
+}
+
+/// Whether an already-queued entry with EDF key `existing` keeps its
+/// place ahead of a newly inserted key `incoming`: dated before undated,
+/// earlier deadline first, and FIFO on exact ties (the existing entry
+/// stays in front) — which also makes undated-only traffic pure FIFO.
+fn keeps_place(existing: Option<Instant>, incoming: Option<Instant>) -> bool {
+    match (existing, incoming) {
+        (None, None) => true,
+        (None, Some(_)) => false,
+        (Some(_), None) => true,
+        (Some(a), Some(b)) => a <= b,
+    }
+}
+
+/// The earlier of two EDF keys, `None` meaning "never expires" (+∞).
+fn earliest(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
 #[derive(Debug)]
 struct QueueInner<T> {
-    interactive: VecDeque<T>,
-    bulk: VecDeque<T>,
+    interactive: VecDeque<Scheduled<T>>,
+    bulk: VecDeque<Scheduled<T>>,
     closed: bool,
     paused: bool,
     high_water: usize,
@@ -58,18 +103,59 @@ impl<T> QueueInner<T> {
     fn len(&self) -> usize {
         self.interactive.len() + self.bulk.len()
     }
+
+    fn class_mut(&mut self, class: Priority) -> &mut VecDeque<Scheduled<T>> {
+        match class {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Bulk => &mut self.bulk,
+        }
+    }
+
+    /// Insert in EDF position: after every entry that keeps its place,
+    /// before the first that doesn't (binary search — the deque is
+    /// always sorted by [`keeps_place`]).
+    fn insert_scheduled(&mut self, class: Priority, entry: Scheduled<T>) {
+        let deque = self.class_mut(class);
+        let idx = deque.partition_point(|e| keeps_place(e.key, entry.key));
+        deque.insert(idx, entry);
+    }
 }
 
-/// A bounded MPMC queue with two strict priority classes and a
-/// queue-depth high-water mark.
+/// A bounded MPMC queue with two strict priority classes,
+/// earliest-deadline-first ordering within each class, and a queue-depth
+/// high-water mark.
 ///
-/// Producers call [`try_push`](Self::try_push), which **never blocks**:
-/// a full queue returns [`PushError::Full`] so the caller can shed the
-/// request (the serving layer turns this into a `Rejected` ticket).
-/// Consumers call [`pop_blocking`](Self::pop_blocking) (parks until an
-/// item arrives or the queue closes) or the non-blocking
+/// Producers call [`try_push`](Self::try_push) (FIFO among undated
+/// entries), [`try_push_scheduled`](Self::try_push_scheduled) (with an
+/// EDF deadline), or [`try_push_or_merge`](Self::try_push_or_merge)
+/// (dedup: fold into an identical queued entry) — none of which ever
+/// block: a full queue returns [`PushError::Full`] so the caller can
+/// shed the request (the serving layer turns this into a `Rejected`
+/// ticket). Consumers call [`pop_blocking`](Self::pop_blocking) (parks
+/// until an item arrives or the queue closes) or the non-blocking
 /// [`drain_class_where`](Self::drain_class_where) used by batch
 /// coalescing.
+///
+/// # Examples
+///
+/// ```
+/// use pass_common::{Priority, RequestQueue};
+/// use std::time::{Duration, Instant};
+///
+/// let queue = RequestQueue::new(8);
+/// queue.try_push("sweep", Priority::Bulk).unwrap();
+/// queue.try_push("dashboard", Priority::Interactive).unwrap();
+/// // A dated bulk entry overtakes the undated bulk one (EDF), but no
+/// // bulk entry ever overtakes queued interactive work.
+/// let soon = Instant::now() + Duration::from_millis(50);
+/// queue
+///     .try_push_scheduled("urgent sweep", Priority::Bulk, Some(soon))
+///     .unwrap();
+///
+/// assert_eq!(queue.pop_blocking(), Some(("dashboard", Priority::Interactive)));
+/// assert_eq!(queue.pop_blocking(), Some(("urgent sweep", Priority::Bulk)));
+/// assert_eq!(queue.pop_blocking(), Some(("sweep", Priority::Bulk)));
+/// ```
 #[derive(Debug)]
 pub struct RequestQueue<T> {
     capacity: usize,
@@ -115,43 +201,124 @@ impl<T> RequestQueue<T> {
         self.inner.lock().expect("queue poisoned").high_water
     }
 
-    /// Enqueue `item` under `priority`. Never blocks: a queue at
-    /// capacity refuses with [`PushError::Full`] (and gives `item`
-    /// back), a closed queue with [`PushError::Closed`].
+    /// Enqueue `item` under `priority` with no deadline (it sorts after
+    /// every dated entry in the class, FIFO among the undated). Never
+    /// blocks: a queue at capacity refuses with [`PushError::Full`] (and
+    /// gives `item` back), a closed queue with [`PushError::Closed`].
     pub fn try_push(&self, item: T, priority: Priority) -> Result<(), (PushError, T)> {
+        self.try_push_scheduled(item, priority, None)
+    }
+
+    /// Enqueue `item` under `priority` with an earliest-deadline-first
+    /// key: within its class the entry pops before every entry with a
+    /// later (or no) deadline. Equal deadlines preserve submission
+    /// order, and `deadline == None` is exactly
+    /// [`try_push`](Self::try_push). The deadline only *schedules* —
+    /// expiring stale items remains the consumer's job (the serving
+    /// layer resolves them `Expired` at pop time), which is what keeps
+    /// an expired-at-pop entry from ever blocking a live later one.
+    pub fn try_push_scheduled(
+        &self,
+        item: T,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<(), (PushError, T)> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        self.push_locked(inner, item, priority, deadline)
+    }
+
+    /// Dedup-aware push: if a queued entry in `priority`'s class
+    /// satisfies `matches(&queued, &item)`, fold `item` into it with
+    /// `merge` and return `Ok(true)` — **no capacity is consumed**, so
+    /// attaching works even on a full queue (dedup helps most exactly
+    /// when the queue is saturated). Attaching also tightens the entry's
+    /// EDF key to the earlier of the two deadlines, repositioning it if
+    /// needed: an urgent duplicate pulls the shared execution forward.
+    /// Otherwise this is [`try_push_scheduled`](Self::try_push_scheduled)
+    /// and returns `Ok(false)`.
+    ///
+    /// Only *queued* entries are candidates — an identical request a
+    /// worker already popped is invisible here, and the scan stays
+    /// within one class so dedup can never demote interactive work into
+    /// a bulk execution (or vice versa). The scan is linear over the
+    /// class under the same single lock acquisition as the push; the
+    /// queue holds hundreds of entries, not millions.
+    pub fn try_push_or_merge(
+        &self,
+        item: T,
+        priority: Priority,
+        deadline: Option<Instant>,
+        matches: impl Fn(&T, &T) -> bool,
+        merge: impl FnOnce(&mut T, T),
+    ) -> Result<bool, (PushError, T)> {
         let mut inner = self.inner.lock().expect("queue poisoned");
+        // Checked here too (not only in push_locked): merging into a
+        // closed queue's still-draining entries would smuggle new work
+        // past shutdown.
+        if inner.closed {
+            return Err((PushError::Closed, item));
+        }
+        let deque = inner.class_mut(priority);
+        if let Some(idx) = deque.iter().position(|e| matches(&e.item, &item)) {
+            merge(&mut deque[idx].item, item);
+            let tightened = earliest(deque[idx].key, deadline);
+            if tightened != deque[idx].key {
+                let mut entry = deque.remove(idx).expect("idx in bounds");
+                entry.key = tightened;
+                inner.insert_scheduled(priority, entry);
+            }
+            return Ok(true);
+        }
+        self.push_locked(inner, item, priority, deadline)
+            .map(|()| false)
+    }
+
+    /// The one push-success path: admission control, EDF insertion,
+    /// high-water accounting, and the consumer wakeup, all under the
+    /// caller's lock. Hands `item` back on a closed or full queue.
+    fn push_locked(
+        &self,
+        mut inner: std::sync::MutexGuard<'_, QueueInner<T>>,
+        item: T,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<(), (PushError, T)> {
         if inner.closed {
             return Err((PushError::Closed, item));
         }
         if inner.len() >= self.capacity {
             return Err((PushError::Full, item));
         }
-        match priority {
-            Priority::Interactive => inner.interactive.push_back(item),
-            Priority::Bulk => inner.bulk.push_back(item),
-        }
+        inner.insert_scheduled(
+            priority,
+            Scheduled {
+                item,
+                key: deadline,
+            },
+        );
         inner.high_water = inner.high_water.max(inner.len());
         drop(inner);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Dequeue the highest-priority item, parking the caller until one
-    /// arrives. Returns `None` only when the queue is closed **and**
-    /// drained — workers use that as their exit signal, so no accepted
-    /// request is ever dropped by shutdown. A
-    /// [paused](Self::set_paused) queue hands out nothing (consumers
-    /// park even with items waiting) unless it is closed — shutdown
-    /// drains regardless of pause.
+    /// Dequeue the highest-priority item — interactive before bulk, and
+    /// earliest deadline first within the class (undated entries FIFO
+    /// after all dated ones) — parking the caller until one arrives.
+    /// Returns `None` only when the queue is closed **and** drained —
+    /// workers use that as their exit signal, so no accepted request is
+    /// ever dropped by shutdown. A [paused](Self::set_paused) queue
+    /// hands out nothing (consumers park even with items waiting)
+    /// unless it is closed — shutdown drains regardless of pause.
     pub fn pop_blocking(&self) -> Option<(T, Priority)> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
             if !inner.paused || inner.closed {
-                if let Some(item) = inner.interactive.pop_front() {
-                    return Some((item, Priority::Interactive));
+                if let Some(entry) = inner.interactive.pop_front() {
+                    return Some((entry.item, Priority::Interactive));
                 }
-                if let Some(item) = inner.bulk.pop_front() {
-                    return Some((item, Priority::Bulk));
+                if let Some(entry) = inner.bulk.pop_front() {
+                    return Some((entry.item, Priority::Bulk));
                 }
                 if inner.closed {
                     return None;
@@ -161,19 +328,22 @@ impl<T> RequestQueue<T> {
         }
     }
 
-    /// Dequeue items from the head of `class` — without blocking — for
-    /// as long as `admit` approves the next head; the first refusal (or
-    /// an empty class) stops the drain with the queue intact from there.
-    /// The whole drain holds the lock **once**, so it is atomic with
-    /// respect to producers (no per-item lock churn on the saturated
-    /// path) and nothing can slip into the class mid-drain.
+    /// Dequeue items from the head of `class` — without blocking, in
+    /// schedule (EDF) order — for as long as `admit` approves the next
+    /// head; the first refusal (or an empty class) stops the drain with
+    /// the queue intact from there. The whole drain holds the lock
+    /// **once**, so it is atomic with respect to producers (no per-item
+    /// lock churn on the saturated path) and nothing can slip into the
+    /// class mid-drain.
     ///
     /// This is the batch-coalescing hook, and it enforces strict
     /// priority: a [`Bulk`](Priority::Bulk) drain returns empty while
     /// any interactive item is queued, so coalescing can never delay
-    /// interactive work behind a glued-together bulk batch. Pausing
-    /// also stops the drain (unless the queue is closed and draining
-    /// for shutdown).
+    /// interactive work behind a glued-together bulk batch. Stopping at
+    /// the first refusal (rather than skipping past it) is what lets
+    /// the serving layer refuse a different-engine head and thereby
+    /// never reorder the schedule. Pausing also stops the drain (unless
+    /// the queue is closed and draining for shutdown).
     pub fn drain_class_where(&self, class: Priority, mut admit: impl FnMut(&T) -> bool) -> Vec<T> {
         let mut drained = Vec::new();
         let mut inner = self.inner.lock().expect("queue poisoned");
@@ -183,15 +353,12 @@ impl<T> RequestQueue<T> {
         if class == Priority::Bulk && !inner.interactive.is_empty() {
             return drained;
         }
-        let deque = match class {
-            Priority::Interactive => &mut inner.interactive,
-            Priority::Bulk => &mut inner.bulk,
-        };
+        let deque = inner.class_mut(class);
         while let Some(head) = deque.front() {
-            if !admit(head) {
+            if !admit(&head.item) {
                 break;
             }
-            drained.push(deque.pop_front().expect("head exists"));
+            drained.push(deque.pop_front().expect("head exists").item);
         }
         drained
     }
@@ -452,6 +619,149 @@ mod tests {
         assert_eq!(
             q.try_push(2, Priority::Bulk).unwrap_err().0,
             PushError::Full
+        );
+    }
+
+    #[test]
+    fn earliest_deadline_pops_first_within_a_class() {
+        let q = RequestQueue::new(8);
+        let base = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let at = |s: u64| Some(base + std::time::Duration::from_secs(s));
+        q.try_push_scheduled("late", Priority::Bulk, at(30))
+            .unwrap();
+        q.try_push_scheduled("soon", Priority::Bulk, at(1)).unwrap();
+        q.try_push_scheduled("mid", Priority::Bulk, at(10)).unwrap();
+        for want in ["soon", "mid", "late"] {
+            assert_eq!(q.pop_blocking(), Some((want, Priority::Bulk)));
+        }
+    }
+
+    #[test]
+    fn undated_entries_keep_fifo_order_after_all_dated_ones() {
+        let q = RequestQueue::new(8);
+        let soon = Some(std::time::Instant::now() + std::time::Duration::from_secs(1));
+        q.try_push("undated-1", Priority::Bulk).unwrap();
+        q.try_push("undated-2", Priority::Bulk).unwrap();
+        // A dated entry submitted *after* the undated ones still pops
+        // first; the undated ones keep their relative FIFO order.
+        q.try_push_scheduled("dated", Priority::Bulk, soon).unwrap();
+        for want in ["dated", "undated-1", "undated-2"] {
+            assert_eq!(q.pop_blocking(), Some((want, Priority::Bulk)));
+        }
+    }
+
+    #[test]
+    fn equal_deadlines_preserve_submission_order() {
+        let q = RequestQueue::new(8);
+        // One shared Instant: a bit-exact deadline tie.
+        let tie = Some(std::time::Instant::now() + std::time::Duration::from_secs(5));
+        for v in [1, 2, 3] {
+            q.try_push_scheduled(v, Priority::Interactive, tie).unwrap();
+        }
+        for want in [1, 2, 3] {
+            assert_eq!(q.pop_blocking(), Some((want, Priority::Interactive)));
+        }
+    }
+
+    #[test]
+    fn edf_ordering_does_not_cross_priority_classes() {
+        let q = RequestQueue::new(8);
+        let soon = Some(std::time::Instant::now() + std::time::Duration::from_millis(1));
+        q.try_push_scheduled("urgent bulk", Priority::Bulk, soon)
+            .unwrap();
+        q.try_push("undated interactive", Priority::Interactive)
+            .unwrap();
+        // Strict classes first, EDF only within one.
+        assert_eq!(
+            q.pop_blocking(),
+            Some(("undated interactive", Priority::Interactive))
+        );
+        assert_eq!(q.pop_blocking(), Some(("urgent bulk", Priority::Bulk)));
+    }
+
+    #[test]
+    fn merge_attaches_to_an_identical_entry_without_consuming_capacity() {
+        let q: RequestQueue<(u32, u32)> = RequestQueue::new(2);
+        q.try_push((7, 1), Priority::Bulk).unwrap();
+        q.try_push((8, 1), Priority::Bulk).unwrap();
+        // Queue is full, but a duplicate of key 7 still lands by merging.
+        let attached = q
+            .try_push_or_merge(
+                (7, 1),
+                Priority::Bulk,
+                None,
+                |queued, new| queued.0 == new.0,
+                |queued, new| queued.1 += new.1,
+            )
+            .unwrap();
+        assert!(attached);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+        // A non-matching push on the full queue is still rejected.
+        assert_eq!(
+            q.try_push_or_merge((9, 1), Priority::Bulk, None, |a, b| a.0 == b.0, |_, _| {})
+                .unwrap_err()
+                .0,
+            PushError::Full
+        );
+        assert_eq!(q.pop_blocking(), Some(((7, 2), Priority::Bulk)));
+        assert_eq!(q.pop_blocking(), Some(((8, 1), Priority::Bulk)));
+    }
+
+    #[test]
+    fn merge_tightens_the_deadline_and_repositions_the_entry() {
+        let q: RequestQueue<(u32, u32)> = RequestQueue::new(8);
+        let base = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let at = |s: u64| Some(base + std::time::Duration::from_secs(s));
+        q.try_push_scheduled((1, 1), Priority::Bulk, at(5)).unwrap();
+        q.try_push_scheduled((2, 1), Priority::Bulk, at(30))
+            .unwrap();
+        // An urgent duplicate of entry 2 pulls it ahead of entry 1.
+        let attached = q
+            .try_push_or_merge(
+                (2, 1),
+                Priority::Bulk,
+                at(1),
+                |queued, new| queued.0 == new.0,
+                |queued, new| queued.1 += new.1,
+            )
+            .unwrap();
+        assert!(attached);
+        assert_eq!(q.pop_blocking(), Some(((2, 2), Priority::Bulk)));
+        assert_eq!(q.pop_blocking(), Some(((1, 1), Priority::Bulk)));
+    }
+
+    #[test]
+    fn merge_scans_only_its_own_class() {
+        let q: RequestQueue<(u32, u32)> = RequestQueue::new(8);
+        q.try_push((7, 1), Priority::Bulk).unwrap();
+        // The identical interactive submission must NOT fold into the
+        // bulk entry — that would demote it.
+        let attached = q
+            .try_push_or_merge(
+                (7, 1),
+                Priority::Interactive,
+                None,
+                |queued, new| queued.0 == new.0,
+                |queued, new| queued.1 += new.1,
+            )
+            .unwrap();
+        assert!(!attached);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_blocking(), Some(((7, 1), Priority::Interactive)));
+        assert_eq!(q.pop_blocking(), Some(((7, 1), Priority::Bulk)));
+    }
+
+    #[test]
+    fn merge_on_a_closed_queue_is_refused() {
+        let q: RequestQueue<u32> = RequestQueue::new(8);
+        q.try_push(1, Priority::Bulk).unwrap();
+        q.close();
+        assert_eq!(
+            q.try_push_or_merge(1, Priority::Bulk, None, |a, b| a == b, |_, _| {})
+                .unwrap_err()
+                .0,
+            PushError::Closed
         );
     }
 }

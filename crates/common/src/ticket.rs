@@ -77,6 +77,23 @@ struct Shared {
 ///
 /// Tickets are cheap (`Arc` internally) and cloneable; every clone
 /// observes the same outcome.
+///
+/// # Examples
+///
+/// ```
+/// use pass_common::{ServeOutcome, Ticket};
+///
+/// let (ticket, slot) = Ticket::pending();
+/// assert_eq!(ticket.poll(), None); // non-blocking: still pending
+///
+/// // The serving worker resolves the slot exactly once...
+/// slot.fulfill(ServeOutcome::Done(Vec::new()), Some(0));
+///
+/// // ...and every clone of the ticket observes the same outcome.
+/// let twin = ticket.clone();
+/// assert!(ticket.wait().is_done());
+/// assert_eq!(twin.completion_index(), Some(0));
+/// ```
 #[derive(Debug, Clone)]
 pub struct Ticket {
     shared: Arc<Shared>,

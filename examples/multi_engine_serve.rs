@@ -1,0 +1,135 @@
+//! Routed serving end to end: one `pass::Serve` fronting **two**
+//! engines through a shared queue and worker pool, mixed deadlines
+//! scheduled earliest-first, duplicate dashboard queries deduplicated
+//! into one execution, and the per-engine stats read back.
+//!
+//! This is the runnable version of the README's routed-serving rung;
+//! CI compiles *and runs* it (like `serve_quickstart.rs`), so the
+//! documented multi-engine API cannot drift from the real one.
+//!
+//! ```sh
+//! cargo run --release --example multi_engine_serve
+//! ```
+
+use std::time::Duration;
+
+use pass::common::{AggKind, Query};
+use pass::table::datasets::uniform;
+use pass::{EngineSpec, ServeConfig, ServeOutcome, Session, SubmitOptions, Ticket};
+
+fn main() {
+    // Offline: one table, two engines. PASS answers the interactive
+    // dashboard; a cheap uniform sample absorbs the bulk sweeps.
+    let mut session = Session::new(uniform(60_000, 42));
+    session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    session
+        .add_engine("us", &EngineSpec::uniform(2_000))
+        .unwrap();
+
+    // Online: one routed server over both engines. The first name is
+    // the default route (`submit` keeps working unchanged); dedup folds
+    // identical queued requests into one execution. Starting paused
+    // lets the whole burst queue up before the workers drain it, so the
+    // dedup and scheduling effects below are deterministic.
+    let serve = session
+        .serve_multi(
+            &["pass", "us"],
+            ServeConfig::new()
+                .with_workers(2)
+                .with_queue_depth(64)
+                .with_dedup()
+                .paused(),
+        )
+        .unwrap();
+    println!(
+        "serving engines: {:?} (default: {})",
+        serve.engines(),
+        serve.engine()
+    );
+
+    // A dashboard fires the same query from several widgets at once.
+    // With dedup, the duplicates attach to one queued execution and the
+    // single answer fans out to every ticket.
+    let hot = Query::interval(AggKind::Sum, 0.2, 0.7);
+    let widgets: Vec<Ticket> = (0..4).map(|_| serve.submit(&hot)).collect();
+
+    // Bulk sweeps routed to the sampling engine, with deadlines: the
+    // 50 ms sweep is *scheduled* before the 5 s one (earliest deadline
+    // first within the class) and expires unexecuted if the server is
+    // too backlogged to start it in time.
+    let sweep: Vec<Query> = (0..128)
+        .map(|i| Query::interval(AggKind::Count, (i % 32) as f64 / 40.0, 0.95))
+        .collect();
+    let urgent_sweep = serve
+        .submit_with_to(
+            "us",
+            &sweep,
+            &SubmitOptions::bulk().with_deadline(Duration::from_millis(50)),
+        )
+        .unwrap();
+    let lazy_sweep = serve
+        .submit_with_to(
+            "us",
+            &sweep,
+            &SubmitOptions::bulk().with_deadline(Duration::from_secs(5)),
+        )
+        .unwrap();
+
+    // The two sweeps are the *same* queries on the same engine, so they
+    // dedup into one execution too — each keeps its own deadline, and
+    // the earlier one pulls the shared execution forward in the
+    // schedule. Release the workers and read everything back.
+    serve.resume();
+
+    // Served answers are bit-identical to direct session calls — per
+    // engine, through one shared server.
+    let direct = session.estimate("pass", &hot).unwrap();
+    for (i, widget) in widgets.iter().enumerate() {
+        let results = widget.wait().results().unwrap();
+        let est = results[0].as_ref().unwrap();
+        assert_eq!(est.value, direct.value);
+        println!(
+            "widget {i}: {:.1} ± {:.1}  (bit-identical to direct)",
+            est.value, est.ci_half
+        );
+    }
+
+    for (label, ticket) in [("urgent", &urgent_sweep), ("lazy", &lazy_sweep)] {
+        match ticket.wait() {
+            ServeOutcome::Done(results) => {
+                println!("{label} sweep on `us`: {} results", results.len());
+            }
+            ServeOutcome::Expired => {
+                println!("{label} sweep on `us`: expired before a worker got to it");
+            }
+            other => println!("{label} sweep on `us`: {other:?}"),
+        }
+    }
+
+    // The per-engine breakdown a capacity planner reads: which route
+    // carried the load, which shed it, and how much dedup saved.
+    let stats = serve.shutdown();
+    println!(
+        "totals: accepted {} rejected {} expired {} deduped {} completed {} in {} batches",
+        stats.accepted,
+        stats.rejected,
+        stats.expired,
+        stats.deduped,
+        stats.completed,
+        stats.batches
+    );
+    println!(
+        "queue high-water {}/{}; latency p50 {} us, p99 {} us",
+        stats.queue_high_water, stats.queue_capacity, stats.p50_latency_us, stats.p99_latency_us
+    );
+    for row in &stats.per_engine {
+        println!(
+            "  engine {:>4}: completed {} rejected {} expired {} deduped {} batches {}",
+            row.engine, row.completed, row.rejected, row.expired, row.deduped, row.batches
+        );
+    }
+    // Three widgets attached to the first, and the lazy sweep attached
+    // to the urgent one: six submissions, two executions.
+    assert_eq!(stats.deduped, 4);
+    assert_eq!(stats.batches, 2);
+}

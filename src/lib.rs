@@ -21,13 +21,16 @@
 //!    answers queries through a bounded per-engine result cache, hands out
 //!    cheap [`SessionHandle`] clones for concurrent serving, and evaluates
 //!    workloads with ground truth computed once and shared across engines.
-//! 4. **[`Serve`]** — the async-style serving front-end over a session
-//!    handle: submissions return pollable [`Ticket`]s, a bounded
-//!    two-priority queue applies admission control (rejection at
-//!    capacity, per-request deadlines, interactive-over-bulk ordering),
-//!    queued requests coalesce into the engines' batched fast path, and
-//!    [`ServeStats`] reports counts, queue high-water, and p50/p99
-//!    latency.
+//! 4. **[`Serve`]** — the async-style serving front-end over one or
+//!    more session handles: submissions return pollable [`Ticket`]s, a
+//!    bounded two-priority queue applies admission control (rejection
+//!    at capacity, per-request deadlines, interactive-over-bulk
+//!    ordering with earliest-deadline-first scheduling within a class),
+//!    [`Session::serve_multi`] routes requests to named engines through
+//!    one shared queue, identical queued requests can deduplicate into
+//!    one execution, queued requests coalesce into the engines' batched
+//!    fast path, and [`ServeStats`] reports counts (per engine too),
+//!    queue high-water, and p50/p99 latency.
 //!
 //! ```
 //! use pass::{EngineSpec, Session};
@@ -89,5 +92,5 @@ pub use pass_common::{
     CacheStats, EngineSpec, PartialEstimate, PassSpec, Priority, ServeOutcome, ShardPlan, Synopsis,
     ThreadPool, Ticket,
 };
-pub use serve::{Serve, ServeConfig, ServeStats, SubmitOptions};
+pub use serve::{EngineServeStats, Serve, ServeConfig, ServeStats, SubmitOptions};
 pub use session::{Session, SessionHandle, DEFAULT_CACHE_CAPACITY};

@@ -1,5 +1,5 @@
-//! An async-style serving front-end with admission control over
-//! [`SessionHandle`]s.
+//! An async-style serving front-end with admission control, deadline
+//! scheduling, and multi-engine routing over [`SessionHandle`]s.
 //!
 //! The layers below this one make a single caller fast: batched queries
 //! share PASS's tree traversal, parallel batches shard over a
@@ -13,33 +13,60 @@
 //!   [`submit_with`](Serve::submit_with)) enqueues the request on a
 //!   bounded two-priority [`RequestQueue`] and immediately returns a
 //!   [`Ticket`] the client polls or blocks on. Dedicated worker threads
-//!   drain the queue and execute against a shared [`SessionHandle`].
+//!   drain the queue and execute against shared [`SessionHandle`]s.
+//! * **One server can front many engines.**
+//!   [`Session::serve_multi`](crate::Session::serve_multi) starts a
+//!   routed server over a set of named engines sharing one queue and one
+//!   worker pool; [`submit_to`](Serve::submit_to) (and the
+//!   [`submit_batch_to`](Serve::submit_batch_to) /
+//!   [`submit_with_to`](Serve::submit_with_to) variants) route a request
+//!   to an engine by name, while the route-less `submit*` family keeps
+//!   targeting the **default** engine (the first one listed), so
+//!   single-engine code is unchanged.
 //! * **Admission control sheds load instead of queueing it forever.** A
 //!   full queue resolves the ticket to [`ServeOutcome::Rejected`]
 //!   without blocking the submitter; a request whose deadline passes
 //!   while queued resolves to [`ServeOutcome::Expired`] **without
 //!   executing**, so a backlogged server stops burning workers on
 //!   answers nobody is waiting for.
+//! * **Deadlines schedule, not just expire.** Within a priority class,
+//!   workers pop the request with the **earliest deadline** first;
+//!   undated requests keep FIFO order after every dated one, and equal
+//!   deadlines preserve submission order — so deadline-free traffic
+//!   behaves exactly as before, and a tight-deadline request overtakes a
+//!   lenient one instead of expiring behind it.
 //! * **Two priority classes.** [`Priority::Interactive`] requests
 //!   always pop before queued [`Priority::Bulk`] requests, so a
 //!   latency-sensitive dashboard query overtakes a queued analytics
-//!   sweep.
+//!   sweep. EDF ordering applies within a class, never across classes.
+//! * **Identical queued requests execute once.** With
+//!   [`ServeConfig::with_dedup`], a submission that matches a queued
+//!   request bit-exactly (same engine, same queries — the
+//!   [`QueryKey`] identity the result cache uses) *attaches* to it
+//!   instead of consuming a queue slot: one execution fans its results
+//!   out to every attached ticket. [`ServeStats::deduped`] counts the
+//!   attachments, globally and per engine.
 //! * **Queued requests coalesce into batches.** A worker that pops one
-//!   request greedily drains further same-class requests (up to
-//!   [`ServeConfig::coalesce_max`] queries) and executes them as **one**
-//!   `estimate_many` batch — under load, the engine's batched fast path
-//!   (PASS reuses its MCF traversal scratch across the batch) kicks in
-//!   automatically, so saturation *increases* per-query efficiency.
+//!   request greedily drains further queued requests of the same class
+//!   **and the same engine** (up to [`ServeConfig::coalesce_max`]
+//!   queries) and executes them as **one** `estimate_many` batch —
+//!   under load, the engine's batched fast path (PASS reuses its MCF
+//!   traversal scratch across the batch) kicks in automatically, so
+//!   saturation *increases* per-query efficiency. A batch never mixes
+//!   engines: the drain stops at the first request routed elsewhere,
+//!   which also keeps the deadline schedule intact.
 //! * **Everything is observable.** [`Serve::stats`] reports
-//!   accepted/rejected/expired/completed counts, the queue-depth
-//!   high-water mark, and p50/p99 submit-to-completion latency from a
-//!   fixed-bucket [`LatencyHistogram`].
+//!   accepted/rejected/expired/deduped/completed counts, the
+//!   queue-depth high-water mark, p50/p99 submit-to-completion latency
+//!   from a fixed-bucket [`LatencyHistogram`], and a per-engine
+//!   breakdown ([`EngineServeStats`]) for routed servers.
 //!
 //! Served answers are **bit-identical** to direct
 //! [`Session`](crate::Session) calls: the
 //! worker executes through the same cached, deterministic synopsis, and
-//! `tests/serve_contract.rs` pins this for the whole
-//! `Engine::standard_suite`.
+//! `tests/serve_contract.rs` + `tests/route_contract.rs` pin this for
+//! the whole `Engine::standard_suite`. The operator-facing guide to
+//! every knob and failure mode is `docs/SERVING.md`.
 //!
 //! There is deliberately no async runtime here — the workspace builds
 //! offline and dependency-free, so "async-style" means pollable tickets
@@ -86,8 +113,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pass_common::{
-    LatencyHistogram, Priority, PushError, Query, RequestQueue, ServeOutcome, ThreadPool, Ticket,
-    TicketSlot,
+    LatencyHistogram, PassError, Priority, PushError, Query, QueryKey, RequestQueue, Result,
+    ServeOutcome, ThreadPool, Ticket, TicketSlot,
 };
 
 use crate::session::SessionHandle;
@@ -98,10 +125,13 @@ use crate::session::SessionHandle;
 /// per core, a queue deep enough to absorb bursts (1024 requests), and
 /// batches coalesced up to 256 queries — large enough to engage the
 /// engines' batched fast paths, small enough to keep queueing delay per
-/// batch bounded.
+/// batch bounded. `docs/SERVING.md` walks every knob with its failure
+/// mode.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Dedicated serving worker threads (clamped to ≥ 1).
+    /// Dedicated serving worker threads (clamped to ≥ 1). Shared by all
+    /// engines of a routed ([`Session::serve_multi`](crate::Session::serve_multi))
+    /// server.
     pub workers: usize,
     /// Maximum queued requests before admission control rejects
     /// (clamped to ≥ 1).
@@ -117,6 +147,17 @@ pub struct ServeConfig {
     /// Start with workers parked until [`Serve::resume`] — used by tests
     /// and staged startups to fill the queue deterministically.
     pub start_paused: bool,
+    /// Deduplicate identical queued requests: a submission whose engine
+    /// and queries match a queued request bit-exactly attaches to it and
+    /// shares its single execution instead of consuming a queue slot.
+    /// Attachment is bounded (64 submissions per request); a duplicate
+    /// storm beyond that starts fresh requests through normal admission
+    /// control, so server-held state stays bounded by the queue. Off by
+    /// default — dedup changes capacity accounting (attached requests
+    /// are admitted even at a full queue) and makes `queue_high_water`
+    /// undercount offered load, so it is an explicit opt-in. Answers
+    /// are unaffected either way (engines are deterministic).
+    pub dedup: bool,
     /// Pool for intra-batch parallelism: each worker executes its
     /// coalesced batch through
     /// [`estimate_many_parallel`](pass_common::Synopsis::estimate_many_parallel)
@@ -136,6 +177,7 @@ impl Default for ServeConfig {
             coalesce_max: 256,
             default_deadline: None,
             start_paused: false,
+            dedup: false,
             batch_pool: ThreadPool::new(1),
         }
     }
@@ -177,6 +219,13 @@ impl ServeConfig {
         self
     }
 
+    /// Answer identical queued requests with one shared execution
+    /// (see [`ServeConfig::dedup`]).
+    pub fn with_dedup(mut self) -> Self {
+        self.dedup = true;
+        self
+    }
+
     /// Execute coalesced batches through `pool`
     /// (intra-batch parallelism; see [`ServeConfig::batch_pool`]).
     pub fn with_batch_pool(mut self, pool: ThreadPool) -> Self {
@@ -199,7 +248,9 @@ pub struct SubmitOptions {
     pub priority: Priority,
     /// How long the request may wait in the queue before it expires
     /// (measured from submission). `None` falls back to the server's
-    /// [`ServeConfig::default_deadline`].
+    /// [`ServeConfig::default_deadline`]. Within a priority class,
+    /// earlier deadlines are also *scheduled* first (EDF) — dated
+    /// requests pop before undated ones.
     pub deadline: Option<Duration>,
 }
 
@@ -221,7 +272,8 @@ impl SubmitOptions {
     }
 
     /// Expire the request if it is still queued `deadline` after
-    /// submission.
+    /// submission (and schedule it ahead of later-dated or undated
+    /// requests in its class).
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
@@ -235,19 +287,44 @@ impl Default for SubmitOptions {
     }
 }
 
+/// One engine's slice of the serving counters in a routed server — see
+/// [`ServeStats::per_engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineServeStats {
+    /// The engine name this row describes.
+    pub engine: String,
+    /// Submissions routed here and executed to completion.
+    pub completed: u64,
+    /// Submissions routed here but refused because the queue was at
+    /// capacity (the route is known before admission, so shed load is
+    /// attributable to the engine whose traffic caused it).
+    pub rejected: u64,
+    /// Submissions routed here whose deadline passed while queued.
+    pub expired: u64,
+    /// Submissions answered by attaching to an identical queued request
+    /// (one shared execution) instead of executing separately.
+    pub deduped: u64,
+    /// Execution batches this engine ran.
+    pub batches: u64,
+}
+
 /// A point-in-time snapshot of the serving front-end's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Requests admitted to the queue.
+    /// Requests admitted to the queue (attached duplicates included).
     pub accepted: u64,
     /// Requests refused because the queue was at capacity.
     pub rejected: u64,
     /// Requests whose deadline passed while queued (never executed).
     pub expired: u64,
+    /// Requests answered by attaching to an identical queued request —
+    /// admitted and completed like any other, but sharing one execution.
+    /// Always 0 unless [`ServeConfig::with_dedup`] is set.
+    pub deduped: u64,
     /// Requests executed to completion.
     pub completed: u64,
     /// Execution batches run (completed requests per batch > 1 means
-    /// coalescing engaged).
+    /// coalescing or dedup engaged).
     pub batches: u64,
     /// Deepest the request queue ever got.
     pub queue_high_water: usize,
@@ -258,25 +335,65 @@ pub struct ServeStats {
     pub p50_latency_us: u64,
     /// 99th-percentile submit-to-completion latency, microseconds.
     pub p99_latency_us: u64,
+    /// The same counters sliced per engine, in the order the engines
+    /// were passed to [`Session::serve_multi`](crate::Session::serve_multi)
+    /// (a single-engine server has exactly one row).
+    pub per_engine: Vec<EngineServeStats>,
 }
 
-/// One queued unit of work: the submitted queries plus the ticket slot
-/// that resolves them.
-struct Request {
-    queries: Vec<Query>,
+/// One submission waiting on a queued request: its ticket slot plus the
+/// timing it was submitted with. A request starts with one waiter; dedup
+/// attaches more.
+struct Waiter {
     slot: TicketSlot,
     submitted: Instant,
     deadline: Option<Instant>,
 }
 
-struct ServeShared {
+/// The most submissions one queued request will fan out to. Beyond
+/// this, an identical submission starts a fresh request that passes
+/// through normal admission control — which keeps dedup from turning a
+/// duplicate storm into unbounded server-held waiter state (and bounds
+/// the per-request result cloning at completion). 64 is generous for
+/// the dashboard-fan-in shape dedup exists for; a storm hotter than
+/// that *should* start hitting the queue bound.
+const MAX_ATTACHED_WAITERS: usize = 64;
+
+/// One queued unit of work: the engine route, the submitted queries,
+/// the dedup identity, and every waiter attached to the execution.
+struct Request {
+    engine: usize,
+    queries: Vec<Query>,
+    /// Bit-exact query identity (only computed when dedup is on).
+    key: Option<Vec<QueryKey>>,
+    /// Hash of `key`, compared before the full key so the dedup scan
+    /// (linear, under the queue lock) rejects non-matches on one `u64`
+    /// instead of a per-query `Vec` comparison.
+    key_hash: u64,
+    waiters: Vec<Waiter>,
+}
+
+/// Per-engine serving state: the session handle workers execute through
+/// plus this engine's slice of the counters.
+struct EngineState {
     handle: SessionHandle,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    deduped: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct ServeShared {
+    engines: Vec<EngineState>,
     queue: RequestQueue<Request>,
     coalesce_max: usize,
+    dedup: bool,
     batch_pool: ThreadPool,
     accepted: AtomicU64,
     rejected: AtomicU64,
     expired: AtomicU64,
+    deduped: AtomicU64,
     completed: AtomicU64,
     batches: AtomicU64,
     /// Completion-order stamp handed to tickets (smaller = finished
@@ -286,27 +403,30 @@ struct ServeShared {
 }
 
 impl ServeShared {
-    /// One worker's life: pop the highest-priority request (the queue
-    /// itself parks the worker while paused — pause lives under the
-    /// queue lock, so no request can slip past it), coalesce compatible
-    /// queued requests into one batch, expire the stale, execute the
-    /// rest, resolve every ticket. Exits when the queue is closed and
-    /// drained.
+    /// One worker's life: pop the most urgent request — highest class,
+    /// earliest deadline within it (the queue itself parks the worker
+    /// while paused — pause lives under the queue lock, so no request
+    /// can slip past it), coalesce compatible queued requests into one
+    /// batch, expire the stale, execute the rest, resolve every ticket.
+    /// Exits when the queue is closed and drained.
     fn worker_loop(&self) {
         loop {
             let Some((first, class)) = self.queue.pop_blocking() else {
                 return;
             };
+            let engine = first.engine;
+            let mut total = first.queries.len();
             let mut requests = vec![first];
-            let mut total = requests[0].queries.len();
-            // Greedy same-class coalescing, atomically under one queue
-            // lock: glue on queued requests while they fit the batch
-            // budget. The queue refuses a bulk drain while interactive
-            // work is queued, so a glued-together bulk batch can never
-            // delay an interactive request.
+            // Greedy coalescing, atomically under one queue lock: glue
+            // on queued requests of the same class AND the same engine
+            // while they fit the batch budget. The queue refuses a bulk
+            // drain while interactive work is queued, and the drain
+            // stops at the first head routed to a different engine — a
+            // batch never mixes engines, and refusing (rather than
+            // skipping) the foreign head keeps the EDF schedule intact.
             if total < self.coalesce_max {
                 requests.extend(self.queue.drain_class_where(class, |r| {
-                    if total + r.queries.len() <= self.coalesce_max {
+                    if r.engine == engine && total + r.queries.len() <= self.coalesce_max {
                         total += r.queries.len();
                         true
                     } else {
@@ -314,24 +434,35 @@ impl ServeShared {
                     }
                 }));
             }
-            self.execute(requests);
+            self.execute(engine, requests);
         }
     }
 
-    /// Expire what is stale, run the rest as one engine batch, resolve
-    /// all tickets.
-    fn execute(&self, requests: Vec<Request>) {
+    /// Expire what is stale (waiter by waiter — attached duplicates
+    /// carry their own deadlines), run the rest as one engine batch,
+    /// fan each request's results out to every surviving waiter.
+    fn execute(&self, engine: usize, requests: Vec<Request>) {
+        let state = &self.engines[engine];
         let now = Instant::now();
         let mut live: Vec<Request> = Vec::with_capacity(requests.len());
-        for req in requests {
-            match req.deadline {
-                // Fail fast: the deadline passed while queued, so the
-                // worker spends zero execution time on it.
-                Some(deadline) if deadline <= now => {
-                    self.expired.fetch_add(1, Ordering::Relaxed);
-                    req.slot.fulfill(ServeOutcome::Expired, None);
-                }
-                _ => live.push(req),
+        for mut req in requests {
+            // Fail fast: a waiter whose deadline passed while queued
+            // costs zero execution time. A request only executes if at
+            // least one waiter is still live — and an expired request
+            // popping first (EDF sorts it first) never blocks a live
+            // later one, because expiry resolves without executing.
+            let (stale, alive): (Vec<Waiter>, Vec<Waiter>) = req
+                .waiters
+                .into_iter()
+                .partition(|w| matches!(w.deadline, Some(d) if d <= now));
+            for waiter in stale {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                state.expired.fetch_add(1, Ordering::Relaxed);
+                waiter.slot.fulfill(ServeOutcome::Expired, None);
+            }
+            if !alive.is_empty() {
+                req.waiters = alive;
+                live.push(req);
             }
         }
         if live.is_empty() {
@@ -341,35 +472,49 @@ impl ServeShared {
             .iter()
             .flat_map(|r| r.queries.iter().cloned())
             .collect();
-        let results = self
+        let results = state
             .handle
             .estimate_many_parallel(&queries, &self.batch_pool);
         self.batches.fetch_add(1, Ordering::Relaxed);
+        state.batches.fetch_add(1, Ordering::Relaxed);
         debug_assert_eq!(results.len(), queries.len());
         let mut results = results.into_iter();
         for req in live {
             let slice: Vec<_> = results.by_ref().take(req.queries.len()).collect();
-            let seq = self.completion_seq.fetch_add(1, Ordering::Relaxed);
-            let waited_us = req.submitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
-            self.latency.record(waited_us);
-            self.completed.fetch_add(1, Ordering::Relaxed);
-            req.slot.fulfill(ServeOutcome::Done(slice), Some(seq));
+            let mut waiters = req.waiters;
+            let last = waiters.pop().expect("at least one live waiter");
+            for waiter in waiters {
+                self.fulfill_done(state, waiter, ServeOutcome::Done(slice.clone()));
+            }
+            self.fulfill_done(state, last, ServeOutcome::Done(slice));
         }
+    }
+
+    /// Resolve one completed waiter: stamp, record latency, count.
+    fn fulfill_done(&self, state: &EngineState, waiter: Waiter, outcome: ServeOutcome) {
+        let seq = self.completion_seq.fetch_add(1, Ordering::Relaxed);
+        let waited_us = waiter.submitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.latency.record(waited_us);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        state.completed.fetch_add(1, Ordering::Relaxed);
+        waiter.slot.fulfill(outcome, Some(seq));
     }
 }
 
 /// The serving front-end: a bounded request queue, admission control,
-/// and a fixed set of workers executing against one [`SessionHandle`].
+/// deadline-aware scheduling, and a fixed set of workers executing
+/// against one or more [`SessionHandle`]s.
 ///
-/// Create one with [`Session::serve`](crate::Session::serve) (or
-/// [`Serve::new`] from any handle). Submissions never block; execution
-/// happens on the server's workers; results come back through
-/// [`Ticket`]s. Dropping the server closes the queue, drains every
-/// accepted request, and joins the workers — no accepted ticket is left
-/// unresolved.
+/// Create one with [`Session::serve`](crate::Session::serve) (one
+/// engine), [`Session::serve_multi`](crate::Session::serve_multi)
+/// (routed), or [`Serve::new`] / [`Serve::new_multi`] from raw handles.
+/// Submissions never block; execution happens on the server's workers;
+/// results come back through [`Ticket`]s. Dropping the server closes
+/// the queue, drains every accepted request, and joins the workers —
+/// no accepted ticket is left unresolved.
 ///
 /// See the [serve module docs](crate::serve) for the full request
-/// lifecycle.
+/// lifecycle and `docs/SERVING.md` for the operator's guide.
 pub struct Serve {
     shared: Arc<ServeShared>,
     default_deadline: Option<Duration>,
@@ -377,17 +522,53 @@ pub struct Serve {
 }
 
 impl Serve {
-    /// Start a serving front-end over `handle` (workers spawn
+    /// Start a serving front-end over one `handle` (workers spawn
     /// immediately; parked first if [`ServeConfig::start_paused`]).
     pub fn new(handle: SessionHandle, config: ServeConfig) -> Self {
+        Self::new_multi(vec![handle], config).expect("one handle is always a valid route set")
+    }
+
+    /// Start a routed serving front-end over several handles sharing
+    /// one queue and one worker pool. The first handle is the
+    /// **default** engine (the route-less `submit*` family targets it);
+    /// the rest are reachable through [`submit_to`](Serve::submit_to)
+    /// and friends. Errors on an empty handle set or a duplicated
+    /// engine name (routing by name would be ambiguous).
+    pub fn new_multi(handles: Vec<SessionHandle>, config: ServeConfig) -> Result<Self> {
+        if handles.is_empty() {
+            return Err(PassError::InvalidParameter(
+                "engines",
+                "a server needs at least one engine".into(),
+            ));
+        }
+        for (i, handle) in handles.iter().enumerate() {
+            if handles[..i].iter().any(|h| h.name() == handle.name()) {
+                return Err(PassError::InvalidParameter(
+                    "engines",
+                    format!("duplicate engine name `{}`", handle.name()),
+                ));
+            }
+        }
         let shared = Arc::new(ServeShared {
-            handle,
+            engines: handles
+                .into_iter()
+                .map(|handle| EngineState {
+                    handle,
+                    completed: AtomicU64::new(0),
+                    rejected: AtomicU64::new(0),
+                    expired: AtomicU64::new(0),
+                    deduped: AtomicU64::new(0),
+                    batches: AtomicU64::new(0),
+                })
+                .collect(),
             queue: RequestQueue::new(config.queue_depth),
             coalesce_max: config.coalesce_max.max(1),
+            dedup: config.dedup,
             batch_pool: config.batch_pool,
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             completion_seq: AtomicU64::new(0),
@@ -400,36 +581,170 @@ impl Serve {
                 std::thread::spawn(move || shared.worker_loop())
             })
             .collect();
-        Serve {
+        Ok(Serve {
             shared,
             default_deadline: config.default_deadline,
             workers,
-        }
+        })
     }
 
-    /// The engine name this server executes against.
+    /// The default engine name — the one the route-less `submit*`
+    /// family executes against.
     pub fn engine(&self) -> &str {
-        self.shared.handle.name()
+        self.shared.engines[0].handle.name()
     }
 
-    /// Submit one interactive query with no per-request deadline.
+    /// Every engine this server routes to, default first.
+    pub fn engines(&self) -> Vec<&str> {
+        self.shared
+            .engines
+            .iter()
+            .map(|e| e.handle.name())
+            .collect()
+    }
+
+    fn engine_index(&self, engine: &str) -> Result<usize> {
+        self.shared
+            .engines
+            .iter()
+            .position(|e| e.handle.name() == engine)
+            .ok_or_else(|| {
+                PassError::InvalidParameter("engine", format!("no served engine named `{engine}`"))
+            })
+    }
+
+    /// Submit one interactive query with no per-request deadline to the
+    /// default engine.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pass::{EngineSpec, ServeConfig, Session};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    ///
+    /// let mut session = Session::new(uniform(2_000, 1));
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// let serve = session.serve("pass", ServeConfig::new()).unwrap();
+    ///
+    /// let ticket = serve.submit(&Query::interval(AggKind::Count, 0.1, 0.9));
+    /// let results = ticket.wait().results().unwrap();
+    /// assert!(results[0].as_ref().unwrap().value > 0.0);
+    /// ```
     pub fn submit(&self, query: &Query) -> Ticket {
         self.submit_with(std::slice::from_ref(query), &SubmitOptions::default())
     }
 
-    /// Submit a query batch (interactive, no per-request deadline). The
-    /// whole batch is one request: it is admitted, expired, and resolved
-    /// as a unit, and its ticket yields one result per query in order.
+    /// Submit a query batch (interactive, no per-request deadline) to
+    /// the default engine. The whole batch is one request: it is
+    /// admitted, expired, and resolved as a unit, and its ticket yields
+    /// one result per query in order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pass::{EngineSpec, ServeConfig, Session};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    ///
+    /// let mut session = Session::new(uniform(2_000, 2));
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// let serve = session.serve("pass", ServeConfig::new()).unwrap();
+    ///
+    /// let batch: Vec<Query> = (0..8)
+    ///     .map(|i| Query::interval(AggKind::Sum, i as f64 / 10.0, 0.95))
+    ///     .collect();
+    /// let results = serve.submit_batch(&batch).wait().results().unwrap();
+    /// assert_eq!(results.len(), 8); // one result per query, in order
+    /// ```
     pub fn submit_batch(&self, queries: &[Query]) -> Ticket {
         self.submit_with(queries, &SubmitOptions::default())
     }
 
-    /// Submit with explicit [`SubmitOptions`]. Never blocks: the ticket
-    /// resolves to [`ServeOutcome::Rejected`] immediately when the queue
-    /// is at capacity (that is the backpressure signal) and to
-    /// [`ServeOutcome::Cancelled`] when the server is shutting down. An
-    /// empty batch resolves to an empty `Done` without queueing.
+    /// Submit to the default engine with explicit [`SubmitOptions`].
+    /// Never blocks: the ticket resolves to [`ServeOutcome::Rejected`]
+    /// immediately when the queue is at capacity (that is the
+    /// backpressure signal) and to [`ServeOutcome::Cancelled`] when the
+    /// server is shutting down. An empty batch resolves to an empty
+    /// `Done` without queueing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pass::{EngineSpec, ServeConfig, Session, SubmitOptions};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    /// use std::time::Duration;
+    ///
+    /// let mut session = Session::new(uniform(2_000, 3));
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// let serve = session.serve("pass", ServeConfig::new()).unwrap();
+    ///
+    /// // Bulk priority (yields to interactive traffic) with a deadline:
+    /// // scheduled EDF within its class, expired unexecuted if still
+    /// // queued after 10 s.
+    /// let opts = SubmitOptions::bulk().with_deadline(Duration::from_secs(10));
+    /// let ticket = serve.submit_with(&[Query::interval(AggKind::Avg, 0.2, 0.8)], &opts);
+    /// assert!(ticket.wait().is_done());
+    /// ```
     pub fn submit_with(&self, queries: &[Query], options: &SubmitOptions) -> Ticket {
+        self.enqueue(0, queries, options)
+    }
+
+    /// Submit one interactive query routed to `engine` by name. Errors
+    /// if this server does not front an engine of that name (routes are
+    /// fixed at construction — see
+    /// [`Session::serve_multi`](crate::Session::serve_multi)).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pass::{EngineSpec, ServeConfig, Session};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    ///
+    /// let mut session = Session::new(uniform(2_000, 4));
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// session.add_engine("us", &EngineSpec::uniform(200)).unwrap();
+    /// let serve = session.serve_multi(&["pass", "us"], ServeConfig::new()).unwrap();
+    ///
+    /// let q = Query::interval(AggKind::Count, 0.0, 1.0);
+    /// let routed = serve.submit_to("us", &q).unwrap();
+    /// assert!(routed.wait().is_done());
+    /// assert!(serve.submit_to("nope", &q).is_err());
+    /// ```
+    pub fn submit_to(&self, engine: &str, query: &Query) -> Result<Ticket> {
+        self.submit_with_to(
+            engine,
+            std::slice::from_ref(query),
+            &SubmitOptions::default(),
+        )
+    }
+
+    /// Submit a query batch routed to `engine` by name (interactive, no
+    /// per-request deadline) — the routed variant of
+    /// [`submit_batch`](Serve::submit_batch).
+    pub fn submit_batch_to(&self, engine: &str, queries: &[Query]) -> Result<Ticket> {
+        self.submit_with_to(engine, queries, &SubmitOptions::default())
+    }
+
+    /// Submit routed to `engine` with explicit [`SubmitOptions`] — the
+    /// routed variant of [`submit_with`](Serve::submit_with). The only
+    /// error is an unknown engine name; admission outcomes (rejection,
+    /// cancellation) still arrive through the ticket, never as an `Err`.
+    pub fn submit_with_to(
+        &self,
+        engine: &str,
+        queries: &[Query],
+        options: &SubmitOptions,
+    ) -> Result<Ticket> {
+        Ok(self.enqueue(self.engine_index(engine)?, queries, options))
+    }
+
+    /// The one enqueue path every submission goes through: admission
+    /// control, deadline stamping, EDF scheduling, and (when enabled)
+    /// dedup attachment.
+    fn enqueue(&self, engine: usize, queries: &[Query], options: &SubmitOptions) -> Ticket {
         if queries.is_empty() {
             return Ticket::resolved(ServeOutcome::Done(Vec::new()));
         }
@@ -439,30 +754,89 @@ impl Serve {
             .or(self.default_deadline)
             .map(|d| submitted + d);
         let (ticket, slot) = Ticket::pending();
+        let key: Option<Vec<QueryKey>> = self
+            .shared
+            .dedup
+            .then(|| queries.iter().map(QueryKey::new).collect());
+        let key_hash = key.as_ref().map_or(0, |keys| {
+            use std::hash::{DefaultHasher, Hash, Hasher};
+            let mut hasher = DefaultHasher::new();
+            keys.hash(&mut hasher);
+            hasher.finish()
+        });
         let request = Request {
+            engine,
             queries: queries.to_vec(),
-            slot,
-            submitted,
-            deadline,
+            key,
+            key_hash,
+            waiters: vec![Waiter {
+                slot,
+                submitted,
+                deadline,
+            }],
         };
         // Count acceptance *before* the push: the instant the request is
         // in the queue a worker may pop, execute, and bump `completed`,
         // and a mid-run stats() observer must never see
         // completed > accepted. Failed pushes undo the claim.
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
-        match self.shared.queue.try_push(request, options.priority) {
-            Ok(()) => ticket,
+        let pushed = if self.shared.dedup {
+            self.shared.queue.try_push_or_merge(
+                request,
+                options.priority,
+                deadline,
+                // Cheap fields first: the scan holds the queue lock, so
+                // non-matches must fail on integers, not Vec compares.
+                // A request already carrying MAX_ATTACHED_WAITERS
+                // refuses further attachments — the duplicate then goes
+                // through normal admission control, keeping dedup's
+                // memory bounded.
+                |queued, new| {
+                    queued.engine == new.engine
+                        && queued.key_hash == new.key_hash
+                        && queued.waiters.len() < MAX_ATTACHED_WAITERS
+                        && queued.key == new.key
+                },
+                |queued, new| queued.waiters.extend(new.waiters),
+            )
+        } else {
+            self.shared
+                .queue
+                .try_push_scheduled(request, options.priority, deadline)
+                .map(|()| false)
+        };
+        match pushed {
+            Ok(attached) => {
+                if attached {
+                    self.shared.deduped.fetch_add(1, Ordering::Relaxed);
+                    self.shared.engines[engine]
+                        .deduped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                ticket
+            }
             Err((PushError::Full, request)) => {
                 self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                request.slot.fulfill(ServeOutcome::Rejected, None);
+                self.shared.engines[engine]
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Self::resolve_unqueued(request, ServeOutcome::Rejected);
                 ticket
             }
             Err((PushError::Closed, request)) => {
                 self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
-                request.slot.fulfill(ServeOutcome::Cancelled, None);
+                Self::resolve_unqueued(request, ServeOutcome::Cancelled);
                 ticket
             }
+        }
+    }
+
+    /// Resolve every waiter of a request the queue refused (there is
+    /// exactly one at submission time, but stay shape-agnostic).
+    fn resolve_unqueued(request: Request, outcome: ServeOutcome) {
+        for waiter in request.waiters {
+            waiter.slot.fulfill(outcome.clone(), None);
         }
     }
 
@@ -484,19 +858,33 @@ impl Serve {
         self.shared.queue.len()
     }
 
-    /// A snapshot of the serving counters, queue high-water mark, and
-    /// latency percentiles.
+    /// A snapshot of the serving counters, queue high-water mark,
+    /// latency percentiles, and the per-engine breakdown.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             accepted: self.shared.accepted.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             expired: self.shared.expired.load(Ordering::Relaxed),
+            deduped: self.shared.deduped.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             queue_high_water: self.shared.queue.high_water(),
             queue_capacity: self.shared.queue.capacity(),
             p50_latency_us: self.shared.latency.p50(),
             p99_latency_us: self.shared.latency.p99(),
+            per_engine: self
+                .shared
+                .engines
+                .iter()
+                .map(|e| EngineServeStats {
+                    engine: e.handle.name().to_string(),
+                    completed: e.completed.load(Ordering::Relaxed),
+                    rejected: e.rejected.load(Ordering::Relaxed),
+                    expired: e.expired.load(Ordering::Relaxed),
+                    deduped: e.deduped.load(Ordering::Relaxed),
+                    batches: e.batches.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
@@ -528,7 +916,7 @@ impl Drop for Serve {
 impl std::fmt::Debug for Serve {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Serve")
-            .field("engine", &self.engine())
+            .field("engines", &self.engines())
             .field("workers", &self.workers.len())
             .field("stats", &self.stats())
             .finish()
@@ -559,6 +947,7 @@ mod tests {
             .serve("pass", ServeConfig::new().with_workers(2))
             .unwrap();
         assert_eq!(serve.engine(), "pass");
+        assert_eq!(serve.engines(), vec!["pass"]);
         let single = serve.submit(&q(0.1, 0.9));
         let batch: Vec<Query> = (0..8).map(|i| q(i as f64 / 10.0, 0.95)).collect();
         let many = serve.submit_batch(&batch);
@@ -578,9 +967,15 @@ mod tests {
         let stats = serve.shutdown();
         assert_eq!(stats.accepted, 2);
         assert_eq!(stats.completed, 2);
-        assert_eq!((stats.rejected, stats.expired), (0, 0));
+        assert_eq!((stats.rejected, stats.expired, stats.deduped), (0, 0, 0));
         assert!(stats.batches >= 1);
         assert!(stats.p50_latency_us <= stats.p99_latency_us);
+        // The single-engine per-engine breakdown is one row matching the
+        // global counters.
+        assert_eq!(stats.per_engine.len(), 1);
+        assert_eq!(stats.per_engine[0].engine, "pass");
+        assert_eq!(stats.per_engine[0].completed, stats.completed);
+        assert_eq!(stats.per_engine[0].batches, stats.batches);
     }
 
     #[test]
@@ -757,5 +1152,89 @@ mod tests {
                 session.estimate("pass", query).unwrap().value
             );
         }
+    }
+
+    #[test]
+    fn routing_to_an_unknown_engine_is_an_error_not_a_ticket() {
+        let session = served_session();
+        let serve = session.serve("pass", ServeConfig::new()).unwrap();
+        assert!(serve.submit_to("nope", &q(0.0, 0.5)).is_err());
+        assert!(serve.submit_batch_to("nope", &[q(0.0, 0.5)]).is_err());
+        assert!(serve
+            .submit_with_to("nope", &[q(0.0, 0.5)], &SubmitOptions::bulk())
+            .is_err());
+        // Nothing was admitted or shed — routing errors happen before
+        // admission control.
+        let stats = serve.stats();
+        assert_eq!((stats.accepted, stats.rejected), (0, 0));
+    }
+
+    #[test]
+    fn empty_engine_set_and_duplicate_names_are_rejected() {
+        let session = served_session();
+        assert!(Serve::new_multi(vec![], ServeConfig::new()).is_err());
+        let h = session.handle("pass").unwrap();
+        assert!(Serve::new_multi(vec![h.clone(), h], ServeConfig::new()).is_err());
+    }
+
+    #[test]
+    fn dedup_is_off_by_default_and_attaches_when_enabled() {
+        let session = served_session();
+        // Default: three identical submissions occupy three slots.
+        let serve = session
+            .serve("pass", ServeConfig::new().with_workers(1).paused())
+            .unwrap();
+        let tickets: Vec<Ticket> = (0..3).map(|_| serve.submit(&q(0.2, 0.8))).collect();
+        assert_eq!(serve.queue_depth(), 3);
+        serve.resume();
+        for t in tickets {
+            assert!(t.wait().is_done());
+        }
+        assert_eq!(serve.shutdown().deduped, 0);
+
+        // Opt in: duplicates attach to one queued request.
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new().with_workers(1).with_dedup().paused(),
+            )
+            .unwrap();
+        let tickets: Vec<Ticket> = (0..3).map(|_| serve.submit(&q(0.2, 0.8))).collect();
+        assert_eq!(serve.queue_depth(), 1, "duplicates attached, not queued");
+        serve.resume();
+        let direct = session.estimate("pass", &q(0.2, 0.8)).unwrap();
+        for t in tickets {
+            let got = t.wait().results().unwrap();
+            assert_eq!(got[0].as_ref().unwrap().value, direct.value);
+        }
+        let stats = serve.shutdown();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.deduped, 2);
+        assert_eq!(stats.per_engine[0].deduped, 2);
+    }
+
+    #[test]
+    fn dedup_attachment_is_bounded_per_request() {
+        let session = served_session();
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new().with_workers(1).with_dedup().paused(),
+            )
+            .unwrap();
+        let n = MAX_ATTACHED_WAITERS + 2;
+        let tickets: Vec<Ticket> = (0..n).map(|_| serve.submit(&q(0.2, 0.8))).collect();
+        // The cap fills the first request; the overflow starts a second
+        // that passes through normal admission control.
+        assert_eq!(serve.queue_depth(), 2);
+        serve.resume();
+        for t in &tickets {
+            assert!(t.wait().is_done());
+        }
+        let stats = serve.shutdown();
+        assert_eq!(stats.accepted, n as u64);
+        assert_eq!(stats.completed, n as u64);
+        assert_eq!(stats.deduped, n as u64 - 2, "two requests actually queued");
     }
 }

@@ -269,6 +269,49 @@ impl Session {
         Ok(crate::Serve::new(self.handle(engine)?, config))
     }
 
+    /// Start a **routed** serving front-end over several of this
+    /// session's engines: one bounded queue, one worker pool, and one
+    /// set of admission-control books shared by all of them. The first
+    /// name is the *default* engine — the route-less
+    /// [`Serve::submit`](crate::Serve::submit) family targets it, so a
+    /// multi-engine server is a drop-in replacement for a single-engine
+    /// one — and the rest are reachable by name through
+    /// [`Serve::submit_to`](crate::Serve::submit_to) and friends.
+    /// Batches coalesce per engine (never mixed), and per-engine
+    /// counters come back in
+    /// [`ServeStats::per_engine`](crate::ServeStats::per_engine).
+    /// Errors on an empty list, an unknown engine name, or a duplicate.
+    ///
+    /// ```
+    /// use pass::{EngineSpec, ServeConfig, Session};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    ///
+    /// let mut session = Session::new(uniform(5_000, 9));
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// session.add_engine("us", &EngineSpec::uniform(500)).unwrap();
+    /// let serve = session
+    ///     .serve_multi(&["pass", "us"], ServeConfig::new())
+    ///     .unwrap();
+    ///
+    /// let q = Query::interval(AggKind::Count, 0.1, 0.8);
+    /// let default_route = serve.submit(&q);            // → "pass"
+    /// let routed = serve.submit_to("us", &q).unwrap(); // → "us"
+    /// assert!(default_route.wait().is_done());
+    /// assert!(routed.wait().is_done());
+    /// ```
+    pub fn serve_multi(
+        &self,
+        engines: &[&str],
+        config: crate::ServeConfig,
+    ) -> Result<crate::Serve> {
+        let handles = engines
+            .iter()
+            .map(|name| self.handle(name))
+            .collect::<Result<Vec<_>>>()?;
+        crate::Serve::new_multi(handles, config)
+    }
+
     /// A cheap cloneable handle answering queries against `engine` from
     /// any thread: it shares the session's immutable synopsis and query
     /// cache via `Arc`, so clones cost a reference-count bump and hits

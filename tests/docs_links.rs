@@ -1,0 +1,88 @@
+//! Docs consistency: every relative markdown link in the user-facing
+//! docs (README ↔ docs/ ↔ examples ↔ roadmap) must resolve to a real
+//! file in the repository. CI runs this as its own job, so a renamed
+//! bench, a moved guide, or a deleted example breaks the build instead
+//! of silently rotting the docs map.
+//!
+//! Deliberately dependency-free (no regex crate): markdown links are
+//! `[text](target)`, so scanning for `](` and reading to the closing
+//! parenthesis finds every inline link these docs use. External links
+//! (`http…`, `mailto:`) and pure in-page anchors (`#…`) are skipped;
+//! fragments on relative links are stripped before the existence check.
+
+use std::path::{Path, PathBuf};
+
+/// The documentation set under link checking: the front door, the
+/// per-PR logs, and everything in `docs/`.
+fn documented_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![
+        root.join("README.md"),
+        root.join("ROADMAP.md"),
+        root.join("CHANGES.md"),
+    ];
+    let docs = root.join("docs");
+    let entries = std::fs::read_dir(&docs).expect("docs/ directory exists");
+    for entry in entries {
+        let path = entry.expect("readable docs/ entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files
+}
+
+/// Every inline markdown link target in `text`, in order.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find("](") {
+        let after = &rest[open + 2..];
+        let Some(close) = after.find(')') else { break };
+        targets.push(after[..close].to_string());
+        rest = &after[close..];
+    }
+    targets
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in documented_files(root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", file.display()));
+        let dir = file.parent().expect("doc files live in a directory");
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // `[text](path "title")` and autolinked code spans are not
+            // used in these docs; a space or backtick means the match
+            // was prose, not a link target.
+            if target.contains(' ') || target.contains('`') {
+                continue;
+            }
+            let path = target.split('#').next().expect("split yields at least one");
+            checked += 1;
+            if !dir.join(path).exists() {
+                broken.push(format!("{} → {target}", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo markdown links:\n  {}",
+        broken.join("\n  ")
+    );
+    assert!(
+        checked >= 10,
+        "only {checked} relative links found — the docs map should cross-link \
+         README, docs/, and ROADMAP far more than that; did the scanner break?"
+    );
+}

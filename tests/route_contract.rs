@@ -1,0 +1,475 @@
+//! The routed-serving contract (`Session::serve_multi` + the
+//! deadline-aware, dedup-capable queue), pinned end to end:
+//!
+//! 1. **Routed fidelity** — a multi-engine server's answers are
+//!    bit-identical to direct `Session` calls *per engine* for the
+//!    whole `Engine::standard_suite`, and a batch never mixes engines
+//!    (a mixed batch would hand queries to the wrong synopsis, which
+//!    the distinguishable-engine test would catch as a wrong value).
+//! 2. **EDF scheduling** — within a priority class, completion order
+//!    under a paused-then-resumed queue follows the earliest deadline
+//!    first; undated requests keep FIFO order after every dated one,
+//!    and bit-exact deadline ties preserve FIFO.
+//! 3. **Dedup fan-out** — N identical queued queries execute **once**
+//!    (proved through the session's cache counters, which every
+//!    engine-path query must touch) yet resolve all N tickets, on the
+//!    happy path, on shutdown, and on a worker panic.
+//! 4. **Compatibility** — single-engine `serve` behavior is unchanged:
+//!    dedup stays off unless opted into, identical submissions consume
+//!    identical capacity, and the rejection boundary is exact.
+
+use std::time::{Duration, Instant};
+
+use pass::common::{AggKind, Estimate, Priority, Query, RequestQueue, Result as PassResult};
+use pass::table::datasets::uniform;
+use pass::{
+    Engine, EngineSpec, ServeConfig, ServeOutcome, Session, SubmitOptions, Synopsis, Ticket,
+};
+
+fn q(lo: f64, hi: f64) -> Query {
+    Query::interval(AggKind::Sum, lo, hi)
+}
+
+fn suite_queries() -> Vec<Query> {
+    let aggs = [
+        AggKind::Sum,
+        AggKind::Count,
+        AggKind::Avg,
+        AggKind::Min,
+        AggKind::Max,
+    ];
+    let mut queries = Vec::new();
+    for (i, agg) in aggs.iter().enumerate() {
+        for j in 0..3 {
+            let lo = (i * 3 + j) as f64 / 20.0;
+            queries.push(Query::interval(*agg, lo, (lo + 0.3).min(1.0)));
+        }
+        // A degenerate sliver: some engines answer these with errors,
+        // and routed served errors must match direct errors too.
+        queries.push(Query::interval(*agg, 0.9999, 0.99995));
+    }
+    queries
+}
+
+/// One routed server over the whole standard suite answers bit-identically
+/// to a **separately built** direct session, engine by engine, for single
+/// and batched submissions alike.
+#[test]
+fn multi_engine_served_answers_are_bit_identical_to_direct_per_engine() {
+    let queries = suite_queries();
+    let specs = Engine::standard_suite(16, 400, 3);
+    let mut served = Session::new(uniform(8_000, 11));
+    let mut direct = Session::new(uniform(8_000, 11));
+    let names: Vec<String> = (0..specs.len()).map(|i| format!("engine-{i}")).collect();
+    for (name, spec) in names.iter().zip(&specs) {
+        served.add_engine(name, spec).unwrap();
+        direct.add_engine(name, spec).unwrap();
+    }
+    let routes: Vec<&str> = names.iter().map(|n| n.as_str()).collect();
+    let serve = served
+        .serve_multi(&routes, ServeConfig::new().with_workers(2))
+        .unwrap();
+    assert_eq!(serve.engines(), routes);
+    assert_eq!(
+        serve.engine(),
+        routes[0],
+        "default route is the first engine"
+    );
+
+    for (name, spec) in names.iter().zip(&specs) {
+        let singles: Vec<Ticket> = queries
+            .iter()
+            .map(|query| serve.submit_to(name, query).unwrap())
+            .collect();
+        let batch = serve.submit_batch_to(name, &queries).unwrap();
+        for (query, ticket) in queries.iter().zip(&singles) {
+            assert_eq!(
+                ticket.wait().results().unwrap()[0],
+                direct.estimate(name, query),
+                "routed single {query:?} on {spec:?}"
+            );
+        }
+        let got = batch.wait().results().unwrap();
+        for (query, result) in queries.iter().zip(&got) {
+            assert_eq!(
+                *result,
+                direct.estimate(name, query),
+                "routed batch {query:?} on {spec:?}"
+            );
+        }
+    }
+
+    let per_engine_total = (queries.len() + 1) as u64;
+    let stats = serve.shutdown();
+    assert_eq!(stats.accepted, per_engine_total * names.len() as u64);
+    assert_eq!(stats.completed, stats.accepted);
+    assert_eq!((stats.rejected, stats.expired, stats.deduped), (0, 0, 0));
+    // The per-engine breakdown accounts for every request, in route order.
+    assert_eq!(stats.per_engine.len(), names.len());
+    for (row, name) in stats.per_engine.iter().zip(&names) {
+        assert_eq!(&row.engine, name);
+        assert_eq!(row.completed, per_engine_total);
+    }
+    assert_eq!(
+        stats.batches,
+        stats.per_engine.iter().map(|e| e.batches).sum::<u64>()
+    );
+}
+
+/// Two hand-built engines with distinguishable answers: every routed
+/// ticket carries its own engine's answer even when requests interleave
+/// through one worker — a batch that mixed engines would produce the
+/// other engine's constant.
+#[test]
+fn interleaved_routes_never_mix_engines_in_a_batch() {
+    struct Constant(f64);
+    impl Synopsis for Constant {
+        fn name(&self) -> &str {
+            "CONSTANT"
+        }
+        fn estimate(&self, _query: &Query) -> PassResult<Estimate> {
+            Ok(Estimate::exact(self.0))
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn dims(&self) -> usize {
+            1
+        }
+    }
+
+    let mut session = Session::new(uniform(100, 1));
+    session.add_synopsis("ones", Constant(1.0));
+    session.add_synopsis("twos", Constant(2.0));
+    let serve = session
+        .serve_multi(
+            &["ones", "twos"],
+            ServeConfig::new()
+                .with_workers(1)
+                .with_coalesce_max(64)
+                .paused(),
+        )
+        .unwrap();
+    let tickets: Vec<(f64, Ticket)> = (0..8)
+        .map(|i| {
+            let (engine, want) = if i % 2 == 0 {
+                ("ones", 1.0)
+            } else {
+                ("twos", 2.0)
+            };
+            // Distinct queries so the shared cache cannot mask a
+            // wrong-engine execution.
+            (
+                want,
+                serve.submit_to(engine, &q(i as f64 / 10.0, 0.95)).unwrap(),
+            )
+        })
+        .collect();
+    serve.resume();
+    for (want, ticket) in tickets {
+        let got = ticket.wait().results().unwrap();
+        assert_eq!(got[0].as_ref().unwrap().value, want);
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.completed, 8);
+    assert!(
+        stats.batches >= 2,
+        "two engines cannot share one batch (ran {})",
+        stats.batches
+    );
+    for row in &stats.per_engine {
+        assert_eq!(row.completed, 4);
+        assert!(row.batches >= 1);
+    }
+}
+
+/// EDF within a class: queue dated requests out of deadline order plus an
+/// undated one behind a paused single worker, resume, and the completion
+/// stamps follow deadline order with the undated request last.
+#[test]
+fn edf_completion_order_within_a_class_under_a_paused_then_resumed_queue() {
+    let mut session = Session::new(uniform(5_000, 21));
+    session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    let serve = session
+        .serve("pass", ServeConfig::new().with_workers(1).paused())
+        .unwrap();
+
+    // Generous deadlines (nothing expires), submitted far from deadline
+    // order; the undated request goes in the middle of the submissions
+    // so its last-place completion is schedule policy, not arrival order.
+    let by_deadline_secs = [50u64, 10, 30, 20, 40];
+    let mut dated: Vec<(u64, Ticket)> = Vec::new();
+    let mut undated = None;
+    for (i, secs) in by_deadline_secs.iter().enumerate() {
+        if i == 2 {
+            undated = Some(serve.submit(&q(0.05, 0.85)));
+        }
+        dated.push((
+            *secs,
+            serve.submit_with(
+                &[q(i as f64 / 10.0, 0.9)],
+                &SubmitOptions::interactive().with_deadline(Duration::from_secs(*secs)),
+            ),
+        ));
+    }
+    let undated = undated.expect("submitted mid-loop");
+    serve.resume();
+
+    let undated_stamp = {
+        assert!(undated.wait().is_done());
+        undated.completion_index().unwrap()
+    };
+    let mut stamps: Vec<(u64, u64)> = dated
+        .iter()
+        .map(|(secs, ticket)| {
+            assert!(ticket.wait().is_done());
+            (*secs, ticket.completion_index().unwrap())
+        })
+        .collect();
+    stamps.sort_by_key(|(secs, _)| *secs);
+    for pair in stamps.windows(2) {
+        assert!(
+            pair[0].1 < pair[1].1,
+            "deadline {}s completed after deadline {}s (stamps {} vs {})",
+            pair[0].0,
+            pair[1].0,
+            pair[0].1,
+            pair[1].1
+        );
+    }
+    assert!(
+        stamps.iter().all(|&(_, stamp)| stamp < undated_stamp),
+        "the undated request must complete after every dated one"
+    );
+    assert_eq!(serve.shutdown().expired, 0, "nothing expired in this test");
+}
+
+/// Bit-exact deadline ties preserve FIFO, at the queue layer where a tie
+/// can actually be constructed (one shared `Instant`).
+#[test]
+fn equal_deadlines_preserve_fifo_order() {
+    let queue = RequestQueue::new(8);
+    let tie = Some(Instant::now() + Duration::from_secs(5));
+    for label in ["first", "second", "third"] {
+        queue
+            .try_push_scheduled(label, Priority::Interactive, tie)
+            .unwrap();
+    }
+    // A later deadline sorts behind the tie group; an earlier one ahead.
+    queue
+        .try_push_scheduled(
+            "later",
+            Priority::Interactive,
+            Some(Instant::now() + Duration::from_secs(9)),
+        )
+        .unwrap();
+    queue
+        .try_push_scheduled(
+            "sooner",
+            Priority::Interactive,
+            Some(Instant::now() + Duration::from_secs(1)),
+        )
+        .unwrap();
+    for want in ["sooner", "first", "second", "third", "later"] {
+        assert_eq!(queue.pop_blocking(), Some((want, Priority::Interactive)));
+    }
+}
+
+/// An expired-at-pop request never blocks a live later one: the doomed
+/// request (which EDF schedules *first*) resolves `Expired` without
+/// executing, and the live request behind it completes normally.
+#[test]
+fn expired_at_pop_request_never_blocks_a_live_later_one() {
+    let mut session = Session::new(uniform(5_000, 23));
+    session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    let serve = session
+        .serve("pass", ServeConfig::new().with_workers(1).paused())
+        .unwrap();
+    let doomed = serve.submit_with(
+        &[q(0.3, 0.7)],
+        &SubmitOptions::interactive().with_deadline(Duration::ZERO),
+    );
+    let live = serve.submit(&q(0.2, 0.8));
+    let before = session.cache_stats("pass").unwrap();
+    serve.resume();
+
+    assert_eq!(doomed.wait(), ServeOutcome::Expired);
+    assert_eq!(doomed.completion_index(), None);
+    let got = live.wait().results().unwrap();
+    assert_eq!(
+        got[0].as_ref().unwrap().value,
+        session.estimate("pass", &q(0.2, 0.8)).unwrap().value
+    );
+
+    let stats = serve.shutdown();
+    assert_eq!((stats.expired, stats.completed), (1, 1));
+    // Cache-counter proof: only the live query reached the engine path
+    // before the direct comparison call above.
+    let delta = session.cache_stats("pass").unwrap().since(&before);
+    assert_eq!(delta.hits + delta.misses, 2, "live query + direct call");
+}
+
+/// N identical queued queries execute once — proved through the session
+/// cache counters — yet resolve all N tickets with the engine's answer.
+#[test]
+fn identical_queued_queries_execute_once_yet_resolve_every_ticket() {
+    let mut served = Session::new(uniform(8_000, 31));
+    let mut direct = Session::new(uniform(8_000, 31));
+    served.add_engine("pass", &EngineSpec::pass()).unwrap();
+    direct.add_engine("pass", &EngineSpec::pass()).unwrap();
+    let serve = served
+        .serve(
+            "pass",
+            ServeConfig::new().with_workers(1).with_dedup().paused(),
+        )
+        .unwrap();
+
+    let n = 6;
+    let tickets: Vec<Ticket> = (0..n)
+        .map(|i| {
+            // Mixed submission styles, same bit-exact query.
+            if i % 2 == 0 {
+                serve.submit(&q(0.25, 0.75))
+            } else {
+                serve.submit_with(&[q(0.25, 0.75)], &SubmitOptions::interactive())
+            }
+        })
+        .collect();
+    assert_eq!(serve.queue_depth(), 1, "duplicates attached to one request");
+    let before = served.cache_stats("pass").unwrap();
+    serve.resume();
+
+    let want = direct.estimate("pass", &q(0.25, 0.75)).unwrap().value;
+    for ticket in &tickets {
+        let got = ticket.wait().results().unwrap();
+        assert_eq!(got[0].as_ref().unwrap().value, want);
+        assert!(ticket.completion_index().is_some());
+    }
+    // Cache-counter proof: one engine-path lookup for N tickets.
+    let delta = served.cache_stats("pass").unwrap().since(&before);
+    assert_eq!(delta.hits + delta.misses, 1, "the batch executed once");
+
+    let stats = serve.shutdown();
+    assert_eq!(stats.accepted, n as u64);
+    assert_eq!(stats.completed, n as u64);
+    assert_eq!(stats.deduped, n as u64 - 1);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.queue_high_water, 1);
+    assert_eq!(stats.per_engine[0].deduped, n as u64 - 1);
+}
+
+/// Shutdown drains a deduplicated request like any other: every attached
+/// ticket resolves exactly once, with the shared answer.
+#[test]
+fn dedup_fanout_resolves_every_ticket_on_shutdown() {
+    let mut session = Session::new(uniform(5_000, 37));
+    session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    let serve = session
+        .serve(
+            "pass",
+            ServeConfig::new().with_workers(1).with_dedup().paused(),
+        )
+        .unwrap();
+    let tickets: Vec<Ticket> = (0..4).map(|_| serve.submit(&q(0.1, 0.9))).collect();
+    // Never resumed: shutdown itself must drain the attached request.
+    let stats = serve.shutdown();
+    for ticket in &tickets {
+        assert!(ticket.wait().is_done());
+    }
+    assert_eq!(stats.accepted, 4);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.deduped, 3);
+}
+
+/// A worker panic mid-execution cancels — exactly once, never hangs —
+/// every ticket attached to the in-flight deduplicated request.
+#[test]
+fn dedup_fanout_resolves_every_ticket_on_worker_panic() {
+    struct Panicking;
+    impl Synopsis for Panicking {
+        fn name(&self) -> &str {
+            "PANICKING"
+        }
+        fn estimate(&self, _query: &Query) -> PassResult<Estimate> {
+            panic!("engine failure injected by route_contract");
+        }
+        fn storage_bytes(&self) -> usize {
+            0
+        }
+        fn dims(&self) -> usize {
+            1
+        }
+    }
+
+    let mut session = Session::new(uniform(100, 41));
+    session.add_synopsis("boom", Panicking);
+    let serve = session
+        .serve(
+            "boom",
+            ServeConfig::new().with_workers(1).with_dedup().paused(),
+        )
+        .unwrap();
+    let tickets: Vec<Ticket> = (0..4).map(|_| serve.submit(&q(0.2, 0.8))).collect();
+    assert_eq!(serve.queue_depth(), 1);
+    serve.resume();
+    // The worker unwinds; dropping the in-flight request's ticket slots
+    // resolves every waiter to Cancelled — no client ever hangs on a
+    // request the server lost.
+    for ticket in &tickets {
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(30)),
+            Some(ServeOutcome::Cancelled)
+        );
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.accepted, 4);
+    assert_eq!(stats.deduped, 3);
+    assert_eq!(stats.completed, 0);
+}
+
+/// Single-engine `serve` is byte-for-byte the PR 4 contract: no dedup
+/// unless opted in (identical submissions consume identical capacity and
+/// all reach the cache), the rejection boundary stays exact, and answers
+/// match direct calls bit for bit.
+#[test]
+fn single_engine_serve_behavior_is_unchanged_by_default() {
+    let mut served = Session::new(uniform(8_000, 51));
+    let mut direct = Session::new(uniform(8_000, 51));
+    served.add_engine("pass", &EngineSpec::pass()).unwrap();
+    direct.add_engine("pass", &EngineSpec::pass()).unwrap();
+    let depth = 4;
+    let serve = served
+        .serve(
+            "pass",
+            ServeConfig::new()
+                .with_workers(1)
+                .with_queue_depth(depth)
+                .paused(),
+        )
+        .unwrap();
+
+    // Identical submissions occupy one slot each — no silent dedup.
+    let accepted: Vec<Ticket> = (0..depth).map(|_| serve.submit(&q(0.25, 0.75))).collect();
+    assert_eq!(serve.queue_depth(), depth);
+    let rejected = serve.submit(&q(0.25, 0.75));
+    assert_eq!(rejected.poll(), Some(ServeOutcome::Rejected));
+
+    let before = served.cache_stats("pass").unwrap();
+    serve.resume();
+    let want = direct.estimate("pass", &q(0.25, 0.75)).unwrap().value;
+    for ticket in &accepted {
+        let got = ticket.wait().results().unwrap();
+        assert_eq!(got[0].as_ref().unwrap().value, want);
+    }
+    // Every accepted request consulted the cache: 1 miss + depth-1 hits.
+    let delta = served.cache_stats("pass").unwrap().since(&before);
+    assert_eq!(delta.hits + delta.misses, depth as u64);
+
+    let stats = serve.shutdown();
+    assert_eq!(stats.accepted, depth as u64);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.deduped, 0);
+    assert_eq!(stats.queue_high_water, depth);
+    // Shed load is attributed to the engine whose traffic caused it.
+    assert_eq!(stats.per_engine[0].rejected, 1);
+}

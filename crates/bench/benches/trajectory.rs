@@ -1,0 +1,184 @@
+//! The canonical perf-trajectory bench: one fixed set of serving-path
+//! measurements written to `BENCH_<pr>.json` at the workspace root, so
+//! "faster" / "no slower" claims are verifiable across PRs (the tracked
+//! trajectory ROADMAP item 3 asks for).
+//!
+//! Run with `cargo bench -p pass-bench --bench trajectory` (release
+//! profile). `PASS_TRAJECTORY_PR=<n>` stamps the output file name;
+//! the default is the PR that introduced the file.
+//!
+//! The canonical set: synopsis build time, single-query p50, 4k-batch
+//! throughput (sequential and 4-worker), and a 512-request serve
+//! round-trip with its `ServeStats` p50/p99. Alongside those, a
+//! head-to-head of the `pass_common::chaos` shim primitives against the
+//! raw `std::sync` types they wrap — in a normal build (this one: the
+//! `chaos` feature is off) the shims must be zero-cost, and the two
+//! ns/op columns should agree within noise.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use pass::{EngineSpec, ServeConfig, Session, ThreadPool, Ticket};
+use pass_common::{chaos, AggKind, Json, PassSpec, Synopsis};
+use pass_core::Pass;
+use pass_table::datasets::DatasetId;
+use pass_table::SortedTable;
+use pass_workload::random_queries;
+
+const BATCH: usize = 4_096;
+const SERVE_REQUESTS: usize = 512;
+const SINGLES: usize = 1_000;
+const LOCK_OPS: u64 = 1_000_000;
+const TRIALS: usize = 5;
+
+fn pass_spec(partitions: usize) -> PassSpec {
+    PassSpec {
+        partitions,
+        sample_rate: 0.005,
+        seed: 7,
+        ..PassSpec::default()
+    }
+}
+
+/// Median wall-clock milliseconds over `TRIALS` runs of `f`.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..TRIALS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// ns per op over `LOCK_OPS` iterations of `f`, median of `TRIALS`.
+fn ns_per_op(mut f: impl FnMut()) -> f64 {
+    median_ms(&mut f) * 1e6 / LOCK_OPS as f64
+}
+
+fn main() {
+    let pr = std::env::var("PASS_TRAJECTORY_PR").unwrap_or_else(|_| "6".to_string());
+
+    let table = DatasetId::NycTaxi.generate(200_000, 7);
+    let sorted = SortedTable::from_table(&table, 0);
+    let queries = random_queries(&sorted, BATCH, AggKind::Sum, 2_000, 11);
+
+    // --- Synopsis build ---------------------------------------------------
+    let build_ms = median_ms(|| {
+        black_box(Pass::from_spec(&table, &pass_spec(256)).unwrap());
+    });
+    let pass = Pass::from_spec(&table, &pass_spec(256)).unwrap();
+
+    // --- Single-query p50 -------------------------------------------------
+    let mut single_us: Vec<f64> = queries
+        .iter()
+        .cycle()
+        .take(SINGLES)
+        .map(|q| {
+            let start = Instant::now();
+            black_box(pass.estimate(q)).ok();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    single_us.sort_by(f64::total_cmp);
+    let single_query_p50_us = single_us[single_us.len() / 2];
+
+    // --- 4k-batch throughput ----------------------------------------------
+    let seq_ms = median_ms(|| {
+        black_box(pass.estimate_many(&queries));
+    });
+    let pool = ThreadPool::new(4);
+    let par_ms = median_ms(|| {
+        black_box(pass.estimate_many_parallel(&queries, &pool));
+    });
+    let batch_seq_qps = BATCH as f64 / (seq_ms / 1e3);
+    let batch_par4_qps = BATCH as f64 / (par_ms / 1e3);
+
+    // --- Serve round-trip -------------------------------------------------
+    let mut session = Session::new(table).with_cache_capacity(1);
+    session
+        .add_engine("pass", &EngineSpec::Pass(pass_spec(128)))
+        .unwrap();
+    let serve_queries = &queries[..SERVE_REQUESTS];
+    let mut serve_p50_us = 0u64;
+    let mut serve_p99_us = 0u64;
+    let serve_ms = median_ms(|| {
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new()
+                    .with_workers(2)
+                    .with_queue_depth(SERVE_REQUESTS),
+            )
+            .unwrap();
+        let tickets: Vec<Ticket> = serve_queries.iter().map(|q| serve.submit(q)).collect();
+        for t in &tickets {
+            black_box(t.wait());
+        }
+        let stats = serve.shutdown();
+        serve_p50_us = stats.p50_latency_us;
+        serve_p99_us = stats.p99_latency_us;
+    });
+
+    // --- Shim vs. std head-to-head ----------------------------------------
+    // The chaos feature is off in bench builds, so these must be the same
+    // machine code modulo noise; the JSON records both columns as proof.
+    let shim_mutex = chaos::Mutex::new(0u64);
+    let shim_mutex_ns = ns_per_op(|| {
+        for _ in 0..LOCK_OPS {
+            *black_box(&shim_mutex).lock() += 1;
+        }
+    });
+    let std_mutex = std::sync::Mutex::new(0u64);
+    let std_mutex_ns = ns_per_op(|| {
+        for _ in 0..LOCK_OPS {
+            *black_box(&std_mutex).lock().unwrap() += 1;
+        }
+    });
+    let shim_atomic = chaos::AtomicU64::new(0);
+    let shim_atomic_ns = ns_per_op(|| {
+        for _ in 0..LOCK_OPS {
+            black_box(&shim_atomic).fetch_add(1, chaos::Ordering::Relaxed);
+        }
+    });
+    let std_atomic = std::sync::atomic::AtomicU64::new(0);
+    let std_atomic_ns = ns_per_op(|| {
+        for _ in 0..LOCK_OPS {
+            black_box(&std_atomic).fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+
+    // --- Report -----------------------------------------------------------
+    let payload = Json::obj([
+        ("bench", Json::from("trajectory")),
+        ("pr", Json::from(pr.as_str())),
+        ("build_ms", Json::from(build_ms)),
+        ("single_query_p50_us", Json::from(single_query_p50_us)),
+        ("batch4k_seq_qps", Json::from(batch_seq_qps)),
+        ("batch4k_par4_qps", Json::from(batch_par4_qps)),
+        ("serve_512_roundtrip_ms", Json::from(serve_ms)),
+        ("serve_p50_latency_us", Json::from(serve_p50_us)),
+        ("serve_p99_latency_us", Json::from(serve_p99_us)),
+        ("shim_mutex_ns_per_lock", Json::from(shim_mutex_ns)),
+        ("std_mutex_ns_per_lock", Json::from(std_mutex_ns)),
+        ("shim_atomic_ns_per_op", Json::from(shim_atomic_ns)),
+        ("std_atomic_ns_per_op", Json::from(std_atomic_ns)),
+    ]);
+
+    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root");
+    let path = workspace_root.join(format!("BENCH_{pr}.json"));
+    std::fs::write(&path, format!("{}\n", payload.pretty())).expect("write trajectory file");
+
+    println!("{}", payload.pretty());
+    println!("[trajectory written to {}]", path.display());
+    println!(
+        "shim overhead: mutex {:+.1}% atomic {:+.1}% (within noise expected)",
+        (shim_mutex_ns / std_mutex_ns - 1.0) * 100.0,
+        (shim_atomic_ns / std_atomic_ns - 1.0) * 100.0,
+    );
+}

@@ -16,8 +16,9 @@
 //! clones share one cache per engine across threads.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::chaos::{AtomicU64, Mutex, Ordering};
 
 use crate::estimate::Estimate;
 use crate::partial::PartialEstimate;
@@ -25,7 +26,7 @@ use crate::pool::ThreadPool;
 use crate::query::Query;
 use crate::spec::EngineSpec;
 use crate::synopsis::Synopsis;
-use crate::{AggKind, Result};
+use crate::{AggKind, PassError, Result};
 
 /// The cache identity of a query: its aggregate kind plus the exact bit
 /// pattern of every predicate-interval bound. Bit-exact keying means no
@@ -147,7 +148,7 @@ impl QueryCache {
     pub fn get_keyed(&self, key: &QueryKey) -> Option<Result<Estimate>> {
         self.get_many_keyed(std::slice::from_ref(key))
             .pop()
-            .unwrap()
+            .flatten()
     }
 
     /// Look many keys up under **one** lock acquisition, counting hits and
@@ -155,14 +156,18 @@ impl QueryCache {
     /// twice per batch (lookups + inserts) instead of twice per query.
     pub fn get_many_keyed(&self, keys: &[QueryKey]) -> Vec<Option<Result<Estimate>>> {
         if self.capacity == 0 {
+            // relaxed: monotonic effectiveness counter; readers only ever
+            // aggregate it, nothing is ordered against the stored value.
             self.misses.fetch_add(keys.len() as u64, Ordering::Relaxed);
             return vec![None; keys.len()];
         }
         let found: Vec<Option<Result<Estimate>>> = {
-            let inner = self.inner.lock().expect("cache poisoned");
+            let inner = self.inner.lock();
             keys.iter().map(|k| inner.map.get(k).cloned()).collect()
         };
         let hits = found.iter().filter(|f| f.is_some()).count() as u64;
+        // relaxed: monotonic effectiveness counters; stats() tolerates a
+        // momentarily inconsistent hit/miss pair, no ordering is needed.
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses
             .fetch_add(keys.len() as u64 - hits, Ordering::Relaxed);
@@ -189,7 +194,7 @@ impl QueryCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock();
         for (key, result) in entries {
             if inner.map.insert(key.clone(), result).is_none() {
                 inner.order.push_back(key);
@@ -205,16 +210,17 @@ impl QueryCache {
     /// Current effectiveness counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // relaxed: advisory snapshot of monotonic counters.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            len: self.inner.lock().expect("cache poisoned").map.len(),
+            len: self.inner.lock().map.len(),
             capacity: self.capacity,
         }
     }
 
     /// Drop every entry (counters are kept; they are cumulative).
     pub fn clear(&self) {
-        self.inner.lock().expect("cache poisoned").drop_entries();
+        self.inner.lock().drop_entries();
     }
 
     /// The epoch the stored entries belong to.
@@ -228,7 +234,7 @@ impl QueryCache {
     pub fn bump_epoch(&self) {
         self.epoch.fetch_add(1, Ordering::Release);
         if self.capacity > 0 {
-            self.inner.lock().expect("cache poisoned").drop_entries();
+            self.inner.lock().drop_entries();
         }
     }
 
@@ -243,7 +249,7 @@ impl QueryCache {
             return;
         }
         // Re-check under the lock so a racing sync clears exactly once.
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.inner.lock();
         if self.epoch.swap(observed, Ordering::AcqRel) != observed {
             inner.drop_entries();
         }
@@ -345,9 +351,14 @@ impl<S: Synopsis> CachedSynopsis<S> {
                 }
             }
         }
+        // Every `None` slot was filled from `computed` above; an
+        // unfilled slot would be a logic bug, surfaced as an error
+        // rather than a panic in the serving path.
         results
             .into_iter()
-            .map(|r| r.expect("every slot filled"))
+            .map(|r| {
+                r.unwrap_or_else(|| Err(PassError::Load("batch slot left uncomputed".to_string())))
+            })
             .collect()
     }
 }

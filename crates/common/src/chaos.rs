@@ -1,0 +1,401 @@
+//! Concurrency shims with a deterministic model-checking mode — a
+//! dependency-free mini-loom for the serving layer.
+//!
+//! Every synchronization primitive the serving-layer modules use
+//! ([`crate::queue`], [`crate::ticket`], [`crate::cache`],
+//! [`crate::pool`]) comes from this module instead of `std::sync`; the
+//! workspace lint (`crates/lint`) enforces that. The shims fold lock
+//! poisoning internally (a poisoned lock yields its guard — the data is
+//! plain state, never left mid-invariant by the panicking holders these
+//! modules admit), so ported code carries no `.expect("poisoned")`
+//! noise.
+//!
+//! * **Normal builds** (no `chaos` feature): the types are thin
+//!   zero-cost wrappers over `std::sync` / re-exports of
+//!   `std::sync::atomic` and `std::thread::scope`.
+//! * **`--features chaos` builds**: the same types can additionally run
+//!   *under a model*. `Chaos::check` (only compiled with the feature,
+//!   hence no link here) runs a closure repeatedly,
+//!   steering every scheduling decision (who runs at each lock
+//!   acquisition, atomic access, condvar notify, spawn, join) through a
+//!   cooperative scheduler that enumerates interleavings depth-first.
+//!   A race that one lucky real-thread test in a thousand would hit is
+//!   found deterministically, and every failure prints a **seed** — the
+//!   dot-separated list of scheduling choices — that replays exactly
+//!   that interleaving (`PASS_CHAOS_SEED=<seed> cargo test -p
+//!   pass-common --features chaos <test>`). Outside a model (ordinary
+//!   tests in a `chaos` build) the shims detect the absent scheduler
+//!   and behave exactly like the normal build.
+//!
+//! The model serializes execution (one runnable thread at a time), so it
+//! explores **interleaving** bugs — lost wakeups, check-then-act races,
+//! double resolution, deadlock — not memory-ordering bugs: atomics
+//! behave sequentially consistent under the model regardless of the
+//! `Ordering` argument. That is the right trade for this workspace: the
+//! serving layer's atomics are counters and epoch stamps whose
+//! correctness arguments are interleaving arguments (the lint
+//! separately demands a written justification for every
+//! `Ordering::Relaxed`). See `docs/CONCURRENCY.md` for the full design
+//! and how to read a failing seed.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "chaos"))]
+mod imp {
+    use std::fmt;
+    use std::sync::PoisonError;
+    use std::time::Duration;
+
+    pub use std::sync::atomic::{AtomicU64, AtomicUsize};
+    pub use std::sync::{MutexGuard, WaitTimeoutResult};
+    pub use std::thread::scope;
+
+    /// Thread spawning/joining, re-exported so model tests and shimmed
+    /// modules name one path in both build modes.
+    pub mod thread {
+        pub use std::thread::{spawn, JoinHandle};
+    }
+
+    /// A mutual-exclusion lock over `T` — [`std::sync::Mutex`] with
+    /// poisoning folded away ([`lock`](Mutex::lock) returns the guard
+    /// directly) and, under the `chaos` feature, model-checkable
+    /// scheduling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pass_common::chaos::Mutex;
+    ///
+    /// let m = Mutex::new(41);
+    /// *m.lock() += 1;
+    /// assert_eq!(m.into_inner(), 42);
+    /// ```
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Self(std::sync::Mutex::new(value))
+        }
+
+        /// Acquire the lock, blocking until it is free. Poisoning is
+        /// folded: a panic in another holder does not cascade here.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Consume the mutex and return its data (no locking needed —
+        /// ownership proves exclusivity).
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// A condition variable — [`std::sync::Condvar`] with poisoning
+    /// folded away and, under the `chaos` feature, model-checkable
+    /// wakeup scheduling.
+    #[derive(Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    impl Condvar {
+        /// A new condition variable.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Atomically release `guard`'s lock and park until notified;
+        /// the lock is reacquired before returning.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// [`wait`](Self::wait) with a timeout; the result reports
+        /// whether the wait timed out rather than being notified.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            timeout: Duration,
+        ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+            self.0
+                .wait_timeout(guard, timeout)
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Wake one parked waiter, if any.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        /// Wake every parked waiter.
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod imp;
+
+pub use imp::*;
+
+/// Unit tests for the scheduler itself (ported-module model tests live
+/// in `tests/chaos_model.rs`). These run whenever the `chaos` feature
+/// is on — i.e. in every workspace `cargo test`.
+#[cfg(all(test, feature = "chaos"))]
+mod model_tests {
+    use super::{thread as chaos_thread, AtomicU64, Chaos, Condvar, Mutex, Ordering};
+    use std::collections::HashSet;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex as StdMutex};
+    use std::time::Duration;
+
+    /// Run `f`, which must panic, and hand back the panic message.
+    fn failure_message(f: impl Fn() + Send + Sync + 'static) -> String {
+        let err = catch_unwind(AssertUnwindSafe(f)).expect_err("check should have failed");
+        if let Some(s) = err.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            err.downcast_ref::<&str>()
+                .expect("string payload")
+                .to_string()
+        }
+    }
+
+    fn seed_of(message: &str) -> String {
+        message
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("schedule seed: "))
+            .expect("failure message carries a seed")
+            .to_string()
+    }
+
+    #[test]
+    fn exhaustively_explores_both_orders_of_two_writers() {
+        // Two threads each append their id; both orders must be seen.
+        let orders: Arc<StdMutex<HashSet<Vec<u8>>>> = Arc::new(StdMutex::new(HashSet::new()));
+        let seen = Arc::clone(&orders);
+        let report = Chaos::new("two_writers").check(move || {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let l2 = Arc::clone(&log);
+            let t = chaos_thread::spawn(move || l2.lock().push(1u8));
+            log.lock().push(0u8);
+            t.join().unwrap();
+            seen.lock().unwrap().insert(log.lock().clone());
+        });
+        assert!(report.exhausted, "tiny tree must be fully explored");
+        assert!(report.schedules >= 2);
+        let orders = orders.lock().unwrap();
+        assert!(orders.contains(&vec![0, 1]) && orders.contains(&vec![1, 0]));
+    }
+
+    #[test]
+    fn store_buffer_litmus_sees_every_sequentially_consistent_outcome() {
+        // Classic store-buffer shape: under interleaving (SC) semantics
+        // (0,0) is unreachable, the other three outcomes are reachable.
+        let outcomes: Arc<StdMutex<HashSet<(u64, u64)>>> = Arc::new(StdMutex::new(HashSet::new()));
+        let seen = Arc::clone(&outcomes);
+        let report = Chaos::new("store_buffer").check(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = chaos_thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                y2.load(Ordering::Relaxed)
+            });
+            y.store(1, Ordering::Relaxed);
+            let r1 = x.load(Ordering::Relaxed);
+            let r2 = t.join().unwrap();
+            seen.lock().unwrap().insert((r1, r2));
+        });
+        assert!(report.exhausted);
+        let outcomes = outcomes.lock().unwrap();
+        assert!(!outcomes.contains(&(0, 0)), "SC forbids (0,0)");
+        for want in [(0, 1), (1, 0), (1, 1)] {
+            assert!(outcomes.contains(&want), "missing outcome {want:?}");
+        }
+    }
+
+    #[test]
+    fn lock_cycle_is_reported_as_deadlock_with_a_seed() {
+        let message = failure_message(|| {
+            Chaos::new("lock_cycle").check(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = chaos_thread::spawn(move || {
+                    let _b = b2.lock();
+                    let _a = a2.lock();
+                });
+                let _a = a.lock();
+                let _b = b.lock();
+                drop((_a, _b));
+                t.join().unwrap();
+            });
+        });
+        assert!(message.contains("deadlock"), "got: {message}");
+        assert!(message.contains("PASS_CHAOS_SEED="), "got: {message}");
+    }
+
+    #[test]
+    fn lost_notify_surfaces_as_deadlock_and_the_seed_replays_it() {
+        // notify_one racing the wait: the schedule where the notify
+        // lands first leaves the waiter parked forever. This is the
+        // lost-wakeup shape pop_blocking would have with a broken
+        // predicate loop.
+        fn racy() {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = chaos_thread::spawn(move || p2.1.notify_one());
+            // Deliberately broken "naked wait": no predicate, so a
+            // notify that lands before the wait begins is lost forever.
+            let guard = pair.0.lock();
+            let guard = pair.1.wait(guard);
+            drop(guard);
+            t.join().unwrap();
+        }
+        let message = failure_message(|| {
+            Chaos::new("lost_notify").check(racy);
+        });
+        assert!(message.contains("deadlock"), "got: {message}");
+        let seed = seed_of(&message);
+        // The seed replays exactly the failing interleaving, first try.
+        let replay = failure_message(move || {
+            Chaos::new("lost_notify").replay(&seed, racy);
+        });
+        assert!(replay.contains("deadlock"), "replay got: {replay}");
+    }
+
+    #[test]
+    fn assertion_failures_under_the_model_carry_a_seed() {
+        let message = failure_message(|| {
+            Chaos::new("failing_assert").check(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let n2 = Arc::clone(&n);
+                let t = chaos_thread::spawn(move || {
+                    n2.store(1, Ordering::Relaxed);
+                });
+                // Fails on schedules where the child runs first.
+                let seen = n.load(Ordering::Relaxed);
+                t.join().unwrap();
+                assert_eq!(seen, 0, "child ran before parent");
+            });
+        });
+        assert!(
+            message.contains("child ran before parent"),
+            "got: {message}"
+        );
+        assert!(message.contains("schedule seed:"), "got: {message}");
+    }
+
+    #[test]
+    fn timed_waits_time_out_instead_of_deadlocking() {
+        let report = Chaos::new("timed_wait").check(|| {
+            let m = Mutex::new(());
+            let cv = Condvar::new();
+            let guard = m.lock();
+            // Nobody will ever notify: the model fires the timeout at
+            // the would-be deadlock instead.
+            let (guard, res) = cv.wait_timeout(guard, Duration::from_millis(1));
+            assert!(res.timed_out());
+            drop(guard);
+        });
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn preemption_bound_caps_the_tree_and_stays_exhaustive() {
+        let free = Chaos::new("pb_free").check(spawn_three_counters);
+        let bounded = Chaos::new("pb_bounded")
+            .preemptions(1)
+            .check(spawn_three_counters);
+        assert!(free.exhausted && bounded.exhausted);
+        assert!(
+            bounded.schedules < free.schedules,
+            "bounding must shrink the tree ({} vs {})",
+            bounded.schedules,
+            free.schedules
+        );
+    }
+
+    fn spawn_three_counters() {
+        let n = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                chaos_thread::spawn(move || *n.lock() += 1)
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock(), 3);
+    }
+
+    #[test]
+    fn scoped_threads_are_modeled_and_implicitly_joined() {
+        let report = Chaos::new("scoped").preemptions(2).check(|| {
+            let n = Mutex::new(0u32);
+            super::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| *n.lock() += 1);
+                }
+                // No explicit joins: scope exit must drive both
+                // children to completion under the model.
+            });
+            assert_eq!(*n.lock(), 2);
+        });
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn worker_panics_resolve_drop_paths_before_join_reports_them() {
+        // A panicking model thread still runs its drop glue under the
+        // model (this is what makes TicketSlot's cancel-on-drop
+        // checkable), and join surfaces the payload like std.
+        let report = Chaos::new("panicking_worker").preemptions(2).check(|| {
+            let armed = Arc::new(Mutex::new(true));
+            let a2 = Arc::clone(&armed);
+            let t = chaos_thread::spawn(move || {
+                struct Disarm(Arc<Mutex<bool>>);
+                impl Drop for Disarm {
+                    fn drop(&mut self) {
+                        *self.0.lock() = false;
+                    }
+                }
+                let _d = Disarm(a2);
+                panic!("worker exploded");
+            });
+            assert!(t.join().is_err(), "panic must surface through join");
+            assert!(!*armed.lock(), "drop glue must have run");
+        });
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn shims_pass_through_outside_a_model() {
+        // No Chaos::check active: the shim types must behave like std.
+        let m = Mutex::new(5u32);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+        let cv = Condvar::new();
+        cv.notify_all();
+        let n = AtomicU64::new(1);
+        assert_eq!(n.fetch_add(2, Ordering::Relaxed), 1);
+        let t = chaos_thread::spawn(|| 7u8);
+        assert_eq!(t.join().unwrap(), 7);
+        let total = Mutex::new(0u32);
+        super::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| *total.lock() += 1);
+            }
+        });
+        assert_eq!(total.into_inner(), 2);
+    }
+}

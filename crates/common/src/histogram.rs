@@ -76,11 +76,14 @@ impl LatencyHistogram {
 
     /// Record one latency observation of `us` microseconds.
     pub fn record(&self, us: u64) {
+        // relaxed: lock-free monotonic bucket counter; quantile reads
+        // are advisory snapshots with no ordering requirement.
         self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
+        // relaxed: advisory snapshot.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
@@ -94,6 +97,7 @@ impl LatencyHistogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // relaxed: advisory snapshot.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();

@@ -37,6 +37,7 @@
 
 pub mod agg;
 pub mod cache;
+pub mod chaos;
 pub mod error;
 pub mod estimate;
 pub mod histogram;

@@ -267,7 +267,9 @@ impl PartialEstimate {
                             ord.reverse()
                         }
                     })
-                    .expect("parts nonempty");
+                    // `parts` is non-empty (checked on entry); fall back
+                    // to the first partial rather than panic.
+                    .unwrap_or(first);
                 Estimate::approximate(winner.local.value, winner.local.ci_half)
             }
         };

@@ -18,8 +18,8 @@
 //! [`Synopsis::estimate_many_parallel`]: crate::Synopsis::estimate_many_parallel
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use crate::chaos::{AtomicUsize, Mutex, Ordering};
 
 /// A fixed degree of parallelism for batch execution.
 ///
@@ -74,7 +74,7 @@ impl ThreadPool {
             worker();
             return;
         }
-        std::thread::scope(|s| {
+        crate::chaos::scope(|s| {
             for _ in 1..workers {
                 s.spawn(&worker);
             }
@@ -134,6 +134,8 @@ impl ThreadPool {
             let mut state = init();
             let mut local: Vec<(usize, Vec<T>)> = Vec::new();
             loop {
+                // relaxed: the fetch_add itself hands out unique chunk
+                // ids; no other memory is published through the cursor.
                 let c = cursor.fetch_add(1, Ordering::Relaxed);
                 if c >= n_chunks {
                     break;
@@ -141,10 +143,10 @@ impl ThreadPool {
                 let start = c * chunk_size;
                 local.push((c, f(&mut state, start..(start + chunk_size).min(len))));
             }
-            parts.lock().expect("worker panicked").extend(local);
+            parts.lock().extend(local);
         });
 
-        let mut parts = parts.into_inner().expect("worker panicked");
+        let mut parts = parts.into_inner();
         parts.sort_unstable_by_key(|&(c, _)| c);
         let mut out = Vec::with_capacity(len);
         for (_, mut part) in parts {

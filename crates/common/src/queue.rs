@@ -30,7 +30,8 @@
 //! drain walks entries in schedule order and FIFO ties are free.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+
+use crate::chaos::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// The admission class of a serving request.
@@ -186,7 +187,7 @@ impl<T> RequestQueue<T> {
 
     /// Items currently queued (both classes).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").len()
+        self.inner.lock().len()
     }
 
     /// Whether the queue currently holds no items.
@@ -198,7 +199,7 @@ impl<T> RequestQueue<T> {
     /// observed after each successful push. A high-water mark at
     /// [`capacity`](Self::capacity) means admission control engaged.
     pub fn high_water(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").high_water
+        self.inner.lock().high_water
     }
 
     /// Enqueue `item` under `priority` with no deadline (it sorts after
@@ -223,7 +224,7 @@ impl<T> RequestQueue<T> {
         priority: Priority,
         deadline: Option<Instant>,
     ) -> Result<(), (PushError, T)> {
-        let inner = self.inner.lock().expect("queue poisoned");
+        let inner = self.inner.lock();
         self.push_locked(inner, item, priority, deadline)
     }
 
@@ -251,7 +252,7 @@ impl<T> RequestQueue<T> {
         matches: impl Fn(&T, &T) -> bool,
         merge: impl FnOnce(&mut T, T),
     ) -> Result<bool, (PushError, T)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock();
         // Checked here too (not only in push_locked): merging into a
         // closed queue's still-draining entries would smuggle new work
         // past shutdown.
@@ -263,9 +264,10 @@ impl<T> RequestQueue<T> {
             merge(&mut deque[idx].item, item);
             let tightened = earliest(deque[idx].key, deadline);
             if tightened != deque[idx].key {
-                let mut entry = deque.remove(idx).expect("idx in bounds");
-                entry.key = tightened;
-                inner.insert_scheduled(priority, entry);
+                if let Some(mut entry) = deque.remove(idx) {
+                    entry.key = tightened;
+                    inner.insert_scheduled(priority, entry);
+                }
             }
             return Ok(true);
         }
@@ -278,7 +280,7 @@ impl<T> RequestQueue<T> {
     /// caller's lock. Hands `item` back on a closed or full queue.
     fn push_locked(
         &self,
-        mut inner: std::sync::MutexGuard<'_, QueueInner<T>>,
+        mut inner: MutexGuard<'_, QueueInner<T>>,
         item: T,
         priority: Priority,
         deadline: Option<Instant>,
@@ -311,7 +313,7 @@ impl<T> RequestQueue<T> {
     /// hands out nothing (consumers park even with items waiting)
     /// unless it is closed — shutdown drains regardless of pause.
     pub fn pop_blocking(&self) -> Option<(T, Priority)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock();
         loop {
             if !inner.paused || inner.closed {
                 if let Some(entry) = inner.interactive.pop_front() {
@@ -324,7 +326,7 @@ impl<T> RequestQueue<T> {
                     return None;
                 }
             }
-            inner = self.available.wait(inner).expect("queue poisoned");
+            inner = self.available.wait(inner);
         }
     }
 
@@ -346,7 +348,7 @@ impl<T> RequestQueue<T> {
     /// the queue is closed and draining for shutdown).
     pub fn drain_class_where(&self, class: Priority, mut admit: impl FnMut(&T) -> bool) -> Vec<T> {
         let mut drained = Vec::new();
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock();
         if inner.paused && !inner.closed {
             return drained;
         }
@@ -354,11 +356,14 @@ impl<T> RequestQueue<T> {
             return drained;
         }
         let deque = inner.class_mut(class);
-        while let Some(head) = deque.front() {
-            if !admit(&head.item) {
-                break;
+        loop {
+            match deque.front() {
+                Some(head) if admit(&head.item) => {}
+                _ => break,
             }
-            drained.push(deque.pop_front().expect("head exists").item);
+            if let Some(entry) = deque.pop_front() {
+                drained.push(entry.item);
+            }
         }
         drained
     }
@@ -371,26 +376,26 @@ impl<T> RequestQueue<T> {
     /// can slip an item past a pause. Pushes are unaffected (admission
     /// control still applies).
     pub fn set_paused(&self, paused: bool) {
-        self.inner.lock().expect("queue poisoned").paused = paused;
+        self.inner.lock().paused = paused;
         self.available.notify_all();
     }
 
     /// Whether consumers are currently paused.
     pub fn is_paused(&self) -> bool {
-        self.inner.lock().expect("queue poisoned").paused
+        self.inner.lock().paused
     }
 
     /// Close the queue: future pushes fail with [`PushError::Closed`],
     /// parked consumers wake, and [`pop_blocking`](Self::pop_blocking)
     /// returns `None` once the remaining items drain.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.inner.lock().closed = true;
         self.available.notify_all();
     }
 
     /// Whether [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue poisoned").closed
+        self.inner.lock().closed
     }
 }
 

@@ -15,7 +15,9 @@
 //! its ticket to [`ServeOutcome::Cancelled`], so a client can never
 //! block forever on a request the server lost.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::chaos::{Condvar, Mutex};
 use std::time::Duration;
 
 use crate::estimate::Estimate;
@@ -124,12 +126,7 @@ impl Ticket {
 
     /// Non-blocking check: the outcome if resolved, else `None`.
     pub fn poll(&self) -> Option<ServeOutcome> {
-        self.shared
-            .state
-            .lock()
-            .expect("ticket poisoned")
-            .outcome
-            .clone()
+        self.shared.state.lock().outcome.clone()
     }
 
     /// Whether the ticket has resolved.
@@ -139,19 +136,19 @@ impl Ticket {
 
     /// Block until the outcome arrives.
     pub fn wait(&self) -> ServeOutcome {
-        let mut state = self.shared.state.lock().expect("ticket poisoned");
+        let mut state = self.shared.state.lock();
         loop {
             if let Some(outcome) = &state.outcome {
                 return outcome.clone();
             }
-            state = self.shared.done.wait(state).expect("ticket poisoned");
+            state = self.shared.done.wait(state);
         }
     }
 
     /// Block for at most `timeout`; `None` if still pending afterwards.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeOutcome> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut state = self.shared.state.lock().expect("ticket poisoned");
+        let mut state = self.shared.state.lock();
         loop {
             if let Some(outcome) = &state.outcome {
                 return Some(outcome.clone());
@@ -160,11 +157,7 @@ impl Ticket {
             if now >= deadline {
                 return None;
             }
-            let (next, _timed_out) = self
-                .shared
-                .done
-                .wait_timeout(state, deadline - now)
-                .expect("ticket poisoned");
+            let (next, _timed_out) = self.shared.done.wait_timeout(state, deadline - now);
             state = next;
         }
     }
@@ -178,7 +171,7 @@ impl Ticket {
     /// ordered. `None` while pending or for outcomes that never reached
     /// a worker (e.g. [`ServeOutcome::Rejected`]).
     pub fn completion_index(&self) -> Option<u64> {
-        self.shared.state.lock().expect("ticket poisoned").seq
+        self.shared.state.lock().seq
     }
 }
 
@@ -202,7 +195,7 @@ impl TicketSlot {
 
     fn fulfill_inner(&mut self, outcome: ServeOutcome, seq: Option<u64>) {
         if let Some(shared) = self.shared.take() {
-            let mut state = shared.state.lock().expect("ticket poisoned");
+            let mut state = shared.state.lock();
             state.outcome = Some(outcome);
             state.seq = seq;
             drop(state);

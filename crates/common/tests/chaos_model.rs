@@ -1,0 +1,424 @@
+//! Exhaustive concurrency model tests for the serving-tier primitives.
+//!
+//! Every test here runs under [`Chaos::check`], which executes its body
+//! once per *schedule* — a distinct interleaving of the participating
+//! threads at their synchronization points — until the schedule tree is
+//! exhausted (or a stated preemption bound prunes it). A failing body
+//! panics with a replayable seed:
+//!
+//! ```text
+//! PASS_CHAOS_SEED='0.2.1' cargo test -p pass-common --features chaos <name>
+//! ```
+//!
+//! The suite pins the admission-control invariants documented in
+//! `docs/ARCHITECTURE.md` (and expanded in `docs/CONCURRENCY.md`) at the
+//! queue / ticket / cache level, plus the named historical near-misses:
+//! pause racing a parked `pop_blocking`, and a dedup attach racing the
+//! pop of its target. Invariant 1 (fidelity) and invariant 5 (batches
+//! never mix engines) are single-threaded routing properties pinned by
+//! `tests/serve_contract.rs` / `tests/route_contract.rs` in the root
+//! crate; everything with a genuine interleaving surface is here.
+//!
+//! These tests compile only with the `chaos` feature (always on under a
+//! workspace `cargo test` via the root crate's dev-dependencies, never
+//! in release builds).
+
+#![cfg(feature = "chaos")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pass_common::chaos::{self, Chaos};
+use pass_common::{
+    AggKind, Estimate, Priority, PushError, Query, QueryCache, QueryKey, RequestQueue,
+    ServeOutcome, Ticket,
+};
+
+fn key(lo: f64, hi: f64) -> QueryKey {
+    QueryKey::new(&Query::interval(AggKind::Sum, lo, hi))
+}
+
+/// Invariant: every accepted push is popped exactly once — no item is
+/// lost or duplicated under any interleaving of two producers and a
+/// blocking consumer.
+#[test]
+fn every_accepted_push_pops_exactly_once() {
+    let report = Chaos::new("push_pop_exactly_once").check(|| {
+        let queue: RequestQueue<u32> = RequestQueue::new(4);
+        let mut popped = Vec::new();
+        chaos::scope(|s| {
+            s.spawn(|| queue.try_push(1, Priority::Interactive).unwrap());
+            s.spawn(|| queue.try_push(2, Priority::Interactive).unwrap());
+            for _ in 0..2 {
+                if let Some((item, _)) = queue.pop_blocking() {
+                    popped.push(item);
+                }
+            }
+        });
+        popped.sort_unstable();
+        assert_eq!(popped, [1, 2], "an accepted item was lost or duplicated");
+        assert!(queue.is_empty());
+    });
+    assert!(report.exhausted, "schedule tree must be fully explored");
+}
+
+/// Invariant 2 (bounded queue, exact rejection): with `queue_depth = 1`,
+/// two racing pushes admit exactly one and reject exactly one with
+/// `Full`, in every interleaving — and draining the slot re-admits
+/// exactly one.
+#[test]
+fn bounded_queue_rejects_exactly_at_capacity() {
+    let report = Chaos::new("bounded_rejection").check(|| {
+        let queue: RequestQueue<u32> = RequestQueue::new(1);
+        let (a, b) = chaos::scope(|s| {
+            let t1 = s.spawn(|| queue.try_push(1, Priority::Interactive).is_ok());
+            let t2 = s.spawn(|| queue.try_push(2, Priority::Interactive).is_ok());
+            (t1.join().unwrap(), t2.join().unwrap())
+        });
+        assert!(
+            a ^ b,
+            "capacity 1: exactly one of two racing pushes must be admitted"
+        );
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.high_water(), 1, "admission never overshoots");
+        // Draining the slot re-admits exactly one request.
+        assert!(queue.pop_blocking().is_some());
+        assert!(queue.try_push(3, Priority::Interactive).is_ok());
+        assert_eq!(queue.high_water(), 1);
+    });
+    assert!(report.exhausted);
+}
+
+/// Invariant 4 (strict two-class priority): whenever both classes are
+/// non-empty at pop time, interactive wins. The consumer checks the
+/// queue's length first — under a single consumer the length can only
+/// grow concurrently, so observing both items queued proves the first
+/// pop chose between them.
+#[test]
+fn interactive_always_pops_before_queued_bulk() {
+    let saw_both_queued = Arc::new(AtomicU64::new(0));
+    let saw_interleaved = Arc::new(AtomicU64::new(0));
+    let both = Arc::clone(&saw_both_queued);
+    let inter = Arc::clone(&saw_interleaved);
+    let report = Chaos::new("strict_priority").check(move || {
+        let queue: RequestQueue<u32> = RequestQueue::new(4);
+        chaos::scope(|s| {
+            s.spawn(|| {
+                queue.try_push(20, Priority::Bulk).unwrap();
+                queue.try_push(10, Priority::Interactive).unwrap();
+            });
+            let queued = queue.len();
+            let (first, _) = queue.pop_blocking().unwrap();
+            let (second, _) = queue.pop_blocking().unwrap();
+            if queued == 2 {
+                // Both were queued when the consumer chose: strict
+                // priority must pick the interactive item.
+                assert_eq!(first, 10, "bulk popped ahead of queued interactive");
+                assert_eq!(second, 20);
+                both.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // The consumer's length check raced ahead of the
+                // producer; either order is legal (priority only orders
+                // *queued* work) but both items still arrive.
+                let mut got = [first, second];
+                got.sort_unstable();
+                assert_eq!(got, [10, 20]);
+                if (first, second) == (20, 10) {
+                    inter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    });
+    assert!(report.exhausted);
+    // The model genuinely explored both phenomena.
+    assert!(saw_both_queued.load(Ordering::Relaxed) > 0);
+    assert!(saw_interleaved.load(Ordering::Relaxed) > 0);
+}
+
+/// Invariant 4, EDF half: however two racing dated pushes interleave,
+/// the earlier deadline pops first within the class.
+#[test]
+fn edf_order_is_independent_of_push_interleaving() {
+    let report = Chaos::new("edf_order").check(|| {
+        let queue: RequestQueue<u32> = RequestQueue::new(4);
+        let base = Instant::now();
+        let soon = Some(base + Duration::from_millis(10));
+        let late = Some(base + Duration::from_millis(20));
+        chaos::scope(|s| {
+            s.spawn(|| queue.try_push_scheduled(1, Priority::Bulk, late).unwrap());
+            s.spawn(|| queue.try_push_scheduled(2, Priority::Bulk, soon).unwrap());
+        });
+        let (first, _) = queue.pop_blocking().unwrap();
+        let (second, _) = queue.pop_blocking().unwrap();
+        assert_eq!(
+            (first, second),
+            (2, 1),
+            "earliest deadline must pop first regardless of arrival order"
+        );
+    });
+    assert!(report.exhausted);
+}
+
+/// Historical near-miss #1: a consumer parked inside `pop_blocking` on a
+/// paused queue, racing a push and the resume. If `set_paused(false)`
+/// failed to notify (or pause re-checking had a window), the consumer
+/// would sleep forever with work queued — the model reports that as a
+/// deadlock with a seed.
+#[test]
+fn resume_always_wakes_a_consumer_parked_through_a_pause() {
+    let report = Chaos::new("pause_resume_wakeup").preemptions(3).check(|| {
+        let queue: RequestQueue<u32> = RequestQueue::new(4);
+        queue.set_paused(true);
+        chaos::scope(|s| {
+            let consumer = s.spawn(|| queue.pop_blocking());
+            s.spawn(|| {
+                queue.try_push(7, Priority::Interactive).unwrap();
+            });
+            s.spawn(|| queue.set_paused(false));
+            assert_eq!(consumer.join().unwrap(), Some((7, Priority::Interactive)));
+        });
+    });
+    assert!(report.exhausted, "bounded-exhaustive at 3 preemptions");
+}
+
+/// Invariant 6, queue half: close() drains accepted work even through a
+/// pause, wakes every parked consumer, and only then reports `None`.
+/// Two consumers racing one close: the queued item goes to exactly one
+/// of them, the other observes shutdown.
+#[test]
+fn close_drains_through_pause_and_wakes_every_consumer() {
+    let report = Chaos::new("close_drains").preemptions(3).check(|| {
+        let queue: RequestQueue<u32> = RequestQueue::new(4);
+        queue.try_push(9, Priority::Bulk).unwrap();
+        queue.set_paused(true);
+        let (a, b) = chaos::scope(|s| {
+            let c1 = s.spawn(|| queue.pop_blocking());
+            let c2 = s.spawn(|| queue.pop_blocking());
+            s.spawn(|| queue.close());
+            (c1.join().unwrap(), c2.join().unwrap())
+        });
+        let got = [a, b];
+        assert_eq!(
+            got.iter().filter(|g| g.is_none()).count(),
+            1,
+            "exactly one consumer observes shutdown: {got:?}"
+        );
+        assert!(
+            got.contains(&Some((9, Priority::Bulk))),
+            "shutdown must hand the accepted item to exactly one consumer: {got:?}"
+        );
+    });
+    assert!(report.exhausted, "bounded-exhaustive at 3 preemptions");
+}
+
+/// Historical near-miss #2: a dedup attach racing the pop of its target.
+/// Whichever side wins the lock, the duplicate's payload must survive —
+/// either folded into the popped entry or re-queued as a fresh entry —
+/// and the queue's bookkeeping must stay coherent.
+#[test]
+fn dedup_attach_racing_pop_of_target_conserves_work() {
+    let saw_merge = Arc::new(AtomicU64::new(0));
+    let saw_miss = Arc::new(AtomicU64::new(0));
+    let merges = Arc::clone(&saw_merge);
+    let misses = Arc::clone(&saw_miss);
+    let report = Chaos::new("dedup_vs_pop").check(move || {
+        // Entries are (key, weight): dedup folds weights together.
+        let queue: RequestQueue<(u32, u32)> = RequestQueue::new(4);
+        queue.try_push((7, 1), Priority::Interactive).unwrap();
+        let (popped, attached) = chaos::scope(|s| {
+            let consumer = s.spawn(|| queue.pop_blocking().unwrap());
+            let producer = s.spawn(|| {
+                queue
+                    .try_push_or_merge(
+                        (7, 1),
+                        Priority::Interactive,
+                        None,
+                        |queued, new| queued.0 == new.0,
+                        |queued, new| queued.1 += new.1,
+                    )
+                    .unwrap()
+            });
+            (consumer.join().unwrap(), producer.join().unwrap())
+        });
+        let leftover: u32 = queue
+            .drain_class_where(Priority::Interactive, |_| true)
+            .iter()
+            .map(|&(_, w)| w)
+            .sum();
+        assert_eq!(
+            popped.0 .1 + leftover,
+            2,
+            "the duplicate's weight was lost or double-counted"
+        );
+        if attached {
+            // Merged into the still-queued target: the consumer popped
+            // the combined entry and nothing is left behind.
+            assert_eq!(popped.0, (7, 2));
+            assert_eq!(leftover, 0);
+            merges.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // The pop won: the attach missed and fell back to a normal
+            // push of its own entry.
+            assert_eq!(popped.0, (7, 1));
+            assert_eq!(leftover, 1);
+            misses.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert!(report.exhausted);
+    assert!(
+        saw_merge.load(Ordering::Relaxed) > 0,
+        "merge path unexplored"
+    );
+    assert!(saw_miss.load(Ordering::Relaxed) > 0, "miss path unexplored");
+}
+
+/// Dedup on a saturated queue: attaching consumes no capacity, so the
+/// duplicate is admitted even when a plain push would be rejected —
+/// in every interleaving with a racing consumer.
+#[test]
+fn dedup_attach_is_admitted_on_a_full_queue() {
+    let report = Chaos::new("dedup_full_queue").check(|| {
+        let queue: RequestQueue<(u32, u32)> = RequestQueue::new(1);
+        queue.try_push((7, 1), Priority::Interactive).unwrap();
+        // Queue is at capacity: a non-matching plain push is refused.
+        assert!(matches!(
+            queue.try_push((8, 1), Priority::Interactive),
+            Err((PushError::Full, _))
+        ));
+        chaos::scope(|s| {
+            let consumer = s.spawn(|| queue.pop_blocking().unwrap());
+            let producer = s.spawn(|| {
+                queue.try_push_or_merge(
+                    (7, 1),
+                    Priority::Interactive,
+                    None,
+                    |queued, new| queued.0 == new.0,
+                    |queued, new| queued.1 += new.1,
+                )
+            });
+            let attach = producer.join().unwrap();
+            // Attach won: no capacity consumed. Pop won: the queue had
+            // drained, so the fallback push was admitted. Either way the
+            // duplicate is never bounced off a full queue.
+            assert!(attach.is_ok(), "duplicate rejected despite dedup");
+            let popped = consumer.join().unwrap();
+            let leftover: u32 = queue
+                .drain_class_where(Priority::Interactive, |_| true)
+                .iter()
+                .map(|&(_, w)| w)
+                .sum();
+            assert_eq!(popped.0 .1 + leftover, 2);
+        });
+    });
+    assert!(report.exhausted);
+}
+
+/// Invariant 6, ticket half: a worker that panics mid-request resolves
+/// every ticket attached to its in-flight work exactly once — fulfilled
+/// tickets keep their outcome, unfulfilled slots cancel on the unwind
+/// path — and concurrent waiters always wake.
+#[test]
+fn worker_panic_resolves_every_fanned_out_ticket_exactly_once() {
+    let report = Chaos::new("ticket_fanout_panic").preemptions(3).check(|| {
+        let (done_ticket, done_slot) = Ticket::pending();
+        let (lost_a, slot_a) = Ticket::pending();
+        let (lost_b, slot_b) = Ticket::pending();
+        chaos::scope(|s| {
+            let worker = s.spawn(move || {
+                // One attached waiter is answered before the crash…
+                done_slot.fulfill(ServeOutcome::Done(vec![Ok(Estimate::exact(1.0))]), Some(0));
+                // …then the worker dies with two slots in hand; the
+                // unwind must cancel both.
+                let _still_held = (slot_a, slot_b);
+                panic!("injected worker crash");
+            });
+            let wa = s.spawn(|| lost_a.wait());
+            let wb = s.spawn(|| lost_b.wait());
+            assert!(worker.join().is_err(), "the panic must surface on join");
+            assert_eq!(wa.join().unwrap(), ServeOutcome::Cancelled);
+            assert_eq!(wb.join().unwrap(), ServeOutcome::Cancelled);
+        });
+        // The pre-crash fulfillment is final: the unwind never
+        // downgrades an already-resolved ticket.
+        assert_eq!(done_ticket.completion_index(), Some(0));
+        assert!(done_ticket.wait().is_done());
+    });
+    assert!(report.exhausted, "bounded-exhaustive at 3 preemptions");
+}
+
+/// Invariant 6, end-to-end mini-model: a producer, a draining worker,
+/// and a racing shutdown. Every ticket ever issued resolves exactly
+/// once — `Done` iff its push was admitted before the close, `Cancelled`
+/// (via slot drop) iff the close won.
+#[test]
+fn shutdown_leaves_no_ticket_behind() {
+    let report = Chaos::new("no_ticket_left_behind")
+        .preemptions(2)
+        .check(|| {
+            let queue = RequestQueue::new(4);
+            let (t1, s1) = Ticket::pending();
+            let (t2, s2) = Ticket::pending();
+            let (accepted1, accepted2) = chaos::scope(|s| {
+                let q = &queue;
+                let producer = s.spawn(move || {
+                    // A rejected push hands the slot back in the error;
+                    // dropping it there resolves the ticket Cancelled.
+                    let a1 = q.try_push(s1, Priority::Interactive).is_ok();
+                    let a2 = q.try_push(s2, Priority::Interactive).is_ok();
+                    (a1, a2)
+                });
+                s.spawn(|| queue.close());
+                // The worker drains until shutdown: every admitted slot
+                // is fulfilled `Done`, then `None` ends the loop.
+                while let Some((slot, _)) = queue.pop_blocking() {
+                    slot.fulfill(ServeOutcome::Done(Vec::new()), None);
+                }
+                producer.join().unwrap()
+            });
+            for (ticket, accepted) in [(t1, accepted1), (t2, accepted2)] {
+                let outcome = ticket.wait();
+                if accepted {
+                    assert!(outcome.is_done(), "an admitted request was dropped");
+                } else {
+                    assert_eq!(outcome, ServeOutcome::Cancelled);
+                }
+            }
+        });
+    assert!(report.exhausted, "bounded-exhaustive at 2 preemptions");
+}
+
+/// Epoch coherence: two synopsis handles observing the same new epoch
+/// race their `sync_epoch` calls. The generation bump must clear the
+/// stale entries exactly once — a second clear would drop entries
+/// already recomputed against the *new* epoch.
+#[test]
+fn racing_epoch_syncs_clear_exactly_once() {
+    let report = Chaos::new("epoch_bump_vs_insert").check(|| {
+        let cache = Arc::new(QueryCache::new(4));
+        let stale = key(0.0, 1.0);
+        let fresh = key(2.0, 3.0);
+        cache.insert_keyed(stale.clone(), Ok(Estimate::exact(1.0)));
+        chaos::scope(|s| {
+            let c1 = Arc::clone(&cache);
+            let c2 = Arc::clone(&cache);
+            let fresh_key = fresh.clone();
+            s.spawn(move || {
+                // Handle 1 observes epoch 7, clears, and stores a result
+                // computed against the new generation.
+                c1.sync_epoch(7);
+                c1.insert_keyed(fresh_key, Ok(Estimate::exact(2.0)));
+            });
+            s.spawn(move || c2.sync_epoch(7));
+        });
+        assert!(
+            cache.get_keyed(&stale).is_none(),
+            "pre-bump entry must not survive the epoch change"
+        );
+        assert!(
+            cache.get_keyed(&fresh).is_some(),
+            "a racing second sync cleared the new generation's entry"
+        );
+    });
+    assert!(report.exhausted);
+}

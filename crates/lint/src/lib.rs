@@ -1,0 +1,958 @@
+//! Source-level static-analysis pass for the PASS workspace.
+//!
+//! This crate is a dependency-free lint harness that runs as a normal
+//! `cargo test -p pass-lint` target (and as a CI job). It walks the
+//! workspace's library sources and enforces the concurrency and
+//! robustness rules that `rustc` and `clippy` cannot express for us:
+//!
+//! 1. **No panic paths in serving-tier library code** — no `.unwrap()`,
+//!    `.expect("…")`, `panic!`, `unreachable!`, `todo!`, or
+//!    `unimplemented!` outside `#[cfg(test)]` code in `crates/common`
+//!    and the root crate. A serving worker that panics takes its
+//!    in-flight tickets down with it; errors must flow through
+//!    `PassError`. (`chaos.rs`/`chaos/imp.rs` are exempt by design: the
+//!    model checker *reports failures by panicking* with a replayable
+//!    seed — that is its contract, not an accident.)
+//! 2. **Shimmed modules use the shims** — the four model-checked
+//!    modules (`queue.rs`, `ticket.rs`, `cache.rs`, `pool.rs`) must not
+//!    reach around `pass_common::chaos` to `std::sync::Mutex`,
+//!    `std::sync::Condvar`, `std::sync::atomic`, or
+//!    `std::thread::scope`; a direct std primitive would be invisible
+//!    to the model checker. (`std::sync::Arc` stays allowed — the model
+//!    does not need to interpose on reference counting.)
+//! 3. **Every `Ordering::Relaxed` is justified** — a `// relaxed:`
+//!    comment on the same line, on a comment line above, or covering a
+//!    consecutive run of relaxed operations. Relaxed is the right
+//!    choice for advisory counters and nothing else; the justification
+//!    keeps each use auditable.
+//! 4. **Lock-ordering discipline** — locks are ranked by the declared
+//!    table in [`LOCK_ORDER`] (`queue` < `ticket` < `cache`) and may
+//!    only be acquired in ascending rank while another is held. In
+//!    particular the queue lock is never acquired while a cache lock is
+//!    held: a worker holding the cache while parking on the queue's
+//!    condvar would stall every cache reader behind a scheduler
+//!    decision.
+//! 5. **Clock reads are confined** — `Instant::now` / `SystemTime`
+//!    appear only in the declared timing modules ([`TIME_ALLOWED`]):
+//!    deadline stamping, build timing, latency measurement, and the
+//!    bench harness. Everything else must take timestamps as inputs,
+//!    which is what keeps the rest of the workspace deterministic and
+//!    model-checkable.
+//!
+//! The analysis is deliberately *lexical*: sources are stripped of
+//! comments and string contents, `#[cfg(test)]` regions are tracked by
+//! brace depth, and the rules match declared patterns. That makes the
+//! pass trivially auditable and fast, at the cost of depending on the
+//! workspace's idioms (named guard bindings, one statement per
+//! acquisition). Rules are scoped by the tables below rather than
+//! allow-listing individual violations — the workspace lints clean.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The declared lock ranking: while holding a lock of some rank, only
+/// strictly higher ranks may be acquired. Rank 0 first.
+pub const LOCK_ORDER: &[&str] = &["queue", "ticket", "cache"];
+
+/// Files (workspace-relative) allowed to read wall clocks.
+pub const TIME_ALLOWED: &[&str] = &[
+    // Deadline stamping + latency measurement at the serving edge.
+    "src/serve.rs",
+    // Engine build timing for session stats.
+    "src/session.rs",
+    // Ticket wait timeouts are measured against a deadline.
+    "crates/common/src/ticket.rs",
+    // The time-budget policy module is *about* clocks.
+    "crates/core/src/budget.rs",
+    // Measurement harnesses.
+    "crates/workload/src/runner.rs",
+    "crates/bench/src/lib.rs",
+];
+
+/// The four model-checked modules that must route all synchronization
+/// through `pass_common::chaos`.
+pub const SHIMMED: &[&str] = &[
+    "crates/common/src/queue.rs",
+    "crates/common/src/ticket.rs",
+    "crates/common/src/cache.rs",
+    "crates/common/src/pool.rs",
+];
+
+/// Files exempt from the no-panic rule: the model checker's failure
+/// channel *is* a panic carrying the replayable seed.
+pub const PANIC_EXEMPT: &[&str] = &[
+    "crates/common/src/chaos.rs",
+    "crates/common/src/chaos/imp.rs",
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (short slug).
+    pub rule: &'static str,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One physical source line after stripping: `code` keeps everything
+/// outside comments with string *contents* blanked (delimiters stay, so
+/// `.expect("` remains matchable); `comment` holds the comment text;
+/// `in_test` marks `#[cfg(test)]` / `#[test]` regions.
+#[derive(Debug, Default, Clone)]
+struct Line {
+    code: String,
+    comment: String,
+    in_test: bool,
+}
+
+/// Strip comments and string contents from `source`, one entry per
+/// physical line.
+fn strip(source: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        Block(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut state = State::Code;
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: r"…", r#"…"#, br#"…"# — consumed here so
+                // the Str state never has to reason about escapes in them.
+                if (c == 'r' || (c == 'b' && next == Some('r')))
+                    && !cur
+                        .code
+                        .ends_with(|p: char| p.is_alphanumeric() || p == '_')
+                {
+                    let mut j = i + if c == 'b' { 2 } else { 1 };
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        cur.code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                // Char/byte literals vs lifetimes: consume '…' only when
+                // it closes within a couple of characters.
+                if c == '\'' {
+                    let close = if next == Some('\\') { 3 } else { 2 };
+                    if chars.get(i + close).copied() == Some('\'') {
+                        i += close + 1;
+                        cur.code.push_str("' '");
+                        continue;
+                    }
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += hashes + 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Mark `#[cfg(test)]` / `#[test]` items: from the attribute to the
+/// close of the next brace block opened at or below the attribute's
+/// depth.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    // Depth at which the current test region's block opened.
+    let mut region: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if region.is_none()
+            && (code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(all(test")
+                || code.contains("#[test]"))
+        {
+            pending = true;
+        }
+        line.in_test = pending || region.is_some();
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        region = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region == Some(depth) {
+                        region = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A stripped source file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Strip `source` (as the file at workspace-relative path `rel`).
+    pub fn parse(rel: &str, source: &str) -> Self {
+        let mut lines = strip(source);
+        mark_test_regions(&mut lines);
+        Self {
+            rel: rel.to_string(),
+            lines,
+        }
+    }
+
+    fn push(&self, out: &mut Vec<Violation>, idx: usize, rule: &'static str, message: String) {
+        out.push(Violation {
+            file: self.rel.clone(),
+            line: idx + 1,
+            rule,
+            message,
+        });
+    }
+}
+
+fn in_scope(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// Rule 1: no panic paths in non-test serving-tier library code.
+pub fn check_no_panic(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !in_scope(&file.rel, &["crates/common/src/", "src/"])
+        || PANIC_EXEMPT.contains(&file.rel.as_str())
+    {
+        return;
+    }
+    const PATTERNS: &[(&str, &str)] = &[
+        (".unwrap()", "use `?`, `unwrap_or*`, or restructure"),
+        (".expect(\"", "return a `PassError` instead of panicking"),
+        ("panic!(", "serving workers must not panic; return an error"),
+        (
+            "unreachable!(",
+            "make the state unrepresentable or return an error",
+        ),
+        ("todo!(", "no placeholders in library code"),
+        ("unimplemented!(", "no placeholders in library code"),
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (pat, fix) in PATTERNS {
+            if line.code.contains(pat) {
+                file.push(
+                    out,
+                    i,
+                    "no-panic",
+                    format!("`{pat}` in library code: {fix}"),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 2: the model-checked modules must use the `chaos` shims, not
+/// raw std synchronization.
+pub fn check_shim_imports(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !SHIMMED.contains(&file.rel.as_str()) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for hit in ["std::sync::", "std::thread::scope"] {
+            let Some(pos) = line.code.find(hit) else {
+                continue;
+            };
+            let rest = &line.code[pos + hit.len()..];
+            // `std::sync::Arc` (and `Arc` inside a brace import without
+            // forbidden siblings) stays allowed.
+            if hit == "std::sync::" {
+                let forbidden = ["Mutex", "Condvar", "atomic", "RwLock", "mpsc", "Barrier"];
+                let named = if let Some(inner) = rest.strip_prefix('{') {
+                    forbidden.iter().any(|f| inner.contains(f))
+                } else {
+                    forbidden.iter().any(|f| rest.starts_with(f))
+                };
+                if !named {
+                    continue;
+                }
+            }
+            file.push(
+                out,
+                i,
+                "use-shims",
+                format!(
+                    "`{hit}…` bypasses `crate::chaos` — the model checker cannot \
+                     see raw std primitives in a shimmed module"
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 3: every `Ordering::Relaxed` carries a `// relaxed:`
+/// justification — same line, a comment line above, or one comment
+/// covering a consecutive run of relaxed operations (multi-line call
+/// chains count as part of the run).
+pub fn check_relaxed_justified(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !in_scope(&file.rel, &["crates/common/src/", "src/"]) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || !line.code.contains("Ordering::Relaxed") {
+            continue;
+        }
+        if line.comment.contains("relaxed:") {
+            continue;
+        }
+        let mut justified = false;
+        for prev in file.lines[..i].iter().rev() {
+            let code = prev.code.trim();
+            if code.is_empty() {
+                // Pure comment (or blank) line: the justification spot.
+                if prev.comment.contains("relaxed:") {
+                    justified = true;
+                    break;
+                }
+                if prev.comment.trim().is_empty() {
+                    break; // blank line ends the run
+                }
+                continue;
+            }
+            // Skip through the current run: earlier relaxed operations
+            // and unterminated fragments of a multi-line call chain.
+            if code.contains("Ordering::Relaxed") || !code.contains(';') {
+                if prev.comment.contains("relaxed:") {
+                    justified = true;
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if !justified {
+            file.push(
+                out,
+                i,
+                "relaxed-justified",
+                "`Ordering::Relaxed` without a `// relaxed:` justification comment".to_string(),
+            );
+        }
+    }
+}
+
+/// How a lock of some rank can be recognized in source.
+struct LockPattern {
+    /// Restrict to one file (workspace-relative), or `None` for all.
+    file: Option<&'static str>,
+    /// Substring that marks an acquisition when found in a code line.
+    pattern: &'static str,
+    /// The receiver text must also contain this hint (cuts false
+    /// positives on generic method names).
+    receiver_hint: &'static str,
+    /// Index into [`LOCK_ORDER`].
+    rank: usize,
+    /// Whether a `let` binding of this acquisition keeps the lock held
+    /// (true only for direct `.lock()` calls — entry-point methods
+    /// release internally and return plain data).
+    binds_guard: bool,
+}
+
+const LOCK_PATTERNS: &[LockPattern] = &[
+    // Direct acquisitions inside the owning modules.
+    LockPattern {
+        file: Some("crates/common/src/queue.rs"),
+        pattern: "self.inner.lock()",
+        receiver_hint: "",
+        rank: 0,
+        binds_guard: true,
+    },
+    LockPattern {
+        file: Some("crates/common/src/ticket.rs"),
+        pattern: ".state.lock()",
+        receiver_hint: "",
+        rank: 1,
+        binds_guard: true,
+    },
+    LockPattern {
+        file: Some("crates/common/src/cache.rs"),
+        pattern: "self.inner.lock()",
+        receiver_hint: "",
+        rank: 2,
+        binds_guard: true,
+    },
+    // Cross-module entry points that take the queue lock.
+    LockPattern {
+        file: None,
+        pattern: ".pop_blocking(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".try_push(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".try_push_scheduled(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".try_push_or_merge(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".drain_class_where(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".set_paused(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".close(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".high_water(",
+        receiver_hint: "queue",
+        rank: 0,
+        binds_guard: false,
+    },
+    // Entry points that take a ticket's state lock.
+    LockPattern {
+        file: None,
+        pattern: ".fulfill(",
+        receiver_hint: "slot",
+        rank: 1,
+        binds_guard: false,
+    },
+    // Entry points that take the cache lock.
+    LockPattern {
+        file: None,
+        pattern: ".get_keyed(",
+        receiver_hint: "cache",
+        rank: 2,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".get_many_keyed(",
+        receiver_hint: "cache",
+        rank: 2,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".insert_keyed(",
+        receiver_hint: "cache",
+        rank: 2,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".insert_many_keyed(",
+        receiver_hint: "cache",
+        rank: 2,
+        binds_guard: false,
+    },
+    LockPattern {
+        file: None,
+        pattern: ".sync_epoch(",
+        receiver_hint: "cache",
+        rank: 2,
+        binds_guard: false,
+    },
+];
+
+/// Files the lock-order rule watches (the serving tier).
+const LOCK_ORDER_SCOPE: &[&str] = &[
+    "crates/common/src/queue.rs",
+    "crates/common/src/ticket.rs",
+    "crates/common/src/cache.rs",
+    "crates/common/src/pool.rs",
+    "src/serve.rs",
+    "src/session.rs",
+];
+
+fn lock_hits(file: &SourceFile, code: &str) -> Vec<(usize, &'static str, bool)> {
+    let mut hits = Vec::new();
+    for lp in LOCK_PATTERNS {
+        if let Some(f) = lp.file {
+            if f != file.rel {
+                continue;
+            }
+        }
+        let Some(pos) = code.find(lp.pattern) else {
+            continue;
+        };
+        if !code[..pos].contains(lp.receiver_hint) {
+            continue;
+        }
+        hits.push((lp.rank, lp.pattern, lp.binds_guard));
+    }
+    hits
+}
+
+/// Rule 4: within a function, while a guard bound from a lock of rank
+/// `r` is live, only locks of strictly higher rank may be acquired.
+/// Guard liveness is lexical: from its `let` binding to the close of
+/// the enclosing block or an explicit `drop(guard)`.
+pub fn check_lock_order(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !LOCK_ORDER_SCOPE.contains(&file.rel.as_str()) {
+        return;
+    }
+    // Live guards: (binding name, rank, depth the binding lives at).
+    let mut guards: Vec<(String, usize, i64)> = Vec::new();
+    let mut depth: i64 = 0;
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            for c in line.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            guards.retain(|&(_, _, d)| d <= depth);
+            continue;
+        }
+        let code = line.code.trim().to_string();
+        let hits = lock_hits(file, &code);
+        if let Some(&(rank, pattern, binds_guard)) = hits.first() {
+            if let Some(&(ref held, held_rank, _)) =
+                guards.iter().find(|&&(_, held_rank, _)| rank <= held_rank)
+            {
+                file.push(
+                    out,
+                    i,
+                    "lock-order",
+                    format!(
+                        "acquiring `{}` lock (via `{pattern}`) while holding `{held}` \
+                         (`{}` lock) violates the declared order {:?}",
+                        LOCK_ORDER[rank], LOCK_ORDER[held_rank], LOCK_ORDER
+                    ),
+                );
+            }
+            // A `let`-bound guard stays live; a temporary (or an
+            // entry-point method that releases internally) needs no
+            // tracking.
+            if binds_guard {
+                if let Some(rest) = code.strip_prefix("let ") {
+                    let name: String = rest
+                        .trim_start_matches("mut ")
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        guards.push((name, rank, depth));
+                    }
+                }
+            }
+        }
+        // Explicit early release.
+        guards.retain(|(name, _, _)| !code.contains(&format!("drop({name})")));
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        guards.retain(|&(_, _, d)| d <= depth);
+    }
+}
+
+/// Rule 5: wall-clock reads only in the declared timing modules.
+pub fn check_time_confined(file: &SourceFile, out: &mut Vec<Violation>) {
+    if TIME_ALLOWED.contains(&file.rel.as_str()) || file.rel.starts_with("crates/lint/") {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime"] {
+            if line.code.contains(pat) {
+                file.push(
+                    out,
+                    i,
+                    "time-confined",
+                    format!(
+                        "`{pat}` outside the declared timing modules — take timestamps \
+                         as inputs so the logic stays deterministic and model-checkable"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Run every rule over one parsed file.
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_no_panic(file, &mut out);
+    check_shim_imports(file, &mut out);
+    check_relaxed_justified(file, &mut out);
+    check_lock_order(file, &mut out);
+    check_time_confined(file, &mut out);
+    out
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Walk the workspace's library sources (`crates/*/src` and `src/`,
+/// vendored stubs excluded) and run every rule. Returns all violations,
+/// sorted by file and line.
+pub fn run_workspace() -> Vec<Violation> {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for entry in crates.flatten() {
+            collect_rs(&entry.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.extend(check_file(&SourceFile::parse(&rel, &source)));
+    }
+    out
+}
+
+/// Render violations one per line for assertion messages.
+pub fn render(violations: &[Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, src)
+    }
+
+    #[test]
+    fn stripper_removes_comments_and_string_contents() {
+        let f = file(
+            "src/x.rs",
+            "let a = \"panic!(\"; // panic!(\nlet b = 1; /* .unwrap() */\n",
+        );
+        assert!(f.lines[0].code.contains("let a = \"\";"));
+        assert!(f.lines[0].comment.contains("panic!("));
+        assert!(!f.lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn stripper_keeps_expect_matchable_and_skips_lifetimes() {
+        let f = file(
+            "src/x.rs",
+            "fn g<'a>(x: &'a str) { x.expect(\"boom\"); let c = 'x'; }\n",
+        );
+        assert!(f.lines[0].code.contains(".expect(\""));
+        assert!(f.lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib2() { z.unwrap(); }\n";
+        let f = file("src/x.rs", src);
+        let mut out = Vec::new();
+        check_no_panic(&f, &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 6], "only non-test unwraps flagged: {out:?}");
+    }
+
+    #[test]
+    fn no_panic_rule_catches_each_pattern() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); unreachable!(); }\n";
+        let mut out = Vec::new();
+        check_no_panic(&file("crates/common/src/queue.rs", src), &mut out);
+        assert_eq!(out.len(), 4);
+        // Out of scope: other crates have their own idioms.
+        out.clear();
+        check_no_panic(&file("crates/core/src/mcf.rs", src), &mut out);
+        assert!(out.is_empty());
+        // Exempt: the model checker fails by panicking, by design.
+        out.clear();
+        check_no_panic(&file("crates/common/src/chaos.rs", src), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn expect_method_definitions_are_not_flagged() {
+        let src = "fn f(&mut self) { self.expect(b'[')?; }\n";
+        let mut out = Vec::new();
+        check_no_panic(&file("crates/common/src/json.rs", src), &mut out);
+        assert!(out.is_empty(), "byte-arg expect is not Option::expect");
+    }
+
+    #[test]
+    fn shim_rule_flags_raw_std_sync_but_allows_arc() {
+        let src = "use std::sync::{Arc, Mutex};\nuse std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\nstd::thread::scope(|s| {});\n";
+        let mut out = Vec::new();
+        check_shim_imports(&file("crates/common/src/queue.rs", src), &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 3, 4], "{out:?}");
+        // Not a shimmed module: free to use std.
+        out.clear();
+        check_shim_imports(&file("crates/common/src/histogram.rs", src), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn relaxed_rule_accepts_same_line_above_and_runs() {
+        let src = "\
+a.load(Ordering::Relaxed); // relaxed: fine
+// relaxed: covers the run below
+b.fetch_add(1, Ordering::Relaxed);
+c.fetch_add(1, Ordering::Relaxed);
+let other = 1;
+d.load(Ordering::Relaxed);
+";
+        let mut out = Vec::new();
+        check_relaxed_justified(&file("src/serve.rs", src), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 6, "a statement ends the covered run");
+    }
+
+    #[test]
+    fn relaxed_rule_sees_through_multiline_chains() {
+        let src = "\
+// relaxed: counter
+x.y
+    .z
+    .fetch_add(1, Ordering::Relaxed);
+";
+        let mut out = Vec::new();
+        check_relaxed_justified(&file("src/serve.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_order_flags_queue_acquisition_under_cache_lock() {
+        let src = "\
+fn bad(&self) {
+    let inner = self.inner.lock();
+    self.queue.try_push(1, p);
+}
+";
+        let mut out = Vec::new();
+        check_lock_order(&file("crates/common/src/cache.rs", src), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("queue"));
+        assert!(out[0].message.contains("cache"));
+    }
+
+    #[test]
+    fn lock_order_allows_disjoint_and_released_guards() {
+        let src = "\
+fn ok(&self) {
+    {
+        let inner = self.inner.lock();
+    }
+    self.queue.try_push(1, p);
+}
+fn ok2(&self) {
+    let inner = self.inner.lock();
+    drop(inner);
+    self.queue.pop_blocking();
+}
+";
+        let mut out = Vec::new();
+        check_lock_order(&file("crates/common/src/cache.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_order_allows_ascending_acquisition() {
+        let src = "\
+fn ok(&self) {
+    let g = self.inner.lock();
+    self.cache.sync_epoch(7);
+}
+";
+        let mut out = Vec::new();
+        check_lock_order(&file("crates/common/src/queue.rs", src), &mut out);
+        assert!(
+            out.is_empty(),
+            "queue -> cache is the declared order: {out:?}"
+        );
+    }
+
+    #[test]
+    fn time_rule_confines_clock_reads() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let mut out = Vec::new();
+        check_time_confined(&file("crates/common/src/queue.rs", src), &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        check_time_confined(&file("src/serve.rs", src), &mut out);
+        assert!(out.is_empty(), "serve.rs is a declared timing module");
+    }
+
+    #[test]
+    fn workspace_root_points_at_the_repo() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+}

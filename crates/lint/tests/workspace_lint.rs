@@ -1,0 +1,68 @@
+//! The workspace lint pass, run as a normal test target (and CI job).
+//!
+//! Each test runs one rule over the real workspace sources and fails
+//! with the full violation list. The rules land green — violations are
+//! fixed at the source, never allow-listed here.
+
+use pass_lint::{render, run_workspace, Violation};
+
+fn of_rule(rule: &str) -> Vec<Violation> {
+    run_workspace()
+        .into_iter()
+        .filter(|v| v.rule == rule)
+        .collect()
+}
+
+fn assert_clean(rule: &str) {
+    let violations = of_rule(rule);
+    assert!(
+        violations.is_empty(),
+        "[{rule}] {} violation(s):\n{}",
+        violations.len(),
+        render(&violations)
+    );
+}
+
+#[test]
+fn no_panic_paths_in_serving_tier_library_code() {
+    assert_clean("no-panic");
+}
+
+#[test]
+fn shimmed_modules_never_bypass_the_chaos_shims() {
+    assert_clean("use-shims");
+}
+
+#[test]
+fn every_relaxed_ordering_is_justified() {
+    assert_clean("relaxed-justified");
+}
+
+#[test]
+fn lock_acquisition_follows_the_declared_order() {
+    assert_clean("lock-order");
+}
+
+#[test]
+fn clock_reads_stay_in_the_declared_timing_modules() {
+    assert_clean("time-confined");
+}
+
+#[test]
+fn the_walk_actually_covers_the_serving_tier() {
+    // Guard against a silent no-op pass: the walker must have parsed
+    // the files the rules are scoped to.
+    let root = pass_lint::workspace_root();
+    for rel in pass_lint::SHIMMED {
+        assert!(
+            root.join(rel).is_file(),
+            "lint scope lists a missing file: {rel}"
+        );
+    }
+    for rel in pass_lint::TIME_ALLOWED {
+        assert!(
+            root.join(rel).is_file(),
+            "time allowlist lists a missing file: {rel}"
+        );
+    }
+}

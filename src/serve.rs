@@ -456,6 +456,8 @@ impl ServeShared {
                 .into_iter()
                 .partition(|w| matches!(w.deadline, Some(d) if d <= now));
             for waiter in stale {
+                // relaxed: observability counters — monotonic, never
+                // synchronize other memory (here and below).
                 self.expired.fetch_add(1, Ordering::Relaxed);
                 state.expired.fetch_add(1, Ordering::Relaxed);
                 waiter.slot.fulfill(ServeOutcome::Expired, None);
@@ -475,6 +477,7 @@ impl ServeShared {
         let results = state
             .handle
             .estimate_many_parallel(&queries, &self.batch_pool);
+        // relaxed: observability counters, as above.
         self.batches.fetch_add(1, Ordering::Relaxed);
         state.batches.fetch_add(1, Ordering::Relaxed);
         debug_assert_eq!(results.len(), queries.len());
@@ -482,7 +485,12 @@ impl ServeShared {
         for req in live {
             let slice: Vec<_> = results.by_ref().take(req.queries.len()).collect();
             let mut waiters = req.waiters;
-            let last = waiters.pop().expect("at least one live waiter");
+            let Some(last) = waiters.pop() else {
+                // Unreachable by construction (every request carries at
+                // least its own waiter); skipping keeps the results
+                // iterator aligned for the rest of the batch.
+                continue;
+            };
             for waiter in waiters {
                 self.fulfill_done(state, waiter, ServeOutcome::Done(slice.clone()));
             }
@@ -492,9 +500,13 @@ impl ServeShared {
 
     /// Resolve one completed waiter: stamp, record latency, count.
     fn fulfill_done(&self, state: &EngineState, waiter: Waiter, outcome: ServeOutcome) {
+        // relaxed: the stamp only needs uniqueness + atomicity; clients
+        // compare stamps they obtained through their own tickets, whose
+        // mutex already orders the handoff.
         let seq = self.completion_seq.fetch_add(1, Ordering::Relaxed);
         let waited_us = waiter.submitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.latency.record(waited_us);
+        // relaxed: observability counters.
         self.completed.fetch_add(1, Ordering::Relaxed);
         state.completed.fetch_add(1, Ordering::Relaxed);
         waiter.slot.fulfill(outcome, Some(seq));
@@ -525,7 +537,9 @@ impl Serve {
     /// Start a serving front-end over one `handle` (workers spawn
     /// immediately; parked first if [`ServeConfig::start_paused`]).
     pub fn new(handle: SessionHandle, config: ServeConfig) -> Self {
-        Self::new_multi(vec![handle], config).expect("one handle is always a valid route set")
+        // One handle is trivially a valid route set (non-empty, no
+        // duplicate names), so this takes the infallible path directly.
+        Self::start(vec![handle], config)
     }
 
     /// Start a routed serving front-end over several handles sharing
@@ -549,6 +563,12 @@ impl Serve {
                 ));
             }
         }
+        Ok(Self::start(handles, config))
+    }
+
+    /// The one construction path: spin up the shared state and the
+    /// worker pool over an already-validated handle set.
+    fn start(handles: Vec<SessionHandle>, config: ServeConfig) -> Self {
         let shared = Arc::new(ServeShared {
             engines: handles
                 .into_iter()
@@ -581,11 +601,11 @@ impl Serve {
                 std::thread::spawn(move || shared.worker_loop())
             })
             .collect();
-        Ok(Serve {
+        Serve {
             shared,
             default_deadline: config.default_deadline,
             workers,
-        })
+        }
     }
 
     /// The default engine name — the one the route-less `submit*`
@@ -779,6 +799,8 @@ impl Serve {
         // in the queue a worker may pop, execute, and bump `completed`,
         // and a mid-run stats() observer must never see
         // completed > accepted. Failed pushes undo the claim.
+        // relaxed: observability counter; the ordering argument above
+        // is about program order on this thread, not memory ordering.
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
         let pushed = if self.shared.dedup {
             self.shared.queue.try_push_or_merge(
@@ -808,6 +830,8 @@ impl Serve {
         match pushed {
             Ok(attached) => {
                 if attached {
+                    // relaxed: observability counters (here and in the
+                    // rejection arms below).
                     self.shared.deduped.fetch_add(1, Ordering::Relaxed);
                     self.shared.engines[engine]
                         .deduped
@@ -816,6 +840,7 @@ impl Serve {
                 ticket
             }
             Err((PushError::Full, request)) => {
+                // relaxed: observability counters.
                 self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 self.shared.engines[engine]
@@ -825,6 +850,7 @@ impl Serve {
                 ticket
             }
             Err((PushError::Closed, request)) => {
+                // relaxed: observability counter.
                 self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
                 Self::resolve_unqueued(request, ServeOutcome::Cancelled);
                 ticket
@@ -862,6 +888,8 @@ impl Serve {
     /// latency percentiles, and the per-engine breakdown.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
+            // relaxed: advisory snapshot — stats() promises monotonic
+            // counters, not a cross-counter-consistent cut.
             accepted: self.shared.accepted.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             expired: self.shared.expired.load(Ordering::Relaxed),
@@ -878,6 +906,7 @@ impl Serve {
                 .iter()
                 .map(|e| EngineServeStats {
                     engine: e.handle.name().to_string(),
+                    // relaxed: advisory snapshot, as above.
                     completed: e.completed.load(Ordering::Relaxed),
                     rejected: e.rejected.load(Ordering::Relaxed),
                     expired: e.expired.load(Ordering::Relaxed),

@@ -39,8 +39,9 @@ use std::sync::Arc;
 
 use pass_common::rng::derive_seed;
 use pass_common::{
-    EngineSpec, Estimate, PartialEstimate, PassError, Query, Result, ShardPlan, Synopsis,
-    ThreadPool, PARALLEL_MIN_BATCH,
+    apply_group_availability, AggKind, EngineSpec, Estimate, GroupByQuery, GroupBySnapshot,
+    GroupResult, PartialEstimate, PassError, Query, Result, ShardPlan, Synopsis, ThreadPool,
+    LAMBDA_99, PARALLEL_MIN_BATCH,
 };
 use pass_table::Table;
 
@@ -123,8 +124,10 @@ impl ShardedSynopsis {
         &self.plan
     }
 
-    /// Collect one partial per shard for `query` via `partial_of`,
-    /// applying the availability rule (see module docs), then merge.
+    /// Collect one partial per shard for `query` via `partial_of`, then
+    /// reduce through [`PartialEstimate::merge_available`] — the shared
+    /// availability-rule merge the group-by and progressive paths also
+    /// use, which is what keeps them bit-identical to this one.
     ///
     /// A shard that cannot match any tuple (`PassError::EmptyInput`)
     /// contributes a zero partial for additive aggregates — but only
@@ -140,37 +143,18 @@ impl ShardedSynopsis {
         mut partial_of: impl FnMut(usize) -> Result<PartialEstimate>,
     ) -> Result<Estimate> {
         let mut parts = Vec::with_capacity(self.shards.len());
-        let mut silent_shards = 0usize;
-        let mut first_err: Option<PassError> = None;
         for i in 0..self.shards.len() {
-            match partial_of(i) {
-                Ok(part) => parts.push(part),
-                Err(err @ PassError::EmptyInput(_)) => {
-                    silent_shards += 1;
-                    first_err.get_or_insert(err);
+            let part = partial_of(i);
+            if let Err(err) = &part {
+                if !matches!(err, PassError::EmptyInput(_)) {
+                    // Hard (non-availability) errors abort immediately,
+                    // without touching the remaining shards.
+                    return Err(err.clone());
                 }
-                Err(err) => return Err(err),
             }
+            parts.push(part);
         }
-        if parts.is_empty() {
-            return Err(
-                first_err.unwrap_or(PassError::EmptyInput("no shard could answer the query"))
-            );
-        }
-        if query.agg.is_additive() {
-            parts.extend((0..silent_shards).map(|_| PartialEstimate::empty(query.agg)));
-        }
-        let mut est = PartialEstimate::merge(&parts)?;
-        if silent_shards > 0 && !query.agg.is_additive() {
-            // A skipped silent shard may hold unsampled matching rows, so
-            // deterministic bounds and exactness claims from the answering
-            // shards alone no longer hold for the whole table. (Additive
-            // merges get this for free: their zero partials carry no
-            // bounds and no exactness, poisoning the merge.)
-            est.hard_bounds = None;
-            est.exact = false;
-        }
-        Ok(est)
+        PartialEstimate::merge_available(query.agg, &parts)
     }
 
     /// Merge per-shard answers to the expanded batch back into one result
@@ -241,6 +225,147 @@ impl ShardedSynopsis {
         } else {
             queries.to_vec()
         }
+    }
+
+    /// One shard's partials for every category of `query`: the shard
+    /// answers the whole expanded batch through its own `estimate_many`
+    /// (keeping the inner engine's batched-traversal win across the
+    /// groups), then the answers assemble per category. Both the plain
+    /// and the progressive group-by paths build their per-shard column
+    /// through this one helper, which is what makes the progressive
+    /// final snapshot bit-identical to
+    /// [`estimate_group_by`](Synopsis::estimate_group_by).
+    fn group_partials_for_shard(
+        &self,
+        shard: usize,
+        query: &GroupByQuery,
+        expanded: &[Query],
+    ) -> Vec<Result<PartialEstimate>> {
+        let width = PartialEstimate::merge_width(query.agg);
+        let answers = self.shards[shard].estimate_many(expanded);
+        query
+            .categories
+            .iter()
+            .enumerate()
+            .map(|(c, &key)| {
+                PartialEstimate::assemble_merge(
+                    &query.query_for(key),
+                    answers[c * width..(c + 1) * width].iter().cloned(),
+                )
+            })
+            .collect()
+    }
+
+    /// The merged row for one category given its per-shard partials
+    /// (columns of [`group_partials_for_shard`](Self::group_partials_for_shard)):
+    /// the shared availability merge plus the group availability rule.
+    fn merge_group_row(agg: AggKind, key: f64, parts: &[Result<PartialEstimate>]) -> GroupResult {
+        GroupResult {
+            key,
+            estimate: apply_group_availability(PartialEstimate::merge_available(agg, parts)),
+        }
+    }
+}
+
+/// The extrapolated intermediate estimate for one group after merging
+/// `merged` of `total` shards — the online-aggregation view published in
+/// non-final [`GroupBySnapshot`]s.
+///
+/// The point estimate assumes the remaining shards look like the merged
+/// prefix (row-range shards of one logical table): additive aggregates
+/// scale by `total / merged`, AVG keeps the prefix ratio. The CI is the
+/// scaled prefix CI **plus an inter-shard dispersion margin**
+///
+/// ```text
+/// λ₉₉ · (total − merged) · spread · √(1/merged + 1/(total − merged)) · √(merged/(merged − 1))
+/// ```
+///
+/// where `spread` is the largest deviation of a per-shard value from
+/// the prefix mean (floored at a tenth of the mean's magnitude, and at
+/// the lone shard's own magnitude when `merged == 1`, where the
+/// small-sample factor is dropped). The two √ factors are the
+/// homogeneous-shard error model taken seriously: the extrapolation
+/// error is `remaining · (mean_unseen − mean_prefix)`, whose deviation
+/// scales with `√(1/merged + 1/remaining)`, and a max-deviation spread
+/// over `merged` values needs the `√(merged/(merged−1))` small-sample
+/// inflation to be a conservative scale proxy. The margin shrinks as
+/// shards merge and vanishes at the final snapshot, which is what makes
+/// widths non-increasing in practice; it is a *statistical* interval
+/// under the homogeneous-shard assumption, so intermediates never claim
+/// hard bounds or exactness — the final snapshot's estimate is
+/// authoritative.
+///
+/// A prefix with no answering shard yet propagates its availability
+/// error (the group's width is infinite until some shard answers).
+fn extrapolate_group(
+    agg: AggKind,
+    parts: &[Result<PartialEstimate>],
+    merged: usize,
+    total: usize,
+) -> Result<Estimate> {
+    debug_assert!(0 < merged && merged < total);
+    let prefix = apply_group_availability(PartialEstimate::merge_available(agg, parts))?;
+    let k = merged as f64;
+    let remaining = (total - merged) as f64;
+    let spread_of = |values: &[f64]| -> f64 {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let dev = if values.len() == 1 {
+            values[0].abs()
+        } else {
+            values.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max)
+        };
+        dev.max(0.1 * mean.abs())
+    };
+    // The doc-comment margin: a lone merged shard already uses its own
+    // magnitude as the spread, so it skips the (undefined) small-sample
+    // inflation.
+    let small_sample = if merged > 1 {
+        (k / (k - 1.0)).sqrt()
+    } else {
+        1.0
+    };
+    let margin = |spread: f64| {
+        LAMBDA_99 * remaining * spread * (1.0 / k + 1.0 / remaining).sqrt() * small_sample
+    };
+    let (value, ci_half) = match agg {
+        AggKind::Sum | AggKind::Count => {
+            // Silent shards contributed an estimated zero to the prefix,
+            // so they count as zero in the dispersion too.
+            let values: Vec<f64> = parts
+                .iter()
+                .map(|p| p.as_ref().map_or(0.0, |p| p.local.value))
+                .collect();
+            let scale = total as f64 / k;
+            (
+                prefix.value * scale,
+                scale * prefix.ci_half + margin(spread_of(&values)),
+            )
+        }
+        AggKind::Avg => {
+            // The prefix ratio already estimates the global AVG; silent
+            // shards are excluded exactly as the merge excluded them.
+            let values: Vec<f64> = parts
+                .iter()
+                .filter_map(|p| p.as_ref().ok().map(|p| p.local.value))
+                .collect();
+            (prefix.value, prefix.ci_half + margin(spread_of(&values)))
+        }
+        // MIN/MAX never publish intermediates (a prefix extremum has no
+        // sound extrapolation); unreachable by construction, but answer
+        // the prefix conservatively rather than panic.
+        AggKind::Min | AggKind::Max => (prefix.value, prefix.ci_half),
+    };
+    Ok(Estimate::approximate(value, ci_half)
+        .with_accounting(prefix.tuples_processed, prefix.tuples_skipped))
+}
+
+/// A group row's CI half-width for the progressive skip filter: errored
+/// rows are infinitely wide (so an error can refine into an answer but a
+/// published answer can never regress into an error).
+fn row_width(row: &GroupResult) -> f64 {
+    match &row.estimate {
+        Ok(est) => est.ci_half,
+        Err(_) => f64::INFINITY,
     }
 }
 
@@ -325,6 +450,122 @@ impl Synopsis for ShardedSynopsis {
                 .collect()
         };
         self.merge_expanded(queries, &shard_answers)
+    }
+
+    /// Group-by with per-group partial merging: every shard answers the
+    /// expanded per-category batch through its own `estimate_many`, the
+    /// answers assemble into per-shard partials per category, and each
+    /// category reduces through the shared availability merge
+    /// ([`PartialEstimate::merge_available`]) with the group availability
+    /// rule applied on top. A single-shard plan forwards to the lone
+    /// shard verbatim — bit-identical to the unsharded engine, rule
+    /// errors included.
+    fn estimate_group_by(&self, query: &GroupByQuery) -> Result<Vec<GroupResult>> {
+        query.validate(self.dims)?;
+        if !self.multi_shard() {
+            return self.shards[0].estimate_group_by(query);
+        }
+        let expanded: Vec<Query> = query
+            .categories
+            .iter()
+            .flat_map(|&key| PartialEstimate::merge_queries(&query.query_for(key)))
+            .collect();
+        let columns: Vec<Vec<Result<PartialEstimate>>> = (0..self.shards.len())
+            .map(|s| self.group_partials_for_shard(s, query, &expanded))
+            .collect();
+        Ok(query
+            .categories
+            .iter()
+            .enumerate()
+            .map(|(c, &key)| {
+                let parts: Vec<Result<PartialEstimate>> =
+                    columns.iter().map(|col| col[c].clone()).collect();
+                Self::merge_group_row(query.agg, key, &parts)
+            })
+            .collect())
+    }
+
+    /// True online aggregation: shards merge one at a time, and after
+    /// each prefix a refining snapshot is offered to `publish` — the
+    /// extrapolated view of `extrapolate_group` for intermediate
+    /// prefixes, the exact merged answer (bit-identical to
+    /// [`estimate_group_by`](Self::estimate_group_by)) for the final one.
+    ///
+    /// A **skip filter** keeps the published stream monotone: an
+    /// intermediate snapshot is published only if no group's CI widened
+    /// against the last published snapshot (errored groups count as
+    /// infinitely wide). MIN/MAX publish no intermediates at all — a
+    /// prefix extremum has no sound extrapolation. The final snapshot is
+    /// always published. `publish` returning `false` stops the refinement
+    /// early and returns the groups of the snapshot just offered.
+    fn estimate_group_by_progressive(
+        &self,
+        query: &GroupByQuery,
+        publish: &mut dyn FnMut(GroupBySnapshot) -> bool,
+    ) -> Result<Vec<GroupResult>> {
+        query.validate(self.dims)?;
+        if !self.multi_shard() {
+            return self.shards[0].estimate_group_by_progressive(query, publish);
+        }
+        let total = self.shards.len();
+        let expanded: Vec<Query> = query
+            .categories
+            .iter()
+            .flat_map(|&key| PartialEstimate::merge_queries(&query.query_for(key)))
+            .collect();
+        let mut columns: Vec<Vec<Result<PartialEstimate>>> = vec![Vec::new(); query.len()];
+        let mut last_widths: Option<Vec<f64>> = None;
+        for s in 0..total {
+            for (c, part) in self
+                .group_partials_for_shard(s, query, &expanded)
+                .into_iter()
+                .enumerate()
+            {
+                columns[c].push(part);
+            }
+            let merged = s + 1;
+            let is_last = merged == total;
+            if !is_last && matches!(query.agg, AggKind::Min | AggKind::Max) {
+                continue;
+            }
+            let groups: Vec<GroupResult> = query
+                .categories
+                .iter()
+                .enumerate()
+                .map(|(c, &key)| {
+                    if is_last {
+                        Self::merge_group_row(query.agg, key, &columns[c])
+                    } else {
+                        GroupResult {
+                            key,
+                            estimate: extrapolate_group(query.agg, &columns[c], merged, total),
+                        }
+                    }
+                })
+                .collect();
+            let widths: Vec<f64> = groups.iter().map(row_width).collect();
+            if !is_last {
+                if let Some(last) = &last_widths {
+                    let widens = widths.iter().zip(last).any(|(w, l)| w > l);
+                    if widens {
+                        continue;
+                    }
+                }
+            }
+            let keep_going = publish(GroupBySnapshot {
+                shards_merged: merged,
+                shards_total: total,
+                groups: groups.clone(),
+                last: is_last,
+            });
+            last_widths = Some(widths);
+            if is_last || !keep_going {
+                return Ok(groups);
+            }
+        }
+        // The loop always returns at the final shard; an empty shard set
+        // cannot be built (`ShardPlan` guarantees at least one shard).
+        Err(PassError::EmptyInput("no shard could answer the query"))
     }
 
     fn spec(&self) -> EngineSpec {
@@ -493,6 +734,96 @@ mod tests {
             ShardedSynopsis::build(&t, &EngineSpec::uniform(4), &ShardPlan::row_range(8)).unwrap();
         let disjoint = Query::interval(AggKind::Min, 5.0, 6.0);
         assert!(sharded.estimate(&disjoint).is_err());
+    }
+
+    #[test]
+    fn group_by_merges_per_group_with_the_availability_rule() {
+        let answering = || -> Arc<dyn Synopsis> {
+            Arc::new(MockShard(Some(
+                Estimate::approximate(10.0, 3.0).with_hard_bounds(4.0, 16.0),
+            )))
+        };
+        let silent = || -> Arc<dyn Synopsis> { Arc::new(MockShard(None)) };
+        let gq = GroupByQuery::over(AggKind::Sum, 0, &[1.0, 2.0], 1);
+
+        // Mixed: the silent shard contributes a boundless zero per group.
+        let mixed = mock_sharded(vec![answering(), silent()]);
+        let rows = mixed.estimate_group_by(&gq).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            let est = r.estimate.as_ref().unwrap();
+            assert_eq!(est.value, 10.0);
+            assert_eq!(est.hard_bounds, None);
+            assert!(!est.exact);
+        }
+        // All-silent: per-row errors, never a fabricated zero row.
+        let all_silent = mock_sharded(vec![silent(), silent()]);
+        let rows = all_silent.estimate_group_by(&gq).unwrap();
+        assert!(rows.iter().all(|r| r.estimate.is_err()));
+        // A 1-shard plan forwards to the lone shard verbatim.
+        let single = mock_sharded(vec![answering()]);
+        let direct = single.shard_engines()[0].estimate_group_by(&gq).unwrap();
+        assert_eq!(single.estimate_group_by(&gq).unwrap(), direct);
+        // Malformed queries are rejected as a whole.
+        let bad = GroupByQuery::over(AggKind::Sum, 3, &[1.0], 1);
+        assert!(mixed.estimate_group_by(&bad).is_err());
+    }
+
+    #[test]
+    fn progressive_snapshots_tighten_into_the_exact_answer() {
+        let answering = || -> Arc<dyn Synopsis> {
+            Arc::new(MockShard(Some(
+                Estimate::approximate(10.0, 3.0).with_hard_bounds(4.0, 16.0),
+            )))
+        };
+        let sharded = mock_sharded(vec![answering(), answering(), answering()]);
+        let gq = GroupByQuery::over(AggKind::Sum, 0, &[1.0], 1);
+        let mut snaps = Vec::new();
+        let groups = sharded
+            .estimate_group_by_progressive(&gq, &mut |s| {
+                snaps.push(s);
+                true
+            })
+            .unwrap();
+        let final_snap = snaps.last().unwrap();
+        assert!(final_snap.last);
+        assert_eq!(final_snap.shards_merged, 3);
+        assert_eq!(final_snap.groups, groups);
+        // The final snapshot is the non-progressive answer, bit for bit.
+        assert_eq!(groups, sharded.estimate_group_by(&gq).unwrap());
+        // CI widths only tighten, and intermediates claim no hard bounds.
+        let widths: Vec<f64> = snaps.iter().map(|s| row_width(&s.groups[0])).collect();
+        for pair in widths.windows(2) {
+            assert!(pair[1] <= pair[0], "widths must not widen: {widths:?}");
+        }
+        for s in &snaps[..snaps.len() - 1] {
+            assert!(!s.last);
+            let est = s.groups[0].estimate.as_ref().unwrap();
+            assert_eq!(est.hard_bounds, None);
+            assert!(!est.exact);
+        }
+        // Early stop returns the snapshot just offered.
+        let mut offered = 0;
+        let stopped = sharded
+            .estimate_group_by_progressive(&gq, &mut |_| {
+                offered += 1;
+                false
+            })
+            .unwrap();
+        assert_eq!(offered, 1);
+        assert_eq!(stopped.len(), 1);
+        // A 1-shard plan streams exactly one final snapshot.
+        let single = mock_sharded(vec![answering()]);
+        let mut snaps = Vec::new();
+        let groups = single
+            .estimate_group_by_progressive(&gq, &mut |s| {
+                snaps.push(s);
+                true
+            })
+            .unwrap();
+        assert_eq!(snaps.len(), 1);
+        assert!(snaps[0].last);
+        assert_eq!(snaps[0].groups, groups);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! the default is the PR that introduced the file.
 //!
 //! The canonical set: synopsis build time, single-query p50, 4k-batch
-//! throughput (sequential and 4-worker), and a 512-request serve
-//! round-trip with its `ServeStats` p50/p99. Alongside those, a
+//! throughput (sequential and 4-worker), a 512-request serve
+//! round-trip with its `ServeStats` p50/p99, and a group-by sweep
+//! (4/16/64 categories through PASS's batched expansion, the path
+//! `Serve::submit_progressive` executes). Alongside those, a
 //! head-to-head of the `pass_common::chaos` shim primitives against the
 //! raw `std::sync` types they wrap — in a normal build (this one: the
 //! `chaos` feature is off) the shims must be zero-cost, and the two
@@ -18,11 +20,11 @@
 use std::time::Instant;
 
 use criterion::black_box;
-use pass::{EngineSpec, ServeConfig, Session, ThreadPool, Ticket};
+use pass::{EngineSpec, GroupByQuery, ServeConfig, Session, ThreadPool, Ticket};
 use pass_common::{chaos, AggKind, Json, PassSpec, Synopsis};
 use pass_core::Pass;
 use pass_table::datasets::DatasetId;
-use pass_table::SortedTable;
+use pass_table::{SortedTable, Table};
 use pass_workload::random_queries;
 
 const BATCH: usize = 4_096;
@@ -58,8 +60,19 @@ fn ns_per_op(mut f: impl FnMut()) -> f64 {
     median_ms(&mut f) * 1e6 / LOCK_OPS as f64
 }
 
+/// A categorical table for the group-by sweep: `cats` category codes on
+/// the predicate dimension, per-category value offsets so every group's
+/// answer is distinct.
+fn categorical_table(rows: usize, cats: usize) -> Table {
+    let cat: Vec<f64> = (0..rows).map(|i| (i % cats) as f64).collect();
+    let values: Vec<f64> = (0..rows)
+        .map(|i| ((i % cats) + 1) as f64 * 5.0 + ((i / cats) % 16) as f64 * 0.25)
+        .collect();
+    Table::one_dim(cat, values).expect("categorical bench table")
+}
+
 fn main() {
-    let pr = std::env::var("PASS_TRAJECTORY_PR").unwrap_or_else(|_| "6".to_string());
+    let pr = std::env::var("PASS_TRAJECTORY_PR").unwrap_or_else(|_| "7".to_string());
 
     let table = DatasetId::NycTaxi.generate(200_000, 7);
     let sorted = SortedTable::from_table(&table, 0);
@@ -122,6 +135,22 @@ fn main() {
         serve_p99_us = stats.p99_latency_us;
     });
 
+    // --- Group-by sweep ---------------------------------------------------
+    // PASS answers a GroupByQuery through one batched MCF traversal over
+    // the per-category equality expansion; the sweep tracks how that
+    // scales with category count (the serving tier's progressive path
+    // executes exactly this per shard).
+    let gb_table = categorical_table(100_000, 64);
+    let gb_pass = Pass::from_spec(&gb_table, &pass_spec(128)).unwrap();
+    let mut groupby_ms = [0.0f64; 3];
+    for (slot, cats) in [4usize, 16, 64].into_iter().enumerate() {
+        let keys: Vec<f64> = (0..cats).map(|k| k as f64).collect();
+        let query = GroupByQuery::over(AggKind::Sum, 0, &keys, 1);
+        groupby_ms[slot] = median_ms(|| {
+            black_box(gb_pass.estimate_group_by(&query)).ok();
+        });
+    }
+
     // --- Shim vs. std head-to-head ----------------------------------------
     // The chaos feature is off in bench builds, so these must be the same
     // machine code modulo noise; the JSON records both columns as proof.
@@ -161,6 +190,9 @@ fn main() {
         ("serve_512_roundtrip_ms", Json::from(serve_ms)),
         ("serve_p50_latency_us", Json::from(serve_p50_us)),
         ("serve_p99_latency_us", Json::from(serve_p99_us)),
+        ("groupby_4_ms", Json::from(groupby_ms[0])),
+        ("groupby_16_ms", Json::from(groupby_ms[1])),
+        ("groupby_64_ms", Json::from(groupby_ms[2])),
         ("shim_mutex_ns_per_lock", Json::from(shim_mutex_ns)),
         ("std_mutex_ns_per_lock", Json::from(std_mutex_ns)),
         ("shim_atomic_ns_per_op", Json::from(shim_atomic_ns)),

@@ -19,13 +19,20 @@
 //! * the sharding vocabulary: [`ShardPlan`] (how one logical table is cut
 //!   into disjoint shards) and [`PartialEstimate`] (a shard's mergeable
 //!   contribution to a query, reduced by [`PartialEstimate::merge`]);
+//! * the group-by surface (paper Section 4.5): [`GroupByQuery`] expands
+//!   one equality rectangle per category, [`Synopsis::estimate_group_by`]
+//!   answers it with the group availability rule
+//!   ([`apply_group_availability`]) applied per row, and
+//!   [`Synopsis::estimate_group_by_progressive`] streams refining
+//!   [`GroupBySnapshot`]s for online aggregation;
 //! * the serving-layer building blocks: a dependency-free chunk-stealing
 //!   worker pool ([`ThreadPool`]), a bounded query-result cache
 //!   ([`QueryCache`] / [`CachedSynopsis`]), and the async-serving
 //!   primitives behind `pass::Serve` — a bounded two-priority request
 //!   queue ([`RequestQueue`]), completion tickets ([`Ticket`] /
-//!   [`ServeOutcome`]), and a fixed-bucket latency histogram
-//!   ([`LatencyHistogram`]);
+//!   [`ServeOutcome`]), progressive group-by tickets
+//!   ([`ProgressiveTicket`] / [`ProgressiveOutcome`]), and a
+//!   fixed-bucket latency histogram ([`LatencyHistogram`]);
 //! * numeric kernels: compensated summation ([`kahan`]), prefix sums
 //!   ([`prefix`]), and statistics helpers ([`stats`]);
 //! * deterministic RNG construction ([`rng`]).
@@ -46,6 +53,7 @@ pub mod kahan;
 pub mod partial;
 pub mod pool;
 pub mod prefix;
+pub mod progressive;
 pub mod query;
 pub mod queue;
 pub mod rng;
@@ -64,7 +72,8 @@ pub use kahan::KahanSum;
 pub use partial::PartialEstimate;
 pub use pool::ThreadPool;
 pub use prefix::PrefixSums;
-pub use query::{Query, Rect, RectRelation};
+pub use progressive::{GroupBySnapshot, ProgressiveOutcome, ProgressiveSlot, ProgressiveTicket};
+pub use query::{apply_group_availability, GroupByQuery, GroupResult, Query, Rect, RectRelation};
 pub use queue::{Priority, PushError, RequestQueue};
 pub use spec::{EngineSpec, PartitionStrategy, PassSpec, ShardPlan};
 pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};

@@ -207,6 +207,56 @@ impl PartialEstimate {
         }
     }
 
+    /// [`merge`](Self::merge) with the stratified **availability rule**
+    /// applied first: a part that failed with
+    /// [`PassError::EmptyInput`] (the shard/stratum could not match any
+    /// tuple) contributes zero to additive aggregates and is skipped for
+    /// AVG/MIN/MAX — but only when some other part answered. If *no*
+    /// part answered, the first error propagates (so a 1-part merge is
+    /// identical to the lone part, errors included). Any other error
+    /// aborts the merge. A merge that skipped a silent part drops hard
+    /// bounds and exactness — the silent part may hold unsampled
+    /// matching rows the surviving parts' bounds know nothing about
+    /// (additive merges get this for free from their zero partials).
+    ///
+    /// This is the one merge the sharded single-query, sharded batched,
+    /// and progressive group-by paths all reduce through, which is what
+    /// keeps them bit-identical to each other.
+    pub fn merge_available(agg: AggKind, parts: &[Result<PartialEstimate>]) -> Result<Estimate> {
+        let mut answered = Vec::with_capacity(parts.len());
+        let mut silent = 0usize;
+        let mut first_err: Option<PassError> = None;
+        for part in parts {
+            match part {
+                Ok(p) => answered.push(p.clone()),
+                Err(err @ PassError::EmptyInput(_)) => {
+                    silent += 1;
+                    if first_err.is_none() {
+                        first_err = Some(err.clone());
+                    }
+                }
+                Err(err) => return Err(err.clone()),
+            }
+        }
+        if answered.is_empty() {
+            return Err(
+                first_err.unwrap_or(PassError::EmptyInput("no shard could answer the query"))
+            );
+        }
+        if agg.is_additive() {
+            answered.extend((0..silent).map(|_| PartialEstimate::empty(agg)));
+        }
+        let mut est = PartialEstimate::merge(&answered)?;
+        if silent > 0 && !agg.is_additive() {
+            // A skipped silent part may hold unsampled matching rows, so
+            // deterministic bounds and exactness claims from the
+            // answering parts alone no longer hold for the whole table.
+            est.hard_bounds = None;
+            est.exact = false;
+        }
+        Ok(est)
+    }
+
     /// Reduce shard partials (one per shard, same aggregate) into a
     /// single merged [`Estimate`]. See the module docs for the algebra;
     /// a single partial merges to its `local` estimate verbatim.
@@ -509,6 +559,50 @@ mod tests {
     #[test]
     fn merging_nothing_is_an_error() {
         assert!(PartialEstimate::merge(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_available_applies_the_stratified_availability_rule() {
+        let answered = Ok(PartialEstimate::from_local(
+            AggKind::Sum,
+            Estimate::approximate(10.0, 3.0).with_hard_bounds(4.0, 16.0),
+        ));
+        let silent: Result<PartialEstimate> = Err(PassError::EmptyInput("no match"));
+
+        // Mixed additive: the silent part contributes a boundless zero.
+        let est =
+            PartialEstimate::merge_available(AggKind::Sum, &[answered.clone(), silent.clone()])
+                .unwrap();
+        assert_eq!(est.value, 10.0);
+        assert_eq!(est.ci_half, 3.0);
+        assert_eq!(est.hard_bounds, None);
+        assert!(!est.exact);
+
+        // Mixed non-additive: the silent part is skipped and the merge
+        // loses hard bounds and exactness.
+        let min = Ok(PartialEstimate::from_local(
+            AggKind::Min,
+            Estimate::exact(2.0),
+        ));
+        let est = PartialEstimate::merge_available(AggKind::Min, &[min, silent.clone()]).unwrap();
+        assert_eq!(est.value, 2.0);
+        assert_eq!(est.hard_bounds, None);
+        assert!(!est.exact);
+
+        // All-silent: the first error propagates — no fabricated 0 ± 0.
+        assert_eq!(
+            PartialEstimate::merge_available(AggKind::Sum, &[silent.clone(), silent.clone()]),
+            Err(PassError::EmptyInput("no match"))
+        );
+        // A single answering part merges to its local verbatim.
+        let est = PartialEstimate::merge_available(AggKind::Sum, &[answered]).unwrap();
+        assert_eq!(est.hard_bounds, Some((4.0, 16.0)));
+        // A hard (non-availability) error aborts the merge.
+        let hard: Result<PartialEstimate> = Err(PassError::InvalidParameter("k", "zero".into()));
+        assert!(matches!(
+            PartialEstimate::merge_available(AggKind::Sum, &[silent, hard]),
+            Err(PassError::InvalidParameter(..))
+        ));
     }
 
     #[test]

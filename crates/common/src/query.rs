@@ -8,6 +8,8 @@
 //! covered / partial / none (Section 2.3).
 
 use crate::agg::AggKind;
+use crate::error::{PassError, Result};
+use crate::estimate::Estimate;
 
 /// An axis-aligned rectangle with inclusive bounds, one interval per
 /// predicate dimension. A partition condition ψ and a query predicate are
@@ -178,6 +180,156 @@ impl Query {
     }
 }
 
+/// A group-by aggregate query (paper Section 4.5): `SELECT agg(A) ...
+/// WHERE base GROUP BY dim`, restricted to categorical group columns so
+/// every group rewrites to one equality rectangle per category.
+///
+/// `base` constrains the remaining dimensions (its bounds on `dim` are
+/// overwritten per group); `categories` are the distinct codes to
+/// aggregate, one [`GroupResult`] each, in order.
+///
+/// ```
+/// use pass_common::{AggKind, GroupByQuery};
+///
+/// let q = GroupByQuery::over(AggKind::Sum, 0, &[0.0, 1.0, 2.0], 1);
+/// assert_eq!(q.len(), 3);
+/// assert_eq!(q.query_for(1.0).rect.lo(0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByQuery {
+    /// Which aggregate to compute per group.
+    pub agg: AggKind,
+    /// The (categorical) predicate dimension grouped over.
+    pub dim: usize,
+    /// The distinct category codes, one result row each, in order.
+    pub categories: Vec<f64>,
+    /// Bounds on the remaining dimensions (pass the bounding rectangle,
+    /// or [`Rect::whole`], for an unfiltered group-by); its interval on
+    /// [`dim`](Self::dim) is overwritten per group.
+    pub base: Rect,
+}
+
+impl GroupByQuery {
+    /// A group-by over `categories` of dimension `dim`, filtered by
+    /// `base` on the remaining dimensions.
+    pub fn new(agg: AggKind, dim: usize, categories: &[f64], base: Rect) -> Self {
+        Self {
+            agg,
+            dim,
+            categories: categories.to_vec(),
+            base,
+        }
+    }
+
+    /// An unfiltered group-by over a `dims`-dimensional predicate space
+    /// (`base` = [`Rect::whole`]).
+    pub fn over(agg: AggKind, dim: usize, categories: &[f64], dims: usize) -> Self {
+        Self::new(agg, dim, categories, Rect::whole(dims))
+    }
+
+    /// Number of groups (one [`GroupResult`] per category).
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether the query has no categories (answered as zero rows).
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Validate against a synopsis of `dims` predicate dimensions: the
+    /// base rectangle must match the arity, the group dimension must be
+    /// in range, and category codes must be comparable (no NaN). Every
+    /// `estimate_group_by` path runs this before touching the engine, so
+    /// rule errors are identical across direct/cached/sharded/served
+    /// answers.
+    pub fn validate(&self, dims: usize) -> Result<()> {
+        if self.base.dims() != dims {
+            return Err(PassError::DimensionMismatch {
+                expected: dims,
+                got: self.base.dims(),
+            });
+        }
+        if self.dim >= dims {
+            return Err(PassError::InvalidParameter(
+                "dim",
+                format!("group-by dimension {} out of range 0..{dims}", self.dim),
+            ));
+        }
+        if self.categories.iter().any(|c| c.is_nan()) {
+            return Err(PassError::InvalidParameter(
+                "categories",
+                "group-by category codes must not be NaN".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-group selection query: the equality rectangle
+    /// `dim = key`, base bounds elsewhere.
+    pub fn query_for(&self, key: f64) -> Query {
+        let bounds: Vec<(f64, f64)> = (0..self.base.dims())
+            .map(|d| {
+                if d == self.dim {
+                    (key, key)
+                } else {
+                    (self.base.lo(d), self.base.hi(d))
+                }
+            })
+            .collect();
+        Query::new(self.agg, Rect::new(&bounds))
+    }
+
+    /// Every group's selection query, in category order.
+    pub fn queries(&self) -> Vec<Query> {
+        self.categories.iter().map(|&k| self.query_for(k)).collect()
+    }
+}
+
+/// One group's row in a group-by answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupResult {
+    /// The group key (the categorical code).
+    pub key: f64,
+    /// The estimate, or the rule error for groups the synopsis cannot
+    /// answer (e.g. AVG of an empty group, or a group with no sampled
+    /// evidence — see [`apply_group_availability`]).
+    pub estimate: Result<Estimate>,
+}
+
+/// The group-by availability rule — the group-level analogue of the
+/// sharded silent-shard rule.
+///
+/// A sampling engine whose sample holds **zero rows of a group** answers
+/// SUM/COUNT with a *silent zero*: `0 ± 0`, not exact, no hard bounds —
+/// an answer that claims certainty on zero evidence (the group may hold
+/// thousands of unsampled rows). Inside a group-by that is
+/// indistinguishable from a genuinely empty group, so every
+/// `estimate_group_by` path converts it to the same rule error
+/// evidence-free AVG/MIN/MAX already surface. Under a sharded engine the
+/// availability merge then *skips* such shards **with bounds stripped**
+/// (the merged answer keeps going, marked inexact and unbounded) and
+/// only propagates the error when no shard holds evidence.
+///
+/// Answers with any exactness claim, uncertainty, or hard bounds pass
+/// through untouched; the conversion is idempotent, so layered paths
+/// (cached over sharded over the engine) agree bit-for-bit.
+pub fn apply_group_availability(result: Result<Estimate>) -> Result<Estimate> {
+    match result {
+        Ok(est)
+            if !est.exact
+                && est.value == 0.0
+                && est.ci_half == 0.0
+                && est.hard_bounds.is_none() =>
+        {
+            Err(PassError::EmptyInput(
+                "no sampled tuple matches the predicate",
+            ))
+        }
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +435,72 @@ mod tests {
         let q = Query::interval(AggKind::Avg, 1.0, 2.0);
         assert_eq!(q.dims(), 1);
         assert_eq!(q.agg, AggKind::Avg);
+    }
+
+    #[test]
+    fn group_by_query_expands_to_equality_rectangles() {
+        let base = Rect::new(&[(0.0, 10.0), (-1.0, 1.0)]);
+        let q = GroupByQuery::new(AggKind::Count, 1, &[0.25, 0.5], base);
+        assert!(q.validate(2).is_ok());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        let queries = q.queries();
+        assert_eq!(queries.len(), 2);
+        // The group dimension collapses to the equality point; the other
+        // dimension keeps the base bounds.
+        assert_eq!(queries[0].rect.lo(1), 0.25);
+        assert_eq!(queries[0].rect.hi(1), 0.25);
+        assert_eq!(queries[0].rect.lo(0), 0.0);
+        assert_eq!(queries[0].rect.hi(0), 10.0);
+        assert_eq!(queries[1].agg, AggKind::Count);
+    }
+
+    #[test]
+    fn group_by_validation_rejects_bad_shapes() {
+        let q = GroupByQuery::over(AggKind::Sum, 0, &[1.0], 1);
+        assert!(matches!(
+            q.validate(2),
+            Err(PassError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+        let q = GroupByQuery::over(AggKind::Sum, 3, &[1.0], 2);
+        assert!(matches!(
+            q.validate(2),
+            Err(PassError::InvalidParameter("dim", _))
+        ));
+        let q = GroupByQuery::over(AggKind::Sum, 0, &[f64::NAN], 1);
+        assert!(matches!(
+            q.validate(1),
+            Err(PassError::InvalidParameter("categories", _))
+        ));
+        assert!(GroupByQuery::over(AggKind::Sum, 0, &[], 1)
+            .validate(1)
+            .is_ok());
+    }
+
+    #[test]
+    fn availability_rule_converts_only_silent_zeros() {
+        // The silent zero: inexact, zero value, zero CI, no bounds.
+        let silent = Ok(Estimate::approximate(0.0, 0.0));
+        assert!(matches!(
+            apply_group_availability(silent),
+            Err(PassError::EmptyInput(_))
+        ));
+        // An exact zero is a real (empty-group) answer.
+        let exact = Ok(Estimate::exact(0.0));
+        assert_eq!(apply_group_availability(exact).unwrap().value, 0.0);
+        // Uncertainty or hard bounds are evidence; pass through.
+        let with_ci = Ok(Estimate::approximate(0.0, 0.5));
+        assert!(apply_group_availability(with_ci).is_ok());
+        let with_bounds = Ok(Estimate::approximate(0.0, 0.0).with_hard_bounds(0.0, 9.0));
+        assert!(apply_group_availability(with_bounds).is_ok());
+        // Errors pass through unchanged (idempotent).
+        let err: Result<Estimate> = Err(PassError::EmptyInput("x"));
+        assert!(matches!(
+            apply_group_availability(err),
+            Err(PassError::EmptyInput("x"))
+        ));
     }
 }

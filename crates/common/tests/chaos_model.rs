@@ -31,8 +31,8 @@ use std::time::{Duration, Instant};
 
 use pass_common::chaos::{self, Chaos};
 use pass_common::{
-    AggKind, Estimate, Priority, PushError, Query, QueryCache, QueryKey, RequestQueue,
-    ServeOutcome, Ticket,
+    AggKind, Estimate, GroupBySnapshot, GroupResult, Priority, ProgressiveOutcome,
+    ProgressiveTicket, PushError, Query, QueryCache, QueryKey, RequestQueue, ServeOutcome, Ticket,
 };
 
 fn key(lo: f64, hi: f64) -> QueryKey {
@@ -386,6 +386,107 @@ fn shutdown_leaves_no_ticket_behind() {
             }
         });
     assert!(report.exhausted, "bounded-exhaustive at 2 preemptions");
+}
+
+/// Progressive resolution is first-wins and exactly-once: a worker
+/// publishing the final snapshot and resolving `Done { partial: false }`
+/// races a deadline path resolving the best estimate so far as
+/// `Done { partial: true }`. In every interleaving **exactly one**
+/// resolver wins, the ticket's outcome is exactly the winner's — never
+/// both (a final answer silently downgraded to partial, or vice versa)
+/// and never neither (a hung ticket) — a concurrent waiter wakes to
+/// that same outcome, and the snapshot stream never regresses.
+#[test]
+fn progressive_deadline_race_resolves_exactly_once() {
+    fn row(value: f64) -> GroupResult {
+        GroupResult {
+            key: 0.0,
+            estimate: Ok(Estimate::exact(value)),
+        }
+    }
+    let saw_deadline_win = Arc::new(AtomicU64::new(0));
+    let saw_worker_win = Arc::new(AtomicU64::new(0));
+    let deadline_wins = Arc::clone(&saw_deadline_win);
+    let worker_wins = Arc::clone(&saw_worker_win);
+    let report = Chaos::new("progressive_deadline_race")
+        .preemptions(3)
+        .check(move || {
+            let (ticket, slot) = ProgressiveTicket::pending();
+            // The first (intermediate) snapshot exists before the race: the
+            // deadline path always has a best-so-far to resolve with.
+            assert!(slot.publish(GroupBySnapshot {
+                shards_merged: 1,
+                shards_total: 2,
+                groups: vec![row(10.0)],
+                last: false,
+            }));
+            let final_outcome = ProgressiveOutcome::Done {
+                groups: vec![row(12.0)],
+                partial: false,
+            };
+            let partial_outcome = ProgressiveOutcome::Done {
+                groups: vec![row(10.0)],
+                partial: true,
+            };
+            let deadline_slot = slot.clone();
+            let waiter_ticket = ticket.clone();
+            let (worker_won, deadline_won, waited) = chaos::scope(|s| {
+                let final_for_worker = final_outcome.clone();
+                let partial_for_deadline = partial_outcome.clone();
+                let worker = s.spawn(move || {
+                    // The worker publishes its final snapshot, then claims
+                    // the resolution — the same order `execute_progressive`
+                    // uses in the serving tier.
+                    slot.publish(GroupBySnapshot {
+                        shards_merged: 2,
+                        shards_total: 2,
+                        groups: vec![row(12.0)],
+                        last: true,
+                    });
+                    slot.try_resolve(final_for_worker)
+                });
+                let deadline = s.spawn(move || deadline_slot.try_resolve(partial_for_deadline));
+                let waiter = s.spawn(move || waiter_ticket.wait());
+                (
+                    worker.join().unwrap(),
+                    deadline.join().unwrap(),
+                    waiter.join().unwrap(),
+                )
+            });
+            assert!(
+                worker_won ^ deadline_won,
+                "exactly one resolver must win (worker {worker_won}, deadline {deadline_won})"
+            );
+            let resolved = ticket.poll().expect("the race never leaves a hung ticket");
+            let expected = if worker_won {
+                worker_wins.fetch_add(1, Ordering::Relaxed);
+                &final_outcome
+            } else {
+                deadline_wins.fetch_add(1, Ordering::Relaxed);
+                &partial_outcome
+            };
+            assert_eq!(&resolved, expected, "outcome must be exactly the winner's");
+            assert_eq!(waited, resolved, "the waiter woke to a different outcome");
+            // The snapshot stream stays coherent: the intermediate is always
+            // retained, the final snapshot is appended or not, never blended
+            // — and publishes after resolution were dropped.
+            let snapshots = ticket.snapshots();
+            assert!(!snapshots.is_empty() && snapshots.len() <= 2);
+            assert_eq!(snapshots[0].shards_merged, 1);
+            if let Some(last) = snapshots.last() {
+                assert!(last.shards_merged <= 2);
+            }
+        });
+    assert!(report.exhausted, "schedule tree must be fully explored");
+    // The model genuinely explored both winners.
+    assert!(
+        saw_worker_win.load(Ordering::Relaxed) > 0,
+        "worker-wins path unexplored"
+    );
+    assert!(
+        saw_deadline_win.load(Ordering::Relaxed) > 0,
+        "deadline-wins path unexplored"
+    );
 }
 
 /// Epoch coherence: two synopsis handles observing the same new epoch

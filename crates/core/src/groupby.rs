@@ -6,25 +6,24 @@
 //! answer." — a `GROUP BY c` becomes one equality rectangle `c = v` per
 //! distinct value `v`, all answered by the same synopsis.
 
-use pass_common::{AggKind, Estimate, PassError, Query, Rect, Result, Synopsis};
+use pass_common::{AggKind, GroupByQuery, Rect, Result, Synopsis};
 
 use crate::synopsis::Pass;
 
-/// One group's row in a group-by result.
-#[derive(Debug, Clone)]
-pub struct GroupResult {
-    /// The group key (the categorical code).
-    pub key: f64,
-    /// The estimate, or the error for groups the synopsis cannot answer
-    /// (e.g. AVG of an empty group).
-    pub estimate: Result<Estimate>,
-}
+// The canonical row type lives in pass-common now that group-by is part
+// of the engine-agnostic `Synopsis` surface; re-exported here so existing
+// `pass_core::GroupResult` paths keep working.
+pub use pass_common::GroupResult;
 
 impl Pass {
     /// `SELECT agg(A) ... WHERE base GROUP BY dim` for the given category
     /// codes. `base` constrains the remaining dimensions (pass the
     /// bounding rectangle, or `Rect::whole(dims)`, for an unfiltered
     /// group-by); its bounds on `dim` are overwritten per group.
+    ///
+    /// Convenience wrapper over the engine-agnostic
+    /// [`Synopsis::estimate_group_by`], which PASS overrides to route the
+    /// per-category equality rectangles through its batched MCF path.
     pub fn group_by(
         &self,
         agg: AggKind,
@@ -32,37 +31,7 @@ impl Pass {
         categories: &[f64],
         base: &Rect,
     ) -> Result<Vec<GroupResult>> {
-        if base.dims() != self.dims() {
-            return Err(PassError::DimensionMismatch {
-                expected: self.dims(),
-                got: base.dims(),
-            });
-        }
-        if dim >= self.dims() {
-            return Err(PassError::InvalidParameter(
-                "dim",
-                format!("group-by dimension {dim} out of range 0..{}", self.dims()),
-            ));
-        }
-        Ok(categories
-            .iter()
-            .map(|&key| {
-                let bounds: Vec<(f64, f64)> = (0..base.dims())
-                    .map(|d| {
-                        if d == dim {
-                            (key, key)
-                        } else {
-                            (base.lo(d), base.hi(d))
-                        }
-                    })
-                    .collect();
-                let query = Query::new(agg, Rect::new(&bounds));
-                GroupResult {
-                    key,
-                    estimate: self.estimate(&query),
-                }
-            })
-            .collect())
+        self.estimate_group_by(&GroupByQuery::new(agg, dim, categories, base.clone()))
     }
 }
 
@@ -70,6 +39,7 @@ impl Pass {
 mod tests {
     use super::*;
     use crate::synopsis::PassBuilder;
+    use pass_common::Query;
     use pass_table::datasets::instacart;
     use pass_table::Table;
 

@@ -64,6 +64,8 @@ pub const TIME_ALLOWED: &[&str] = &[
     "src/session.rs",
     // Ticket wait timeouts are measured against a deadline.
     "crates/common/src/ticket.rs",
+    // Progressive-ticket wait timeouts, same as ticket.rs.
+    "crates/common/src/progressive.rs",
     // The time-budget policy module is *about* clocks.
     "crates/core/src/budget.rs",
     // Measurement harnesses.

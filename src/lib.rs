@@ -32,6 +32,20 @@
 //!    fast path, and [`ServeStats`] reports counts (per engine too),
 //!    queue high-water, and p50/p99 latency.
 //!
+//! Group-bys are first-class across all three layers: a
+//! [`GroupByQuery`] (paper Section 4.5 — one equality rectangle per
+//! category over a group dimension, a shared predicate rectangle on the
+//! rest) is answered by every engine through
+//! [`Synopsis::estimate_group_by`] / [`Session::group_by`] (PASS routes
+//! the expansion through its batched MCF path), and **progressively**
+//! through [`Serve::submit_progressive`]: the returned
+//! [`ProgressiveTicket`] streams refining [`GroupBySnapshot`]s as a
+//! sharded engine merges shard after shard — each intermediate carries
+//! a conservative CI that only tightens — and a deadline that passes
+//! mid-stream resolves to the best estimate so far
+//! ([`ProgressiveOutcome::Done`] with `partial: true`), never an
+//! `Expired` with no data.
+//!
 //! ```
 //! use pass::{EngineSpec, Session};
 //! use pass::common::{AggKind, PassSpec, Query};
@@ -89,8 +103,9 @@ mod session;
 
 pub use pass_baselines::Engine;
 pub use pass_common::{
-    CacheStats, EngineSpec, PartialEstimate, PassSpec, Priority, ServeOutcome, ShardPlan, Synopsis,
-    ThreadPool, Ticket,
+    CacheStats, EngineSpec, GroupByQuery, GroupBySnapshot, GroupResult, PartialEstimate, PassSpec,
+    Priority, ProgressiveOutcome, ProgressiveTicket, ServeOutcome, ShardPlan, Synopsis, ThreadPool,
+    Ticket,
 };
 pub use serve::{EngineServeStats, Serve, ServeConfig, ServeStats, SubmitOptions};
 pub use session::{Session, SessionHandle, DEFAULT_CACHE_CAPACITY};

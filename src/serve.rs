@@ -55,6 +55,15 @@
 //!   saturation *increases* per-query efficiency. A batch never mixes
 //!   engines: the drain stops at the first request routed elsewhere,
 //!   which also keeps the deadline schedule intact.
+//! * **Group-bys can stream.** [`Serve::submit_progressive`] (and the
+//!   routed/option-carrying variants) submits a
+//!   [`GroupByQuery`] whose [`ProgressiveTicket`] exposes refining
+//!   [`GroupBySnapshot`](pass_common::GroupBySnapshot)s while the
+//!   worker merges shards — online aggregation over the serving tier.
+//!   Progressive deadlines *stop the refinement* instead of expiring
+//!   the request: the ticket resolves to the best estimate so far with
+//!   `partial: true`, never [`ProgressiveOutcome::Rejected`]-style
+//!   data loss and never `Expired`.
 //! * **Everything is observable.** [`Serve::stats`] reports
 //!   accepted/rejected/expired/deduped/completed counts, the
 //!   queue-depth high-water mark, p50/p99 submit-to-completion latency
@@ -113,8 +122,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pass_common::{
-    LatencyHistogram, PassError, Priority, PushError, Query, QueryKey, RequestQueue, Result,
-    ServeOutcome, ThreadPool, Ticket, TicketSlot,
+    GroupByQuery, LatencyHistogram, PassError, Priority, ProgressiveOutcome, ProgressiveSlot,
+    ProgressiveTicket, PushError, Query, QueryKey, RequestQueue, Result, ServeOutcome, ThreadPool,
+    Ticket, TicketSlot,
 };
 
 use crate::session::SessionHandle;
@@ -359,8 +369,25 @@ struct Waiter {
 /// that *should* start hitting the queue bound.
 const MAX_ATTACHED_WAITERS: usize = 64;
 
+/// One queued **progressive** group-by: the query, the slot snapshots
+/// and the outcome flow through, and the timing it was submitted with.
+/// Deadlines mean something different here than for plain requests: a
+/// progressive request always executes, and a deadline that passes
+/// mid-stream stops the refinement and resolves to the **best estimate
+/// so far** (`Done { partial: true, .. }`) — never `Expired`.
+struct ProgressiveJob {
+    query: GroupByQuery,
+    slot: ProgressiveSlot,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
 /// One queued unit of work: the engine route, the submitted queries,
 /// the dedup identity, and every waiter attached to the execution.
+/// A progressive group-by rides the same queue (same admission control,
+/// same EDF schedule) but executes through its own streaming path:
+/// `progressive` is set, `queries`/`waiters` stay empty, and workers
+/// never coalesce it into a plain batch.
 struct Request {
     engine: usize,
     queries: Vec<Query>,
@@ -371,6 +398,7 @@ struct Request {
     /// instead of a per-query `Vec` comparison.
     key_hash: u64,
     waiters: Vec<Waiter>,
+    progressive: Option<ProgressiveJob>,
 }
 
 /// Per-engine serving state: the session handle workers execute through
@@ -414,6 +442,15 @@ impl ServeShared {
             let Some((first, class)) = self.queue.pop_blocking() else {
                 return;
             };
+            // A progressive group-by executes alone: it streams
+            // snapshots for as long as its deadline allows, so gluing
+            // plain requests behind it would stall them, and gluing it
+            // onto a plain batch is shape-impossible (it has no
+            // `queries`).
+            if first.progressive.is_some() {
+                self.execute_progressive(first);
+                continue;
+            }
             let engine = first.engine;
             let mut total = first.queries.len();
             let mut requests = vec![first];
@@ -426,7 +463,10 @@ impl ServeShared {
             // skipping) the foreign head keeps the EDF schedule intact.
             if total < self.coalesce_max {
                 requests.extend(self.queue.drain_class_where(class, |r| {
-                    if r.engine == engine && total + r.queries.len() <= self.coalesce_max {
+                    if r.progressive.is_none()
+                        && r.engine == engine
+                        && total + r.queries.len() <= self.coalesce_max
+                    {
                         total += r.queries.len();
                         true
                     } else {
@@ -496,6 +536,52 @@ impl ServeShared {
             }
             self.fulfill_done(state, last, ServeOutcome::Done(slice));
         }
+    }
+
+    /// Drive one progressive group-by to resolution: stream refining
+    /// snapshots through the ticket's slot, stop refining (but keep the
+    /// best answer so far) when the deadline passes mid-stream, and
+    /// resolve exactly once. Unlike plain requests there is **no**
+    /// expire-without-executing fast path: a progressive request whose
+    /// deadline passed while queued still runs long enough to produce
+    /// its first snapshot, so the client gets a best-effort estimate
+    /// with `partial: true` instead of [`ProgressiveOutcome`] never
+    /// carrying data — "a late answer with honest error bars beats no
+    /// answer" is the online-aggregation contract.
+    fn execute_progressive(&self, req: Request) {
+        let state = &self.engines[req.engine];
+        let Some(job) = req.progressive else {
+            // Unreachable: the worker loop only routes here when the
+            // job is present.
+            return;
+        };
+        let mut saw_final = false;
+        let result = state
+            .handle
+            .group_by_progressive(&job.query, &mut |snapshot| {
+                saw_final = snapshot.last;
+                job.slot.publish(snapshot);
+                // Publishing first, then checking the clock, guarantees
+                // at least one snapshot exists before a deadline can
+                // stop the stream.
+                job.deadline.is_none_or(|d| Instant::now() < d)
+            });
+        // relaxed: observability counters (here and below).
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        state.batches.fetch_add(1, Ordering::Relaxed);
+        let outcome = match result {
+            Ok(groups) => ProgressiveOutcome::Done {
+                groups,
+                partial: !saw_final,
+            },
+            Err(err) => ProgressiveOutcome::Failed(err),
+        };
+        let waited_us = job.submitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.latency.record(waited_us);
+        // relaxed: observability counters.
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        state.completed.fetch_add(1, Ordering::Relaxed);
+        job.slot.try_resolve(outcome);
     }
 
     /// Resolve one completed waiter: stamp, record latency, count.
@@ -761,6 +847,151 @@ impl Serve {
         Ok(self.enqueue(self.engine_index(engine)?, queries, options))
     }
 
+    /// Submit a **progressive** group-by (interactive, no per-request
+    /// deadline) to the default engine. The returned
+    /// [`ProgressiveTicket`] streams refining [`GroupBySnapshot`]s
+    /// (one per merged shard on sharded engines; single synopses
+    /// publish the exact answer as the only snapshot) while the worker
+    /// executes, then resolves to [`ProgressiveOutcome::Done`] with the
+    /// last snapshot's groups — online aggregation over the serving
+    /// tier.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pass::{EngineSpec, ServeConfig, Session};
+    /// use pass::common::{AggKind, GroupByQuery};
+    /// use pass::table::Table;
+    ///
+    /// let cat: Vec<f64> = (0..4_000).map(|i| (i % 4) as f64).collect();
+    /// let vals: Vec<f64> = (0..4_000).map(|i| ((i % 4) + 1) as f64).collect();
+    /// let mut session = Session::new(Table::one_dim(cat, vals).unwrap());
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// let serve = session.serve("pass", ServeConfig::new()).unwrap();
+    ///
+    /// let q = GroupByQuery::over(AggKind::Sum, 0, &[0.0, 1.0, 2.0, 3.0], 1);
+    /// let ticket = serve.submit_progressive(&q);
+    /// let outcome = ticket.wait();
+    /// assert!(outcome.is_done() && !outcome.is_partial());
+    /// assert_eq!(outcome.groups().unwrap().len(), 4);
+    /// ```
+    ///
+    /// [`GroupBySnapshot`]: pass_common::GroupBySnapshot
+    pub fn submit_progressive(&self, query: &GroupByQuery) -> ProgressiveTicket {
+        self.submit_progressive_with(query, &SubmitOptions::default())
+    }
+
+    /// Submit a progressive group-by to the default engine with
+    /// explicit [`SubmitOptions`]. Deadlines follow the progressive
+    /// contract, not the plain one: the request is **never** expired
+    /// unexecuted — a deadline that passes (even while queued) stops
+    /// the refinement after the next snapshot and resolves to the best
+    /// estimate so far with `partial: true`. A full queue still rejects
+    /// ([`ProgressiveOutcome::Rejected`]) and a closed server cancels
+    /// ([`ProgressiveOutcome::Cancelled`]); an empty category list
+    /// resolves to an empty complete `Done` without queueing.
+    pub fn submit_progressive_with(
+        &self,
+        query: &GroupByQuery,
+        options: &SubmitOptions,
+    ) -> ProgressiveTicket {
+        self.enqueue_progressive(0, query, options)
+    }
+
+    /// Submit a progressive group-by routed to `engine` by name — the
+    /// routed variant of [`submit_progressive`](Serve::submit_progressive).
+    /// The only error is an unknown engine name.
+    pub fn submit_progressive_to(
+        &self,
+        engine: &str,
+        query: &GroupByQuery,
+    ) -> Result<ProgressiveTicket> {
+        self.submit_progressive_with_to(engine, query, &SubmitOptions::default())
+    }
+
+    /// Submit a progressive group-by routed to `engine` with explicit
+    /// [`SubmitOptions`] — the routed variant of
+    /// [`submit_progressive_with`](Serve::submit_progressive_with).
+    pub fn submit_progressive_with_to(
+        &self,
+        engine: &str,
+        query: &GroupByQuery,
+        options: &SubmitOptions,
+    ) -> Result<ProgressiveTicket> {
+        Ok(self.enqueue_progressive(self.engine_index(engine)?, query, options))
+    }
+
+    /// The progressive twin of [`enqueue`](Self::enqueue): same
+    /// admission control and EDF scheduling (a dated progressive
+    /// request schedules ahead of undated traffic in its class), but
+    /// the request carries a [`ProgressiveJob`] instead of waiters and
+    /// never participates in dedup or coalescing.
+    fn enqueue_progressive(
+        &self,
+        engine: usize,
+        query: &GroupByQuery,
+        options: &SubmitOptions,
+    ) -> ProgressiveTicket {
+        if query.is_empty() {
+            return ProgressiveTicket::resolved(ProgressiveOutcome::Done {
+                groups: Vec::new(),
+                partial: false,
+            });
+        }
+        let submitted = Instant::now();
+        let deadline = options
+            .deadline
+            .or(self.default_deadline)
+            .map(|d| submitted + d);
+        let (ticket, slot) = ProgressiveTicket::pending();
+        let request = Request {
+            engine,
+            queries: Vec::new(),
+            key: None,
+            key_hash: 0,
+            waiters: Vec::new(),
+            progressive: Some(ProgressiveJob {
+                query: query.clone(),
+                slot,
+                submitted,
+                deadline,
+            }),
+        };
+        // Claim acceptance before the push for the same
+        // completed-never-exceeds-accepted invariant as `enqueue`.
+        // relaxed: observability counters (here and below).
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        match self
+            .shared
+            .queue
+            .try_push_scheduled(request, options.priority, deadline)
+        {
+            Ok(()) => ticket,
+            Err((PushError::Full, request)) => {
+                self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.engines[engine]
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Self::resolve_unqueued_progressive(request, ProgressiveOutcome::Rejected);
+                ticket
+            }
+            Err((PushError::Closed, request)) => {
+                // relaxed: observability counter.
+                self.shared.accepted.fetch_sub(1, Ordering::Relaxed);
+                Self::resolve_unqueued_progressive(request, ProgressiveOutcome::Cancelled);
+                ticket
+            }
+        }
+    }
+
+    /// Resolve a progressive request the queue refused.
+    fn resolve_unqueued_progressive(request: Request, outcome: ProgressiveOutcome) {
+        if let Some(job) = request.progressive {
+            job.slot.try_resolve(outcome);
+        }
+    }
+
     /// The one enqueue path every submission goes through: admission
     /// control, deadline stamping, EDF scheduling, and (when enabled)
     /// dedup attachment.
@@ -794,6 +1025,7 @@ impl Serve {
                 submitted,
                 deadline,
             }],
+            progressive: None,
         };
         // Count acceptance *before* the push: the instant the request is
         // in the queue a worker may pop, execute, and bump `completed`,
@@ -814,7 +1046,8 @@ impl Serve {
                 // through normal admission control, keeping dedup's
                 // memory bounded.
                 |queued, new| {
-                    queued.engine == new.engine
+                    queued.progressive.is_none()
+                        && queued.engine == new.engine
                         && queued.key_hash == new.key_hash
                         && queued.waiters.len() < MAX_ATTACHED_WAITERS
                         && queued.key == new.key
@@ -1241,6 +1474,112 @@ mod tests {
         assert_eq!(stats.completed, 3);
         assert_eq!(stats.deduped, 2);
         assert_eq!(stats.per_engine[0].deduped, 2);
+    }
+
+    #[test]
+    fn progressive_group_bys_stream_and_resolve_complete() {
+        use pass_common::GroupByQuery;
+        let cat: Vec<f64> = (0..4_000).map(|i| (i % 4) as f64).collect();
+        let vals: Vec<f64> = (0..4_000).map(|i| ((i % 4) + 1) as f64).collect();
+        let mut session = Session::new(pass_table::Table::one_dim(cat, vals).unwrap());
+        session.add_engine("pass", &EngineSpec::pass()).unwrap();
+        let serve = session
+            .serve("pass", ServeConfig::new().with_workers(1))
+            .unwrap();
+        let gq = GroupByQuery::over(AggKind::Sum, 0, &[0.0, 1.0, 2.0, 3.0], 1);
+
+        let ticket = serve.submit_progressive(&gq);
+        let outcome = ticket.wait();
+        assert!(outcome.is_done());
+        assert!(!outcome.is_partial(), "no deadline: the stream completes");
+        // Served progressive answers end bit-identical to the direct path.
+        let direct = session.group_by("pass", &gq).unwrap();
+        assert_eq!(outcome.groups().unwrap(), direct);
+        assert!(ticket.snapshot_count() >= 1);
+        assert!(ticket.latest().unwrap().last);
+
+        // Empty category lists resolve without queueing.
+        let empty = serve.submit_progressive(&GroupByQuery::over(AggKind::Sum, 0, &[], 1));
+        assert_eq!(
+            empty.wait(),
+            ProgressiveOutcome::Done {
+                groups: Vec::new(),
+                partial: false
+            }
+        );
+
+        // Malformed queries resolve to Failed, not a panic or a hang.
+        let bad = serve.submit_progressive(&GroupByQuery::over(AggKind::Sum, 9, &[0.0], 1));
+        assert!(matches!(bad.wait(), ProgressiveOutcome::Failed(_)));
+
+        // Routing errors before admission; unknown engines never queue.
+        assert!(serve.submit_progressive_to("nope", &gq).is_err());
+
+        let stats = serve.shutdown();
+        assert_eq!(stats.accepted, 2, "empty + routed-error never admitted");
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn progressive_deadline_resolves_partial_not_expired() {
+        use pass_common::GroupByQuery;
+        let cat: Vec<f64> = (0..6_000).map(|i| (i % 3) as f64).collect();
+        let vals: Vec<f64> = (0..6_000).map(|i| ((i % 3) + 1) as f64).collect();
+        let mut session = Session::new(pass_table::Table::one_dim(cat, vals).unwrap());
+        session
+            .add_sharded_engine(
+                "p4",
+                &EngineSpec::pass(),
+                &pass_common::ShardPlan::row_range(4),
+            )
+            .unwrap();
+        let serve = session
+            .serve("p4", ServeConfig::new().with_workers(1).paused())
+            .unwrap();
+        let gq = GroupByQuery::over(AggKind::Sum, 0, &[0.0, 1.0, 2.0], 1);
+        // A zero deadline has already passed when the worker picks the
+        // request up — the plain path would expire it unexecuted; the
+        // progressive contract still delivers the first snapshot.
+        let ticket = serve.submit_progressive_with(
+            &gq,
+            &SubmitOptions::interactive().with_deadline(Duration::ZERO),
+        );
+        serve.resume();
+        let outcome = ticket.wait();
+        assert!(outcome.is_done(), "deadline never maps to Expired");
+        assert!(outcome.is_partial(), "stopped mid-stream");
+        let groups = outcome.groups().unwrap();
+        assert_eq!(groups.len(), 3, "every group has a best-so-far row");
+        assert_eq!(ticket.snapshot_count(), 1, "stopped after one snapshot");
+        assert!(!ticket.latest().unwrap().last);
+        let stats = serve.shutdown();
+        assert_eq!(stats.expired, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn progressive_rejection_and_cancellation_resolve_the_ticket() {
+        use pass_common::GroupByQuery;
+        let session = served_session();
+        let serve = session
+            .serve(
+                "pass",
+                ServeConfig::new()
+                    .with_workers(1)
+                    .with_queue_depth(1)
+                    .paused(),
+            )
+            .unwrap();
+        let gq = GroupByQuery::over(AggKind::Sum, 0, &[0.2], 1);
+        let _plug = serve.submit(&q(0.0, 0.5)); // fills the queue
+        let rejected = serve.submit_progressive(&gq);
+        assert_eq!(rejected.poll(), Some(ProgressiveOutcome::Rejected));
+        let stats = serve.stats();
+        assert_eq!((stats.accepted, stats.rejected), (1, 1));
+        // A closed queue cancels.
+        serve.shared.queue.close();
+        let cancelled = serve.submit_progressive(&gq);
+        assert_eq!(cancelled.wait(), ProgressiveOutcome::Cancelled);
     }
 
     #[test]

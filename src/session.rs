@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use pass_baselines::Engine;
 use pass_common::{
-    CacheStats, CachedSynopsis, EngineSpec, Estimate, PassError, Query, Result, ShardPlan,
-    Synopsis, ThreadPool,
+    CacheStats, CachedSynopsis, EngineSpec, Estimate, GroupByQuery, GroupBySnapshot, GroupResult,
+    PassError, Query, Result, ShardPlan, Synopsis, ThreadPool,
 };
 use pass_table::Table;
 use pass_workload::{
@@ -357,6 +357,60 @@ impl Session {
             .estimate_many_parallel(queries, pool))
     }
 
+    /// Answer a group-by query on a named engine: one
+    /// [`GroupResult`] per category, in input order, with the group
+    /// availability rule applied per row (a category no shard or sample
+    /// can vouch for comes back as an `Err` row, never a silent zero).
+    /// Per-category answers are cached under group-tagged keys, so
+    /// repeats and overlapping category lists hit the cache.
+    ///
+    /// ```
+    /// use pass::{EngineSpec, Session};
+    /// use pass::common::{AggKind, GroupByQuery, Rect};
+    /// use pass::table::Table;
+    ///
+    /// let cat: Vec<f64> = (0..4_000).map(|i| (i % 4) as f64).collect();
+    /// let vals: Vec<f64> = (0..4_000).map(|i| ((i % 4) + 1) as f64).collect();
+    /// let mut session = Session::new(Table::one_dim(cat, vals).unwrap());
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// let q = GroupByQuery::over(AggKind::Sum, 0, &[0.0, 1.0, 2.0, 3.0], 1);
+    /// let rows = session.group_by("pass", &q).unwrap();
+    /// assert_eq!(rows.len(), 4);
+    /// assert!(rows.iter().all(|r| r.estimate.is_ok()));
+    /// ```
+    pub fn group_by(&self, engine: &str, query: &GroupByQuery) -> Result<Vec<GroupResult>> {
+        self.engine_or_err(engine)?.engine.estimate_group_by(query)
+    }
+
+    /// Answer a group-by with the category list sharded across `pool`'s
+    /// worker threads. Row-wise identical to [`group_by`](Self::group_by):
+    /// every category is an independent per-group query, so chunking the
+    /// list cannot change any row's answer.
+    pub fn group_by_parallel(
+        &self,
+        engine: &str,
+        query: &GroupByQuery,
+        pool: &ThreadPool,
+    ) -> Result<Vec<GroupResult>> {
+        let entry = self.engine_or_err(engine)?;
+        query.validate(entry.engine.dims())?;
+        let chunk = pool.chunk_size_for(query.len());
+        let parts: Vec<Result<Vec<GroupResult>>> = pool.map_chunks(query.len(), chunk, |range| {
+            let reduced = GroupByQuery::new(
+                query.agg,
+                query.dim,
+                &query.categories[range],
+                query.base.clone(),
+            );
+            vec![entry.engine.estimate_group_by(&reduced)]
+        });
+        let mut rows = Vec::with_capacity(query.len());
+        for part in parts {
+            rows.extend(part?);
+        }
+        Ok(rows)
+    }
+
     /// Exact answer (`None` for AVG/MIN/MAX over empty selections),
     /// computed by the session's shared ground-truth oracle.
     pub fn ground_truth(&self, query: &Query) -> Option<f64> {
@@ -496,6 +550,28 @@ impl SessionHandle {
         pool: &ThreadPool,
     ) -> Vec<Result<Estimate>> {
         self.engine.estimate_many_parallel(queries, pool)
+    }
+
+    /// Answer a group-by query (per-category answers cache-first). See
+    /// [`Session::group_by`].
+    pub fn group_by(&self, query: &GroupByQuery) -> Result<Vec<GroupResult>> {
+        self.engine.estimate_group_by(query)
+    }
+
+    /// Answer a group-by **progressively**: `publish` receives a stream
+    /// of refining [`GroupBySnapshot`]s (sharded engines emit one per
+    /// merged shard; single synopses emit the final answer as the only
+    /// snapshot) and may return `false` to stop early with the best
+    /// snapshot so far. Returns the groups of the last snapshot offered.
+    /// Progressive answers bypass the query cache — intermediate
+    /// extrapolations are never cached, and the final snapshot is
+    /// bit-identical to [`group_by`](Self::group_by) by construction.
+    pub fn group_by_progressive(
+        &self,
+        query: &GroupByQuery,
+        publish: &mut dyn FnMut(GroupBySnapshot) -> bool,
+    ) -> Result<Vec<GroupResult>> {
+        self.engine.estimate_group_by_progressive(query, publish)
     }
 
     /// Cumulative counters of the cache shared by all clones.
@@ -746,6 +822,55 @@ mod tests {
         let (summary, outcomes) = s.run_workload("pass4", &queries).unwrap();
         assert_eq!(outcomes.len(), queries.len());
         assert!(summary.median_relative_error < 0.25);
+    }
+
+    #[test]
+    fn group_by_through_the_facade_is_cached_and_parallel_safe() {
+        use pass_common::GroupByQuery;
+        let n = 6_000;
+        let cat: Vec<f64> = (0..n).map(|i| (i % 6) as f64).collect();
+        let vals: Vec<f64> = (0..n).map(|i| ((i % 6) + 1) as f64 * 2.0).collect();
+        let table = pass_table::Table::one_dim(cat, vals).unwrap();
+        let mut s = Session::new(table);
+        s.add_engine("pass", &spec_pass(50)).unwrap();
+        let q = GroupByQuery::over(AggKind::Sum, 0, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0], 1);
+
+        let rows = s.group_by("pass", &q).unwrap();
+        assert_eq!(rows.len(), 6);
+        let misses = s.cache_stats("pass").unwrap().misses;
+        assert_eq!(misses, 6, "one cached row per category");
+
+        // A repeat is answered fully from cache, bit-identically.
+        let again = s.group_by("pass", &q).unwrap();
+        assert_eq!(rows, again);
+        assert_eq!(s.cache_stats("pass").unwrap().misses, misses);
+
+        // The parallel path chunks categories without changing any row.
+        let pool = ThreadPool::new(3);
+        let par = s.group_by_parallel("pass", &q, &pool).unwrap();
+        assert_eq!(rows, par);
+
+        // Handles answer the same rows against the shared cache.
+        let handle = s.handle("pass").unwrap();
+        assert_eq!(handle.group_by(&q).unwrap(), rows);
+
+        // Progressive: the final snapshot is the non-progressive answer.
+        let mut snaps = Vec::new();
+        let final_rows = handle
+            .group_by_progressive(&q, &mut |snap| {
+                snaps.push(snap);
+                true
+            })
+            .unwrap();
+        assert_eq!(final_rows, rows);
+        assert!(snaps.last().unwrap().last);
+        assert_eq!(snaps.last().unwrap().groups, rows);
+
+        // Errors: unknown engine and malformed queries surface as errors.
+        assert!(s.group_by("nope", &q).is_err());
+        let bad = GroupByQuery::over(AggKind::Sum, 3, &[0.0], 1);
+        assert!(s.group_by("pass", &bad).is_err());
+        assert!(s.group_by_parallel("pass", &bad, &pool).is_err());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Contract tests for the group-by surface: every engine in the
+//! standard Section 5 suite must answer a [`GroupByQuery`] identically
+//! through every path that can serve it.
+//!
+//! The pinned guarantees, for **every** engine in
+//! `Engine::standard_suite`:
+//!
+//! 1. The direct [`Synopsis::estimate_group_by`] answer, the cached
+//!    session facade ([`Session::group_by`], first call and fully
+//!    cached repeat), the parallel facade
+//!    ([`Session::group_by_parallel`]), and the [`SessionHandle`] path
+//!    are **bit-identical** row for row — `Err` rows included.
+//! 2. A 1-shard row-range sharded engine answers group-bys
+//!    bit-identically to its unsharded counterpart, availability-rule
+//!    errors included (mirrors `sharded_contract.rs` contract 1).
+//! 3. A K-shard engine's group-by rows equal the availability rule
+//!    applied to its own per-category single-query path — the sharded
+//!    merge layer adds no group-by-specific distortion.
+//! 4. A served **progressive** group-by that runs to completion
+//!    resolves bit-identical to [`Session::group_by`], for every
+//!    engine, sharded engines included, and its snapshot stream obeys
+//!    the online-aggregation contract (monotone refinement is pinned in
+//!    detail by `tests/groupby_progressive.rs`).
+//! 5. **Empty groups are never silent zeros**: a category with no
+//!    sampled evidence surfaces the stratified-availability rule as an
+//!    `Err` row (sampling engines) or an answer carrying real evidence
+//!    (hard bounds / exactness — PASS), never a bare `0 ± 0` that reads
+//!    like a confident empty group.
+
+use pass::common::{
+    apply_group_availability, AggKind, EngineSpec, GroupByQuery, PassError, ShardPlan, Synopsis,
+    ThreadPool,
+};
+use pass::table::Table;
+use pass::{Engine, ServeConfig, Session};
+
+/// The paper's comparison set at a shared budget.
+fn suite() -> Vec<EngineSpec> {
+    Engine::standard_suite(16, 800, 3)
+}
+
+/// A categorical table: 8 category codes on the predicate dimension,
+/// values that differ per category (so per-group answers are distinct)
+/// with a deterministic wobble (so they are not degenerate constants).
+fn categorical_table() -> Table {
+    let n = 8_000;
+    let cat: Vec<f64> = (0..n).map(|i| (i % 8) as f64).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|i| ((i % 8) + 1) as f64 * 5.0 + ((i / 8) % 10) as f64 * 0.25)
+        .collect();
+    Table::one_dim(cat, values).unwrap()
+}
+
+/// Every present category, plus one (42.0) that no row carries — the
+/// availability-rule probe rides along through every path.
+const CATEGORIES: [f64; 9] = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 42.0];
+
+fn group_query(agg: AggKind) -> GroupByQuery {
+    GroupByQuery::over(agg, 0, &CATEGORIES, 1)
+}
+
+/// Contract 1: direct, cached (cold and warm), parallel, and handle
+/// paths are bit-identical for every engine and aggregate.
+#[test]
+fn group_by_is_identical_across_direct_cached_parallel_and_handle_paths() {
+    let table = categorical_table();
+    let pool = ThreadPool::new(3);
+    for spec in suite() {
+        let raw = Engine::build(&table, &spec).unwrap();
+        let mut session = Session::new(categorical_table());
+        session.add_engine("e", &spec).unwrap();
+        let handle = session.handle("e").unwrap();
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = group_query(agg);
+            let direct = raw.estimate_group_by(&q).unwrap();
+            assert_eq!(direct.len(), CATEGORIES.len(), "{}", raw.name());
+            let cold = session.group_by("e", &q).unwrap();
+            assert_eq!(direct, cold, "{} {agg}: cached(cold) vs direct", raw.name());
+            let warm = session.group_by("e", &q).unwrap();
+            assert_eq!(direct, warm, "{} {agg}: cached(warm) vs direct", raw.name());
+            let parallel = session.group_by_parallel("e", &q, &pool).unwrap();
+            assert_eq!(direct, parallel, "{} {agg}: parallel vs direct", raw.name());
+            assert_eq!(
+                direct,
+                handle.group_by(&q).unwrap(),
+                "{} {agg}: handle vs direct",
+                raw.name()
+            );
+        }
+        // The warm passes above were fully cache-served: per-category
+        // rows were keyed and reused, not recomputed.
+        let stats = session.cache_stats("e").unwrap();
+        assert!(stats.hits >= stats.misses, "{}: {stats:?}", raw.name());
+    }
+}
+
+/// Contract 2: one shard ≡ unsharded, `Err` rows included.
+#[test]
+fn one_shard_group_by_is_identical_to_unsharded() {
+    let table = categorical_table();
+    for spec in suite() {
+        let unsharded = Engine::build(&table, &spec).unwrap();
+        let sharded = Engine::build(
+            &table,
+            &EngineSpec::sharded(spec.clone(), ShardPlan::row_range(1)),
+        )
+        .unwrap();
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = group_query(agg);
+            let a = unsharded.estimate_group_by(&q).unwrap();
+            let b = sharded.estimate_group_by(&q).unwrap();
+            assert_eq!(a, b, "{} {agg}: 1-shard vs unsharded", unsharded.name());
+        }
+    }
+}
+
+/// Contract 3: the K-shard group-by row for a category equals the
+/// availability rule applied to the sharded engine's own single-query
+/// answer for that category's equality rectangle.
+#[test]
+fn sharded_group_by_rows_match_the_single_query_path() {
+    let table = categorical_table();
+    for spec in suite() {
+        for k in [2usize, 4] {
+            let sharded = Engine::build(
+                &table,
+                &EngineSpec::sharded(spec.clone(), ShardPlan::row_range(k)),
+            )
+            .unwrap();
+            for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+                let q = group_query(agg);
+                let rows = sharded.estimate_group_by(&q).unwrap();
+                for row in rows {
+                    let single = apply_group_availability(sharded.estimate(&q.query_for(row.key)));
+                    assert_eq!(
+                        row.estimate,
+                        single,
+                        "{} {agg} k={k} group {}",
+                        sharded.name(),
+                        row.key
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Contract 4: served progressive group-bys (run to completion) resolve
+/// bit-identical to the session facade, for every engine plus a 4-shard
+/// engine whose ticket streams real intermediate snapshots.
+#[test]
+fn served_progressive_final_matches_the_session_answer() {
+    let mut session = Session::new(categorical_table());
+    let mut names: Vec<String> = Vec::new();
+    for (i, spec) in suite().into_iter().enumerate() {
+        let name = format!("e{i}");
+        session.add_engine(&name, &spec).unwrap();
+        names.push(name);
+    }
+    session
+        .add_sharded_engine("sharded", &suite().remove(0), &ShardPlan::row_range(4))
+        .unwrap();
+    names.push("sharded".to_string());
+    let name_refs: Vec<&str> = names.iter().map(|n| n.as_str()).collect();
+    let serve = session
+        .serve_multi(&name_refs, ServeConfig::new().with_workers(2))
+        .unwrap();
+    for name in &names {
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let q = group_query(agg);
+            let ticket = serve.submit_progressive_to(name, &q).unwrap();
+            let outcome = ticket.wait();
+            assert!(!outcome.is_partial(), "{name} {agg}: no deadline was set");
+            assert_eq!(
+                outcome.groups().unwrap(),
+                session.group_by(name, &q).unwrap(),
+                "{name} {agg}: served progressive vs session"
+            );
+            // The final snapshot is flagged and matches the outcome.
+            let last = ticket.latest().unwrap();
+            assert!(last.last, "{name} {agg}");
+            assert_eq!(last.shards_merged, last.shards_total, "{name} {agg}");
+        }
+    }
+    // The sharded engine streamed at least one snapshot per request and
+    // reported its true shard count.
+    let ticket = serve
+        .submit_progressive_to("sharded", &group_query(AggKind::Sum))
+        .unwrap();
+    ticket.wait();
+    assert_eq!(ticket.latest().unwrap().shards_total, 4);
+}
+
+/// Contract 5 (regression): a category with zero sampled evidence is an
+/// availability `Err`, never a silent `0 ± 0` row.
+#[test]
+fn empty_groups_surface_the_availability_rule_not_a_silent_zero() {
+    let table = categorical_table();
+    for spec in suite() {
+        let engine = Engine::build(&table, &spec).unwrap();
+        for agg in [AggKind::Sum, AggKind::Count] {
+            let rows = engine
+                .estimate_group_by(&GroupByQuery::over(agg, 0, &[42.0], 1))
+                .unwrap();
+            match &rows[0].estimate {
+                // The availability rule: the engine admits it cannot
+                // vouch for the group.
+                Err(PassError::EmptyInput(_)) => {}
+                Err(other) => panic!("{} {agg}: unexpected error {other}", engine.name()),
+                // An Ok row must carry real evidence for "empty":
+                // exactness or hard bounds — never an unqualified
+                // non-exact zero with a zero-width CI.
+                Ok(est) => {
+                    assert!(
+                        est.exact || est.hard_bounds.is_some() || est.ci_half > 0.0,
+                        "{} {agg}: silent zero {est:?}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+    // The uniform-sampling engine specifically: no sampled tuple can
+    // match a category absent from the table, so the row *must* be the
+    // availability error (this was the silent-zero bug).
+    let us = Engine::build(&table, &EngineSpec::uniform(800).with_seed(3)).unwrap();
+    let rows = us
+        .estimate_group_by(&GroupByQuery::over(AggKind::Sum, 0, &[42.0], 1))
+        .unwrap();
+    assert!(
+        matches!(rows[0].estimate, Err(PassError::EmptyInput(_))),
+        "US must refuse an evidence-free group, got {:?}",
+        rows[0].estimate
+    );
+}

@@ -131,33 +131,41 @@ impl AqpPlusPlus {
             return (0.0, 0.0, 0);
         }
         let n = self.sample.population() as f64;
-        let in_gap = |i: usize| -> bool {
-            if !rows.matches(rect, i) {
-                return false;
-            }
-            // Covered-node rectangles live in the tree's (possibly
-            // projected) dimension space.
-            let point: Vec<f64> = match &self.tree_dims {
-                None => (0..rows.dims()).map(|d| rows.predicate(d, i)).collect(),
-                Some(dims) => dims.iter().map(|&d| rows.predicate(d, i)).collect(),
-            };
-            !covered
-                .iter()
-                .any(|&id| self.tree.node(id).rect.contains_point(&point))
-        };
+        // The rectangle part of the gap predicate is evaluated with the
+        // columnar mask kernel; only mask hits pay for the (pointwise)
+        // covered-partition exclusion. Row order is unchanged, so the φ
+        // vector — and every downstream bit — matches the old
+        // row-at-a-time loop.
         let mut phi = Vec::with_capacity(k);
         let mut k_pred = 0u64;
-        for i in 0..k {
-            if in_gap(i) {
-                k_pred += 1;
-                phi.push(match agg {
-                    AggKind::Count => n,
-                    _ => n * rows.value(i),
-                });
-            } else {
-                phi.push(0.0);
+        pass_sampling::with_scratch(|scratch| {
+            let mask = scratch.match_mask(k, rect, |d| rows.predicate_column(d));
+            let in_gap = |i: usize| -> bool {
+                if mask[i] == 0 {
+                    return false;
+                }
+                // Covered-node rectangles live in the tree's (possibly
+                // projected) dimension space.
+                let point: Vec<f64> = match &self.tree_dims {
+                    None => (0..rows.dims()).map(|d| rows.predicate(d, i)).collect(),
+                    Some(dims) => dims.iter().map(|&d| rows.predicate(d, i)).collect(),
+                };
+                !covered
+                    .iter()
+                    .any(|&id| self.tree.contains_point(id, &point))
+            };
+            for i in 0..k {
+                if in_gap(i) {
+                    k_pred += 1;
+                    phi.push(match agg {
+                        AggKind::Count => n,
+                        _ => n * rows.value(i),
+                    });
+                } else {
+                    phi.push(0.0);
+                }
             }
-        }
+        });
         let mean = phi.iter().sum::<f64>() / k as f64;
         let variance = pass_common::stats::population_variance(&phi) / k as f64
             * pass_common::stats::fpc(self.sample.population(), k as u64);
@@ -198,7 +206,7 @@ impl Synopsis for AqpPlusPlus {
                 let exact: f64 = covered
                     .iter()
                     .map(|&id| {
-                        let a = &self.tree.node(id).agg;
+                        let a = self.tree.agg(id);
                         match query.agg {
                             AggKind::Sum => a.sum,
                             _ => a.count as f64,
@@ -221,10 +229,10 @@ impl Synopsis for AqpPlusPlus {
             AggKind::Avg => {
                 // AVG via the SUM/COUNT pair with first-order error
                 // propagation (AQP++ itself treats AVG as SUM/COUNT).
-                let exact_sum: f64 = covered.iter().map(|&id| self.tree.node(id).agg.sum).sum();
+                let exact_sum: f64 = covered.iter().map(|&id| self.tree.agg(id).sum).sum();
                 let exact_count: f64 = covered
                     .iter()
-                    .map(|&id| self.tree.node(id).agg.count as f64)
+                    .map(|&id| self.tree.agg(id).count as f64)
                     .sum();
                 let (gap_sum, var_sum, _) = self.gap_estimate(AggKind::Sum, &query.rect, covered);
                 let (gap_count, var_count, k_pred) =
@@ -267,7 +275,7 @@ impl Synopsis for AqpPlusPlus {
                     });
                 };
                 for &id in covered {
-                    let a = &self.tree.node(id).agg;
+                    let a = self.tree.agg(id);
                     if !a.is_empty() {
                         fold(if query.agg == AggKind::Min {
                             a.min

@@ -8,7 +8,7 @@
 use pass_common::rng::rng_from_seed;
 use pass_common::{AggKind, EngineSpec, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
 use pass_partition::{EqualDepth, Partitioner1D};
-use pass_sampling::{combine_strata, estimate as sample_estimate, Sample, StratumEstimate};
+use pass_sampling::{combine_strata, with_scratch, Sample, StratumEstimate};
 use pass_table::{SortedTable, Table};
 
 /// One stratum: its key interval, population, and sample.
@@ -103,7 +103,8 @@ impl Synopsis for StratifiedSynopsis {
                 continue; // stratum cannot intersect the predicate
             }
             processed += s.sample.k() as u64;
-            if let Some(point) = sample_estimate(query.agg, &s.sample, &query.rect) {
+            let point = with_scratch(|scratch| scratch.estimate(query.agg, &s.sample, &query.rect));
+            if let Some(point) = point {
                 if query.agg != AggKind::Avg || point.k_pred > 0 {
                     // AVG strata weight: estimated relevant population
                     // N_i · K_pred/K_i (see pass-core::query for why the

@@ -2,7 +2,7 @@
 
 use pass_common::rng::rng_from_seed;
 use pass_common::{AggKind, EngineSpec, Estimate, PassError, Query, Result, Synopsis, LAMBDA_99};
-use pass_sampling::{estimate as sample_estimate, Sample};
+use pass_sampling::{with_scratch, PointVariance, Sample};
 use pass_table::Table;
 
 /// One uniform sample of `K` rows; every query is answered with the
@@ -47,6 +47,32 @@ impl UniformSynopsis {
     pub fn sample(&self) -> &Sample {
         &self.sample
     }
+
+    /// Turn one kernel point estimate into the engine's [`Estimate`],
+    /// with the CI scaling and full-scan accounting shared by the single
+    /// and batched paths.
+    fn finish(&self, agg: AggKind, point: Option<PointVariance>) -> Result<Estimate> {
+        let est = match point {
+            Some(pv) => {
+                let ci_half = match agg {
+                    AggKind::Min | AggKind::Max => 0.0,
+                    _ => self.lambda * pv.variance.sqrt(),
+                };
+                Estimate::approximate(pv.value, ci_half)
+            }
+            None => {
+                return Err(PassError::EmptyInput(
+                    "no sampled tuple matches the predicate",
+                ))
+            }
+        };
+        // US scans its whole sample for every query; nothing is safely
+        // skipped (there is no index to prove irrelevance).
+        Ok(est.with_accounting(
+            self.sample.k() as u64,
+            self.total_rows - self.sample.k() as u64,
+        ))
+    }
 }
 
 impl Synopsis for UniformSynopsis {
@@ -68,27 +94,26 @@ impl Synopsis for UniformSynopsis {
                 got: query.dims(),
             });
         }
-        let point = sample_estimate(query.agg, &self.sample, &query.rect);
-        let est = match point {
-            Some(pv) => {
-                let ci_half = match query.agg {
-                    AggKind::Min | AggKind::Max => 0.0,
-                    _ => self.lambda * pv.variance.sqrt(),
-                };
-                Estimate::approximate(pv.value, ci_half)
-            }
-            None => {
-                return Err(PassError::EmptyInput(
-                    "no sampled tuple matches the predicate",
-                ))
-            }
-        };
-        // US scans its whole sample for every query; nothing is safely
-        // skipped (there is no index to prove irrelevance).
-        Ok(est.with_accounting(
-            self.sample.k() as u64,
-            self.total_rows - self.sample.k() as u64,
-        ))
+        let point = with_scratch(|scratch| scratch.estimate(query.agg, &self.sample, &query.rect));
+        self.finish(query.agg, point)
+    }
+
+    /// Fused batch path: one pass over each sample column per tile of
+    /// queries via [`pass_sampling::ScanScratch::estimate_batch`],
+    /// element-wise bit-identical to [`estimate`](Synopsis::estimate).
+    fn estimate_many(&self, queries: &[Query]) -> Vec<Result<Estimate>> {
+        if queries.iter().any(|q| q.dims() != self.dims) {
+            return queries.iter().map(|q| self.estimate(q)).collect();
+        }
+        with_scratch(|scratch| {
+            let mut points = Vec::with_capacity(queries.len());
+            scratch.estimate_batch(&self.sample, queries, &mut points);
+            queries
+                .iter()
+                .zip(points)
+                .map(|(q, p)| self.finish(q.agg, p))
+                .collect()
+        })
     }
 
     fn storage_bytes(&self) -> usize {

@@ -118,19 +118,26 @@ impl Synopsis for VerdictSynopsis {
         let (mut t_match, mut t_sum) = (0u64, 0.0f64);
         let mut t_min = f64::INFINITY;
         let mut t_max = f64::NEG_INFINITY;
-        for i in 0..k {
-            let g = self.group[i] as usize;
-            g_rows[g] += 1;
-            if self.rows.matches(&query.rect, i) {
-                let v = self.rows.value(i);
-                g_match[g] += 1;
-                g_sum[g] += v;
-                t_match += 1;
-                t_sum += v;
-                t_min = t_min.min(v);
-                t_max = t_max.max(v);
+        // Predicate evaluation rides the scan kernels: the match mask is
+        // built one contiguous column at a time, then the accumulation
+        // walks rows in the same index order as the old row-at-a-time
+        // `matches` loop — identical adds, identical bits.
+        pass_sampling::with_scratch(|scratch| {
+            let mask = scratch.match_mask(k, &query.rect, |d| self.rows.predicate_column(d));
+            for (i, &m) in mask.iter().enumerate() {
+                let g = self.group[i] as usize;
+                g_rows[g] += 1;
+                if m != 0 {
+                    let v = self.rows.value(i);
+                    g_match[g] += 1;
+                    g_sum[g] += v;
+                    t_match += 1;
+                    t_sum += v;
+                    t_min = t_min.min(v);
+                    t_max = t_max.max(v);
+                }
             }
-        }
+        });
 
         let full_estimate = |agg: AggKind| -> Option<f64> {
             match agg {

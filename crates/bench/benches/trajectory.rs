@@ -5,11 +5,17 @@
 //!
 //! Run with `cargo bench -p pass-bench --bench trajectory` (release
 //! profile). `PASS_TRAJECTORY_PR=<n>` stamps the output file name;
-//! the default is the PR that introduced the file.
+//! the default is the PR that introduced the file. Setting
+//! `PASS_TRAJECTORY_SMOKE=1` shrinks every workload to a few seconds,
+//! skips the `BENCH_<pr>.json` write, and keeps only the self-check:
+//! the payload must parse back through `pass_common::json` and carry
+//! every tracked key — the CI release-mode smoke step.
 //!
 //! The canonical set: synopsis build time, single-query p50, 4k-batch
-//! throughput (sequential and 4-worker), a 512-request serve
-//! round-trip with its `ServeStats` p50/p99, and a group-by sweep
+//! throughput (sequential and 4-worker), scan-kernel microbenches
+//! (mask path, fused 256-query batch, sorted 1-D fast path), a
+//! 512-request serve round-trip with its `ServeStats` p50/p99, and a
+//! group-by sweep
 //! (4/16/64 categories through PASS's batched expansion, the path
 //! `Serve::submit_progressive` executes). Alongside those, a
 //! head-to-head of the `pass_common::chaos` shim primitives against the
@@ -17,11 +23,13 @@
 //! `chaos` feature is off) the shims must be zero-cost, and the two
 //! ns/op columns should agree within noise.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use criterion::black_box;
+use pass::sampling::{Sample, ScanScratch};
 use pass::{EngineSpec, GroupByQuery, ServeConfig, Session, ThreadPool, Ticket};
-use pass_common::{chaos, AggKind, Json, PassSpec, Synopsis};
+use pass_common::{chaos, AggKind, Json, PassSpec, Query, Rect, Synopsis};
 use pass_core::Pass;
 use pass_table::datasets::DatasetId;
 use pass_table::{SortedTable, Table};
@@ -33,6 +41,22 @@ const SINGLES: usize = 1_000;
 const LOCK_OPS: u64 = 1_000_000;
 const TRIALS: usize = 5;
 
+/// Smoke mode (`PASS_TRAJECTORY_SMOKE`) runs one trial of shrunk
+/// workloads — enough to validate the payload, not to measure.
+static SMOKE: OnceLock<bool> = OnceLock::new();
+
+fn smoke() -> bool {
+    *SMOKE.get_or_init(|| std::env::var("PASS_TRAJECTORY_SMOKE").is_ok())
+}
+
+fn trials() -> usize {
+    if smoke() {
+        1
+    } else {
+        TRIALS
+    }
+}
+
 fn pass_spec(partitions: usize) -> PassSpec {
     PassSpec {
         partitions,
@@ -42,9 +66,9 @@ fn pass_spec(partitions: usize) -> PassSpec {
     }
 }
 
-/// Median wall-clock milliseconds over `TRIALS` runs of `f`.
+/// Median wall-clock milliseconds over [`trials`] runs of `f`.
 fn median_ms(mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..TRIALS)
+    let mut samples: Vec<f64> = (0..trials())
         .map(|_| {
             let start = Instant::now();
             f();
@@ -72,11 +96,16 @@ fn categorical_table(rows: usize, cats: usize) -> Table {
 }
 
 fn main() {
-    let pr = std::env::var("PASS_TRAJECTORY_PR").unwrap_or_else(|_| "7".to_string());
+    let pr = std::env::var("PASS_TRAJECTORY_PR").unwrap_or_else(|_| "8".to_string());
+    let (rows, batch, singles, serve_requests) = if smoke() {
+        (20_000, 512, 100, 64)
+    } else {
+        (200_000, BATCH, SINGLES, SERVE_REQUESTS)
+    };
 
-    let table = DatasetId::NycTaxi.generate(200_000, 7);
+    let table = DatasetId::NycTaxi.generate(rows, 7);
     let sorted = SortedTable::from_table(&table, 0);
-    let queries = random_queries(&sorted, BATCH, AggKind::Sum, 2_000, 11);
+    let queries = random_queries(&sorted, batch, AggKind::Sum, 2_000, 11);
 
     // --- Synopsis build ---------------------------------------------------
     let build_ms = median_ms(|| {
@@ -88,7 +117,7 @@ fn main() {
     let mut single_us: Vec<f64> = queries
         .iter()
         .cycle()
-        .take(SINGLES)
+        .take(singles)
         .map(|q| {
             let start = Instant::now();
             black_box(pass.estimate(q)).ok();
@@ -106,15 +135,75 @@ fn main() {
     let par_ms = median_ms(|| {
         black_box(pass.estimate_many_parallel(&queries, &pool));
     });
-    let batch_seq_qps = BATCH as f64 / (seq_ms / 1e3);
-    let batch_par4_qps = BATCH as f64 / (par_ms / 1e3);
+    let batch_seq_qps = batch as f64 / (seq_ms / 1e3);
+    let batch_par4_qps = batch as f64 / (par_ms / 1e3);
+
+    // --- Scan-kernel microbenches -----------------------------------------
+    // The columnar kernels in isolation, without MCF classification on
+    // top: one mask-path estimate over a multi-dim sample, the fused
+    // 256-query batch, and the sorted 1-D binary-search fast path.
+    let k_rows = if smoke() { 2_048 } else { 16_384 }.min(table.n_rows());
+    let indices: Vec<usize> = (0..k_rows).collect();
+    let ksample =
+        Sample::from_indices(&table, &indices, table.n_rows() as u64).expect("kernel sample");
+    let dims = table.dims();
+    let bounds: Vec<(f64, f64)> = (0..dims)
+        .map(|d| {
+            let col = ksample.rows().predicate_column(d);
+            let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (lo, hi)
+        })
+        .collect();
+    let mid_rect = |frac_lo: f64, frac_hi: f64| {
+        let mut b = bounds.clone();
+        let (lo, hi) = b[0];
+        b[0] = (lo + (hi - lo) * frac_lo, lo + (hi - lo) * frac_hi);
+        Rect::new(&b)
+    };
+    let rect = mid_rect(0.25, 0.75);
+    let mut scratch = ScanScratch::new();
+    let reps = if smoke() { 20 } else { 200 };
+    let kernel_mask_single_us = median_ms(|| {
+        for _ in 0..reps {
+            black_box(scratch.estimate(AggKind::Sum, &ksample, &rect));
+        }
+    }) * 1e3
+        / reps as f64;
+
+    let kqueries: Vec<Query> = (0..256)
+        .map(|i| {
+            let f = i as f64 / 256.0;
+            Query::new(AggKind::Sum, mid_rect(f * 0.5, f * 0.5 + 0.3))
+        })
+        .collect();
+    let mut kout = Vec::new();
+    let kernel_batch256_per_query_us = median_ms(|| {
+        scratch.estimate_batch(&ksample, &kqueries, &mut kout);
+        black_box(&kout);
+    }) * 1e3
+        / kqueries.len() as f64;
+
+    let sorted_table = Table::one_dim(sorted.keys().to_vec(), sorted.values().to_vec())
+        .expect("sorted 1-D bench table");
+    let ssample = Sample::from_indices(&sorted_table, &indices, sorted_table.n_rows() as u64)
+        .expect("sorted kernel sample");
+    assert!(ssample.sorted_1d(), "sorted sample must ride the fast path");
+    let (klo, khi) = (bounds[0].0, bounds[0].1);
+    let srect = Rect::interval(klo + (khi - klo) * 0.25, klo + (khi - klo) * 0.75);
+    let kernel_sorted1d_single_us = median_ms(|| {
+        for _ in 0..reps {
+            black_box(scratch.estimate(AggKind::Sum, &ssample, &srect));
+        }
+    }) * 1e3
+        / reps as f64;
 
     // --- Serve round-trip -------------------------------------------------
     let mut session = Session::new(table).with_cache_capacity(1);
     session
         .add_engine("pass", &EngineSpec::Pass(pass_spec(128)))
         .unwrap();
-    let serve_queries = &queries[..SERVE_REQUESTS];
+    let serve_queries = &queries[..serve_requests];
     let mut serve_p50_us = 0u64;
     let mut serve_p99_us = 0u64;
     let serve_ms = median_ms(|| {
@@ -123,7 +212,7 @@ fn main() {
                 "pass",
                 ServeConfig::new()
                     .with_workers(2)
-                    .with_queue_depth(SERVE_REQUESTS),
+                    .with_queue_depth(serve_requests),
             )
             .unwrap();
         let tickets: Vec<Ticket> = serve_queries.iter().map(|q| serve.submit(q)).collect();
@@ -140,7 +229,7 @@ fn main() {
     // the per-category equality expansion; the sweep tracks how that
     // scales with category count (the serving tier's progressive path
     // executes exactly this per shard).
-    let gb_table = categorical_table(100_000, 64);
+    let gb_table = categorical_table(if smoke() { 10_000 } else { 100_000 }, 64);
     let gb_pass = Pass::from_spec(&gb_table, &pass_spec(128)).unwrap();
     let mut groupby_ms = [0.0f64; 3];
     for (slot, cats) in [4usize, 16, 64].into_iter().enumerate() {
@@ -187,6 +276,15 @@ fn main() {
         ("single_query_p50_us", Json::from(single_query_p50_us)),
         ("batch4k_seq_qps", Json::from(batch_seq_qps)),
         ("batch4k_par4_qps", Json::from(batch_par4_qps)),
+        ("kernel_mask_single_us", Json::from(kernel_mask_single_us)),
+        (
+            "kernel_batch256_per_query_us",
+            Json::from(kernel_batch256_per_query_us),
+        ),
+        (
+            "kernel_sorted1d_single_us",
+            Json::from(kernel_sorted1d_single_us),
+        ),
         ("serve_512_roundtrip_ms", Json::from(serve_ms)),
         ("serve_p50_latency_us", Json::from(serve_p50_us)),
         ("serve_p99_latency_us", Json::from(serve_p99_us)),
@@ -199,15 +297,40 @@ fn main() {
         ("std_atomic_ns_per_op", Json::from(std_atomic_ns)),
     ]);
 
-    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench has a workspace root");
-    let path = workspace_root.join(format!("BENCH_{pr}.json"));
-    std::fs::write(&path, format!("{}\n", payload.pretty())).expect("write trajectory file");
+    // Self-validation: the payload must round-trip through the
+    // workspace's own JSON parser and carry every tracked key — the
+    // contract the CI smoke step asserts.
+    let text = payload.pretty();
+    let parsed = Json::parse(&text).expect("trajectory payload must parse");
+    for key in [
+        "build_ms",
+        "single_query_p50_us",
+        "batch4k_seq_qps",
+        "batch4k_par4_qps",
+        "kernel_mask_single_us",
+        "kernel_batch256_per_query_us",
+        "kernel_sorted1d_single_us",
+        "serve_512_roundtrip_ms",
+        "groupby_64_ms",
+    ] {
+        assert!(
+            parsed.get(key).and_then(Json::as_f64).is_some(),
+            "trajectory payload missing numeric key {key}"
+        );
+    }
 
-    println!("{}", payload.pretty());
-    println!("[trajectory written to {}]", path.display());
+    println!("{text}");
+    if smoke() {
+        println!("[smoke] trajectory payload validated; no BENCH file written");
+    } else {
+        let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/bench has a workspace root");
+        let path = workspace_root.join(format!("BENCH_{pr}.json"));
+        std::fs::write(&path, format!("{text}\n")).expect("write trajectory file");
+        println!("[trajectory written to {}]", path.display());
+    }
     println!(
         "shim overhead: mutex {:+.1}% atomic {:+.1}% (within noise expected)",
         (shim_mutex_ns / std_mutex_ns - 1.0) * 100.0,

@@ -11,7 +11,7 @@
 //! handle negative values soundly by widening the partial contribution to
 //! `[N_i·min_i, 0]` / `[0, N_i·max_i]` as needed.
 
-use pass_common::{AggKind, Aggregates};
+use pass_common::AggKind;
 
 use crate::mcf::McfResult;
 use crate::tree::PartitionTree;
@@ -19,37 +19,60 @@ use crate::tree::PartitionTree;
 /// Hard bounds `(lb, ub)` for a query given its coverage frontier.
 /// `None` when the query provably matches nothing relevant (AVG/MIN/MAX of
 /// an empty selection).
+///
+/// Aggregates are read straight off the frontier ids (no materialized
+/// per-query node lists), in frontier order, so the summations are
+/// unchanged from the materializing formulation.
 pub fn hard_bounds(tree: &PartitionTree, frontier: &McfResult, agg: AggKind) -> Option<(f64, f64)> {
-    let covered: Vec<&Aggregates> = frontier
-        .covered
-        .iter()
-        .map(|&id| &tree.node(id).agg)
-        .collect();
+    hard_bounds_exact(tree, frontier, agg).0
+}
+
+/// [`hard_bounds`] plus the exact covered-partition contribution for
+/// SUM/COUNT (`0.0` for other aggregates).
+///
+/// The bounds computation already folds the covered partitions' sums
+/// (SUM's `base`) and counts (COUNT's `lb`) — the very folds the
+/// partial-aggregation step needs — with `Iterator::sum` in frontier
+/// order. Returning that fold lets the query path run it once; the bits
+/// are those of a standalone partial-aggregation fold because it *is*
+/// that fold.
+pub(crate) fn hard_bounds_exact(
+    tree: &PartitionTree,
+    frontier: &McfResult,
+    agg: AggKind,
+) -> (Option<(f64, f64)>, f64) {
+    let covered = || frontier.covered.iter().map(|&id| tree.agg(id));
     // 0-variance-rule nodes have an unknown matching count, so for hard
     // bounds they behave like partial nodes (only their extrema are safe).
-    let partial: Vec<&Aggregates> = frontier
-        .partial
-        .iter()
-        .chain(&frontier.zero_var)
-        .map(|&id| &tree.node(id).agg)
-        .collect();
-    if covered.is_empty() && partial.is_empty() {
+    let partial = || {
+        frontier
+            .partial
+            .iter()
+            .chain(&frontier.zero_var)
+            .map(|&id| tree.agg(id))
+    };
+    let no_partial = frontier.partial.is_empty() && frontier.zero_var.is_empty();
+    if frontier.covered.is_empty() && no_partial {
+        // The exact contribution is still the (empty) covered fold, so its
+        // bits — including the `Iterator::sum` seed — match a standalone
+        // partial-aggregation pass.
         return match agg {
-            AggKind::Sum | AggKind::Count => Some((0.0, 0.0)),
-            _ => None,
+            AggKind::Sum => (Some((0.0, 0.0)), covered().map(|a| a.sum).sum()),
+            AggKind::Count => (Some((0.0, 0.0)), covered().map(|a| a.count as f64).sum()),
+            _ => (None, 0.0),
         };
     }
     match agg {
         AggKind::Count => {
-            let lb: f64 = covered.iter().map(|a| a.count as f64).sum();
-            let ub: f64 = lb + partial.iter().map(|a| a.count as f64).sum::<f64>();
-            Some((lb, ub))
+            let lb: f64 = covered().map(|a| a.count as f64).sum();
+            let ub: f64 = lb + partial().map(|a| a.count as f64).sum::<f64>();
+            (Some((lb, ub)), lb)
         }
         AggKind::Sum => {
-            let base: f64 = covered.iter().map(|a| a.sum).sum();
+            let base: f64 = covered().map(|a| a.sum).sum();
             let mut lb = base;
             let mut ub = base;
-            for a in &partial {
+            for a in partial() {
                 // Non-negative partitions contribute [0, SUM_i] exactly as
                 // in the paper; mixed-sign partitions widen to the sound
                 // envelope.
@@ -62,68 +85,62 @@ pub fn hard_bounds(tree: &PartitionTree, frontier: &McfResult, agg: AggKind) -> 
                     ub += a.count as f64 * a.max.max(0.0);
                 }
             }
-            Some((lb, ub))
+            (Some((lb, ub)), base)
         }
         AggKind::Avg => {
-            let cov_sum: f64 = covered.iter().map(|a| a.sum).sum();
-            let cov_count: f64 = covered.iter().map(|a| a.count as f64).sum();
-            let partial_max = partial
-                .iter()
-                .map(|a| a.max)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let partial_min = partial.iter().map(|a| a.min).fold(f64::INFINITY, f64::min);
-            if cov_count > 0.0 {
+            let cov_sum: f64 = covered().map(|a| a.sum).sum();
+            let cov_count: f64 = covered().map(|a| a.count as f64).sum();
+            let partial_max = partial().map(|a| a.max).fold(f64::NEG_INFINITY, f64::max);
+            let partial_min = partial().map(|a| a.min).fold(f64::INFINITY, f64::min);
+            let bounds = if cov_count > 0.0 {
                 let cov_avg = cov_sum / cov_count;
-                let ub = if partial.is_empty() {
+                let ub = if no_partial {
                     cov_avg
                 } else {
                     cov_avg.max(partial_max)
                 };
-                let lb = if partial.is_empty() {
+                let lb = if no_partial {
                     cov_avg
                 } else {
                     cov_avg.min(partial_min)
                 };
                 Some((lb, ub))
-            } else if !partial.is_empty() {
+            } else if !no_partial {
                 Some((partial_min, partial_max))
             } else {
                 None
-            }
+            };
+            (bounds, 0.0)
         }
         AggKind::Min => {
             // True MIN is at most the covered minimum, and at least the
             // smallest minimum over every partition that may contribute.
-            let cov_min = covered.iter().map(|a| a.min).fold(f64::INFINITY, f64::min);
-            let all_min = partial.iter().map(|a| a.min).fold(cov_min, f64::min);
-            if covered.is_empty() {
+            let cov_min = covered().map(|a| a.min).fold(f64::INFINITY, f64::min);
+            let all_min = partial().map(|a| a.min).fold(cov_min, f64::min);
+            let bounds = if frontier.covered.is_empty() {
                 // The query may match nothing; the lower envelope is still
                 // sound *if* it matches. Report the widest sound bracket.
                 Some((
                     all_min,
-                    partial
-                        .iter()
-                        .map(|a| a.max)
-                        .fold(f64::NEG_INFINITY, f64::max),
+                    partial().map(|a| a.max).fold(f64::NEG_INFINITY, f64::max),
                 ))
             } else {
                 Some((all_min, cov_min))
-            }
+            };
+            (bounds, 0.0)
         }
         AggKind::Max => {
-            let cov_max = covered
-                .iter()
-                .map(|a| a.max)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let all_max = partial.iter().map(|a| a.max).fold(cov_max, f64::max);
-            if covered.is_empty() {
+            let cov_max = covered().map(|a| a.max).fold(f64::NEG_INFINITY, f64::max);
+            let all_max = partial().map(|a| a.max).fold(cov_max, f64::max);
+            let bounds = if frontier.covered.is_empty() {
                 Some((
-                    partial.iter().map(|a| a.min).fold(f64::INFINITY, f64::min),
+                    partial().map(|a| a.min).fold(f64::INFINITY, f64::min),
                     all_max,
                 ))
             } else {
                 Some((cov_max, all_max))
-            }
+            };
+            (bounds, 0.0)
         }
     }
 }
@@ -225,7 +242,7 @@ mod tests {
         let (lb, ub) = hard_bounds(&tree, &frontier, AggKind::Avg).unwrap();
         let truth = table.ground_truth(&q).unwrap();
         assert!(lb <= truth && truth <= ub);
-        let leaf0 = &tree.node(tree.leaves()[0]).agg;
+        let leaf0 = tree.agg(tree.leaves()[0]);
         assert_eq!(lb, leaf0.min);
         assert_eq!(ub, leaf0.max);
     }

@@ -68,4 +68,4 @@ pub use mcf::{
     constrains_outside, mcf, mcf_batch, mcf_shifted, project_rect, McfResult, McfScratch, NodeClass,
 };
 pub use synopsis::{PartitionStrategy, Pass, PassBuilder};
-pub use tree::{NodeId, PartitionTree, TreeNode};
+pub use tree::{NodeId, PartitionTree};

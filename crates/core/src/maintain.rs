@@ -52,10 +52,9 @@ impl Pass {
             // Find an internal node whose children are all leaves and
             // whose population is under threshold.
             let candidate = (0..self.tree.n_nodes()).find(|&id| {
-                let node = self.tree.node(id);
-                !node.is_leaf()
-                    && node.agg.count <= threshold
-                    && node.children.iter().all(|&c| self.tree.node(c).is_leaf())
+                !self.tree.is_leaf(id)
+                    && self.tree.agg(id).count <= threshold
+                    && self.tree.children(id).iter().all(|&c| self.tree.is_leaf(c))
             });
             let Some(parent) = candidate else { break };
             self.collapse_into_leaf(parent);
@@ -69,13 +68,13 @@ impl Pass {
     /// concatenate the children's samples (then thin back to the combined
     /// capacity so the sampling rate stays uniform) and drop the children.
     fn collapse_into_leaf(&mut self, parent: NodeId) {
-        let children = self.tree.node(parent).children.clone();
+        let children = self.tree.children(parent).to_vec();
         // Gather child samples.
         let mut rows: Vec<(Vec<f64>, f64)> = Vec::new();
         let mut capacity = 0usize;
         let mut population = 0u64;
         for &c in &children {
-            let li = self.tree.node(c).leaf_index.expect("children are leaves");
+            let li = self.tree.leaf_index(c).expect("children are leaves");
             let s = &self.samples[li];
             capacity += s.k();
             population += s.population();
@@ -111,16 +110,14 @@ impl Pass {
         // Rewire: parent becomes a leaf reusing the first child's sample
         // slot; other children are detached (left in the arena as orphans,
         // excluded by leaf_index = None and empty parents' child lists).
-        let first_li = self.tree.node(children[0]).leaf_index.unwrap();
+        let first_li = self.tree.leaf_index(children[0]).unwrap();
         for &c in &children {
-            let node = self.tree.node_mut(c);
-            node.leaf_index = None;
-            node.parent = None;
+            self.tree.set_leaf_index(c, None);
+            self.tree.set_parent(c, None);
         }
         self.samples[first_li] = merged;
-        let parent_node = self.tree.node_mut(parent);
-        parent_node.children.clear();
-        parent_node.leaf_index = Some(first_li);
+        self.tree.clear_children(parent);
+        self.tree.set_leaf_index(parent, Some(first_li));
         self.tree.recount_leaves();
     }
 
@@ -133,11 +130,11 @@ impl Pass {
             .tree
             .leaves()
             .into_iter()
-            .find(|&id| self.tree.node(id).agg.count > threshold)
+            .find(|&id| self.tree.agg(id).count > threshold)
         else {
             return Ok(false);
         };
-        let rect = self.tree.node(leaf).rect.clone();
+        let rect = self.tree.rect(leaf);
         // Rows of the table inside this leaf's rectangle.
         let rows: Vec<usize> = (0..table.n_rows())
             .filter(|&i| table.matches(&rect, i))
@@ -162,7 +159,7 @@ impl Pass {
             return Ok(false);
         }
 
-        let old_li = self.tree.node(leaf).leaf_index.expect("leaf has index");
+        let old_li = self.tree.leaf_index(leaf).expect("leaf has index");
         let rate = self.samples[old_li].k() as f64 / rows.len().max(1) as f64;
         let mut rng = rng_from_seed(0x5711 ^ leaf as u64);
         let make_child =

@@ -52,7 +52,7 @@ impl McfResult {
             .iter()
             .chain(&self.partial)
             .chain(&self.zero_var)
-            .map(|&id| tree.node(id).agg.count)
+            .map(|&id| tree.agg(id).count)
             .sum()
     }
 }
@@ -84,21 +84,21 @@ pub fn mcf_shifted(
     // descend every partially/fully intersecting branch to its leaves.
     let mut result = McfResult::default();
     let apply_zero_var = zero_variance_rule && query.agg == AggKind::Avg;
+    let check_empty = tree.has_empty_nodes();
     let mut stack = vec![tree.root()];
     while let Some(id) = stack.pop() {
         result.visited += 1;
-        let node = tree.node(id);
-        if node.agg.is_empty() {
+        if check_empty && tree.agg(id).is_empty() {
             continue;
         }
-        match node.rect.relation_to(&projected.rect) {
+        match tree.relation_to(id, &projected.rect) {
             RectRelation::Disjoint => {}
-            _ if apply_zero_var && node.agg.is_zero_variance() => {
+            _ if apply_zero_var && tree.agg(id).is_zero_variance() => {
                 // Constant values: AVG is exact whichever rows match.
                 result.zero_var.push(id);
             }
-            _ if node.is_leaf() => result.partial.push(id),
-            _ => stack.extend_from_slice(&node.children),
+            _ if tree.is_leaf(id) => result.partial.push(id),
+            _ => stack.extend_from_slice(tree.children(id)),
         }
     }
     result
@@ -111,10 +111,23 @@ pub fn project_rect(rect: &Rect, dims: &[usize]) -> Rect {
 }
 
 /// Does the rectangle constrain any dimension outside `dims`?
+///
+/// `dims` membership is answered through a 64-bit dimension mask instead
+/// of a linear `contains` per dimension (queries are low-dimensional; the
+/// > 64-dimension case falls back to the scan).
 pub fn constrains_outside(rect: &Rect, dims: &[usize]) -> bool {
-    (0..rect.dims())
-        .filter(|d| !dims.contains(d))
-        .any(|d| rect.lo(d) != f64::NEG_INFINITY || rect.hi(d) != f64::INFINITY)
+    let constrained = |d: usize| rect.lo(d) != f64::NEG_INFINITY || rect.hi(d) != f64::INFINITY;
+    if rect.dims() <= 64 {
+        let mut mask = 0u64;
+        for &d in dims {
+            if d < 64 {
+                mask |= 1 << d;
+            }
+        }
+        (0..rect.dims()).any(|d| mask & (1 << d) == 0 && constrained(d))
+    } else {
+        (0..rect.dims()).any(|d| !dims.contains(&d) && constrained(d))
+    }
 }
 
 /// Run MCF for a whole query batch in **one** tree traversal.
@@ -158,26 +171,27 @@ pub fn mcf_batch(
     // allocation (the arena and stack grow amortized).
     let mut arena: Vec<u32> = (0..queries.len() as u32).collect();
     let mut stack: Vec<(NodeId, u32, u32)> = vec![(tree.root(), 0, queries.len() as u32)];
+    let check_empty = tree.has_empty_nodes();
     while let Some((id, start, len)) = stack.pop() {
         let (start, end) = (start as usize, (start + len) as usize);
-        let node = tree.node(id);
         for i in start..end {
             results[arena[i] as usize].visited += 1;
         }
-        if node.agg.is_empty() {
+        if check_empty && tree.agg(id).is_empty() {
             continue;
         }
         let recurse_start = arena.len();
+        let (is_leaf, zero_variance) = (tree.is_leaf(id), tree.agg(id).is_zero_variance());
         for i in start..end {
             let qi = arena[i];
             let q = qi as usize;
-            match node.rect.relation_to(&queries[q].rect) {
+            match tree.relation_to(id, &queries[q].rect) {
                 RectRelation::Disjoint => {}
                 RectRelation::Covered => results[q].covered.push(id),
                 RectRelation::Partial => {
-                    if apply_zero_var[q] && node.agg.is_zero_variance() {
+                    if apply_zero_var[q] && zero_variance {
                         results[q].zero_var.push(id);
-                    } else if node.is_leaf() {
+                    } else if is_leaf {
                         results[q].partial.push(id);
                     } else {
                         arena.push(qi);
@@ -187,7 +201,7 @@ pub fn mcf_batch(
         }
         let recurse_len = (arena.len() - recurse_start) as u32;
         if recurse_len > 0 {
-            for &child in &node.children {
+            for &child in tree.children(id) {
                 stack.push((child, recurse_start as u32, recurse_len));
             }
         }
@@ -203,21 +217,60 @@ pub fn mcf(tree: &PartitionTree, query: &Query, zero_variance_rule: bool) -> Mcf
     scratch.result
 }
 
-/// Reusable MCF working state: the DFS stack and the frontier buffers.
+/// Reusable MCF working state: the DFS stack, the frontier buffers, the
+/// scan-kernel scratch, and the stratum-combination buffer.
 ///
-/// A single `estimate` allocates (and frees) four vectors per query; the
-/// batched path keeps one scratch alive across the whole batch so every
-/// query after the first runs allocation-free. `run` produces exactly the
-/// frontier [`mcf`] would.
+/// A single `estimate` would otherwise allocate (and free) several vectors
+/// per query; the batched path keeps one scratch alive across the whole
+/// batch so every query after the first runs allocation-free — frontier
+/// classification, per-leaf sample scans, and stratum combination all
+/// reuse these buffers. `run` produces exactly the frontier [`mcf`] would.
 #[derive(Debug, Default)]
 pub struct McfScratch {
     stack: Vec<NodeId>,
     /// The most recent query's frontier (cleared, not freed, per run).
     pub result: McfResult,
+    /// Scan-kernel buffers for per-leaf sample estimates.
+    pub scan: pass_sampling::ScanScratch,
+    /// Reusable per-stratum estimate buffer (cleared per query).
+    pub(crate) strata: Vec<pass_sampling::StratumEstimate>,
 }
 
 impl McfScratch {
+    /// Run `f` against this thread's reusable scratch — the single-query
+    /// (`&self`) entry points borrow it so they ride the same buffers the
+    /// batched path owns explicitly.
+    pub fn with_local<R>(f: impl FnOnce(&mut McfScratch) -> R) -> R {
+        use std::cell::RefCell;
+        thread_local! {
+            static SCRATCH: RefCell<McfScratch> = RefCell::new(McfScratch::default());
+        }
+        SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    }
+
+    /// Split into (frontier, scan scratch, strata buffer) — disjoint
+    /// borrows for finishing an estimate off `result`.
+    pub(crate) fn parts(
+        &mut self,
+    ) -> (
+        &McfResult,
+        &mut pass_sampling::ScanScratch,
+        &mut Vec<pass_sampling::StratumEstimate>,
+    ) {
+        (&self.result, &mut self.scan, &mut self.strata)
+    }
+
     /// Classify `query` over `tree` into `self.result`, reusing buffers.
+    ///
+    /// The disjoint test runs before the emptiness check: most visited
+    /// nodes are disjoint siblings along the descent, and classifying them
+    /// from the interleaved rect pairs alone keeps the (much larger)
+    /// aggregate array out of the traversal's cache footprint. An empty
+    /// node is skipped whichever test fires first, so the emitted frontier
+    /// — including order — is identical to the original empty-check-first
+    /// loop. When the tree reports no empty nodes at all (the common case:
+    /// leaves are born populated and only deletions can zero a count), the
+    /// emptiness check vanishes and the traversal never loads an aggregate.
     pub fn run(&mut self, tree: &PartitionTree, query: &Query, zero_variance_rule: bool) {
         let result = &mut self.result;
         result.covered.clear();
@@ -226,25 +279,96 @@ impl McfScratch {
         result.visited = 0;
         let apply_zero_var = zero_variance_rule && query.agg == AggKind::Avg;
         self.stack.clear();
+        if tree.dims() == 1 {
+            // Interval fast loop: query bounds and the visit counter live
+            // in registers, and node bounds come straight off the packed
+            // `(lo, hi)` column (node id indexes it directly in 1-D), so a
+            // disjoint node costs one 16-byte load and one fused compare —
+            // paid when its parent expands, so disjoint children never
+            // touch the stack at all. Every child of an expanded node is
+            // still counted in `visited` exactly once (at expansion
+            // instead of at pop), so the total matches the pop-time
+            // formulation node for node, and disjoint nodes emit nothing,
+            // so the frontier — including order — is unchanged.
+            let (ql, qh) = (query.rect.lo(0), query.rect.hi(0));
+            let pairs = tree.rect_pairs();
+            let check_empty = tree.has_empty_nodes();
+            let mut visited = 1usize; // the root is always examined
+            let root = tree.root();
+            let (rl, rh) = pairs[root];
+            if rl <= qh && ql <= rh {
+                self.stack.push(root);
+            }
+            while let Some(top) = self.stack.pop() {
+                // Inner descent: a partial internal node hands its last
+                // non-disjoint child straight to the next iteration
+                // (exactly the node the LIFO pop would produce) and only
+                // its earlier surviving siblings touch the stack.
+                let mut id = top;
+                let (mut nl, mut nh) = pairs[id];
+                loop {
+                    // `id` is non-disjoint — tested when pushed/descended.
+                    if check_empty && tree.agg(id).is_empty() {
+                        break;
+                    }
+                    if ql <= nl && nh <= qh {
+                        result.covered.push(id);
+                        break;
+                    }
+                    if apply_zero_var && tree.agg(id).is_zero_variance() {
+                        // 0-variance rule: constant values make AVG exact
+                        // even under partial overlap.
+                        result.zero_var.push(id);
+                        break;
+                    }
+                    let children = tree.children(id);
+                    match children.split_last() {
+                        None => {
+                            result.partial.push(id);
+                            break;
+                        }
+                        Some((&last, rest)) => {
+                            for &sib in rest {
+                                visited += 1;
+                                let (sl, sh) = pairs[sib];
+                                if sl <= qh && ql <= sh {
+                                    self.stack.push(sib);
+                                }
+                            }
+                            visited += 1;
+                            let (ll, lh) = pairs[last];
+                            if ll <= qh && ql <= lh {
+                                (id, nl, nh) = (last, ll, lh);
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            result.visited = visited;
+            return;
+        }
+        let check_empty = tree.has_empty_nodes();
         self.stack.push(tree.root());
         while let Some(id) = self.stack.pop() {
             result.visited += 1;
-            let node = tree.node(id);
-            if node.agg.is_empty() {
-                continue;
-            }
-            match node.rect.relation_to(&query.rect) {
+            match tree.relation_to(id, &query.rect) {
                 RectRelation::Disjoint => {}
-                RectRelation::Covered => result.covered.push(id),
-                RectRelation::Partial => {
-                    // 0-variance rule: constant values make AVG exact even
-                    // under partial overlap.
-                    if apply_zero_var && node.agg.is_zero_variance() {
+                relation => {
+                    if check_empty && tree.agg(id).is_empty() {
+                        continue;
+                    }
+                    if relation == RectRelation::Covered {
+                        result.covered.push(id);
+                    } else if apply_zero_var && tree.agg(id).is_zero_variance() {
+                        // 0-variance rule: constant values make AVG exact
+                        // even under partial overlap.
                         result.zero_var.push(id);
-                    } else if node.is_leaf() {
+                    } else if tree.is_leaf(id) {
                         result.partial.push(id);
                     } else {
-                        self.stack.extend_from_slice(&node.children);
+                        self.stack.extend_from_slice(tree.children(id));
                     }
                 }
             }
@@ -275,7 +399,7 @@ mod tests {
         let q = Query::interval(AggKind::Sum, 25.0, 74.0);
         let r = mcf(&t, &q, false);
         assert!(r.partial.is_empty(), "aligned query needs no samples");
-        let covered_rows: u64 = r.covered.iter().map(|&id| t.node(id).agg.count).sum();
+        let covered_rows: u64 = r.covered.iter().map(|&id| t.agg(id).count).sum();
         assert_eq!(covered_rows, 50);
     }
 
@@ -306,7 +430,7 @@ mod tests {
         let q = Query::interval(AggKind::Sum, 10.0, 60.0);
         let r = mcf(&t, &q, false);
         assert_eq!(r.partial.len(), 2);
-        let covered_rows: u64 = r.covered.iter().map(|&id| t.node(id).agg.count).sum();
+        let covered_rows: u64 = r.covered.iter().map(|&id| t.agg(id).count).sum();
         assert_eq!(covered_rows, 25);
         assert_eq!(r.relevant_population(&t), 75);
     }
@@ -318,7 +442,7 @@ mod tests {
             let q = Query::interval(AggKind::Sum, lo, hi);
             let r = mcf(&t, &q, false);
             for &id in &r.partial {
-                assert!(t.node(id).is_leaf(), "partial node {id} is internal");
+                assert!(t.is_leaf(id), "partial node {id} is internal");
             }
         }
     }
@@ -330,10 +454,10 @@ mod tests {
         let r = mcf(&t, &q, false);
         let all: Vec<NodeId> = r.covered.iter().chain(&r.partial).copied().collect();
         for &a in &all {
-            let mut p = t.node(a).parent;
+            let mut p = t.parent(a);
             while let Some(id) = p {
                 assert!(!all.contains(&id), "{id} is an ancestor of {a}");
-                p = t.node(id).parent;
+                p = t.parent(id);
             }
         }
     }
@@ -468,10 +592,10 @@ mod tests {
         let q = Query::new(AggKind::Sum, rect.narrowed(0, rect.lo(0), mid));
         let r = mcf(&t, &q, false);
         for &id in &r.covered {
-            assert!(q.rect.contains_rect(&t.node(id).rect));
+            assert!(q.rect.contains_rect(&t.rect(id)));
         }
         for &id in &r.partial {
-            assert!(q.rect.intersects(&t.node(id).rect));
+            assert!(q.rect.intersects(&t.rect(id)));
         }
     }
 }

@@ -3,16 +3,20 @@
 
 use pass_common::{AggKind, Estimate, PassError, Query, Result};
 use pass_sampling::{
-    combine_strata, estimate as sample_estimate, PointVariance, Sample, StratumEstimate,
+    combine_strata, PointVariance, Sample, SampleArena, ScanScratch, StratumEstimate,
 };
 
-use crate::bounds::hard_bounds;
-use crate::mcf::{mcf, mcf_shifted, McfResult, McfScratch};
+use crate::bounds::hard_bounds_exact;
+use crate::mcf::{mcf_shifted, McfResult, McfScratch};
 use crate::tree::PartitionTree;
 
 /// Answer `query` over the annotated tree and its per-leaf stratified
 /// samples. `lambda` scales the confidence interval; `zero_variance_rule`
 /// enables the Section 3.4 AVG short-circuit.
+///
+/// One-shot convenience: flattens `leaf_samples` into a [`SampleArena`]
+/// per call. The synopsis serving path keeps a prebuilt arena alive and
+/// goes through the crate-internal `process_arena` instead.
 pub fn process(
     tree: &PartitionTree,
     leaf_samples: &[Sample],
@@ -30,6 +34,21 @@ pub fn process(
 pub fn process_with_tree_dims(
     tree: &PartitionTree,
     leaf_samples: &[Sample],
+    query: &Query,
+    lambda: f64,
+    zero_variance_rule: bool,
+    tree_dims: Option<&[usize]>,
+) -> Result<Estimate> {
+    let arena = SampleArena::from_samples(leaf_samples);
+    process_arena(tree, &arena, query, lambda, zero_variance_rule, tree_dims)
+}
+
+/// [`process_with_tree_dims`] off a prebuilt [`SampleArena`] — the serving
+/// path: partial-leaf scans read the flat arena instead of chasing
+/// per-`Sample` heap pointers, with bit-identical results.
+pub(crate) fn process_arena(
+    tree: &PartitionTree,
+    arena: &SampleArena,
     query: &Query,
     lambda: f64,
     zero_variance_rule: bool,
@@ -53,11 +72,18 @@ pub fn process_with_tree_dims(
             }
         }
     }
-    let frontier = match tree_dims {
-        None => mcf(tree, query, zero_variance_rule),
-        Some(dims) => mcf_shifted(tree, query, dims, zero_variance_rule),
-    };
-    process_frontier(tree, leaf_samples, query, lambda, &frontier)
+    McfScratch::with_local(|scratch| match tree_dims {
+        None => {
+            scratch.run(tree, query, zero_variance_rule);
+            let (frontier, scan, strata) = scratch.parts();
+            process_frontier(tree, arena, query, lambda, frontier, scan, strata)
+        }
+        Some(dims) => {
+            let frontier = mcf_shifted(tree, query, dims, zero_variance_rule);
+            let (_, scan, strata) = scratch.parts();
+            process_frontier(tree, arena, query, lambda, &frontier, scan, strata)
+        }
+    })
 }
 
 /// Batched query processing: one [`McfScratch`] carries the traversal
@@ -97,43 +123,82 @@ pub fn process_batch_with(
     zero_variance_rule: bool,
     scratch: &mut McfScratch,
 ) -> Vec<Result<Estimate>> {
+    let arena = SampleArena::from_samples(leaf_samples);
+    process_batch_arena(tree, &arena, queries, lambda, zero_variance_rule, scratch)
+}
+
+/// [`process_batch_with`] off a prebuilt [`SampleArena`] — the serving
+/// batch path used by `Pass::estimate_many{,_parallel}`.
+pub(crate) fn process_batch_arena(
+    tree: &PartitionTree,
+    arena: &SampleArena,
+    queries: &[Query],
+    lambda: f64,
+    zero_variance_rule: bool,
+    scratch: &mut McfScratch,
+) -> Vec<Result<Estimate>> {
     queries
         .iter()
         .map(|query| {
             scratch.run(tree, query, zero_variance_rule);
-            process_frontier(tree, leaf_samples, query, lambda, &scratch.result)
+            let (frontier, scan, strata) = scratch.parts();
+            process_frontier(tree, arena, query, lambda, frontier, scan, strata)
         })
         .collect()
 }
 
 /// Finish one query from its (pre-computed) coverage frontier: partial
-/// aggregation, sample estimation, hard bounds, accounting.
+/// aggregation, sample estimation, hard bounds, accounting. Sample scans
+/// run on the `scan` kernel scratch and per-stratum estimates accumulate
+/// into the reusable `strata` buffer, so a warmed-up scratch finishes the
+/// whole query without touching the allocator. The covered SUM/COUNT fold
+/// is shared with the bounds computation ([`hard_bounds_exact`]) and the
+/// sample accounting rides the per-aggregate partial-leaf loop, so each
+/// frontier list is walked once.
+#[allow(clippy::too_many_arguments)]
 fn process_frontier(
     tree: &PartitionTree,
-    leaf_samples: &[Sample],
+    arena: &SampleArena,
     query: &Query,
     lambda: f64,
     frontier: &McfResult,
+    scan: &mut ScanScratch,
+    strata: &mut Vec<StratumEstimate>,
 ) -> Result<Estimate> {
-    let bounds = hard_bounds(tree, frontier, query.agg);
+    let (bounds, exact_part) = hard_bounds_exact(tree, frontier, query.agg);
 
-    // Sample accounting: every partial leaf's whole sample is scanned.
-    let processed: u64 = frontier
-        .partial
-        .iter()
-        .map(|&id| sample_of(tree, leaf_samples, id).k() as u64)
-        .sum();
-    let skipped = tree.total_rows().saturating_sub(processed);
+    // Sample accounting, accumulated by the partial-leaf scan loops:
+    // every partial leaf's whole sample is scanned.
+    let mut processed = 0u64;
 
     let mut est = match query.agg {
-        AggKind::Sum | AggKind::Count => {
-            process_sum_count(tree, leaf_samples, query, lambda, frontier)
-        }
-        AggKind::Avg => process_avg(tree, leaf_samples, query, lambda, frontier, &bounds)?,
+        AggKind::Sum | AggKind::Count => process_sum_count(
+            tree,
+            arena,
+            query,
+            lambda,
+            frontier,
+            exact_part,
+            scan,
+            strata,
+            &mut processed,
+        ),
+        AggKind::Avg => process_avg(
+            tree,
+            arena,
+            query,
+            lambda,
+            frontier,
+            &bounds,
+            scan,
+            strata,
+            &mut processed,
+        )?,
         AggKind::Min | AggKind::Max => {
-            process_minmax(tree, leaf_samples, query, frontier, &bounds)?
+            process_minmax(tree, arena, query, frontier, &bounds, scan, &mut processed)?
         }
     };
+    let skipped = tree.total_rows().saturating_sub(processed);
     est = est.with_accounting(processed, skipped);
     if let Some((lb, ub)) = bounds {
         est = est.with_hard_bounds(lb, ub);
@@ -141,47 +206,42 @@ fn process_frontier(
     Ok(est)
 }
 
-fn sample_of<'a>(tree: &PartitionTree, leaf_samples: &'a [Sample], id: usize) -> &'a Sample {
-    let li = tree
-        .node(id)
-        .leaf_index
-        .expect("partial frontier nodes are leaves");
-    &leaf_samples[li]
+#[inline]
+fn stratum_of(tree: &PartitionTree, id: usize) -> usize {
+    tree.leaf_index(id)
+        .expect("partial frontier nodes are leaves")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_sum_count(
     tree: &PartitionTree,
-    leaf_samples: &[Sample],
+    arena: &SampleArena,
     query: &Query,
     lambda: f64,
     frontier: &McfResult,
+    // Partial Aggregation: exact contribution of covered partitions,
+    // folded once inside `hard_bounds_exact` (same addends, same order).
+    exact_part: f64,
+    scan: &mut ScanScratch,
+    strata: &mut Vec<StratumEstimate>,
+    processed: &mut u64,
 ) -> Estimate {
-    // Partial Aggregation: exact contribution of covered partitions.
-    let exact_part: f64 = frontier
-        .covered
-        .iter()
-        .map(|&id| {
-            let agg = &tree.node(id).agg;
-            match query.agg {
-                AggKind::Sum => agg.sum,
-                _ => agg.count as f64,
-            }
-        })
-        .sum();
-
     // Sample Estimation over partial leaves (w_i = 1 for SUM/COUNT).
-    let strata: Vec<StratumEstimate> = frontier
-        .partial
-        .iter()
-        .filter_map(|&id| {
-            let sample = sample_of(tree, leaf_samples, id);
-            sample_estimate(query.agg, sample, &query.rect).map(|point| StratumEstimate {
+    strata.clear();
+    for &id in &frontier.partial {
+        let view = arena.view(stratum_of(tree, id));
+        *processed += view.k() as u64;
+        if let Some(point) = scan.estimate_view(query.agg, &view, &query.rect) {
+            strata.push(StratumEstimate {
                 point,
-                population: tree.node(id).agg.count,
-            })
-        })
-        .collect();
-    let combined = combine_strata(query.agg, &strata, 0);
+                // Sample populations track leaf counts (an invariant the
+                // update path maintains and tests), so the view already
+                // carries `tree.agg(id).count`.
+                population: view.population,
+            });
+        }
+    }
+    let combined = combine_strata(query.agg, strata, 0);
 
     let value = exact_part + combined.value;
     let ci_half = lambda * combined.variance.sqrt();
@@ -192,22 +252,26 @@ fn process_sum_count(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_avg(
     tree: &PartitionTree,
-    leaf_samples: &[Sample],
+    arena: &SampleArena,
     query: &Query,
     lambda: f64,
     frontier: &McfResult,
     bounds: &Option<(f64, f64)>,
+    scan: &mut ScanScratch,
+    strata: &mut Vec<StratumEstimate>,
+    processed: &mut u64,
 ) -> Result<Estimate> {
     // Relevant strata: covered partitions plus partial leaves with sample
     // evidence. N_q is their total size (Section 3.3's weighting).
-    let mut strata: Vec<StratumEstimate> = Vec::new();
+    strata.clear();
     // Covered nodes contribute exactly; 0-variance nodes contribute their
     // constant value exactly too (Section 3.4's rule), weighted by their
     // full population per the paper's prescription.
     for &id in frontier.covered.iter().chain(&frontier.zero_var) {
-        let agg = &tree.node(id).agg;
+        let agg = tree.agg(id);
         if let Some(avg) = agg.avg() {
             strata.push(StratumEstimate {
                 point: PointVariance {
@@ -221,16 +285,18 @@ fn process_avg(
     }
     let mut n_q: u64 = strata.iter().map(|s| s.population).sum();
     for &id in &frontier.partial {
-        let sample = sample_of(tree, leaf_samples, id);
-        if let Some(point) = sample_estimate(AggKind::Avg, sample, &query.rect) {
+        let view = arena.view(stratum_of(tree, id));
+        *processed += view.k() as u64;
+        if let Some(point) = scan.estimate_view(AggKind::Avg, &view, &query.rect) {
             // Weight partial strata by their *estimated relevant*
             // population N_i · K_pred/K_i rather than the full N_i: only a
             // fraction of a partially-covered stratum contributes to the
             // average, and the sample selectivity is its unbiased
             // estimate. (With full-N_i weights a barely-touched stratum
-            // would swamp fully-covered ones.)
-            let n_i = tree.node(id).agg.count as f64;
-            let selectivity = point.k_pred as f64 / sample.k().max(1) as f64;
+            // would swamp fully-covered ones. The view's population is
+            // N_i: sample populations track leaf counts.)
+            let n_i = view.population as f64;
+            let selectivity = point.k_pred as f64 / view.k().max(1) as f64;
             let population = ((n_i * selectivity).round() as u64).max(1);
             n_q += population;
             strata.push(StratumEstimate { point, population });
@@ -250,7 +316,7 @@ fn process_avg(
         };
     }
 
-    let combined = combine_strata(AggKind::Avg, &strata, n_q);
+    let combined = combine_strata(AggKind::Avg, strata, n_q);
     let ci_half = lambda * combined.variance.sqrt();
     // 0-variance contributions are exact in value but approximate in
     // weight, so only a frontier with neither partial nor zero-var nodes
@@ -264,10 +330,12 @@ fn process_avg(
 
 fn process_minmax(
     tree: &PartitionTree,
-    leaf_samples: &[Sample],
+    arena: &SampleArena,
     query: &Query,
     frontier: &McfResult,
     bounds: &Option<(f64, f64)>,
+    scan: &mut ScanScratch,
+    processed: &mut u64,
 ) -> Result<Estimate> {
     let mut best: Option<f64> = None;
     let mut fold = |v: f64| {
@@ -278,7 +346,7 @@ fn process_minmax(
         });
     };
     for &id in &frontier.covered {
-        let agg = &tree.node(id).agg;
+        let agg = tree.agg(id);
         if !agg.is_empty() {
             fold(match query.agg {
                 AggKind::Min => agg.min,
@@ -287,8 +355,9 @@ fn process_minmax(
         }
     }
     for &id in &frontier.partial {
-        let sample = sample_of(tree, leaf_samples, id);
-        if let Some(point) = sample_estimate(query.agg, sample, &query.rect) {
+        let view = arena.view(stratum_of(tree, id));
+        *processed += view.k() as u64;
+        if let Some(point) = scan.estimate_view(query.agg, &view, &query.rect) {
             fold(point.value);
         }
     }

@@ -19,7 +19,7 @@ use pass_partition::{
     build_kd, Adp, EqualDepth, EqualWidth, HillClimb, KdExpansion, Partitioner1D,
 };
 use pass_sampling::delta::DeltaEncoded;
-use pass_sampling::Sample;
+use pass_sampling::{Sample, SampleArena};
 use pass_table::{SortedTable, Table};
 
 use crate::tree::PartitionTree;
@@ -298,7 +298,7 @@ impl PassBuilder {
             // Round-trip the sample values through the f32 delta codec so
             // estimates genuinely reflect the compressed representation.
             for (li, sample) in samples.iter_mut().enumerate() {
-                let mean = tree.node(leaves[li]).agg.avg().unwrap_or(0.0);
+                let mean = tree.agg(leaves[li]).avg().unwrap_or(0.0);
                 let values: Vec<f64> = (0..sample.k()).map(|i| sample.rows().value(i)).collect();
                 let decoded = DeltaEncoded::encode(&values, mean).decode();
                 for (i, v) in decoded.into_iter().enumerate() {
@@ -310,9 +310,11 @@ impl PassBuilder {
             }
         }
         let query_dims = tree.dims();
+        let arena = SampleArena::from_samples(&samples);
         Ok(Pass {
             tree,
             samples,
+            arena,
             lambda: self.spec.lambda,
             zero_variance_rule: self.spec.zero_variance_rule,
             delta_encoded: self.spec.delta_encode,
@@ -331,6 +333,9 @@ impl PassBuilder {
 pub struct Pass {
     pub(crate) tree: PartitionTree,
     pub(crate) samples: Vec<Sample>,
+    /// Flat, cache-resident mirror of `samples` — the structure the query
+    /// hot path actually scans. Derived: rebuilt on every mutation epoch.
+    pub(crate) arena: SampleArena,
     pub(crate) lambda: f64,
     pub(crate) zero_variance_rule: bool,
     pub(crate) delta_encoded: bool,
@@ -392,9 +397,14 @@ impl Pass {
 
     /// Record one absorbed mutation. Every path that changes query-visible
     /// state (`insert`, `delete`, maintenance restructurings) must call
-    /// this so epoch-aware caches never serve stale answers.
+    /// this so epoch-aware caches never serve stale answers. Doubling as
+    /// the derived-state choke point, it also rebuilds the flat
+    /// [`SampleArena`] and the tree's empty-node flag, so the hot path can
+    /// keep trusting both between mutations.
     pub(crate) fn bump_mutation_epoch(&mut self) {
         self.mutation_epoch += 1;
+        self.arena = SampleArena::from_samples(&self.samples);
+        self.tree.refresh_has_empty();
     }
 
     /// Draw a deterministic RNG for update operations.
@@ -415,9 +425,9 @@ impl Synopsis for Pass {
                 got: query.dims(),
             });
         }
-        crate::query::process_with_tree_dims(
+        crate::query::process_arena(
             &self.tree,
-            &self.samples,
+            &self.arena,
             query,
             self.lambda,
             self.zero_variance_rule,
@@ -440,12 +450,13 @@ impl Synopsis for Pass {
         if !batchable {
             return queries.iter().map(|q| self.estimate(q)).collect();
         }
-        crate::query::process_batch(
+        crate::query::process_batch_arena(
             &self.tree,
-            &self.samples,
+            &self.arena,
             queries,
             self.lambda,
             self.zero_variance_rule,
+            &mut crate::mcf::McfScratch::default(),
         )
     }
 
@@ -480,9 +491,9 @@ impl Synopsis for Pass {
             chunk,
             crate::mcf::McfScratch::default,
             |scratch, range| {
-                crate::query::process_batch_with(
+                crate::query::process_batch_arena(
                     &self.tree,
-                    &self.samples,
+                    &self.arena,
                     &queries[range],
                     self.lambda,
                     self.zero_variance_rule,
@@ -597,7 +608,7 @@ mod tests {
             .tree()
             .leaves()
             .into_iter()
-            .map(|id| pass.tree().node(id).agg.count)
+            .map(|id| pass.tree().agg(id).count)
             .collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();

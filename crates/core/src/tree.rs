@@ -7,70 +7,132 @@
 //! partition's predicate points, which keeps MCF classification sound and
 //! as sharp as possible.
 //!
+//! # Layout
+//!
+//! The tree is a struct-of-arrays arena, not a node-of-pointers graph: node
+//! `id` owns `aggs[id]`, the packed rectangle bounds
+//! `rect[id*dims + d] = (lo, hi)`, and the CSR-style child range
+//! `child_flat[start..][..count]` described by the packed
+//! `child_span[id] = (start, count)`. An MCF traversal therefore walks a
+//! handful of contiguous slices instead of chasing a heap `Vec<NodeId>`
+//! per node; packing a node's `(lo, hi)` into one tuple makes the 1-D
+//! interval test a single aligned 16-byte load (two separate bounds
+//! columns cost a miss each, two interleaved `f64`s two bounds checks),
+//! and the packed span makes the leaf test plus child lookup a single
+//! 8-byte load.
+//! [`relation_to`](PartitionTree::relation_to) classifies a node against a
+//! query in one fused pass over its coordinates. `child_flat` is
+//! append-only: collapsing a node just zeroes its span count, leaving a
+//! dead range behind — maintenance is rare and bounded, so the arena trades
+//! that slack for never shifting live ranges.
+//!
+//! The tree also tracks whether *any* node's aggregate is empty
+//! (`has_empty`): leaves are born non-empty and only deletions can zero a
+//! count, so in the common case the MCF loop skips the per-node emptiness
+//! load entirely — the aggregate array stays out of the traversal's cache
+//! footprint. The flag is refreshed by the crate-internal
+//! `PartitionTree::refresh_has_empty` from the synopsis' mutation choke
+//! point.
+//!
 //! Trees come from two constructors:
 //! * [`PartitionTree::from_partitioning`] — 1-D: optimizer leaves paired
 //!   bottom-up into a balanced binary tree (Section 5.3's construction);
 //! * [`PartitionTree::from_kd`] — multi-d: a 1:1 copy of the k-d expansion
 //!   (Section 4.4).
 
-use pass_common::{Aggregates, PassError, Rect, Result};
+use pass_common::{Aggregates, PassError, Rect, RectRelation, Result};
 use pass_partition::{KdBuild, Partitioning1D};
 use pass_table::{SortedTable, Table};
 
 /// Index of a node in the tree arena.
 pub type NodeId = usize;
 
-/// One node of the partition tree.
-#[derive(Debug, Clone)]
-pub struct TreeNode {
-    /// Tight bounding rectangle of the partition's predicate points.
-    pub rect: Rect,
-    /// Exact aggregates of the partition.
-    pub agg: Aggregates,
-    /// Child node ids (empty for leaves).
-    pub children: Vec<NodeId>,
-    /// Parent id (`None` for the root) — needed by dynamic updates.
-    pub parent: Option<NodeId>,
-    /// For leaves: index into the synopsis' per-leaf sample array.
-    pub leaf_index: Option<usize>,
-}
-
-impl TreeNode {
-    pub fn is_leaf(&self) -> bool {
-        self.children.is_empty()
-    }
-}
-
-/// An arena-allocated partition tree.
+/// An arena-allocated partition tree in struct-of-arrays layout.
 #[derive(Debug, Clone)]
 pub struct PartitionTree {
-    nodes: Vec<TreeNode>,
+    dims: usize,
     root: NodeId,
     n_leaves: usize,
-    dims: usize,
+    /// Exact aggregates, one per node.
+    aggs: Vec<Aggregates>,
+    /// Packed rectangle bounds, node-major: `rect[id * dims + d]` is the
+    /// `(lo, hi)` pair of dimension `d` — one indexed load per interval
+    /// test.
+    rect: Vec<(f64, f64)>,
+    /// Packed `(start, count)` of each node's child range in `child_flat`
+    /// (`count == 0` ⇒ leaf) — leaf test and child lookup in one load.
+    child_span: Vec<(u32, u32)>,
+    /// All child ids, grouped per node (append-only; collapsed nodes leave
+    /// dead ranges).
+    child_flat: Vec<NodeId>,
+    /// Parent id (`None` for the root) — needed by dynamic updates.
+    parent: Vec<Option<NodeId>>,
+    /// For leaves: index into the synopsis' per-leaf sample array.
+    leaf_index: Vec<Option<usize>>,
+    /// Whether any node's aggregate is empty. `false` lets MCF skip the
+    /// per-node emptiness load; refreshed after count-changing mutations.
+    has_empty: bool,
 }
 
 impl PartitionTree {
+    fn with_capacity(dims: usize, nodes: usize) -> Self {
+        Self {
+            dims,
+            root: 0,
+            n_leaves: 0,
+            aggs: Vec::with_capacity(nodes),
+            rect: Vec::with_capacity(nodes * dims),
+            child_span: Vec::with_capacity(nodes),
+            child_flat: Vec::with_capacity(nodes),
+            parent: Vec::with_capacity(nodes),
+            leaf_index: Vec::with_capacity(nodes),
+            has_empty: false,
+        }
+    }
+
+    /// Append a childless node and return its id.
+    pub(crate) fn push_node(
+        &mut self,
+        rect: &Rect,
+        agg: Aggregates,
+        parent: Option<NodeId>,
+        leaf_index: Option<usize>,
+    ) -> NodeId {
+        debug_assert_eq!(rect.dims(), self.dims);
+        let id = self.aggs.len();
+        self.has_empty |= agg.is_empty();
+        self.aggs.push(agg);
+        for d in 0..self.dims {
+            self.rect.push((rect.lo(d), rect.hi(d)));
+        }
+        self.child_span.push((self.child_flat.len() as u32, 0));
+        self.parent.push(parent);
+        self.leaf_index.push(leaf_index);
+        id
+    }
+
+    /// Register `children` (already pushed) under `id`, which must not have
+    /// children yet.
+    fn set_children(&mut self, id: NodeId, children: &[NodeId]) {
+        debug_assert_eq!(self.child_span[id].1, 0, "node already has children");
+        self.child_span[id] = (self.child_flat.len() as u32, children.len() as u32);
+        self.child_flat.extend_from_slice(children);
+    }
+
     /// Build a balanced binary tree bottom-up over 1-D optimizer leaves.
     pub fn from_partitioning(sorted: &SortedTable, partitioning: &Partitioning1D) -> Result<Self> {
         if sorted.is_empty() {
             return Err(PassError::EmptyInput("partition tree over empty table"));
         }
         debug_assert_eq!(sorted.len(), partitioning.n_rows());
-        let mut nodes: Vec<TreeNode> = Vec::new();
+        let n_leaves = partitioning.len();
+        let mut tree = Self::with_capacity(1, 2 * n_leaves);
         // Current level: leaves in key order.
-        let mut level: Vec<NodeId> = Vec::new();
+        let mut level: Vec<NodeId> = Vec::with_capacity(n_leaves);
         for (leaf_index, range) in partitioning.ranges().into_iter().enumerate() {
             let agg = range_aggregates(sorted, range.clone());
             let rect = Rect::interval(sorted.key(range.start), sorted.key(range.end - 1));
-            nodes.push(TreeNode {
-                rect,
-                agg,
-                children: Vec::new(),
-                parent: None,
-                leaf_index: Some(leaf_index),
-            });
-            level.push(nodes.len() - 1);
+            level.push(tree.push_node(&rect, agg, None, Some(leaf_index)));
         }
         // Pair adjacent nodes until one root remains.
         while level.len() > 1 {
@@ -81,103 +143,221 @@ impl PartitionTree {
                     continue;
                 }
                 let (a, b) = (pair[0], pair[1]);
-                let agg = nodes[a].agg.merge(&nodes[b].agg);
-                let rect = nodes[a].rect.union(&nodes[b].rect);
-                nodes.push(TreeNode {
-                    rect,
-                    agg,
-                    children: vec![a, b],
-                    parent: None,
-                    leaf_index: None,
-                });
-                let id = nodes.len() - 1;
-                nodes[a].parent = Some(id);
-                nodes[b].parent = Some(id);
+                let agg = tree.aggs[a].merge(&tree.aggs[b]);
+                let rect = tree.rect(a).union(&tree.rect(b));
+                let id = tree.push_node(&rect, agg, None, None);
+                tree.set_children(id, &[a, b]);
+                tree.parent[a] = Some(id);
+                tree.parent[b] = Some(id);
                 next.push(id);
             }
             level = next;
         }
-        let root = level[0];
-        let n_leaves = partitioning.len();
-        Ok(Self {
-            nodes,
-            root,
-            n_leaves,
-            dims: 1,
-        })
+        tree.root = level[0];
+        tree.n_leaves = n_leaves;
+        Ok(tree)
     }
 
     /// Build from a k-d expansion: one tree node per k-d node, aggregates
     /// computed over the node's rows. Leaf indices are assigned in
     /// [`KdBuild::leaf_ids`] order.
-    #[allow(clippy::needless_range_loop)] // parent wiring mutates while indexing
     pub fn from_kd(table: &Table, kd: &KdBuild) -> Result<Self> {
         if table.n_rows() == 0 {
             return Err(PassError::EmptyInput("partition tree over empty table"));
         }
-        let mut nodes: Vec<TreeNode> = Vec::with_capacity(kd.nodes.len());
+        let mut tree = Self::with_capacity(table.dims(), kd.nodes.len());
         for info in &kd.nodes {
             let values: Vec<f64> = kd.perm[info.start..info.end]
                 .iter()
                 .map(|&r| table.value(r as usize))
                 .collect();
-            nodes.push(TreeNode {
-                rect: info.rect.clone(),
-                agg: Aggregates::from_values(&values),
-                children: info.children.clone(),
-                parent: None,
-                leaf_index: None,
-            });
+            let id = tree.push_node(&info.rect, Aggregates::from_values(&values), None, None);
+            debug_assert_eq!(id + 1, tree.n_nodes());
         }
-        // Wire parents.
-        for id in 0..nodes.len() {
-            for c in nodes[id].children.clone() {
-                nodes[c].parent = Some(id);
+        // Wire children and parents (every id already exists).
+        for (id, info) in kd.nodes.iter().enumerate() {
+            if !info.children.is_empty() {
+                tree.set_children(id, &info.children);
+                for &c in &info.children {
+                    tree.parent[c] = Some(id);
+                }
             }
         }
         // Assign leaf indices in kd leaf order.
         let mut n_leaves = 0;
-        for id in 0..nodes.len() {
-            if nodes[id].is_leaf() {
-                nodes[id].leaf_index = Some(n_leaves);
+        for id in 0..tree.n_nodes() {
+            if tree.is_leaf(id) {
+                tree.leaf_index[id] = Some(n_leaves);
                 n_leaves += 1;
             }
         }
-        Ok(Self {
-            nodes,
-            root: kd.root,
-            n_leaves,
-            dims: table.dims(),
-        })
+        tree.root = kd.root;
+        tree.n_leaves = n_leaves;
+        Ok(tree)
     }
 
+    /// Root node id.
     pub fn root(&self) -> NodeId {
         self.root
     }
 
-    pub fn node(&self, id: NodeId) -> &TreeNode {
-        &self.nodes[id]
-    }
-
-    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut TreeNode {
-        &mut self.nodes[id]
-    }
-
+    /// Number of nodes in the arena.
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.aggs.len()
     }
 
+    /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
         self.n_leaves
     }
 
+    /// Predicate dimensionality.
     pub fn dims(&self) -> usize {
         self.dims
     }
 
     /// Total rows in the tree (root count).
     pub fn total_rows(&self) -> u64 {
-        self.nodes[self.root].agg.count
+        self.aggs[self.root].count
+    }
+
+    /// Exact aggregates of node `id`.
+    #[inline]
+    pub fn agg(&self, id: NodeId) -> &Aggregates {
+        &self.aggs[id]
+    }
+
+    #[inline]
+    pub(crate) fn agg_mut(&mut self, id: NodeId) -> &mut Aggregates {
+        &mut self.aggs[id]
+    }
+
+    /// Child ids of node `id` (empty for leaves).
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        let (start, count) = self.child_span[id];
+        &self.child_flat[start as usize..(start + count) as usize]
+    }
+
+    /// Whether node `id` has no children.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.child_span[id].1 == 0
+    }
+
+    /// Parent of node `id` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parent[id]
+    }
+
+    /// The sample-array slot leaf `id` owns (`None` for internal nodes).
+    #[inline]
+    pub fn leaf_index(&self, id: NodeId) -> Option<usize> {
+        self.leaf_index[id]
+    }
+
+    /// Inclusive lower bound of node `id`'s rectangle in dimension `d`.
+    #[inline]
+    pub fn rect_lo(&self, id: NodeId, d: usize) -> f64 {
+        self.rect[id * self.dims + d].0
+    }
+
+    /// Inclusive upper bound of node `id`'s rectangle in dimension `d`.
+    #[inline]
+    pub fn rect_hi(&self, id: NodeId, d: usize) -> f64 {
+        self.rect[id * self.dims + d].1
+    }
+
+    /// The raw packed `(lo, hi)` bounds, node-major: node `id`, dimension
+    /// `d` at index `id * dims + d`. For 1-D trees a node's pair sits at
+    /// `[id]` — one bounds-checked 16-byte load — and the MCF interval
+    /// loop reads it directly instead of paying the per-call stride
+    /// multiply.
+    #[inline]
+    pub(crate) fn rect_pairs(&self) -> &[(f64, f64)] {
+        &self.rect
+    }
+
+    /// Whether any node's aggregate is currently empty (see the module
+    /// docs) — `false` lets traversals skip per-node emptiness loads.
+    #[inline]
+    pub(crate) fn has_empty_nodes(&self) -> bool {
+        self.has_empty
+    }
+
+    /// Recompute [`has_empty_nodes`](Self::has_empty_nodes) by scanning
+    /// the aggregate column. Called from the synopsis' mutation choke
+    /// point (deletions can zero a count; nothing else can).
+    pub(crate) fn refresh_has_empty(&mut self) {
+        self.has_empty = self.aggs.iter().any(Aggregates::is_empty);
+    }
+
+    /// Materialize node `id`'s bounding rectangle. Cold-path convenience —
+    /// hot loops should use [`relation_to`](Self::relation_to) /
+    /// [`rect_lo`](Self::rect_lo) / [`rect_hi`](Self::rect_hi) instead.
+    pub fn rect(&self, id: NodeId) -> Rect {
+        let base = id * self.dims;
+        Rect::new(&self.rect[base..base + self.dims])
+    }
+
+    /// Classify node `id`'s rectangle against `query` — the MCF trichotomy
+    /// ([`Rect::relation_to`] with the node side read straight from the
+    /// arena, both tests fused into one pass over the coordinates).
+    #[inline]
+    pub fn relation_to(&self, id: NodeId, query: &Rect) -> RectRelation {
+        debug_assert_eq!(query.dims(), self.dims);
+        let base = id * self.dims;
+        let mut intersects = true;
+        let mut covered = true;
+        for d in 0..self.dims {
+            let (nl, nh) = self.rect[base + d];
+            let (ql, qh) = (query.lo(d), query.hi(d));
+            intersects &= nl <= qh && ql <= nh;
+            covered &= ql <= nl && nh <= qh;
+        }
+        if !intersects {
+            RectRelation::Disjoint
+        } else if covered {
+            RectRelation::Covered
+        } else {
+            RectRelation::Partial
+        }
+    }
+
+    /// Does node `id`'s rectangle contain the point?
+    #[inline]
+    pub fn contains_point(&self, id: NodeId, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.dims);
+        let base = id * self.dims;
+        (0..self.dims).all(|d| {
+            let p = point[d];
+            let (lo, hi) = self.rect[base + d];
+            lo <= p && p <= hi
+        })
+    }
+
+    /// Overwrite node `id`'s rectangle (dynamic bounding-box growth).
+    pub(crate) fn set_rect(&mut self, id: NodeId, rect: &Rect) {
+        debug_assert_eq!(rect.dims(), self.dims);
+        let base = id * self.dims;
+        for d in 0..self.dims {
+            self.rect[base + d] = (rect.lo(d), rect.hi(d));
+        }
+    }
+
+    pub(crate) fn set_leaf_index(&mut self, id: NodeId, leaf_index: Option<usize>) {
+        self.leaf_index[id] = leaf_index;
+    }
+
+    pub(crate) fn set_parent(&mut self, id: NodeId, parent: Option<NodeId>) {
+        self.parent[id] = parent;
+    }
+
+    /// Detach all children of `id`, turning it back into a childless node
+    /// (collapse maintenance). The flat child range is abandoned in place.
+    pub(crate) fn clear_children(&mut self, id: NodeId) {
+        self.child_span[id].1 = 0;
     }
 
     /// Leaf ids in leaf-index order. Leaf indices may be sparse after
@@ -185,10 +365,10 @@ impl PartitionTree {
     /// assuming density.
     pub fn leaves(&self) -> Vec<NodeId> {
         let mut out: Vec<(usize, NodeId)> = self
-            .nodes
+            .leaf_index
             .iter()
             .enumerate()
-            .filter_map(|(id, n)| n.leaf_index.map(|li| (li, id)))
+            .filter_map(|(id, li)| li.map(|li| (li, id)))
             .collect();
         out.sort_unstable();
         out.into_iter().map(|(_, id)| id).collect()
@@ -196,7 +376,7 @@ impl PartitionTree {
 
     /// Recompute the leaf count after structural maintenance.
     pub(crate) fn recount_leaves(&mut self) {
-        self.n_leaves = self.nodes.iter().filter(|n| n.leaf_index.is_some()).count();
+        self.n_leaves = self.leaf_index.iter().filter(|li| li.is_some()).count();
     }
 
     /// Turn `parent` (a leaf) into an internal node with two fresh leaf
@@ -208,22 +388,11 @@ impl PartitionTree {
         left: (Rect, Aggregates, Option<usize>),
         right: (Rect, Aggregates, Option<usize>),
     ) -> (NodeId, NodeId) {
-        debug_assert!(self.nodes[parent].is_leaf(), "can only split leaves");
-        let mut push = |(rect, agg, leaf_index): (Rect, Aggregates, Option<usize>)| {
-            self.nodes.push(TreeNode {
-                rect,
-                agg,
-                children: Vec::new(),
-                parent: Some(parent),
-                leaf_index,
-            });
-            self.nodes.len() - 1
-        };
-        let l = push(left);
-        let r = push(right);
-        let p = &mut self.nodes[parent];
-        p.leaf_index = None;
-        p.children = vec![l, r];
+        debug_assert!(self.is_leaf(parent), "can only split leaves");
+        let l = self.push_node(&left.0, left.1, Some(parent), left.2);
+        let r = self.push_node(&right.0, right.1, Some(parent), right.2);
+        self.leaf_index[parent] = None;
+        self.set_children(parent, &[l, r]);
         self.recount_leaves();
         (l, r)
     }
@@ -231,7 +400,7 @@ impl PartitionTree {
     /// Logical storage of the aggregate hierarchy: 4 statistics + 2·d
     /// rectangle bounds per node, 8 bytes each (Table 2 accounting).
     pub fn storage_bytes(&self) -> usize {
-        self.nodes.len() * (4 + 2 * self.dims) * std::mem::size_of::<f64>()
+        self.n_nodes() * (4 + 2 * self.dims) * std::mem::size_of::<f64>()
     }
 }
 
@@ -260,7 +429,7 @@ mod tests {
         // 4 leaves + 2 internal + root = 7 nodes.
         assert_eq!(t.n_nodes(), 7);
         assert_eq!(t.total_rows(), 100);
-        assert!(t.node(t.root()).parent.is_none());
+        assert!(t.parent(t.root()).is_none());
     }
 
     #[test]
@@ -269,18 +438,17 @@ mod tests {
         let p = Partitioning1D::new(200, vec![30, 80, 120, 170]).unwrap();
         let t = PartitionTree::from_partitioning(&s, &p).unwrap();
         for id in 0..t.n_nodes() {
-            let node = t.node(id);
-            if node.is_leaf() {
+            if t.is_leaf(id) {
                 continue;
             }
-            let merged = node
-                .children
+            let merged = t
+                .children(id)
                 .iter()
-                .fold(Aggregates::empty(), |acc, &c| acc.merge(&t.node(c).agg));
-            assert!((node.agg.sum - merged.sum).abs() < 1e-9);
-            assert_eq!(node.agg.count, merged.count);
-            assert_eq!(node.agg.min, merged.min);
-            assert_eq!(node.agg.max, merged.max);
+                .fold(Aggregates::empty(), |acc, &c| acc.merge(t.agg(c)));
+            assert!((t.agg(id).sum - merged.sum).abs() < 1e-9);
+            assert_eq!(t.agg(id).count, merged.count);
+            assert_eq!(t.agg(id).min, merged.min);
+            assert_eq!(t.agg(id).max, merged.max);
         }
     }
 
@@ -290,8 +458,8 @@ mod tests {
         let p = Partitioning1D::new(64, (1..8).map(|i| i * 8).collect()).unwrap();
         let t = PartitionTree::from_partitioning(&s, &p).unwrap();
         for id in 0..t.n_nodes() {
-            for &c in &t.node(id).children {
-                assert_eq!(t.node(c).parent, Some(id));
+            for &c in t.children(id) {
+                assert_eq!(t.parent(c), Some(id));
             }
         }
     }
@@ -305,7 +473,7 @@ mod tests {
         assert_eq!(t.total_rows(), 90);
         // Root still aggregates everything.
         let whole = Aggregates::from_values(s.values());
-        assert!((t.node(t.root()).agg.sum - whole.sum).abs() < 1e-9);
+        assert!((t.agg(t.root()).sum - whole.sum).abs() < 1e-9);
     }
 
     #[test]
@@ -324,9 +492,8 @@ mod tests {
         let t = PartitionTree::from_partitioning(&s, &p).unwrap();
         let key_bounds = p.key_bounds(&s);
         for (li, id) in t.leaves().into_iter().enumerate() {
-            let rect = &t.node(id).rect;
-            assert_eq!(rect.lo(0), key_bounds[li].0);
-            assert_eq!(rect.hi(0), key_bounds[li].1);
+            assert_eq!(t.rect_lo(id, 0), key_bounds[li].0);
+            assert_eq!(t.rect_hi(id, 0), key_bounds[li].1);
         }
     }
 
@@ -350,12 +517,11 @@ mod tests {
         assert_eq!(t.dims(), 2);
         // Parent merge invariant in the kd case too.
         for id in 0..t.n_nodes() {
-            let node = t.node(id);
-            if node.is_leaf() {
+            if t.is_leaf(id) {
                 continue;
             }
-            let merged_count: u64 = node.children.iter().map(|&c| t.node(c).agg.count).sum();
-            assert_eq!(node.agg.count, merged_count);
+            let merged_count: u64 = t.children(id).iter().map(|&c| t.agg(c).count).sum();
+            assert_eq!(t.agg(id).count, merged_count);
         }
     }
 
@@ -365,7 +531,25 @@ mod tests {
         let p = Partitioning1D::new(40, vec![10, 20, 30]).unwrap();
         let t = PartitionTree::from_partitioning(&s, &p).unwrap();
         for (expect, id) in t.leaves().into_iter().enumerate() {
-            assert_eq!(t.node(id).leaf_index, Some(expect));
+            assert_eq!(t.leaf_index(id), Some(expect));
+        }
+    }
+
+    #[test]
+    fn relation_matches_rect_reference() {
+        let s = sorted(120, 10);
+        let p = Partitioning1D::new(120, vec![40, 80]).unwrap();
+        let t = PartitionTree::from_partitioning(&s, &p).unwrap();
+        for lo in [-1.0, 0.0, 0.3, 0.9] {
+            let query = Rect::interval(lo, lo + 0.25);
+            for id in 0..t.n_nodes() {
+                assert_eq!(
+                    t.relation_to(id, &query),
+                    t.rect(id).relation_to(&query),
+                    "node {id} query [{lo}, {}]",
+                    lo + 0.25
+                );
+            }
         }
     }
 

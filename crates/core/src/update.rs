@@ -32,16 +32,15 @@ impl Pass {
         let leaves = self.tree.leaves();
         let mut best: Option<(NodeId, f64)> = None;
         for id in leaves {
-            let rect = &self.tree.node(id).rect;
-            if rect.contains_point(point) {
+            if self.tree.contains_point(id, point) {
                 return Ok(id);
             }
             // Distance in the first dimension (1-D gap case) plus other
             // dims, as a cheap nearest-leaf heuristic.
             let mut dist = 0.0;
             for d in 0..point.len() {
-                let lo = rect.lo(d);
-                let hi = rect.hi(d);
+                let lo = self.tree.rect_lo(id, d);
+                let hi = self.tree.rect_hi(id, d);
                 let p = point[d];
                 if p < lo {
                     dist += lo - p;
@@ -65,10 +64,14 @@ impl Pass {
         // point, then update aggregates on the path to the root.
         let mut cursor = Some(leaf);
         while let Some(id) = cursor {
-            let node = self.tree.node_mut(id);
-            if !node.rect.contains_point(point) {
+            if !self.tree.contains_point(id, point) {
                 let mut bounds: Vec<(f64, f64)> = (0..point.len())
-                    .map(|d| (node.rect.lo(d).min(point[d]), node.rect.hi(d).max(point[d])))
+                    .map(|d| {
+                        (
+                            self.tree.rect_lo(id, d).min(point[d]),
+                            self.tree.rect_hi(id, d).max(point[d]),
+                        )
+                    })
                     .collect();
                 // Guard against inf-only rects on empty nodes.
                 for b in bounds.iter_mut() {
@@ -76,15 +79,15 @@ impl Pass {
                         *b = (point[0], point[0]);
                     }
                 }
-                node.rect = pass_common::Rect::new(&bounds);
+                self.tree.set_rect(id, &pass_common::Rect::new(&bounds));
             }
-            node.agg.insert(value);
-            cursor = node.parent;
+            self.tree.agg_mut(id).insert(value);
+            cursor = self.tree.parent(id);
         }
 
         // Reservoir maintenance (Algorithm R) on the leaf's sample.
-        let li = self.tree.node(leaf).leaf_index.expect("leaf has index");
-        let salt = self.tree.node(leaf).agg.count;
+        let li = self.tree.leaf_index(leaf).expect("leaf has index");
+        let salt = self.tree.agg(leaf).count;
         let mut rng = self.update_rng(salt);
         let sample = &mut self.samples[li];
         sample.grow_population();
@@ -109,11 +112,10 @@ impl Pass {
         let leaf = self.locate_leaf(point)?;
         let mut cursor = Some(leaf);
         while let Some(id) = cursor {
-            let node = self.tree.node_mut(id);
-            node.agg.remove(value);
-            cursor = node.parent;
+            self.tree.agg_mut(id).remove(value);
+            cursor = self.tree.parent(id);
         }
-        let li = self.tree.node(leaf).leaf_index.expect("leaf has index");
+        let li = self.tree.leaf_index(leaf).expect("leaf has index");
         let sample = &mut self.samples[li];
         sample.shrink_population();
         let evicted = if let Some(pos) = sample.find_row(value, point) {
@@ -149,9 +151,9 @@ mod tests {
     #[test]
     fn insert_updates_root_aggregates_exactly() {
         let (_, mut pass) = build(2_000, 1);
-        let before = pass.tree().node(pass.tree().root()).agg;
+        let before = *pass.tree().agg(pass.tree().root());
         pass.insert(&[0.5], 42.0).unwrap();
-        let after = pass.tree().node(pass.tree().root()).agg;
+        let after = *pass.tree().agg(pass.tree().root());
         assert_eq!(after.count, before.count + 1);
         assert!((after.sum - before.sum - 42.0).abs() < 1e-9);
     }
@@ -175,21 +177,21 @@ mod tests {
         for i in 0..500 {
             pass.insert(&[(i % 100) as f64 / 100.0], i as f64).unwrap();
         }
-        let root = pass.tree().node(pass.tree().root()).agg;
+        let root = *pass.tree().agg(pass.tree().root());
         assert_eq!(root.count, 1_500);
         // Leaf counts sum to the root count.
         let leaf_total: u64 = pass
             .tree()
             .leaves()
             .into_iter()
-            .map(|id| pass.tree().node(id).agg.count)
+            .map(|id| pass.tree().agg(id).count)
             .sum();
         assert_eq!(leaf_total, 1_500);
         // Sample populations track leaf counts.
         for (li, id) in pass.tree().leaves().into_iter().enumerate() {
             assert_eq!(
                 pass.leaf_samples()[li].population(),
-                pass.tree().node(id).agg.count
+                pass.tree().agg(id).count
             );
         }
     }
@@ -197,10 +199,10 @@ mod tests {
     #[test]
     fn delete_reverses_insert_for_sum_count() {
         let (_, mut pass) = build(2_000, 4);
-        let before = pass.tree().node(pass.tree().root()).agg;
+        let before = *pass.tree().agg(pass.tree().root());
         pass.insert(&[0.25], 77.0).unwrap();
         pass.delete(&[0.25], 77.0).unwrap();
-        let after = pass.tree().node(pass.tree().root()).agg;
+        let after = *pass.tree().agg(pass.tree().root());
         assert_eq!(after.count, before.count);
         assert!((after.sum - before.sum).abs() < 1e-9);
     }

@@ -38,6 +38,13 @@
 //!    bench harness. Everything else must take timestamps as inputs,
 //!    which is what keeps the rest of the workspace deterministic and
 //!    model-checkable.
+//! 6. **Scan kernels stay allocation-free** — the declared hot-path
+//!    modules ([`SCAN_KERNELS`]) must not heap-allocate per call:
+//!    `Vec::new`, `vec![…]`, `.collect()`, `with_capacity`, `.to_vec()`,
+//!    and `Box::new` are flagged outside `#[cfg(test)]` code unless a
+//!    `// alloc:` comment justifies the site (the scratch buffers'
+//!    one-time construction). `resize` on a reusable buffer is the
+//!    sanctioned growth idiom and is not flagged.
 //!
 //! The analysis is deliberately *lexical*: sources are stripped of
 //! comments and string contents, `#[cfg(test)]` regions are tracked by
@@ -88,6 +95,11 @@ pub const PANIC_EXEMPT: &[&str] = &[
     "crates/common/src/chaos.rs",
     "crates/common/src/chaos/imp.rs",
 ];
+
+/// The declared allocation-free scan-kernel modules (rule 6): the
+/// columnar estimation hot path must reuse scratch buffers, never
+/// allocate per query.
+pub const SCAN_KERNELS: &[&str] = &["crates/sampling/src/kernel.rs"];
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -715,6 +727,53 @@ pub fn check_time_confined(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 6: no per-call heap allocation in the declared scan-kernel
+/// modules. Flags `Vec::new`, `vec![…]`, `.collect()`, `with_capacity`,
+/// `.to_vec()`, and `Box::new` outside test code unless an `// alloc:`
+/// comment (same line, or a comment line directly above) justifies the
+/// site. `resize` on a reusable buffer is the sanctioned growth idiom.
+pub fn check_no_alloc_in_kernels(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !SCAN_KERNELS.contains(&file.rel.as_str()) {
+        return;
+    }
+    const PATTERNS: &[&str] = &[
+        "Vec::new",
+        "vec!",
+        ".collect()",
+        "with_capacity",
+        ".to_vec()",
+        "Box::new",
+    ];
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in PATTERNS {
+            if !line.code.contains(pat) {
+                continue;
+            }
+            let justified = line.comment.contains("alloc:")
+                || file.lines[..i]
+                    .iter()
+                    .rev()
+                    .take_while(|prev| prev.code.trim().is_empty())
+                    .any(|prev| prev.comment.contains("alloc:"));
+            if !justified {
+                file.push(
+                    out,
+                    i,
+                    "kernel-no-alloc",
+                    format!(
+                        "`{pat}` in a scan-kernel module: the hot path must reuse \
+                         scratch buffers (`resize` on a long-lived Vec), or carry an \
+                         `// alloc:` justification"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// Run every rule over one parsed file.
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -723,6 +782,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     check_relaxed_justified(file, &mut out);
     check_lock_order(file, &mut out);
     check_time_confined(file, &mut out);
+    check_no_alloc_in_kernels(file, &mut out);
     out
 }
 
@@ -956,5 +1016,50 @@ fn ok(&self) {
     #[test]
     fn workspace_root_points_at_the_repo() {
         assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn kernel_alloc_rule_flags_each_pattern() {
+        let src = "\
+fn f() {
+    let a = Vec::new();
+    let b = vec![0u8; 4];
+    let c = (0..4).collect();
+    let d = Vec::with_capacity(4);
+    let e = s.to_vec();
+    let f = Box::new(1);
+    buf.resize(4, 0);
+}
+";
+        let mut out = Vec::new();
+        check_no_alloc_in_kernels(&file("crates/sampling/src/kernel.rs", src), &mut out);
+        assert_eq!(out.len(), 6, "{out:?}");
+        assert!(out.iter().all(|v| v.rule == "kernel-no-alloc"));
+        // `resize` is the sanctioned growth idiom — never flagged.
+        assert!(!out.iter().any(|v| v.line == 8), "{out:?}");
+        // Out of scope: normal modules may allocate freely.
+        out.clear();
+        check_no_alloc_in_kernels(&file("crates/sampling/src/sample.rs", src), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn kernel_alloc_rule_accepts_justifications_and_tests() {
+        let src = "\
+fn f() {
+    let a = Vec::new(); // alloc: one-time scratch construction
+    // alloc: thread-local built once
+    let b = Vec::with_capacity(4);
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let c = vec![1, 2, 3];
+    }
+}
+";
+        let mut out = Vec::new();
+        check_no_alloc_in_kernels(&file("crates/sampling/src/kernel.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 }

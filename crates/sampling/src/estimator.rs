@@ -10,6 +10,12 @@
 //! The estimate is `mean(φ(S))` and its CI half-width is
 //! `λ · sqrt(var(φ(S)) / K)` (Equation 4), scaled by the finite-population
 //! correction `(N-K)/(N-1)` (footnote 1).
+//!
+//! This module is the *reference* implementation: row-at-a-time, written to
+//! mirror the paper's equations. The serving hot path runs the
+//! allocation-free, column-at-a-time kernels in [`crate::kernel`] instead,
+//! which are pinned bit-identical to these functions by the kernel-contract
+//! tests — change the two in lockstep or not at all.
 
 use pass_common::stats::{fpc, population_variance};
 use pass_common::{AggKind, Rect};
@@ -51,7 +57,8 @@ pub fn estimate(agg: AggKind, sample: &Sample, rect: &Rect) -> Option<PointVaria
     let n = sample.population() as f64;
     let rows = sample.rows();
 
-    // Materialize φ values; k is small by construction (synopsis-sized).
+    // Materialize φ explicitly — the readable form the kernels replicate
+    // addition-for-addition without this Vec.
     let mut phi = Vec::with_capacity(k);
     let mut k_pred = 0u64;
     match agg {

@@ -1,0 +1,691 @@
+//! Allocation-free, column-at-a-time scan kernels for the φ-estimators.
+//!
+//! [`estimator::estimate`](crate::estimator::estimate) materializes a φ
+//! vector per query — readable, and kept verbatim as the reference
+//! implementation the contract tests pin against — but on the serving hot
+//! path the per-query `Vec` and the branchy row-at-a-time
+//! `rows.matches(rect, i)` dominate. [`ScanScratch`] answers the same
+//! question with reusable buffers:
+//!
+//! 1. **Mask build** — one branchless `lo <= x && x <= hi` pass per
+//!    predicate column over the contiguous `f64` slice, AND-ed into a
+//!    byte mask (auto-vectorizable; no per-row dimension loop).
+//! 2. **Masked accumulate** — the value sum, Kahan mean, and Kahan sum
+//!    of squared deviations are computed straight off the mask with
+//!    *selected* φ addends (`if m != 0 { φᵢ } else { 0.0 }` — a select,
+//!    never a multiply-by-mask, so `0.0 × ∞`/NaN can't poison a lane).
+//!    Every float addition happens in the same order with the same
+//!    addends as the materialized-φ reference, so results are
+//!    **bit-identical** by construction.
+//! 3. **1-D fast path** — samples whose single predicate column is
+//!    non-decreasing (every builder-produced 1-D stratum sample, see
+//!    [`Sample::sorted_1d`]) resolve the match range by binary search
+//!    and only touch matched rows for the value/mean passes. Skipping
+//!    an unmatched row skips a literal `+0.0` addend, which is exact
+//!    except for signed-zero bookkeeping: `x + 0.0 == x` for every `x`
+//!    but `-0.0`, where it flushes to `+0.0`. The plain value sum seeds
+//!    at `-0.0` (as `Iterator::sum::<f64>` does) and models the flush
+//!    explicitly — see `moments_range` — while a Kahan accumulator
+//!    seeded at `+0.0` can never reach `-0.0` (a zero result of `x + y`
+//!    rounds to `+0.0` unless both operands are `-0.0`), so for it
+//!    adding `±0.0` is a genuine state no-op. The sum-of-squares pass
+//!    stays O(k) — unmatched rows contribute `(0 − m)²` — but adds the
+//!    constant term branch-free.
+//! 4. **Scan fusion** — [`ScanScratch::estimate_batch`] evaluates a
+//!    batch of rectangles tile-by-tile in one pass over each predicate
+//!    column, so the sample's columns stay cache-hot across the tile's
+//!    queries. Single and fused paths share `finish_from_mask`, so
+//!    they are bit-identical by shared code, not by coincidence.
+//!
+//! The `pass-lint` workspace pass flags heap allocation in this module
+//! (`no-alloc-in-kernel`): the only sanctioned allocations are the
+//! `// alloc:`-justified scratch constructions and amortized buffer
+//! growth via `resize`.
+
+use std::cell::RefCell;
+
+use pass_common::kahan::KahanSum;
+use pass_common::stats::fpc;
+use pass_common::{AggKind, Query, Rect};
+
+use crate::estimator::PointVariance;
+use crate::sample::Sample;
+
+/// Queries per fused tile: bounds the flat mask buffer at `TILE · k`
+/// bytes while keeping each predicate column resident across the tile.
+const TILE: usize = 64;
+
+/// A borrowed, contiguous view of one stratum's sample rows: the value
+/// column, the predicate columns (column-major, dimension `d` at
+/// `preds[d * k..][..k]`), and the population/sortedness metadata the
+/// estimators need.
+///
+/// This is the kernels' native input shape. A [`Sample`] yields one
+/// directly in 1-D (its single predicate column is already contiguous);
+/// the query hot path hands out views over a flat multi-leaf arena
+/// (`pass-core`'s `SampleArena`) so scanning a partial leaf touches one
+/// cache-resident allocation instead of chasing per-`Sample` heap
+/// pointers. The estimators read identical bytes either way, so results
+/// are bit-identical across sources.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleView<'a> {
+    /// Aggregation values, length `k`.
+    pub values: &'a [f64],
+    /// Predicate columns, column-major: `preds[d * k..][..k]`.
+    pub preds: &'a [f64],
+    /// Predicate dimensionality.
+    pub dims: usize,
+    /// Population size `N` the sample represents.
+    pub population: u64,
+    /// Non-decreasing single predicate column (fast-path eligibility).
+    pub sorted_1d: bool,
+}
+
+impl<'a> SampleView<'a> {
+    /// Sample size `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The contiguous predicate column for dimension `d`.
+    #[inline]
+    pub fn pred_col(&self, d: usize) -> &'a [f64] {
+        let k = self.values.len();
+        &self.preds[d * k..(d + 1) * k]
+    }
+}
+
+/// The 1-D view of a sample — its single predicate column is contiguous
+/// in the backing [`Table`](pass_table::Table), so no copy happens.
+#[inline]
+fn view_1d(sample: &Sample) -> SampleView<'_> {
+    debug_assert_eq!(sample.rows().dims(), 1);
+    SampleView {
+        values: sample.rows().values(),
+        preds: sample.rows().predicate_column(0),
+        dims: 1,
+        population: sample.population(),
+        sorted_1d: sample.sorted_1d(),
+    }
+}
+
+/// Reusable buffers for the scan kernels. Construct once per worker (or
+/// borrow the thread-local via [`with_scratch`]) and reuse across
+/// queries; no per-query allocation happens after the buffers reach the
+/// sample size high-water mark.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    /// Single-query match vector, one byte per sampled row.
+    mask: Vec<u8>,
+    /// Fused tile masks, laid out `[query_in_tile * k + row]`.
+    tile: Vec<u8>,
+}
+
+impl ScanScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kernel equivalent of [`estimate`](crate::estimator::estimate):
+    /// same `Option` contract, same value/variance/k_pred bits.
+    pub fn estimate(
+        &mut self,
+        agg: AggKind,
+        sample: &Sample,
+        rect: &Rect,
+    ) -> Option<PointVariance> {
+        if sample.k() == 0 {
+            return empty_sample(agg);
+        }
+        if sample.sorted_1d() {
+            return estimate_sorted_1d(agg, &view_1d(sample), rect);
+        }
+        fill_mask(sample, rect, &mut self.mask);
+        finish_from_mask(agg, sample.rows().values(), sample.population(), &self.mask)
+    }
+
+    /// [`estimate`](Self::estimate) over a borrowed [`SampleView`] — the
+    /// flat-arena entry point the query hot path uses. Bit-identical to
+    /// the `Sample`-based path on the same rows (shared estimators).
+    pub fn estimate_view(
+        &mut self,
+        agg: AggKind,
+        view: &SampleView<'_>,
+        rect: &Rect,
+    ) -> Option<PointVariance> {
+        if view.k() == 0 {
+            return empty_sample(agg);
+        }
+        if view.sorted_1d {
+            return estimate_sorted_1d(agg, view, rect);
+        }
+        fill_mask_view(view, rect, &mut self.mask);
+        finish_from_mask(agg, view.values, view.population, &self.mask)
+    }
+
+    /// The mask path unconditionally — bypasses the 1-D sorted fast
+    /// path. Exposed so the contract tests can pin the fast path against
+    /// the d-dimensional path on the same sample; engines should call
+    /// [`estimate`](Self::estimate).
+    #[doc(hidden)]
+    pub fn estimate_unsorted(
+        &mut self,
+        agg: AggKind,
+        sample: &Sample,
+        rect: &Rect,
+    ) -> Option<PointVariance> {
+        if sample.k() == 0 {
+            return empty_sample(agg);
+        }
+        fill_mask(sample, rect, &mut self.mask);
+        finish_from_mask(agg, sample.rows().values(), sample.population(), &self.mask)
+    }
+
+    /// Scan fusion: answer every query in `queries` with one pass over
+    /// each predicate column per tile of `TILE` (64) queries. Results are
+    /// element-wise bit-identical to [`estimate`](Self::estimate) (the
+    /// tile masks finish through the same `finish_from_mask`).
+    ///
+    /// `out` is cleared and refilled, one entry per query, in order.
+    /// Every query must have the sample's arity.
+    pub fn estimate_batch(
+        &mut self,
+        sample: &Sample,
+        queries: &[Query],
+        out: &mut Vec<Option<PointVariance>>,
+    ) {
+        out.clear();
+        let k = sample.k();
+        if k == 0 {
+            out.extend(queries.iter().map(|q| empty_sample(q.agg)));
+            return;
+        }
+        if sample.sorted_1d() {
+            let view = view_1d(sample);
+            out.extend(
+                queries
+                    .iter()
+                    .map(|q| estimate_sorted_1d(q.agg, &view, &q.rect)),
+            );
+            return;
+        }
+        let rows = sample.rows();
+        for chunk in queries.chunks(TILE) {
+            self.tile.clear();
+            self.tile.resize(chunk.len() * k, 0);
+            for d in 0..rows.dims() {
+                let col = rows.predicate_column(d);
+                for (t, q) in chunk.iter().enumerate() {
+                    let seg = &mut self.tile[t * k..(t + 1) * k];
+                    mask_pass(col, q.rect.lo(d), q.rect.hi(d), d == 0, seg);
+                }
+            }
+            for (t, q) in chunk.iter().enumerate() {
+                let seg = &self.tile[t * k..(t + 1) * k];
+                out.push(finish_from_mask(
+                    q.agg,
+                    rows.values(),
+                    sample.population(),
+                    seg,
+                ));
+            }
+        }
+    }
+
+    /// Build the match bitmask for `rect` over arbitrary predicate
+    /// columns and return it — the column-at-a-time predicate pass for
+    /// engines whose row storage is not a [`Sample`] (VerdictDB scrambles,
+    /// AQP++ gap scans). `col(d)` must return the contiguous column for
+    /// dimension `d`, each of length `k`. A caller that then walks rows in
+    /// index order testing `mask[i] != 0` reproduces a row-at-a-time
+    /// `matches` loop exactly, so accumulation order (and therefore every
+    /// bit of the result) is unchanged.
+    pub fn match_mask<'c, F>(&mut self, k: usize, rect: &Rect, col: F) -> &[u8]
+    where
+        F: Fn(usize) -> &'c [f64],
+    {
+        self.mask.clear();
+        self.mask.resize(k, 0);
+        for d in 0..rect.dims() {
+            mask_pass(col(d), rect.lo(d), rect.hi(d), d == 0, &mut self.mask);
+        }
+        &self.mask
+    }
+}
+
+/// Borrow a thread-local [`ScanScratch`] — the reuse vehicle for
+/// single-query engine paths behind `&self`.
+pub fn with_scratch<R>(f: impl FnOnce(&mut ScanScratch) -> R) -> R {
+    thread_local! {
+        // alloc: one scratch per thread, constructed empty on first use.
+        static SCRATCH: RefCell<ScanScratch> = RefCell::new(ScanScratch::new());
+    }
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// The reference's empty-sample contract: SUM/COUNT estimate 0 with zero
+/// variance, everything else is undefined.
+fn empty_sample(agg: AggKind) -> Option<PointVariance> {
+    match agg {
+        AggKind::Sum | AggKind::Count => Some(PointVariance {
+            value: 0.0,
+            variance: 0.0,
+            k_pred: 0,
+        }),
+        _ => None,
+    }
+}
+
+/// One branchless interval test over a contiguous predicate column. The
+/// first column writes the mask, later columns AND into it.
+fn mask_pass(col: &[f64], lo: f64, hi: f64, first: bool, mask: &mut [u8]) {
+    if first {
+        for (m, &x) in mask.iter_mut().zip(col) {
+            *m = u8::from(lo <= x && x <= hi);
+        }
+    } else {
+        for (m, &x) in mask.iter_mut().zip(col) {
+            *m &= u8::from(lo <= x && x <= hi);
+        }
+    }
+}
+
+/// Build the match mask for `rect`, one predicate column at a time.
+fn fill_mask(sample: &Sample, rect: &Rect, mask: &mut Vec<u8>) {
+    let rows = sample.rows();
+    let k = rows.n_rows();
+    debug_assert_eq!(rect.dims(), rows.dims());
+    mask.clear();
+    mask.resize(k, 0);
+    for d in 0..rows.dims() {
+        mask_pass(
+            rows.predicate_column(d),
+            rect.lo(d),
+            rect.hi(d),
+            d == 0,
+            mask,
+        );
+    }
+}
+
+/// [`fill_mask`] over a flat view's column-major predicate matrix.
+fn fill_mask_view(view: &SampleView<'_>, rect: &Rect, mask: &mut Vec<u8>) {
+    debug_assert_eq!(rect.dims(), view.dims);
+    mask.clear();
+    mask.resize(view.k(), 0);
+    for d in 0..view.dims {
+        mask_pass(view.pred_col(d), rect.lo(d), rect.hi(d), d == 0, mask);
+    }
+}
+
+/// Finish an estimate off a prebuilt match mask over `values` (the mask
+/// length is the sample size `k`, which must be non-zero).
+fn finish_from_mask(
+    agg: AggKind,
+    values: &[f64],
+    population: u64,
+    mask: &[u8],
+) -> Option<PointVariance> {
+    let k = mask.len();
+    debug_assert!(k > 0 && values.len() == k);
+    match agg {
+        AggKind::Min | AggKind::Max => {
+            // The reference fold (`estimate_minmax`), driven by the mask.
+            let mut best: Option<f64> = None;
+            let mut k_pred = 0u64;
+            for (i, &m) in mask.iter().enumerate() {
+                if m == 0 {
+                    continue;
+                }
+                k_pred += 1;
+                let v = values[i];
+                best = Some(match (best, agg) {
+                    (None, _) => v,
+                    (Some(b), AggKind::Min) => b.min(v),
+                    (Some(b), _) => b.max(v),
+                });
+            }
+            best.map(|value| PointVariance {
+                value,
+                variance: 0.0,
+                k_pred,
+            })
+        }
+        AggKind::Count => {
+            let k_pred = count_mask(mask);
+            if k_pred == 0 {
+                return Some(EMPTY_MATCH);
+            }
+            let n = population as f64;
+            Some(moments(mask, population, k_pred, |_| n))
+        }
+        AggKind::Sum => {
+            let k_pred = count_mask(mask);
+            if k_pred == 0 {
+                return Some(EMPTY_MATCH);
+            }
+            let n = population as f64;
+            Some(moments(mask, population, k_pred, |i| n * values[i]))
+        }
+        AggKind::Avg => {
+            let k_pred = count_mask(mask);
+            if k_pred == 0 {
+                return None;
+            }
+            let scale = k as f64 / k_pred as f64;
+            Some(moments(mask, population, k_pred, |i| scale * values[i]))
+        }
+    }
+}
+
+/// `K_pred`: integer popcount of the byte mask (order-independent).
+fn count_mask(mask: &[u8]) -> u64 {
+    mask.iter().map(|&m| u64::from(m)).sum()
+}
+
+/// The estimate the reference computes for SUM/COUNT when no sample row
+/// matches: every φ addend is the literal `+0.0`, so the value fold ends
+/// at exactly `+0.0` (the `-0.0` sum seed is flushed by the first
+/// unmatched addend — `k > 0` guarantees there is one) and every
+/// sum-of-squares addend is `(0 − 0)² = +0.0`. Hoisting the constant
+/// skips the k-length replay without changing a bit.
+const EMPTY_MATCH: PointVariance = PointVariance {
+    value: 0.0,
+    variance: 0.0,
+    k_pred: 0,
+};
+
+/// The reference's moment computation — `mean(φ)` as a plain sequential
+/// sum and `population_variance(φ)` with its own Kahan mean — with φ
+/// *selected* per index instead of materialized. Unmatched rows
+/// contribute the literal `+0.0` the reference pushed, so every float
+/// addition sees the same addend in the same order.
+fn moments(mask: &[u8], population: u64, k_pred: u64, phi: impl Fn(usize) -> f64) -> PointVariance {
+    let k = mask.len();
+    // `Iterator::sum::<f64>` folds from -0.0 (so an all-negative-zero φ
+    // vector sums to -0.0); replicate the seed exactly.
+    let mut s = -0.0f64;
+    for (i, &m) in mask.iter().enumerate() {
+        s += if m != 0 { phi(i) } else { 0.0 };
+    }
+    let value = s / k as f64;
+    let pop_var = if k < 2 {
+        0.0
+    } else {
+        let mut mean_acc = KahanSum::new();
+        for (i, &m) in mask.iter().enumerate() {
+            mean_acc.add(if m != 0 { phi(i) } else { 0.0 });
+        }
+        let mean = mean_acc.total() / k as f64;
+        let mut ss = KahanSum::new();
+        for (i, &m) in mask.iter().enumerate() {
+            let d = (if m != 0 { phi(i) } else { 0.0 }) - mean;
+            ss.add(d * d);
+        }
+        (ss.total() / k as f64).max(0.0)
+    };
+    let variance = pop_var / k as f64 * fpc(population, k as u64);
+    PointVariance {
+        value,
+        variance,
+        k_pred,
+    }
+}
+
+/// The sorted-column binary-search fast path for 1-D samples: the match
+/// set of `lo <= x <= hi` over a non-decreasing column is the contiguous
+/// index range `[a, b)`. Value and mean passes touch only that range
+/// (exact — see the module docs' `+0.0` argument); the sum-of-squares
+/// pass replays the reference's full-length loop, with the constant
+/// `(0 − m)²` term added for every unmatched index.
+fn estimate_sorted_1d(agg: AggKind, view: &SampleView<'_>, rect: &Rect) -> Option<PointVariance> {
+    let k = view.k();
+    debug_assert!(k > 0 && view.dims == 1 && rect.dims() == 1);
+    let col = view.preds;
+    let (lo, hi) = (rect.lo(0), rect.hi(0));
+    let a = col.partition_point(|&x| x < lo);
+    let b = col.partition_point(|&x| x <= hi);
+    debug_assert!(a <= b);
+    let k_pred = (b - a) as u64;
+    let values = view.values;
+    match agg {
+        AggKind::Min | AggKind::Max => {
+            // The reference fold over the matched range, in index order.
+            let mut best: Option<f64> = None;
+            for &v in &values[a..b] {
+                best = Some(match (best, agg) {
+                    (None, _) => v,
+                    (Some(bst), AggKind::Min) => bst.min(v),
+                    (Some(bst), _) => bst.max(v),
+                });
+            }
+            best.map(|value| PointVariance {
+                value,
+                variance: 0.0,
+                k_pred,
+            })
+        }
+        AggKind::Count => {
+            if k_pred == 0 {
+                return Some(EMPTY_MATCH);
+            }
+            let n = view.population as f64;
+            Some(moments_range(k, view.population, a, b, k_pred, |_| n))
+        }
+        AggKind::Sum => {
+            if k_pred == 0 {
+                return Some(EMPTY_MATCH);
+            }
+            let n = view.population as f64;
+            Some(moments_range(k, view.population, a, b, k_pred, |i| {
+                n * values[i]
+            }))
+        }
+        AggKind::Avg => {
+            if k_pred == 0 {
+                return None;
+            }
+            let scale = k as f64 / k_pred as f64;
+            Some(moments_range(k, view.population, a, b, k_pred, |i| {
+                scale * values[i]
+            }))
+        }
+    }
+}
+
+/// [`moments`] when the matched rows are exactly `[a, b)`.
+fn moments_range(
+    k: usize,
+    population: u64,
+    a: usize,
+    b: usize,
+    k_pred: u64,
+    phi: impl Fn(usize) -> f64,
+) -> PointVariance {
+    // Replicate the reference fold exactly: it seeds at -0.0 and adds a
+    // `+0.0` for every unmatched index. The first leading `+0.0` flushes
+    // the seed to `+0.0` (later ones are identity), so start there when
+    // `a > 0`; one trailing `+0.0` stands in for all `k - b` of them (it
+    // only matters if the matched φ's summed to exactly `-0.0`).
+    let mut s = if a > 0 { 0.0f64 } else { -0.0f64 };
+    for i in a..b {
+        s += phi(i);
+    }
+    if b < k {
+        s += 0.0;
+    }
+    let value = s / k as f64;
+    let pop_var = if k < 2 {
+        0.0
+    } else {
+        let mut mean_acc = KahanSum::new();
+        for i in a..b {
+            mean_acc.add(phi(i));
+        }
+        let mean = mean_acc.total() / k as f64;
+        let mut ss = KahanSum::new();
+        // Same bits the reference's `(0.0 − m)²` evaluates to, added
+        // once per unmatched index (the Kahan state still has to step
+        // through every addition — only the recomputation is hoisted).
+        let d0 = 0.0 - mean;
+        let z2 = d0 * d0;
+        for _ in 0..a {
+            ss.add(z2);
+        }
+        for i in a..b {
+            let d = phi(i) - mean;
+            ss.add(d * d);
+        }
+        for _ in b..k {
+            ss.add(z2);
+        }
+        (ss.total() / k as f64).max(0.0)
+    };
+    let variance = pop_var / k as f64 * fpc(population, k as u64);
+    PointVariance {
+        value,
+        variance,
+        k_pred,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate;
+    use pass_common::rng::rng_from_seed;
+    use pass_table::datasets::uniform;
+    use pass_table::Table;
+
+    fn bits(pv: &Option<PointVariance>) -> Option<(u64, u64, u64)> {
+        pv.as_ref()
+            .map(|p| (p.value.to_bits(), p.variance.to_bits(), p.k_pred))
+    }
+
+    /// Deterministic multi-dimensional table (xorshift values in [0, 1)).
+    fn table_nd(n: usize, dims: usize, seed: u64) -> Table {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let values: Vec<f64> = (0..n).map(|_| next() * 100.0).collect();
+        let predicates: Vec<Vec<f64>> = (0..dims)
+            .map(|_| (0..n).map(|_| next()).collect())
+            .collect();
+        let names = std::iter::once("val".to_string())
+            .chain((0..dims).map(|d| format!("d{d}")))
+            .collect();
+        Table::new(values, predicates, names).unwrap()
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_multidim_sample() {
+        let t = table_nd(4_000, 3, 17);
+        let mut rng = rng_from_seed(17);
+        let s = Sample::uniform(&t, 300, &mut rng).unwrap();
+        assert!(!s.sorted_1d(), "3-D sample has no sorted fast path");
+        let mut scratch = ScanScratch::new();
+        for (lo, hi) in [(0.1, 0.8), (0.0, 1.0), (0.45, 0.55), (2.0, 3.0)] {
+            let rect = Rect::new(&[(lo, hi); 3]);
+            for agg in AggKind::ALL {
+                let reference = estimate(agg, &s, &rect);
+                let kernel = scratch.estimate(agg, &s, &rect);
+                assert_eq!(bits(&kernel), bits(&reference), "{agg} [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_fast_path_matches_mask_path() {
+        let t = uniform(2_000, 1);
+        let mut rng = rng_from_seed(5);
+        // Builder-style sample: sorted indices over a sorted region give a
+        // non-decreasing predicate column only if the table is sorted, so
+        // sort the sample rows explicitly here.
+        let s = Sample::uniform(&t, 250, &mut rng).unwrap();
+        let mut idx: Vec<usize> = (0..s.k()).collect();
+        idx.sort_by(|&i, &j| {
+            s.rows()
+                .predicate(0, i)
+                .total_cmp(&s.rows().predicate(0, j))
+        });
+        let sorted = Sample::from_rows(s.rows().gather(&idx), s.population()).unwrap();
+        assert!(sorted.sorted_1d());
+        let mut scratch = ScanScratch::new();
+        for (lo, hi) in [(0.2, 0.7), (0.0, 1.0), (0.5, 0.5), (3.0, 4.0)] {
+            let rect = Rect::interval(lo, hi);
+            for agg in AggKind::ALL {
+                let fast = scratch.estimate(agg, &sorted, &rect);
+                let masked = scratch.estimate_unsorted(agg, &sorted, &rect);
+                let reference = estimate(agg, &sorted, &rect);
+                assert_eq!(bits(&fast), bits(&masked), "{agg} [{lo},{hi}]");
+                assert_eq!(bits(&fast), bits(&reference), "{agg} [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_singles_across_tiles() {
+        let t = table_nd(1_500, 2, 9);
+        let mut rng = rng_from_seed(9);
+        let s = Sample::uniform(&t, 200, &mut rng).unwrap();
+        // More queries than one tile, mixed aggregates.
+        let queries: Vec<Query> = (0..150)
+            .map(|i| {
+                let lo = (i % 10) as f64 * 0.09;
+                let agg = AggKind::ALL[i % 5];
+                Query::new(agg, Rect::new(&[(lo, lo + 0.3), (0.1, 0.9)]))
+            })
+            .collect();
+        let mut scratch = ScanScratch::new();
+        let mut out = Vec::new();
+        scratch.estimate_batch(&s, &queries, &mut out);
+        assert_eq!(out.len(), queries.len());
+        for (q, fused) in queries.iter().zip(&out) {
+            let single = scratch.estimate(q.agg, &s, &q.rect);
+            assert_eq!(bits(fused), bits(&single), "{}", q.agg);
+        }
+    }
+
+    #[test]
+    fn empty_sample_contract_is_preserved() {
+        let t = uniform(10, 7);
+        let s = Sample::from_indices(&t, &[], 10).unwrap();
+        assert_eq!(t.dims(), 1);
+        let rect = Rect::interval(0.0, 1.0);
+        let mut scratch = ScanScratch::new();
+        for agg in AggKind::ALL {
+            assert_eq!(
+                bits(&scratch.estimate(agg, &s, &rect)),
+                bits(&estimate(agg, &s, &rect)),
+                "{agg}"
+            );
+        }
+        let mut out = Vec::new();
+        scratch.estimate_batch(&s, &[Query::new(AggKind::Avg, rect)], &mut out);
+        assert_eq!(out, vec![None]);
+    }
+
+    #[test]
+    fn negative_zero_values_stay_bit_identical() {
+        // φ values of -0.0 exercise the skip-zero argument's edge.
+        let t = Table::one_dim(vec![0.0, 1.0, 2.0, 3.0], vec![-0.0, -0.0, -0.0, -0.0]).unwrap();
+        let s = Sample::from_rows(t, 8).unwrap();
+        assert!(s.sorted_1d());
+        let mut scratch = ScanScratch::new();
+        for rect in [Rect::interval(0.5, 2.5), Rect::interval(0.0, 3.0)] {
+            for agg in AggKind::ALL {
+                assert_eq!(
+                    bits(&scratch.estimate(agg, &s, &rect)),
+                    bits(&estimate(agg, &s, &rect)),
+                    "{agg}"
+                );
+            }
+        }
+    }
+}

@@ -4,7 +4,15 @@
 //!   stored as a mini-table plus the population size it represents;
 //! * [`estimator`] — the φ-transform point estimators and their variances
 //!   for SUM / COUNT / AVG (Equations 1–4), with finite-population
-//!   correction;
+//!   correction — the readable reference implementation;
+//! * [`kernel`] — the allocation-free, column-at-a-time scan kernels the
+//!   serving hot path runs on: a reusable [`ScanScratch`] with branchless
+//!   mask builds, fused batch evaluation, and a binary-search fast path
+//!   for sorted 1-D samples, all bit-identical to [`estimator`];
+//! * [`arena`] — [`SampleArena`], the whole sample set flattened into one
+//!   cache-resident allocation, handing the kernels borrowed
+//!   [`SampleView`]s so partial-leaf scans stop chasing per-`Sample` heap
+//!   pointers;
 //! * [`stratified`] — the weighted combination of per-stratum estimates and
 //!   the Section 2.2 confidence-interval formula;
 //! * [`reservoir`] — Vitter's reservoir sampling, the maintenance mechanism
@@ -12,13 +20,17 @@
 //! * [`delta`] — delta encoding of stratified samples against the partition
 //!   mean (the Section 3.4 compression optimization).
 
+pub mod arena;
 pub mod delta;
 pub mod estimator;
+pub mod kernel;
 pub mod reservoir;
 pub mod sample;
 pub mod stratified;
 
+pub use arena::SampleArena;
 pub use estimator::{estimate, estimate_minmax, PointVariance};
+pub use kernel::{with_scratch, SampleView, ScanScratch};
 pub use reservoir::Reservoir;
 pub use sample::Sample;
 pub use stratified::{combine_strata, StratumEstimate};

@@ -13,6 +13,10 @@ use pass_table::Table;
 pub struct Sample {
     rows: Table,
     population: u64,
+    /// Whether the single predicate column is non-decreasing — unlocks the
+    /// binary-search fast path in [`crate::kernel`]. Computed once at
+    /// construction; conservatively cleared by the row mutators.
+    sorted_1d: bool,
 }
 
 impl Sample {
@@ -28,7 +32,15 @@ impl Sample {
                 ),
             ));
         }
-        Ok(Self { rows, population })
+        // A NaN predicate fails `w[0] <= w[1]`, so NaN-carrying columns never
+        // claim sortedness.
+        let sorted_1d =
+            rows.dims() == 1 && rows.predicate_column(0).windows(2).all(|w| w[0] <= w[1]);
+        Ok(Self {
+            rows,
+            population,
+            sorted_1d,
+        })
     }
 
     /// Draw `k` rows uniformly without replacement from the whole table.
@@ -59,14 +71,11 @@ impl Sample {
     }
 
     /// Materialize specific row indices as a sample of a population of size
-    /// `population`.
+    /// `population`. Gathers every column in one pass over `indices`
+    /// ([`Table::gather`]); the result inherits the parent's already-valid
+    /// schema, so no shape re-validation happens.
     pub fn from_indices(table: &Table, indices: &[usize], population: u64) -> Result<Self> {
-        let values: Vec<f64> = indices.iter().map(|&i| table.value(i)).collect();
-        let predicates: Vec<Vec<f64>> = (0..table.dims())
-            .map(|d| indices.iter().map(|&i| table.predicate(d, i)).collect())
-            .collect();
-        let rows = Table::new(values, predicates, table.names().to_vec())?;
-        Self::from_rows(rows, population)
+        Self::from_rows(table.gather(indices), population)
     }
 
     /// The sampled rows.
@@ -85,6 +94,14 @@ impl Sample {
     #[inline]
     pub fn population(&self) -> u64 {
         self.population
+    }
+
+    /// Whether this is a 1-D sample whose predicate column is known to be
+    /// non-decreasing (kernel fast-path eligibility). `false` after any row
+    /// mutation, even one that happens to preserve order.
+    #[inline]
+    pub fn sorted_1d(&self) -> bool {
+        self.sorted_1d
     }
 
     /// Number of sampled rows matching a rectangular predicate (`K_pred`).
@@ -114,16 +131,19 @@ impl Sample {
 
     /// Append a sampled row.
     pub fn push_row(&mut self, value: f64, preds: &[f64]) {
+        self.sorted_1d = false;
         self.rows.push_row(value, preds);
     }
 
     /// Overwrite sampled row `i` (reservoir replacement).
     pub fn replace_row(&mut self, i: usize, value: f64, preds: &[f64]) {
+        self.sorted_1d = false;
         self.rows.replace_row(i, value, preds);
     }
 
     /// Remove sampled row `i` (its underlying tuple was deleted).
     pub fn swap_remove_row(&mut self, i: usize) -> (f64, Vec<f64>) {
+        self.sorted_1d = false;
         self.rows.swap_remove_row(i)
     }
 

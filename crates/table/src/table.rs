@@ -194,6 +194,28 @@ impl Table {
         (0..self.dims()).map(|d| self.predicates[d][i]).collect()
     }
 
+    /// Materialize the selected rows as a new table, visiting `indices`
+    /// once and pushing into every column buffer as it goes (instead of
+    /// one indexed map per column). The result reuses this table's
+    /// schema, so no shape re-validation is needed.
+    pub fn gather(&self, indices: &[usize]) -> Self {
+        let mut values = Vec::with_capacity(indices.len());
+        let mut predicates: Vec<Vec<f64>> = (0..self.dims())
+            .map(|_| Vec::with_capacity(indices.len()))
+            .collect();
+        for &i in indices {
+            values.push(self.values[i]);
+            for (col, src) in predicates.iter_mut().zip(&self.predicates) {
+                col.push(src[i]);
+            }
+        }
+        Self {
+            values,
+            predicates,
+            names: self.names.clone(),
+        }
+    }
+
     /// Append one row (dynamic-update path). `preds` must supply one
     /// coordinate per predicate dimension.
     pub fn push_row(&mut self, value: f64, preds: &[f64]) {

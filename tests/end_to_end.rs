@@ -200,8 +200,8 @@ fn aligned_queries_are_exact_end_to_end() {
     .unwrap();
     let leaves = pass.tree().leaves();
     // Union of leaves 3..=9 is a contiguous aligned range.
-    let lo = pass.tree().node(leaves[3]).rect.lo(0);
-    let hi = pass.tree().node(leaves[9]).rect.hi(0);
+    let lo = pass.tree().rect_lo(leaves[3], 0);
+    let hi = pass.tree().rect_hi(leaves[9], 0);
     let queries: Vec<Query> = AggKind::ALL
         .into_iter()
         .map(|agg| Query::interval(agg, lo, hi))

@@ -1,0 +1,164 @@
+//! Kernel-contract property tests: the column-at-a-time scan kernels
+//! (`pass::sampling::kernel`) are pinned **bit-for-bit** to the
+//! row-at-a-time reference estimators (`pass::sampling::estimator`) for
+//! all five aggregates, including the empty-match and AVG-undefined
+//! corners, signed zeros in the data, and the 1-D sorted binary-search
+//! fast path against the d-dimensional mask path.
+//!
+//! "Bit-for-bit" is literal: every comparison goes through `f64::to_bits`,
+//! so even a `-0.0` vs `+0.0` drift (the `Iterator::sum` seed subtlety the
+//! kernels replicate) fails the suite.
+
+use proptest::prelude::*;
+
+use pass::common::{AggKind, Query, Rect};
+use pass::sampling::{estimate as reference, PointVariance, Sample, ScanScratch};
+use pass::table::Table;
+
+/// Collapse an estimate to raw bits so equality is exact, not approximate.
+fn bits(pv: Option<PointVariance>) -> Option<(u64, u64, u64)> {
+    pv.map(|p| (p.value.to_bits(), p.variance.to_bits(), p.k_pred))
+}
+
+/// Value pool with signed zeros, constants, and noise — the mix that
+/// exercises every accumulation-order subtlety.
+fn values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(42.0),
+            -100.0f64..100.0,
+            Just(1e-9),
+        ],
+        n..n * 2 + 1,
+    )
+}
+
+/// A query interval over predicate space, including empty-selection
+/// intervals far outside the data (`[5,6]` when keys live in `[0,1]`).
+fn interval() -> impl Strategy<Value = (f64, f64)> {
+    prop_oneof![
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) }),
+        Just((5.0, 6.0)),   // matches nothing: SUM/COUNT 0, AVG None
+        Just((0.0, 1.0)),   // matches everything
+        Just((-0.0, 0.25)), // signed-zero boundary
+    ]
+}
+
+/// Deterministic pseudo-random predicate column in [0, 1).
+fn keys(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn table_2d(vals: &[f64], seed: u64) -> Table {
+    let n = vals.len();
+    Table::new(
+        vals.to_vec(),
+        vec![keys(n, seed), keys(n, seed ^ 0xabcdef)],
+        vec!["val".into(), "d0".into(), "d1".into()],
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Multi-dimensional mask path ≡ reference, all five aggregates, with
+    /// a non-trivial finite-population correction.
+    #[test]
+    fn kernel_matches_reference_bitwise(vals in values(4), seed in 1u64..5_000, (lo, hi) in interval()) {
+        let t = table_2d(&vals, seed);
+        let n = t.n_rows();
+        let s = Sample::from_indices(&t, &(0..n).collect::<Vec<_>>(), 3 * n as u64).unwrap();
+        let rect = Rect::new(&[(lo, hi), (0.1, 0.9)]);
+        let mut scratch = ScanScratch::new();
+        for agg in AggKind::ALL {
+            prop_assert_eq!(
+                bits(scratch.estimate(agg, &s, &rect)),
+                bits(reference(agg, &s, &rect)),
+                "{} diverged from the reference", agg
+            );
+        }
+    }
+
+    /// 1-D sorted fast path ≡ forced mask path ≡ reference on the same
+    /// sample, including samples holding `-0.0` values.
+    #[test]
+    fn sorted_fast_path_matches_mask_path(vals in values(3), seed in 1u64..5_000, (lo, hi) in interval()) {
+        let n = vals.len();
+        let mut ks = keys(n, seed);
+        ks.sort_by(f64::total_cmp);
+        let t = Table::one_dim(ks, vals).unwrap();
+        let s = Sample::from_indices(&t, &(0..n).collect::<Vec<_>>(), 2 * n as u64).unwrap();
+        prop_assert!(s.sorted_1d(), "sorted predicate column must be detected");
+        let rect = Rect::interval(lo, hi);
+        let mut scratch = ScanScratch::new();
+        for agg in AggKind::ALL {
+            let fast = bits(scratch.estimate(agg, &s, &rect));
+            let masked = bits(scratch.estimate_unsorted(agg, &s, &rect));
+            let refr = bits(reference(agg, &s, &rect));
+            prop_assert_eq!(fast, masked, "{} fast path diverged from mask path", agg);
+            prop_assert_eq!(masked, refr, "{} mask path diverged from reference", agg);
+        }
+    }
+
+    /// Fused batch evaluation ≡ per-query evaluation, element-wise, across
+    /// tile boundaries (batch > one 64-query tile).
+    #[test]
+    fn batch_matches_singles_across_tiles(vals in values(4), seed in 1u64..5_000) {
+        let t = table_2d(&vals, seed);
+        let n = t.n_rows();
+        let s = Sample::from_indices(&t, &(0..n).collect::<Vec<_>>(), n as u64).unwrap();
+        let queries: Vec<Query> = (0..70)
+            .map(|i| {
+                let agg = AggKind::ALL[i % AggKind::ALL.len()];
+                let lo = (i as f64 / 100.0) % 1.0;
+                Query::new(agg, Rect::new(&[(lo, lo + 0.4), (0.0, 0.8)]))
+            })
+            .collect();
+        let mut scratch = ScanScratch::new();
+        let mut batch = Vec::new();
+        scratch.estimate_batch(&s, &queries, &mut batch);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(batch) {
+            prop_assert_eq!(
+                bits(b),
+                bits(scratch.estimate(q.agg, &s, &q.rect)),
+                "batch diverged for {}", q.agg
+            );
+        }
+    }
+}
+
+/// The empty-sample corner stays pinned: SUM/COUNT answer `0 ± 0`,
+/// AVG/MIN/MAX are undefined — on every kernel entry point.
+#[test]
+fn empty_sample_corner_is_pinned() {
+    let t = Table::one_dim(vec![0.5], vec![1.0]).unwrap();
+    let s = Sample::from_indices(&t, &[], 10).unwrap();
+    let rect = Rect::interval(0.0, 1.0);
+    let mut scratch = ScanScratch::new();
+    for agg in AggKind::ALL {
+        assert_eq!(
+            bits(scratch.estimate(agg, &s, &rect)),
+            bits(reference(agg, &s, &rect)),
+            "{agg} empty-sample contract"
+        );
+    }
+    let queries: Vec<Query> = AggKind::ALL
+        .into_iter()
+        .map(|agg| Query::interval(agg, 0.0, 1.0))
+        .collect();
+    let mut batch = Vec::new();
+    scratch.estimate_batch(&s, &queries, &mut batch);
+    for (q, b) in queries.iter().zip(batch) {
+        assert_eq!(bits(b), bits(reference(q.agg, &s, &q.rect)));
+    }
+}

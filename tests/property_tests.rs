@@ -102,9 +102,8 @@ proptest! {
         let expected: u64 = tree
             .leaves()
             .into_iter()
-            .map(|id| tree.node(id))
-            .filter(|n| n.rect.lo(0) <= hi && n.rect.hi(0) >= lo)
-            .map(|n| n.agg.count)
+            .filter(|&id| tree.rect_lo(id, 0) <= hi && tree.rect_hi(id, 0) >= lo)
+            .map(|id| tree.agg(id).count)
             .sum();
         prop_assert_eq!(frontier_pop, expected);
     }

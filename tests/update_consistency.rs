@@ -84,12 +84,12 @@ proptest! {
         prop_assert!((sum.value - truth_sum).abs() < 1e-6 * truth_sum.abs().max(1.0));
 
         // Root MIN/MAX stay conservative: they bracket the live extrema.
-        let root = pass.tree().node(pass.tree().root());
+        let root = *pass.tree().agg(pass.tree().root());
         if !mirror.is_empty() {
             let live_min = mirror.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
             let live_max = mirror.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(root.agg.min <= live_min + 1e-12);
-            prop_assert!(root.agg.max >= live_max - 1e-12);
+            prop_assert!(root.min <= live_min + 1e-12);
+            prop_assert!(root.max >= live_max - 1e-12);
         }
 
         // Leaf counts still sum to the root count, and sample populations
@@ -98,13 +98,13 @@ proptest! {
             .tree()
             .leaves()
             .into_iter()
-            .map(|id| pass.tree().node(id).agg.count)
+            .map(|id| pass.tree().agg(id).count)
             .sum();
-        prop_assert_eq!(leaf_total, root.agg.count);
+        prop_assert_eq!(leaf_total, root.count);
         for (li, id) in pass.tree().leaves().into_iter().enumerate() {
             prop_assert_eq!(
                 pass.leaf_samples()[li].population(),
-                pass.tree().node(id).agg.count
+                pass.tree().agg(id).count
             );
         }
     }

@@ -29,18 +29,18 @@ pub enum AqpVariant {
 /// Precomputed aggregates + one uniform sample for the gap.
 #[derive(Debug, Clone)]
 pub struct AqpPlusPlus {
-    tree: PartitionTree,
-    sample: Sample,
-    lambda: f64,
-    name: &'static str,
+    pub(crate) tree: PartitionTree,
+    pub(crate) sample: Sample,
+    pub(crate) lambda: f64,
+    pub(crate) name: &'static str,
     /// Workload-shift mapping (Section 5.4.1): tree dimension j indexes
     /// query dimension `tree_dims[j]`; `None` = identity.
-    tree_dims: Option<Vec<usize>>,
+    pub(crate) tree_dims: Option<Vec<usize>>,
     /// Query arity (= sample arity).
-    query_dims: usize,
+    pub(crate) query_dims: usize,
     /// Requested (partitions, sample size, seed), kept for
     /// [`Synopsis::spec`].
-    requested: (usize, usize, u64),
+    pub(crate) requested: (usize, usize, u64),
 }
 
 impl AqpPlusPlus {
@@ -186,6 +186,11 @@ impl Synopsis for AqpPlusPlus {
             seed,
             tree_dims: self.tree_dims.clone(),
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        crate::snapshot::save_aqppp(self, out);
+        Ok(())
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {

@@ -84,6 +84,22 @@ impl Engine {
         specs.iter().map(|spec| Self::build(table, spec)).collect()
     }
 
+    /// Reconstruct a previously saved engine from snapshot bytes
+    /// ([`Synopsis::save`]) — the load-side mirror of [`Engine::build`],
+    /// dispatching on the [`EngineSpec`] embedded in the snapshot header.
+    ///
+    /// The whole input must be consumed: trailing bytes after the last
+    /// state section are rejected, and every section's checksum must
+    /// verify, so `load(save(e))` either reproduces `e` bit-for-bit
+    /// (answers included) or fails with a
+    /// [`pass_common::SnapshotError`].
+    pub fn load(bytes: &[u8]) -> Result<Arc<dyn Synopsis>> {
+        let (spec, mut reader) = pass_common::snapshot::SnapshotReader::open(bytes)?;
+        let engine = crate::snapshot::load_state(&spec, &mut reader)?;
+        reader.finish()?;
+        Ok(engine)
+    }
+
     /// The standard Section 5 comparison suite at a shared sample budget
     /// `k`: PASS (storage-matched via `total_samples`, the BSS1x mode),
     /// US, ST, AQP++/KD-US, VerdictDB-10%, DeepDB-style SPN.

@@ -41,6 +41,7 @@
 pub mod aqppp;
 pub mod engine;
 pub mod sharded;
+pub(crate) mod snapshot;
 pub mod spn;
 pub mod st;
 pub mod us;

@@ -50,11 +50,11 @@ use crate::Engine;
 /// K per-shard engines over disjoint partitions of one logical table,
 /// merged behind the ordinary [`Synopsis`] contract.
 pub struct ShardedSynopsis {
-    shards: Vec<Arc<dyn Synopsis>>,
-    plan: ShardPlan,
-    inner_spec: EngineSpec,
-    name: String,
-    dims: usize,
+    pub(crate) shards: Vec<Arc<dyn Synopsis>>,
+    pub(crate) plan: ShardPlan,
+    pub(crate) inner_spec: EngineSpec,
+    pub(crate) name: String,
+    pub(crate) dims: usize,
 }
 
 impl ShardedSynopsis {
@@ -573,6 +573,12 @@ impl Synopsis for ShardedSynopsis {
             inner: Box::new(self.inner_spec.clone()),
             plan: self.plan.clone(),
         }
+    }
+
+    /// One header section (shard count + arity) followed by every shard's
+    /// own state sections, recursively.
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        crate::snapshot::save_sharded(self, out)
     }
 
     /// Sum over the shards (the sharding layer itself stores nothing).

@@ -9,11 +9,11 @@
 #[derive(Debug, Clone)]
 pub struct Histogram {
     /// Bin edges, ascending, length `bins + 1`.
-    edges: Vec<f64>,
+    pub(crate) edges: Vec<f64>,
     /// Probability mass per bin (sums to 1).
-    mass: Vec<f64>,
+    pub(crate) mass: Vec<f64>,
     /// Mean value per bin.
-    mean: Vec<f64>,
+    pub(crate) mean: Vec<f64>,
 }
 
 impl Histogram {

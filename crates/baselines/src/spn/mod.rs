@@ -23,20 +23,21 @@ pub use histogram::Histogram;
 use pass_common::{AggKind, EngineSpec, Estimate, PassError, Query, Result, Synopsis};
 use pass_table::Table;
 
-use learn::{learn, LearnParams, Node};
+pub(crate) use learn::Node;
+use learn::{learn, LearnParams};
 
 /// A trained SPN over `d` predicate columns plus the aggregate column.
 #[derive(Debug, Clone)]
 pub struct SpnSynopsis {
-    nodes: Vec<Node>,
-    root: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: usize,
     /// Column count = predicate dims + 1 (the aggregate column is the last
     /// column index `dims`).
-    dims: usize,
-    population: u64,
-    name: String,
+    pub(crate) dims: usize,
+    pub(crate) population: u64,
+    pub(crate) name: String,
     /// Requested (training ratio, seed), kept for [`Synopsis::spec`].
-    requested: (f64, u64),
+    pub(crate) requested: (f64, u64),
 }
 
 impl SpnSynopsis {
@@ -140,6 +141,11 @@ impl Synopsis for SpnSynopsis {
             ratio: self.requested.0,
             seed: self.requested.1,
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        crate::snapshot::save_spn(self, out);
+        Ok(())
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {

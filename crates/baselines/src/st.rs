@@ -13,20 +13,20 @@ use pass_table::{SortedTable, Table};
 
 /// One stratum: its key interval, population, and sample.
 #[derive(Debug, Clone)]
-struct Stratum {
-    key_lo: f64,
-    key_hi: f64,
-    sample: Sample,
+pub(crate) struct Stratum {
+    pub(crate) key_lo: f64,
+    pub(crate) key_hi: f64,
+    pub(crate) sample: Sample,
 }
 
 /// Classic stratified sampling synopsis (1-D strata).
 #[derive(Debug, Clone)]
 pub struct StratifiedSynopsis {
-    strata: Vec<Stratum>,
-    lambda: f64,
-    total_rows: u64,
+    pub(crate) strata: Vec<Stratum>,
+    pub(crate) lambda: f64,
+    pub(crate) total_rows: u64,
     /// Requested (strata, budget, seed), kept for [`Synopsis::spec`].
-    requested: (usize, usize, u64),
+    pub(crate) requested: (usize, usize, u64),
 }
 
 impl StratifiedSynopsis {
@@ -85,6 +85,11 @@ impl Synopsis for StratifiedSynopsis {
     fn spec(&self) -> EngineSpec {
         let (strata, k, seed) = self.requested;
         EngineSpec::Stratified { strata, k, seed }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        crate::snapshot::save_st(self, out);
+        Ok(())
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {

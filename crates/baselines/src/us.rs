@@ -9,13 +9,13 @@ use pass_table::Table;
 /// φ-transform estimators and a CLT confidence interval.
 #[derive(Debug, Clone)]
 pub struct UniformSynopsis {
-    sample: Sample,
-    lambda: f64,
-    dims: usize,
-    total_rows: u64,
+    pub(crate) sample: Sample,
+    pub(crate) lambda: f64,
+    pub(crate) dims: usize,
+    pub(crate) total_rows: u64,
     /// Requested sample size and seed, kept for [`Synopsis::spec`].
-    requested_k: usize,
-    seed: u64,
+    pub(crate) requested_k: usize,
+    pub(crate) seed: u64,
 }
 
 impl UniformSynopsis {
@@ -85,6 +85,11 @@ impl Synopsis for UniformSynopsis {
             k: self.requested_k,
             seed: self.seed,
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        crate::snapshot::save_us(self, out);
+        Ok(())
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {

@@ -18,15 +18,15 @@ use pass_table::Table;
 #[derive(Debug, Clone)]
 pub struct VerdictSynopsis {
     /// Sampled rows (same dims as the parent table).
-    rows: Table,
+    pub(crate) rows: Table,
     /// Subsample group of each scramble row.
-    group: Vec<u32>,
-    n_groups: usize,
-    population: u64,
-    lambda: f64,
-    name: String,
+    pub(crate) group: Vec<u32>,
+    pub(crate) n_groups: usize,
+    pub(crate) population: u64,
+    pub(crate) lambda: f64,
+    pub(crate) name: String,
     /// Requested (ratio, seed), kept for [`Synopsis::spec`].
-    requested: (f64, u64),
+    pub(crate) requested: (f64, u64),
 }
 
 impl VerdictSynopsis {
@@ -98,6 +98,11 @@ impl Synopsis for VerdictSynopsis {
             ratio: self.requested.0,
             seed: self.requested.1,
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        crate::snapshot::save_verdict(self, out);
+        Ok(())
     }
 
     fn estimate(&self, query: &Query) -> Result<Estimate> {

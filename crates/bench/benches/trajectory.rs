@@ -17,7 +17,8 @@
 //! 512-request serve round-trip with its `ServeStats` p50/p99, and a
 //! group-by sweep
 //! (4/16/64 categories through PASS's batched expansion, the path
-//! `Serve::submit_progressive` executes). Alongside those, a
+//! `Serve::submit_progressive` executes), and the snapshot save/load
+//! path (ms per engine and MB/s both ways). Alongside those, a
 //! head-to-head of the `pass_common::chaos` shim primitives against the
 //! raw `std::sync` types they wrap — in a normal build (this one: the
 //! `chaos` feature is off) the shims must be zero-cost, and the two
@@ -96,7 +97,7 @@ fn categorical_table(rows: usize, cats: usize) -> Table {
 }
 
 fn main() {
-    let pr = std::env::var("PASS_TRAJECTORY_PR").unwrap_or_else(|_| "8".to_string());
+    let pr = std::env::var("PASS_TRAJECTORY_PR").unwrap_or_else(|_| "9".to_string());
     let (rows, batch, singles, serve_requests) = if smoke() {
         (20_000, 512, 100, 64)
     } else {
@@ -240,6 +241,25 @@ fn main() {
         });
     }
 
+    // --- Snapshot save/load -----------------------------------------------
+    // The engine-portability path: serialize the 256-partition PASS to
+    // the versioned snapshot format and reconstruct it. Throughput is
+    // bytes over median wall-clock; load includes every checksum and
+    // structural validation the decoder performs.
+    let mut snap_bytes = Vec::new();
+    pass.save(&mut snap_bytes).expect("snapshot save");
+    let snapshot_mb = snap_bytes.len() as f64 / (1024.0 * 1024.0);
+    let snapshot_save_ms = median_ms(|| {
+        let mut out = Vec::new();
+        pass.save(&mut out).expect("snapshot save");
+        black_box(&out);
+    });
+    let snapshot_load_ms = median_ms(|| {
+        black_box(pass::Engine::load(&snap_bytes).expect("snapshot load"));
+    });
+    let snapshot_save_mb_s = snapshot_mb / (snapshot_save_ms / 1e3);
+    let snapshot_load_mb_s = snapshot_mb / (snapshot_load_ms / 1e3);
+
     // --- Shim vs. std head-to-head ----------------------------------------
     // The chaos feature is off in bench builds, so these must be the same
     // machine code modulo noise; the JSON records both columns as proof.
@@ -291,6 +311,11 @@ fn main() {
         ("groupby_4_ms", Json::from(groupby_ms[0])),
         ("groupby_16_ms", Json::from(groupby_ms[1])),
         ("groupby_64_ms", Json::from(groupby_ms[2])),
+        ("snapshot_bytes", Json::from(snap_bytes.len() as f64)),
+        ("snapshot_save_ms", Json::from(snapshot_save_ms)),
+        ("snapshot_load_ms", Json::from(snapshot_load_ms)),
+        ("snapshot_save_mb_s", Json::from(snapshot_save_mb_s)),
+        ("snapshot_load_mb_s", Json::from(snapshot_load_mb_s)),
         ("shim_mutex_ns_per_lock", Json::from(shim_mutex_ns)),
         ("std_mutex_ns_per_lock", Json::from(std_mutex_ns)),
         ("shim_atomic_ns_per_op", Json::from(shim_atomic_ns)),
@@ -312,6 +337,10 @@ fn main() {
         "kernel_sorted1d_single_us",
         "serve_512_roundtrip_ms",
         "groupby_64_ms",
+        "snapshot_save_ms",
+        "snapshot_load_ms",
+        "snapshot_save_mb_s",
+        "snapshot_load_mb_s",
     ] {
         assert!(
             parsed.get(key).and_then(Json::as_f64).is_some(),

@@ -19,6 +19,9 @@ pub enum PassError {
     /// I/O-style failure while loading data (message only; keeps the error
     /// type `Clone + Eq` which simplifies test assertions).
     Load(String),
+    /// A snapshot failed to decode (see [`crate::snapshot::SnapshotError`]
+    /// for the taxonomy; carries no floats, so `Clone + Eq` survive).
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for PassError {
@@ -35,6 +38,7 @@ impl fmt::Display for PassError {
             }
             PassError::EmptyInput(what) => write!(f, "empty input: {what}"),
             PassError::Load(msg) => write!(f, "load error: {msg}"),
+            PassError::Snapshot(err) => write!(f, "snapshot error: {err}"),
         }
     }
 }
@@ -64,6 +68,11 @@ mod tests {
         assert_eq!(e.to_string(), "empty input: table");
         let e = PassError::Load("bad csv".into());
         assert_eq!(e.to_string(), "load error: bad csv");
+        let e = PassError::Snapshot(crate::snapshot::SnapshotError::BadMagic);
+        assert_eq!(
+            e.to_string(),
+            "snapshot error: not a PASS snapshot (bad magic)"
+        );
     }
 
     #[test]

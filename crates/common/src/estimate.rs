@@ -2,7 +2,7 @@
 
 /// An approximate query answer together with its uncertainty and the
 /// accounting the Section 5 metrics need (skip rate, effective sample size).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Estimate {
     /// The point estimate of the aggregate.
     pub value: f64,
@@ -22,6 +22,31 @@ pub struct Estimate {
     /// True when the answer is exact (query aligned with the partitioning).
     pub exact: bool,
 }
+
+/// Equality compares the floating-point fields by **bit pattern**, not by
+/// IEEE `==`: the bit-identity contracts (layered serving paths, snapshot
+/// round trips) need `NaN == NaN` to hold for identical payloads and
+/// `0.0 != -0.0` to be distinguishable — the derived float comparison
+/// would get both wrong, asymmetrically for NaN.
+impl PartialEq for Estimate {
+    fn eq(&self, other: &Self) -> bool {
+        let bounds_eq = match (self.hard_bounds, other.hard_bounds) {
+            (None, None) => true,
+            (Some((a_lo, a_hi)), Some((b_lo, b_hi))) => {
+                a_lo.to_bits() == b_lo.to_bits() && a_hi.to_bits() == b_hi.to_bits()
+            }
+            _ => false,
+        };
+        self.value.to_bits() == other.value.to_bits()
+            && self.ci_half.to_bits() == other.ci_half.to_bits()
+            && bounds_eq
+            && self.tuples_processed == other.tuples_processed
+            && self.tuples_skipped == other.tuples_skipped
+            && self.exact == other.exact
+    }
+}
+
+impl Eq for Estimate {}
 
 impl Estimate {
     /// An exact answer: no CI, degenerate hard bounds.
@@ -174,5 +199,26 @@ mod tests {
     fn hard_bounds_builder() {
         let e = Estimate::approximate(5.0, 1.0).with_hard_bounds(0.0, 20.0);
         assert_eq!(e.hard_bounds, Some((0.0, 20.0)));
+    }
+
+    #[test]
+    fn equality_is_bitwise_on_floats() {
+        // NaN fields compare equal to themselves (reflexivity — the derived
+        // float == would make an estimate unequal to its own clone).
+        let nan = Estimate::approximate(f64::NAN, f64::NAN);
+        assert_eq!(nan, nan.clone());
+        // Distinct NaN payloads are distinct estimates.
+        let other_payload = Estimate::approximate(f64::from_bits(0x7FF8_0000_0000_0001), f64::NAN);
+        assert_ne!(nan, other_payload);
+        // Signed zeros are distinguishable, unlike IEEE ==.
+        let pos = Estimate::approximate(0.0, 0.0);
+        let neg = Estimate::approximate(-0.0, 0.0);
+        assert_ne!(pos, neg);
+        assert_eq!(pos, pos.clone());
+        // Hard bounds compare bitwise too.
+        let a = Estimate::approximate(1.0, 0.5).with_hard_bounds(-0.0, 2.0);
+        let b = Estimate::approximate(1.0, 0.5).with_hard_bounds(0.0, 2.0);
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
     }
 }

@@ -35,7 +35,11 @@
 //!   fixed-bucket latency histogram ([`LatencyHistogram`]);
 //! * numeric kernels: compensated summation ([`kahan`]), prefix sums
 //!   ([`prefix`]), and statistics helpers ([`stats`]);
-//! * deterministic RNG construction ([`rng`]).
+//! * deterministic RNG construction ([`rng`]);
+//! * versioned binary snapshots of built engines ([`snapshot`]):
+//!   [`Synopsis::save`] writes a self-describing byte string
+//!   (spec header + checksummed state sections) that the registry's
+//!   `Engine::load` turns back into a bit-identical engine.
 //!
 //! Nothing here depends on any particular storage layout or estimator; those
 //! live in `pass-table`, `pass-sampling`, `pass-partition`, and `pass-core`.
@@ -57,6 +61,7 @@ pub mod progressive;
 pub mod query;
 pub mod queue;
 pub mod rng;
+pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod synopsis;
@@ -75,6 +80,7 @@ pub use prefix::PrefixSums;
 pub use progressive::{GroupBySnapshot, ProgressiveOutcome, ProgressiveSlot, ProgressiveTicket};
 pub use query::{apply_group_availability, GroupByQuery, GroupResult, Query, Rect, RectRelation};
 pub use queue::{Priority, PushError, RequestQueue};
+pub use snapshot::{SnapshotError, SnapshotReader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use spec::{EngineSpec, PartitionStrategy, PassSpec, ShardPlan};
 pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};
 pub use synopsis::{Synopsis, PARALLEL_MIN_BATCH};

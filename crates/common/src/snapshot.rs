@@ -1,0 +1,683 @@
+//! Versioned, dependency-free binary snapshots of built synopses.
+//!
+//! A snapshot is the byte string produced by
+//! [`Synopsis::save`](crate::Synopsis::save) and consumed by the engine
+//! registry's load entry point (`pass_baselines::Engine::load`):
+//!
+//! ```text
+//! magic        8 bytes   b"PASSSNAP"
+//! version      u32 LE    SNAPSHOT_VERSION
+//! section 0              EngineSpec canonical JSON (the header)
+//! section 1..            engine-specific state, opaque to this layer
+//!
+//! section :=   length    u64 LE   payload byte count
+//!              payload   `length` bytes
+//!              checksum  u32 LE   CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! Everything is little-endian; floats travel as their IEEE-754 bit
+//! patterns ([`f64::to_bits`]), so signed zeros and NaN payloads survive a
+//! round trip bit-exactly. The spec header makes snapshots self-describing:
+//! the loader dispatches on the embedded [`EngineSpec`] and rebuilds every
+//! spec-derivable field from it, so the state sections carry only what the
+//! spec cannot reproduce (trees, samples, epochs).
+//!
+//! # Decoding discipline
+//!
+//! Decoders must never panic or over-allocate on corrupt input. Every
+//! length field is validated against the *remaining* input before any slice
+//! or allocation, every read goes through `get(..)`-style checked access
+//! (pass-lint rule 7 enforces this lexically for the snapshot codec files),
+//! and every failure maps onto one [`SnapshotError`] variant:
+//!
+//! * [`BadMagic`](SnapshotError::BadMagic) — not a snapshot at all;
+//! * [`VersionSkew`](SnapshotError::VersionSkew) — a future (or corrupted)
+//!   format version; version 1 readers reject anything but version 1;
+//! * [`Truncated`](SnapshotError::Truncated) — input ends before a declared
+//!   length (includes length-field lies past the end of input);
+//! * [`ChecksumMismatch`](SnapshotError::ChecksumMismatch) — a section's
+//!   CRC disagrees with its payload (any single-bit flip is caught);
+//! * [`TrailingBytes`](SnapshotError::TrailingBytes) — input continues after
+//!   the last section the spec calls for;
+//! * [`SpecMismatch`](SnapshotError::SpecMismatch) — the header or a
+//!   CRC-valid state section disagrees with what the spec implies
+//!   (encoder/decoder drift, or a corrupted header JSON).
+//!
+//! # Versioning policy
+//!
+//! The format version is bumped on any incompatible layout change; readers
+//! support exactly the versions they know how to decode (currently only
+//! [`SNAPSHOT_VERSION`]) and refuse the rest with `VersionSkew` rather than
+//! guessing. The golden fixture under `tests/data/` pins version 1's exact
+//! bytes so accidental drift fails loudly.
+
+use std::fmt;
+
+use crate::error::{PassError, Result};
+use crate::spec::EngineSpec;
+
+/// First eight bytes of every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PASSSNAP";
+
+/// The (only) format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Narrow a slice already sized to exactly `N` bytes (by `get` or
+/// `take`) into a fixed array. Infallible at every call site, but kept
+/// panic-free — zip stops at the shorter side — so no decoder path can
+/// abort the process on corrupt input.
+fn array<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    out
+}
+
+/// Everything that can go wrong while decoding a snapshot.
+///
+/// Carries no floats, so it stays `Eq`-comparable like the rest of
+/// [`PassError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The input's format version is not supported by this reader.
+    VersionSkew {
+        /// Version found in the input.
+        found: u32,
+        /// Version this reader supports.
+        supported: u32,
+    },
+    /// The input ends before a declared length (`what` names the field
+    /// being read when the bytes ran out).
+    Truncated {
+        /// The field or region whose bytes were missing.
+        what: &'static str,
+    },
+    /// A section's CRC-32 does not match its payload.
+    ChecksumMismatch {
+        /// Zero-based section index (0 is the spec header).
+        section: u32,
+    },
+    /// Bytes remain after the final section the spec calls for.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: u64,
+    },
+    /// The header or a checksum-valid state section disagrees with what
+    /// the embedded spec implies.
+    SpecMismatch(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a PASS snapshot (bad magic)"),
+            SnapshotError::VersionSkew { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is not supported (reader supports {supported})"
+                )
+            }
+            SnapshotError::Truncated { what } => {
+                write!(f, "snapshot truncated while reading {what}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "snapshot section {section} failed its checksum")
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "snapshot has {extra} trailing bytes after the last section"
+                )
+            }
+            SnapshotError::SpecMismatch(why) => {
+                write!(f, "snapshot state disagrees with its spec: {why}")
+            }
+        }
+    }
+}
+
+impl From<SnapshotError> for PassError {
+    fn from(err: SnapshotError) -> Self {
+        PassError::Snapshot(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        // bounds: `i` walks 0..256 over the fixed-size table, not input.
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`. Guarantees detection of any single-bit flip,
+/// which is what pins the adversarial bit-flip tests to
+/// [`SnapshotError::ChecksumMismatch`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        // bounds: idx is masked to 0..=255 and the table has 256 entries.
+        crc = (crc >> 8) ^ CRC32_TABLE[idx];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Append the snapshot preamble — magic, version, and the spec header
+/// section — to `out`.
+pub fn write_header(out: &mut Vec<u8>, spec: &EngineSpec) {
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    write_section(out, spec.to_json().as_bytes());
+}
+
+/// Append one framed section (length prefix, payload, CRC-32) to `out`.
+pub fn write_section(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// A checked reader over one snapshot byte string: validates the preamble
+/// once ([`open`](SnapshotReader::open)), then hands out checksum-verified
+/// section payloads in order.
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    next_section: u32,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validate magic, version, and the spec header; return the embedded
+    /// spec plus a reader positioned at the first state section.
+    pub fn open(bytes: &'a [u8]) -> Result<(EngineSpec, Self)> {
+        let magic = bytes
+            .get(..SNAPSHOT_MAGIC.len())
+            .ok_or(SnapshotError::Truncated { what: "magic" })?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic.into());
+        }
+        let version_bytes = bytes
+            .get(SNAPSHOT_MAGIC.len()..SNAPSHOT_MAGIC.len() + 4)
+            .ok_or(SnapshotError::Truncated {
+                what: "format version",
+            })?;
+        let version = u32::from_le_bytes(array(version_bytes));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionSkew {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            }
+            .into());
+        }
+        let mut reader = Self {
+            buf: bytes,
+            pos: SNAPSHOT_MAGIC.len() + 4,
+            next_section: 0,
+        };
+        let header = reader.section()?;
+        let text = std::str::from_utf8(header)
+            .map_err(|_| SnapshotError::SpecMismatch("spec header is not UTF-8".into()))?;
+        let spec = EngineSpec::from_json(text)
+            .map_err(|e| SnapshotError::SpecMismatch(format!("spec header: {e}")))?;
+        Ok((spec, reader))
+    }
+
+    /// Read the next section's payload, verifying its length against the
+    /// remaining input *before* any slicing and its CRC after.
+    pub fn section(&mut self) -> Result<&'a [u8]> {
+        let len_bytes = self
+            .buf
+            .get(self.pos..self.pos + 8)
+            .ok_or(SnapshotError::Truncated {
+                what: "section length",
+            })?;
+        let len = u64::from_le_bytes(array(len_bytes));
+        // Validate the declared length against what is actually left
+        // (payload + 4-byte CRC) before touching the payload — a lying
+        // length field must fail here, not in a slice or an allocation.
+        let remaining = (self.buf.len() - self.pos - 8) as u64;
+        if len.checked_add(4).is_none_or(|need| need > remaining) {
+            return Err(SnapshotError::Truncated {
+                what: "section payload",
+            }
+            .into());
+        }
+        let len = len as usize;
+        let payload_start = self.pos + 8;
+        let payload =
+            self.buf
+                .get(payload_start..payload_start + len)
+                .ok_or(SnapshotError::Truncated {
+                    what: "section payload",
+                })?;
+        let crc_bytes = self
+            .buf
+            .get(payload_start + len..payload_start + len + 4)
+            .ok_or(SnapshotError::Truncated {
+                what: "section checksum",
+            })?;
+        let stored = u32::from_le_bytes(array(crc_bytes));
+        if crc32(payload) != stored {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: self.next_section,
+            }
+            .into());
+        }
+        self.pos = payload_start + len + 4;
+        self.next_section += 1;
+        Ok(payload)
+    }
+
+    /// Assert the whole input was consumed; the complement of
+    /// [`section`](Self::section)'s truncation checks.
+    pub fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(SnapshotError::TrailingBytes {
+                extra: (self.buf.len() - self.pos) as u64,
+            }
+            .into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding helpers (section payload builders)
+// ---------------------------------------------------------------------------
+
+/// Append a single byte (enum tags).
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `usize` as `u64` little-endian.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern (NaN payloads and signed
+/// zeros survive verbatim).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a `bool` as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Append `None` as a 0 tag or `Some(v)` as a 1 tag plus the value.
+pub fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed `f64` sequence.
+pub fn put_f64_seq(out: &mut Vec<u8>, vs: &[f64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Append a length-prefixed `u32` sequence.
+pub fn put_u32_seq(out: &mut Vec<u8>, vs: &[u32]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Append a length-prefixed `u64` sequence.
+pub fn put_u64_seq(out: &mut Vec<u8>, vs: &[u64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive decoding cursor
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over one (already checksum-verified) section
+/// payload. Any shortfall here means encoder/decoder drift, so failures
+/// surface as [`SnapshotError::SpecMismatch`].
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a section payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let bytes = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| {
+                SnapshotError::SpecMismatch(format!("state section ends inside {what}"))
+            })?;
+        self.pos += n;
+        Ok(bytes)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        let [b] = array(self.take(1, what)?);
+        Ok(b)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(array(self.take(4, what)?)))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(array(self.take(8, what)?)))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, validating it against the
+    /// remaining payload scaled by `elem_size` so a lying count can never
+    /// trigger an oversized allocation downstream.
+    pub fn len(&mut self, elem_size: usize, what: &str) -> Result<usize> {
+        let raw = self.u64(what)?;
+        let budget = (self.remaining() / elem_size.max(1)) as u64;
+        if raw > budget {
+            return Err(SnapshotError::SpecMismatch(format!(
+                "{what} count {raw} exceeds the section's remaining bytes"
+            ))
+            .into());
+        }
+        Ok(raw as usize)
+    }
+
+    /// Read an `f64` from its stored bit pattern.
+    pub fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read a one-byte `bool` (anything but 0/1 is drift).
+    pub fn bool(&mut self, what: &str) -> Result<bool> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::SpecMismatch(format!(
+                "{what} flag has non-boolean value {other}"
+            ))
+            .into()),
+        }
+    }
+
+    /// Read an optional `u64` written by [`put_opt_u64`].
+    pub fn opt_u64(&mut self, what: &str) -> Result<Option<u64>> {
+        if self.bool(what)? {
+            Ok(Some(self.u64(what)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String> {
+        let len = self.len(1, what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::SpecMismatch(format!("{what} is not UTF-8")).into())
+    }
+
+    /// Read a length-prefixed `f64` sequence.
+    pub fn f64_seq(&mut self, what: &str) -> Result<Vec<f64>> {
+        let len = self.len(8, what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u32` sequence.
+    pub fn u32_seq(&mut self, what: &str) -> Result<Vec<u32>> {
+        let len = self.len(4, what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u32(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u64` sequence.
+    pub fn u64_seq(&mut self, what: &str) -> Result<Vec<u64>> {
+        let len = self.len(8, what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u64(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn done(self, what: &str) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(SnapshotError::SpecMismatch(format!(
+                "{what} section has {} undecoded bytes",
+                self.buf.len() - self.pos
+            ))
+            .into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> EngineSpec {
+        EngineSpec::uniform(500).with_seed(42)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_and_sections_round_trip() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, &sample_spec());
+        write_section(&mut bytes, b"alpha");
+        write_section(&mut bytes, b"");
+        let (spec, mut r) = SnapshotReader::open(&bytes).unwrap();
+        assert_eq!(spec, sample_spec());
+        assert_eq!(r.section().unwrap(), b"alpha");
+        assert_eq!(r.section().unwrap(), b"");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_version_skew() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, &sample_spec());
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        assert_eq!(
+            SnapshotReader::open(&wrong).err(),
+            Some(PassError::Snapshot(SnapshotError::BadMagic))
+        );
+        let mut future = bytes.clone();
+        future[8] = 9;
+        assert_eq!(
+            SnapshotReader::open(&future).err(),
+            Some(PassError::Snapshot(SnapshotError::VersionSkew {
+                found: 9,
+                supported: SNAPSHOT_VERSION
+            }))
+        );
+    }
+
+    #[test]
+    fn truncation_checksum_and_trailing_are_detected() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, &sample_spec());
+        write_section(&mut bytes, b"payload");
+        // Truncate inside the payload.
+        let cut = &bytes[..bytes.len() - 3];
+        let (_, mut r) = SnapshotReader::open(cut).unwrap();
+        assert!(matches!(
+            r.section().err(),
+            Some(PassError::Snapshot(SnapshotError::Truncated { .. }))
+        ));
+        // Flip one payload bit.
+        let mut flipped = bytes.clone();
+        let last_payload = flipped.len() - 5;
+        flipped[last_payload] ^= 0x01;
+        let (_, mut r) = SnapshotReader::open(&flipped).unwrap();
+        assert_eq!(
+            r.section().err(),
+            Some(PassError::Snapshot(SnapshotError::ChecksumMismatch {
+                section: 1
+            }))
+        );
+        // Trailing garbage.
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(b"xy");
+        let (_, mut r) = SnapshotReader::open(&trailing).unwrap();
+        r.section().unwrap();
+        assert_eq!(
+            r.finish().err(),
+            Some(PassError::Snapshot(SnapshotError::TrailingBytes {
+                extra: 2
+            }))
+        );
+    }
+
+    #[test]
+    fn lying_length_fields_fail_before_allocation() {
+        let mut bytes = Vec::new();
+        write_header(&mut bytes, &sample_spec());
+        let section_start = bytes.len();
+        write_section(&mut bytes, b"abc");
+        // Claim a gigantic payload; the reader must refuse without slicing.
+        bytes[section_start..section_start + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let (_, mut r) = SnapshotReader::open(&bytes).unwrap();
+        assert!(matches!(
+            r.section().err(),
+            Some(PassError::Snapshot(SnapshotError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn cursor_round_trips_every_primitive() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 7);
+        put_u64(&mut payload, u64::MAX);
+        put_f64(&mut payload, -0.0);
+        put_f64(&mut payload, f64::from_bits(0x7FF8_0000_DEAD_BEEF));
+        put_bool(&mut payload, true);
+        put_opt_u64(&mut payload, None);
+        put_opt_u64(&mut payload, Some(3));
+        put_str(&mut payload, "naïve");
+        put_f64_seq(&mut payload, &[1.5, f64::NEG_INFINITY]);
+        put_u32_seq(&mut payload, &[1, 2, 3]);
+        put_u64_seq(&mut payload, &[9]);
+        let mut c = Cursor::new(&payload);
+        assert_eq!(c.u32("a").unwrap(), 7);
+        assert_eq!(c.u64("b").unwrap(), u64::MAX);
+        assert_eq!(c.f64("c").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(c.f64("d").unwrap().to_bits(), 0x7FF8_0000_DEAD_BEEF);
+        assert!(c.bool("e").unwrap());
+        assert_eq!(c.opt_u64("f").unwrap(), None);
+        assert_eq!(c.opt_u64("g").unwrap(), Some(3));
+        assert_eq!(c.str("h").unwrap(), "naïve");
+        let seq = c.f64_seq("i").unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[1], f64::NEG_INFINITY);
+        assert_eq!(c.u32_seq("j").unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.u64_seq("k").unwrap(), vec![9]);
+        c.done("primitives").unwrap();
+    }
+
+    #[test]
+    fn cursor_rejects_lying_counts_and_leftovers() {
+        let mut payload = Vec::new();
+        put_usize(&mut payload, usize::MAX); // count with no bytes behind it
+        let mut c = Cursor::new(&payload);
+        assert!(matches!(
+            c.f64_seq("vals").err(),
+            Some(PassError::Snapshot(SnapshotError::SpecMismatch(_)))
+        ));
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, 2);
+        let mut c = Cursor::new(&payload);
+        c.u32("only").unwrap();
+        assert!(matches!(
+            c.done("leftover").err(),
+            Some(PassError::Snapshot(SnapshotError::SpecMismatch(_)))
+        ));
+    }
+}

@@ -56,6 +56,7 @@ pub mod groupby;
 pub mod maintain;
 pub mod mcf;
 pub mod query;
+pub mod snapshot;
 pub mod synopsis;
 pub mod tree;
 pub mod update;

@@ -529,6 +529,10 @@ impl Synopsis for Pass {
         EngineSpec::Pass(self.spec.clone())
     }
 
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        crate::snapshot::save_pass(self, out)
+    }
+
     /// Streaming updates make `Pass` the one mutable engine in the
     /// workspace; exposing the mutation count lets `CachedSynopsis`
     /// invalidate stale entries automatically (no manual `clear_cache`).

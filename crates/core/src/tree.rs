@@ -48,30 +48,35 @@ use pass_table::{SortedTable, Table};
 pub type NodeId = usize;
 
 /// An arena-allocated partition tree in struct-of-arrays layout.
+///
+/// Fields are `pub(crate)` so the snapshot codec (`crate::snapshot`) can
+/// serialize the arena *exactly* — including dead `child_flat` ranges left
+/// by collapses — keeping a loaded tree bit-identical in layout, not just
+/// in logical shape.
 #[derive(Debug, Clone)]
 pub struct PartitionTree {
-    dims: usize,
-    root: NodeId,
-    n_leaves: usize,
+    pub(crate) dims: usize,
+    pub(crate) root: NodeId,
+    pub(crate) n_leaves: usize,
     /// Exact aggregates, one per node.
-    aggs: Vec<Aggregates>,
+    pub(crate) aggs: Vec<Aggregates>,
     /// Packed rectangle bounds, node-major: `rect[id * dims + d]` is the
     /// `(lo, hi)` pair of dimension `d` — one indexed load per interval
     /// test.
-    rect: Vec<(f64, f64)>,
+    pub(crate) rect: Vec<(f64, f64)>,
     /// Packed `(start, count)` of each node's child range in `child_flat`
     /// (`count == 0` ⇒ leaf) — leaf test and child lookup in one load.
-    child_span: Vec<(u32, u32)>,
+    pub(crate) child_span: Vec<(u32, u32)>,
     /// All child ids, grouped per node (append-only; collapsed nodes leave
     /// dead ranges).
-    child_flat: Vec<NodeId>,
+    pub(crate) child_flat: Vec<NodeId>,
     /// Parent id (`None` for the root) — needed by dynamic updates.
-    parent: Vec<Option<NodeId>>,
+    pub(crate) parent: Vec<Option<NodeId>>,
     /// For leaves: index into the synopsis' per-leaf sample array.
-    leaf_index: Vec<Option<usize>>,
+    pub(crate) leaf_index: Vec<Option<usize>>,
     /// Whether any node's aggregate is empty. `false` lets MCF skip the
     /// per-node emptiness load; refreshed after count-changing mutations.
-    has_empty: bool,
+    pub(crate) has_empty: bool,
 }
 
 impl PartitionTree {

@@ -45,6 +45,13 @@
 //!    `// alloc:` comment justifies the site (the scratch buffers'
 //!    one-time construction). `resize` on a reusable buffer is the
 //!    sanctioned growth idiom and is not flagged.
+//! 7. **Snapshot decoders never index untrusted input** — the declared
+//!    decoder modules ([`SNAPSHOT_DECODERS`]) parse attacker-controlled
+//!    bytes, so `[`-indexing and slicing are flagged outside
+//!    `#[cfg(test)]` code: access must go through `get(..)`-or-error
+//!    (the `Cursor` idiom), which turns a corrupt length into a
+//!    `SnapshotError` instead of a panic. A site whose bound was just
+//!    validated may carry a `// bounds:` comment stating the argument.
 //!
 //! The analysis is deliberately *lexical*: sources are stripped of
 //! comments and string contents, `#[cfg(test)]` regions are tracked by
@@ -100,6 +107,16 @@ pub const PANIC_EXEMPT: &[&str] = &[
 /// columnar estimation hot path must reuse scratch buffers, never
 /// allocate per query.
 pub const SCAN_KERNELS: &[&str] = &["crates/sampling/src/kernel.rs"];
+
+/// The snapshot decoder modules (rule 7): they parse untrusted bytes and
+/// must reach them via `get(..)`-or-error, never unchecked indexing.
+pub const SNAPSHOT_DECODERS: &[&str] = &[
+    "crates/common/src/snapshot.rs",
+    "crates/table/src/snapshot.rs",
+    "crates/sampling/src/snapshot.rs",
+    "crates/core/src/snapshot.rs",
+    "crates/baselines/src/snapshot.rs",
+];
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -774,6 +791,51 @@ pub fn check_no_alloc_in_kernels(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 7: no unchecked indexing or slicing in the snapshot decoder
+/// modules. A `[` preceded by an identifier character, `)`, or `]` is an
+/// index/slice expression on untrusted input; decoders must use
+/// `get(..)`-or-error instead, so a lying length becomes a
+/// `SnapshotError` rather than a panic. A `// bounds:` comment (same
+/// line, or a comment line directly above) marks the rare site whose
+/// bound a preceding check already established.
+pub fn check_decoder_indexing(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !SNAPSHOT_DECODERS.contains(&file.rel.as_str()) {
+        return;
+    }
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let indexes = code.char_indices().any(|(pos, c)| {
+            c == '['
+                && code[..pos].chars().next_back().is_some_and(|p| {
+                    p.is_alphanumeric() || p == '_' || p == ')' || p == ']' || p == '?'
+                })
+        });
+        if !indexes {
+            continue;
+        }
+        let justified = line.comment.contains("bounds:")
+            || file.lines[..i]
+                .iter()
+                .rev()
+                .take_while(|prev| prev.code.trim().is_empty())
+                .any(|prev| prev.comment.contains("bounds:"));
+        if !justified {
+            file.push(
+                out,
+                i,
+                "decoder-no-index",
+                "index/slice expression in a snapshot decoder: use `get(..)`-or-error \
+                 so corrupt input fails as `SnapshotError`, or justify a checked bound \
+                 with a `// bounds:` comment"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// Run every rule over one parsed file.
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -783,6 +845,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     check_lock_order(file, &mut out);
     check_time_confined(file, &mut out);
     check_no_alloc_in_kernels(file, &mut out);
+    check_decoder_indexing(file, &mut out);
     out
 }
 
@@ -1041,6 +1104,51 @@ fn f() {
         out.clear();
         check_no_alloc_in_kernels(&file("crates/sampling/src/sample.rs", src), &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn decoder_index_rule_flags_unchecked_indexing() {
+        let src = "\
+fn f(bytes: &[u8]) {
+    let a = bytes[0];
+    let b = &bytes[..8];
+    let c = table(x)[i];
+    let d = self.take(1, what)?[0];
+    let e = bytes.get(0);
+    let f: [u8; 8] = seed();
+    #[derive(Debug)]
+    struct S;
+}
+";
+        let mut out = Vec::new();
+        check_decoder_indexing(&file("crates/common/src/snapshot.rs", src), &mut out);
+        let lines: Vec<usize> = out.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5], "{out:?}");
+        assert!(out.iter().all(|v| v.rule == "decoder-no-index"));
+        // Out of scope: ordinary modules may index freely.
+        out.clear();
+        check_decoder_indexing(&file("crates/common/src/histogram.rs", src), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn decoder_index_rule_accepts_bounds_justifications_and_tests() {
+        let src = "\
+fn f(bytes: &[u8]) {
+    let a = bytes[0]; // bounds: length checked above
+    // bounds: span validated against the arena length
+    let b = &bytes[..8];
+}
+#[cfg(test)]
+mod tests {
+    fn t(bytes: &[u8]) {
+        let c = bytes[1];
+    }
+}
+";
+        let mut out = Vec::new();
+        check_decoder_indexing(&file("crates/core/src/snapshot.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

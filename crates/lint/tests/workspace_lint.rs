@@ -49,6 +49,16 @@ fn clock_reads_stay_in_the_declared_timing_modules() {
 }
 
 #[test]
+fn snapshot_decoders_never_index_untrusted_input() {
+    assert_clean("decoder-no-index");
+}
+
+#[test]
+fn scan_kernels_stay_allocation_free() {
+    assert_clean("kernel-no-alloc");
+}
+
+#[test]
 fn the_walk_actually_covers_the_serving_tier() {
     // Guard against a silent no-op pass: the walker must have parsed
     // the files the rules are scoped to.
@@ -63,6 +73,12 @@ fn the_walk_actually_covers_the_serving_tier() {
         assert!(
             root.join(rel).is_file(),
             "time allowlist lists a missing file: {rel}"
+        );
+    }
+    for rel in pass_lint::SNAPSHOT_DECODERS {
+        assert!(
+            root.join(rel).is_file(),
+            "decoder scope lists a missing file: {rel}"
         );
     }
 }

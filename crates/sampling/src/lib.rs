@@ -26,6 +26,7 @@ pub mod estimator;
 pub mod kernel;
 pub mod reservoir;
 pub mod sample;
+pub mod snapshot;
 pub mod stratified;
 
 pub use arena::SampleArena;

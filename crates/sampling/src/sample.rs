@@ -70,6 +70,17 @@ impl Sample {
         Self::from_indices(table, &idx, n as u64)
     }
 
+    /// Reassemble a sample from snapshot state, trusting the stored
+    /// `sorted_1d` flag instead of recomputing it: the mutators clear the
+    /// flag conservatively (even order-preserving mutations), so a
+    /// mutated-then-saved sample must reload onto the exact same kernel
+    /// path it was on when saved, not the one a fresh scan would pick.
+    pub(crate) fn from_parts(rows: Table, population: u64, sorted_1d: bool) -> Result<Self> {
+        let mut sample = Self::from_rows(rows, population)?;
+        sample.sorted_1d = sorted_1d && sample.sorted_1d;
+        Ok(sample)
+    }
+
     /// Materialize specific row indices as a sample of a population of size
     /// `population`. Gathers every column in one pass over `indices`
     /// ([`Table::gather`]); the result inherits the parent's already-valid

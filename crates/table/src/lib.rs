@@ -24,6 +24,7 @@ pub mod csv;
 pub mod datasets;
 pub mod dist;
 pub mod shard;
+pub mod snapshot;
 pub mod sorted;
 pub mod table;
 

@@ -1,0 +1,98 @@
+//! Snapshot codec for [`Table`] (see `pass_common::snapshot`).
+//!
+//! A table is encoded column-for-column with f64 bit patterns, so a decoded
+//! table is bit-identical to the saved one. Decoding re-enters
+//! [`Table::new`], so every schema invariant (column arity, equal lengths)
+//! is re-validated on the way in; a CRC-valid but drifted payload surfaces
+//! as `SnapshotError::SpecMismatch`, never as a malformed table.
+
+use pass_common::snapshot::{put_f64_seq, put_str, put_usize, Cursor, SnapshotError};
+use pass_common::Result;
+
+use crate::table::Table;
+
+/// Append `table` to a section payload.
+pub fn encode_table(out: &mut Vec<u8>, table: &Table) {
+    put_usize(out, table.dims());
+    put_usize(out, table.names().len());
+    for name in table.names() {
+        put_str(out, name);
+    }
+    put_f64_seq(out, table.values());
+    for d in 0..table.dims() {
+        put_f64_seq(out, table.predicate_column(d));
+    }
+}
+
+/// Decode one table written by [`encode_table`].
+pub fn decode_table(c: &mut Cursor<'_>) -> Result<Table> {
+    let dims = c.len(8, "table dims")?;
+    let n_names = c.len(1, "table names")?;
+    let mut names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        names.push(c.str("table column name")?);
+    }
+    let values = c.f64_seq("table values")?;
+    let mut predicates = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        predicates.push(c.f64_seq("table predicate column")?);
+    }
+    Table::new(values, predicates, names)
+        .map_err(|e| SnapshotError::SpecMismatch(format!("table state: {e}")).into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_round_trip_bit_exactly() {
+        let t = crate::datasets::taxi(500, 3);
+        let mut payload = Vec::new();
+        encode_table(&mut payload, &t);
+        let mut c = Cursor::new(&payload);
+        let back = decode_table(&mut c).unwrap();
+        c.done("table").unwrap();
+        assert_eq!(back.dims(), t.dims());
+        assert_eq!(back.names(), t.names());
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(back.values()), bits(t.values()));
+        for d in 0..t.dims() {
+            assert_eq!(bits(back.predicate_column(d)), bits(t.predicate_column(d)));
+        }
+    }
+
+    #[test]
+    fn special_floats_survive() {
+        let t = Table::one_dim(
+            vec![0.0, -0.0, f64::INFINITY],
+            vec![f64::NAN, 1.0, f64::from_bits(0x7FF8_0000_0000_1234)],
+        )
+        .unwrap();
+        let mut payload = Vec::new();
+        encode_table(&mut payload, &t);
+        let back = decode_table(&mut Cursor::new(&payload)).unwrap();
+        assert_eq!(back.values()[2].to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(back.predicate_column(0)[1].to_bits(), (-0.0f64).to_bits());
+        assert!(back.values()[0].is_nan());
+    }
+
+    #[test]
+    fn drifted_payload_is_a_spec_mismatch() {
+        // A payload claiming two names but carrying one predicate column of
+        // the wrong length fails Table::new's validation.
+        let mut payload = Vec::new();
+        put_usize(&mut payload, 1);
+        put_usize(&mut payload, 2);
+        put_str(&mut payload, "value");
+        put_str(&mut payload, "predicate");
+        put_f64_seq(&mut payload, &[1.0, 2.0]);
+        put_f64_seq(&mut payload, &[1.0]); // length mismatch
+        assert!(matches!(
+            decode_table(&mut Cursor::new(&payload)).err(),
+            Some(pass_common::PassError::Snapshot(
+                SnapshotError::SpecMismatch(_)
+            ))
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Snapshot round-trip: save every standard-suite engine (plus a sharded
+//! PASS) to the versioned binary snapshot format and load it back,
+//! asserting the reloaded engine answers **bit-identically** — the
+//! portability contract `tests/snapshot_contract.rs` pins.
+//!
+//! ```sh
+//! cargo run --release --example snapshot_roundtrip
+//! ```
+//!
+//! With a path argument, also writes the golden PASS fixture the contract
+//! suite decodes on a clean checkout (regenerate only on a format bump):
+//!
+//! ```sh
+//! cargo run --release --example snapshot_roundtrip -- tests/data/pass_v1.snap
+//! ```
+
+use pass::common::{AggKind, PassSpec, Query};
+use pass::table::datasets::uniform;
+use pass::{Engine, EngineSpec, Session, ShardPlan};
+
+/// The golden fixture's engine: keep in sync with
+/// `tests/snapshot_contract.rs::golden_fixture_decodes_bit_identically`.
+fn golden_spec() -> EngineSpec {
+    EngineSpec::Pass(PassSpec {
+        partitions: 8,
+        total_samples: Some(64),
+        seed: 7,
+        ..PassSpec::default()
+    })
+}
+
+fn main() {
+    let table = uniform(50_000, 42);
+    let mut session = Session::new(table);
+
+    // The Section 5 comparison suite plus a 4-shard PASS, all by name.
+    let mut specs = Engine::standard_suite(32, 2_000, 9);
+    specs.push(EngineSpec::sharded(
+        specs[0].clone(),
+        ShardPlan::row_range(4),
+    ));
+    let names: Vec<String> = (0..specs.len()).map(|i| format!("engine{i}")).collect();
+    for (name, spec) in names.iter().zip(&specs) {
+        session.add_engine(name, spec).expect("suite engines build");
+    }
+
+    let probes: Vec<Query> = AggKind::ALL
+        .iter()
+        .map(|&agg| Query::interval(agg, 0.2, 0.7))
+        .collect();
+
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}  round-trip",
+        "engine", "bytes", "save µs", "load µs"
+    );
+    for name in &names {
+        let mut bytes = Vec::new();
+        let start = std::time::Instant::now();
+        session
+            .save_engine(name, &mut bytes)
+            .expect("save succeeds");
+        let save_us = start.elapsed().as_secs_f64() * 1e6;
+
+        let start = std::time::Instant::now();
+        let loaded = Engine::load(&bytes).expect("load succeeds");
+        let load_us = start.elapsed().as_secs_f64() * 1e6;
+
+        // The contract: answers are bit-identical, not merely close.
+        let original = session.engine(name).unwrap();
+        for q in &probes {
+            assert_eq!(
+                loaded.estimate(q),
+                original.estimate(q),
+                "{} diverged after reload on {}",
+                original.name(),
+                q.agg
+            );
+        }
+        assert_eq!(loaded.spec(), original.spec());
+        assert_eq!(loaded.storage_bytes(), original.storage_bytes());
+        println!(
+            "{:<16} {:>10} {:>12.0} {:>12.0}  bit-identical ({})",
+            original.name(),
+            bytes.len(),
+            save_us,
+            load_us,
+            probes.len(),
+        );
+    }
+
+    // A loaded engine is a first-class session citizen: register it and
+    // serve from it like any freshly built engine.
+    let mut bytes = Vec::new();
+    session.save_engine("engine0", &mut bytes).unwrap();
+    session.load_engine("warm", &bytes).unwrap();
+    let q = Query::interval(AggKind::Sum, 0.1, 0.9);
+    assert_eq!(
+        session.estimate("warm", &q).unwrap(),
+        session.estimate("engine0", &q).unwrap(),
+    );
+    println!("\nreloaded engine re-registered as `warm`: answers match engine0");
+
+    // Optional: (re)write the golden fixture for the contract suite.
+    if let Some(path) = std::env::args().nth(1) {
+        let table = uniform(2_000, 42);
+        let engine = Engine::build(&table, &golden_spec()).unwrap();
+        let mut bytes = Vec::new();
+        engine.save(&mut bytes).unwrap();
+        std::fs::write(&path, &bytes).expect("fixture path is writable");
+        println!("wrote golden fixture ({} bytes) to {path}", bytes.len());
+    }
+}

@@ -169,6 +169,56 @@ impl Session {
         self.add_engine(name, &EngineSpec::sharded(inner.clone(), plan.clone()))
     }
 
+    /// Serialize the named engine into a portable snapshot
+    /// (`pass_common::snapshot` format: spec header + checksummed state
+    /// sections). The bytes reconstruct the engine — answers, storage
+    /// accounting, and update epoch bit-identical — through
+    /// [`load_engine`](Self::load_engine) or `pass_baselines::Engine::load`,
+    /// here or in another process.
+    ///
+    /// ```
+    /// use pass::{EngineSpec, Session};
+    /// use pass::common::{AggKind, Query};
+    /// use pass::table::datasets::uniform;
+    ///
+    /// let mut session = Session::new(uniform(5_000, 11));
+    /// session.add_engine("pass", &EngineSpec::pass()).unwrap();
+    /// let mut bytes = Vec::new();
+    /// session.save_engine("pass", &mut bytes).unwrap();
+    ///
+    /// let mut other = Session::new(uniform(5_000, 11));
+    /// other.load_engine("warm", &bytes).unwrap();
+    /// let q = Query::interval(AggKind::Sum, 0.2, 0.7);
+    /// assert_eq!(
+    ///     other.estimate("warm", &q).unwrap(),
+    ///     session.estimate("pass", &q).unwrap(),
+    /// );
+    /// ```
+    pub fn save_engine(&self, engine: &str, out: &mut Vec<u8>) -> Result<()> {
+        self.engine_or_err(engine)?.engine.inner().save(out)
+    }
+
+    /// Reconstruct an engine from snapshot bytes ([`save_engine`](Self::save_engine))
+    /// and register it under `name` — the load-side mirror of
+    /// [`add_engine`](Self::add_engine): the loaded engine gets the same
+    /// cache, [`SessionHandle`], and serving plumbing as a freshly built
+    /// one, `build_ms` reports the load time, and a carried-over
+    /// [`Synopsis::update_epoch`] keeps epoch-aware caches honest.
+    /// Re-using a name replaces the previous engine.
+    pub fn load_engine(&mut self, name: impl Into<String>, bytes: &[u8]) -> Result<&mut Self> {
+        let name = name.into();
+        let start = Instant::now();
+        let synopsis = Engine::load(bytes)?;
+        let build_ms = start.elapsed().as_secs_f64() * 1e3;
+        let capacity = self.cache_capacity;
+        self.insert(SessionEngine {
+            name,
+            engine: CachedSynopsis::new(synopsis, capacity),
+            build_ms,
+        });
+        Ok(self)
+    }
+
     /// Register an already-built synopsis (escape hatch for hand-built or
     /// externally updated engines, e.g. a `Pass` absorbing a live stream).
     pub fn add_synopsis(

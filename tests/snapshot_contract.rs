@@ -1,0 +1,448 @@
+//! The snapshot contract (`pass_common::snapshot`): saving a built engine
+//! and loading it back reproduces the engine **bit-identically** —
+//! `estimate`, `estimate_many`, and `estimate_group_by` answers (error
+//! rows included), `spec()`, `storage_bytes`, and `update_epoch` — for
+//! every standard-suite engine, sharded plans, warmed caches, served
+//! paths, and mutated-then-saved PASS synopses.
+//!
+//! The decoder side is pinned adversarially: truncation at every byte
+//! boundary, single-bit flips, trailing garbage, and length-field lies
+//! must surface as the right `SnapshotError` variant — never a panic,
+//! and never an allocation trusted to an unvalidated length. A golden
+//! fixture in `tests/data/` pins the on-disk format across checkouts
+//! (regenerate with `cargo run --example snapshot_roundtrip -- <path>`
+//! only on a deliberate format bump).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use pass::common::snapshot::{Cursor, SnapshotError, SNAPSHOT_VERSION};
+use pass::common::{AggKind, GroupByQuery, PassError, PassSpec, Query, Synopsis};
+use pass::core::Pass;
+use pass::table::datasets::uniform;
+use pass::table::Table;
+use pass::{Engine, EngineSpec, ServeConfig, Session, ShardPlan};
+
+/// Probe queries covering every aggregate, plus an empty-selection window
+/// so error rows round-trip too (AVG/MIN/MAX over nothing is an `Err`).
+fn probes() -> Vec<Query> {
+    let mut qs: Vec<Query> = AggKind::ALL
+        .iter()
+        .flat_map(|&agg| {
+            [
+                Query::interval(agg, 0.1, 0.8),
+                Query::interval(agg, 0.42, 0.43),
+            ]
+        })
+        .collect();
+    qs.extend(AggKind::ALL.map(|agg| Query::interval(agg, 5.0, 6.0)));
+    qs
+}
+
+/// Assert `loaded` is indistinguishable from `original` on every probe
+/// and every identity surface. `Estimate` equality is bitwise (NaN
+/// payloads and signed zeros included), so `assert_eq!` pins exact bits.
+fn assert_bit_identical(original: &dyn Synopsis, loaded: &dyn Synopsis) {
+    assert_eq!(loaded.name(), original.name());
+    assert_eq!(loaded.spec(), original.spec());
+    assert_eq!(loaded.dims(), original.dims());
+    assert_eq!(loaded.storage_bytes(), original.storage_bytes());
+    assert_eq!(loaded.update_epoch(), original.update_epoch());
+    let qs = probes();
+    for q in &qs {
+        assert_eq!(
+            loaded.estimate(q),
+            original.estimate(q),
+            "{} diverged on {:?}",
+            original.name(),
+            q
+        );
+    }
+    assert_eq!(loaded.estimate_many(&qs), original.estimate_many(&qs));
+}
+
+fn roundtrip(engine: &dyn Synopsis) -> std::sync::Arc<dyn Synopsis> {
+    let mut bytes = Vec::new();
+    engine.save(&mut bytes).expect("save succeeds");
+    Engine::load(&bytes).expect("load succeeds")
+}
+
+#[test]
+fn standard_suite_round_trips_bit_identically() {
+    let table = uniform(6_000, 9);
+    for spec in Engine::standard_suite(16, 600, 5) {
+        let engine = Engine::build(&table, &spec).unwrap();
+        let loaded = roundtrip(engine.as_ref());
+        assert_bit_identical(engine.as_ref(), loaded.as_ref());
+    }
+}
+
+#[test]
+fn sharded_pass_round_trips_at_k2_and_k4() {
+    let table = uniform(8_000, 10);
+    let inner = EngineSpec::Pass(PassSpec {
+        partitions: 8,
+        total_samples: Some(200),
+        seed: 6,
+        ..PassSpec::default()
+    });
+    for k in [2, 4] {
+        let spec = EngineSpec::sharded(inner.clone(), ShardPlan::row_range(k));
+        let engine = Engine::build(&table, &spec).unwrap();
+        let loaded = roundtrip(engine.as_ref());
+        assert_bit_identical(engine.as_ref(), loaded.as_ref());
+        assert_eq!(loaded.name(), format!("Sharded[{k}]-PASS"));
+    }
+}
+
+#[test]
+fn group_by_answers_round_trip() {
+    let n = 6_000;
+    let cat: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+    let vals: Vec<f64> = (0..n).map(|i| ((i % 5) + 1) as f64 * 3.0).collect();
+    let table = Table::one_dim(cat, vals).unwrap();
+    let gq = GroupByQuery::over(AggKind::Sum, 0, &[0.0, 1.0, 2.0, 3.0, 4.0, 9.0], 1);
+    let mut specs = Engine::standard_suite(8, 400, 7);
+    specs.push(EngineSpec::sharded(
+        specs[0].clone(),
+        ShardPlan::row_range(4),
+    ));
+    for spec in specs {
+        let engine = Engine::build(&table, &spec).unwrap();
+        let loaded = roundtrip(engine.as_ref());
+        // Row-for-row, error rows (the absent 9.0 category) included.
+        assert_eq!(
+            loaded.estimate_group_by(&gq).unwrap(),
+            engine.estimate_group_by(&gq).unwrap(),
+            "{}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn warming_the_cache_does_not_change_the_snapshot() {
+    let mut session = Session::new(uniform(4_000, 11));
+    session
+        .add_engine(
+            "pass",
+            &EngineSpec::Pass(PassSpec {
+                partitions: 8,
+                sample_rate: 0.05,
+                seed: 3,
+                ..PassSpec::default()
+            }),
+        )
+        .unwrap();
+    let mut cold = Vec::new();
+    session.save_engine("pass", &mut cold).unwrap();
+    for q in &probes() {
+        let _ = session.estimate("pass", q);
+    }
+    assert!(session.cache_stats("pass").unwrap().len > 0);
+    let mut warm = Vec::new();
+    session.save_engine("pass", &mut warm).unwrap();
+    assert_eq!(cold, warm, "the query cache must not leak into snapshots");
+
+    // A loaded engine joins the session as a first-class citizen and
+    // answers identically to the warmed original, cache and all.
+    session.load_engine("reloaded", &warm).unwrap();
+    for q in &probes() {
+        assert_eq!(session.estimate("reloaded", q), session.estimate("pass", q));
+    }
+}
+
+#[test]
+fn served_answers_match_after_reload() {
+    let mut session = Session::new(uniform(4_000, 12));
+    session
+        .add_engine(
+            "pass",
+            &EngineSpec::Pass(PassSpec {
+                partitions: 8,
+                sample_rate: 0.05,
+                seed: 4,
+                ..PassSpec::default()
+            }),
+        )
+        .unwrap();
+    let mut bytes = Vec::new();
+    session.save_engine("pass", &mut bytes).unwrap();
+    session.load_engine("warm", &bytes).unwrap();
+
+    // The serving front-end over the *loaded* engine answers every probe
+    // bit-identically to direct calls against the original.
+    let serve = session.serve("warm", ServeConfig::new()).unwrap();
+    for q in &probes() {
+        let results = serve.submit(q).wait().results().unwrap();
+        assert_eq!(results[0], session.estimate("pass", q));
+    }
+}
+
+#[test]
+fn mutated_pass_saves_post_mutation_state() {
+    let table = uniform(3_000, 13);
+    let spec = PassSpec {
+        partitions: 8,
+        sample_rate: 0.1,
+        seed: 5,
+        ..PassSpec::default()
+    };
+    let mut pass = Pass::from_spec(&table, &spec).unwrap();
+    let q = Query::interval(AggKind::Count, 0.0, 1.0);
+    let before = pass.estimate(&q).unwrap();
+
+    // Absorb a stream of inserts and a delete; the epoch advances and
+    // answers move.
+    for i in 0..64 {
+        pass.insert(&[0.5 + (i as f64) * 1e-4], 7.0).unwrap();
+    }
+    let key = [table.predicate(0, 0)];
+    pass.delete(&key, table.value(0)).unwrap();
+    assert!(pass.update_epoch() > 0);
+    let after = pass.estimate(&q).unwrap();
+    assert_ne!(before.value, after.value);
+
+    // The snapshot captures the *mutated* engine: post-mutation answers
+    // and the carried-over epoch, not a rebuild from the spec.
+    let loaded = roundtrip(&pass);
+    assert_bit_identical(&pass, loaded.as_ref());
+    assert_eq!(loaded.estimate(&q).unwrap(), after);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture
+// ---------------------------------------------------------------------------
+
+/// Decodes the committed fixture and compares it against a fresh build of
+/// the same spec over the same deterministic dataset — pinning both the
+/// byte format and the build determinism it relies on. Keep the spec in
+/// sync with `examples/snapshot_roundtrip.rs::golden_spec`.
+#[test]
+fn golden_fixture_decodes_bit_identically() {
+    let bytes = std::fs::read(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/pass_v1.snap"
+    ))
+    .expect("golden fixture is committed");
+    let loaded = Engine::load(&bytes).expect("golden fixture decodes");
+
+    let spec = EngineSpec::Pass(PassSpec {
+        partitions: 8,
+        total_samples: Some(64),
+        seed: 7,
+        ..PassSpec::default()
+    });
+    let fresh = Engine::build(&uniform(2_000, 42), &spec).unwrap();
+    assert_bit_identical(fresh.as_ref(), loaded.as_ref());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial decoding
+// ---------------------------------------------------------------------------
+
+/// One modest PASS snapshot, built once and shared by the adversarial
+/// tests (every case below decodes it or a corruption of it).
+fn snapshot() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let table = uniform(1_000, 21);
+        let spec = EngineSpec::Pass(PassSpec {
+            partitions: 4,
+            total_samples: Some(32),
+            seed: 8,
+            ..PassSpec::default()
+        });
+        let engine = Engine::build(&table, &spec).unwrap();
+        let mut bytes = Vec::new();
+        engine.save(&mut bytes).unwrap();
+        bytes
+    })
+}
+
+fn snapshot_err(bytes: &[u8]) -> SnapshotError {
+    match Engine::load(bytes) {
+        Err(PassError::Snapshot(err)) => err,
+        Err(other) => panic!("expected a snapshot error, got {other:?}"),
+        Ok(_) => panic!("corrupt snapshot decoded successfully"),
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_errors_cleanly() {
+    let bytes = snapshot();
+    for cut in 0..bytes.len() {
+        // Any proper prefix must fail — with a snapshot error, never a
+        // panic — because the spec promises more sections than remain.
+        let err = snapshot_err(&bytes[..cut]);
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+                    | SnapshotError::BadMagic
+            ),
+            "cut at {cut}/{}: unexpected {err:?}",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_detected_before_anything_else() {
+    let mut bytes = snapshot().to_vec();
+    bytes[0] ^= 0xFF;
+    assert_eq!(snapshot_err(&bytes), SnapshotError::BadMagic);
+    // Shorter than the magic itself: truncation, not a magic complaint.
+    assert!(matches!(
+        snapshot_err(&bytes[..4]),
+        SnapshotError::Truncated { .. }
+    ));
+}
+
+#[test]
+fn version_skew_reports_both_versions() {
+    let mut bytes = snapshot().to_vec();
+    bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 9).to_le_bytes());
+    assert_eq!(
+        snapshot_err(&bytes),
+        SnapshotError::VersionSkew {
+            found: SNAPSHOT_VERSION + 9,
+            supported: SNAPSHOT_VERSION,
+        }
+    );
+}
+
+#[test]
+fn trailing_garbage_is_rejected_with_its_size() {
+    let mut bytes = snapshot().to_vec();
+    bytes.extend_from_slice(&[0xAB; 7]);
+    assert_eq!(
+        snapshot_err(&bytes),
+        SnapshotError::TrailingBytes { extra: 7 }
+    );
+}
+
+#[test]
+fn length_field_lies_fail_before_allocating() {
+    // The first section's length lives right after magic + version. A
+    // huge claim must be rejected by comparing against the remaining
+    // input *before* any allocation — if the decoder trusted it, this
+    // test would OOM rather than fail an assertion.
+    let mut bytes = snapshot().to_vec();
+    bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        snapshot_err(&bytes),
+        SnapshotError::Truncated { .. }
+    ));
+    // An in-bounds lie mis-frames the section and trips its checksum.
+    let mut bytes = snapshot().to_vec();
+    let real = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    bytes[12..20].copy_from_slice(&(real - 1).to_le_bytes());
+    assert!(matches!(
+        snapshot_err(&bytes),
+        SnapshotError::ChecksumMismatch { .. } | SnapshotError::Truncated { .. }
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A single bit flip anywhere in the snapshot is always caught: the
+    /// magic and version are checked directly, section payloads are
+    /// checksummed, and frame lengths are validated against the
+    /// remaining input. Never a panic, never a wild allocation.
+    #[test]
+    fn single_bit_flips_never_panic(pos in 0usize..snapshot().len(), bit in 0u8..8) {
+        let mut bytes = snapshot().to_vec();
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(Engine::load(&bytes).is_err());
+    }
+
+    /// Random truncation points (denser than the exhaustive sweep can
+    /// afford on bigger snapshots) stay clean.
+    #[test]
+    fn random_truncation_never_panics(cut in 0usize..snapshot().len()) {
+        prop_assert!(matches!(
+            Engine::load(&snapshot()[..cut]),
+            Err(PassError::Snapshot(_))
+        ));
+    }
+
+    /// Garbage appended after the last section is reported byte-exactly.
+    #[test]
+    fn trailing_garbage_of_any_size_is_counted(garbage in prop::collection::vec(0u8..=255, 1..64usize)) {
+        let mut bytes = snapshot().to_vec();
+        let extra = garbage.len() as u64;
+        bytes.extend_from_slice(&garbage);
+        prop_assert_eq!(snapshot_err(&bytes), SnapshotError::TrailingBytes { extra });
+    }
+
+    /// Overwriting any section-length word with an arbitrary value never
+    /// panics or over-allocates; it either mis-frames (checksum,
+    /// truncation, trailing bytes) or — astronomically unlikely —
+    /// reframes into a valid snapshot.
+    #[test]
+    fn length_word_fuzzing_is_contained(lie in 0u64..=u64::MAX) {
+        let mut bytes = snapshot().to_vec();
+        bytes[12..20].copy_from_slice(&lie.to_le_bytes());
+        match Engine::load(&bytes) {
+            Err(PassError::Snapshot(_)) => {}
+            Err(other) => prop_assert!(false, "non-snapshot error {other:?}"),
+            Ok(_) => prop_assert!(lie == u64::from_le_bytes(snapshot()[12..20].try_into().unwrap())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float bit patterns
+// ---------------------------------------------------------------------------
+
+/// The codec stores floats as raw IEEE-754 bits: signed zeros and NaN
+/// payloads must survive a round trip exactly — pinned at the primitive
+/// layer, where every higher codec bottoms out.
+#[test]
+fn signed_zeros_and_nan_payloads_round_trip_bitwise() {
+    let specials = [
+        0.0f64,
+        -0.0,
+        f64::NAN,
+        f64::from_bits(0x7FF8_DEAD_BEEF_0001), // quiet NaN, custom payload
+        f64::from_bits(0xFFF8_0000_0000_0042), // negative quiet NaN
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE / 2.0, // subnormal
+    ];
+    let mut payload = Vec::new();
+    for &v in &specials {
+        pass::common::snapshot::put_f64(&mut payload, v);
+    }
+    let mut c = Cursor::new(&payload);
+    for &v in &specials {
+        let back = c.f64("special float").unwrap();
+        assert_eq!(back.to_bits(), v.to_bits(), "{v:?} changed bits");
+    }
+    c.done("specials").unwrap();
+}
+
+/// End to end: an engine whose sample holds -0.0 and a payload-carrying
+/// NaN answers bit-identically after a round trip (`Estimate` equality
+/// is bitwise, so `assert_bit_identical` compares exact bits).
+#[test]
+fn engines_over_special_floats_round_trip() {
+    let n = 256;
+    let keys: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+    let mut vals: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    vals[10] = -0.0;
+    vals[20] = f64::from_bits(0x7FF8_DEAD_BEEF_0001);
+    let table = Table::one_dim(keys, vals).unwrap();
+    // A full-population sample makes both special rows certainly present.
+    let engine = Engine::build(&table, &EngineSpec::uniform(n).with_seed(2)).unwrap();
+    let loaded = roundtrip(engine.as_ref());
+    for agg in AggKind::ALL {
+        let q = Query::interval(agg, 0.0, 1.0);
+        let (a, b) = (engine.estimate(&q), loaded.estimate(&q));
+        assert_eq!(a, b, "{agg} diverged (bitwise Estimate compare)");
+    }
+}

@@ -25,7 +25,8 @@ use pass_core::Pass;
 use pass_table::Table;
 
 use crate::{
-    AqpPlusPlus, ShardedSynopsis, SpnSynopsis, StratifiedSynopsis, UniformSynopsis, VerdictSynopsis,
+    AqpPlusPlus, JoinSynopsis, ShardedSynopsis, SpnSynopsis, StratifiedSynopsis, UniformSynopsis,
+    VerdictSynopsis,
 };
 
 /// Spec-driven constructor for every registered engine.
@@ -67,6 +68,7 @@ impl Engine {
                 Arc::new(VerdictSynopsis::build(table, *ratio, *seed)?)
             }
             EngineSpec::Spn { ratio, seed } => Arc::new(SpnSynopsis::build(table, *ratio, *seed)?),
+            EngineSpec::Join(join_spec) => Arc::new(JoinSynopsis::build(table, join_spec)?),
             EngineSpec::Sharded { inner, plan } => {
                 Arc::new(ShardedSynopsis::build(table, inner, plan)?)
             }

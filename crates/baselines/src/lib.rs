@@ -19,7 +19,11 @@
 //! The latter two stand in for the closed-source systems compared in
 //! Table 2; DESIGN.md documents the substitutions.
 //!
-//! Beyond the paper's comparison set, [`ShardedSynopsis`] scales any of
+//! Beyond the paper's comparison set, [`JoinSynopsis`] (**JOIN**)
+//! answers a second *scenario family*: fact ⋈ dimension foreign-key
+//! join aggregates (`pass_common::JoinSpec`), estimated from a
+//! fact-side uniform sample joined against a hash-indexed dimension
+//! side [Huang et al., *Joins on Samples*]. And [`ShardedSynopsis`] scales any of
 //! the above horizontally: one logical table is cut into disjoint shards
 //! (`pass_common::ShardPlan`), one inner engine is built per shard
 //! (concurrently), and per-shard partial estimates merge behind the same
@@ -40,6 +44,7 @@
 
 pub mod aqppp;
 pub mod engine;
+pub mod join;
 pub mod sharded;
 pub(crate) mod snapshot;
 pub mod spn;
@@ -49,6 +54,7 @@ pub mod verdict;
 
 pub use aqppp::AqpPlusPlus;
 pub use engine::Engine;
+pub use join::JoinSynopsis;
 pub use sharded::ShardedSynopsis;
 pub use spn::SpnSynopsis;
 pub use st::StratifiedSynopsis;

@@ -82,12 +82,17 @@ impl ShardedSynopsis {
             });
         let shards = built.into_iter().collect::<Result<Vec<_>>>()?;
         let name = format!("Sharded[{}]-{}", shards.len(), shards[0].name());
+        // The merged synopsis answers whatever arity its shards answer —
+        // which is the table's arity for single-table engines, but wider
+        // for join engines (fact dims + dimension-attribute dims), so
+        // ask the shard rather than the table.
+        let dims = shards[0].dims();
         Ok(Self {
             shards,
             plan: plan.clone(),
             inner_spec: inner.clone(),
             name,
-            dims: table.dims(),
+            dims,
         })
     }
 

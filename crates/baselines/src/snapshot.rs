@@ -21,14 +21,17 @@ use pass_common::snapshot::{
     put_f64, put_f64_seq, put_u32_seq, put_u64, put_u64_seq, put_u8, put_usize, write_section,
     Cursor, SnapshotError, SnapshotReader,
 };
-use pass_common::{EngineSpec, PassError, Result, Synopsis};
+use pass_common::{EngineSpec, JoinSpec, PassError, Result, Synopsis};
 use pass_core::snapshot::{decode_tree, encode_tree, load_pass};
 use pass_sampling::snapshot::{decode_sample, encode_sample};
 use pass_table::snapshot::{decode_table, encode_table};
 
 use crate::spn::{Node, SpnSynopsis};
 use crate::st::Stratum;
-use crate::{AqpPlusPlus, ShardedSynopsis, StratifiedSynopsis, UniformSynopsis, VerdictSynopsis};
+use crate::{
+    AqpPlusPlus, JoinSynopsis, ShardedSynopsis, StratifiedSynopsis, UniformSynopsis,
+    VerdictSynopsis,
+};
 
 fn drift(why: String) -> PassError {
     SnapshotError::SpecMismatch(why).into()
@@ -54,6 +57,7 @@ pub(crate) fn load_state(
         } => Arc::new(load_aqppp(*partitions, *k, *seed, tree_dims.as_deref(), r)?),
         EngineSpec::Verdict { ratio, seed } => Arc::new(load_verdict(*ratio, *seed, r)?),
         EngineSpec::Spn { ratio, seed } => Arc::new(load_spn(*ratio, *seed, r)?),
+        EngineSpec::Join(join_spec) => Arc::new(load_join(join_spec, r)?),
         EngineSpec::Sharded { inner, plan } => Arc::new(load_sharded(inner, plan, r)?),
         EngineSpec::Opaque { name } => {
             return Err(PassError::InvalidParameter(
@@ -219,6 +223,49 @@ fn load_aqppp(
         query_dims,
         requested: (partitions, k, seed),
     })
+}
+
+// --- JOIN ---
+
+pub(crate) fn save_join(j: &JoinSynopsis, out: &mut Vec<u8>) {
+    // Spec-derivation rule: the dimension hash index is rebuilt from the
+    // header spec at load time, so only the randomized joined sample
+    // (plus λ and the population accounting) is state.
+    let mut state = Vec::new();
+    put_f64(&mut state, j.lambda);
+    put_usize(&mut state, j.dims);
+    put_u64(&mut state, j.total_rows);
+    encode_sample(&mut state, &j.sample);
+    write_section(out, &state);
+}
+
+fn load_join(spec: &JoinSpec, r: &mut SnapshotReader<'_>) -> Result<JoinSynopsis> {
+    // A header spec the build path would reject cannot describe a real
+    // engine — and the index rebuild below relies on its invariants.
+    if let Err(err) = spec.validate() {
+        return Err(drift(format!("JOIN header spec is invalid: {err}")));
+    }
+    let mut c = Cursor::new(r.section()?);
+    let lambda = c.f64("JOIN lambda")?;
+    let dims = c.u64("JOIN dims")? as usize;
+    let total_rows = c.u64("JOIN total rows")?;
+    let sample = decode_sample(&mut c)?;
+    c.done("JOIN state")?;
+    if dims == 0 || sample.rows().dims() != dims {
+        return Err(drift("JOIN sample arity disagrees with its dims".into()));
+    }
+    if dims <= spec.attr_dims() {
+        return Err(drift(
+            "JOIN dims leave no fact-side predicate dimensions".into(),
+        ));
+    }
+    if spec.fk_dim >= dims - spec.attr_dims() {
+        return Err(drift("JOIN FK dimension is outside the fact side".into()));
+    }
+    if total_rows < sample.k() as u64 {
+        return Err(drift("JOIN total rows below its sample size".into()));
+    }
+    JoinSynopsis::from_snapshot_parts(spec.clone(), sample, lambda, total_rows)
 }
 
 // --- VerdictDB-style scramble ---

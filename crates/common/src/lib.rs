@@ -81,7 +81,7 @@ pub use progressive::{GroupBySnapshot, ProgressiveOutcome, ProgressiveSlot, Prog
 pub use query::{apply_group_availability, GroupByQuery, GroupResult, Query, Rect, RectRelation};
 pub use queue::{Priority, PushError, RequestQueue};
 pub use snapshot::{SnapshotError, SnapshotReader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use spec::{EngineSpec, PartitionStrategy, PassSpec, ShardPlan};
+pub use spec::{EngineSpec, JoinSpec, PartitionStrategy, PassSpec, ShardPlan};
 pub use stats::{lambda_for_confidence, LAMBDA_95, LAMBDA_99};
 pub use synopsis::{Synopsis, PARALLEL_MIN_BATCH};
 pub use ticket::{ServeOutcome, Ticket, TicketSlot};

@@ -86,6 +86,114 @@ impl Default for PassSpec {
     }
 }
 
+/// A fact ⋈ dimension foreign-key join scenario, as plain data.
+///
+/// The *fact* side is the table handed to the engine registry
+/// (`pass_baselines::Engine::build`), exactly as for every single-table
+/// engine; the *dimension* side travels **inside the spec** — a unique
+/// key column plus zero or more attribute columns — so the spec stays
+/// self-contained: it JSON round-trips, reseeds shard-by-shard, and a
+/// snapshot header alone is enough to rebuild the dimension hash index
+/// at load time. Queries against the built `JoinSynopsis` span both
+/// sides: predicate dimensions `0..fact_dims` constrain the fact
+/// columns (the FK column included) and dimensions `fact_dims..` the
+/// dimension attributes, in `dim_attrs` order.
+///
+/// Keys and attributes must be finite: the JSON writer emits non-finite
+/// floats as `null` (and `-0.0` as `0`, losing the sign bit), so only
+/// finite values survive a spec round trip — [`validate`](Self::validate)
+/// rejects the rest up front, and key handling canonicalizes `-0.0` to
+/// `0.0` wherever keys are hashed or compared (matching
+/// [`ShardPlan::key_shard`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    /// Fact-table predicate dimension holding the foreign key.
+    pub fk_dim: usize,
+    /// Dimension-side primary keys (finite, unique up to `-0.0 == 0.0`).
+    pub dim_keys: Vec<f64>,
+    /// Dimension-side attribute columns, column-major:
+    /// `dim_attrs[col][row]` (every column as long as `dim_keys`).
+    pub dim_attrs: Vec<Vec<f64>>,
+    /// Fact-side sample size in rows.
+    pub k: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl JoinSpec {
+    /// A join spec with seed 0 (use [`EngineSpec::with_seed`] to reseed).
+    pub fn new(fk_dim: usize, dim_keys: Vec<f64>, dim_attrs: Vec<Vec<f64>>, k: usize) -> Self {
+        JoinSpec {
+            fk_dim,
+            dim_keys,
+            dim_attrs,
+            k,
+            seed: 0,
+        }
+    }
+
+    /// Predicate dimensions the join adds on top of the fact table's
+    /// (one per dimension attribute column).
+    pub fn attr_dims(&self) -> usize {
+        self.dim_attrs.len()
+    }
+
+    /// Reject specs that cannot build or cannot round-trip: a zero
+    /// sample budget, ragged attribute columns, non-finite keys or
+    /// attributes, and duplicate keys (after `-0.0` canonicalization).
+    /// An **empty** dimension side is valid — every fact row dangles and
+    /// the join is empty, which the estimator answers honestly.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(PassError::InvalidParameter(
+                "k",
+                "a join synopsis needs at least one fact-side sample row".into(),
+            ));
+        }
+        for (i, col) in self.dim_attrs.iter().enumerate() {
+            if col.len() != self.dim_keys.len() {
+                return Err(PassError::InvalidParameter(
+                    "dim_attrs",
+                    format!(
+                        "attribute column {i} has {} rows but the key column has {}",
+                        col.len(),
+                        self.dim_keys.len()
+                    ),
+                ));
+            }
+            if col.iter().any(|v| !v.is_finite()) {
+                return Err(PassError::InvalidParameter(
+                    "dim_attrs",
+                    format!("attribute column {i} holds a non-finite value"),
+                ));
+            }
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.dim_keys.len());
+        for &key in &self.dim_keys {
+            if !key.is_finite() {
+                return Err(PassError::InvalidParameter(
+                    "dim_keys",
+                    "dimension keys must be finite".into(),
+                ));
+            }
+            // Canonicalize -0.0 so the two equal-comparing zeros cannot
+            // smuggle in a duplicate key.
+            let canonical = if key == 0.0 { 0.0f64 } else { key };
+            if !seen.insert(canonical.to_bits()) {
+                return Err(PassError::InvalidParameter(
+                    "dim_keys",
+                    format!("duplicate dimension key {key}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn f64_arr(values: &[f64]) -> Json {
+        Json::Arr(values.iter().map(|&v| Json::from(v)).collect())
+    }
+}
+
 /// How one logical table is cut into K disjoint shards, each served by
 /// its own synopsis (`pass_baselines::ShardedSynopsis`).
 ///
@@ -245,6 +353,12 @@ pub enum EngineSpec {
         /// Training-sample seed.
         seed: u64,
     },
+    /// Fact ⋈ dimension FK join: the fact side (the build table) is
+    /// uniformly sampled, the dimension side (carried inside the spec)
+    /// is hash-indexed, and SUM/COUNT/AVG over a predicate rectangle
+    /// spanning both sides is answered with Horvitz–Thompson-style
+    /// unbiased estimates (`pass_baselines::JoinSynopsis`).
+    Join(JoinSpec),
     /// One logical table partitioned across K per-shard engines (each
     /// built from `inner` over its shard) whose partial estimates are
     /// merged at query time (`pass_baselines::ShardedSynopsis`).
@@ -298,6 +412,11 @@ impl EngineSpec {
         EngineSpec::Spn { ratio, seed: 0 }
     }
 
+    /// A fact ⋈ dimension FK join over `spec`'s dimension side.
+    pub fn join(spec: JoinSpec) -> Self {
+        EngineSpec::Join(spec)
+    }
+
     /// `inner` sharded across the table according to `plan`.
     pub fn sharded(inner: EngineSpec, plan: ShardPlan) -> Self {
         EngineSpec::Sharded {
@@ -316,6 +435,7 @@ impl EngineSpec {
             | EngineSpec::AqpPlusPlus { seed, .. }
             | EngineSpec::Verdict { seed, .. }
             | EngineSpec::Spn { seed, .. } => *seed = new_seed,
+            EngineSpec::Join(j) => j.seed = new_seed,
             EngineSpec::Sharded { inner, .. } => {
                 let reseeded = std::mem::replace(inner.as_mut(), EngineSpec::uniform(0));
                 **inner = reseeded.with_seed(new_seed);
@@ -335,6 +455,7 @@ impl EngineSpec {
             | EngineSpec::AqpPlusPlus { seed, .. }
             | EngineSpec::Verdict { seed, .. }
             | EngineSpec::Spn { seed, .. } => Some(*seed),
+            EngineSpec::Join(j) => Some(j.seed),
             EngineSpec::Sharded { inner, .. } => inner.seed(),
             EngineSpec::Opaque { .. } => None,
         }
@@ -349,6 +470,7 @@ impl EngineSpec {
             EngineSpec::AqpPlusPlus { .. } => "aqppp",
             EngineSpec::Verdict { .. } => "verdict",
             EngineSpec::Spn { .. } => "spn",
+            EngineSpec::Join(_) => "join",
             EngineSpec::Sharded { .. } => "sharded",
             EngineSpec::Opaque { .. } => "opaque",
         }
@@ -433,6 +555,21 @@ impl EngineSpec {
             EngineSpec::Verdict { ratio, seed } | EngineSpec::Spn { ratio, seed } => {
                 fields.push(("ratio", Json::from(*ratio)));
                 fields.push(("seed", seed_json(*seed)));
+            }
+            EngineSpec::Join(j) => {
+                fields.push(("fk_dim", Json::from(j.fk_dim)));
+                fields.push(("k", Json::from(j.k)));
+                fields.push(("seed", seed_json(j.seed)));
+                fields.push(("dim_keys", JoinSpec::f64_arr(&j.dim_keys)));
+                fields.push((
+                    "dim_attrs",
+                    Json::Arr(
+                        j.dim_attrs
+                            .iter()
+                            .map(|col| JoinSpec::f64_arr(col))
+                            .collect(),
+                    ),
+                ));
             }
             EngineSpec::Sharded { inner, plan } => {
                 fields.push(("plan", plan.to_json_value()));
@@ -544,6 +681,32 @@ impl EngineSpec {
                 ratio: f64_field("ratio")?,
                 seed: u64_field("seed")?,
             }),
+            Some("join") => {
+                let f64_column = |value: &Json, name: &'static str| -> Result<Vec<f64>> {
+                    value
+                        .as_arr()
+                        .ok_or(field_err(name))?
+                        .iter()
+                        .map(|v| v.as_f64().ok_or(field_err(name)))
+                        .collect()
+                };
+                Ok(EngineSpec::Join(JoinSpec {
+                    fk_dim: usize_field("fk_dim")?,
+                    dim_keys: f64_column(
+                        doc.get("dim_keys").ok_or(field_err("dim_keys"))?,
+                        "dim_keys",
+                    )?,
+                    dim_attrs: doc
+                        .get("dim_attrs")
+                        .and_then(Json::as_arr)
+                        .ok_or(field_err("dim_attrs"))?
+                        .iter()
+                        .map(|col| f64_column(col, "dim_attrs"))
+                        .collect::<Result<Vec<Vec<f64>>>>()?,
+                    k: usize_field("k")?,
+                    seed: u64_field("seed")?,
+                }))
+            }
             Some("sharded") => Ok(EngineSpec::Sharded {
                 plan: ShardPlan::from_json_value(doc.get("plan").ok_or(field_err("plan"))?)?,
                 inner: Box::new(Self::from_json_value(
@@ -598,6 +761,16 @@ mod tests {
             },
             EngineSpec::verdict(0.1).with_seed(5),
             EngineSpec::spn(0.5),
+            EngineSpec::join(JoinSpec::new(
+                0,
+                vec![1.0, 2.0, 3.5],
+                vec![vec![10.0, 20.5, 30.0], vec![-1.0, 0.0, 1.0]],
+                128,
+            ))
+            .with_seed(11),
+            // Attribute-free and empty-dimension joins are valid specs.
+            EngineSpec::join(JoinSpec::new(1, vec![7.25], vec![], 64)),
+            EngineSpec::join(JoinSpec::new(0, vec![], vec![], 32)),
             EngineSpec::sharded(EngineSpec::uniform(256), ShardPlan::row_range(4)),
             EngineSpec::sharded(
                 EngineSpec::sharded(EngineSpec::pass(), ShardPlan::row_range(2)),
@@ -701,6 +874,70 @@ mod tests {
         assert!(EngineSpec::from_json(
             r#"{"engine": "sharded", "plan": {"kind": "hash_dim", "shards": 2},
                 "inner": {"engine": "uniform", "k": 5, "seed": 0}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn join_specs_validate() {
+        // Well-formed specimens validate, including degenerate-but-legal
+        // shapes (no attributes, empty dimension side).
+        for spec in specimens() {
+            if let EngineSpec::Join(j) = spec {
+                assert!(j.validate().is_ok(), "{j:?}");
+            }
+        }
+        let good = JoinSpec::new(0, vec![1.0, 2.0], vec![vec![5.0, 6.0]], 16);
+        assert!(good.validate().is_ok());
+        assert_eq!(good.attr_dims(), 1);
+        // Zero sample budget.
+        assert!(JoinSpec::new(0, vec![1.0], vec![], 0).validate().is_err());
+        // Ragged attribute column.
+        assert!(JoinSpec::new(0, vec![1.0, 2.0], vec![vec![5.0]], 4)
+            .validate()
+            .is_err());
+        // Non-finite keys and attributes cannot survive JSON.
+        assert!(JoinSpec::new(0, vec![f64::NAN], vec![], 4)
+            .validate()
+            .is_err());
+        assert!(JoinSpec::new(0, vec![1.0], vec![vec![f64::INFINITY]], 4)
+            .validate()
+            .is_err());
+        // Duplicate keys, including the -0.0/0.0 collision.
+        assert!(JoinSpec::new(0, vec![1.0, 1.0], vec![], 4)
+            .validate()
+            .is_err());
+        assert!(JoinSpec::new(0, vec![0.0, -0.0], vec![], 4)
+            .validate()
+            .is_err());
+        // Every validation failure is the typed parameter error.
+        for bad in [
+            JoinSpec::new(0, vec![1.0], vec![], 0),
+            JoinSpec::new(0, vec![1.0, 1.0], vec![], 4),
+        ] {
+            assert!(matches!(
+                bad.validate(),
+                Err(PassError::InvalidParameter(_, _))
+            ));
+        }
+    }
+
+    #[test]
+    fn malformed_join_json_is_rejected() {
+        assert!(EngineSpec::from_json(r#"{"engine": "join"}"#).is_err());
+        assert!(EngineSpec::from_json(
+            r#"{"engine": "join", "fk_dim": 0, "k": 8, "seed": 0, "dim_keys": "oops",
+                "dim_attrs": []}"#
+        )
+        .is_err());
+        assert!(EngineSpec::from_json(
+            r#"{"engine": "join", "fk_dim": 0, "k": 8, "seed": 0, "dim_keys": [1, null],
+                "dim_attrs": []}"#
+        )
+        .is_err());
+        assert!(EngineSpec::from_json(
+            r#"{"engine": "join", "fk_dim": 0, "k": 8, "seed": 0, "dim_keys": [1, 2],
+                "dim_attrs": [[1, "x"]]}"#
         )
         .is_err());
     }

@@ -247,6 +247,44 @@ impl Table {
         }
     }
 
+    /// Unique hash index over predicate column `dim`: canonicalized key
+    /// bit pattern → row index (the FK-join build block — the dimension
+    /// side of a `pass_common::JoinSpec` indexes its key column once and
+    /// every sampled fact row probes it in O(1)).
+    ///
+    /// Keys hash by bit pattern with `-0.0` canonicalized to `0.0`, so
+    /// the two equal-comparing zeros land on one entry (the same
+    /// canonicalization `pass_common::ShardPlan::key_shard` applies).
+    /// NaN keys (which equal nothing, themselves included) and duplicate
+    /// keys are rejected with typed errors — a multi-valued index would
+    /// silently pick an arbitrary match.
+    pub fn key_index(&self, dim: usize) -> Result<std::collections::HashMap<u64, usize>> {
+        if dim >= self.dims() {
+            return Err(PassError::DimensionMismatch {
+                expected: self.dims(),
+                got: dim + 1,
+            });
+        }
+        let col = &self.predicates[dim];
+        let mut index = std::collections::HashMap::with_capacity(col.len());
+        for (row, &key) in col.iter().enumerate() {
+            if key.is_nan() {
+                return Err(PassError::InvalidParameter(
+                    "key",
+                    format!("row {row} has a NaN key; NaN joins nothing"),
+                ));
+            }
+            let canonical = if key == 0.0 { 0.0f64 } else { key };
+            if index.insert(canonical.to_bits(), row).is_some() {
+                return Err(PassError::InvalidParameter(
+                    "key",
+                    format!("duplicate key {key} at row {row}"),
+                ));
+            }
+        }
+        Ok(index)
+    }
+
     /// Exact aggregate answer for the common case `agg(A) WHERE rect`,
     /// returning 0 for SUM/COUNT over empty selections (matching SQL
     /// semantics for COUNT and the estimators' convention for SUM).
@@ -364,6 +402,35 @@ mod tests {
         assert_eq!(p.names()[1], "c");
         assert!(t.project(&[]).is_err());
         assert!(t.project(&[7]).is_err());
+    }
+
+    #[test]
+    fn key_index_maps_canonical_bits_to_rows() {
+        let t = Table::one_dim(vec![3.0, -0.0, 7.5], vec![1.0, 2.0, 3.0]).unwrap();
+        let idx = t.key_index(0).unwrap();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx[&3.0f64.to_bits()], 0);
+        assert_eq!(idx[&7.5f64.to_bits()], 2);
+        // -0.0 is stored (and must be probed) under +0.0's bits.
+        assert_eq!(idx[&0.0f64.to_bits()], 1);
+        assert!(!idx.contains_key(&(-0.0f64).to_bits()));
+        // Out-of-range dim, NaN keys, and duplicates are typed errors.
+        assert!(matches!(
+            t.key_index(1),
+            Err(PassError::DimensionMismatch { .. })
+        ));
+        let nan = Table::one_dim(vec![1.0, f64::NAN], vec![0.0, 0.0]).unwrap();
+        assert!(matches!(
+            nan.key_index(0),
+            Err(PassError::InvalidParameter("key", _))
+        ));
+        let dup = Table::one_dim(vec![2.0, 2.0], vec![0.0, 0.0]).unwrap();
+        assert!(matches!(
+            dup.key_index(0),
+            Err(PassError::InvalidParameter("key", _))
+        ));
+        let zeros = Table::one_dim(vec![0.0, -0.0], vec![0.0, 0.0]).unwrap();
+        assert!(zeros.key_index(0).is_err());
     }
 
     #[test]

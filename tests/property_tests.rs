@@ -4,15 +4,21 @@
 //!   any data/partitioning/query;
 //! * MCF frontiers partition the relevant rows exactly;
 //! * the DP objective never loses to equal-depth partitioning;
-//! * prefix-sum range statistics match naive recomputation.
+//! * prefix-sum range statistics match naive recomputation;
+//! * join builds and estimates over arbitrary two-table schemas never
+//!   panic — every refusal is a typed error — and an exhaustive
+//!   fact-side sample answers whole-space COUNT exactly.
 
 use proptest::prelude::*;
 
-use pass::common::{AggKind, PassSpec, PrefixSums, Query, Rect, Synopsis};
+use pass::common::{
+    AggKind, EngineSpec, JoinSpec, PassError, PassSpec, PrefixSums, Query, Rect, Synopsis,
+};
 use pass::core::{mcf, PartitionStrategy, Pass};
 use pass::partition::maxvar::{Exhaustive, MaxVarOracle};
 use pass::partition::{Adp, EqualDepth, Partitioner1D, VarianceOracle};
 use pass::table::{SortedTable, Table};
+use pass::Engine;
 
 /// Strategy: a small table with clustered values (mix of constant runs and
 /// noise) plus a query interval grounded near data keys.
@@ -35,6 +41,69 @@ fn table_and_query() -> impl Strategy<Value = (Vec<f64>, f64, f64)> {
 fn build_table(values: &[f64]) -> Table {
     let keys: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
     Table::one_dim(keys, values.to_vec()).unwrap()
+}
+
+/// Strategy: a two-table join instance. The dimension side has distinct
+/// integer keys (possibly **zero** of them — the empty dimension side is
+/// a valid spec) and 0–2 derived attribute columns; the fact side's FK
+/// column mixes matching keys (index 0 over-weighted, so multiplicity is
+/// skewed), dangling keys outside the dimension's key set, and a
+/// fact-side sample budget `k` that may exceed the population.
+#[allow(clippy::type_complexity)]
+fn join_instance() -> impl Strategy<Value = (Table, JoinSpec)> {
+    (
+        0usize..10,                         // dimension rows (0 = empty side)
+        -20i32..20,                         // first key
+        prop::collection::vec(1i32..4, 10), // irregular key spacing
+        0usize..3,                          // attribute columns
+        prop::collection::vec(
+            (
+                prop_oneof![3 => Just(0usize), 2 => 0usize..32],
+                -5.0f64..5.0,
+                0u32..4, // 0 ⇒ dangling FK
+            ),
+            1..120,
+        ),
+        1usize..200,
+    )
+        .prop_map(|(dim_n, first, gaps, attr_cols, fact_rows, k)| {
+            let mut dim_keys = Vec::with_capacity(dim_n);
+            let mut key = f64::from(first);
+            for gap in gaps.iter().take(dim_n) {
+                dim_keys.push(key);
+                key += f64::from(*gap);
+            }
+            let dim_attrs: Vec<Vec<f64>> = (0..attr_cols)
+                .map(|c| {
+                    dim_keys
+                        .iter()
+                        .map(|&key| key * (c + 1) as f64 - 0.5)
+                        .collect()
+                })
+                .collect();
+            let mut values = Vec::with_capacity(fact_rows.len());
+            let mut fks = Vec::with_capacity(fact_rows.len());
+            for (idx, value, roll) in fact_rows {
+                values.push(value);
+                fks.push(if roll == 0 || dim_keys.is_empty() {
+                    1_000.0 + idx as f64 // outside every generated key set
+                } else {
+                    dim_keys[idx % dim_keys.len()]
+                });
+            }
+            let fact = Table::new(values, vec![fks], vec!["v".into(), "fk".into()]).unwrap();
+            (fact, JoinSpec::new(0, dim_keys, dim_attrs, k))
+        })
+}
+
+/// Exact matched-row count of the join by nested loop.
+fn matched_rows(fact: &Table, spec: &JoinSpec) -> usize {
+    (0..fact.n_rows())
+        .filter(|&i| {
+            let key = fact.predicate(spec.fk_dim, i);
+            spec.dim_keys.contains(&key)
+        })
+        .count()
 }
 
 proptest! {
@@ -141,6 +210,71 @@ proptest! {
         let naive_sq: f64 = values[..mid].iter().map(|v| v * v).sum();
         prop_assert!((p.range_sum(0, mid) - naive_sum).abs() <= 1e-6 * naive_sum.abs().max(1.0));
         prop_assert!((p.range_sum_sq(0, mid) - naive_sq).abs() <= 1e-6 * naive_sq.abs().max(1.0));
+    }
+
+    /// Join builds and estimates never panic on arbitrary two-table
+    /// schemas — dangling keys, skewed multiplicity, empty dimension
+    /// sides, over-large budgets. Every refusal is a typed `PassError`:
+    /// SUM/COUNT always answer (finite value, non-negative finite CI),
+    /// AVG may refuse an empty selection, MIN/MAX are always refused.
+    #[test]
+    fn join_estimates_never_panic_and_errors_are_typed(
+        (fact, spec) in join_instance(),
+        lo in -25.0f64..25.0,
+        width in 0.0f64..30.0,
+    ) {
+        let engine = match Engine::build(&fact, &EngineSpec::join(spec.clone())) {
+            Ok(engine) => engine,
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, PassError::InvalidParameter(_, _) | PassError::EmptyInput(_)),
+                    "untyped build refusal: {e:?}"
+                );
+                continue;
+            }
+        };
+        prop_assert_eq!(engine.dims(), 1 + spec.attr_dims());
+        // Constrain the FK dimension, leave the attributes wide open.
+        let mut bounds = vec![(lo, lo + width)];
+        bounds.extend(vec![(-1e3, 1e3); spec.attr_dims()]);
+        let rect = Rect::new(&bounds);
+        for agg in AggKind::ALL {
+            match engine.estimate(&Query::new(agg, rect.clone())) {
+                Ok(e) => {
+                    prop_assert!(!matches!(agg, AggKind::Min | AggKind::Max), "{agg} must refuse");
+                    prop_assert!(e.value.is_finite(), "{agg}: {}", e.value);
+                    prop_assert!(e.ci_half.is_finite() && e.ci_half >= 0.0, "{agg}: {}", e.ci_half);
+                }
+                Err(PassError::EmptyInput(_)) => prop_assert!(
+                    matches!(agg, AggKind::Avg),
+                    "{agg} must answer a non-empty joined sample"
+                ),
+                Err(PassError::InvalidParameter("agg", _)) => {
+                    prop_assert!(matches!(agg, AggKind::Min | AggKind::Max));
+                }
+                Err(other) => prop_assert!(false, "untyped estimate refusal: {other:?}"),
+            }
+        }
+    }
+
+    /// With an exhaustive fact-side sample (k ≥ population), whole-space
+    /// COUNT is the exact inner-join match count — the HT estimator
+    /// degenerates to the truth, dangling rows excluded.
+    #[test]
+    fn exhaustive_join_sample_counts_matches_exactly((fact, spec) in join_instance()) {
+        let spec = JoinSpec { k: fact.n_rows(), ..spec };
+        let engine = Engine::build(&fact, &EngineSpec::join(spec.clone())).unwrap();
+        let bounds = vec![(f64::NEG_INFINITY, f64::INFINITY); 1 + spec.attr_dims()];
+        let q = Query::new(AggKind::Count, Rect::new(&bounds));
+        let truth = matched_rows(&fact, &spec) as f64;
+        match engine.estimate(&q) {
+            Ok(e) => {
+                prop_assert!((e.value - truth).abs() <= 1e-9 * truth.max(1.0));
+                prop_assert!(e.ci_half <= 1e-9 * truth.max(1.0), "exhaustive CI collapses");
+            }
+            // COUNT over a non-empty sample always answers.
+            Err(e) => prop_assert!(false, "refused: {e:?}"),
+        }
     }
 
     /// Estimates and CI half-widths are always finite; CI is non-negative.

@@ -18,6 +18,7 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use pass::common::snapshot::{Cursor, SnapshotError, SNAPSHOT_VERSION};
+use pass::common::JoinSpec;
 use pass::common::{AggKind, GroupByQuery, PassError, PassSpec, Query, Synopsis};
 use pass::core::Pass;
 use pass::table::datasets::uniform;
@@ -209,6 +210,144 @@ fn mutated_pass_saves_post_mutation_state() {
     let loaded = roundtrip(&pass);
     assert_bit_identical(&pass, loaded.as_ref());
     assert_eq!(loaded.estimate(&q).unwrap(), after);
+}
+
+// ---------------------------------------------------------------------------
+// Join snapshots
+// ---------------------------------------------------------------------------
+
+/// A fact ⋈ dimension instance for the join snapshot tests: a 2-D fact
+/// (uniform x plus an FK cycling over 8 dimension keys, some dangling)
+/// and one attribute column, so the joined arity is 3.
+fn join_fixture() -> (Table, EngineSpec) {
+    let n = 3_000;
+    let values: Vec<f64> = (0..n).map(|i| (i % 11) as f64 + 1.0).collect();
+    let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+    let fk: Vec<f64> = (0..n)
+        .map(|i| if i % 5 == 0 { -7.0 } else { (i % 8) as f64 })
+        .collect();
+    let fact = Table::new(
+        values,
+        vec![x, fk],
+        vec!["v".into(), "x".into(), "fk".into()],
+    )
+    .unwrap();
+    let dim_keys: Vec<f64> = (0..8).map(|k| k as f64).collect();
+    let dim_attr: Vec<f64> = dim_keys.iter().map(|k| k * 10.0).collect();
+    let spec = EngineSpec::join(JoinSpec::new(1, dim_keys, vec![dim_attr], 400)).with_seed(14);
+    (fact, spec)
+}
+
+/// Join-arity probes: every aggregate over a broad joined rectangle and
+/// an empty window, so error rows round-trip too.
+fn join_probes() -> Vec<Query> {
+    AggKind::ALL
+        .iter()
+        .flat_map(|&agg| {
+            [
+                Query::new(
+                    agg,
+                    pass::common::Rect::new(&[(0.1, 0.9), (-10.0, 10.0), (0.0, 80.0)]),
+                ),
+                Query::new(
+                    agg,
+                    pass::common::Rect::new(&[(0.42, 0.42 + 1e-12), (9.0, 9.5), (1e6, 1e7)]),
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// Join engines — bare and sharded — round-trip bit-identically. The
+/// hash index is rebuilt from the header spec rather than shipped, so
+/// identity here also pins the spec-derivation rule.
+#[test]
+fn join_engines_round_trip_bit_identically() {
+    let (fact, inner) = join_fixture();
+    for spec in [
+        inner.clone(),
+        EngineSpec::sharded(inner, ShardPlan::row_range(3)),
+    ] {
+        let engine = Engine::build(&fact, &spec).unwrap();
+        let loaded = roundtrip(engine.as_ref());
+        assert_eq!(loaded.name(), engine.name());
+        assert_eq!(loaded.spec(), engine.spec());
+        assert_eq!(loaded.dims(), engine.dims());
+        assert_eq!(loaded.storage_bytes(), engine.storage_bytes());
+        let qs = join_probes();
+        for q in &qs {
+            assert_eq!(
+                loaded.estimate(q),
+                engine.estimate(q),
+                "{} diverged on {q:?}",
+                engine.name()
+            );
+        }
+        assert_eq!(loaded.estimate_many(&qs), engine.estimate_many(&qs));
+    }
+}
+
+/// One modest join snapshot, built once and shared by the adversarial
+/// join tests below.
+fn join_snapshot() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (fact, spec) = join_fixture();
+        let engine = Engine::build(&fact, &spec).unwrap();
+        let mut bytes = Vec::new();
+        engine.save(&mut bytes).unwrap();
+        bytes
+    })
+}
+
+/// Truncating a join snapshot at any byte boundary errors cleanly — the
+/// join codec inherits the framing discipline, spec header included.
+#[test]
+fn join_truncation_at_every_byte_boundary_errors_cleanly() {
+    let bytes = join_snapshot();
+    for cut in 0..bytes.len() {
+        let err = snapshot_err(&bytes[..cut]);
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+                    | SnapshotError::BadMagic
+            ),
+            "cut at {cut}/{}: unexpected {err:?}",
+            bytes.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single-bit flip in a join snapshot is caught: the spec header
+    /// travels as a CRC'd section like everything else, so corrupting
+    /// the embedded dimension table cannot slip through either.
+    #[test]
+    fn join_single_bit_flips_never_panic(pos in 0usize..join_snapshot().len(), bit in 0u8..8) {
+        let mut bytes = join_snapshot().to_vec();
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(Engine::load(&bytes).is_err());
+    }
+
+    /// Length-field lies in a join snapshot are contained exactly like
+    /// the PASS case: rejected against the remaining input before any
+    /// allocation, or caught by a checksum.
+    #[test]
+    fn join_length_word_fuzzing_is_contained(lie in 0u64..=u64::MAX) {
+        let mut bytes = join_snapshot().to_vec();
+        bytes[12..20].copy_from_slice(&lie.to_le_bytes());
+        match Engine::load(&bytes) {
+            Err(PassError::Snapshot(_)) => {}
+            Err(other) => prop_assert!(false, "non-snapshot error {other:?}"),
+            Ok(_) => prop_assert!(
+                lie == u64::from_le_bytes(join_snapshot()[12..20].try_into().unwrap())
+            ),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
